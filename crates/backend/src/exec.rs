@@ -1,0 +1,509 @@
+//! Execution models: how ops are dispatched through the stack.
+//!
+//! The paper's framework case study (§4.1) compares four ⟨execution model,
+//! ML backend⟩ configurations. The *math* is identical; what differs is
+//! dispatch:
+//!
+//! * **Graph** — the training step is declared once and executed by a
+//!   single `session.run`: one Python→Backend transition per step, cheap
+//!   per-op backend scheduling, one CUDA launch per op.
+//! * **Eager** — every op is dispatched from Python: one Python→Backend
+//!   transition *per op*, plus Python dispatch overhead per op, plus
+//!   (TensorFlow only) extra administrative backend calls per op, which is
+//!   what makes TF Eager slower than PyTorch Eager (F.3).
+//! * **Autograph** — like Graph, with high-level control flow compiled
+//!   in-graph; also carries the inference-time backend anomaly the paper
+//!   isolates in F.6.
+//!
+//! The [`Executor`] implements [`OpSink`]; every tape op flows through it
+//! and is charged against the virtual clock and the virtual GPU.
+
+use crate::tape::{OpSink, Tape};
+use crate::tensor::Tensor;
+use rlscope_sim::cost::LinearCost;
+use rlscope_sim::cuda::CudaContext;
+use rlscope_sim::gpu::{KernelDesc, MemcpyDir};
+use rlscope_sim::hooks::NativeLib;
+use rlscope_sim::ids::StreamId;
+use rlscope_sim::python::PyRuntime;
+use rlscope_sim::time::DurationNs;
+use rlscope_sim::VirtualClock;
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+/// The ML backend a workload builds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// TensorFlow 2.2-style backend.
+    TensorFlow,
+    /// PyTorch 1.6-style backend.
+    PyTorch,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendKind::TensorFlow => write!(f, "TensorFlow"),
+            BackendKind::PyTorch => write!(f, "PyTorch"),
+        }
+    }
+}
+
+/// The execution model in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecModel {
+    /// Declared-graph execution (TensorFlow 1.x style `session.run`).
+    Graph,
+    /// Traced/compiled eager code (`tf.function` Autograph).
+    Autograph,
+    /// Op-by-op dispatch from the high-level language.
+    Eager,
+}
+
+impl fmt::Display for ExecModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecModel::Graph => write!(f, "Graph"),
+            ExecModel::Autograph => write!(f, "Autograph"),
+            ExecModel::Eager => write!(f, "Eager"),
+        }
+    }
+}
+
+/// What kind of logical run a `session`-level invocation is; used both for
+/// the Autograph inference anomaly (F.6) and for experiment attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RunKind {
+    /// Forward-only action selection.
+    Inference,
+    /// Forward + backward + (possibly) parameter update.
+    Backprop,
+    /// In-graph data-collection loop body (Autograph drivers).
+    SimLoop,
+    /// Anything else.
+    Other,
+}
+
+/// Dispatch cost model for one ⟨backend, execution model⟩ configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpCostModel {
+    /// Backend CPU cost per op under Graph/Autograph scheduling.
+    pub graph_op_cpu: LinearCost,
+    /// Backend CPU cost per op under Eager dispatch (higher: no graph-level
+    /// optimization, per-op allocation and shape inference).
+    pub eager_op_cpu: LinearCost,
+    /// Python-side cost per op in Eager mode (interpreting the op call).
+    pub eager_python_dispatch: DurationNs,
+    /// Extra administrative Python→Backend calls per op in Eager mode
+    /// (shape/dtype bookkeeping). TensorFlow Eager ≫ PyTorch Eager — this
+    /// is the transition-count difference behind F.3.
+    pub eager_admin_calls: u32,
+    /// Backend CPU cost of each administrative call.
+    pub admin_call_cpu: DurationNs,
+    /// GPU kernel duration as a function of FLOPs.
+    pub kernel: LinearCost,
+    /// Fixed CPU cost of entering a Graph/Autograph session run.
+    pub session_entry_cpu: DurationNs,
+    /// Backend-time inflation factor applied to ops inside
+    /// [`RunKind::Inference`] runs under Autograph — the performance
+    /// anomaly of finding F.6 (3.8–4.4× in the paper).
+    pub autograph_inference_backend_inflation: f64,
+}
+
+impl OpCostModel {
+    /// A calibrated-ish default for a ⟨backend, model⟩ pair. Workloads may
+    /// override fields; these defaults produce the paper's orderings.
+    pub fn for_config(kind: BackendKind, model: ExecModel) -> Self {
+        let mut cost = OpCostModel {
+            graph_op_cpu: LinearCost::new(DurationNs::from_nanos(3_200), 1.0e-4),
+            eager_op_cpu: LinearCost::new(DurationNs::from_nanos(9_000), 1.5e-4),
+            eager_python_dispatch: DurationNs::from_nanos(6_000),
+            eager_admin_calls: 0,
+            admin_call_cpu: DurationNs::from_nanos(2_200),
+            kernel: LinearCost::new(DurationNs::from_nanos(1_400), 5.0e-4),
+            session_entry_cpu: DurationNs::from_micros(22),
+            autograph_inference_backend_inflation: 1.0,
+        };
+        match (kind, model) {
+            (BackendKind::TensorFlow, ExecModel::Eager) => {
+                // TF Eager: more transitions (admin calls) and costlier
+                // per-op dispatch than PyTorch Eager (F.3).
+                cost.eager_admin_calls = 2;
+                cost.eager_python_dispatch = DurationNs::from_nanos(16_000);
+                cost.eager_op_cpu = LinearCost::new(DurationNs::from_nanos(20_000), 1.5e-4);
+                cost.admin_call_cpu = DurationNs::from_nanos(3_500);
+            }
+            (BackendKind::PyTorch, ExecModel::Eager) => {
+                cost.eager_admin_calls = 0;
+                cost.eager_python_dispatch = DurationNs::from_nanos(6_000);
+                cost.eager_op_cpu = LinearCost::new(DurationNs::from_nanos(8_000), 1.2e-4);
+            }
+            (_, ExecModel::Autograph) => {
+                cost.autograph_inference_backend_inflation = 4.0;
+            }
+            _ => {}
+        }
+        cost
+    }
+}
+
+/// The stack-facing executor for one simulated process.
+///
+/// Owns shared handles to the Python runtime and CUDA context; implements
+/// [`OpSink`] so tapes report every primitive op through it.
+pub struct Executor {
+    kind: BackendKind,
+    model: ExecModel,
+    py: Rc<RefCell<PyRuntime>>,
+    cuda: Rc<RefCell<CudaContext>>,
+    cost: OpCostModel,
+    stream: StreamId,
+    clock: VirtualClock,
+    current_kind: Cell<RunKind>,
+    in_backend: Cell<bool>,
+    ops_executed: Cell<u64>,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("kind", &self.kind)
+            .field("model", &self.model)
+            .field("ops_executed", &self.ops_executed.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Executor {
+    /// Creates an executor for one ⟨backend, model⟩ configuration.
+    pub fn new(
+        kind: BackendKind,
+        model: ExecModel,
+        py: Rc<RefCell<PyRuntime>>,
+        cuda: Rc<RefCell<CudaContext>>,
+        cost: OpCostModel,
+        stream: StreamId,
+    ) -> Self {
+        let clock = cuda.borrow().clock().clone();
+        Executor {
+            kind,
+            model,
+            py,
+            cuda,
+            cost,
+            stream,
+            clock,
+            current_kind: Cell::new(RunKind::Other),
+            in_backend: Cell::new(false),
+            ops_executed: Cell::new(0),
+        }
+    }
+
+    /// The backend kind.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// The execution model.
+    pub fn model(&self) -> ExecModel {
+        self.model
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &OpCostModel {
+        &self.cost
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The GPU stream this executor launches on.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// Total primitive ops executed so far.
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed.get()
+    }
+
+    /// Runs a logical backend invocation, dispatching per the execution
+    /// model. In Graph/Autograph this is one Python→Backend transition; in
+    /// Eager the closure runs in Python context and each tape op performs
+    /// its own transition(s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from inside another `run` (real
+    /// backends would deadlock or error similarly).
+    pub fn run<R>(&self, kind: RunKind, f: impl FnOnce(&mut Tape<'_>) -> R) -> R {
+        assert!(!self.in_backend.get(), "re-entrant Executor::run");
+        self.current_kind.set(kind);
+        match self.model {
+            ExecModel::Graph | ExecModel::Autograph => {
+                let mut py = self.py.borrow_mut();
+                self.in_backend.set(true);
+                let out = py.call_native(NativeLib::Backend, || {
+                    self.clock.advance(self.cost.session_entry_cpu);
+                    let mut tape = Tape::with_sink(self);
+                    f(&mut tape)
+                });
+                self.in_backend.set(false);
+                out
+            }
+            ExecModel::Eager => {
+                let mut tape = Tape::with_sink(self);
+                f(&mut tape)
+            }
+        }
+    }
+
+    /// Executes raw backend work (memcpys, ad-hoc kernels) as its own
+    /// Python→Backend call when not already inside one.
+    pub fn backend_call<R>(&self, f: impl FnOnce(&Executor) -> R) -> R {
+        if self.in_backend.get() {
+            f(self)
+        } else {
+            let mut py = self.py.borrow_mut();
+            self.in_backend.set(true);
+            let out = py.call_native(NativeLib::Backend, || f(self));
+            self.in_backend.set(false);
+            out
+        }
+    }
+
+    /// Calls into the simulator library (environment step/reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if invoked from inside a backend call.
+    pub fn call_simulator<R>(&self, f: impl FnOnce() -> R) -> R {
+        assert!(!self.in_backend.get(), "simulator call from inside backend");
+        self.py.borrow_mut().call_native(NativeLib::Simulator, f)
+    }
+
+    /// Executes pure Python work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if invoked from inside a backend call.
+    pub fn python(&self, cost: DurationNs) {
+        assert!(!self.in_backend.get(), "python() from inside backend");
+        self.py.borrow().exec(cost);
+    }
+
+    /// Launches an ad-hoc kernel (optimizer updates, assigns). Must be used
+    /// inside a [`Executor::backend_call`] or [`Executor::run`] context, or
+    /// it will be charged without a surrounding backend interval.
+    pub fn kernel(&self, name: &'static str, flops: f64) {
+        let dur = self.cost.kernel.eval(flops);
+        self.cuda.borrow_mut().launch_kernel(self.stream, KernelDesc::new(name, dur));
+    }
+
+    /// Enqueues a device memcpy of `bytes`.
+    pub fn memcpy(&self, dir: MemcpyDir, bytes: u64) {
+        self.cuda.borrow_mut().memcpy_async(self.stream, dir, bytes);
+    }
+
+    /// Blocks until this executor's stream drains (fetching results).
+    pub fn sync(&self) {
+        self.cuda.borrow_mut().stream_synchronize(self.stream);
+    }
+
+    /// Fetches a tensor's value to the host: D2H copy + stream sync, as its
+    /// own backend call when needed.
+    pub fn fetch(&self, t: &Tensor) -> Tensor {
+        self.backend_call(|ex| {
+            ex.memcpy(MemcpyDir::DeviceToHost, t.byte_size());
+            ex.sync();
+        });
+        t.clone()
+    }
+
+    /// Feeds host data toward the device (H2D copy), e.g. a minibatch.
+    pub fn feed(&self, bytes: u64) {
+        self.backend_call(|ex| ex.memcpy(MemcpyDir::HostToDevice, bytes));
+    }
+
+    fn backend_op_cost(&self, flops: f64) -> DurationNs {
+        match self.model {
+            ExecModel::Graph => self.cost.graph_op_cpu.eval(flops),
+            ExecModel::Autograph => {
+                let base = self.cost.graph_op_cpu.eval(flops);
+                if self.current_kind.get() == RunKind::Inference {
+                    base.mul_f64(self.cost.autograph_inference_backend_inflation)
+                } else {
+                    base
+                }
+            }
+            ExecModel::Eager => self.cost.eager_op_cpu.eval(flops),
+        }
+    }
+}
+
+impl OpSink for Executor {
+    fn on_op(&self, name: &'static str, flops: f64) {
+        self.ops_executed.set(self.ops_executed.get() + 1);
+        let backend_cpu = self.backend_op_cost(flops);
+        let kernel_dur = self.cost.kernel.eval(flops);
+        match self.model {
+            ExecModel::Graph | ExecModel::Autograph => {
+                // Already inside the session's backend interval.
+                self.clock.advance(backend_cpu);
+                self.cuda
+                    .borrow_mut()
+                    .launch_kernel(self.stream, KernelDesc::new(name, kernel_dur));
+            }
+            ExecModel::Eager => {
+                // Python interprets the op call...
+                self.py.borrow().exec(self.cost.eager_python_dispatch);
+                // ...then transitions into the backend for the op itself...
+                self.in_backend.set(true);
+                self.py.borrow_mut().call_native(NativeLib::Backend, || {
+                    self.clock.advance(backend_cpu);
+                    self.cuda
+                        .borrow_mut()
+                        .launch_kernel(self.stream, KernelDesc::new(name, kernel_dur));
+                });
+                // ...plus administrative calls (TF Eager's extra
+                // transitions, F.3).
+                for _ in 0..self.cost.eager_admin_calls {
+                    self.py.borrow_mut().call_native(NativeLib::Backend, || {
+                        self.clock.advance(self.cost.admin_call_cpu);
+                    });
+                }
+                self.in_backend.set(false);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlscope_sim::cuda::CudaCostConfig;
+    use rlscope_sim::gpu::GpuDevice;
+    use rlscope_sim::python::PyCostConfig;
+
+    fn make(kind: BackendKind, model: ExecModel) -> (Executor, Rc<RefCell<PyRuntime>>, Rc<RefCell<CudaContext>>) {
+        let clock = VirtualClock::new();
+        let py = Rc::new(RefCell::new(PyRuntime::new(clock.clone(), PyCostConfig::default())));
+        let cuda = Rc::new(RefCell::new(CudaContext::new(
+            clock,
+            GpuDevice::new(1),
+            CudaCostConfig::default(),
+        )));
+        let stream = cuda.borrow().default_stream();
+        let cost = OpCostModel::for_config(kind, model);
+        (Executor::new(kind, model, py.clone(), cuda.clone(), cost, stream), py, cuda)
+    }
+
+    fn tiny_step(exec: &Executor) {
+        exec.run(RunKind::Backprop, |tape| {
+            let x = tape.constant(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+            let w = tape.param(0, Tensor::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]));
+            let y = tape.matmul(x, w);
+            let loss = tape.mean(y);
+            let _ = tape.backward(loss);
+        });
+    }
+
+    #[test]
+    fn graph_mode_uses_one_backend_transition() {
+        let (exec, py, _) = make(BackendKind::TensorFlow, ExecModel::Graph);
+        tiny_step(&exec);
+        assert_eq!(py.borrow().transition_count(NativeLib::Backend), 1);
+    }
+
+    #[test]
+    fn eager_mode_transitions_per_op() {
+        let (exec, py, _) = make(BackendKind::PyTorch, ExecModel::Eager);
+        tiny_step(&exec);
+        // 3 forward ops + 3 backward ops, one transition each (PyTorch: no
+        // admin calls).
+        assert_eq!(py.borrow().transition_count(NativeLib::Backend), exec.ops_executed());
+        assert!(exec.ops_executed() >= 4);
+    }
+
+    #[test]
+    fn tf_eager_makes_more_transitions_than_pytorch_eager() {
+        let (tf, tf_py, _) = make(BackendKind::TensorFlow, ExecModel::Eager);
+        let (pt, pt_py, _) = make(BackendKind::PyTorch, ExecModel::Eager);
+        tiny_step(&tf);
+        tiny_step(&pt);
+        let tf_tr = tf_py.borrow().transition_count(NativeLib::Backend);
+        let pt_tr = pt_py.borrow().transition_count(NativeLib::Backend);
+        assert!(tf_tr >= 3 * pt_tr, "tf={tf_tr} pt={pt_tr}");
+    }
+
+    #[test]
+    fn eager_is_slower_than_graph() {
+        let (g, _, _) = make(BackendKind::TensorFlow, ExecModel::Graph);
+        let (e, _, _) = make(BackendKind::TensorFlow, ExecModel::Eager);
+        tiny_step(&g);
+        tiny_step(&e);
+        assert!(e.clock().now() > g.clock().now());
+    }
+
+    #[test]
+    fn autograph_inference_inflation_applies() {
+        let (a, _, _) = make(BackendKind::TensorFlow, ExecModel::Autograph);
+        let before = a.clock().now();
+        a.run(RunKind::Inference, |tape| {
+            let x = tape.constant(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+            let w = tape.param(0, Tensor::from_vec(2, 2, vec![0.1; 4]));
+            let _ = tape.matmul(x, w);
+        });
+        let inference_time = a.clock().now() - before;
+
+        let (a2, _, _) = make(BackendKind::TensorFlow, ExecModel::Autograph);
+        let before = a2.clock().now();
+        a2.run(RunKind::Other, |tape| {
+            let x = tape.constant(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+            let w = tape.param(0, Tensor::from_vec(2, 2, vec![0.1; 4]));
+            let _ = tape.matmul(x, w);
+        });
+        let other_time = a2.clock().now() - before;
+        assert!(inference_time > other_time, "{inference_time:?} <= {other_time:?}");
+    }
+
+    #[test]
+    fn kernels_land_on_the_gpu() {
+        let (exec, _, cuda) = make(BackendKind::TensorFlow, ExecModel::Graph);
+        tiny_step(&exec);
+        assert!(cuda.borrow().counts().launches >= 4);
+        assert!(!cuda.borrow().device().busy_intervals().is_empty());
+    }
+
+    #[test]
+    fn fetch_syncs_the_stream() {
+        let (exec, _, cuda) = make(BackendKind::TensorFlow, ExecModel::Graph);
+        tiny_step(&exec);
+        let t = Tensor::zeros(4, 4);
+        exec.fetch(&t);
+        let c = cuda.borrow();
+        assert!(c.counts().syncs >= 1);
+        assert!(c.clock().now() >= c.device().device_idle_at());
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrant")]
+    fn reentrant_run_panics() {
+        let (exec, _, _) = make(BackendKind::TensorFlow, ExecModel::Graph);
+        exec.run(RunKind::Other, |_| {
+            exec.run(RunKind::Other, |_| {});
+        });
+    }
+
+    #[test]
+    fn simulator_calls_route_through_python_runtime() {
+        let (exec, py, _) = make(BackendKind::TensorFlow, ExecModel::Graph);
+        let out = exec.call_simulator(|| 5);
+        assert_eq!(out, 5);
+        assert_eq!(py.borrow().transition_count(NativeLib::Simulator), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Neural-network building blocks: the parameter store and MLPs.
+//!
+//! RL networks are small (the paper contrasts AlphaGoZero's 39 layers with
+//! ResNet-152); the workloads here use the same 2–3 hidden-layer MLPs that
+//! stable-baselines' tuned hyperparameters prescribe for continuous-control
+//! tasks.
+
+use crate::tape::{Tape, VarId};
+use crate::tensor::Tensor;
+use rlscope_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A flat store of named parameter tensors, indexed by stable ids.
+///
+/// The tape records parameter leaves by store index; gradients route back
+/// through [`crate::tape::Gradients::params`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl Params {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a parameter; returns its id.
+    pub fn add(&mut self, name: impl Into<String>, t: Tensor) -> usize {
+        self.tensors.push(t);
+        self.names.push(name.into());
+        self.tensors.len() - 1
+    }
+
+    /// The tensor for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: usize) -> &Tensor {
+        &self.tensors[id]
+    }
+
+    /// Mutable tensor access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get_mut(&mut self, id: usize) -> &mut Tensor {
+        &mut self.tensors[id]
+    }
+
+    /// The name of parameter `id`.
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True if the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total scalar element count across all tensors.
+    pub fn total_elems(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Total bytes across all tensors (for memcpy modelling).
+    pub fn byte_size(&self) -> u64 {
+        self.tensors.iter().map(Tensor::byte_size).sum()
+    }
+
+    /// Copies every tensor of `src` into this store (hard target-network
+    /// update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stores have different layouts.
+    pub fn copy_from(&mut self, src: &Params) {
+        assert_eq!(self.tensors.len(), src.tensors.len(), "param store layout mismatch");
+        for (dst, s) in self.tensors.iter_mut().zip(&src.tensors) {
+            assert_eq!(dst.len(), s.len(), "param tensor shape mismatch");
+            dst.data_mut().copy_from_slice(s.data());
+        }
+    }
+
+    /// Polyak (soft) target update: `dst = (1 - tau) * dst + tau * src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stores have different layouts or `tau ∉ [0, 1]`.
+    pub fn soft_update_from(&mut self, src: &Params, tau: f32) {
+        assert!((0.0..=1.0).contains(&tau), "tau {tau} outside [0,1]");
+        assert_eq!(self.tensors.len(), src.tensors.len(), "param store layout mismatch");
+        for (dst, s) in self.tensors.iter_mut().zip(&src.tensors) {
+            for (d, &sv) in dst.data_mut().iter_mut().zip(s.data()) {
+                *d = (1.0 - tau) * *d + tau * sv;
+            }
+        }
+    }
+}
+
+/// Activation functions the MLP supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No activation (identity).
+    Linear,
+}
+
+/// A multi-layer perceptron whose weights live in a [`Params`] store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    sizes: Vec<usize>,
+    layers: Vec<(usize, usize)>, // (weight id, bias id)
+    hidden: Activation,
+    output: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer `sizes` (input first, output
+    /// last), registering Xavier-initialized weights in `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(
+        params: &mut Params,
+        rng: &mut SimRng,
+        name: &str,
+        sizes: &[usize],
+        hidden: Activation,
+        output: Activation,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        let mut layers = Vec::new();
+        for (i, w) in sizes.windows(2).enumerate() {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            let data: Vec<f32> = (0..fan_in * fan_out)
+                .map(|_| rng.uniform_range(-bound, bound) as f32)
+                .collect();
+            let wid = params.add(format!("{name}/w{i}"), Tensor::from_vec(fan_in, fan_out, data));
+            let bid = params.add(format!("{name}/b{i}"), Tensor::vector(vec![0.0; fan_out]));
+            layers.push((wid, bid));
+        }
+        Mlp { sizes: sizes.to_vec(), layers, hidden, output }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        *self.sizes.last().unwrap()
+    }
+
+    /// Parameter ids (weights and biases) of this network.
+    pub fn param_ids(&self) -> Vec<usize> {
+        self.layers.iter().flat_map(|&(w, b)| [w, b]).collect()
+    }
+
+    /// Number of layers (weight matrices).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Records the forward pass on `tape`; weights enter as parameter
+    /// leaves so gradients flow back to the store.
+    pub fn forward(&self, tape: &mut Tape<'_>, params: &Params, x: VarId) -> VarId {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, &(wid, bid)) in self.layers.iter().enumerate() {
+            let w = tape.param(wid, params.get(wid).clone());
+            let b = tape.param(bid, params.get(bid).clone());
+            h = tape.matmul(h, w);
+            h = tape.add_bias(h, b);
+            let act = if i == last { self.output } else { self.hidden };
+            h = match act {
+                Activation::Relu => tape.relu(h),
+                Activation::Tanh => tape.tanh(h),
+                Activation::Linear => h,
+            };
+        }
+        h
+    }
+
+    /// Convenience: forward on a throwaway tape, returning the output value
+    /// (used for cheap action selection in tests).
+    pub fn predict(&self, params: &Params, x: &Tensor) -> Tensor {
+        let mut tape = Tape::new();
+        let xin = tape.constant(x.clone());
+        let out = self.forward(&mut tape, params, xin);
+        tape.value(out).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn mlp_registers_params_and_shapes() {
+        let mut p = Params::new();
+        let mlp = Mlp::new(&mut p, &mut rng(), "pi", &[4, 8, 2], Activation::Relu, Activation::Tanh);
+        assert_eq!(p.len(), 4); // 2 weights + 2 biases
+        assert_eq!(mlp.param_ids().len(), 4);
+        assert_eq!(p.get(0).rows(), 4);
+        assert_eq!(p.get(0).cols(), 8);
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 2);
+        assert_eq!(mlp.layer_count(), 2);
+    }
+
+    #[test]
+    fn forward_output_shape_and_bounds() {
+        let mut p = Params::new();
+        let mlp = Mlp::new(&mut p, &mut rng(), "pi", &[3, 16, 2], Activation::Relu, Activation::Tanh);
+        let y = mlp.predict(&p, &Tensor::from_vec(5, 3, vec![0.1; 15]));
+        assert_eq!(y.rows(), 5);
+        assert_eq!(y.cols(), 2);
+        // Tanh output head keeps values in (-1, 1).
+        assert!(y.data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        // Regression: fit y = 2x on a tiny MLP; loss must strictly drop.
+        let mut p = Params::new();
+        let mlp = Mlp::new(&mut p, &mut rng(), "f", &[1, 8, 1], Activation::Tanh, Activation::Linear);
+        let x = Tensor::from_vec(4, 1, vec![-1.0, -0.5, 0.5, 1.0]);
+        let t = x.map(|v| 2.0 * v);
+        let mut losses = Vec::new();
+        for _ in 0..200 {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let tv = tape.constant(t.clone());
+            let y = mlp.forward(&mut tape, &p, xv);
+            let loss = tape.mse(y, tv);
+            losses.push(tape.value(loss).item());
+            let g = tape.backward(loss);
+            for (pid, grad) in g.params() {
+                let lr = 0.1;
+                let tensor = p.get_mut(pid);
+                for (w, &gv) in tensor.data_mut().iter_mut().zip(grad.data()) {
+                    *w -= lr * gv;
+                }
+            }
+        }
+        assert!(losses[199] < 0.05 * losses[0], "loss did not converge: {losses:?}");
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let mut a = Params::new();
+        a.add("w", Tensor::vector(vec![0.0, 0.0]));
+        let mut b = Params::new();
+        b.add("w", Tensor::vector(vec![1.0, 2.0]));
+        a.soft_update_from(&b, 0.25);
+        assert_eq!(a.get(0).data(), &[0.25, 0.5]);
+        a.copy_from(&b);
+        assert_eq!(a.get(0).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout mismatch")]
+    fn copy_from_layout_mismatch_panics() {
+        let mut a = Params::new();
+        a.add("w", Tensor::vector(vec![0.0]));
+        let b = Params::new();
+        a.copy_from(&b);
+    }
+
+    #[test]
+    fn byte_size_and_elems() {
+        let mut p = Params::new();
+        p.add("w", Tensor::zeros(2, 3));
+        p.add("b", Tensor::vector(vec![0.0; 3]));
+        assert_eq!(p.total_elems(), 9);
+        assert_eq!(p.byte_size(), 36);
+        assert_eq!(p.name(1), "b");
+    }
+}

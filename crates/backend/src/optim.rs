@@ -1,0 +1,373 @@
+//! Optimizers: SGD, Adam, and the MPI-friendly-but-GPU-unfriendly Adam.
+//!
+//! `MpiAdam` reproduces the stable-baselines DDPG quirk the paper isolates
+//! in finding F.4: an optimizer written for MPI-parallel training that
+//! round-trips parameters and gradients through the CPU (device→host copy,
+//! NumPy update in Python, host→device copy) on *every* step — even during
+//! single-node training — inflating backpropagation 3.7× relative to an
+//! in-graph optimizer.
+
+use crate::exec::Executor;
+use crate::nn::Params;
+use crate::tape::Gradients;
+use crate::tensor::Tensor;
+use rlscope_sim::gpu::MemcpyDir;
+use rlscope_sim::time::DurationNs;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A gradient-based parameter optimizer.
+pub trait Optimizer {
+    /// Applies `grads` to `params`. When `exec` is provided, the step
+    /// charges its execution costs (kernels, copies) through it.
+    fn step(&mut self, params: &mut Params, grads: &Gradients, exec: Option<&Executor>);
+
+    /// Optimizer name, for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params, grads: &Gradients, exec: Option<&Executor>) {
+        for (pid, grad) in grads.params() {
+            let t = params.get_mut(pid);
+            for (w, &g) in t.data_mut().iter_mut().zip(grad.data()) {
+                *w -= self.lr * g;
+            }
+            if let Some(ex) = exec {
+                ex.kernel("sgd_apply", t.len() as f64 * 2.0);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// Adam (Kingma & Ba) with in-backend (GPU-resident) state.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: HashMap<usize, Tensor>,
+    v: HashMap<usize, Tensor>,
+}
+
+impl fmt::Debug for Adam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Adam").field("lr", &self.lr).field("t", &self.t).finish_non_exhaustive()
+    }
+}
+
+impl Adam {
+    /// Creates Adam with standard betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+    }
+
+    fn apply_math(&mut self, params: &mut Params, grads: &Gradients) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (pid, grad) in grads.params() {
+            let tensor = params.get_mut(pid);
+            let m = self
+                .m
+                .entry(pid)
+                .or_insert_with(|| Tensor::full(tensor.rows(), tensor.cols(), 0.0));
+            let v = self
+                .v
+                .entry(pid)
+                .or_insert_with(|| Tensor::full(tensor.rows(), tensor.cols(), 0.0));
+            for i in 0..tensor.len() {
+                let g = grad.data()[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                tensor.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Params, grads: &Gradients, exec: Option<&Executor>) {
+        // Kernel charges first (they only need shapes), then the math.
+        if let Some(ex) = exec {
+            let updated: Vec<(usize, usize)> =
+                grads.params().map(|(pid, g)| (pid, g.len())).collect();
+            ex.backend_call(|ex| {
+                for (_pid, len) in &updated {
+                    // Fused m/v/apply updates: three kernels per tensor.
+                    ex.kernel("adam_m", *len as f64 * 2.0);
+                    ex.kernel("adam_v", *len as f64 * 3.0);
+                    ex.kernel("adam_apply", *len as f64 * 5.0);
+                }
+            });
+        }
+        self.apply_math(params, grads);
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+/// The MPI-friendly Adam of stable-baselines DDPG (finding F.4).
+///
+/// Identical math to [`Adam`], but executed the way the original Python
+/// implementation does it: fetch flat gradients and parameters to the host
+/// (device→host copies + stream sync), run the update in Python/NumPy
+/// (pure Python time), then write parameters back (host→device copy plus
+/// one assign kernel per tensor) — each side in its own backend call.
+pub struct MpiAdam {
+    inner: Adam,
+    /// Python/NumPy cost per parameter element for the host-side update.
+    pub python_ns_per_elem: f64,
+    /// Fixed Python orchestration cost per step.
+    pub python_base: DurationNs,
+}
+
+impl fmt::Debug for MpiAdam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MpiAdam").field("inner", &self.inner).finish_non_exhaustive()
+    }
+}
+
+impl MpiAdam {
+    /// Creates an MPI-style Adam with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        MpiAdam {
+            inner: Adam::new(lr),
+            python_ns_per_elem: 2.0,
+            python_base: DurationNs::from_micros(100),
+        }
+    }
+}
+
+impl Optimizer for MpiAdam {
+    fn step(&mut self, params: &mut Params, grads: &Gradients, exec: Option<&Executor>) {
+        if let Some(ex) = exec {
+            // The stable-baselines implementation keeps one MpiAdam *per
+            // parameter group* and round-trips each tensor through the CPU
+            // in its own pair of backend calls — the "overly abstracted"
+            // pattern finding F.4 pins the 3.7x backprop inflation on.
+            let updated: Vec<(usize, u64, usize)> = grads
+                .params()
+                .map(|(pid, g)| (pid, g.byte_size(), g.len()))
+                .collect();
+            for (_pid, bytes, len) in &updated {
+                // (1) getflat: fetch this tensor's gradient and value.
+                ex.backend_call(|ex| {
+                    ex.memcpy(MemcpyDir::DeviceToHost, *bytes); // grad
+                    ex.memcpy(MemcpyDir::DeviceToHost, *bytes); // param
+                    ex.sync();
+                });
+                // (2) NumPy Adam update on the CPU, in Python.
+                ex.python(
+                    self.python_base
+                        + DurationNs::from_secs_f64(
+                            self.python_ns_per_elem * *len as f64 / 1e9,
+                        ),
+                );
+                // (3) setfromflat: write the tensor back and assign.
+                ex.backend_call(|ex| {
+                    ex.memcpy(MemcpyDir::HostToDevice, *bytes);
+                    ex.kernel("assign", *len as f64);
+                });
+            }
+        }
+        self.inner.apply_math(params, grads);
+    }
+
+    fn name(&self) -> &'static str {
+        "mpi_adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{BackendKind, ExecModel, OpCostModel, RunKind};
+    use crate::nn::{Activation, Mlp};
+    use crate::tape::Tape;
+    use rlscope_sim::cuda::{CudaContext, CudaCostConfig};
+    use rlscope_sim::gpu::GpuDevice;
+    use rlscope_sim::hooks::NativeLib;
+    use rlscope_sim::python::{PyCostConfig, PyRuntime};
+    use rlscope_sim::rng::SimRng;
+    use rlscope_sim::VirtualClock;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn quadratic_grads(params: &Params) -> (Tape<'static>, Gradients) {
+        // loss = mean((w - 3)^2), so optimum at w = 3.
+        let mut tape = Tape::new();
+        let w = tape.param(0, params.get(0).clone());
+        let t = tape.constant(Tensor::full(1, 4, 3.0));
+        let loss = tape.mse(w, t);
+        let g = tape.backward(loss);
+        (tape, g)
+    }
+
+    #[test]
+    fn sgd_moves_toward_target() {
+        let mut p = Params::new();
+        p.add("w", Tensor::full(1, 4, 0.0));
+        let mut opt = Sgd::new(0.5);
+        for _ in 0..50 {
+            let (_t, g) = quadratic_grads(&p);
+            opt.step(&mut p, &g, None);
+        }
+        assert!(p.get(0).data().iter().all(|w| (w - 3.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = Params::new();
+        p.add("w", Tensor::full(1, 4, 0.0));
+        let mut opt = Adam::new(0.2);
+        for _ in 0..200 {
+            let (_t, g) = quadratic_grads(&p);
+            opt.step(&mut p, &g, None);
+        }
+        assert!(p.get(0).data().iter().all(|w| (w - 3.0).abs() < 1e-2), "{:?}", p.get(0));
+    }
+
+    #[test]
+    fn adam_and_mpi_adam_compute_identical_updates() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut pa = Params::new();
+        let mlp = Mlp::new(&mut pa, &mut rng, "f", &[2, 4, 1], Activation::Tanh, Activation::Linear);
+        let mut pb = pa.clone();
+        let mut a = Adam::new(0.01);
+        let mut b = MpiAdam::new(0.01);
+        for _ in 0..5 {
+            let grads_of = |params: &Params| {
+                let mut tape = Tape::new();
+                let x = tape.constant(Tensor::from_vec(3, 2, vec![0.5; 6]));
+                let t = tape.constant(Tensor::from_vec(3, 1, vec![1.0; 3]));
+                let y = mlp.forward(&mut tape, params, x);
+                let loss = tape.mse(y, t);
+                tape.backward(loss)
+            };
+            let ga = grads_of(&pa);
+            let gb = grads_of(&pb);
+            a.step(&mut pa, &ga, None);
+            b.step(&mut pb, &gb, None);
+        }
+        assert_eq!(pa, pb);
+    }
+
+    fn executor() -> (Executor, Rc<RefCell<PyRuntime>>, Rc<RefCell<CudaContext>>) {
+        let clock = VirtualClock::new();
+        let py = Rc::new(RefCell::new(PyRuntime::new(clock.clone(), PyCostConfig::default())));
+        let cuda = Rc::new(RefCell::new(CudaContext::new(
+            clock,
+            GpuDevice::new(1),
+            CudaCostConfig::default(),
+        )));
+        let stream = cuda.borrow().default_stream();
+        let exec = Executor::new(
+            BackendKind::TensorFlow,
+            ExecModel::Graph,
+            py.clone(),
+            cuda.clone(),
+            OpCostModel::for_config(BackendKind::TensorFlow, ExecModel::Graph),
+            stream,
+        );
+        (exec, py, cuda)
+    }
+
+    #[test]
+    fn mpi_adam_round_trips_through_cpu() {
+        let (exec, py, cuda) = executor();
+        let mut p = Params::new();
+        p.add("w", Tensor::full(8, 8, 0.0));
+        let g = {
+            let mut tape = Tape::new();
+            let w = tape.param(0, p.get(0).clone());
+            let t = tape.constant(Tensor::full(8, 8, 1.0));
+            let loss = tape.mse(w, t);
+            tape.backward(loss)
+        };
+
+        let before = cuda.borrow().counts();
+        let tr_before = py.borrow().transition_count(NativeLib::Backend);
+        let mut opt = MpiAdam::new(0.01);
+        opt.step(&mut p, &g, Some(&exec));
+        let after = cuda.borrow().counts();
+        let tr_after = py.borrow().transition_count(NativeLib::Backend);
+
+        // Two D2H + one H2D copies, a sync, an assign kernel, and two extra
+        // backend transitions: the GPU-unfriendly signature of F.4.
+        assert_eq!(after.memcpys - before.memcpys, 3);
+        assert!(after.syncs > before.syncs);
+        assert!(after.launches > before.launches);
+        assert_eq!(tr_after - tr_before, 2);
+    }
+
+    #[test]
+    fn gpu_adam_stays_on_device() {
+        let (exec, _py, cuda) = executor();
+        let mut p = Params::new();
+        p.add("w", Tensor::full(8, 8, 0.0));
+        let g = {
+            let mut tape = Tape::new();
+            let w = tape.param(0, p.get(0).clone());
+            let t = tape.constant(Tensor::full(8, 8, 1.0));
+            let loss = tape.mse(w, t);
+            tape.backward(loss)
+        };
+        let before = cuda.borrow().counts();
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut p, &g, Some(&exec));
+        let after = cuda.borrow().counts();
+        assert_eq!(after.memcpys, before.memcpys);
+        assert_eq!(after.launches - before.launches, 3);
+    }
+
+    #[test]
+    fn optimizer_inside_graph_run_does_not_retransition() {
+        let (exec, py, _cuda) = executor();
+        let mut p = Params::new();
+        p.add("w", Tensor::full(2, 2, 0.0));
+        exec.run(RunKind::Backprop, |tape| {
+            let w = tape.param(0, p.get(0).clone());
+            let t = tape.constant(Tensor::full(2, 2, 1.0));
+            let loss = tape.mse(w, t);
+            let g = tape.backward(loss);
+            let mut opt = Adam::new(0.01);
+            opt.step(&mut p, &g, Some(&exec));
+        });
+        // Everything happened inside one session.run transition.
+        assert_eq!(py.borrow().transition_count(NativeLib::Backend), 1);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Sgd::new(0.1).name(), "sgd");
+        assert_eq!(Adam::new(0.1).name(), "adam");
+        assert_eq!(MpiAdam::new(0.1).name(), "mpi_adam");
+    }
+}

@@ -1,0 +1,644 @@
+//! Reverse-mode automatic differentiation on a tape.
+//!
+//! All execution models (Graph, Eager, Autograph) share this engine; what
+//! differs between them is *dispatch* — who pays which CPU costs, and how
+//! many Python↔backend transitions occur — which is charged through the
+//! [`OpSink`] the executor installs. The math itself is identical, exactly
+//! as TensorFlow Graph and Eager share kernels in the real stack.
+
+use crate::tensor::Tensor;
+use std::fmt;
+
+/// Identifies a value recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+/// Receives one callback per executed primitive op, with an estimated FLOP
+/// count — the executor uses this to charge backend CPU time and launch a
+/// GPU kernel on the virtual device.
+pub trait OpSink {
+    /// Called after each primitive op executes.
+    fn on_op(&self, name: &'static str, flops: f64);
+}
+
+/// Primitive operations the tape can record.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Leaf { param: Option<usize> },
+    MatMul,
+    AddBias,
+    Add,
+    Sub,
+    Mul,
+    Relu,
+    Tanh,
+    Sigmoid,
+    Exp,
+    Scale(f32),
+    AddScalar(f32),
+    Clamp(f32, f32),
+    Min,
+    Sum,
+    Mean,
+}
+
+impl Op {
+    fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf { .. } => "leaf",
+            Op::MatMul => "matmul",
+            Op::AddBias => "add_bias",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Relu => "relu",
+            Op::Tanh => "tanh",
+            Op::Sigmoid => "sigmoid",
+            Op::Exp => "exp",
+            Op::Scale(_) => "scale",
+            Op::AddScalar(_) => "add_scalar",
+            Op::Clamp(_, _) => "clamp",
+            Op::Min => "minimum",
+            Op::Sum => "reduce_sum",
+            Op::Mean => "reduce_mean",
+        }
+    }
+}
+
+struct Node {
+    op: Op,
+    inputs: Vec<VarId>,
+    value: Tensor,
+}
+
+/// A tape of executed ops, supporting reverse-mode gradients.
+///
+/// ```
+/// use rlscope_backend::tape::Tape;
+/// use rlscope_backend::tensor::Tensor;
+///
+/// let mut tape = Tape::new();
+/// let x = tape.param(0, Tensor::vector(vec![3.0]));
+/// let y = tape.mul(x, x); // y = x^2
+/// let grads = tape.backward(y);
+/// assert_eq!(grads.wrt(x).unwrap().data(), &[6.0]); // dy/dx = 2x
+/// ```
+pub struct Tape<'s> {
+    nodes: Vec<Node>,
+    sink: Option<&'s dyn OpSink>,
+}
+
+impl fmt::Debug for Tape<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tape").field("ops", &self.nodes.len()).finish()
+    }
+}
+
+/// Gradients produced by [`Tape::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+    params: Vec<(usize, usize)>, // (param store index, node index)
+}
+
+impl Gradients {
+    /// The gradient with respect to `v`, if any path reached it.
+    pub fn wrt(&self, v: VarId) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Iterates `(param_store_index, gradient)` for every parameter leaf
+    /// that received a gradient.
+    pub fn params(&self) -> impl Iterator<Item = (usize, &Tensor)> {
+        self.params
+            .iter()
+            .filter_map(move |&(pid, node)| self.grads[node].as_ref().map(|g| (pid, g)))
+    }
+}
+
+impl Default for Tape<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'s> Tape<'s> {
+    /// An unobserved tape (no cost accounting) — for tests and pure math.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new(), sink: None }
+    }
+
+    /// A tape whose ops are reported to `sink`.
+    pub fn with_sink(sink: &'s dyn OpSink) -> Self {
+        Tape { nodes: Vec::new(), sink: Some(sink) }
+    }
+
+    /// Number of recorded ops (including leaves).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The value of `v`.
+    pub fn value(&self, v: VarId) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Records a constant leaf (no gradient flows to it).
+    pub fn constant(&mut self, t: Tensor) -> VarId {
+        self.push(Op::Leaf { param: None }, vec![], t)
+    }
+
+    /// Records a parameter leaf tagged with its parameter-store index, so
+    /// that [`Gradients::params`] can route gradients back to the optimizer.
+    pub fn param(&mut self, store_index: usize, t: Tensor) -> VarId {
+        self.push(Op::Leaf { param: Some(store_index) }, vec![], t)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let flops = 2.0
+            * self.nodes[a.0].value.rows() as f64
+            * self.nodes[a.0].value.cols() as f64
+            * self.nodes[b.0].value.cols() as f64;
+        self.charged(Op::MatMul, vec![a, b], v, flops)
+    }
+
+    /// Adds a row-vector bias to every row of `x`.
+    pub fn add_bias(&mut self, x: VarId, bias: VarId) -> VarId {
+        let v = self.nodes[x.0].value.add_row_broadcast(&self.nodes[bias.0].value);
+        let flops = v.len() as f64;
+        self.charged(Op::AddBias, vec![x, bias], v, flops)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let flops = v.len() as f64;
+        self.charged(Op::Add, vec![a, b], v, flops)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let flops = v.len() as f64;
+        self.charged(Op::Sub, vec![a, b], v, flops)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let flops = v.len() as f64;
+        self.charged(Op::Mul, vec![a, b], v, flops)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: VarId) -> VarId {
+        let v = self.nodes[x.0].value.map(|a| a.max(0.0));
+        let flops = v.len() as f64;
+        self.charged(Op::Relu, vec![x], v, flops)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: VarId) -> VarId {
+        let v = self.nodes[x.0].value.map(f32::tanh);
+        let flops = 4.0 * v.len() as f64;
+        self.charged(Op::Tanh, vec![x], v, flops)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: VarId) -> VarId {
+        let v = self.nodes[x.0].value.map(|a| 1.0 / (1.0 + (-a).exp()));
+        let flops = 4.0 * v.len() as f64;
+        self.charged(Op::Sigmoid, vec![x], v, flops)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, x: VarId) -> VarId {
+        let v = self.nodes[x.0].value.map(f32::exp);
+        let flops = 4.0 * v.len() as f64;
+        self.charged(Op::Exp, vec![x], v, flops)
+    }
+
+    /// Multiplication by a compile-time scalar.
+    pub fn scale(&mut self, x: VarId, k: f32) -> VarId {
+        let v = self.nodes[x.0].value.map(|a| a * k);
+        let flops = v.len() as f64;
+        self.charged(Op::Scale(k), vec![x], v, flops)
+    }
+
+    /// Addition of a compile-time scalar.
+    pub fn add_scalar(&mut self, x: VarId, k: f32) -> VarId {
+        let v = self.nodes[x.0].value.map(|a| a + k);
+        let flops = v.len() as f64;
+        self.charged(Op::AddScalar(k), vec![x], v, flops)
+    }
+
+    /// Elementwise clamp into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(&mut self, x: VarId, lo: f32, hi: f32) -> VarId {
+        assert!(lo <= hi, "clamp lo {lo} > hi {hi}");
+        let v = self.nodes[x.0].value.map(|a| a.clamp(lo, hi));
+        let flops = v.len() as f64;
+        self.charged(Op::Clamp(lo, hi), vec![x], v, flops)
+    }
+
+    /// Elementwise minimum of two tensors (PPO's clipped objective).
+    pub fn minimum(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, f32::min);
+        let flops = v.len() as f64;
+        self.charged(Op::Min, vec![a, b], v, flops)
+    }
+
+    /// Sum of all elements, as a scalar.
+    pub fn sum(&mut self, x: VarId) -> VarId {
+        let v = Tensor::scalar(self.nodes[x.0].value.sum());
+        let flops = self.nodes[x.0].value.len() as f64;
+        self.charged(Op::Sum, vec![x], v, flops)
+    }
+
+    /// Mean of all elements, as a scalar.
+    pub fn mean(&mut self, x: VarId) -> VarId {
+        let v = Tensor::scalar(self.nodes[x.0].value.mean());
+        let flops = self.nodes[x.0].value.len() as f64;
+        self.charged(Op::Mean, vec![x], v, flops)
+    }
+
+    /// Convenience: mean squared error between `pred` and `target`.
+    pub fn mse(&mut self, pred: VarId, target: VarId) -> VarId {
+        let d = self.sub(pred, target);
+        let sq = self.mul(d, d);
+        self.mean(sq)
+    }
+
+    /// Runs reverse-mode differentiation from scalar `loss`.
+    ///
+    /// Charges one backward op per forward op on the path (real frameworks
+    /// launch distinct gradient kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar.
+    pub fn backward(&mut self, loss: VarId) -> Gradients {
+        assert_eq!(self.nodes[loss.0].value.len(), 1, "backward from non-scalar");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(gout) = grads[i].clone() else { continue };
+            let (op, inputs) = (self.nodes[i].op.clone(), self.nodes[i].inputs.clone());
+            if matches!(op, Op::Leaf { .. }) {
+                continue;
+            }
+            self.report(grad_name(&op), self.nodes[i].value.len() as f64 * 2.0);
+            match op {
+                Op::Leaf { .. } => {}
+                Op::MatMul => {
+                    let a = self.nodes[inputs[0].0].value.clone();
+                    let b = self.nodes[inputs[1].0].value.clone();
+                    let da = gout.matmul(&b.transpose());
+                    let db = a.transpose().matmul(&gout);
+                    accumulate(&mut grads, inputs[0], da);
+                    accumulate(&mut grads, inputs[1], db);
+                }
+                Op::AddBias => {
+                    accumulate(&mut grads, inputs[0], gout.clone());
+                    accumulate(&mut grads, inputs[1], gout.sum_rows());
+                }
+                Op::Add => {
+                    accumulate(&mut grads, inputs[0], gout.clone());
+                    accumulate(&mut grads, inputs[1], gout);
+                }
+                Op::Sub => {
+                    accumulate(&mut grads, inputs[0], gout.clone());
+                    accumulate(&mut grads, inputs[1], gout.map(|v| -v));
+                }
+                Op::Mul => {
+                    let a = self.nodes[inputs[0].0].value.clone();
+                    let b = self.nodes[inputs[1].0].value.clone();
+                    accumulate(&mut grads, inputs[0], gout.zip(&b, |g, y| g * y));
+                    accumulate(&mut grads, inputs[1], gout.zip(&a, |g, x| g * x));
+                }
+                Op::Relu => {
+                    let x = &self.nodes[inputs[0].0].value;
+                    let g = gout.zip(x, |g, x| if x > 0.0 { g } else { 0.0 });
+                    accumulate(&mut grads, inputs[0], g);
+                }
+                Op::Tanh => {
+                    let y = &self.nodes[i].value;
+                    let g = gout.zip(y, |g, y| g * (1.0 - y * y));
+                    accumulate(&mut grads, inputs[0], g);
+                }
+                Op::Sigmoid => {
+                    let y = &self.nodes[i].value;
+                    let g = gout.zip(y, |g, y| g * y * (1.0 - y));
+                    accumulate(&mut grads, inputs[0], g);
+                }
+                Op::Exp => {
+                    let y = &self.nodes[i].value;
+                    let g = gout.zip(y, |g, y| g * y);
+                    accumulate(&mut grads, inputs[0], g);
+                }
+                Op::Scale(k) => {
+                    accumulate(&mut grads, inputs[0], gout.map(|g| g * k));
+                }
+                Op::AddScalar(_) => {
+                    accumulate(&mut grads, inputs[0], gout);
+                }
+                Op::Clamp(lo, hi) => {
+                    let x = &self.nodes[inputs[0].0].value;
+                    let g = gout.zip(x, |g, x| if x > lo && x < hi { g } else { 0.0 });
+                    accumulate(&mut grads, inputs[0], g);
+                }
+                Op::Min => {
+                    let a = self.nodes[inputs[0].0].value.clone();
+                    let b = self.nodes[inputs[1].0].value.clone();
+                    // Subgradient: route to the smaller input (ties to `a`).
+                    let ga = gout.zip(&a.zip(&b, |x, y| if x <= y { 1.0 } else { 0.0 }), |g, m| g * m);
+                    let gb = gout.zip(&a.zip(&b, |x, y| if x > y { 1.0 } else { 0.0 }), |g, m| g * m);
+                    accumulate(&mut grads, inputs[0], ga);
+                    accumulate(&mut grads, inputs[1], gb);
+                }
+                Op::Sum => {
+                    let x = &self.nodes[inputs[0].0].value;
+                    let g = Tensor::full(x.rows(), x.cols(), gout.item());
+                    accumulate(&mut grads, inputs[0], g);
+                }
+                Op::Mean => {
+                    let x = &self.nodes[inputs[0].0].value;
+                    let g = Tensor::full(x.rows(), x.cols(), gout.item() / x.len() as f32);
+                    accumulate(&mut grads, inputs[0], g);
+                }
+            }
+        }
+
+        let params = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n.op {
+                Op::Leaf { param: Some(p) } => Some((p, i)),
+                _ => None,
+            })
+            .collect();
+        Gradients { grads, params }
+    }
+
+    fn push(&mut self, op: Op, inputs: Vec<VarId>, value: Tensor) -> VarId {
+        self.nodes.push(Node { op, inputs, value });
+        VarId(self.nodes.len() - 1)
+    }
+
+    fn charged(&mut self, op: Op, inputs: Vec<VarId>, value: Tensor, flops: f64) -> VarId {
+        self.report(op.name(), flops);
+        self.push(op, inputs, value)
+    }
+
+    fn report(&self, name: &'static str, flops: f64) {
+        if let Some(s) = self.sink {
+            s.on_op(name, flops);
+        }
+    }
+}
+
+fn grad_name(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf { .. } => "leaf",
+        Op::MatMul => "grad_matmul",
+        Op::AddBias => "grad_add_bias",
+        Op::Add => "grad_add",
+        Op::Sub => "grad_sub",
+        Op::Mul => "grad_mul",
+        Op::Relu => "grad_relu",
+        Op::Tanh => "grad_tanh",
+        Op::Sigmoid => "grad_sigmoid",
+        Op::Exp => "grad_exp",
+        Op::Scale(_) => "grad_scale",
+        Op::AddScalar(_) => "grad_add_scalar",
+        Op::Clamp(_, _) => "grad_clamp",
+        Op::Min => "grad_minimum",
+        Op::Sum => "grad_reduce_sum",
+        Op::Mean => "grad_reduce_mean",
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], v: VarId, g: Tensor) {
+    match &mut grads[v.0] {
+        Some(existing) => *existing = existing.zip(&g, |a, b| a + b),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn square_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.param(0, Tensor::vector(vec![3.0]));
+        let y = tape.mul(x, x);
+        let g = tape.backward(y);
+        assert_eq!(g.wrt(x).unwrap().data(), &[6.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_match_formula() {
+        let mut tape = Tape::new();
+        let a = tape.param(0, Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = tape.param(1, Tensor::from_vec(2, 1, vec![3.0, 4.0]));
+        let y = tape.matmul(a, b); // scalar 11
+        assert_eq!(tape.value(y).item(), 11.0);
+        let g = tape.backward(y);
+        assert_eq!(g.wrt(a).unwrap().data(), &[3.0, 4.0]);
+        assert_eq!(g.wrt(b).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // y = x*x + x  =>  dy/dx = 2x + 1
+        let mut tape = Tape::new();
+        let x = tape.param(0, Tensor::vector(vec![5.0]));
+        let sq = tape.mul(x, x);
+        let y = tape.add(sq, x);
+        let g = tape.backward(y);
+        assert_eq!(g.wrt(x).unwrap().data(), &[11.0]);
+    }
+
+    #[test]
+    fn constants_receive_no_param_grads() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::vector(vec![2.0]));
+        let y = tape.mul(x, x);
+        let g = tape.backward(y);
+        assert_eq!(g.params().count(), 0);
+        // Gradient still computed wrt the var itself.
+        assert_eq!(g.wrt(x).unwrap().data(), &[4.0]);
+    }
+
+    #[test]
+    fn mse_gradient() {
+        let mut tape = Tape::new();
+        let p = tape.param(0, Tensor::vector(vec![2.0, 4.0]));
+        let t = tape.constant(Tensor::vector(vec![1.0, 1.0]));
+        let loss = tape.mse(p, t);
+        assert!((tape.value(loss).item() - 5.0).abs() < 1e-6); // (1 + 9)/2
+        let g = tape.backward(loss);
+        // d/dp mean((p-t)^2) = 2(p-t)/n
+        assert_eq!(g.wrt(p).unwrap().data(), &[1.0, 3.0]);
+    }
+
+    /// Finite-difference validation of a two-layer network's gradients.
+    #[test]
+    fn finite_difference_agreement() {
+        let w1v = Tensor::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]);
+        let b1v = Tensor::vector(vec![0.01, -0.02, 0.03]);
+        let w2v = Tensor::from_vec(3, 1, vec![0.7, -0.8, 0.9]);
+        let xv = Tensor::from_vec(2, 2, vec![1.0, 2.0, -1.0, 0.5]);
+        let tv = Tensor::from_vec(2, 1, vec![0.3, -0.3]);
+
+        let loss_fn = |w1: &Tensor, b1: &Tensor, w2: &Tensor| -> f32 {
+            let mut tape = Tape::new();
+            let x = tape.constant(xv.clone());
+            let w1 = tape.param(0, w1.clone());
+            let b1 = tape.param(1, b1.clone());
+            let w2 = tape.param(2, w2.clone());
+            let t = tape.constant(tv.clone());
+            let h = tape.matmul(x, w1);
+            let h = tape.add_bias(h, b1);
+            let h = tape.tanh(h);
+            let y = tape.matmul(h, w2);
+            let loss = tape.mse(y, t);
+            tape.value(loss).item()
+        };
+
+        // Analytic grads.
+        let mut tape = Tape::new();
+        let x = tape.constant(xv.clone());
+        let w1 = tape.param(0, w1v.clone());
+        let b1 = tape.param(1, b1v.clone());
+        let w2 = tape.param(2, w2v.clone());
+        let t = tape.constant(tv.clone());
+        let h = tape.matmul(x, w1);
+        let h = tape.add_bias(h, b1);
+        let h = tape.tanh(h);
+        let y = tape.matmul(h, w2);
+        let loss = tape.mse(y, t);
+        let g = tape.backward(loss);
+
+        let eps = 1e-3f32;
+        // Check a few coordinates of each parameter.
+        for (pid, tensor) in [(0usize, &w1v), (1, &b1v), (2, &w2v)] {
+            let analytic = match pid {
+                0 => g.wrt(w1).unwrap(),
+                1 => g.wrt(b1).unwrap(),
+                _ => g.wrt(w2).unwrap(),
+            };
+            for idx in 0..tensor.len().min(4) {
+                let mut plus = tensor.clone();
+                plus.data_mut()[idx] += eps;
+                let mut minus = tensor.clone();
+                minus.data_mut()[idx] -= eps;
+                let (lp, lm) = match pid {
+                    0 => (loss_fn(&plus, &b1v, &w2v), loss_fn(&minus, &b1v, &w2v)),
+                    1 => (loss_fn(&w1v, &plus, &w2v), loss_fn(&w1v, &minus, &w2v)),
+                    _ => (loss_fn(&w1v, &b1v, &plus), loss_fn(&w1v, &b1v, &minus)),
+                };
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic.data()[idx];
+                assert!(
+                    (numeric - a).abs() < 2e-2 * (1.0 + a.abs()),
+                    "param {pid}[{idx}]: numeric {numeric} vs analytic {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_blocks_gradient_outside_range() {
+        let mut tape = Tape::new();
+        let x = tape.param(0, Tensor::vector(vec![-2.0, 0.5, 2.0]));
+        let y = tape.clamp(x, -1.0, 1.0);
+        let s = tape.sum(y);
+        let g = tape.backward(s);
+        assert_eq!(g.wrt(x).unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn exp_and_sigmoid_grads() {
+        let mut tape = Tape::new();
+        let x = tape.param(0, Tensor::vector(vec![0.0]));
+        let e = tape.exp(x);
+        let s = tape.sum(e);
+        let g = tape.backward(s);
+        assert_eq!(g.wrt(x).unwrap().data(), &[1.0]);
+
+        let mut tape = Tape::new();
+        let x = tape.param(0, Tensor::vector(vec![0.0]));
+        let y = tape.sigmoid(x);
+        let s = tape.sum(y);
+        let g = tape.backward(s);
+        assert!((g.wrt(x).unwrap().data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimum_routes_gradient_to_smaller_side() {
+        let mut tape = Tape::new();
+        let a = tape.param(0, Tensor::vector(vec![1.0, 5.0]));
+        let b = tape.param(1, Tensor::vector(vec![2.0, 3.0]));
+        let m = tape.minimum(a, b);
+        assert_eq!(tape.value(m).data(), &[1.0, 3.0]);
+        let s = tape.sum(m);
+        let g = tape.backward(s);
+        assert_eq!(g.wrt(a).unwrap().data(), &[1.0, 0.0]);
+        assert_eq!(g.wrt(b).unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-scalar")]
+    fn backward_from_matrix_panics() {
+        let mut tape = Tape::new();
+        let x = tape.param(0, Tensor::zeros(2, 2));
+        tape.backward(x);
+    }
+
+    struct Counter(RefCell<Vec<&'static str>>);
+    impl OpSink for Counter {
+        fn on_op(&self, name: &'static str, _flops: f64) {
+            self.0.borrow_mut().push(name);
+        }
+    }
+
+    #[test]
+    fn sink_sees_forward_and_backward_ops() {
+        let counter = Counter(RefCell::new(Vec::new()));
+        let mut tape = Tape::with_sink(&counter);
+        let x = tape.param(0, Tensor::vector(vec![1.0]));
+        let y = tape.mul(x, x);
+        let _ = tape.backward(y);
+        let seen = counter.0.borrow();
+        assert_eq!(seen.as_slice(), &["mul", "grad_mul"]);
+    }
+
+    #[test]
+    fn params_iterator_routes_store_indices() {
+        let mut tape = Tape::new();
+        let a = tape.param(7, Tensor::vector(vec![1.0]));
+        let b = tape.param(9, Tensor::vector(vec![2.0]));
+        let y = tape.mul(a, b);
+        let g = tape.backward(y);
+        let mut got: Vec<(usize, f32)> =
+            g.params().map(|(pid, t)| (pid, t.data()[0])).collect();
+        got.sort_by_key(|&(pid, _)| pid);
+        assert_eq!(got, vec![(7, 2.0), (9, 1.0)]);
+    }
+}

@@ -1,0 +1,394 @@
+//! Dense f32 tensors and the math kernels the backend executes.
+//!
+//! The numerics are real — matrix multiplies, elementwise transforms,
+//! reductions — so the RL algorithms built on top genuinely learn. Virtual
+//! time is charged separately by the executor ([`crate::exec`]); this module
+//! is pure math.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major f32 tensor of rank 1 or 2.
+///
+/// Rank-1 tensors are represented as `[1, n]` row vectors internally; shape
+/// queries preserve the distinction via [`Tensor::rank`].
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    rank: u8,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:?}, ...]", &self.data[..4])
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a `rows × cols` tensor from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape {rows}x{cols} != data len {}", data.len());
+        Tensor { rows, cols, rank: 2, data }
+    }
+
+    /// Creates a rank-1 tensor (a vector) from data.
+    pub fn vector(data: Vec<f32>) -> Self {
+        Tensor { rows: 1, cols: data.len(), rank: 1, data }
+    }
+
+    /// A scalar tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor { rows: 1, cols: 1, rank: 1, data: vec![v] }
+    }
+
+    /// A `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, rank: 2, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows × cols` tensor filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Tensor { rows, cols, rank: 2, data: vec![v; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Logical rank (1 or 2).
+    pub fn rank(&self) -> u8 {
+        self.rank
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes occupied by the element data (for memcpy modelling).
+    pub fn byte_size(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// The underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// The single element of a scalar tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 1×1.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on non-scalar {}x{}", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Matrix product `self @ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul {}x{} @ {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(m, n, out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.data.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        Tensor::from_vec(self.cols, self.rows, out)
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            rank: self.rank,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise combine with another tensor of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        self.assert_same_shape(rhs, "zip");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            rank: self.rank,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Adds a row vector `bias` to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.len(), self.cols, "bias len {} != cols {}", bias.len(), self.cols);
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += bias.data[c];
+            }
+        }
+        out
+    }
+
+    /// Column sums collapsed to a row vector (gradient of row broadcast).
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c] += self.data[r * self.cols + c];
+            }
+        }
+        Tensor::vector(out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Index of the maximum element of a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    /// A view of row `r` as a new rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> Tensor {
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        Tensor::vector(self.data[r * self.cols..(r + 1) * self.cols].to_vec())
+    }
+
+    /// Stacks rank-1 rows into a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or `rows` is empty.
+    pub fn stack_rows(rows: &[Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "stack_rows of nothing");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged stack_rows");
+            data.extend_from_slice(r.data());
+        }
+        Tensor::from_vec(rows.len(), cols, data)
+    }
+
+    /// Concatenates two tensors with equal row counts along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn concat_cols(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rows, rhs.rows, "concat_cols rows {} != {}", self.rows, rhs.rows);
+        let cols = self.cols + rhs.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.data[r * self.cols..(r + 1) * self.cols]);
+            data.extend_from_slice(&rhs.data[r * rhs.cols..(r + 1) * rhs.cols]);
+        }
+        Tensor::from_vec(self.rows, cols, data)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    fn assert_same_shape(&self, rhs: &Tensor, what: &str) {
+        assert!(
+            self.rows == rhs.rows && self.cols == rhs.cols,
+            "{what}: shape {}x{} vs {}x{}",
+            self.rows,
+            self.cols,
+            rhs.rows,
+            rhs.cols
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(data: [[f32; 2]; 2]) -> Tensor {
+        Tensor::from_vec(2, 2, data.concat())
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at(2, 1), 6.0);
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_adjoint_shapes() {
+        let x = t2([[1., 2.], [3., 4.]]);
+        let b = Tensor::vector(vec![10., 20.]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.data(), &[11., 22., 13., 24.]);
+        assert_eq!(y.sum_rows().data(), &[24., 46.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let x = t2([[1., 2.], [3., 4.]]);
+        assert_eq!(x.sum(), 10.0);
+        assert_eq!(x.mean(), 2.5);
+        assert_eq!(x.argmax(), 3);
+        assert!((x.norm() - 30.0_f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stack_and_row_round_trip() {
+        let rows = vec![Tensor::vector(vec![1., 2.]), Tensor::vector(vec![3., 4.])];
+        let m = Tensor::stack_rows(&rows);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1).data(), &[3., 4.]);
+    }
+
+    #[test]
+    fn concat_cols_interleaves_rows() {
+        let a = t2([[1., 2.], [3., 4.]]);
+        let b = Tensor::from_vec(2, 1, vec![9., 8.]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.data(), &[1., 2., 9., 3., 4., 8.]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(5.0).item(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-scalar")]
+    fn item_on_matrix_panics() {
+        Tensor::zeros(2, 2).item();
+    }
+
+    #[test]
+    fn map_zip() {
+        let x = t2([[1., -2.], [0., 3.]]);
+        assert_eq!(x.map(|v| v.max(0.0)).data(), &[1., 0., 0., 3.]);
+        let y = x.zip(&x, |a, b| a + b);
+        assert_eq!(y.data(), &[2., -4., 0., 6.]);
+    }
+
+    #[test]
+    fn byte_size_counts_f32s() {
+        assert_eq!(Tensor::zeros(4, 4).byte_size(), 64);
+    }
+}

@@ -1,0 +1,45 @@
+//! End-to-end experiment benches: one per paper table/figure family, at
+//! reduced step counts so `cargo bench` completes quickly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlscope_bench::{
+    render_c4, render_fig11, render_fig4_breakdown, render_fig5, render_fig7, render_fig8,
+    render_fig9_10, render_table1,
+};
+use rlscope_rl::AlgoKind;
+use rlscope_workloads::MinigoConfig;
+
+const BENCH_STEPS: usize = 60;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("table1", |b| b.iter(render_table1));
+    group.bench_function("fig4a_td3_frameworks", |b| {
+        b.iter(|| render_fig4_breakdown(AlgoKind::Td3, BENCH_STEPS))
+    });
+    group.bench_function("fig4b_ddpg_frameworks", |b| {
+        b.iter(|| render_fig4_breakdown(AlgoKind::Ddpg, BENCH_STEPS))
+    });
+    group.bench_function("fig5_algorithms", |b| b.iter(|| render_fig5(BENCH_STEPS)));
+    group.bench_function("fig7_simulators", |b| b.iter(|| render_fig7(BENCH_STEPS)));
+    group.bench_function("fig8_minigo", |b| {
+        let cfg = MinigoConfig {
+            workers: 2,
+            board: 5,
+            max_moves: 10,
+            sims_per_move: 4,
+            ..MinigoConfig::default()
+        };
+        b.iter(|| render_fig8(&cfg))
+    });
+    group.bench_function("fig9_10_calibration", |b| b.iter(|| render_fig9_10(BENCH_STEPS)));
+    group.bench_function("fig11_correction", |b| b.iter(|| render_fig11(BENCH_STEPS)));
+    group.bench_function("c4_ablation", |b| b.iter(|| render_c4(BENCH_STEPS)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

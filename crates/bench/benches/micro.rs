@@ -1,0 +1,92 @@
+//! Microbenchmarks of the profiler's hot paths: the overlap sweep, trace
+//! encode/decode, tensor math, and GPU stream scheduling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rlscope_core::event::{CpuCategory, Event, EventKind, GpuCategory};
+use rlscope_core::overlap::compute_overlap;
+use rlscope_core::store::{decode_events, encode_events};
+use rlscope_sim::gpu::{GpuDevice, KernelDesc};
+use rlscope_sim::ids::{ProcessId, StreamId};
+use rlscope_sim::time::{DurationNs, TimeNs};
+
+fn synthetic_events(n: usize) -> Vec<Event> {
+    let mut events = Vec::with_capacity(n);
+    // One operation spanning everything plus interleaved CPU/GPU events.
+    events.push(Event::new(
+        ProcessId(0),
+        EventKind::Operation,
+        "train",
+        TimeNs::ZERO,
+        TimeNs::from_micros(n as u64 * 10),
+    ));
+    for i in 0..n {
+        let t = i as u64 * 10;
+        let kind = match i % 4 {
+            0 => EventKind::Cpu(CpuCategory::Python),
+            1 => EventKind::Cpu(CpuCategory::Backend),
+            2 => EventKind::Cpu(CpuCategory::CudaApi),
+            _ => EventKind::Gpu(GpuCategory::Kernel),
+        };
+        events.push(Event::new(
+            ProcessId(0),
+            kind,
+            "e",
+            TimeNs::from_micros(t),
+            TimeNs::from_micros(t + 8),
+        ));
+    }
+    events
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap_sweep");
+    for n in [1_000usize, 10_000] {
+        let events = synthetic_events(n);
+        group.bench_function(format!("{n}_events"), |b| {
+            b.iter(|| compute_overlap(std::hint::black_box(&events)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_codec(c: &mut Criterion) {
+    let events = synthetic_events(10_000);
+    c.bench_function("trace_encode_10k", |b| {
+        b.iter(|| encode_events(std::hint::black_box(&events)))
+    });
+    let encoded = encode_events(&events);
+    c.bench_function("trace_decode_10k", |b| {
+        b.iter(|| decode_events(std::hint::black_box(&encoded)).unwrap())
+    });
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    use rlscope_backend::Tensor;
+    let a = Tensor::full(64, 64, 0.5);
+    let bm = Tensor::full(64, 64, 0.25);
+    c.bench_function("matmul_64x64", |b| {
+        b.iter(|| std::hint::black_box(&a).matmul(std::hint::black_box(&bm)))
+    });
+}
+
+fn bench_gpu_scheduler(c: &mut Criterion) {
+    c.bench_function("gpu_enqueue_10k_kernels", |b| {
+        b.iter_batched(
+            || GpuDevice::new(4),
+            |mut gpu| {
+                for i in 0..10_000u64 {
+                    gpu.enqueue_kernel(
+                        StreamId((i % 4) as u32),
+                        &KernelDesc::new("k", DurationNs::from_micros(2)),
+                        TimeNs::from_nanos(i * 500),
+                    );
+                }
+                gpu
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_overlap, bench_trace_codec, bench_tensor, bench_gpu_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! `repro` — regenerates every table and figure of the RL-Scope paper.
+//!
+//! ```text
+//! repro [--experiment <id>] [--steps N]
+//!   ids: table1 fig4a fig4b fig4c fig4d fig5 fig7 fig8 fig9 fig10 fig11a fig11b c4 all
+//! ```
+
+use rlscope_bench::*;
+use rlscope_rl::AlgoKind;
+use rlscope_workloads::MinigoConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut experiment = "all".to_string();
+    let mut steps = DEFAULT_STEPS;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" | "-e" => {
+                experiment = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--experiment requires a value");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--steps" | "-s" => {
+                steps = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--steps requires a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [--experiment table1|fig4a|fig4b|fig4c|fig4d|fig5|fig7|fig8|fig9|fig10|fig11a|fig11b|c4|all] [--steps N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let want = |id: &str| experiment == "all" || experiment == id;
+
+    if want("table1") {
+        println!("{}", render_table1());
+    }
+    if want("fig4a") || want("fig4c") {
+        let (text, runs) = render_fig4_breakdown(AlgoKind::Td3, steps);
+        if want("fig4a") {
+            println!("{text}");
+        }
+        if want("fig4c") {
+            println!("{}", render_fig4_transitions(&runs, AlgoKind::Td3));
+        }
+    }
+    if want("fig4b") || want("fig4d") {
+        let (text, runs) = render_fig4_breakdown(AlgoKind::Ddpg, steps);
+        if want("fig4b") {
+            println!("{text}");
+        }
+        if want("fig4d") {
+            println!("{}", render_fig4_transitions(&runs, AlgoKind::Ddpg));
+        }
+    }
+    if want("fig5") {
+        println!("{}", render_fig5(steps).0);
+    }
+    if want("fig7") {
+        println!("{}", render_fig7(steps).0);
+    }
+    if want("fig8") {
+        println!("{}", render_fig8(&MinigoConfig::default()));
+    }
+    if want("fig9") || want("fig10") {
+        println!("{}", render_fig9_10(steps));
+    }
+    if want("fig11a") || want("fig11b") {
+        println!("{}", render_fig11(steps));
+    }
+    if want("c4") {
+        println!("{}", render_c4(steps));
+    }
+}

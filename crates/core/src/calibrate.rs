@@ -1,0 +1,266 @@
+//! Profiling calibration: delta calibration and difference-of-average
+//! calibration (paper §3.4, Appendices C.1–C.2).
+//!
+//! RL-Scope runs the training workload several times with individual
+//! book-keeping code paths toggled, and derives the *average cost of one
+//! book-keeping occurrence* of each type:
+//!
+//! * **Delta calibration** — for type-uniform overheads (annotations,
+//!   Python↔C interception, CUDA API interception):
+//!   `mean = (T_enabled − T_disabled) / occurrences`.
+//! * **Difference-of-average calibration** — for the closed-source CUPTI
+//!   inflation, which differs per CUDA API and cannot be toggled per API:
+//!   `infl(api) = mean_duration(api | CUPTI on) − mean_duration(api | off)`.
+//!
+//! Calibration needs to run the workload; this module only encodes the
+//! math plus the [`calibrate`] driver, which takes a closure that executes
+//! one run under a given [`Toggles`] configuration and reports
+//! [`RunStats`]. The workload crate supplies the closure.
+
+use crate::event::BookkeepingCounts;
+use crate::profiler::Toggles;
+use crate::trace::Trace;
+use rlscope_sim::cuda::CudaApiKind;
+use rlscope_sim::time::DurationNs;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of one calibration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total training time of the run.
+    pub total: DurationNs,
+    /// Book-keeping occurrence counts.
+    pub counts: BookkeepingCounts,
+    /// Per-CUDA-API `(count, total duration)`.
+    pub api_stats: Vec<(CudaApiKind, (u64, DurationNs))>,
+}
+
+impl RunStats {
+    /// Extracts run statistics from a finalized trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        RunStats {
+            total: trace.wall_time(),
+            counts: trace.counts,
+            api_stats: trace.api_stats.clone(),
+        }
+    }
+
+    /// Mean CPU duration of one CUDA API in this run.
+    pub fn api_mean(&self, api: CudaApiKind) -> Option<DurationNs> {
+        self.api_stats.iter().find(|(a, _)| *a == api).and_then(|(_, (n, total))| {
+            (*n > 0).then(|| *total / *n)
+        })
+    }
+}
+
+/// The calibrated mean cost of each book-keeping type.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Mean cost per operation annotation (both edges).
+    pub annotation_mean: DurationNs,
+    /// Mean cost per Python↔C transition (both sides).
+    pub py_interception_mean: DurationNs,
+    /// Mean cost per intercepted CUDA API call.
+    pub cuda_interception_mean: DurationNs,
+    /// CUPTI-internal inflation per CUDA API kind.
+    pub cupti_means: Vec<(CudaApiKind, DurationNs)>,
+}
+
+impl Calibration {
+    /// CUPTI inflation for one API (zero if never measured).
+    pub fn cupti_mean(&self, api: CudaApiKind) -> DurationNs {
+        self.cupti_means
+            .iter()
+            .find(|(a, _)| *a == api)
+            .map(|(_, d)| *d)
+            .unwrap_or(DurationNs::ZERO)
+    }
+
+    /// Count-weighted average CUPTI inflation across the API mix of
+    /// `api_stats` (used when per-operation API mixes are unknown).
+    pub fn cupti_weighted_mean(&self, api_stats: &[(CudaApiKind, (u64, DurationNs))]) -> DurationNs {
+        let total_calls: u64 = api_stats.iter().map(|(_, (n, _))| n).sum();
+        if total_calls == 0 {
+            return DurationNs::ZERO;
+        }
+        let weighted: u64 = api_stats
+            .iter()
+            .map(|(api, (n, _))| self.cupti_mean(*api).as_nanos() * n)
+            .sum();
+        DurationNs::from_nanos(weighted / total_calls)
+    }
+}
+
+/// Delta calibration: `(T_on − T_off) / count`, zero when `count == 0` or
+/// the instrumented run was not slower.
+pub fn delta_mean(t_on: DurationNs, t_off: DurationNs, count: u64) -> DurationNs {
+    if count == 0 || t_on <= t_off {
+        DurationNs::ZERO
+    } else {
+        (t_on - t_off) / count
+    }
+}
+
+/// Difference of per-API average durations between a CUPTI-on and a
+/// CUPTI-off run (both with API interception enabled so durations are
+/// observable).
+pub fn diff_of_average(with_cupti: &RunStats, without_cupti: &RunStats) -> Vec<(CudaApiKind, DurationNs)> {
+    CudaApiKind::ALL
+        .iter()
+        .filter_map(|&api| {
+            let on = with_cupti.api_mean(api)?;
+            let off = without_cupti.api_mean(api)?;
+            Some((api, on.saturating_sub(off)))
+        })
+        .collect()
+}
+
+/// Runs the full calibration protocol: five runs of the workload under
+/// different toggle configurations (paper: "this calibration only needs to
+/// be done once per workload and can be reused").
+///
+/// The closure must execute an identical, deterministic workload each time
+/// (same seed), differing only in the toggles applied.
+pub fn calibrate(run: &mut dyn FnMut(Toggles) -> RunStats) -> Calibration {
+    let base = run(Toggles::none());
+    let ann = run(Toggles { annotations: true, ..Toggles::none() });
+    let py = run(Toggles { py_interception: true, ..Toggles::none() });
+    let api = run(Toggles { cuda_interception: true, ..Toggles::none() });
+    let cupti = run(Toggles { cuda_interception: true, cupti: true, ..Toggles::none() });
+
+    Calibration {
+        annotation_mean: delta_mean(ann.total, base.total, ann.counts.annotations),
+        py_interception_mean: delta_mean(py.total, base.total, py.counts.total_transitions()),
+        cuda_interception_mean: delta_mean(api.total, base.total, api.counts.cuda_api_calls),
+        cupti_means: diff_of_average(&cupti, &api),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_mean_divides() {
+        assert_eq!(
+            delta_mean(DurationNs::from_micros(130), DurationNs::from_micros(100), 10),
+            DurationNs::from_micros(3)
+        );
+    }
+
+    #[test]
+    fn delta_mean_zero_cases() {
+        assert_eq!(delta_mean(DurationNs::from_micros(10), DurationNs::from_micros(10), 5), DurationNs::ZERO);
+        assert_eq!(delta_mean(DurationNs::from_micros(5), DurationNs::from_micros(10), 5), DurationNs::ZERO);
+        assert_eq!(delta_mean(DurationNs::from_micros(20), DurationNs::from_micros(10), 0), DurationNs::ZERO);
+    }
+
+    fn stats(api_means_us: &[(CudaApiKind, u64, u64)]) -> RunStats {
+        RunStats {
+            total: DurationNs::from_micros(1_000),
+            counts: BookkeepingCounts::default(),
+            api_stats: api_means_us
+                .iter()
+                .map(|&(api, n, mean_us)| (api, (n, DurationNs::from_micros(mean_us * n))))
+                .collect(),
+        }
+    }
+
+    /// Reproduces the arithmetic of the paper's Figure 10: launches
+    /// average 6.5 µs without CUPTI and 9.5 µs with; memcpys 4.5 µs and
+    /// 5.5 µs → inflation 3 µs and 1 µs.
+    #[test]
+    fn figure_10_difference_of_average() {
+        let without = stats(&[
+            (CudaApiKind::LaunchKernel, 2, 13 / 2),   // handled below precisely
+            (CudaApiKind::MemcpyAsync, 2, 9 / 2),
+        ]);
+        // Construct precisely: 2 launches totalling 13us (mean 6.5), 2
+        // memcpys totalling 9us (mean 4.5).
+        let without = RunStats {
+            api_stats: vec![
+                (CudaApiKind::LaunchKernel, (2, DurationNs::from_micros(13))),
+                (CudaApiKind::MemcpyAsync, (2, DurationNs::from_micros(9))),
+            ],
+            ..without
+        };
+        let with = RunStats {
+            api_stats: vec![
+                (CudaApiKind::LaunchKernel, (2, DurationNs::from_micros(19))),
+                (CudaApiKind::MemcpyAsync, (2, DurationNs::from_micros(11))),
+            ],
+            ..stats(&[])
+        };
+        let diff = diff_of_average(&with, &without);
+        let get = |api| diff.iter().find(|(a, _)| *a == api).unwrap().1;
+        assert_eq!(get(CudaApiKind::LaunchKernel), DurationNs::from_micros(3));
+        assert_eq!(get(CudaApiKind::MemcpyAsync), DurationNs::from_micros(1));
+    }
+
+    #[test]
+    fn calibrate_recovers_injected_costs_exactly() {
+        // Synthetic deterministic "workload": base takes 100us; each
+        // enabled toggle adds its per-occurrence cost.
+        let ann_cost = 2_000u64; // ns per annotation
+        let py_cost = 700u64; // ns per transition
+        let api_cost = 900u64; // ns per API call
+        let cupti_launch = 3_000u64;
+        let mut run = |t: Toggles| {
+            let annotations = 50u64;
+            let transitions = 200u64;
+            let api_calls = 400u64;
+            let mut total = 100_000_000u64;
+            if t.annotations {
+                total += ann_cost * annotations;
+            }
+            if t.py_interception {
+                total += py_cost * transitions;
+            }
+            if t.cuda_interception {
+                total += api_cost * api_calls;
+            }
+            let launch_mean = 6_500 + if t.cuda_interception { api_cost } else { 0 }
+                + if t.cupti { cupti_launch } else { 0 };
+            if t.cupti {
+                total += cupti_launch * api_calls;
+            }
+            RunStats {
+                total: DurationNs::from_nanos(total),
+                counts: BookkeepingCounts {
+                    annotations,
+                    backend_transitions: transitions / 2,
+                    simulator_transitions: transitions / 2,
+                    cuda_api_calls: api_calls,
+                },
+                api_stats: vec![(
+                    CudaApiKind::LaunchKernel,
+                    (api_calls, DurationNs::from_nanos(launch_mean * api_calls)),
+                )],
+            }
+        };
+        let cal = calibrate(&mut run);
+        assert_eq!(cal.annotation_mean, DurationNs::from_nanos(ann_cost));
+        assert_eq!(cal.py_interception_mean, DurationNs::from_nanos(py_cost));
+        assert_eq!(cal.cuda_interception_mean, DurationNs::from_nanos(api_cost));
+        assert_eq!(cal.cupti_mean(CudaApiKind::LaunchKernel), DurationNs::from_nanos(cupti_launch));
+        assert_eq!(cal.cupti_mean(CudaApiKind::MemcpyAsync), DurationNs::ZERO);
+    }
+
+    #[test]
+    fn weighted_cupti_mean() {
+        let cal = Calibration {
+            cupti_means: vec![
+                (CudaApiKind::LaunchKernel, DurationNs::from_nanos(3_000)),
+                (CudaApiKind::MemcpyAsync, DurationNs::from_nanos(1_000)),
+            ],
+            ..Default::default()
+        };
+        let stats = vec![
+            (CudaApiKind::LaunchKernel, (3, DurationNs::ZERO)),
+            (CudaApiKind::MemcpyAsync, (1, DurationNs::ZERO)),
+        ];
+        // (3*3000 + 1*1000) / 4 = 2500.
+        assert_eq!(cal.cupti_weighted_mean(&stats), DurationNs::from_nanos(2_500));
+        assert_eq!(cal.cupti_weighted_mean(&[]), DurationNs::ZERO);
+    }
+}

@@ -1,0 +1,76 @@
+//! # rlscope-core — the RL-Scope cross-stack profiler
+//!
+//! The paper's primary contribution (MLSys 2021): a profiler for deep-RL
+//! training workloads that
+//!
+//! 1. lets developers annotate high-level **algorithmic operations** and
+//!    training **phases** ([`profiler::Profiler::operation`],
+//!    [`profiler::Profiler::set_phase`] — paper §3.1);
+//! 2. **transparently intercepts** CUDA API calls, GPU activity, and
+//!    Python↔C transitions via hooks ([`profiler::Profiler::attach`] —
+//!    §3.2);
+//! 3. computes **cross-stack event overlap**, scoping every instant of
+//!    CPU/GPU time to the innermost operation and finest stack level
+//!    ([`overlap::compute_overlap`] — §3.3, Figure 3);
+//! 4. **calibrates and corrects profiling overhead**: delta calibration
+//!    for type-uniform book-keeping, difference-of-average calibration for
+//!    closed-source CUPTI inflation, and per-bucket subtraction at the
+//!    occurrence points ([`calibrate`], [`correct`] — §3.4, Appendix C);
+//! 5. stores traces **asynchronously** in rotated binary chunks
+//!    ([`store`] — Appendix A.1);
+//! 6. renders the paper's reports: time breakdowns, transition counts,
+//!    and the multi-process view with the `nvidia-smi` comparison
+//!    ([`report`]).
+//!
+//! ```
+//! use rlscope_core::prelude::*;
+//! use rlscope_sim::VirtualClock;
+//! use rlscope_sim::time::DurationNs;
+//!
+//! let clock = VirtualClock::new();
+//! // Zero-overhead observer configuration, so durations below are exact.
+//! let config = ProfilerConfig { toggles: Toggles::none(), ..ProfilerConfig::default() };
+//! let rls = Profiler::new(clock.clone(), config);
+//! rls.set_phase("data_collection");
+//! {
+//!     let _op = rls.operation("mcts_tree_search");
+//!     clock.advance(DurationNs::from_millis(2));
+//!     let _inner = rls.operation("expand_leaf");
+//!     clock.advance(DurationNs::from_millis(1));
+//! }
+//! let trace = rls.finish();
+//! assert_eq!(trace.counts.annotations, 2);
+//! let expand = trace.events.iter().find(|e| &*e.name == "expand_leaf").unwrap();
+//! assert_eq!(expand.duration(), DurationNs::from_millis(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibrate;
+pub mod correct;
+pub mod event;
+pub mod overlap;
+pub mod profiler;
+pub mod report;
+pub mod store;
+pub mod trace;
+
+/// Convenient glob-import of the most-used types.
+pub mod prelude {
+    pub use crate::calibrate::{calibrate, Calibration, RunStats};
+    pub use crate::correct::{correct, uncorrected, CorrectedProfile, OverheadBreakdown};
+    pub use crate::event::{BookkeepingCounts, CpuCategory, Event, EventKind, GpuCategory};
+    pub use crate::overlap::{compute_overlap, BreakdownTable, BucketKey};
+    pub use crate::profiler::{OperationGuard, Profiler, ProfilerConfig, Toggles, TransitionKind};
+    pub use crate::report::{BreakdownReport, MultiProcessReport, TransitionReport};
+    pub use crate::trace::Trace;
+}
+
+pub use calibrate::{calibrate, Calibration, RunStats};
+pub use correct::{correct, uncorrected, CorrectedProfile, OverheadBreakdown};
+pub use event::{BookkeepingCounts, CpuCategory, Event, EventKind, GpuCategory};
+pub use overlap::{compute_overlap, BreakdownTable, BucketKey};
+pub use profiler::{OperationGuard, Profiler, ProfilerConfig, Toggles, TransitionKind};
+pub use report::{BreakdownReport, MultiProcessReport, TransitionReport};
+pub use trace::Trace;

@@ -1,0 +1,519 @@
+//! The RL-Scope profiler: annotation API plus transparent interception.
+//!
+//! One [`Profiler`] instance profiles one simulated process. It implements
+//! the substrate's [`CudaHooks`] and [`StackHooks`] (the CUPTI callbacks
+//! and Python↔C wrappers of paper §3.2), records the user's high-level
+//! operation/phase annotations (§3.1), and injects the configured
+//! book-keeping overheads so that calibration has something real to
+//! correct (§3.4).
+
+use crate::event::{BookkeepingCounts, CpuCategory, Event, EventKind, GpuCategory};
+use crate::trace::Trace;
+use parking_lot::Mutex;
+use rlscope_sim::cuda::{CudaApiKind, CudaContext};
+use rlscope_sim::gpu::{KernelRecord, MemcpyRecord};
+use rlscope_sim::hooks::{CudaHooks, NativeLib, StackHooks};
+use rlscope_sim::ids::ProcessId;
+use rlscope_sim::python::PyRuntime;
+use rlscope_sim::time::{DurationNs, TimeNs};
+use rlscope_sim::VirtualClock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which book-keeping code paths are enabled (and therefore inject their
+/// CPU cost). Calibration toggles these one at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Toggles {
+    /// High-level annotation book-keeping.
+    pub annotations: bool,
+    /// Python↔C interception wrappers.
+    pub py_interception: bool,
+    /// CUDA API interception.
+    pub cuda_interception: bool,
+    /// CUPTI activity collection (with its closed-source inflation).
+    pub cupti: bool,
+}
+
+impl Toggles {
+    /// Everything enabled — the full-profiling configuration.
+    pub fn all() -> Self {
+        Toggles { annotations: true, py_interception: true, cuda_interception: true, cupti: true }
+    }
+
+    /// Everything disabled — records events with zero injected cost
+    /// (the idealized observer used as calibration baseline).
+    pub fn none() -> Self {
+        Toggles {
+            annotations: false,
+            py_interception: false,
+            cuda_interception: false,
+            cupti: false,
+        }
+    }
+}
+
+/// Profiler configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfilerConfig {
+    /// The process being profiled.
+    pub pid: ProcessId,
+    /// Book-keeping cost injected per annotation edge (open and close).
+    pub annotation_cost: DurationNs,
+    /// Enabled book-keeping code paths.
+    pub toggles: Toggles,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            pid: ProcessId(0),
+            annotation_cost: DurationNs::from_nanos(600),
+            toggles: Toggles::all(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    events: Vec<Event>,
+    op_stack: Vec<(Arc<str>, TimeNs)>,
+    phase: Option<(Arc<str>, TimeNs)>,
+    counts: BookkeepingCounts,
+    per_op_transitions: BTreeMap<(Arc<str>, TransitionKind), u64>,
+    api_stats: BTreeMap<CudaApiKind, (u64, DurationNs)>,
+    iterations: u64,
+}
+
+/// Transition kinds counted per operation (paper Figure 4c/4d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TransitionKind {
+    /// Python → ML backend.
+    Backend,
+    /// Python → simulator.
+    Simulator,
+    /// ML backend → CUDA API.
+    Cuda,
+}
+
+impl fmt::Display for TransitionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionKind::Backend => write!(f, "Backend"),
+            TransitionKind::Simulator => write!(f, "Simulator"),
+            TransitionKind::Cuda => write!(f, "CUDA"),
+        }
+    }
+}
+
+struct Inner {
+    clock: VirtualClock,
+    config: ProfilerConfig,
+    state: Mutex<State>,
+}
+
+/// The profiler for one simulated process.
+///
+/// ```
+/// use rlscope_core::profiler::{Profiler, ProfilerConfig};
+/// use rlscope_sim::VirtualClock;
+/// use rlscope_sim::time::DurationNs;
+///
+/// let clock = VirtualClock::new();
+/// let rls = Profiler::new(clock.clone(), ProfilerConfig::default());
+/// rls.set_phase("data_collection");
+/// {
+///     let _op = rls.operation("mcts_tree_search");
+///     clock.advance(DurationNs::from_micros(10));
+/// }
+/// let trace = rls.finish();
+/// assert_eq!(trace.counts.annotations, 1);
+/// ```
+#[derive(Clone)]
+pub struct Profiler {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.inner.state.lock();
+        f.debug_struct("Profiler")
+            .field("pid", &self.inner.config.pid)
+            .field("events", &state.events.len())
+            .field("iterations", &state.iterations)
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII guard closing an operation annotation on drop.
+#[derive(Debug)]
+pub struct OperationGuard {
+    profiler: Profiler,
+    name: Arc<str>,
+}
+
+impl Drop for OperationGuard {
+    fn drop(&mut self) {
+        self.profiler.close_operation(&self.name);
+    }
+}
+
+impl Profiler {
+    /// Creates a profiler over `clock`.
+    pub fn new(clock: VirtualClock, config: ProfilerConfig) -> Self {
+        Profiler { inner: Arc::new(Inner { clock, config, state: Mutex::new(State::default()) }) }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ProfilerConfig {
+        &self.inner.config
+    }
+
+    /// Registers this profiler's hooks on a Python runtime and CUDA
+    /// context, and applies the overhead toggles (the `rls-prof` launcher
+    /// of the paper's Figure 2).
+    pub fn attach(&self, py: &mut PyRuntime, cuda: &mut CudaContext) {
+        let hooks: Arc<dyn StackHooks> = Arc::new(self.clone());
+        py.set_hooks(hooks);
+        let cuda_hooks: Arc<dyn CudaHooks> = Arc::new(self.clone());
+        cuda.set_hooks(cuda_hooks);
+        let t = self.inner.config.toggles;
+        py.set_interception_enabled(t.py_interception);
+        cuda.set_interception_enabled(t.cuda_interception);
+        cuda.set_cupti_enabled(t.cupti);
+    }
+
+    /// Starts (or switches) the training phase.
+    pub fn set_phase(&self, name: &str) {
+        let now = self.inner.clock.now();
+        let mut state = self.inner.state.lock();
+        let pid = self.inner.config.pid;
+        if let Some((prev, start)) = state.phase.take() {
+            state.events.push(Event::new(pid, EventKind::Phase, prev, start, now));
+        }
+        state.phase = Some((Arc::from(name), now));
+    }
+
+    /// Opens an operation annotation; the returned guard closes it.
+    ///
+    /// Nesting is supported (inner operations claim their own time, as in
+    /// the paper's `mcts_tree_search` / `expand_leaf` example).
+    pub fn operation(&self, name: &str) -> OperationGuard {
+        self.annotation_overhead();
+        let now = self.inner.clock.now();
+        let name: Arc<str> = Arc::from(name);
+        let mut state = self.inner.state.lock();
+        state.counts.annotations += 1;
+        state.op_stack.push((name.clone(), now));
+        drop(state);
+        OperationGuard { profiler: self.clone(), name }
+    }
+
+    /// Marks the end of one training-loop iteration (denominator for
+    /// per-iteration transition reports).
+    pub fn mark_iteration(&self) {
+        self.inner.state.lock().iterations += 1;
+    }
+
+    /// Finalizes the trace, closing any open phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operations are still open.
+    pub fn finish(&self) -> Trace {
+        let now = self.inner.clock.now();
+        let mut state = self.inner.state.lock();
+        assert!(
+            state.op_stack.is_empty(),
+            "finish() with open operations: {:?}",
+            state.op_stack.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+        );
+        let pid = self.inner.config.pid;
+        if let Some((prev, start)) = state.phase.take() {
+            state.events.push(Event::new(pid, EventKind::Phase, prev, start, now));
+        }
+        Trace {
+            pid,
+            events: std::mem::take(&mut state.events),
+            counts: state.counts,
+            per_op_transitions: std::mem::take(&mut state.per_op_transitions)
+                .into_iter()
+                .collect(),
+            api_stats: std::mem::take(&mut state.api_stats).into_iter().collect(),
+            iterations: state.iterations,
+            wall_end: now,
+        }
+    }
+
+    fn close_operation(&self, name: &Arc<str>) {
+        self.annotation_overhead();
+        let now = self.inner.clock.now();
+        let mut state = self.inner.state.lock();
+        let (top, start) = state.op_stack.pop().expect("operation stack underflow");
+        assert_eq!(&top, name, "operations closed out of order");
+        let pid = self.inner.config.pid;
+        state.events.push(Event::new(pid, EventKind::Operation, top, start, now));
+    }
+
+    /// Injects annotation book-keeping cost, recorded as Python time (the
+    /// annotation code runs in the Python tracer).
+    fn annotation_overhead(&self) {
+        let cfg = &self.inner.config;
+        if cfg.toggles.annotations && !cfg.annotation_cost.is_zero() {
+            let start = self.inner.clock.now();
+            let end = self.inner.clock.advance(cfg.annotation_cost);
+            self.inner.state.lock().events.push(Event::new(
+                cfg.pid,
+                EventKind::Cpu(CpuCategory::Python),
+                "annotation",
+                start,
+                end,
+            ));
+        }
+    }
+
+    fn count_transition(&self, state: &mut State, kind: TransitionKind) {
+        let op: Arc<str> = state
+            .op_stack
+            .last()
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| Arc::from(crate::overlap::BucketKey::UNTRACKED));
+        *state.per_op_transitions.entry((op, kind)).or_insert(0) += 1;
+    }
+}
+
+impl StackHooks for Profiler {
+    fn on_python_span(&self, start: TimeNs, end: TimeNs) {
+        let mut state = self.inner.state.lock();
+        state.events.push(Event::new(
+            self.inner.config.pid,
+            EventKind::Cpu(CpuCategory::Python),
+            "python",
+            start,
+            end,
+        ));
+    }
+
+    fn on_native_enter(&self, lib: NativeLib, _t: TimeNs) {
+        let mut state = self.inner.state.lock();
+        match lib {
+            NativeLib::Backend => {
+                state.counts.backend_transitions += 1;
+                self.count_transition(&mut state, TransitionKind::Backend);
+            }
+            NativeLib::Simulator => {
+                state.counts.simulator_transitions += 1;
+                self.count_transition(&mut state, TransitionKind::Simulator);
+            }
+        }
+    }
+
+    fn on_native_exit(&self, lib: NativeLib, enter: TimeNs, exit: TimeNs) {
+        let (cat, name) = match lib {
+            NativeLib::Backend => (CpuCategory::Backend, "backend"),
+            NativeLib::Simulator => (CpuCategory::Simulator, "simulator"),
+        };
+        let mut state = self.inner.state.lock();
+        state.events.push(Event::new(
+            self.inner.config.pid,
+            EventKind::Cpu(cat),
+            name,
+            enter,
+            exit,
+        ));
+    }
+}
+
+impl CudaHooks for Profiler {
+    fn on_api_enter(&self, _api: CudaApiKind, _t: TimeNs) {}
+
+    fn on_api_exit(&self, api: CudaApiKind, enter: TimeNs, exit: TimeNs) {
+        let mut state = self.inner.state.lock();
+        state.counts.cuda_api_calls += 1;
+        self.count_transition(&mut state, TransitionKind::Cuda);
+        let entry = state.api_stats.entry(api).or_insert((0, DurationNs::ZERO));
+        entry.0 += 1;
+        entry.1 += exit - enter;
+        state.events.push(Event::new(
+            self.inner.config.pid,
+            EventKind::Cpu(CpuCategory::CudaApi),
+            api.to_string(),
+            enter,
+            exit,
+        ));
+    }
+
+    fn on_kernel(&self, rec: &KernelRecord) {
+        self.inner.state.lock().events.push(Event::new(
+            self.inner.config.pid,
+            EventKind::Gpu(GpuCategory::Kernel),
+            rec.name.clone(),
+            rec.start,
+            rec.end,
+        ));
+    }
+
+    fn on_memcpy(&self, rec: &MemcpyRecord) {
+        self.inner.state.lock().events.push(Event::new(
+            self.inner.config.pid,
+            EventKind::Gpu(GpuCategory::Memcpy),
+            "memcpy",
+            rec.start,
+            rec.end,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlscope_sim::cuda::CudaCostConfig;
+    use rlscope_sim::gpu::{GpuDevice, KernelDesc};
+    use rlscope_sim::python::PyCostConfig;
+
+    fn profiler(toggles: Toggles) -> (Profiler, VirtualClock) {
+        let clock = VirtualClock::new();
+        let cfg = ProfilerConfig { toggles, ..ProfilerConfig::default() };
+        (Profiler::new(clock.clone(), cfg), clock)
+    }
+
+    #[test]
+    fn operations_nest_and_record() {
+        let (rls, clock) = profiler(Toggles::none());
+        {
+            let _outer = rls.operation("outer");
+            clock.advance(DurationNs::from_micros(5));
+            {
+                let _inner = rls.operation("inner");
+                clock.advance(DurationNs::from_micros(3));
+            }
+            clock.advance(DurationNs::from_micros(2));
+        }
+        let trace = rls.finish();
+        let ops: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Operation)
+            .map(|e| (&*e.name, e.duration().as_nanos()))
+            .collect();
+        assert_eq!(ops, vec![("inner", 3_000), ("outer", 10_000)]);
+        assert_eq!(trace.counts.annotations, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn misordered_guards_panic() {
+        let (rls, _clock) = profiler(Toggles::none());
+        let outer = rls.operation("outer");
+        let inner = rls.operation("inner");
+        // Leak the inner guard so its Drop does not double-panic during
+        // unwinding; the misuse is closing `outer` while `inner` is open.
+        std::mem::forget(inner);
+        drop(outer);
+    }
+
+    #[test]
+    fn annotation_overhead_injected_only_when_enabled() {
+        let (rls_off, clock_off) = profiler(Toggles::none());
+        {
+            let _op = rls_off.operation("x");
+        }
+        assert_eq!(clock_off.now(), TimeNs::ZERO);
+
+        let (rls_on, clock_on) = profiler(Toggles { annotations: true, ..Toggles::none() });
+        {
+            let _op = rls_on.operation("x");
+        }
+        // Two edges × default 600ns.
+        assert_eq!(clock_on.now(), TimeNs::from_nanos(1_200));
+        let trace = rls_on.finish();
+        let py_events =
+            trace.events.iter().filter(|e| &*e.name == "annotation").count();
+        assert_eq!(py_events, 2);
+    }
+
+    #[test]
+    fn attach_wires_full_stack() {
+        let clock = VirtualClock::new();
+        let rls = Profiler::new(clock.clone(), ProfilerConfig::default());
+        let mut py = PyRuntime::new(clock.clone(), PyCostConfig::default());
+        let mut cuda =
+            CudaContext::new(clock.clone(), GpuDevice::new(1), CudaCostConfig::default());
+        rls.attach(&mut py, &mut cuda);
+
+        let _op = rls.operation("inference");
+        py.exec(DurationNs::from_micros(2));
+        py.call_native(NativeLib::Backend, || {
+            let s = cuda.default_stream();
+            cuda.launch_kernel(s, KernelDesc::new("gemm", DurationNs::from_micros(10)));
+        });
+        drop(_op);
+        let trace = rls.finish();
+
+        assert_eq!(trace.counts.backend_transitions, 1);
+        assert_eq!(trace.counts.cuda_api_calls, 1);
+        let kinds: Vec<&EventKind> = trace.events.iter().map(|e| &e.kind).collect();
+        assert!(kinds.contains(&&EventKind::Cpu(CpuCategory::Python)));
+        assert!(kinds.contains(&&EventKind::Cpu(CpuCategory::Backend)));
+        assert!(kinds.contains(&&EventKind::Cpu(CpuCategory::CudaApi)));
+        assert!(kinds.contains(&&EventKind::Gpu(GpuCategory::Kernel)));
+    }
+
+    #[test]
+    fn phases_close_on_switch_and_finish() {
+        let (rls, clock) = profiler(Toggles::none());
+        rls.set_phase("collect");
+        clock.advance(DurationNs::from_micros(10));
+        rls.set_phase("train");
+        clock.advance(DurationNs::from_micros(5));
+        let trace = rls.finish();
+        let phases: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Phase)
+            .map(|e| (&*e.name, e.duration().as_nanos()))
+            .collect();
+        assert_eq!(phases, vec![("collect", 10_000), ("train", 5_000)]);
+    }
+
+    #[test]
+    fn per_op_transitions_scoped_to_operations() {
+        let clock = VirtualClock::new();
+        let rls = Profiler::new(
+            clock.clone(),
+            ProfilerConfig { toggles: Toggles::none(), ..ProfilerConfig::default() },
+        );
+        let mut py = PyRuntime::new(clock.clone(), PyCostConfig::default());
+        let mut cuda =
+            CudaContext::new(clock.clone(), GpuDevice::new(1), CudaCostConfig::default());
+        rls.attach(&mut py, &mut cuda);
+        {
+            let _op = rls.operation("simulation");
+            py.call_native(NativeLib::Simulator, || {});
+            py.call_native(NativeLib::Simulator, || {});
+        }
+        {
+            let _op = rls.operation("backprop");
+            py.call_native(NativeLib::Backend, || {});
+        }
+        rls.mark_iteration();
+        let trace = rls.finish();
+        assert_eq!(trace.iterations, 1);
+        assert_eq!(
+            trace.transitions_for("simulation", TransitionKind::Simulator),
+            2
+        );
+        assert_eq!(trace.transitions_for("backprop", TransitionKind::Backend), 1);
+        assert_eq!(trace.transitions_for("backprop", TransitionKind::Simulator), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "open operations")]
+    fn finish_with_open_operation_panics() {
+        let (rls, _clock) = profiler(Toggles::none());
+        let guard = rls.operation("left_open");
+        let _ = rls.finish();
+        drop(guard);
+    }
+}

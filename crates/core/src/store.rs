@@ -1,0 +1,344 @@
+//! Asynchronous, chunked binary trace storage (paper Appendix A.1).
+//!
+//! RL-Scope aggregates traces in a native library off the critical path and
+//! dumps them once they reach ~20 MB, explicitly avoiding Python-side
+//! serialization. This module reproduces that design: a dedicated writer
+//! thread receives event batches over a channel, encodes them with a
+//! compact binary codec, and rotates chunk files at a size threshold.
+
+use crate::event::{CpuCategory, Event, EventKind, GpuCategory};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Sender};
+use rlscope_sim::ids::ProcessId;
+use rlscope_sim::time::TimeNs;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+const MAGIC: &[u8; 8] = b"RLSCOPE1";
+
+/// Errors from trace encoding, decoding, or I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file is malformed.
+    Corrupt(String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::Corrupt(msg) => write!(f, "corrupt trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn kind_tag(kind: &EventKind) -> u8 {
+    match kind {
+        EventKind::Cpu(CpuCategory::Python) => 0,
+        EventKind::Cpu(CpuCategory::Simulator) => 1,
+        EventKind::Cpu(CpuCategory::Backend) => 2,
+        EventKind::Cpu(CpuCategory::CudaApi) => 3,
+        EventKind::Gpu(GpuCategory::Kernel) => 4,
+        EventKind::Gpu(GpuCategory::Memcpy) => 5,
+        EventKind::Operation => 6,
+        EventKind::Phase => 7,
+    }
+}
+
+fn tag_kind(tag: u8) -> Result<EventKind, TraceIoError> {
+    Ok(match tag {
+        0 => EventKind::Cpu(CpuCategory::Python),
+        1 => EventKind::Cpu(CpuCategory::Simulator),
+        2 => EventKind::Cpu(CpuCategory::Backend),
+        3 => EventKind::Cpu(CpuCategory::CudaApi),
+        4 => EventKind::Gpu(GpuCategory::Kernel),
+        5 => EventKind::Gpu(GpuCategory::Memcpy),
+        6 => EventKind::Operation,
+        7 => EventKind::Phase,
+        t => return Err(TraceIoError::Corrupt(format!("unknown event tag {t}"))),
+    })
+}
+
+/// Encodes a batch of events into the chunk wire format.
+pub fn encode_events(events: &[Event]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(events.len() * 32 + 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32(events.len() as u32);
+    for e in events {
+        buf.put_u32(e.pid.as_u32());
+        buf.put_u8(kind_tag(&e.kind));
+        let name = e.name.as_bytes();
+        buf.put_u16(name.len().min(u16::MAX as usize) as u16);
+        buf.put_slice(&name[..name.len().min(u16::MAX as usize)]);
+        buf.put_u64(e.start.as_nanos());
+        buf.put_u64(e.end.as_nanos());
+    }
+    buf.freeze()
+}
+
+/// Decodes a chunk produced by [`encode_events`].
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Corrupt`] on bad magic, truncation, or invalid
+/// tags.
+pub fn decode_events(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
+    if data.len() < MAGIC.len() + 4 {
+        return Err(TraceIoError::Corrupt("chunk too short for header".into()));
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceIoError::Corrupt("bad magic".into()));
+    }
+    let count = data.get_u32() as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    for i in 0..count {
+        if data.remaining() < 4 + 1 + 2 {
+            return Err(TraceIoError::Corrupt(format!("truncated at event {i}")));
+        }
+        let pid = ProcessId(data.get_u32());
+        let kind = tag_kind(data.get_u8())?;
+        let name_len = data.get_u16() as usize;
+        if data.remaining() < name_len + 16 {
+            return Err(TraceIoError::Corrupt(format!("truncated name at event {i}")));
+        }
+        let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| TraceIoError::Corrupt(format!("non-utf8 name at event {i}")))?;
+        let start = TimeNs::from_nanos(data.get_u64());
+        let end = TimeNs::from_nanos(data.get_u64());
+        if end < start {
+            return Err(TraceIoError::Corrupt(format!("event {i} ends before start")));
+        }
+        events.push(Event { pid, kind, name: name.into(), start, end });
+    }
+    Ok(events)
+}
+
+enum WriterCmd {
+    Batch(Vec<Event>),
+    Finish,
+}
+
+/// Writes trace chunks asynchronously, off the (virtual) critical path.
+pub struct TraceWriter {
+    tx: Sender<WriterCmd>,
+    handle: Option<JoinHandle<Result<Vec<PathBuf>, TraceIoError>>>,
+}
+
+impl fmt::Debug for TraceWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceWriter").finish_non_exhaustive()
+    }
+}
+
+impl TraceWriter {
+    /// Starts a writer thread that stores chunks under `dir`, rotating
+    /// files once the encoded pending batch reaches `chunk_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dir` cannot be created.
+    pub fn create(dir: &Path, chunk_bytes: usize) -> Result<Self, TraceIoError> {
+        fs::create_dir_all(dir)?;
+        let dir = dir.to_path_buf();
+        let (tx, rx) = unbounded::<WriterCmd>();
+        let handle = std::thread::spawn(move || -> Result<Vec<PathBuf>, TraceIoError> {
+            let mut pending: Vec<Event> = Vec::new();
+            let mut pending_bytes = 0usize;
+            let mut files = Vec::new();
+            let mut seq = 0u32;
+            let flush = |pending: &mut Vec<Event>,
+                             pending_bytes: &mut usize,
+                             seq: &mut u32,
+                             files: &mut Vec<PathBuf>|
+             -> Result<(), TraceIoError> {
+                if pending.is_empty() {
+                    return Ok(());
+                }
+                let path = dir.join(format!("chunk_{seq:05}.rls"));
+                let encoded = encode_events(pending);
+                let mut f = fs::File::create(&path)?;
+                f.write_all(&encoded)?;
+                files.push(path);
+                *seq += 1;
+                pending.clear();
+                *pending_bytes = 0;
+                Ok(())
+            };
+            for cmd in rx {
+                match cmd {
+                    WriterCmd::Batch(events) => {
+                        pending_bytes += events.len() * 32;
+                        pending.extend(events);
+                        if pending_bytes >= chunk_bytes {
+                            flush(&mut pending, &mut pending_bytes, &mut seq, &mut files)?;
+                        }
+                    }
+                    WriterCmd::Finish => {
+                        flush(&mut pending, &mut pending_bytes, &mut seq, &mut files)?;
+                        return Ok(files);
+                    }
+                }
+            }
+            flush(&mut pending, &mut pending_bytes, &mut seq, &mut files)?;
+            Ok(files)
+        });
+        Ok(TraceWriter { tx, handle: Some(handle) })
+    }
+
+    /// Enqueues a batch of events for asynchronous storage.
+    pub fn write(&self, events: Vec<Event>) {
+        // A disconnected writer is reported at finish(); drop silently here
+        // (the writer thread only disconnects after an I/O failure).
+        let _ = self.tx.send(WriterCmd::Batch(events));
+    }
+
+    /// Flushes and joins the writer thread, returning the chunk files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn finish(mut self) -> Result<Vec<PathBuf>, TraceIoError> {
+        let _ = self.tx.send(WriterCmd::Finish);
+        let handle = self.handle.take().expect("finish called twice");
+        handle.join().map_err(|_| TraceIoError::Corrupt("writer thread panicked".into()))?
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.tx.send(WriterCmd::Finish);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reads every chunk file under `dir` (sorted by name) and concatenates
+/// the events.
+///
+/// # Errors
+///
+/// Returns the first I/O or corruption error encountered.
+pub fn read_chunk_dir(dir: &Path) -> Result<Vec<Event>, TraceIoError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rls"))
+        .collect();
+    paths.sort();
+    let mut events = Vec::new();
+    for p in paths {
+        let mut data = Vec::new();
+        fs::File::open(&p)?.read_to_end(&mut data)?;
+        events.extend(decode_events(&data)?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events(n: usize) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                Event::new(
+                    ProcessId((i % 3) as u32),
+                    match i % 4 {
+                        0 => EventKind::Cpu(CpuCategory::Python),
+                        1 => EventKind::Cpu(CpuCategory::CudaApi),
+                        2 => EventKind::Gpu(GpuCategory::Kernel),
+                        _ => EventKind::Operation,
+                    },
+                    format!("ev{i}"),
+                    TimeNs::from_nanos(i as u64 * 10),
+                    TimeNs::from_nanos(i as u64 * 10 + 5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let events = sample_events(100);
+        let decoded = decode_events(&encode_events(&events)).unwrap();
+        assert_eq!(events, decoded);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        assert_eq!(decode_events(&encode_events(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut data = encode_events(&sample_events(1)).to_vec();
+        data[0] = b'X';
+        assert!(matches!(decode_events(&data), Err(TraceIoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_chunk_rejected() {
+        let data = encode_events(&sample_events(10));
+        let truncated = &data[..data.len() - 7];
+        let err = decode_events(truncated).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        assert!(matches!(decode_events(b"RLS"), Err(TraceIoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn writer_rotates_chunks_and_reader_reassembles() {
+        let dir = std::env::temp_dir().join(format!("rlscope_store_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let writer = TraceWriter::create(&dir, 640).unwrap(); // tiny chunks
+        let events = sample_events(100);
+        for chunk in events.chunks(10) {
+            writer.write(chunk.to_vec());
+        }
+        let files = writer.finish().unwrap();
+        assert!(files.len() > 1, "expected rotation, got {} file(s)", files.len());
+        let read = read_chunk_dir(&dir).unwrap();
+        assert_eq!(read, events);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_surfaces_corruption_not_panic() {
+        let dir = std::env::temp_dir().join(format!("rlscope_corrupt_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("chunk_00000.rls"), b"garbage data here").unwrap();
+        assert!(read_chunk_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,257 @@
+//! AirLearning-style drone point-to-point navigation.
+//!
+//! The high-complexity end of the simulator taxonomy (paper Figure 6): a
+//! drone in a photo-realistic game engine. Physics run on the CPU with a
+//! large per-step cost, and — uniquely among the environments — each step
+//! renders frames on the **GPU** through the shared CUDA context, so
+//! simulation itself occupies the device (the paper notes these simulators
+//! "make use of the GPU to perform graphics rendering").
+
+use crate::env::{Action, ActionSpace, Environment, SimComplexity, StepResult};
+use rlscope_sim::cuda::CudaContext;
+use rlscope_sim::gpu::KernelDesc;
+use rlscope_sim::ids::StreamId;
+use rlscope_sim::rng::SimRng;
+use rlscope_sim::time::DurationNs;
+use rlscope_sim::VirtualClock;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+const DT: f32 = 0.05;
+const MAX_STEPS: u32 = 400;
+const ARENA: f32 = 20.0;
+
+/// The AirLearning point-to-point navigation task.
+pub struct AirLearning {
+    clock: VirtualClock,
+    cuda: Option<(Rc<RefCell<CudaContext>>, StreamId)>,
+    physics_cost: DurationNs,
+    render_cpu_cost: DurationNs,
+    render_gpu_cost: DurationNs,
+    rng: SimRng,
+    pos: [f32; 3],
+    vel: [f32; 3],
+    goal: [f32; 3],
+    steps: u32,
+}
+
+impl fmt::Debug for AirLearning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AirLearning")
+            .field("pos", &self.pos)
+            .field("goal", &self.goal)
+            .field("steps", &self.steps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AirLearning {
+    /// Default physics CPU cost per step.
+    pub const DEFAULT_PHYSICS_COST: DurationNs = DurationNs::from_millis(4);
+    /// Default render-thread CPU cost per step (game engine driver work).
+    pub const DEFAULT_RENDER_CPU_COST: DurationNs = DurationNs::from_millis(40);
+    /// Default GPU render kernel duration per step.
+    pub const DEFAULT_RENDER_GPU_COST: DurationNs = DurationNs::from_millis(1);
+
+    /// Creates the drone task; `cuda` (when given) receives per-step render
+    /// kernels on `stream`.
+    pub fn new(
+        clock: VirtualClock,
+        cuda: Option<(Rc<RefCell<CudaContext>>, StreamId)>,
+        seed: u64,
+    ) -> Self {
+        AirLearning {
+            clock,
+            cuda,
+            physics_cost: Self::DEFAULT_PHYSICS_COST,
+            render_cpu_cost: Self::DEFAULT_RENDER_CPU_COST,
+            render_gpu_cost: Self::DEFAULT_RENDER_GPU_COST,
+            rng: SimRng::seed_from_u64(seed),
+            pos: [0.0; 3],
+            vel: [0.0; 3],
+            goal: [5.0, 5.0, 3.0],
+            steps: 0,
+        }
+    }
+
+    /// Overrides the cost model (per-step physics CPU, render CPU, render GPU).
+    pub fn set_costs(&mut self, physics: DurationNs, render_cpu: DurationNs, render_gpu: DurationNs) {
+        self.physics_cost = physics;
+        self.render_cpu_cost = render_cpu;
+        self.render_gpu_cost = render_gpu;
+    }
+
+    fn dist_to_goal(&self) -> f32 {
+        self.pos
+            .iter()
+            .zip(&self.goal)
+            .map(|(p, g)| (p - g) * (p - g))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    fn observation(&self) -> Vec<f32> {
+        let mut obs = Vec::with_capacity(self.obs_dim());
+        obs.extend_from_slice(&self.pos);
+        obs.extend_from_slice(&self.vel);
+        for (p, g) in self.pos.iter().zip(&self.goal) {
+            obs.push(g - p);
+        }
+        obs
+    }
+
+    fn charge_step(&mut self) {
+        self.clock.advance(self.physics_cost);
+        self.clock.advance(self.render_cpu_cost);
+        if let Some((cuda, stream)) = &self.cuda {
+            cuda.borrow_mut()
+                .launch_kernel(*stream, KernelDesc::new("render_frame", self.render_gpu_cost));
+        }
+    }
+}
+
+impl Environment for AirLearning {
+    fn name(&self) -> &'static str {
+        "AirLearning"
+    }
+
+    fn obs_dim(&self) -> usize {
+        9
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Continuous { dim: 3, low: -1.0, high: 1.0 }
+    }
+
+    fn complexity(&self) -> SimComplexity {
+        SimComplexity::High
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.charge_step();
+        self.pos = [0.0; 3];
+        self.vel = [0.0; 3];
+        self.goal = [
+            self.rng.uniform_range(3.0, 8.0) as f32,
+            self.rng.uniform_range(3.0, 8.0) as f32,
+            self.rng.uniform_range(2.0, 5.0) as f32,
+        ];
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &Action) -> StepResult {
+        self.charge_step();
+        self.steps += 1;
+        let thrust = action.continuous();
+        assert_eq!(thrust.len(), 3, "drone expects 3 thrust components");
+        let before = self.dist_to_goal();
+        for i in 0..3 {
+            let a = thrust[i].clamp(-1.0, 1.0) * 4.0 - 0.5 * self.vel[i];
+            self.vel[i] += a * DT;
+            self.pos[i] = (self.pos[i] + self.vel[i] * DT).clamp(-ARENA, ARENA);
+        }
+        let after = self.dist_to_goal();
+        let reached = after < 0.5;
+        let reward = (before - after) + if reached { 10.0 } else { 0.0 };
+        let done = reached || self.steps >= MAX_STEPS;
+        StepResult { obs: self.observation(), reward, done }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlscope_sim::cuda::CudaCostConfig;
+    use rlscope_sim::gpu::GpuDevice;
+
+    fn env() -> AirLearning {
+        AirLearning::new(VirtualClock::new(), None, 2)
+    }
+
+    #[test]
+    fn thrust_toward_goal_reduces_distance() {
+        let mut e = env();
+        let obs = e.reset();
+        let d0 = (obs[6] * obs[6] + obs[7] * obs[7] + obs[8] * obs[8]).sqrt();
+        for _ in 0..50 {
+            // Thrust along the goal direction vector.
+            let dir: Vec<f32> = e.observation()[6..9]
+                .iter()
+                .map(|d| d.clamp(-1.0, 1.0))
+                .collect();
+            e.step(&Action::Continuous(dir));
+        }
+        assert!(e.dist_to_goal() < d0, "drone did not approach goal");
+    }
+
+    #[test]
+    fn reaching_goal_terminates_with_bonus() {
+        let mut e = env();
+        e.reset();
+        let mut got_bonus = false;
+        for _ in 0..MAX_STEPS {
+            let dir: Vec<f32> = e.observation()[6..9]
+                .iter()
+                .map(|d| d.clamp(-1.0, 1.0))
+                .collect();
+            let r = e.step(&Action::Continuous(dir));
+            if r.done {
+                got_bonus = r.reward > 5.0;
+                break;
+            }
+        }
+        assert!(got_bonus, "goal never reached");
+    }
+
+    #[test]
+    fn step_costs_dominate_everything_else() {
+        let clock = VirtualClock::new();
+        let mut e = AirLearning::new(clock.clone(), None, 2);
+        e.reset();
+        e.step(&Action::Continuous(vec![0.0; 3]));
+        // 2 × (physics + render CPU).
+        let expected = (AirLearning::DEFAULT_PHYSICS_COST + AirLearning::DEFAULT_RENDER_CPU_COST) * 2;
+        assert_eq!(clock.now().as_nanos(), expected.as_nanos());
+    }
+
+    #[test]
+    fn renders_on_gpu_when_context_attached() {
+        let clock = VirtualClock::new();
+        let cuda = Rc::new(RefCell::new(CudaContext::new(
+            clock.clone(),
+            GpuDevice::new(1),
+            CudaCostConfig::default(),
+        )));
+        let stream = cuda.borrow().default_stream();
+        let mut e = AirLearning::new(clock, Some((cuda.clone(), stream)), 2);
+        e.reset();
+        e.step(&Action::Continuous(vec![0.0; 3]));
+        assert_eq!(cuda.borrow().counts().launches, 2);
+        assert!(!cuda.borrow().device().busy_intervals().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "3 thrust components")]
+    fn wrong_action_dim_panics() {
+        let mut e = env();
+        e.reset();
+        e.step(&Action::Continuous(vec![0.0; 2]));
+    }
+
+    #[test]
+    fn episode_bounded_by_max_steps() {
+        let mut e = env();
+        e.reset();
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            // Thrust away from goal so we never reach it.
+            if e.step(&Action::Continuous(vec![-1.0, -1.0, -1.0])).done {
+                break;
+            }
+        }
+        assert_eq!(steps, MAX_STEPS);
+    }
+}

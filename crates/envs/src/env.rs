@@ -1,0 +1,152 @@
+//! The environment interface and the simulator-complexity taxonomy.
+//!
+//! The paper's simulator survey (Appendix B.1, Figure 6) organizes
+//! simulators by computational complexity: computer games (low), robotics
+//! physics (medium), photo-realistic drone simulation (high). Every
+//! environment here advances the shared [`rlscope_sim::VirtualClock`] by
+//! its modelled CPU step cost, so time spent "in the simulator" is real
+//! time on the virtual timeline — attributable by the profiler when the
+//! call is wrapped in a Simulator transition.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An action an agent submits to an environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// A discrete action index.
+    Discrete(usize),
+    /// A continuous action vector.
+    Continuous(Vec<f32>),
+}
+
+impl Action {
+    /// The discrete index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is continuous.
+    pub fn discrete(&self) -> usize {
+        match self {
+            Action::Discrete(a) => *a,
+            Action::Continuous(_) => panic!("expected discrete action"),
+        }
+    }
+
+    /// The continuous vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is discrete.
+    pub fn continuous(&self) -> &[f32] {
+        match self {
+            Action::Continuous(a) => a,
+            Action::Discrete(_) => panic!("expected continuous action"),
+        }
+    }
+}
+
+/// The action space of an environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActionSpace {
+    /// `n` discrete actions.
+    Discrete(usize),
+    /// A box of `dim` continuous actions in `[low, high]`.
+    Continuous {
+        /// Action dimensionality.
+        dim: usize,
+        /// Lower bound per coordinate.
+        low: f32,
+        /// Upper bound per coordinate.
+        high: f32,
+    },
+}
+
+impl ActionSpace {
+    /// Action dimensionality (1 for discrete spaces).
+    pub fn dim(&self) -> usize {
+        match self {
+            ActionSpace::Discrete(_) => 1,
+            ActionSpace::Continuous { dim, .. } => *dim,
+        }
+    }
+}
+
+/// Simulator computational-complexity class (paper Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SimComplexity {
+    /// Computer games: Atari, board games.
+    Low,
+    /// Robotics physics: locomotion, grasping.
+    Medium,
+    /// Photo-realistic rendering: drones in game engines.
+    High,
+}
+
+impl fmt::Display for SimComplexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimComplexity::Low => write!(f, "low"),
+            SimComplexity::Medium => write!(f, "medium"),
+            SimComplexity::High => write!(f, "high"),
+        }
+    }
+}
+
+/// The result of one environment step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepResult {
+    /// Next observation.
+    pub obs: Vec<f32>,
+    /// Scalar reward.
+    pub reward: f32,
+    /// Whether the episode terminated.
+    pub done: bool,
+}
+
+/// A reinforcement-learning environment on the virtual timeline.
+pub trait Environment {
+    /// Environment name, e.g. `"Walker2D"`.
+    fn name(&self) -> &'static str;
+    /// Observation dimensionality.
+    fn obs_dim(&self) -> usize;
+    /// The action space.
+    fn action_space(&self) -> ActionSpace;
+    /// Simulator complexity class.
+    fn complexity(&self) -> SimComplexity;
+    /// Resets to an initial state, returning the first observation.
+    /// Advances the virtual clock by the reset cost.
+    fn reset(&mut self) -> Vec<f32>;
+    /// Advances one step. Advances the virtual clock by the step cost.
+    fn step(&mut self, action: &Action) -> StepResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_accessors() {
+        assert_eq!(Action::Discrete(3).discrete(), 3);
+        assert_eq!(Action::Continuous(vec![0.5]).continuous(), &[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected continuous")]
+    fn wrong_accessor_panics() {
+        Action::Discrete(1).continuous();
+    }
+
+    #[test]
+    fn action_space_dims() {
+        assert_eq!(ActionSpace::Discrete(4).dim(), 1);
+        assert_eq!(ActionSpace::Continuous { dim: 6, low: -1.0, high: 1.0 }.dim(), 6);
+    }
+
+    #[test]
+    fn complexity_ordering_matches_taxonomy() {
+        assert!(SimComplexity::Low < SimComplexity::Medium);
+        assert!(SimComplexity::Medium < SimComplexity::High);
+        assert_eq!(SimComplexity::High.to_string(), "high");
+    }
+}

@@ -1,0 +1,521 @@
+//! A Go engine: board rules, captures, ko, area scoring.
+//!
+//! The substrate for the Minigo scale-up workload (paper §4.3, Appendix
+//! B.2). The rules are real — group capture by liberty counting, suicide
+//! prohibition, simple ko, Tromp–Taylor area scoring — so that self-play
+//! games actually play out and terminate.
+
+use rlscope_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A stone color / player.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Color {
+    /// Black plays first.
+    Black,
+    /// White receives komi.
+    White,
+}
+
+impl Color {
+    /// The opposing color.
+    pub fn opponent(self) -> Color {
+        match self {
+            Color::Black => Color::White,
+            Color::White => Color::Black,
+        }
+    }
+}
+
+/// A move: pass or place a stone at a board index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GoMove {
+    /// Pass the turn.
+    Pass,
+    /// Place at `row * size + col`.
+    Place(usize),
+}
+
+/// Why a move was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IllegalMove {
+    /// Point already occupied.
+    Occupied,
+    /// Move would leave its own group with no liberties.
+    Suicide,
+    /// Move violates the simple-ko rule.
+    Ko,
+    /// Point index outside the board.
+    OutOfBounds,
+    /// Game already finished (two consecutive passes).
+    GameOver,
+}
+
+impl fmt::Display for IllegalMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IllegalMove::Occupied => "point occupied",
+            IllegalMove::Suicide => "suicide move",
+            IllegalMove::Ko => "ko violation",
+            IllegalMove::OutOfBounds => "out of bounds",
+            IllegalMove::GameOver => "game over",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for IllegalMove {}
+
+/// A Go game in progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoGame {
+    size: usize,
+    grid: Vec<Option<Color>>,
+    to_play: Color,
+    ko_point: Option<usize>,
+    consecutive_passes: u8,
+    komi: f32,
+    moves_played: u32,
+}
+
+impl GoGame {
+    /// Starts a game on a `size × size` board with standard 7.5 komi.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "board size must be positive");
+        GoGame {
+            size,
+            grid: vec![None; size * size],
+            to_play: Color::Black,
+            ko_point: None,
+            consecutive_passes: 0,
+            komi: 7.5,
+            moves_played: 0,
+        }
+    }
+
+    /// Board side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whose turn it is.
+    pub fn to_play(&self) -> Color {
+        self.to_play
+    }
+
+    /// Stone at index, if any.
+    pub fn stone_at(&self, idx: usize) -> Option<Color> {
+        self.grid.get(idx).copied().flatten()
+    }
+
+    /// Total moves played (including passes).
+    pub fn moves_played(&self) -> u32 {
+        self.moves_played
+    }
+
+    /// The game ends after two consecutive passes.
+    pub fn is_over(&self) -> bool {
+        self.consecutive_passes >= 2
+    }
+
+    /// Plays a move for the side to move.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason if the move is illegal.
+    pub fn play(&mut self, mv: GoMove) -> Result<(), IllegalMove> {
+        if self.is_over() {
+            return Err(IllegalMove::GameOver);
+        }
+        match mv {
+            GoMove::Pass => {
+                self.consecutive_passes += 1;
+                self.ko_point = None;
+                self.to_play = self.to_play.opponent();
+                self.moves_played += 1;
+                Ok(())
+            }
+            GoMove::Place(idx) => {
+                if idx >= self.grid.len() {
+                    return Err(IllegalMove::OutOfBounds);
+                }
+                if self.grid[idx].is_some() {
+                    return Err(IllegalMove::Occupied);
+                }
+                if self.ko_point == Some(idx) {
+                    return Err(IllegalMove::Ko);
+                }
+                let me = self.to_play;
+                let them = me.opponent();
+                self.grid[idx] = Some(me);
+
+                // Capture dead opponent groups adjacent to the new stone.
+                let mut captured = Vec::new();
+                for n in self.neighbors(idx) {
+                    if self.grid[n] == Some(them) && self.liberties(n) == 0 {
+                        self.collect_group(n, &mut captured);
+                    }
+                }
+                captured.sort_unstable();
+                captured.dedup();
+                for &c in &captured {
+                    self.grid[c] = None;
+                }
+
+                // Suicide check after captures.
+                if self.liberties(idx) == 0 {
+                    // Undo.
+                    self.grid[idx] = None;
+                    for &c in &captured {
+                        self.grid[c] = Some(them);
+                    }
+                    return Err(IllegalMove::Suicide);
+                }
+
+                // Simple ko: single-stone capture of a single stone.
+                self.ko_point = if captured.len() == 1 && self.group_size(idx) == 1 {
+                    Some(captured[0])
+                } else {
+                    None
+                };
+                self.consecutive_passes = 0;
+                self.to_play = them;
+                self.moves_played += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// All legal moves for the side to move (pass is always legal while the
+    /// game is live).
+    pub fn legal_moves(&self) -> Vec<GoMove> {
+        if self.is_over() {
+            return Vec::new();
+        }
+        let mut moves = vec![GoMove::Pass];
+        for idx in 0..self.grid.len() {
+            if self.is_legal(GoMove::Place(idx)) {
+                moves.push(GoMove::Place(idx));
+            }
+        }
+        moves
+    }
+
+    /// Checks legality without mutating.
+    pub fn is_legal(&self, mv: GoMove) -> bool {
+        let mut copy = self.clone();
+        copy.play(mv).is_ok()
+    }
+
+    /// Tromp–Taylor area score from Black's perspective (komi subtracted).
+    pub fn score(&self) -> f32 {
+        let mut black = 0.0f32;
+        let mut white = self.komi;
+        let mut seen = vec![false; self.grid.len()];
+        for idx in 0..self.grid.len() {
+            match self.grid[idx] {
+                Some(Color::Black) => black += 1.0,
+                Some(Color::White) => white += 1.0,
+                None => {
+                    if seen[idx] {
+                        continue;
+                    }
+                    // Flood-fill the empty region; find bordering colors.
+                    let mut stack = vec![idx];
+                    let mut region = Vec::new();
+                    let mut borders_black = false;
+                    let mut borders_white = false;
+                    while let Some(p) = stack.pop() {
+                        if seen[p] {
+                            continue;
+                        }
+                        seen[p] = true;
+                        region.push(p);
+                        for n in self.neighbors(p) {
+                            match self.grid[n] {
+                                None => stack.push(n),
+                                Some(Color::Black) => borders_black = true,
+                                Some(Color::White) => borders_white = true,
+                            }
+                        }
+                    }
+                    match (borders_black, borders_white) {
+                        (true, false) => black += region.len() as f32,
+                        (false, true) => white += region.len() as f32,
+                        _ => {} // neutral
+                    }
+                }
+            }
+        }
+        black - white
+    }
+
+    /// The winner once the game is over (`None` on a drawn score, which
+    /// cannot occur with fractional komi).
+    pub fn winner(&self) -> Option<Color> {
+        let s = self.score();
+        if s > 0.0 {
+            Some(Color::Black)
+        } else if s < 0.0 {
+            Some(Color::White)
+        } else {
+            None
+        }
+    }
+
+    /// Plays a uniformly random legal non-pass move when one exists that is
+    /// not obviously self-harming (fills of single-point eyes are avoided
+    /// crudely); passes otherwise. Returns the move played.
+    pub fn play_random(&mut self, rng: &mut SimRng) -> GoMove {
+        let moves: Vec<GoMove> = self
+            .legal_moves()
+            .into_iter()
+            .filter(|m| !matches!(m, GoMove::Pass))
+            .filter(|m| match m {
+                GoMove::Place(idx) => !self.is_own_eye(*idx),
+                GoMove::Pass => true,
+            })
+            .collect();
+        let mv = if moves.is_empty() { GoMove::Pass } else { moves[rng.below(moves.len())] };
+        self.play(mv).expect("selected move was legal");
+        mv
+    }
+
+    fn is_own_eye(&self, idx: usize) -> bool {
+        let ns = self.neighbors(idx);
+        !ns.is_empty() && ns.iter().all(|&n| self.grid[n] == Some(self.to_play))
+    }
+
+    fn neighbors(&self, idx: usize) -> Vec<usize> {
+        let (r, c) = (idx / self.size, idx % self.size);
+        let mut out = Vec::with_capacity(4);
+        if r > 0 {
+            out.push(idx - self.size);
+        }
+        if r + 1 < self.size {
+            out.push(idx + self.size);
+        }
+        if c > 0 {
+            out.push(idx - 1);
+        }
+        if c + 1 < self.size {
+            out.push(idx + 1);
+        }
+        out
+    }
+
+    fn liberties(&self, idx: usize) -> usize {
+        let color = self.grid[idx].expect("liberties of empty point");
+        let mut seen = vec![false; self.grid.len()];
+        let mut stack = vec![idx];
+        let mut libs = 0;
+        let mut lib_seen = vec![false; self.grid.len()];
+        while let Some(p) = stack.pop() {
+            if seen[p] {
+                continue;
+            }
+            seen[p] = true;
+            for n in self.neighbors(p) {
+                match self.grid[n] {
+                    None => {
+                        if !lib_seen[n] {
+                            lib_seen[n] = true;
+                            libs += 1;
+                        }
+                    }
+                    Some(c) if c == color => stack.push(n),
+                    _ => {}
+                }
+            }
+        }
+        libs
+    }
+
+    fn group_size(&self, idx: usize) -> usize {
+        let color = self.grid[idx].expect("group of empty point");
+        let mut seen = vec![false; self.grid.len()];
+        let mut stack = vec![idx];
+        let mut n = 0;
+        while let Some(p) = stack.pop() {
+            if seen[p] {
+                continue;
+            }
+            seen[p] = true;
+            n += 1;
+            for nb in self.neighbors(p) {
+                if self.grid[nb] == Some(color) {
+                    stack.push(nb);
+                }
+            }
+        }
+        n
+    }
+
+    fn collect_group(&self, idx: usize, out: &mut Vec<usize>) {
+        let color = self.grid[idx].expect("collect empty group");
+        let mut seen = vec![false; self.grid.len()];
+        let mut stack = vec![idx];
+        while let Some(p) = stack.pop() {
+            if seen[p] {
+                continue;
+            }
+            seen[p] = true;
+            out.push(p);
+            for nb in self.neighbors(p) {
+                if self.grid[nb] == Some(color) {
+                    stack.push(nb);
+                }
+            }
+        }
+    }
+
+    /// Flattens the position into planes for network input: `to_play`
+    /// stones, opponent stones (2 × size² values in `[0,1]`).
+    pub fn features(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(2 * self.grid.len());
+        for &cell in &self.grid {
+            out.push(if cell == Some(self.to_play) { 1.0 } else { 0.0 });
+        }
+        for &cell in &self.grid {
+            out.push(if cell == Some(self.to_play.opponent()) { 1.0 } else { 0.0 });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(g: &GoGame, r: usize, c: usize) -> Option<Color> {
+        g.stone_at(r * g.size() + c)
+    }
+
+    fn place(g: &mut GoGame, r: usize, c: usize) {
+        let idx = r * g.size() + c;
+        g.play(GoMove::Place(idx)).unwrap();
+    }
+
+    #[test]
+    fn capture_single_stone() {
+        let mut g = GoGame::new(5);
+        // Black surrounds a white stone at (1,1).
+        place(&mut g, 0, 1); // B
+        place(&mut g, 1, 1); // W
+        place(&mut g, 1, 0); // B
+        place(&mut g, 4, 4); // W elsewhere
+        place(&mut g, 2, 1); // B
+        place(&mut g, 4, 3); // W elsewhere
+        place(&mut g, 1, 2); // B captures
+        assert_eq!(at(&g, 1, 1), None, "white stone should be captured");
+    }
+
+    #[test]
+    fn suicide_is_illegal() {
+        let mut g = GoGame::new(3);
+        // Black stones around (0,0)'s liberties: (0,1) and (1,0).
+        place(&mut g, 0, 1); // B
+        place(&mut g, 2, 2); // W
+        place(&mut g, 1, 0); // B
+        // White plays (0,0): zero liberties, captures nothing => suicide.
+        assert_eq!(g.play(GoMove::Place(0)), Err(IllegalMove::Suicide));
+    }
+
+    #[test]
+    fn ko_is_rejected_immediately_but_allowed_later() {
+        let mut g = GoGame::new(5);
+        // Classic ko shape around (1,1)/(1,2).
+        place(&mut g, 0, 1); // B
+        place(&mut g, 0, 2); // W
+        place(&mut g, 1, 0); // B
+        place(&mut g, 1, 3); // W
+        place(&mut g, 2, 1); // B
+        place(&mut g, 2, 2); // W
+        place(&mut g, 1, 2); // B: stone inside white's mouth
+        place(&mut g, 1, 1); // W captures B at (1,2)
+        assert_eq!(at(&g, 1, 2), None);
+        // Black may not immediately recapture at (1,2).
+        assert_eq!(g.play(GoMove::Place(1 * 5 + 2)), Err(IllegalMove::Ko));
+        // After a ko threat elsewhere, recapture becomes legal.
+        place(&mut g, 4, 4); // B elsewhere
+        place(&mut g, 4, 0); // W responds
+        assert!(g.play(GoMove::Place(1 * 5 + 2)).is_ok());
+    }
+
+    #[test]
+    fn two_passes_end_the_game() {
+        let mut g = GoGame::new(5);
+        g.play(GoMove::Pass).unwrap();
+        assert!(!g.is_over());
+        g.play(GoMove::Pass).unwrap();
+        assert!(g.is_over());
+        assert_eq!(g.play(GoMove::Pass), Err(IllegalMove::GameOver));
+        assert!(g.legal_moves().is_empty());
+    }
+
+    #[test]
+    fn empty_board_score_is_minus_komi() {
+        let g = GoGame::new(5);
+        assert_eq!(g.score(), -7.5);
+        assert_eq!(g.winner(), Some(Color::White));
+    }
+
+    #[test]
+    fn territory_counts_toward_owner() {
+        let mut g = GoGame::new(3);
+        // Black wall on column 1 → column 0 is black territory.
+        place(&mut g, 0, 1); // B
+        place(&mut g, 0, 2); // W
+        place(&mut g, 1, 1); // B
+        place(&mut g, 1, 2); // W
+        place(&mut g, 2, 1); // B
+        // Black: 3 stones + 3 territory (col 0) = 6.
+        // White: 2 stones + komi 7.5; (2,2) borders both colors → neutral.
+        assert_eq!(g.score(), 6.0 - 9.5);
+    }
+
+    #[test]
+    fn random_playout_terminates() {
+        let mut g = GoGame::new(5);
+        let mut rng = SimRng::seed_from_u64(6);
+        let mut moves = 0;
+        while !g.is_over() && moves < 500 {
+            g.play_random(&mut rng);
+            moves += 1;
+        }
+        assert!(g.is_over(), "random game never ended ({moves} moves)");
+        assert!(g.winner().is_some());
+    }
+
+    #[test]
+    fn occupied_and_oob_rejected() {
+        let mut g = GoGame::new(3);
+        g.play(GoMove::Place(4)).unwrap();
+        assert_eq!(g.play(GoMove::Place(4)), Err(IllegalMove::Occupied));
+        assert_eq!(g.play(GoMove::Place(99)), Err(IllegalMove::OutOfBounds));
+    }
+
+    #[test]
+    fn features_are_perspective_relative() {
+        let mut g = GoGame::new(3);
+        g.play(GoMove::Place(0)).unwrap(); // Black at 0
+        let f = g.features(); // White to play: plane 0 = white, plane 1 = black
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[9], 1.0);
+        assert_eq!(f.len(), 18);
+    }
+
+    #[test]
+    fn alternating_turns() {
+        let mut g = GoGame::new(3);
+        assert_eq!(g.to_play(), Color::Black);
+        g.play(GoMove::Place(0)).unwrap();
+        assert_eq!(g.to_play(), Color::White);
+        assert_eq!(g.moves_played(), 1);
+    }
+}

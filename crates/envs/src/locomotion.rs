@@ -1,0 +1,333 @@
+//! MuJoCo-style planar locomotion tasks: Walker2D, Hopper, HalfCheetah, Ant.
+//!
+//! Medium-complexity robotics simulators (paper Figure 6). The dynamics are
+//! a simplified articulated-chain model — per-joint second-order dynamics
+//! with damping, gravity coupling and torque limits, plus a trunk whose
+//! forward velocity derives from coordinated joint motion. This is a real
+//! (if reduced) physics integrator: actions genuinely change trajectories,
+//! reward is forward progress minus control cost, and falling terminates
+//! the episode — the properties RL algorithms interact with.
+
+use crate::env::{Action, ActionSpace, Environment, SimComplexity, StepResult};
+use rlscope_sim::rng::SimRng;
+use rlscope_sim::time::DurationNs;
+use rlscope_sim::VirtualClock;
+use serde::{Deserialize, Serialize};
+
+/// Which locomotion morphology to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocomotionTask {
+    /// Bipedal walker, 6 actuated joints (obs 17).
+    Walker2d,
+    /// Single-leg hopper, 3 joints (obs 11).
+    Hopper,
+    /// Planar cheetah, 6 joints, no fall termination (obs 17).
+    HalfCheetah,
+    /// Quadruped ant, 8 joints (obs 27).
+    Ant,
+}
+
+impl LocomotionTask {
+    /// Number of actuated joints (the action dimensionality).
+    pub fn joints(self) -> usize {
+        match self {
+            LocomotionTask::Walker2d | LocomotionTask::HalfCheetah => 6,
+            LocomotionTask::Hopper => 3,
+            LocomotionTask::Ant => 8,
+        }
+    }
+
+    /// Observation dimensionality (matching the Gym sizes).
+    pub fn obs_dim(self) -> usize {
+        match self {
+            LocomotionTask::Walker2d | LocomotionTask::HalfCheetah => 17,
+            LocomotionTask::Hopper => 11,
+            LocomotionTask::Ant => 27,
+        }
+    }
+
+    /// Whether a low trunk terminates the episode.
+    pub fn can_fall(self) -> bool {
+        !matches!(self, LocomotionTask::HalfCheetah)
+    }
+
+    /// The environment name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LocomotionTask::Walker2d => "Walker2D",
+            LocomotionTask::Hopper => "Hopper",
+            LocomotionTask::HalfCheetah => "HalfCheetah",
+            LocomotionTask::Ant => "Ant",
+        }
+    }
+
+    /// Default per-step physics CPU cost (more joints cost more). These
+    /// sit in the sub-millisecond range of real MuJoCo steps, scaled with
+    /// joint count.
+    pub fn default_step_cost(self) -> DurationNs {
+        match self {
+            LocomotionTask::Hopper => DurationNs::from_micros(450),
+            LocomotionTask::Walker2d => DurationNs::from_micros(700),
+            LocomotionTask::HalfCheetah => DurationNs::from_micros(500),
+            LocomotionTask::Ant => DurationNs::from_micros(800),
+        }
+    }
+}
+
+const DT: f32 = 0.01;
+const GRAVITY: f32 = 9.8;
+const MAX_STEPS: u32 = 1_000;
+
+/// A planar locomotion environment.
+#[derive(Debug)]
+pub struct Locomotion {
+    task: LocomotionTask,
+    clock: VirtualClock,
+    step_cost: DurationNs,
+    rng: SimRng,
+    theta: Vec<f32>,
+    omega: Vec<f32>,
+    trunk_height: f32,
+    trunk_x: f32,
+    trunk_vx: f32,
+    steps: u32,
+}
+
+impl Locomotion {
+    /// Creates a locomotion task on `clock`.
+    pub fn new(task: LocomotionTask, clock: VirtualClock, seed: u64) -> Self {
+        Self::with_step_cost(task, clock, seed, task.default_step_cost())
+    }
+
+    /// Creates a locomotion task with an explicit per-step CPU cost.
+    pub fn with_step_cost(
+        task: LocomotionTask,
+        clock: VirtualClock,
+        seed: u64,
+        step_cost: DurationNs,
+    ) -> Self {
+        let joints = task.joints();
+        Locomotion {
+            task,
+            clock,
+            step_cost,
+            rng: SimRng::seed_from_u64(seed),
+            theta: vec![0.0; joints],
+            omega: vec![0.0; joints],
+            trunk_height: 1.0,
+            trunk_x: 0.0,
+            trunk_vx: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// The task morphology.
+    pub fn task(&self) -> LocomotionTask {
+        self.task
+    }
+
+    /// Horizontal trunk position (forward progress).
+    pub fn trunk_x(&self) -> f32 {
+        self.trunk_x
+    }
+
+    fn observation(&self) -> Vec<f32> {
+        let mut obs = Vec::with_capacity(self.task.obs_dim());
+        obs.push(self.trunk_height);
+        obs.push(self.trunk_vx);
+        for (&t, &w) in self.theta.iter().zip(&self.omega) {
+            obs.push(t.sin());
+            obs.push(w.clamp(-10.0, 10.0) / 10.0);
+        }
+        obs.resize(self.task.obs_dim(), 0.0);
+        obs
+    }
+}
+
+impl Environment for Locomotion {
+    fn name(&self) -> &'static str {
+        self.task.name()
+    }
+
+    fn obs_dim(&self) -> usize {
+        self.task.obs_dim()
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Continuous { dim: self.task.joints(), low: -1.0, high: 1.0 }
+    }
+
+    fn complexity(&self) -> SimComplexity {
+        SimComplexity::Medium
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.clock.advance(self.step_cost);
+        for (t, w) in self.theta.iter_mut().zip(self.omega.iter_mut()) {
+            *t = self.rng.normal_with(0.0, 0.05) as f32;
+            *w = 0.0;
+        }
+        self.trunk_height = 1.0 + self.rng.normal_with(0.0, 0.01) as f32;
+        self.trunk_x = 0.0;
+        self.trunk_vx = 0.0;
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &Action) -> StepResult {
+        self.clock.advance(self.step_cost);
+        self.steps += 1;
+        let torques = action.continuous();
+        assert_eq!(
+            torques.len(),
+            self.task.joints(),
+            "{}: expected {} torques, got {}",
+            self.name(),
+            self.task.joints(),
+            torques.len()
+        );
+
+        // Per-joint dynamics: damped, gravity-coupled pendulum driven by a
+        // clipped torque; semi-implicit Euler.
+        let mut control_cost = 0.0;
+        let mut coordination = 0.0;
+        for j in 0..self.theta.len() {
+            let tau = torques[j].clamp(-1.0, 1.0);
+            control_cost += tau * tau;
+            let alpha = 8.0 * tau - 1.5 * self.omega[j] - GRAVITY * 0.4 * self.theta[j].sin();
+            self.omega[j] += alpha * DT;
+            self.theta[j] += self.omega[j] * DT;
+            // Alternating joints moving in anti-phase produce thrust.
+            let phase = if j % 2 == 0 { 1.0 } else { -1.0 };
+            coordination += phase * self.omega[j] * self.theta[j].cos();
+        }
+        let thrust = (coordination / self.theta.len() as f32).tanh();
+        self.trunk_vx += (thrust - 0.3 * self.trunk_vx) * DT * 10.0;
+        self.trunk_x += self.trunk_vx * DT;
+
+        // Trunk height couples to joint extension; wild joint angles drop it.
+        let mean_abs: f32 =
+            self.theta.iter().map(|t| t.abs()).sum::<f32>() / self.theta.len() as f32;
+        self.trunk_height = 1.2 - 0.5 * mean_abs.min(2.0);
+
+        let fell = self.task.can_fall() && self.trunk_height < 0.6;
+        let reward = self.trunk_vx - 0.01 * control_cost + if fell { -1.0 } else { 0.05 };
+        let done = fell || self.steps >= MAX_STEPS;
+        StepResult { obs: self.observation(), reward, done }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlscope_sim::time::TimeNs;
+
+    fn walker() -> Locomotion {
+        Locomotion::new(LocomotionTask::Walker2d, VirtualClock::new(), 3)
+    }
+
+    #[test]
+    fn dimensions_match_gym() {
+        for (task, obs, act) in [
+            (LocomotionTask::Walker2d, 17, 6),
+            (LocomotionTask::Hopper, 11, 3),
+            (LocomotionTask::HalfCheetah, 17, 6),
+            (LocomotionTask::Ant, 27, 8),
+        ] {
+            let e = Locomotion::new(task, VirtualClock::new(), 0);
+            assert_eq!(e.obs_dim(), obs);
+            assert_eq!(e.action_space().dim(), act);
+        }
+    }
+
+    #[test]
+    fn reset_obs_has_correct_len() {
+        let mut e = walker();
+        assert_eq!(e.reset().len(), 17);
+    }
+
+    #[test]
+    fn step_advances_clock_by_task_cost() {
+        let clock = VirtualClock::new();
+        let mut e = Locomotion::new(LocomotionTask::Ant, clock.clone(), 0);
+        e.reset();
+        e.step(&Action::Continuous(vec![0.0; 8]));
+        assert_eq!(
+            clock.now(),
+            TimeNs::ZERO + LocomotionTask::Ant.default_step_cost() * 2
+        );
+    }
+
+    #[test]
+    fn coordinated_torques_move_forward() {
+        // Anti-phase torque pattern should generate forward progress
+        // relative to doing nothing.
+        let mut active = walker();
+        active.reset();
+        let mut passive = walker();
+        passive.reset();
+        for i in 0..300 {
+            let phase = ((i as f32) * 0.2).sin();
+            let torques: Vec<f32> =
+                (0..6).map(|j| if j % 2 == 0 { phase } else { -phase }).collect();
+            active.step(&Action::Continuous(torques));
+            passive.step(&Action::Continuous(vec![0.0; 6]));
+        }
+        assert!(
+            active.trunk_x().abs() > passive.trunk_x().abs(),
+            "active {} vs passive {}",
+            active.trunk_x(),
+            passive.trunk_x()
+        );
+    }
+
+    #[test]
+    fn halfcheetah_never_falls() {
+        let mut e = Locomotion::new(LocomotionTask::HalfCheetah, VirtualClock::new(), 0);
+        e.reset();
+        for _ in 0..999 {
+            let r = e.step(&Action::Continuous(vec![1.0; 6]));
+            assert!(!r.done);
+        }
+        // Terminates only via the step limit.
+        let r = e.step(&Action::Continuous(vec![1.0; 6]));
+        assert!(r.done);
+    }
+
+    #[test]
+    fn extreme_torques_topple_the_walker() {
+        let mut e = walker();
+        e.reset();
+        let mut fell = false;
+        for _ in 0..MAX_STEPS {
+            let r = e.step(&Action::Continuous(vec![1.0; 6]));
+            if r.done {
+                fell = true;
+                break;
+            }
+        }
+        assert!(fell, "walker survived max torque for a full episode");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 6 torques")]
+    fn wrong_action_dim_panics() {
+        let mut e = walker();
+        e.reset();
+        e.step(&Action::Continuous(vec![0.0; 3]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = walker();
+        let mut b = Locomotion::new(LocomotionTask::Walker2d, VirtualClock::new(), 3);
+        let oa = a.reset();
+        let ob = b.reset();
+        assert_eq!(oa, ob);
+        for _ in 0..50 {
+            let ra = a.step(&Action::Continuous(vec![0.3; 6]));
+            let rb = b.step(&Action::Continuous(vec![0.3; 6]));
+            assert_eq!(ra, rb);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Monte-Carlo tree search over Go positions, in the AlphaGoZero/Minigo
+//! style.
+//!
+//! The tree policy is PUCT; leaves are expanded with an *evaluator* — a
+//! callback that maps a position to per-move priors and a value estimate.
+//! The Minigo workload plugs a neural-network evaluator in here (each leaf
+//! expansion becomes an `expand_leaf` inference minibatch, exactly the
+//! annotation structure shown in the paper's Figure 2); unit tests use a
+//! uniform evaluator.
+
+use crate::go::{Color, GoGame, GoMove};
+use rlscope_sim::rng::SimRng;
+use std::collections::HashMap;
+
+/// Evaluates a position: returns `(priors, value)` where `priors` assigns a
+/// weight to each legal move and `value` is the expected outcome for the
+/// side to move, in `[-1, 1]`.
+pub trait Evaluator {
+    /// Evaluate `game`, producing move priors and a value estimate.
+    fn evaluate(&mut self, game: &GoGame) -> (HashMap<GoMove, f32>, f32);
+}
+
+/// A uniform-prior, zero-value evaluator (pure MCTS with no network).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UniformEvaluator;
+
+impl Evaluator for UniformEvaluator {
+    fn evaluate(&mut self, game: &GoGame) -> (HashMap<GoMove, f32>, f32) {
+        let moves = game.legal_moves();
+        let p = 1.0 / moves.len().max(1) as f32;
+        (moves.into_iter().map(|m| (m, p)).collect(), 0.0)
+    }
+}
+
+#[derive(Debug)]
+struct MctsNode {
+    children: HashMap<GoMove, usize>,
+    visits: u32,
+    total_value: f32,
+    prior: f32,
+    expanded: bool,
+}
+
+impl MctsNode {
+    fn new(prior: f32) -> Self {
+        MctsNode { children: HashMap::new(), visits: 0, total_value: 0.0, prior, expanded: false }
+    }
+
+    fn q(&self) -> f32 {
+        if self.visits == 0 {
+            0.0
+        } else {
+            self.total_value / self.visits as f32
+        }
+    }
+}
+
+/// Monte-Carlo tree search state for one root position.
+#[derive(Debug)]
+pub struct Mcts {
+    nodes: Vec<MctsNode>,
+    root_game: GoGame,
+    c_puct: f32,
+}
+
+impl Mcts {
+    /// Creates a search rooted at `game`.
+    pub fn new(game: GoGame) -> Self {
+        Mcts { nodes: vec![MctsNode::new(1.0)], root_game: game, c_puct: 1.4 }
+    }
+
+    /// Number of simulations run so far (root visit count).
+    pub fn simulations(&self) -> u32 {
+        self.nodes[0].visits
+    }
+
+    /// Runs `n` simulations using `eval` for leaf expansion.
+    pub fn run(&mut self, n: u32, eval: &mut dyn Evaluator) {
+        for _ in 0..n {
+            self.simulate(eval);
+        }
+    }
+
+    fn simulate(&mut self, eval: &mut dyn Evaluator) {
+        let mut game = self.root_game.clone();
+        let mut path = vec![0usize];
+        let mut node = 0usize;
+
+        // Selection.
+        while self.nodes[node].expanded && !game.is_over() {
+            let Some((mv, child)) = self.select_child(node) else { break };
+            game.play(mv).expect("MCTS selected illegal move");
+            path.push(child);
+            node = child;
+        }
+
+        // Expansion + evaluation.
+        let value = if game.is_over() {
+            // Terminal: exact outcome for the side to move.
+            match game.winner() {
+                Some(w) if w == game.to_play() => 1.0,
+                Some(_) => -1.0,
+                None => 0.0,
+            }
+        } else {
+            let (priors, value) = eval.evaluate(&game);
+            let total: f32 = priors.values().sum::<f32>().max(1e-9);
+            let node_ref = &mut self.nodes[node];
+            if !node_ref.expanded {
+                node_ref.expanded = true;
+                let mut kids = Vec::new();
+                for (mv, p) in priors {
+                    kids.push((mv, p / total));
+                }
+                for (mv, p) in kids {
+                    let idx = self.nodes.len();
+                    self.nodes.push(MctsNode::new(p));
+                    self.nodes[node].children.insert(mv, idx);
+                }
+            }
+            value
+        };
+
+        // Backup: value is from the perspective of the side to move at the
+        // leaf; flip sign going up.
+        let mut v = value;
+        for &idx in path.iter().rev() {
+            self.nodes[idx].visits += 1;
+            self.nodes[idx].total_value += v;
+            v = -v;
+        }
+    }
+
+    fn select_child(&self, node: usize) -> Option<(GoMove, usize)> {
+        let n = &self.nodes[node];
+        let sqrt_total = (n.visits.max(1) as f32).sqrt();
+        n.children
+            .iter()
+            .map(|(&mv, &child)| {
+                let c = &self.nodes[child];
+                // Child Q is from the opponent's perspective.
+                let u = self.c_puct * c.prior * sqrt_total / (1.0 + c.visits as f32);
+                (mv, child, -c.q() + u)
+            })
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(mv, child, _)| (mv, child))
+    }
+
+    /// The most-visited root move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no simulations have been run.
+    pub fn best_move(&self) -> GoMove {
+        let root = &self.nodes[0];
+        assert!(root.expanded, "best_move before any simulation");
+        root.children
+            .iter()
+            .max_by_key(|(_, &child)| self.nodes[child].visits)
+            .map(|(&mv, _)| mv)
+            .expect("expanded root has children")
+    }
+
+    /// Samples a root move proportionally to visit counts (exploratory
+    /// self-play move selection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no simulations have been run.
+    pub fn sample_move(&self, rng: &mut SimRng) -> GoMove {
+        let root = &self.nodes[0];
+        assert!(root.expanded, "sample_move before any simulation");
+        let total: u32 = root.children.values().map(|&c| self.nodes[c].visits).sum();
+        if total == 0 {
+            return self.best_move();
+        }
+        let mut pick = rng.below(total as usize) as u32;
+        let mut entries: Vec<(&GoMove, &usize)> = root.children.iter().collect();
+        entries.sort_by_key(|(mv, _)| format!("{mv:?}"));
+        for (mv, &child) in entries {
+            let v = self.nodes[child].visits;
+            if pick < v {
+                return *mv;
+            }
+            pick -= v;
+        }
+        self.best_move()
+    }
+
+    /// Root visit distribution, for training targets.
+    pub fn visit_counts(&self) -> Vec<(GoMove, u32)> {
+        self.nodes[0]
+            .children
+            .iter()
+            .map(|(&mv, &c)| (mv, self.nodes[c].visits))
+            .collect()
+    }
+}
+
+/// Plays one full self-play game on a `size × size` board, using `sims`
+/// simulations per move. Returns the winner and the number of moves.
+pub fn self_play_game(
+    size: usize,
+    sims: u32,
+    eval: &mut dyn Evaluator,
+    rng: &mut SimRng,
+    max_moves: u32,
+) -> (Option<Color>, u32) {
+    let mut game = GoGame::new(size);
+    let mut moves = 0;
+    while !game.is_over() && moves < max_moves {
+        let mut mcts = Mcts::new(game.clone());
+        mcts.run(sims, eval);
+        let mv = if moves < 6 { mcts.sample_move(rng) } else { mcts.best_move() };
+        game.play(mv).expect("MCTS produced illegal move");
+        moves += 1;
+    }
+    // If we hit the move cap, score the position as-is.
+    (game.winner(), moves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulations_accumulate_visits() {
+        let mut mcts = Mcts::new(GoGame::new(5));
+        mcts.run(50, &mut UniformEvaluator);
+        assert_eq!(mcts.simulations(), 50);
+        let counts: u32 = mcts.visit_counts().iter().map(|&(_, v)| v).sum();
+        assert!(counts <= 50);
+        assert!(counts > 0);
+    }
+
+    #[test]
+    fn best_move_is_most_visited() {
+        let mut mcts = Mcts::new(GoGame::new(3));
+        mcts.run(100, &mut UniformEvaluator);
+        let best = mcts.best_move();
+        let max = mcts.visit_counts().into_iter().max_by_key(|&(_, v)| v).unwrap();
+        assert_eq!(best, max.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any simulation")]
+    fn best_move_requires_simulations() {
+        Mcts::new(GoGame::new(3)).best_move();
+    }
+
+    #[test]
+    fn biased_evaluator_steers_search() {
+        // An evaluator that loves one specific corner should concentrate
+        // visits there.
+        struct CornerFan;
+        impl Evaluator for CornerFan {
+            fn evaluate(&mut self, game: &GoGame) -> (HashMap<GoMove, f32>, f32) {
+                let moves = game.legal_moves();
+                let priors = moves
+                    .into_iter()
+                    .map(|m| (m, if m == GoMove::Place(0) { 100.0 } else { 0.01 }))
+                    .collect();
+                (priors, 0.0)
+            }
+        }
+        let mut mcts = Mcts::new(GoGame::new(5));
+        mcts.run(60, &mut CornerFan);
+        assert_eq!(mcts.best_move(), GoMove::Place(0));
+    }
+
+    #[test]
+    fn self_play_completes_and_declares_winner() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let (winner, moves) =
+            self_play_game(5, 16, &mut UniformEvaluator, &mut rng, 120);
+        assert!(moves > 2, "game too short: {moves}");
+        assert!(winner.is_some());
+    }
+
+    #[test]
+    fn sample_move_is_legal() {
+        let mut mcts = Mcts::new(GoGame::new(3));
+        mcts.run(30, &mut UniformEvaluator);
+        let mut rng = SimRng::seed_from_u64(1);
+        let game = GoGame::new(3);
+        for _ in 0..10 {
+            let mv = mcts.sample_move(&mut rng);
+            assert!(game.is_legal(mv), "sampled illegal move {mv:?}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Atari-Pong-style environment: real paddle/ball dynamics.
+//!
+//! A low-complexity "computer game" simulator (paper Figure 6). The agent
+//! controls the right paddle; a simple tracking opponent controls the left.
+//! One episode is one rally point (reward +1 on scoring, −1 on conceding).
+
+use crate::env::{Action, ActionSpace, Environment, SimComplexity, StepResult};
+use rlscope_sim::rng::SimRng;
+use rlscope_sim::time::DurationNs;
+use rlscope_sim::VirtualClock;
+
+const COURT_W: f32 = 1.0;
+const COURT_H: f32 = 1.0;
+const PADDLE_H: f32 = 0.2;
+const PADDLE_SPEED: f32 = 0.04;
+const OPP_SPEED: f32 = 0.025;
+const BALL_SPEED: f32 = 0.03;
+const MAX_STEPS: u32 = 1_000;
+
+/// The Pong environment.
+#[derive(Debug)]
+pub struct Pong {
+    clock: VirtualClock,
+    step_cost: DurationNs,
+    rng: SimRng,
+    ball: (f32, f32),
+    vel: (f32, f32),
+    paddle_y: f32,
+    opp_y: f32,
+    steps: u32,
+}
+
+impl Pong {
+    /// Default per-step emulator CPU cost: one agent step covers four
+    /// emulated frames (frameskip) plus observation preprocessing, the
+    /// pipeline stable-baselines wraps around ALE.
+    pub const DEFAULT_STEP_COST: DurationNs = DurationNs::from_micros(650);
+
+    /// Creates a Pong instance on `clock`.
+    pub fn new(clock: VirtualClock, seed: u64) -> Self {
+        Self::with_step_cost(clock, seed, Self::DEFAULT_STEP_COST)
+    }
+
+    /// Creates a Pong instance with an explicit per-step CPU cost.
+    pub fn with_step_cost(clock: VirtualClock, seed: u64, step_cost: DurationNs) -> Self {
+        let mut env = Pong {
+            clock,
+            step_cost,
+            rng: SimRng::seed_from_u64(seed),
+            ball: (0.5, 0.5),
+            vel: (BALL_SPEED, 0.0),
+            paddle_y: 0.5,
+            opp_y: 0.5,
+            steps: 0,
+        };
+        env.serve();
+        env
+    }
+
+    fn serve(&mut self) {
+        self.ball = (0.5, 0.5);
+        let dir = if self.rng.chance(0.5) { 1.0 } else { -1.0 };
+        let angle = self.rng.uniform_range(-0.7, 0.7);
+        self.vel = (dir * BALL_SPEED, angle as f32 * BALL_SPEED);
+        self.steps = 0;
+    }
+
+    fn observation(&self) -> Vec<f32> {
+        vec![self.ball.0, self.ball.1, self.vel.0 / BALL_SPEED, self.vel.1 / BALL_SPEED, self.paddle_y, self.opp_y]
+    }
+
+    /// Current ball position (for tests).
+    pub fn ball(&self) -> (f32, f32) {
+        self.ball
+    }
+}
+
+impl Environment for Pong {
+    fn name(&self) -> &'static str {
+        "Pong"
+    }
+
+    fn obs_dim(&self) -> usize {
+        6
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Discrete(3) // stay, up, down
+    }
+
+    fn complexity(&self) -> SimComplexity {
+        SimComplexity::Low
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.clock.advance(self.step_cost);
+        self.paddle_y = 0.5;
+        self.opp_y = 0.5;
+        self.serve();
+        self.observation()
+    }
+
+    fn step(&mut self, action: &Action) -> StepResult {
+        self.clock.advance(self.step_cost);
+        self.steps += 1;
+
+        // Agent paddle (right side).
+        match action.discrete() {
+            1 => self.paddle_y = (self.paddle_y + PADDLE_SPEED).min(COURT_H - PADDLE_H / 2.0),
+            2 => self.paddle_y = (self.paddle_y - PADDLE_SPEED).max(PADDLE_H / 2.0),
+            _ => {}
+        }
+        // Opponent tracks the ball imperfectly.
+        let target = self.ball.1;
+        if target > self.opp_y + 0.02 {
+            self.opp_y = (self.opp_y + OPP_SPEED).min(COURT_H - PADDLE_H / 2.0);
+        } else if target < self.opp_y - 0.02 {
+            self.opp_y = (self.opp_y - OPP_SPEED).max(PADDLE_H / 2.0);
+        }
+
+        // Ball physics.
+        self.ball.0 += self.vel.0;
+        self.ball.1 += self.vel.1;
+        if self.ball.1 <= 0.0 || self.ball.1 >= COURT_H {
+            self.vel.1 = -self.vel.1;
+            self.ball.1 = self.ball.1.clamp(0.0, COURT_H);
+        }
+
+        // Right paddle contact.
+        if self.ball.0 >= COURT_W - 0.02 && self.vel.0 > 0.0 {
+            if (self.ball.1 - self.paddle_y).abs() <= PADDLE_H / 2.0 {
+                self.vel.0 = -self.vel.0;
+                // Impart spin based on contact point.
+                self.vel.1 += (self.ball.1 - self.paddle_y) * 0.1;
+            } else {
+                // Conceded.
+                let obs = self.observation();
+                self.serve();
+                return StepResult { obs, reward: -1.0, done: true };
+            }
+        }
+        // Left (opponent) paddle contact.
+        if self.ball.0 <= 0.02 && self.vel.0 < 0.0 {
+            if (self.ball.1 - self.opp_y).abs() <= PADDLE_H / 2.0 {
+                self.vel.0 = -self.vel.0;
+                self.vel.1 += (self.ball.1 - self.opp_y) * 0.1;
+            } else {
+                // Scored!
+                let obs = self.observation();
+                self.serve();
+                return StepResult { obs, reward: 1.0, done: true };
+            }
+        }
+
+        let done = self.steps >= MAX_STEPS;
+        StepResult { obs: self.observation(), reward: 0.0, done }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlscope_sim::time::TimeNs;
+
+    fn env() -> Pong {
+        Pong::new(VirtualClock::new(), 1)
+    }
+
+    #[test]
+    fn reset_returns_centered_state() {
+        let mut e = env();
+        let obs = e.reset();
+        assert_eq!(obs.len(), e.obs_dim());
+        assert_eq!(obs[0], 0.5);
+        assert_eq!(obs[4], 0.5);
+    }
+
+    #[test]
+    fn step_advances_virtual_clock() {
+        let clock = VirtualClock::new();
+        let mut e = Pong::new(clock.clone(), 1);
+        e.reset();
+        e.step(&Action::Discrete(0));
+        assert_eq!(clock.now(), TimeNs::ZERO + Pong::DEFAULT_STEP_COST * 2);
+    }
+
+    #[test]
+    fn up_action_moves_paddle_up() {
+        let mut e = env();
+        e.reset();
+        let before = e.paddle_y;
+        e.step(&Action::Discrete(1));
+        assert!(e.paddle_y > before);
+    }
+
+    #[test]
+    fn paddle_stays_in_court() {
+        let mut e = env();
+        e.reset();
+        for _ in 0..200 {
+            e.step(&Action::Discrete(1));
+        }
+        assert!(e.paddle_y <= COURT_H - PADDLE_H / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn episodes_terminate() {
+        let mut e = env();
+        e.reset();
+        let mut done = false;
+        for _ in 0..(MAX_STEPS + 1) {
+            let r = e.step(&Action::Discrete(0));
+            if r.done {
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "episode never terminated");
+    }
+
+    #[test]
+    fn point_scored_gives_signed_reward() {
+        // Play many random episodes; rewards observed must be in {-1, 0, 1}
+        // and at least one terminal must carry a nonzero reward.
+        let mut e = env();
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut terminal_rewards = Vec::new();
+        for _ in 0..30 {
+            e.reset();
+            for _ in 0..MAX_STEPS {
+                let r = e.step(&Action::Discrete(rng.below(3)));
+                assert!(r.reward == 0.0 || r.reward.abs() == 1.0);
+                if r.done {
+                    terminal_rewards.push(r.reward);
+                    break;
+                }
+            }
+        }
+        assert!(terminal_rewards.iter().any(|&r| r != 0.0), "no points ever scored");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Pong::new(VirtualClock::new(), 7);
+        let mut b = Pong::new(VirtualClock::new(), 7);
+        a.reset();
+        b.reset();
+        for _ in 0..100 {
+            let ra = a.step(&Action::Discrete(1));
+            let rb = b.step(&Action::Discrete(1));
+            assert_eq!(ra, rb);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Advantage Actor-Critic (A2C) — synchronous, on-policy.
+//!
+//! A2C is the most simulation-bound algorithm in the paper's survey
+//! (67.0% of training time in Figure 5): a short rollout (default 5 steps)
+//! is collected under the current policy, then a single gradient update is
+//! performed — so almost all wall-clock time goes to stepping the
+//! simulator and the Python glue around it (finding F.10).
+
+use crate::buffer::{RolloutBuffer, RolloutStep, Transition};
+use crate::common::{gaussian_row_logp, Agent, AlgoKind};
+use crate::onpolicy::{normalize_advantages, GaussianActorCritic};
+use rlscope_backend::prelude::*;
+use rlscope_envs::Action;
+use rlscope_sim::rng::SimRng;
+use rlscope_sim::time::DurationNs;
+
+/// A2C hyperparameters.
+#[derive(Debug, Clone)]
+pub struct A2cConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Discount factor.
+    pub gamma: f32,
+    /// GAE λ.
+    pub lambda: f32,
+    /// Rollout horizon (paper-default 5).
+    pub n_steps: usize,
+    /// Policy standard deviation.
+    pub std: f32,
+    /// Value-loss coefficient.
+    pub vf_coef: f32,
+    /// Python orchestration per action selection.
+    pub python_per_act: DurationNs,
+    /// Python orchestration per update (advantage computation, batching).
+    pub python_per_update: DurationNs,
+}
+
+impl Default for A2cConfig {
+    fn default() -> Self {
+        A2cConfig {
+            hidden: 64,
+            lr: 7e-4,
+            gamma: 0.99,
+            lambda: 1.0,
+            n_steps: 5,
+            std: 0.3,
+            vf_coef: 0.5,
+            python_per_act: DurationNs::from_micros(55),
+            python_per_update: DurationNs::from_micros(260),
+        }
+    }
+}
+
+/// An A2C agent.
+#[derive(Debug)]
+pub struct A2c {
+    config: A2cConfig,
+    ac: GaussianActorCritic,
+    opt: Adam,
+    rollout: RolloutBuffer,
+    rng: SimRng,
+    last_value: f32,
+    last_logp: f32,
+    last_next_obs: Vec<f32>,
+}
+
+impl A2c {
+    /// Creates an A2C agent.
+    pub fn new(obs_dim: usize, act_dim: usize, config: A2cConfig, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ac = GaussianActorCritic::new(obs_dim, act_dim, config.hidden, config.std, &mut rng);
+        A2c {
+            opt: Adam::new(config.lr),
+            rollout: RolloutBuffer::new(config.n_steps),
+            ac,
+            config,
+            rng,
+            last_value: 0.0,
+            last_logp: 0.0,
+            last_next_obs: Vec::new(),
+        }
+    }
+
+    /// Parameter store (for tests).
+    pub fn params(&self) -> &Params {
+        &self.ac.params
+    }
+}
+
+impl Agent for A2c {
+    fn kind(&self) -> AlgoKind {
+        AlgoKind::A2c
+    }
+
+    fn act(&mut self, exec: &Executor, obs: &[f32], explore: bool) -> Action {
+        exec.python(self.config.python_per_act);
+        let (action, value, logp) = self.ac.act_eval(exec, obs, explore, &mut self.rng);
+        self.last_value = value;
+        self.last_logp = logp;
+        action
+    }
+
+    fn observe(&mut self, t: Transition) {
+        self.last_next_obs = t.next_obs.clone();
+        self.rollout.push(RolloutStep {
+            obs: t.obs,
+            action: t.action,
+            reward: t.reward,
+            value: self.last_value,
+            log_prob: self.last_logp,
+            done: t.done,
+        });
+    }
+
+    fn ready_to_update(&self) -> bool {
+        self.rollout.is_full()
+    }
+
+    fn update(&mut self, exec: &Executor) {
+        // Bootstrap value of the state after the rollout.
+        let last_value = if self.last_next_obs.is_empty() {
+            0.0
+        } else {
+            self.ac.value_of(exec, &self.last_next_obs)
+        };
+        exec.python(self.config.python_per_update);
+        let (mut adv, ret) = self.rollout.gae(last_value, self.config.gamma, self.config.lambda);
+        normalize_advantages(&mut adv);
+
+        let steps = self.rollout.steps();
+        let obs = Tensor::stack_rows(
+            &steps.iter().map(|s| Tensor::vector(s.obs.clone())).collect::<Vec<_>>(),
+        );
+        let actions = Tensor::stack_rows(
+            &steps
+                .iter()
+                .map(|s| Tensor::vector(s.action.continuous().to_vec()))
+                .collect::<Vec<_>>(),
+        );
+        let adv_t = Tensor::from_vec(adv.len(), 1, adv);
+        let ret_t = Tensor::from_vec(ret.len(), 1, ret);
+        exec.feed(obs.byte_size() + actions.byte_size() + adv_t.byte_size() + ret_t.byte_size());
+
+        let (ac, std, vf_coef) = (&self.ac, self.config.std, self.config.vf_coef);
+        let act_dim = ac.act_dim();
+        let grads = exec.run(RunKind::Backprop, |tape| {
+            let ob = tape.constant(obs.clone());
+            let av = tape.constant(actions.clone());
+            let advv = tape.constant(adv_t.clone());
+            let retv = tape.constant(ret_t.clone());
+            let mu = ac.actor.forward(tape, &ac.params, ob);
+            let logp = gaussian_row_logp(tape, mu, av, std, act_dim);
+            let weighted = tape.mul(logp, advv);
+            let pg = tape.mean(weighted);
+            let pg_loss = tape.scale(pg, -1.0);
+            let v = ac.critic.forward(tape, &ac.params, ob);
+            let v_loss = tape.mse(v, retv);
+            let v_term = tape.scale(v_loss, vf_coef);
+            let loss = tape.add(pg_loss, v_term);
+            tape.backward(loss)
+        });
+        self.opt.step(&mut self.ac.params, &grads, Some(exec));
+        self.rollout.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_executor;
+
+    fn config() -> A2cConfig {
+        A2cConfig { n_steps: 4, hidden: 16, ..A2cConfig::default() }
+    }
+
+    fn drive(agent: &mut A2c, exec: &Executor, steps: usize) {
+        for i in 0..steps {
+            let a = agent.act(exec, &[0.1, 0.2], true);
+            agent.observe(Transition {
+                obs: vec![0.1, 0.2],
+                action: a,
+                reward: (i % 2) as f32,
+                next_obs: vec![0.2, 0.1],
+                done: false,
+            });
+            if agent.ready_to_update() {
+                agent.update(exec);
+            }
+        }
+    }
+
+    #[test]
+    fn updates_fire_every_n_steps() {
+        let (exec, _, _) = test_executor();
+        let mut agent = A2c::new(2, 1, config(), 1);
+        for _ in 0..3 {
+            let a = agent.act(&exec, &[0.1, 0.2], true);
+            agent.observe(Transition {
+                obs: vec![0.1, 0.2],
+                action: a,
+                reward: 0.0,
+                next_obs: vec![0.2, 0.1],
+                done: false,
+            });
+        }
+        assert!(!agent.ready_to_update());
+        let a = agent.act(&exec, &[0.1, 0.2], true);
+        agent.observe(Transition {
+            obs: vec![0.1, 0.2],
+            action: a,
+            reward: 0.0,
+            next_obs: vec![0.2, 0.1],
+            done: false,
+        });
+        assert!(agent.ready_to_update());
+        agent.update(&exec);
+        assert!(!agent.ready_to_update());
+    }
+
+    #[test]
+    fn update_changes_parameters() {
+        let (exec, _, _) = test_executor();
+        let mut agent = A2c::new(2, 1, config(), 1);
+        let before = agent.params().clone();
+        drive(&mut agent, &exec, 4);
+        assert_ne!(agent.params(), &before);
+    }
+
+    #[test]
+    fn on_policy_rollout_is_cleared_after_update() {
+        let (exec, _, _) = test_executor();
+        let mut agent = A2c::new(2, 1, config(), 1);
+        drive(&mut agent, &exec, 4);
+        assert_eq!(agent.rollout.len(), 0);
+    }
+
+    #[test]
+    fn is_on_policy() {
+        assert!(!AlgoKind::A2c.is_off_policy());
+    }
+}

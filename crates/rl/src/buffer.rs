@@ -1,0 +1,298 @@
+//! Experience storage: the off-policy replay buffer and the on-policy
+//! rollout buffer.
+//!
+//! The buffer distinction is the mechanism behind finding F.10: off-policy
+//! algorithms (DDPG, SAC) re-use replayed experience and therefore spend
+//! little time in the simulator, while on-policy algorithms (A2C, PPO2)
+//! must collect fresh rollouts under the current policy before every
+//! update — making them at least 3.5× more simulation-bound.
+
+use rlscope_envs::Action;
+use rlscope_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One environment transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Observation before the action.
+    pub obs: Vec<f32>,
+    /// The action taken.
+    pub action: Action,
+    /// Reward received.
+    pub reward: f32,
+    /// Observation after the action.
+    pub next_obs: Vec<f32>,
+    /// Whether the episode terminated at this step.
+    pub done: bool,
+}
+
+/// A bounded ring buffer of transitions with uniform sampling — the cache
+/// of experience tuples in the paper's DQN walkthrough (§2.1).
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: Vec<Transition>,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer { capacity, data: Vec::with_capacity(capacity.min(4096)), next: 0 }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a transition, evicting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.next] = t;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample(&self, n: usize, rng: &mut SimRng) -> Vec<&Transition> {
+        assert!(!self.data.is_empty(), "sample from empty replay buffer");
+        (0..n).map(|_| &self.data[rng.below(self.data.len())]).collect()
+    }
+}
+
+/// One step stored in a rollout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutStep {
+    /// Observation at the step.
+    pub obs: Vec<f32>,
+    /// Action taken.
+    pub action: Action,
+    /// Reward received.
+    pub reward: f32,
+    /// Critic's value estimate at `obs`.
+    pub value: f32,
+    /// Log-probability of `action` under the behaviour policy.
+    pub log_prob: f32,
+    /// Episode terminated here.
+    pub done: bool,
+}
+
+/// A fixed-horizon on-policy rollout with GAE(λ) advantage computation.
+#[derive(Debug, Clone)]
+pub struct RolloutBuffer {
+    horizon: usize,
+    steps: Vec<RolloutStep>,
+}
+
+impl RolloutBuffer {
+    /// Creates a rollout of length `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn new(horizon: usize) -> Self {
+        assert!(horizon > 0, "rollout horizon must be positive");
+        RolloutBuffer { horizon, steps: Vec::with_capacity(horizon) }
+    }
+
+    /// Steps collected so far.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// True once the rollout holds `horizon` steps.
+    pub fn is_full(&self) -> bool {
+        self.steps.len() >= self.horizon
+    }
+
+    /// The configured horizon.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Appends a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rollout is already full.
+    pub fn push(&mut self, step: RolloutStep) {
+        assert!(!self.is_full(), "push into full rollout");
+        self.steps.push(step);
+    }
+
+    /// The stored steps.
+    pub fn steps(&self) -> &[RolloutStep] {
+        &self.steps
+    }
+
+    /// Computes GAE(λ) advantages and discounted returns, given the value
+    /// estimate of the state *after* the last stored step.
+    ///
+    /// Returns `(advantages, returns)`, both `len()` long.
+    pub fn gae(&self, last_value: f32, gamma: f32, lambda: f32) -> (Vec<f32>, Vec<f32>) {
+        let n = self.steps.len();
+        let mut advantages = vec![0.0f32; n];
+        let mut gae = 0.0f32;
+        for i in (0..n).rev() {
+            let s = &self.steps[i];
+            let next_value = if s.done {
+                0.0
+            } else if i + 1 < n {
+                self.steps[i + 1].value
+            } else {
+                last_value
+            };
+            let nonterminal = if s.done { 0.0 } else { 1.0 };
+            let delta = s.reward + gamma * next_value - s.value;
+            gae = delta + gamma * lambda * nonterminal * gae;
+            advantages[i] = gae;
+        }
+        let returns: Vec<f32> =
+            advantages.iter().zip(&self.steps).map(|(a, s)| a + s.value).collect();
+        (advantages, returns)
+    }
+
+    /// Clears the rollout for the next collection phase.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(r: f32) -> Transition {
+        Transition {
+            obs: vec![r],
+            action: Action::Discrete(0),
+            reward: r,
+            next_obs: vec![r + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn replay_evicts_oldest_when_full() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(tr(i as f32));
+        }
+        assert_eq!(b.len(), 3);
+        let rewards: Vec<f32> = b.data.iter().map(|t| t.reward).collect();
+        // 0 and 1 evicted.
+        assert!(rewards.contains(&2.0) && rewards.contains(&3.0) && rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn replay_sampling_is_uniformish() {
+        let mut b = ReplayBuffer::new(100);
+        for i in 0..100 {
+            b.push(tr(i as f32));
+        }
+        let mut rng = SimRng::seed_from_u64(2);
+        let samples = b.sample(2_000, &mut rng);
+        let mean: f32 = samples.iter().map(|t| t.reward).sum::<f32>() / 2_000.0;
+        assert!((mean - 49.5).abs() < 5.0, "sample mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay")]
+    fn sampling_empty_panics() {
+        let b = ReplayBuffer::new(4);
+        let mut rng = SimRng::seed_from_u64(0);
+        b.sample(1, &mut rng);
+    }
+
+    fn step(reward: f32, value: f32, done: bool) -> RolloutStep {
+        RolloutStep {
+            obs: vec![0.0],
+            action: Action::Discrete(0),
+            reward,
+            value,
+            log_prob: 0.0,
+            done,
+        }
+    }
+
+    #[test]
+    fn rollout_fills_and_clears() {
+        let mut r = RolloutBuffer::new(2);
+        assert!(!r.is_full());
+        r.push(step(1.0, 0.0, false));
+        r.push(step(1.0, 0.0, false));
+        assert!(r.is_full());
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "full rollout")]
+    fn overfilling_rollout_panics() {
+        let mut r = RolloutBuffer::new(1);
+        r.push(step(0.0, 0.0, false));
+        r.push(step(0.0, 0.0, false));
+    }
+
+    #[test]
+    fn gae_with_lambda_one_matches_discounted_returns() {
+        // With λ=1 and zero values, advantage == discounted return.
+        let mut r = RolloutBuffer::new(3);
+        r.push(step(1.0, 0.0, false));
+        r.push(step(1.0, 0.0, false));
+        r.push(step(1.0, 0.0, true));
+        let (adv, ret) = r.gae(0.0, 0.5, 1.0);
+        // From the back: 1; 1 + 0.5*1 = 1.5; 1 + 0.5*1.5 = 1.75.
+        assert_eq!(adv, vec![1.75, 1.5, 1.0]);
+        assert_eq!(ret, adv);
+    }
+
+    #[test]
+    fn gae_terminal_cuts_bootstrapping() {
+        let mut r = RolloutBuffer::new(2);
+        r.push(step(1.0, 0.5, true)); // terminal: no bootstrap from step 2
+        r.push(step(1.0, 0.5, false));
+        let (adv, _) = r.gae(10.0, 0.9, 0.95);
+        // Step 0 delta = 1 - 0.5 = 0.5 (no next value, no GAE carry).
+        assert!((adv[0] - 0.5).abs() < 1e-6);
+        // Step 1 bootstraps from last_value = 10.
+        assert!((adv[1] - (1.0 + 0.9 * 10.0 - 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_zero_lambda_is_one_step_td() {
+        let mut r = RolloutBuffer::new(2);
+        r.push(step(1.0, 2.0, false));
+        r.push(step(1.0, 3.0, false));
+        let (adv, _) = r.gae(4.0, 0.9, 0.0);
+        assert!((adv[0] - (1.0 + 0.9 * 3.0 - 2.0)).abs() < 1e-6);
+        assert!((adv[1] - (1.0 + 0.9 * 4.0 - 3.0)).abs() < 1e-6);
+    }
+}

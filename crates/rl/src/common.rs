@@ -1,0 +1,385 @@
+//! The agent interface and shared helpers for building training batches.
+
+use crate::buffer::Transition;
+use rlscope_backend::prelude::*;
+use rlscope_envs::Action;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The RL algorithms the survey covers (paper Figures 4 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgoKind {
+    /// Deep Q-Network (discrete actions).
+    Dqn,
+    /// Deep Deterministic Policy Gradient (off-policy).
+    Ddpg,
+    /// Twin Delayed DDPG (off-policy).
+    Td3,
+    /// Soft Actor-Critic (off-policy).
+    Sac,
+    /// Advantage Actor-Critic (on-policy).
+    A2c,
+    /// Proximal Policy Optimization (on-policy).
+    Ppo2,
+}
+
+impl AlgoKind {
+    /// Whether the algorithm learns from replayed (off-policy) experience.
+    pub fn is_off_policy(self) -> bool {
+        matches!(self, AlgoKind::Dqn | AlgoKind::Ddpg | AlgoKind::Td3 | AlgoKind::Sac)
+    }
+
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::Dqn => "DQN",
+            AlgoKind::Ddpg => "DDPG",
+            AlgoKind::Td3 => "TD3",
+            AlgoKind::Sac => "SAC",
+            AlgoKind::A2c => "A2C",
+            AlgoKind::Ppo2 => "PPO2",
+        }
+    }
+}
+
+impl fmt::Display for AlgoKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A reinforcement-learning agent driven by the training loop.
+///
+/// The workload layer wraps each method in the corresponding RL-Scope
+/// operation annotation: `act` → inference, environment stepping →
+/// simulation, `update` → backpropagation.
+pub trait Agent {
+    /// The algorithm implemented.
+    fn kind(&self) -> AlgoKind;
+    /// Selects an action for `obs`; `explore` enables exploration noise.
+    fn act(&mut self, exec: &Executor, obs: &[f32], explore: bool) -> Action;
+    /// Records a transition.
+    fn observe(&mut self, t: Transition);
+    /// True when enough experience has accumulated for [`Agent::update`].
+    fn ready_to_update(&self) -> bool;
+    /// Runs one update phase (one or more gradient steps).
+    fn update(&mut self, exec: &Executor);
+    /// Notifies the agent of an episode boundary.
+    fn episode_end(&mut self) {}
+}
+
+/// Stacks observations from transitions into a `[batch, obs_dim]` tensor.
+pub fn obs_batch<'a>(batch: impl Iterator<Item = &'a Transition>) -> Tensor {
+    let rows: Vec<Tensor> = batch.map(|t| Tensor::vector(t.obs.clone())).collect();
+    Tensor::stack_rows(&rows)
+}
+
+/// Stacks next-observations into a `[batch, obs_dim]` tensor.
+pub fn next_obs_batch<'a>(batch: impl Iterator<Item = &'a Transition>) -> Tensor {
+    let rows: Vec<Tensor> = batch.map(|t| Tensor::vector(t.next_obs.clone())).collect();
+    Tensor::stack_rows(&rows)
+}
+
+/// Stacks continuous actions into a `[batch, act_dim]` tensor.
+///
+/// # Panics
+///
+/// Panics if any action is discrete.
+pub fn action_batch<'a>(batch: impl Iterator<Item = &'a Transition>) -> Tensor {
+    let rows: Vec<Tensor> =
+        batch.map(|t| Tensor::vector(t.action.continuous().to_vec())).collect();
+    Tensor::stack_rows(&rows)
+}
+
+/// Column tensor of rewards.
+pub fn reward_batch<'a>(batch: impl Iterator<Item = &'a Transition>) -> Tensor {
+    let data: Vec<f32> = batch.map(|t| t.reward).collect();
+    Tensor::from_vec(data.len(), 1, data)
+}
+
+/// Column tensor of `1 - done` masks.
+pub fn not_done_batch<'a>(batch: impl Iterator<Item = &'a Transition>) -> Tensor {
+    let data: Vec<f32> = batch.map(|t| if t.done { 0.0 } else { 1.0 }).collect();
+    Tensor::from_vec(data.len(), 1, data)
+}
+
+/// Records the per-row Gaussian log-density (up to an additive constant)
+/// of `actions` under mean `mu` and fixed standard deviation `std`:
+/// `-0.5 * Σ_dims ((a - μ)/σ)²`, shape `[batch, 1]`.
+pub fn gaussian_row_logp(
+    tape: &mut Tape<'_>,
+    mu: VarId,
+    actions: VarId,
+    std: f32,
+    act_dim: usize,
+) -> VarId {
+    let diff = tape.sub(actions, mu);
+    let scaled = tape.scale(diff, 1.0 / std);
+    let sq = tape.mul(scaled, scaled);
+    let neg = tape.scale(sq, -0.5);
+    let ones = tape.constant(Tensor::from_vec(act_dim, 1, vec![1.0; act_dim]));
+    tape.matmul(neg, ones)
+}
+
+/// Host-side Gaussian log-density matching [`gaussian_row_logp`].
+pub fn gaussian_logp_host(mu: &[f32], action: &[f32], std: f32) -> f32 {
+    mu.iter()
+        .zip(action)
+        .map(|(m, a)| {
+            let z = (a - m) / std;
+            -0.5 * z * z
+        })
+        .sum()
+}
+
+/// The critic head used by DDPG/TD3/SAC: obs and action enter through
+/// separate first-layer weight matrices whose outputs are summed (this
+/// keeps gradients flowing from Q back into the actor without a concat op).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoHeadCritic {
+    w_obs: usize,
+    w_act: usize,
+    b0: usize,
+    tail: Mlp,
+    hidden: usize,
+}
+
+impl TwoHeadCritic {
+    /// Builds a critic with first layer width `hidden` and an MLP tail.
+    pub fn new(
+        params: &mut Params,
+        rng: &mut rlscope_sim::rng::SimRng,
+        name: &str,
+        obs_dim: usize,
+        act_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let mk = |rng: &mut rlscope_sim::rng::SimRng, rows: usize, cols: usize| {
+            let bound = (6.0 / (rows + cols) as f64).sqrt();
+            let data: Vec<f32> =
+                (0..rows * cols).map(|_| rng.uniform_range(-bound, bound) as f32).collect();
+            Tensor::from_vec(rows, cols, data)
+        };
+        let w_obs = params.add(format!("{name}/w_obs"), mk(rng, obs_dim, hidden));
+        let w_act = params.add(format!("{name}/w_act"), mk(rng, act_dim, hidden));
+        let b0 = params.add(format!("{name}/b0"), Tensor::vector(vec![0.0; hidden]));
+        let tail =
+            Mlp::new(params, rng, &format!("{name}/tail"), &[hidden, hidden, 1], Activation::Relu, Activation::Linear);
+        TwoHeadCritic { w_obs, w_act, b0, tail, hidden }
+    }
+
+    /// All parameter ids of this critic.
+    pub fn param_ids(&self) -> Vec<usize> {
+        let mut ids = vec![self.w_obs, self.w_act, self.b0];
+        ids.extend(self.tail.param_ids());
+        ids
+    }
+
+    /// Q(obs, act) with trainable parameters.
+    pub fn forward(&self, tape: &mut Tape<'_>, params: &Params, obs: VarId, act: VarId) -> VarId {
+        self.forward_impl(tape, params, obs, act, true)
+    }
+
+    /// Q(obs, act) with parameters entered as constants (no gradients) —
+    /// used when optimizing the actor through a frozen critic, and for
+    /// target networks.
+    pub fn forward_frozen(
+        &self,
+        tape: &mut Tape<'_>,
+        params: &Params,
+        obs: VarId,
+        act: VarId,
+    ) -> VarId {
+        self.forward_impl(tape, params, obs, act, false)
+    }
+
+    fn forward_impl(
+        &self,
+        tape: &mut Tape<'_>,
+        params: &Params,
+        obs: VarId,
+        act: VarId,
+        trainable: bool,
+    ) -> VarId {
+        let leaf = |tape: &mut Tape<'_>, pid: usize| {
+            if trainable {
+                tape.param(pid, params.get(pid).clone())
+            } else {
+                tape.constant(params.get(pid).clone())
+            }
+        };
+        let wo = leaf(tape, self.w_obs);
+        let wa = leaf(tape, self.w_act);
+        let b = leaf(tape, self.b0);
+        let ho = tape.matmul(obs, wo);
+        let ha = tape.matmul(act, wa);
+        let h = tape.add(ho, ha);
+        let h = tape.add_bias(h, b);
+        let h = tape.relu(h);
+        if trainable {
+            self.tail.forward(tape, params, h)
+        } else {
+            self.tail_forward_frozen(tape, params, h)
+        }
+    }
+
+    fn tail_forward_frozen(&self, tape: &mut Tape<'_>, params: &Params, mut h: VarId) -> VarId {
+        let ids = self.tail.param_ids();
+        let last_layer = ids.len() / 2 - 1;
+        for (i, pair) in ids.chunks(2).enumerate() {
+            let w = tape.constant(params.get(pair[0]).clone());
+            let b = tape.constant(params.get(pair[1]).clone());
+            h = tape.matmul(h, w);
+            h = tape.add_bias(h, b);
+            if i != last_layer {
+                h = tape.relu(h);
+            }
+        }
+        h
+    }
+}
+
+/// Forward an MLP with all parameters entered as constants (target nets).
+pub fn mlp_forward_frozen(
+    mlp: &Mlp,
+    tape: &mut Tape<'_>,
+    params: &Params,
+    x: VarId,
+    hidden: Activation,
+    output: Activation,
+) -> VarId {
+    let ids = mlp.param_ids();
+    let last_layer = ids.len() / 2 - 1;
+    let mut h = x;
+    for (i, pair) in ids.chunks(2).enumerate() {
+        let w = tape.constant(params.get(pair[0]).clone());
+        let b = tape.constant(params.get(pair[1]).clone());
+        h = tape.matmul(h, w);
+        h = tape.add_bias(h, b);
+        let act = if i == last_layer { output } else { hidden };
+        h = match act {
+            Activation::Relu => tape.relu(h),
+            Activation::Tanh => tape.tanh(h),
+            Activation::Linear => h,
+        };
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlscope_sim::rng::SimRng;
+
+    fn transition(obs: Vec<f32>, act: Vec<f32>, reward: f32, done: bool) -> Transition {
+        Transition {
+            obs: obs.clone(),
+            action: Action::Continuous(act),
+            reward,
+            next_obs: obs,
+            done,
+        }
+    }
+
+    #[test]
+    fn batch_builders_shape() {
+        let ts = vec![
+            transition(vec![1.0, 2.0], vec![0.5], 1.0, false),
+            transition(vec![3.0, 4.0], vec![-0.5], -1.0, true),
+        ];
+        assert_eq!(obs_batch(ts.iter()).rows(), 2);
+        assert_eq!(obs_batch(ts.iter()).cols(), 2);
+        assert_eq!(action_batch(ts.iter()).cols(), 1);
+        assert_eq!(reward_batch(ts.iter()).data(), &[1.0, -1.0]);
+        assert_eq!(not_done_batch(ts.iter()).data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn tape_and_host_logp_agree() {
+        let mu = vec![0.1, -0.2, 0.3];
+        let act = vec![0.4, 0.0, -0.1];
+        let std = 0.5;
+        let host = gaussian_logp_host(&mu, &act, std);
+
+        let mut tape = Tape::new();
+        let muv = tape.constant(Tensor::from_vec(1, 3, mu));
+        let av = tape.constant(Tensor::from_vec(1, 3, act));
+        let lp = gaussian_row_logp(&mut tape, muv, av, std, 3);
+        assert!((tape.value(lp).item() - host).abs() < 1e-5);
+    }
+
+    #[test]
+    fn logp_is_maximized_at_the_mean() {
+        let at_mean = gaussian_logp_host(&[0.5, 0.5], &[0.5, 0.5], 0.3);
+        let off_mean = gaussian_logp_host(&[0.5, 0.5], &[0.9, 0.1], 0.3);
+        assert!(at_mean > off_mean);
+        assert_eq!(at_mean, 0.0);
+    }
+
+    #[test]
+    fn two_head_critic_forward_shapes_and_grads() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut params = Params::new();
+        let critic = TwoHeadCritic::new(&mut params, &mut rng, "q", 4, 2, 8);
+        let mut tape = Tape::new();
+        let obs = tape.constant(Tensor::from_vec(5, 4, vec![0.1; 20]));
+        let act = tape.constant(Tensor::from_vec(5, 2, vec![0.2; 10]));
+        let q = critic.forward(&mut tape, &params, obs, act);
+        assert_eq!(tape.value(q).rows(), 5);
+        assert_eq!(tape.value(q).cols(), 1);
+        let loss = tape.mean(q);
+        let g = tape.backward(loss);
+        // Every critic parameter receives a gradient.
+        let with_grads: Vec<usize> = g.params().map(|(pid, _)| pid).collect();
+        for pid in critic.param_ids() {
+            assert!(with_grads.contains(&pid), "missing grad for param {pid}");
+        }
+    }
+
+    #[test]
+    fn frozen_critic_matches_trainable_values_but_blocks_grads() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut params = Params::new();
+        let critic = TwoHeadCritic::new(&mut params, &mut rng, "q", 3, 2, 8);
+        let obs_t = Tensor::from_vec(2, 3, vec![0.3; 6]);
+        let act_t = Tensor::from_vec(2, 2, vec![-0.1; 4]);
+
+        let mut tape = Tape::new();
+        let obs = tape.constant(obs_t.clone());
+        let act = tape.constant(act_t.clone());
+        let q_train = critic.forward(&mut tape, &params, obs, act);
+        let train_val = tape.value(q_train).clone();
+
+        let mut tape2 = Tape::new();
+        let obs = tape2.constant(obs_t);
+        let act = tape2.constant(act_t);
+        let q_frozen = critic.forward_frozen(&mut tape2, &params, obs, act);
+        assert_eq!(tape2.value(q_frozen), &train_val);
+        let loss = tape2.mean(q_frozen);
+        let g = tape2.backward(loss);
+        assert_eq!(g.params().count(), 0, "frozen critic leaked gradients");
+    }
+
+    #[test]
+    fn frozen_mlp_matches_trainable_values() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut params = Params::new();
+        let mlp =
+            Mlp::new(&mut params, &mut rng, "pi", &[3, 8, 2], Activation::Relu, Activation::Tanh);
+        let x = Tensor::from_vec(4, 3, vec![0.25; 12]);
+        let expected = mlp.predict(&params, &x);
+        let mut tape = Tape::new();
+        let xv = tape.constant(x);
+        let y = mlp_forward_frozen(&mlp, &mut tape, &params, xv, Activation::Relu, Activation::Tanh);
+        assert_eq!(tape.value(y), &expected);
+    }
+
+    #[test]
+    fn algo_kind_properties() {
+        assert!(AlgoKind::Ddpg.is_off_policy());
+        assert!(AlgoKind::Sac.is_off_policy());
+        assert!(!AlgoKind::A2c.is_off_policy());
+        assert!(!AlgoKind::Ppo2.is_off_policy());
+        assert_eq!(AlgoKind::Ppo2.to_string(), "PPO2");
+    }
+}

@@ -1,0 +1,304 @@
+//! Deep Q-Network (Mnih et al. 2015) — the paper's walkthrough example
+//! (§2.1): ε-greedy inference, simulation, and minibatch backpropagation
+//! from a replay buffer, with a periodically synced target network.
+
+use crate::buffer::{ReplayBuffer, Transition};
+use crate::common::{
+    mlp_forward_frozen, next_obs_batch, not_done_batch, obs_batch, reward_batch, Agent, AlgoKind,
+};
+use rlscope_backend::prelude::*;
+use rlscope_envs::Action;
+use rlscope_sim::rng::SimRng;
+use rlscope_sim::time::DurationNs;
+
+/// DQN hyperparameters.
+#[derive(Debug, Clone)]
+pub struct DqnConfig {
+    /// Hidden layer sizes of the Q-network.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Replay capacity.
+    pub replay_capacity: usize,
+    /// Steps collected before learning starts.
+    pub warmup: usize,
+    /// Environment steps between update phases.
+    pub train_freq: usize,
+    /// Gradient steps per update phase.
+    pub gradient_steps: usize,
+    /// Target-network sync interval, in gradient steps.
+    pub target_sync: usize,
+    /// Exploration rate.
+    pub epsilon: f32,
+    /// Python orchestration cost per action selection.
+    pub python_per_act: DurationNs,
+    /// Python orchestration cost per gradient step (replay sampling,
+    /// batch assembly).
+    pub python_per_step: DurationNs,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            hidden: vec![64, 64],
+            lr: 1e-3,
+            gamma: 0.99,
+            batch_size: 32,
+            replay_capacity: 10_000,
+            warmup: 64,
+            train_freq: 4,
+            gradient_steps: 1,
+            target_sync: 100,
+            epsilon: 0.1,
+            python_per_act: DurationNs::from_micros(35),
+            python_per_step: DurationNs::from_micros(120),
+        }
+    }
+}
+
+/// A DQN agent over a discrete action space.
+#[derive(Debug)]
+pub struct Dqn {
+    config: DqnConfig,
+    n_actions: usize,
+    params: Params,
+    target_params: Params,
+    q: Mlp,
+    opt: Adam,
+    replay: ReplayBuffer,
+    rng: SimRng,
+    steps_since_update: usize,
+    total_updates: u64,
+    total_steps: u64,
+}
+
+impl Dqn {
+    /// Creates a DQN agent for `obs_dim`-dimensional observations and
+    /// `n_actions` discrete actions.
+    pub fn new(obs_dim: usize, n_actions: usize, config: DqnConfig, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let mut sizes = vec![obs_dim];
+        sizes.extend(&config.hidden);
+        sizes.push(n_actions);
+        let q = Mlp::new(&mut params, &mut rng, "q", &sizes, Activation::Relu, Activation::Linear);
+        let target_params = params.clone();
+        let replay = ReplayBuffer::new(config.replay_capacity);
+        let opt = Adam::new(config.lr);
+        Dqn {
+            config,
+            n_actions,
+            params,
+            target_params,
+            q,
+            opt,
+            replay,
+            rng,
+            steps_since_update: 0,
+            total_updates: 0,
+            total_steps: 0,
+        }
+    }
+
+    /// Gradient updates performed so far.
+    pub fn total_updates(&self) -> u64 {
+        self.total_updates
+    }
+
+    /// Greedy Q-values for an observation (for tests).
+    pub fn q_values(&self, obs: &[f32]) -> Tensor {
+        self.q.predict(&self.params, &Tensor::from_vec(1, obs.len(), obs.to_vec()))
+    }
+}
+
+impl Agent for Dqn {
+    fn kind(&self) -> AlgoKind {
+        AlgoKind::Dqn
+    }
+
+    fn act(&mut self, exec: &Executor, obs: &[f32], explore: bool) -> Action {
+        exec.python(self.config.python_per_act);
+        let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
+        let qvals = exec.run(RunKind::Inference, |tape| {
+            let xv = tape.constant(x.clone());
+            let y = mlp_forward_frozen(&self.q, tape, &self.params, xv, Activation::Relu, Activation::Linear);
+            tape.value(y).clone()
+        });
+        exec.fetch(&qvals);
+        if explore && self.rng.chance(self.config.epsilon as f64) {
+            Action::Discrete(self.rng.below(self.n_actions))
+        } else {
+            Action::Discrete(qvals.argmax())
+        }
+    }
+
+    fn observe(&mut self, t: Transition) {
+        self.replay.push(t);
+        self.steps_since_update += 1;
+        self.total_steps += 1;
+    }
+
+    fn ready_to_update(&self) -> bool {
+        self.replay.len() >= self.config.warmup
+            && self.steps_since_update >= self.config.train_freq
+    }
+
+    fn update(&mut self, exec: &Executor) {
+        self.steps_since_update = 0;
+        for _ in 0..self.config.gradient_steps {
+            exec.python(self.config.python_per_step);
+            let batch: Vec<Transition> = self
+                .replay
+                .sample(self.config.batch_size, &mut self.rng)
+                .into_iter()
+                .cloned()
+                .collect();
+            let obs = obs_batch(batch.iter());
+            let next_obs = next_obs_batch(batch.iter());
+            let rewards = reward_batch(batch.iter());
+            let not_done = not_done_batch(batch.iter());
+            exec.feed(obs.byte_size() + next_obs.byte_size());
+
+            let gamma = self.config.gamma;
+            let (q_net, params, target_params, n_actions) =
+                (&self.q, &self.params, &self.target_params, self.n_actions);
+            let grads = exec.run(RunKind::Backprop, |tape| {
+                // Target: r + γ max_a' Q_target(s', a').
+                let nx = tape.constant(next_obs.clone());
+                let qt = mlp_forward_frozen(q_net, tape, target_params, nx, Activation::Relu, Activation::Linear);
+                let qt_val = tape.value(qt).clone();
+                let mut y = Vec::with_capacity(qt_val.rows());
+                for r in 0..qt_val.rows() {
+                    let max_q = qt_val.row(r).data().iter().cloned().fold(f32::MIN, f32::max);
+                    y.push(rewards.at(r, 0) + gamma * not_done.at(r, 0) * max_q);
+                }
+                let y = tape.constant(Tensor::from_vec(y.len(), 1, y));
+
+                // Predicted Q for the actions taken (via one-hot mask).
+                let ob = tape.constant(obs.clone());
+                let q = q_net.forward(tape, params, ob);
+                let mut mask = vec![0.0f32; batch.len() * n_actions];
+                for (i, t) in batch.iter().enumerate() {
+                    mask[i * n_actions + t.action.discrete()] = 1.0;
+                }
+                let mask = tape.constant(Tensor::from_vec(batch.len(), n_actions, mask));
+                let selected = tape.mul(q, mask);
+                let ones = tape.constant(Tensor::from_vec(n_actions, 1, vec![1.0; n_actions]));
+                let q_sel = tape.matmul(selected, ones);
+                let loss = tape.mse(q_sel, y);
+                tape.backward(loss)
+            });
+            self.opt.step(&mut self.params, &grads, Some(exec));
+            self.total_updates += 1;
+            if self.total_updates % self.config.target_sync as u64 == 0 {
+                self.target_params.copy_from(&self.params);
+                exec.backend_call(|ex| {
+                    for pid in self.q.param_ids() {
+                        ex.kernel("target_copy", self.params.get(pid).len() as f64);
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_executor;
+
+    fn config() -> DqnConfig {
+        DqnConfig { warmup: 16, batch_size: 8, target_sync: 4, ..DqnConfig::default() }
+    }
+
+    #[test]
+    fn acts_within_action_space() {
+        let (exec, _, _) = test_executor();
+        let mut agent = Dqn::new(4, 3, config(), 1);
+        for _ in 0..20 {
+            match agent.act(&exec, &[0.1, 0.2, 0.3, 0.4], true) {
+                Action::Discrete(a) => assert!(a < 3),
+                Action::Continuous(_) => panic!("DQN must act discretely"),
+            }
+        }
+    }
+
+    #[test]
+    fn ready_after_warmup_and_train_freq() {
+        let (exec, _, _) = test_executor();
+        let mut agent = Dqn::new(2, 2, config(), 1);
+        let t = Transition {
+            obs: vec![0.0, 0.0],
+            action: Action::Discrete(0),
+            reward: 0.0,
+            next_obs: vec![0.0, 0.0],
+            done: false,
+        };
+        for _ in 0..15 {
+            agent.observe(t.clone());
+        }
+        assert!(!agent.ready_to_update());
+        agent.observe(t.clone());
+        assert!(agent.ready_to_update());
+        agent.update(&exec);
+        assert!(!agent.ready_to_update());
+        assert_eq!(agent.total_updates(), 1);
+    }
+
+    #[test]
+    fn learns_a_trivial_contextual_bandit() {
+        // Reward 1 for action == sign of obs, else 0. Q-values must order
+        // correctly after training.
+        let (exec, _, _) = test_executor();
+        let mut cfg = config();
+        cfg.epsilon = 0.3;
+        cfg.gamma = 0.0; // bandit
+        cfg.train_freq = 1;
+        let mut agent = Dqn::new(1, 2, cfg, 3);
+        let mut rng = SimRng::seed_from_u64(17);
+        for _ in 0..600 {
+            let x = if rng.chance(0.5) { 1.0 } else { -1.0 };
+            let a = agent.act(&exec, &[x], true).discrete();
+            let correct = if x > 0.0 { 1 } else { 0 };
+            let reward = if a == correct { 1.0 } else { 0.0 };
+            agent.observe(Transition {
+                obs: vec![x],
+                action: Action::Discrete(a),
+                reward,
+                next_obs: vec![x],
+                done: true,
+            });
+            if agent.ready_to_update() {
+                agent.update(&exec);
+            }
+        }
+        let q_pos = agent.q_values(&[1.0]);
+        let q_neg = agent.q_values(&[-1.0]);
+        assert!(q_pos.data()[1] > q_pos.data()[0], "q(+1)={:?}", q_pos.data());
+        assert!(q_neg.data()[0] > q_neg.data()[1], "q(-1)={:?}", q_neg.data());
+    }
+
+    #[test]
+    fn update_touches_gpu_and_python() {
+        let (exec, py, cuda) = test_executor();
+        let mut agent = Dqn::new(2, 2, config(), 1);
+        let t = Transition {
+            obs: vec![0.0, 0.0],
+            action: Action::Discrete(0),
+            reward: 1.0,
+            next_obs: vec![0.0, 0.0],
+            done: false,
+        };
+        for _ in 0..16 {
+            agent.observe(t.clone());
+        }
+        let launches_before = cuda.borrow().counts().launches;
+        agent.update(&exec);
+        assert!(cuda.borrow().counts().launches > launches_before);
+        assert!(py.borrow().transition_count(rlscope_sim::hooks::NativeLib::Backend) > 0);
+    }
+}

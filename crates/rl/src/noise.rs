@@ -1,0 +1,115 @@
+//! Exploration noise processes for continuous-control agents.
+
+use rlscope_sim::rng::SimRng;
+
+/// Additive exploration noise over action vectors.
+pub trait ActionNoise {
+    /// The next noise vector of length `dim`.
+    fn sample(&mut self, dim: usize) -> Vec<f32>;
+    /// Resets any internal state (on episode boundaries).
+    fn reset(&mut self);
+}
+
+/// Independent Gaussian noise per coordinate.
+#[derive(Debug)]
+pub struct GaussianNoise {
+    sigma: f32,
+    rng: SimRng,
+}
+
+impl GaussianNoise {
+    /// Creates Gaussian noise with standard deviation `sigma`.
+    pub fn new(sigma: f32, seed: u64) -> Self {
+        GaussianNoise { sigma, rng: SimRng::seed_from_u64(seed) }
+    }
+}
+
+impl ActionNoise for GaussianNoise {
+    fn sample(&mut self, dim: usize) -> Vec<f32> {
+        (0..dim).map(|_| self.rng.normal_with(0.0, self.sigma as f64) as f32).collect()
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Ornstein–Uhlenbeck temporally correlated noise (classic DDPG choice).
+#[derive(Debug)]
+pub struct OuNoise {
+    theta: f32,
+    sigma: f32,
+    state: Vec<f32>,
+    rng: SimRng,
+}
+
+impl OuNoise {
+    /// Creates OU noise with mean-reversion `theta` and volatility `sigma`.
+    pub fn new(theta: f32, sigma: f32, seed: u64) -> Self {
+        OuNoise { theta, sigma, state: Vec::new(), rng: SimRng::seed_from_u64(seed) }
+    }
+}
+
+impl ActionNoise for OuNoise {
+    fn sample(&mut self, dim: usize) -> Vec<f32> {
+        if self.state.len() != dim {
+            self.state = vec![0.0; dim];
+        }
+        for s in &mut self.state {
+            let dw = self.rng.normal() as f32;
+            *s += -self.theta * *s + self.sigma * dw;
+        }
+        self.state.clone()
+    }
+
+    fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut n = GaussianNoise::new(0.5, 3);
+        let samples: Vec<f32> = (0..4_000).flat_map(|_| n.sample(2)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var: f32 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / samples.len() as f32;
+        assert!(mean.abs() < 0.05);
+        assert!((var - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn ou_noise_is_temporally_correlated() {
+        let mut ou = OuNoise::new(0.15, 0.2, 4);
+        let mut gaussian = GaussianNoise::new(0.2, 4);
+        let corr = |xs: &[f32]| {
+            let pairs: Vec<(f32, f32)> = xs.windows(2).map(|w| (w[0], w[1])).collect();
+            let mx: f32 = pairs.iter().map(|p| p.0).sum::<f32>() / pairs.len() as f32;
+            let my: f32 = pairs.iter().map(|p| p.1).sum::<f32>() / pairs.len() as f32;
+            let cov: f32 =
+                pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f32>() / pairs.len() as f32;
+            let vx: f32 =
+                pairs.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum::<f32>() / pairs.len() as f32;
+            cov / vx.max(1e-9)
+        };
+        let ou_series: Vec<f32> = (0..3_000).map(|_| ou.sample(1)[0]).collect();
+        let g_series: Vec<f32> = (0..3_000).map(|_| gaussian.sample(1)[0]).collect();
+        assert!(corr(&ou_series) > 0.5, "OU autocorr {}", corr(&ou_series));
+        assert!(corr(&g_series).abs() < 0.1, "gaussian autocorr {}", corr(&g_series));
+    }
+
+    #[test]
+    fn ou_reset_clears_state() {
+        let mut ou = OuNoise::new(0.15, 0.3, 5);
+        for _ in 0..100 {
+            ou.sample(3);
+        }
+        ou.reset();
+        // After reset the state restarts from zero; first sample is one
+        // OU increment, bounded by a few sigma.
+        let s = ou.sample(3);
+        assert!(s.iter().all(|v| v.abs() < 1.5));
+    }
+}

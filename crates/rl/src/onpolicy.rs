@@ -1,0 +1,149 @@
+//! Shared machinery for the on-policy algorithms (A2C, PPO2): a Gaussian
+//! actor-critic pair with a fixed policy standard deviation.
+
+use crate::common::{gaussian_logp_host, mlp_forward_frozen};
+use rlscope_backend::prelude::*;
+use rlscope_envs::Action;
+use rlscope_sim::rng::SimRng;
+
+/// Actor (Gaussian mean) and critic (state value) networks sharing one
+/// parameter store.
+#[derive(Debug)]
+pub struct GaussianActorCritic {
+    /// The shared parameter store.
+    pub params: Params,
+    /// Policy mean network (tanh output head).
+    pub actor: Mlp,
+    /// State-value network.
+    pub critic: Mlp,
+    /// Fixed policy standard deviation.
+    pub std: f32,
+    act_dim: usize,
+}
+
+impl GaussianActorCritic {
+    /// Builds the pair with the given hidden width.
+    pub fn new(obs_dim: usize, act_dim: usize, hidden: usize, std: f32, rng: &mut SimRng) -> Self {
+        let mut params = Params::new();
+        let actor = Mlp::new(
+            &mut params,
+            rng,
+            "actor",
+            &[obs_dim, hidden, hidden, act_dim],
+            Activation::Tanh,
+            Activation::Tanh,
+        );
+        let critic = Mlp::new(
+            &mut params,
+            rng,
+            "critic",
+            &[obs_dim, hidden, hidden, 1],
+            Activation::Tanh,
+            Activation::Linear,
+        );
+        GaussianActorCritic { params, actor, critic, std, act_dim }
+    }
+
+    /// Action dimensionality.
+    pub fn act_dim(&self) -> usize {
+        self.act_dim
+    }
+
+    /// One inference pass producing `(action, value, log_prob)`; samples
+    /// exploration noise when `explore`.
+    ///
+    /// Actor and critic run in a single backend invocation, matching
+    /// stable-baselines' combined `step()`.
+    pub fn act_eval(
+        &self,
+        exec: &Executor,
+        obs: &[f32],
+        explore: bool,
+        rng: &mut SimRng,
+    ) -> (Action, f32, f32) {
+        let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
+        let (mu, value) = exec.run(RunKind::Inference, |tape| {
+            let xv = tape.constant(x.clone());
+            let mu = mlp_forward_frozen(&self.actor, tape, &self.params, xv, Activation::Tanh, Activation::Tanh);
+            let v = mlp_forward_frozen(&self.critic, tape, &self.params, xv, Activation::Tanh, Activation::Linear);
+            (tape.value(mu).clone(), tape.value(v).item())
+        });
+        exec.fetch(&mu);
+        let action: Vec<f32> = if explore {
+            mu.data()
+                .iter()
+                .map(|&m| (m + rng.normal_with(0.0, self.std as f64) as f32).clamp(-1.0, 1.0))
+                .collect()
+        } else {
+            mu.data().to_vec()
+        };
+        let logp = gaussian_logp_host(mu.data(), &action, self.std);
+        (Action::Continuous(action), value, logp)
+    }
+
+    /// Critic value of `obs` (one inference run, for bootstrapping).
+    pub fn value_of(&self, exec: &Executor, obs: &[f32]) -> f32 {
+        let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
+        exec.run(RunKind::Inference, |tape| {
+            let xv = tape.constant(x.clone());
+            let v = mlp_forward_frozen(&self.critic, tape, &self.params, xv, Activation::Tanh, Activation::Linear);
+            tape.value(v).item()
+        })
+    }
+}
+
+/// Normalizes advantages to zero mean and unit variance (host-side, as the
+/// Python implementations do).
+pub fn normalize_advantages(adv: &mut [f32]) {
+    if adv.is_empty() {
+        return;
+    }
+    let n = adv.len() as f32;
+    let mean: f32 = adv.iter().sum::<f32>() / n;
+    let var: f32 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n;
+    let std = var.sqrt().max(1e-6);
+    for a in adv {
+        *a = (*a - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_executor;
+
+    #[test]
+    fn act_eval_produces_consistent_logp() {
+        let (exec, _, _) = test_executor();
+        let mut rng = SimRng::seed_from_u64(1);
+        let ac = GaussianActorCritic::new(3, 2, 16, 0.3, &mut rng);
+        let (a, _v, logp) = ac.act_eval(&exec, &[0.1, 0.2, 0.3], false, &mut rng);
+        // Deterministic action == mean, so logp is exactly 0 (max of the
+        // unnormalized log-density).
+        assert_eq!(logp, 0.0);
+        assert_eq!(a.continuous().len(), 2);
+        let (_, _, logp_explore) = ac.act_eval(&exec, &[0.1, 0.2, 0.3], true, &mut rng);
+        assert!(logp_explore < 0.0);
+    }
+
+    #[test]
+    fn value_of_matches_act_eval_value() {
+        let (exec, _, _) = test_executor();
+        let mut rng = SimRng::seed_from_u64(2);
+        let ac = GaussianActorCritic::new(3, 1, 16, 0.3, &mut rng);
+        let (_, v1, _) = ac.act_eval(&exec, &[0.5, 0.5, 0.5], false, &mut rng);
+        let v2 = ac.value_of(&exec, &[0.5, 0.5, 0.5]);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn normalize_advantages_standardizes() {
+        let mut adv = vec![1.0, 2.0, 3.0, 4.0];
+        normalize_advantages(&mut adv);
+        let mean: f32 = adv.iter().sum::<f32>() / 4.0;
+        let var: f32 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+        normalize_advantages(&mut []); // no panic on empty
+    }
+}

@@ -1,0 +1,298 @@
+//! Proximal Policy Optimization (PPO2, the stable-baselines variant).
+//!
+//! On-policy with a longer horizon than A2C (default 128 steps), multiple
+//! optimization epochs over minibatches, and the clipped surrogate
+//! objective. In the paper's survey PPO2 spends 46.3% of training time in
+//! simulation (Figure 5) and is the algorithm used for the simulator
+//! survey (Figure 7).
+
+use crate::buffer::{RolloutBuffer, RolloutStep, Transition};
+use crate::common::{gaussian_row_logp, Agent, AlgoKind};
+use crate::onpolicy::{normalize_advantages, GaussianActorCritic};
+use rlscope_backend::prelude::*;
+use rlscope_envs::Action;
+use rlscope_sim::rng::SimRng;
+use rlscope_sim::time::DurationNs;
+
+/// PPO2 hyperparameters.
+#[derive(Debug, Clone)]
+pub struct PpoConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Discount factor.
+    pub gamma: f32,
+    /// GAE λ.
+    pub lambda: f32,
+    /// Rollout horizon (paper-default 128).
+    pub n_steps: usize,
+    /// Optimization epochs per rollout.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub minibatch: usize,
+    /// Clip range ε.
+    pub clip: f32,
+    /// Policy standard deviation.
+    pub std: f32,
+    /// Value-loss coefficient.
+    pub vf_coef: f32,
+    /// Python orchestration per action selection.
+    pub python_per_act: DurationNs,
+    /// Python orchestration per update phase (GAE, shuffling, batching).
+    pub python_per_update: DurationNs,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            hidden: 64,
+            lr: 3e-4,
+            gamma: 0.99,
+            lambda: 0.95,
+            n_steps: 128,
+            epochs: 4,
+            minibatch: 32,
+            clip: 0.2,
+            std: 0.3,
+            vf_coef: 0.5,
+            python_per_act: DurationNs::from_micros(55),
+            python_per_update: DurationNs::from_micros(900),
+        }
+    }
+}
+
+/// A PPO2 agent.
+#[derive(Debug)]
+pub struct Ppo {
+    config: PpoConfig,
+    ac: GaussianActorCritic,
+    opt: Adam,
+    rollout: RolloutBuffer,
+    rng: SimRng,
+    last_value: f32,
+    last_logp: f32,
+    last_next_obs: Vec<f32>,
+}
+
+impl Ppo {
+    /// Creates a PPO2 agent.
+    pub fn new(obs_dim: usize, act_dim: usize, config: PpoConfig, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ac = GaussianActorCritic::new(obs_dim, act_dim, config.hidden, config.std, &mut rng);
+        Ppo {
+            opt: Adam::new(config.lr),
+            rollout: RolloutBuffer::new(config.n_steps),
+            ac,
+            config,
+            rng,
+            last_value: 0.0,
+            last_logp: 0.0,
+            last_next_obs: Vec::new(),
+        }
+    }
+
+    /// Parameter store (for tests).
+    pub fn params(&self) -> &Params {
+        &self.ac.params
+    }
+}
+
+impl Agent for Ppo {
+    fn kind(&self) -> AlgoKind {
+        AlgoKind::Ppo2
+    }
+
+    fn act(&mut self, exec: &Executor, obs: &[f32], explore: bool) -> Action {
+        exec.python(self.config.python_per_act);
+        let (action, value, logp) = self.ac.act_eval(exec, obs, explore, &mut self.rng);
+        self.last_value = value;
+        self.last_logp = logp;
+        action
+    }
+
+    fn observe(&mut self, t: Transition) {
+        self.last_next_obs = t.next_obs.clone();
+        self.rollout.push(RolloutStep {
+            obs: t.obs,
+            action: t.action,
+            reward: t.reward,
+            value: self.last_value,
+            log_prob: self.last_logp,
+            done: t.done,
+        });
+    }
+
+    fn ready_to_update(&self) -> bool {
+        self.rollout.is_full()
+    }
+
+    fn update(&mut self, exec: &Executor) {
+        let last_value = if self.last_next_obs.is_empty() {
+            0.0
+        } else {
+            self.ac.value_of(exec, &self.last_next_obs)
+        };
+        exec.python(self.config.python_per_update);
+        let (mut adv, ret) = self.rollout.gae(last_value, self.config.gamma, self.config.lambda);
+        normalize_advantages(&mut adv);
+
+        let steps: Vec<RolloutStep> = self.rollout.steps().to_vec();
+        let n = steps.len();
+        let mb = self.config.minibatch.min(n).max(1);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _epoch in 0..self.config.epochs {
+            // Shuffle (Fisher–Yates with the agent RNG).
+            for i in (1..order.len()).rev() {
+                let j = self.rng.below(i + 1);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(mb) {
+                let obs = Tensor::stack_rows(
+                    &chunk.iter().map(|&i| Tensor::vector(steps[i].obs.clone())).collect::<Vec<_>>(),
+                );
+                let actions = Tensor::stack_rows(
+                    &chunk
+                        .iter()
+                        .map(|&i| Tensor::vector(steps[i].action.continuous().to_vec()))
+                        .collect::<Vec<_>>(),
+                );
+                let adv_t = Tensor::from_vec(
+                    chunk.len(),
+                    1,
+                    chunk.iter().map(|&i| adv[i]).collect(),
+                );
+                let ret_t = Tensor::from_vec(
+                    chunk.len(),
+                    1,
+                    chunk.iter().map(|&i| ret[i]).collect(),
+                );
+                let old_logp_t = Tensor::from_vec(
+                    chunk.len(),
+                    1,
+                    chunk.iter().map(|&i| steps[i].log_prob).collect(),
+                );
+                exec.feed(obs.byte_size() + actions.byte_size() + adv_t.byte_size());
+
+                let (ac, std, clip, vf_coef) =
+                    (&self.ac, self.config.std, self.config.clip, self.config.vf_coef);
+                let act_dim = ac.act_dim();
+                let grads = exec.run(RunKind::Backprop, |tape| {
+                    let ob = tape.constant(obs.clone());
+                    let av = tape.constant(actions.clone());
+                    let advv = tape.constant(adv_t.clone());
+                    let retv = tape.constant(ret_t.clone());
+                    let oldlp = tape.constant(old_logp_t.clone());
+
+                    let mu = ac.actor.forward(tape, &ac.params, ob);
+                    let logp = gaussian_row_logp(tape, mu, av, std, act_dim);
+                    let diff = tape.sub(logp, oldlp);
+                    let ratio = tape.exp(diff);
+                    let surr1 = tape.mul(ratio, advv);
+                    let clipped = tape.clamp(ratio, 1.0 - clip, 1.0 + clip);
+                    let surr2 = tape.mul(clipped, advv);
+                    let surr = tape.minimum(surr1, surr2);
+                    let pg = tape.mean(surr);
+                    let pg_loss = tape.scale(pg, -1.0);
+
+                    let v = ac.critic.forward(tape, &ac.params, ob);
+                    let v_loss = tape.mse(v, retv);
+                    let v_term = tape.scale(v_loss, vf_coef);
+                    let loss = tape.add(pg_loss, v_term);
+                    tape.backward(loss)
+                });
+                self.opt.step(&mut self.ac.params, &grads, Some(exec));
+            }
+        }
+        self.rollout.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_executor;
+
+    fn config() -> PpoConfig {
+        PpoConfig { n_steps: 8, minibatch: 4, epochs: 2, hidden: 16, ..PpoConfig::default() }
+    }
+
+    fn drive_one_rollout(agent: &mut Ppo, exec: &Executor) {
+        for i in 0..agent.config.n_steps {
+            let a = agent.act(exec, &[0.1, 0.2], true);
+            agent.observe(Transition {
+                obs: vec![0.1, 0.2],
+                action: a,
+                reward: (i % 2) as f32,
+                next_obs: vec![0.2, 0.1],
+                done: false,
+            });
+        }
+        assert!(agent.ready_to_update());
+        agent.update(exec);
+    }
+
+    #[test]
+    fn update_consumes_full_rollout() {
+        let (exec, _, _) = test_executor();
+        let mut agent = Ppo::new(2, 1, config(), 1);
+        let before = agent.params().clone();
+        drive_one_rollout(&mut agent, &exec);
+        assert_ne!(agent.params(), &before);
+        assert!(!agent.ready_to_update());
+    }
+
+    #[test]
+    fn epochs_times_minibatches_backprop_runs() {
+        // 8 steps, minibatch 4, 2 epochs → 4 backprop runs + kernels.
+        let (exec, _, cuda) = test_executor();
+        let mut agent = Ppo::new(2, 1, config(), 1);
+        for i in 0..8 {
+            let a = agent.act(&exec, &[0.1, 0.2], true);
+            agent.observe(Transition {
+                obs: vec![0.1, 0.2],
+                action: a,
+                reward: i as f32,
+                next_obs: vec![0.2, 0.1],
+                done: false,
+            });
+        }
+        let launches_before = cuda.borrow().counts().launches;
+        agent.update(&exec);
+        let launched = cuda.borrow().counts().launches - launches_before;
+        assert!(launched > 100, "suspiciously few kernels for 4 PPO minibatches: {launched}");
+    }
+
+    #[test]
+    fn clipping_bounds_the_update_when_ratio_explodes() {
+        // A pathological advantage with stale logp exercises the clipped
+        // branch of the objective; parameters must stay finite.
+        let (exec, _, _) = test_executor();
+        let mut agent = Ppo::new(2, 1, config(), 1);
+        for _ in 0..8 {
+            let a = agent.act(&exec, &[0.1, 0.2], true);
+            agent.observe(Transition {
+                obs: vec![0.1, 0.2],
+                action: a,
+                reward: 100.0,
+                next_obs: vec![0.2, 0.1],
+                done: false,
+            });
+            // Poison the stored log-prob so ratios are far from 1.
+            agent.last_logp = -20.0;
+        }
+        agent.update(&exec);
+        for pid in 0..agent.params().len() {
+            assert!(
+                agent.params().get(pid).data().iter().all(|v| v.is_finite()),
+                "non-finite parameter after clipped update"
+            );
+        }
+    }
+
+    #[test]
+    fn has_larger_horizon_than_a2c_by_default() {
+        assert!(PpoConfig::default().n_steps > crate::a2c::A2cConfig::default().n_steps);
+    }
+}

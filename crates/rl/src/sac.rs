@@ -1,0 +1,330 @@
+//! Soft Actor-Critic (off-policy, stochastic policy, entropy-regularized).
+//!
+//! Structural skeleton of SAC: a Gaussian actor with fixed standard
+//! deviation, twin critics, and an entropy-regularized objective. What the
+//! cross-stack study needs from SAC is its *execution shape* — off-policy
+//! replay, twin-critic backprop, per-step stochastic inference — which this
+//! implementation reproduces with real tensor math.
+
+use crate::buffer::{ReplayBuffer, Transition};
+use crate::common::{
+    action_batch, gaussian_logp_host, mlp_forward_frozen, next_obs_batch, not_done_batch,
+    obs_batch, reward_batch, Agent, AlgoKind, TwoHeadCritic,
+};
+use rlscope_backend::prelude::*;
+use rlscope_envs::Action;
+use rlscope_sim::rng::SimRng;
+use rlscope_sim::time::DurationNs;
+
+/// SAC hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SacConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Learning rate (shared).
+    pub lr: f32,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Polyak coefficient.
+    pub tau: f32,
+    /// Entropy temperature.
+    pub alpha: f32,
+    /// Policy standard deviation (fixed).
+    pub std: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Replay capacity.
+    pub replay_capacity: usize,
+    /// Steps before learning starts.
+    pub warmup: usize,
+    /// Simulator steps between update phases.
+    pub train_freq: usize,
+    /// Gradient steps per update phase.
+    pub gradient_steps: usize,
+    /// Python orchestration per action selection.
+    pub python_per_act: DurationNs,
+    /// Python orchestration per gradient step.
+    pub python_per_step: DurationNs,
+}
+
+impl Default for SacConfig {
+    fn default() -> Self {
+        SacConfig {
+            hidden: 64,
+            lr: 3e-4,
+            gamma: 0.99,
+            tau: 0.005,
+            alpha: 0.2,
+            std: 0.3,
+            batch_size: 64,
+            replay_capacity: 50_000,
+            warmup: 128,
+            train_freq: 64,
+            gradient_steps: 64,
+            python_per_act: DurationNs::from_micros(45),
+            python_per_step: DurationNs::from_micros(160),
+        }
+    }
+}
+
+/// A SAC agent.
+#[derive(Debug)]
+pub struct Sac {
+    config: SacConfig,
+    act_dim: usize,
+    params: Params,
+    target_params: Params,
+    actor: Mlp,
+    critic1: TwoHeadCritic,
+    critic2: TwoHeadCritic,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    replay: ReplayBuffer,
+    rng: SimRng,
+    steps_since_update: usize,
+}
+
+impl Sac {
+    /// Creates a SAC agent.
+    pub fn new(obs_dim: usize, act_dim: usize, config: SacConfig, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let actor = Mlp::new(
+            &mut params,
+            &mut rng,
+            "actor",
+            &[obs_dim, config.hidden, config.hidden, act_dim],
+            Activation::Relu,
+            Activation::Tanh,
+        );
+        let critic1 = TwoHeadCritic::new(&mut params, &mut rng, "critic1", obs_dim, act_dim, config.hidden);
+        let critic2 = TwoHeadCritic::new(&mut params, &mut rng, "critic2", obs_dim, act_dim, config.hidden);
+        let target_params = params.clone();
+        Sac {
+            actor_opt: Adam::new(config.lr),
+            critic_opt: Adam::new(config.lr),
+            replay: ReplayBuffer::new(config.replay_capacity),
+            target_params,
+            params,
+            actor,
+            critic1,
+            critic2,
+            act_dim,
+            config,
+            rng,
+            steps_since_update: 0,
+        }
+    }
+}
+
+impl Agent for Sac {
+    fn kind(&self) -> AlgoKind {
+        AlgoKind::Sac
+    }
+
+    fn act(&mut self, exec: &Executor, obs: &[f32], explore: bool) -> Action {
+        exec.python(self.config.python_per_act);
+        let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
+        let mu = exec.run(RunKind::Inference, |tape| {
+            let xv = tape.constant(x.clone());
+            let y = mlp_forward_frozen(&self.actor, tape, &self.params, xv, Activation::Relu, Activation::Tanh);
+            tape.value(y).clone()
+        });
+        exec.fetch(&mu);
+        let a: Vec<f32> = if explore {
+            mu.data()
+                .iter()
+                .map(|&m| {
+                    (m + self.rng.normal_with(0.0, self.config.std as f64) as f32).clamp(-1.0, 1.0)
+                })
+                .collect()
+        } else {
+            mu.data().to_vec()
+        };
+        Action::Continuous(a)
+    }
+
+    fn observe(&mut self, t: Transition) {
+        self.replay.push(t);
+        self.steps_since_update += 1;
+    }
+
+    fn ready_to_update(&self) -> bool {
+        self.replay.len() >= self.config.warmup
+            && self.steps_since_update >= self.config.train_freq
+    }
+
+    fn update(&mut self, exec: &Executor) {
+        self.steps_since_update = 0;
+        for _ in 0..self.config.gradient_steps {
+            exec.python(self.config.python_per_step);
+            let batch: Vec<Transition> = self
+                .replay
+                .sample(self.config.batch_size, &mut self.rng)
+                .into_iter()
+                .cloned()
+                .collect();
+            let obs = obs_batch(batch.iter());
+            let next_obs = next_obs_batch(batch.iter());
+            let actions = action_batch(batch.iter());
+            let rewards = reward_batch(batch.iter());
+            let not_done = not_done_batch(batch.iter());
+            exec.feed(obs.byte_size() + next_obs.byte_size() + actions.byte_size());
+
+            // Sample next actions from the target policy (host-side noise).
+            let (gamma, alpha, std) = (self.config.gamma, self.config.alpha, self.config.std);
+            let mut next_noise = vec![0.0f32; batch.len() * self.act_dim];
+            for v in &mut next_noise {
+                *v = self.rng.normal_with(0.0, std as f64) as f32;
+            }
+            let next_noise = Tensor::from_vec(batch.len(), self.act_dim, next_noise);
+
+            let (actor, c1, c2, params, target_params) = (
+                &self.actor,
+                &self.critic1,
+                &self.critic2,
+                &self.params,
+                &self.target_params,
+            );
+            let act_dim = self.act_dim;
+            let critic_grads = exec.run(RunKind::Backprop, |tape| {
+                let nx = tape.constant(next_obs.clone());
+                let mu_next =
+                    mlp_forward_frozen(actor, tape, target_params, nx, Activation::Relu, Activation::Tanh);
+                let noise = tape.constant(next_noise.clone());
+                let a_next = tape.add(mu_next, noise);
+                let a_next = tape.clamp(a_next, -1.0, 1.0);
+                let q1t = c1.forward_frozen(tape, target_params, nx, a_next);
+                let q2t = c2.forward_frozen(tape, target_params, nx, a_next);
+                let qmin = tape.minimum(q1t, q2t);
+                // Soft target: y = r + γ(1−d)(min Q_t − α·logπ).
+                let qmin_val = tape.value(qmin).clone();
+                let mu_val = tape.value(mu_next).clone();
+                let a_val = tape.value(a_next).clone();
+                let y: Vec<f32> = (0..qmin_val.rows())
+                    .map(|r| {
+                        let logp = gaussian_logp_host(
+                            mu_val.row(r).data(),
+                            a_val.row(r).data(),
+                            std,
+                        ) / act_dim as f32;
+                        rewards.at(r, 0)
+                            + gamma * not_done.at(r, 0) * (qmin_val.at(r, 0) - alpha * logp)
+                    })
+                    .collect();
+                let y = tape.constant(Tensor::from_vec(y.len(), 1, y));
+                let ob = tape.constant(obs.clone());
+                let av = tape.constant(actions.clone());
+                let q1 = c1.forward(tape, params, ob, av);
+                let q2 = c2.forward(tape, params, ob, av);
+                let l1 = tape.mse(q1, y);
+                let l2 = tape.mse(q2, y);
+                let loss = tape.add(l1, l2);
+                tape.backward(loss)
+            });
+            self.critic_opt.step(&mut self.params, &critic_grads, Some(exec));
+
+            // Actor: maximize E[Q(s, π(s)) − α·(pseudo-entropy)].
+            let (actor, c1, params) = (&self.actor, &self.critic1, &self.params);
+            let actor_grads = exec.run(RunKind::Backprop, |tape| {
+                let ob = tape.constant(obs.clone());
+                let mu = actor.forward(tape, params, ob);
+                let q = c1.forward_frozen(tape, params, ob, mu);
+                let mean_q = tape.mean(q);
+                let neg_q = tape.scale(mean_q, -1.0);
+                // Entropy surrogate: α·mean(μ²) discourages saturation.
+                let musq = tape.mul(mu, mu);
+                let ent = tape.mean(musq);
+                let ent = tape.scale(ent, alpha);
+                let loss = tape.add(neg_q, ent);
+                tape.backward(loss)
+            });
+            self.actor_opt.step(&mut self.params, &actor_grads, Some(exec));
+
+            self.target_params.soft_update_from(&self.params, self.config.tau);
+            exec.backend_call(|ex| {
+                for pid in self
+                    .critic1
+                    .param_ids()
+                    .into_iter()
+                    .chain(self.critic2.param_ids())
+                {
+                    ex.kernel("target_soft_update", self.params.get(pid).len() as f64 * 3.0);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_executor;
+
+    fn config() -> SacConfig {
+        SacConfig {
+            warmup: 16,
+            batch_size: 8,
+            train_freq: 8,
+            gradient_steps: 2,
+            hidden: 16,
+            ..SacConfig::default()
+        }
+    }
+
+    fn fill(agent: &mut Sac, n: usize) {
+        for i in 0..n {
+            agent.observe(Transition {
+                obs: vec![0.1, 0.2],
+                action: Action::Continuous(vec![0.3]),
+                reward: (i % 2) as f32,
+                next_obs: vec![0.2, 0.1],
+                done: false,
+            });
+        }
+    }
+
+    #[test]
+    fn stochastic_vs_deterministic_action() {
+        let (exec, _, _) = test_executor();
+        let mut agent = Sac::new(2, 1, config(), 1);
+        let det1 = agent.act(&exec, &[0.1, 0.2], false);
+        let det2 = agent.act(&exec, &[0.1, 0.2], false);
+        assert_eq!(det1, det2, "deterministic action not repeatable");
+        let sto1 = agent.act(&exec, &[0.1, 0.2], true);
+        let sto2 = agent.act(&exec, &[0.1, 0.2], true);
+        assert_ne!(sto1, sto2, "stochastic actions identical");
+    }
+
+    #[test]
+    fn update_changes_actor_and_critics() {
+        let (exec, _, _) = test_executor();
+        let mut agent = Sac::new(2, 1, config(), 1);
+        fill(&mut agent, 16);
+        let before = agent.params.clone();
+        agent.update(&exec);
+        assert_ne!(agent.params, before, "no parameters changed");
+    }
+
+    #[test]
+    fn update_cadence_follows_train_freq() {
+        let (exec, _, _) = test_executor();
+        let mut agent = Sac::new(2, 1, config(), 1);
+        fill(&mut agent, 16);
+        assert!(agent.ready_to_update());
+        agent.update(&exec);
+        assert!(!agent.ready_to_update());
+        fill(&mut agent, 8);
+        assert!(agent.ready_to_update());
+    }
+
+    #[test]
+    fn actions_bounded() {
+        let (exec, _, _) = test_executor();
+        let mut agent = Sac::new(2, 1, config(), 1);
+        for _ in 0..10 {
+            let a = agent.act(&exec, &[2.0, -2.0], true);
+            assert!(a.continuous().iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Twin Delayed DDPG (TD3): twin critics, delayed policy updates, target
+//! policy smoothing — and, relevant to the paper's F.5, a `train_freq` of
+//! 1000 consecutive simulator steps, which amortizes Autograph's data
+//! collection loop entry cost far better than DDPG's 100.
+
+use crate::buffer::{ReplayBuffer, Transition};
+use crate::common::{
+    action_batch, mlp_forward_frozen, next_obs_batch, not_done_batch, obs_batch, reward_batch,
+    Agent, AlgoKind, TwoHeadCritic,
+};
+use crate::noise::{ActionNoise, GaussianNoise};
+use rlscope_backend::prelude::*;
+use rlscope_envs::Action;
+use rlscope_sim::rng::SimRng;
+use rlscope_sim::time::DurationNs;
+
+/// TD3 hyperparameters.
+#[derive(Debug, Clone)]
+pub struct Td3Config {
+    /// Hidden width for actor and critics.
+    pub hidden: usize,
+    /// Learning rate (shared).
+    pub lr: f32,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Polyak coefficient.
+    pub tau: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Replay capacity.
+    pub replay_capacity: usize,
+    /// Steps before learning starts.
+    pub warmup: usize,
+    /// Consecutive simulator steps between update phases (paper: 1000).
+    pub train_freq: usize,
+    /// Gradient steps per update phase.
+    pub gradient_steps: usize,
+    /// Actor update period, in critic updates.
+    pub policy_delay: usize,
+    /// Exploration noise scale.
+    pub noise_sigma: f32,
+    /// Target policy smoothing noise scale.
+    pub target_noise: f32,
+    /// Smoothing noise clip.
+    pub target_noise_clip: f32,
+    /// Python orchestration per action selection.
+    pub python_per_act: DurationNs,
+    /// Python orchestration per gradient step.
+    pub python_per_step: DurationNs,
+}
+
+impl Default for Td3Config {
+    fn default() -> Self {
+        Td3Config {
+            hidden: 64,
+            lr: 1e-3,
+            gamma: 0.99,
+            tau: 0.005,
+            batch_size: 64,
+            replay_capacity: 50_000,
+            warmup: 128,
+            train_freq: 1000,
+            gradient_steps: 500,
+            policy_delay: 2,
+            noise_sigma: 0.1,
+            target_noise: 0.2,
+            target_noise_clip: 0.5,
+            python_per_act: DurationNs::from_micros(40),
+            python_per_step: DurationNs::from_micros(150),
+        }
+    }
+}
+
+/// A TD3 agent.
+#[derive(Debug)]
+pub struct Td3 {
+    config: Td3Config,
+    act_dim: usize,
+    params: Params,
+    target_params: Params,
+    actor: Mlp,
+    critic1: TwoHeadCritic,
+    critic2: TwoHeadCritic,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    replay: ReplayBuffer,
+    noise: GaussianNoise,
+    rng: SimRng,
+    steps_since_update: usize,
+    critic_updates: u64,
+}
+
+impl Td3 {
+    /// Creates a TD3 agent.
+    pub fn new(obs_dim: usize, act_dim: usize, config: Td3Config, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let actor = Mlp::new(
+            &mut params,
+            &mut rng,
+            "actor",
+            &[obs_dim, config.hidden, config.hidden, act_dim],
+            Activation::Relu,
+            Activation::Tanh,
+        );
+        let critic1 = TwoHeadCritic::new(&mut params, &mut rng, "critic1", obs_dim, act_dim, config.hidden);
+        let critic2 = TwoHeadCritic::new(&mut params, &mut rng, "critic2", obs_dim, act_dim, config.hidden);
+        let target_params = params.clone();
+        Td3 {
+            actor_opt: Adam::new(config.lr),
+            critic_opt: Adam::new(config.lr),
+            replay: ReplayBuffer::new(config.replay_capacity),
+            noise: GaussianNoise::new(config.noise_sigma, seed ^ 0x7d3),
+            target_params,
+            params,
+            actor,
+            critic1,
+            critic2,
+            act_dim,
+            config,
+            rng,
+            steps_since_update: 0,
+            critic_updates: 0,
+        }
+    }
+
+    /// Number of critic gradient updates so far.
+    pub fn critic_updates(&self) -> u64 {
+        self.critic_updates
+    }
+}
+
+impl Agent for Td3 {
+    fn kind(&self) -> AlgoKind {
+        AlgoKind::Td3
+    }
+
+    fn act(&mut self, exec: &Executor, obs: &[f32], explore: bool) -> Action {
+        exec.python(self.config.python_per_act);
+        let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
+        let mu = exec.run(RunKind::Inference, |tape| {
+            let xv = tape.constant(x.clone());
+            let y = mlp_forward_frozen(&self.actor, tape, &self.params, xv, Activation::Relu, Activation::Tanh);
+            tape.value(y).clone()
+        });
+        exec.fetch(&mu);
+        let mut a: Vec<f32> = mu.data().to_vec();
+        if explore {
+            for (v, n) in a.iter_mut().zip(self.noise.sample(self.act_dim)) {
+                *v = (*v + n).clamp(-1.0, 1.0);
+            }
+        }
+        Action::Continuous(a)
+    }
+
+    fn observe(&mut self, t: Transition) {
+        self.replay.push(t);
+        self.steps_since_update += 1;
+    }
+
+    fn ready_to_update(&self) -> bool {
+        self.replay.len() >= self.config.warmup
+            && self.steps_since_update >= self.config.train_freq
+    }
+
+    fn update(&mut self, exec: &Executor) {
+        self.steps_since_update = 0;
+        for _ in 0..self.config.gradient_steps {
+            exec.python(self.config.python_per_step);
+            let batch: Vec<Transition> = self
+                .replay
+                .sample(self.config.batch_size, &mut self.rng)
+                .into_iter()
+                .cloned()
+                .collect();
+            let obs = obs_batch(batch.iter());
+            let next_obs = next_obs_batch(batch.iter());
+            let actions = action_batch(batch.iter());
+            let rewards = reward_batch(batch.iter());
+            let not_done = not_done_batch(batch.iter());
+            exec.feed(obs.byte_size() + next_obs.byte_size() + actions.byte_size());
+
+            // Smoothing noise for the target action, sampled host-side.
+            let mut smooth = vec![0.0f32; batch.len() * self.act_dim];
+            for v in &mut smooth {
+                *v = (self.rng.normal_with(0.0, self.config.target_noise as f64) as f32)
+                    .clamp(-self.config.target_noise_clip, self.config.target_noise_clip);
+            }
+            let smooth = Tensor::from_vec(batch.len(), self.act_dim, smooth);
+
+            let gamma = self.config.gamma;
+            let (actor, c1, c2, params, target_params) = (
+                &self.actor,
+                &self.critic1,
+                &self.critic2,
+                &self.params,
+                &self.target_params,
+            );
+            // Twin-critic TD update in a single backprop run.
+            let critic_grads = exec.run(RunKind::Backprop, |tape| {
+                let nx = tape.constant(next_obs.clone());
+                let a_next =
+                    mlp_forward_frozen(actor, tape, target_params, nx, Activation::Relu, Activation::Tanh);
+                let noise = tape.constant(smooth.clone());
+                let a_next = tape.add(a_next, noise);
+                let a_next = tape.clamp(a_next, -1.0, 1.0);
+                let q1t = c1.forward_frozen(tape, target_params, nx, a_next);
+                let q2t = c2.forward_frozen(tape, target_params, nx, a_next);
+                let qmin = tape.minimum(q1t, q2t);
+                let qmin_val = tape.value(qmin).clone();
+                let y: Vec<f32> = (0..qmin_val.rows())
+                    .map(|r| rewards.at(r, 0) + gamma * not_done.at(r, 0) * qmin_val.at(r, 0))
+                    .collect();
+                let y = tape.constant(Tensor::from_vec(y.len(), 1, y));
+
+                let ob = tape.constant(obs.clone());
+                let av = tape.constant(actions.clone());
+                let q1 = c1.forward(tape, params, ob, av);
+                let q2 = c2.forward(tape, params, ob, av);
+                let l1 = tape.mse(q1, y);
+                let l2 = tape.mse(q2, y);
+                let loss = tape.add(l1, l2);
+                tape.backward(loss)
+            });
+            self.critic_opt.step(&mut self.params, &critic_grads, Some(exec));
+            self.critic_updates += 1;
+
+            // Delayed policy + target updates.
+            if self.critic_updates % self.config.policy_delay as u64 == 0 {
+                let (actor, c1, params) = (&self.actor, &self.critic1, &self.params);
+                let actor_grads = exec.run(RunKind::Backprop, |tape| {
+                    let ob = tape.constant(obs.clone());
+                    let a = actor.forward(tape, params, ob);
+                    let q = c1.forward_frozen(tape, params, ob, a);
+                    let mean_q = tape.mean(q);
+                    let loss = tape.scale(mean_q, -1.0);
+                    tape.backward(loss)
+                });
+                self.actor_opt.step(&mut self.params, &actor_grads, Some(exec));
+                self.target_params.soft_update_from(&self.params, self.config.tau);
+                exec.backend_call(|ex| {
+                    for pid in self
+                        .actor
+                        .param_ids()
+                        .into_iter()
+                        .chain(self.critic1.param_ids())
+                        .chain(self.critic2.param_ids())
+                    {
+                        ex.kernel("target_soft_update", self.params.get(pid).len() as f64 * 3.0);
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_executor;
+
+    fn config() -> Td3Config {
+        Td3Config {
+            warmup: 16,
+            batch_size: 8,
+            train_freq: 16,
+            gradient_steps: 4,
+            hidden: 16,
+            ..Td3Config::default()
+        }
+    }
+
+    fn fill(agent: &mut Td3, n: usize) {
+        for i in 0..n {
+            agent.observe(Transition {
+                obs: vec![0.1, 0.2],
+                action: Action::Continuous(vec![0.3]),
+                reward: (i % 3) as f32,
+                next_obs: vec![0.2, 0.1],
+                done: false,
+            });
+        }
+    }
+
+    #[test]
+    fn policy_updates_are_delayed() {
+        let (exec, _, _) = test_executor();
+        let mut agent = Td3::new(2, 1, config(), 1);
+        fill(&mut agent, 16);
+        let actor_ids = agent.actor.param_ids();
+        let actor_before: Vec<Tensor> =
+            actor_ids.iter().map(|&pid| agent.params.get(pid).clone()).collect();
+        agent.update(&exec);
+        // 4 critic updates / delay 2 = 2 actor updates happened.
+        assert_eq!(agent.critic_updates(), 4);
+        let changed = actor_ids
+            .iter()
+            .zip(&actor_before)
+            .any(|(&pid, before)| agent.params.get(pid) != before);
+        assert!(changed, "actor never updated despite passing the delay");
+    }
+
+    #[test]
+    fn single_critic_update_leaves_actor_untouched() {
+        let (exec, _, _) = test_executor();
+        let mut cfg = config();
+        cfg.gradient_steps = 1; // 1 < policy_delay=2
+        let mut agent = Td3::new(2, 1, cfg, 1);
+        fill(&mut agent, 16);
+        let actor_before: Vec<Tensor> = agent
+            .actor
+            .param_ids()
+            .iter()
+            .map(|&pid| agent.params.get(pid).clone())
+            .collect();
+        agent.update(&exec);
+        let unchanged = agent
+            .actor
+            .param_ids()
+            .iter()
+            .zip(&actor_before)
+            .all(|(&pid, before)| agent.params.get(pid) == before);
+        assert!(unchanged, "actor updated before policy_delay elapsed");
+    }
+
+    #[test]
+    fn twin_critics_have_disjoint_params() {
+        let agent = Td3::new(2, 1, config(), 1);
+        let ids1 = agent.critic1.param_ids();
+        let ids2 = agent.critic2.param_ids();
+        assert!(ids1.iter().all(|id| !ids2.contains(id)));
+    }
+
+    #[test]
+    fn uses_larger_train_freq_than_ddpg_by_default() {
+        // The F.5 hyperparameter difference.
+        assert_eq!(Td3Config::default().train_freq, 1000);
+        assert_eq!(crate::ddpg::DdpgConfig::default().train_freq, 100);
+    }
+
+    #[test]
+    fn bounded_actions_under_noise() {
+        let (exec, _, _) = test_executor();
+        let mut agent = Td3::new(2, 1, config(), 1);
+        for _ in 0..10 {
+            let a = agent.act(&exec, &[1.0, -1.0], true);
+            assert!(a.continuous().iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+}

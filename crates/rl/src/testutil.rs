@@ -1,0 +1,39 @@
+//! Shared test fixtures for the algorithm modules.
+
+use rlscope_backend::prelude::*;
+use rlscope_sim::cuda::{CudaContext, CudaCostConfig};
+use rlscope_sim::gpu::GpuDevice;
+use rlscope_sim::python::{PyCostConfig, PyRuntime};
+use rlscope_sim::VirtualClock;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A TensorFlow/Graph executor over a fresh virtual stack.
+pub(crate) fn test_executor(
+) -> (Executor, Rc<RefCell<PyRuntime>>, Rc<RefCell<CudaContext>>) {
+    executor_for(BackendKind::TensorFlow, ExecModel::Graph)
+}
+
+/// An executor for an arbitrary ⟨backend, model⟩ pair.
+pub(crate) fn executor_for(
+    kind: BackendKind,
+    model: ExecModel,
+) -> (Executor, Rc<RefCell<PyRuntime>>, Rc<RefCell<CudaContext>>) {
+    let clock = VirtualClock::new();
+    let py = Rc::new(RefCell::new(PyRuntime::new(clock.clone(), PyCostConfig::default())));
+    let cuda = Rc::new(RefCell::new(CudaContext::new(
+        clock,
+        GpuDevice::new(1),
+        CudaCostConfig::default(),
+    )));
+    let stream = cuda.borrow().default_stream();
+    let exec = Executor::new(
+        kind,
+        model,
+        py.clone(),
+        cuda.clone(),
+        OpCostModel::for_config(kind, model),
+        stream,
+    );
+    (exec, py, cuda)
+}

@@ -1,0 +1,127 @@
+//! The per-process virtual clock.
+
+use crate::time::{DurationNs, TimeNs};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Every layer of one simulated process (Python runtime, ML backend, CUDA
+/// context, profiler book-keeping) holds a clone of the same clock and
+/// advances it as modelled work "executes". Cloning is cheap — clones share
+/// the underlying counter.
+///
+/// The clock is thread-safe so that the profiler's asynchronous trace-dump
+/// thread can read timestamps, but the simulated workload itself advances it
+/// from a single thread per simulated process.
+///
+/// ```
+/// use rlscope_sim::clock::VirtualClock;
+/// use rlscope_sim::time::DurationNs;
+///
+/// let clock = VirtualClock::new();
+/// let alias = clock.clone();
+/// clock.advance(DurationNs::from_micros(7));
+/// assert_eq!(alias.now().as_nanos(), 7_000);
+/// ```
+#[derive(Clone, Default)]
+pub struct VirtualClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a clock at the origin of its timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock whose timeline starts at `start` (used for worker
+    /// processes forked partway through a parent's run).
+    pub fn starting_at(start: TimeNs) -> Self {
+        let clock = Self::new();
+        clock.now_ns.store(start.as_nanos(), Ordering::Relaxed);
+        clock
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> TimeNs {
+        TimeNs::from_nanos(self.now_ns.load(Ordering::Relaxed))
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&self, d: DurationNs) -> TimeNs {
+        let new = self.now_ns.fetch_add(d.as_nanos(), Ordering::Relaxed) + d.as_nanos();
+        TimeNs::from_nanos(new)
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; otherwise leaves it
+    /// unchanged. Returns the (possibly unchanged) current instant.
+    ///
+    /// This is how a CPU thread "blocks" until an asynchronous GPU timeline
+    /// catches up (e.g. `cudaDeviceSynchronize`).
+    pub fn advance_to(&self, t: TimeNs) -> TimeNs {
+        self.now_ns.fetch_max(t.as_nanos(), Ordering::Relaxed);
+        self.now()
+    }
+
+    /// Runs `f`, returning its result together with the span of virtual time
+    /// it consumed.
+    pub fn timed<R>(&self, f: impl FnOnce() -> R) -> (R, DurationNs) {
+        let start = self.now();
+        let out = f();
+        (out, self.now() - start)
+    }
+}
+
+impl fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VirtualClock").field("now", &self.now()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(VirtualClock::new().now(), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(DurationNs::from_nanos(10));
+        b.advance(DurationNs::from_nanos(5));
+        assert_eq!(a.now(), TimeNs::from_nanos(15));
+        assert_eq!(b.now(), TimeNs::from_nanos(15));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = VirtualClock::new();
+        c.advance(DurationNs::from_nanos(100));
+        // Advancing to the past is a no-op.
+        assert_eq!(c.advance_to(TimeNs::from_nanos(50)), TimeNs::from_nanos(100));
+        assert_eq!(c.advance_to(TimeNs::from_nanos(150)), TimeNs::from_nanos(150));
+    }
+
+    #[test]
+    fn starting_at_offsets_timeline() {
+        let c = VirtualClock::starting_at(TimeNs::from_nanos(42));
+        assert_eq!(c.now(), TimeNs::from_nanos(42));
+    }
+
+    #[test]
+    fn timed_measures_closure() {
+        let c = VirtualClock::new();
+        let (val, took) = c.timed(|| {
+            c.advance(DurationNs::from_micros(3));
+            "done"
+        });
+        assert_eq!(val, "done");
+        assert_eq!(took, DurationNs::from_micros(3));
+    }
+}

@@ -1,0 +1,77 @@
+//! Cost-model primitives shared by the backend and environment crates.
+
+use crate::time::DurationNs;
+use serde::{Deserialize, Serialize};
+
+/// An affine cost model: `base + per_unit * units`.
+///
+/// Used for modelled CPU execution time of tensor ops (units = FLOPs or
+/// elements), GPU kernel durations, and environment step costs.
+///
+/// ```
+/// use rlscope_sim::cost::LinearCost;
+/// use rlscope_sim::time::DurationNs;
+///
+/// let gemm = LinearCost::new(DurationNs::from_micros(4), 0.05);
+/// assert_eq!(gemm.eval(1000.0), DurationNs::from_nanos(4_050));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearCost {
+    /// Fixed cost independent of problem size.
+    pub base: DurationNs,
+    /// Nanoseconds per unit of work.
+    pub per_unit_ns: f64,
+}
+
+impl LinearCost {
+    /// Creates a cost model.
+    pub fn new(base: DurationNs, per_unit_ns: f64) -> Self {
+        LinearCost { base, per_unit_ns }
+    }
+
+    /// A purely fixed cost.
+    pub fn fixed(base: DurationNs) -> Self {
+        LinearCost { base, per_unit_ns: 0.0 }
+    }
+
+    /// Evaluates the model at `units` units of work.
+    pub fn eval(&self, units: f64) -> DurationNs {
+        self.base + DurationNs::from_secs_f64(self.per_unit_ns.max(0.0) * units.max(0.0) / 1e9)
+    }
+
+    /// Returns this model scaled by `k` (both base and slope).
+    pub fn scaled(&self, k: f64) -> LinearCost {
+        LinearCost { base: self.base.mul_f64(k), per_unit_ns: self.per_unit_ns * k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_affine() {
+        let c = LinearCost::new(DurationNs::from_nanos(100), 2.0);
+        assert_eq!(c.eval(0.0), DurationNs::from_nanos(100));
+        assert_eq!(c.eval(50.0), DurationNs::from_nanos(200));
+    }
+
+    #[test]
+    fn fixed_ignores_units() {
+        let c = LinearCost::fixed(DurationNs::from_micros(1));
+        assert_eq!(c.eval(1e9), DurationNs::from_micros(1));
+    }
+
+    #[test]
+    fn negative_units_clamp_to_zero() {
+        let c = LinearCost::new(DurationNs::from_nanos(10), 1.0);
+        assert_eq!(c.eval(-5.0), DurationNs::from_nanos(10));
+    }
+
+    #[test]
+    fn scaled_scales_both_terms() {
+        let c = LinearCost::new(DurationNs::from_nanos(100), 2.0).scaled(0.5);
+        assert_eq!(c.base, DurationNs::from_nanos(50));
+        assert!((c.per_unit_ns - 1.0).abs() < 1e-12);
+    }
+}

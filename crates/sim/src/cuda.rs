@@ -1,0 +1,444 @@
+//! The CUDA API layer: CPU-side calls that drive the asynchronous GPU.
+//!
+//! Each API call costs CPU time on the virtual clock. When CUPTI activity
+//! collection is enabled, each call is additionally inflated by a per-API
+//! amount — modelling the *closed-source profiling code inside the CUDA
+//! library* that the paper's difference-of-average calibration (Appendix
+//! C.2) measures and corrects. When RL-Scope's own API interception is
+//! enabled, each call is further inflated by a type-uniform book-keeping
+//! cost — the quantity delta calibration (Appendix C.1) corrects.
+
+use crate::clock::VirtualClock;
+use crate::gpu::{GpuDevice, KernelDesc, KernelRecord, MemcpyDir, MemcpyRecord};
+use crate::hooks::CudaHooks;
+use crate::ids::StreamId;
+use crate::time::{DurationNs, TimeNs};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The CUDA APIs the substrate models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CudaApiKind {
+    /// `cudaLaunchKernel`.
+    LaunchKernel,
+    /// `cudaMemcpyAsync`.
+    MemcpyAsync,
+    /// `cudaDeviceSynchronize`.
+    DeviceSynchronize,
+    /// `cudaStreamSynchronize`.
+    StreamSynchronize,
+}
+
+impl CudaApiKind {
+    /// All modelled API kinds, for iteration in calibration code.
+    pub const ALL: [CudaApiKind; 4] = [
+        CudaApiKind::LaunchKernel,
+        CudaApiKind::MemcpyAsync,
+        CudaApiKind::DeviceSynchronize,
+        CudaApiKind::StreamSynchronize,
+    ];
+}
+
+impl fmt::Display for CudaApiKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CudaApiKind::LaunchKernel => "cudaLaunchKernel",
+            CudaApiKind::MemcpyAsync => "cudaMemcpyAsync",
+            CudaApiKind::DeviceSynchronize => "cudaDeviceSynchronize",
+            CudaApiKind::StreamSynchronize => "cudaStreamSynchronize",
+        };
+        f.write_str(s)
+    }
+}
+
+/// CPU-side cost model for CUDA API calls.
+///
+/// Defaults are in the range the paper's Figure 10 uses for illustration
+/// (`cudaMemcpyAsync` ≈ 4.5 µs, `cudaLaunchKernel` ≈ 6.5 µs base; +1 µs and
+/// +3 µs respectively under CUPTI).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CudaCostConfig {
+    /// Base CPU cost of `cudaLaunchKernel`.
+    pub launch_cpu: DurationNs,
+    /// Base CPU cost of `cudaMemcpyAsync`.
+    pub memcpy_cpu: DurationNs,
+    /// Base CPU cost of a synchronize call, excluding wait time.
+    pub sync_cpu: DurationNs,
+    /// CUPTI-internal inflation of `cudaLaunchKernel` when activity
+    /// collection is enabled.
+    pub cupti_launch_inflation: DurationNs,
+    /// CUPTI-internal inflation of `cudaMemcpyAsync`.
+    pub cupti_memcpy_inflation: DurationNs,
+    /// CUPTI-internal inflation of synchronize calls.
+    pub cupti_sync_inflation: DurationNs,
+    /// RL-Scope's own per-call API-interception book-keeping cost
+    /// (type-uniform across APIs, per the paper §3.4).
+    pub interception_cost: DurationNs,
+}
+
+impl Default for CudaCostConfig {
+    fn default() -> Self {
+        CudaCostConfig {
+            launch_cpu: DurationNs::from_nanos(6_500),
+            memcpy_cpu: DurationNs::from_nanos(4_500),
+            sync_cpu: DurationNs::from_nanos(1_800),
+            cupti_launch_inflation: DurationNs::from_nanos(3_000),
+            cupti_memcpy_inflation: DurationNs::from_nanos(1_000),
+            cupti_sync_inflation: DurationNs::from_nanos(400),
+            interception_cost: DurationNs::from_nanos(900),
+        }
+    }
+}
+
+impl CudaCostConfig {
+    /// Base CPU cost of `api` (no profiling enabled).
+    pub fn base_cost(&self, api: CudaApiKind) -> DurationNs {
+        match api {
+            CudaApiKind::LaunchKernel => self.launch_cpu,
+            CudaApiKind::MemcpyAsync => self.memcpy_cpu,
+            CudaApiKind::DeviceSynchronize | CudaApiKind::StreamSynchronize => self.sync_cpu,
+        }
+    }
+
+    /// CUPTI-internal inflation of `api` when activity collection is on.
+    pub fn cupti_inflation(&self, api: CudaApiKind) -> DurationNs {
+        match api {
+            CudaApiKind::LaunchKernel => self.cupti_launch_inflation,
+            CudaApiKind::MemcpyAsync => self.cupti_memcpy_inflation,
+            CudaApiKind::DeviceSynchronize | CudaApiKind::StreamSynchronize => {
+                self.cupti_sync_inflation
+            }
+        }
+    }
+}
+
+/// Per-API call counters, useful for transition reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiCounts {
+    /// Number of `cudaLaunchKernel` calls.
+    pub launches: u64,
+    /// Number of `cudaMemcpyAsync` calls.
+    pub memcpys: u64,
+    /// Number of synchronize calls.
+    pub syncs: u64,
+}
+
+impl ApiCounts {
+    /// Total CUDA API calls.
+    pub fn total(&self) -> u64 {
+        self.launches + self.memcpys + self.syncs
+    }
+}
+
+/// A CUDA context: the CPU-side entry point to the virtual GPU.
+///
+/// One context per simulated process; multiple contexts may share a
+/// [`GpuDevice`] through interior ownership by cloning the device out and
+/// back (scale-up workloads instead use one context with one stream per
+/// worker timeline).
+pub struct CudaContext {
+    clock: VirtualClock,
+    device: GpuDevice,
+    config: CudaCostConfig,
+    hooks: Option<Arc<dyn CudaHooks>>,
+    cupti_enabled: bool,
+    interception_enabled: bool,
+    counts: ApiCounts,
+}
+
+impl fmt::Debug for CudaContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CudaContext")
+            .field("now", &self.clock.now())
+            .field("cupti_enabled", &self.cupti_enabled)
+            .field("interception_enabled", &self.interception_enabled)
+            .field("counts", &self.counts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CudaContext {
+    /// Creates a context over `device`, advancing `clock` on each API call.
+    pub fn new(clock: VirtualClock, device: GpuDevice, config: CudaCostConfig) -> Self {
+        CudaContext {
+            clock,
+            device,
+            config,
+            hooks: None,
+            cupti_enabled: false,
+            interception_enabled: false,
+            counts: ApiCounts::default(),
+        }
+    }
+
+    /// Registers CUPTI-style hooks (the profiler).
+    pub fn set_hooks(&mut self, hooks: Arc<dyn CudaHooks>) {
+        self.hooks = Some(hooks);
+    }
+
+    /// Removes any registered hooks.
+    pub fn clear_hooks(&mut self) {
+        self.hooks = None;
+    }
+
+    /// Enables/disables CUPTI activity collection. Enabling it injects the
+    /// closed-source per-API inflation into every subsequent call.
+    pub fn set_cupti_enabled(&mut self, on: bool) {
+        self.cupti_enabled = on;
+    }
+
+    /// Enables/disables RL-Scope's own API-interception book-keeping cost.
+    pub fn set_interception_enabled(&mut self, on: bool) {
+        self.interception_enabled = on;
+    }
+
+    /// Whether CUPTI activity collection is on.
+    pub fn cupti_enabled(&self) -> bool {
+        self.cupti_enabled
+    }
+
+    /// The device's default stream.
+    pub fn default_stream(&self) -> StreamId {
+        self.device.default_stream()
+    }
+
+    /// Adds a stream on the underlying device.
+    pub fn add_stream(&mut self) -> StreamId {
+        self.device.add_stream()
+    }
+
+    /// Immutable access to the underlying device.
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Cost configuration in effect.
+    pub fn config(&self) -> &CudaCostConfig {
+        &self.config
+    }
+
+    /// API call counters accumulated so far.
+    pub fn counts(&self) -> ApiCounts {
+        self.counts
+    }
+
+    /// Resets API call counters (e.g. between training iterations when
+    /// measuring per-iteration transitions).
+    pub fn reset_counts(&mut self) {
+        self.counts = ApiCounts::default();
+    }
+
+    fn api_cpu_cost(&self, api: CudaApiKind) -> DurationNs {
+        let mut c = self.config.base_cost(api);
+        if self.cupti_enabled {
+            c += self.config.cupti_inflation(api);
+        }
+        if self.interception_enabled {
+            c += self.config.interception_cost;
+        }
+        c
+    }
+
+    /// Launches `desc` on `stream`: costs CPU time, then enqueues the kernel
+    /// on the GPU timeline. Returns the completed execution record.
+    pub fn launch_kernel(&mut self, stream: StreamId, desc: KernelDesc) -> KernelRecord {
+        self.counts.launches += 1;
+        let enter = self.clock.now();
+        if let Some(h) = &self.hooks {
+            h.on_api_enter(CudaApiKind::LaunchKernel, enter);
+        }
+        let exit = self.clock.advance(self.api_cpu_cost(CudaApiKind::LaunchKernel));
+        if let Some(h) = &self.hooks {
+            h.on_api_exit(CudaApiKind::LaunchKernel, enter, exit);
+        }
+        let rec = self.device.enqueue_kernel(stream, &desc, exit);
+        if self.cupti_enabled {
+            if let Some(h) = &self.hooks {
+                h.on_kernel(&rec);
+            }
+        }
+        rec
+    }
+
+    /// Enqueues an asynchronous copy of `bytes` in direction `dir`.
+    pub fn memcpy_async(&mut self, stream: StreamId, dir: MemcpyDir, bytes: u64) -> MemcpyRecord {
+        self.counts.memcpys += 1;
+        let enter = self.clock.now();
+        if let Some(h) = &self.hooks {
+            h.on_api_enter(CudaApiKind::MemcpyAsync, enter);
+        }
+        let exit = self.clock.advance(self.api_cpu_cost(CudaApiKind::MemcpyAsync));
+        if let Some(h) = &self.hooks {
+            h.on_api_exit(CudaApiKind::MemcpyAsync, enter, exit);
+        }
+        let rec = self.device.enqueue_memcpy(stream, dir, bytes, exit);
+        if self.cupti_enabled {
+            if let Some(h) = &self.hooks {
+                h.on_memcpy(&rec);
+            }
+        }
+        rec
+    }
+
+    /// Blocks the CPU until every stream has drained.
+    ///
+    /// The API interval covers both the fixed CPU cost and the wait.
+    pub fn device_synchronize(&mut self) {
+        self.sync_until(CudaApiKind::DeviceSynchronize, self.device.device_idle_at());
+    }
+
+    /// Blocks the CPU until `stream` has drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` does not exist on the device.
+    pub fn stream_synchronize(&mut self, stream: StreamId) {
+        self.sync_until(
+            CudaApiKind::StreamSynchronize,
+            self.device.stream_available_at(stream),
+        );
+    }
+
+    fn sync_until(&mut self, api: CudaApiKind, target: TimeNs) {
+        self.counts.syncs += 1;
+        let enter = self.clock.now();
+        if let Some(h) = &self.hooks {
+            h.on_api_enter(api, enter);
+        }
+        self.clock.advance(self.api_cpu_cost(api));
+        self.clock.advance_to(target);
+        let exit = self.clock.now();
+        if let Some(h) = &self.hooks {
+            h.on_api_exit(api, enter, exit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[derive(Default)]
+    struct Recorder {
+        apis: Mutex<Vec<(CudaApiKind, TimeNs, TimeNs)>>,
+        kernels: Mutex<Vec<KernelRecord>>,
+    }
+
+    impl CudaHooks for Recorder {
+        fn on_api_enter(&self, _: CudaApiKind, _: TimeNs) {}
+        fn on_api_exit(&self, api: CudaApiKind, enter: TimeNs, exit: TimeNs) {
+            self.apis.lock().push((api, enter, exit));
+        }
+        fn on_kernel(&self, rec: &KernelRecord) {
+            self.kernels.lock().push(rec.clone());
+        }
+        fn on_memcpy(&self, _: &MemcpyRecord) {}
+    }
+
+    fn ctx() -> CudaContext {
+        CudaContext::new(VirtualClock::new(), GpuDevice::new(1), CudaCostConfig::default())
+    }
+
+    #[test]
+    fn launch_costs_cpu_and_queues_gpu_work() {
+        let mut cuda = ctx();
+        let s = cuda.default_stream();
+        let rec = cuda.launch_kernel(s, KernelDesc::new("k", DurationNs::from_micros(50)));
+        // CPU advanced by the base launch cost only (no profiling enabled).
+        assert_eq!(cuda.clock().now(), TimeNs::from_nanos(6_500));
+        // Kernel starts when the API exits.
+        assert_eq!(rec.start, TimeNs::from_nanos(6_500));
+        assert_eq!(rec.end, TimeNs::from_nanos(56_500));
+    }
+
+    #[test]
+    fn cupti_inflates_launch_by_configured_amount() {
+        let mut plain = ctx();
+        let mut cupti = ctx();
+        cupti.set_cupti_enabled(true);
+        let s = plain.default_stream();
+        plain.launch_kernel(s, KernelDesc::new("k", DurationNs::ZERO));
+        cupti.launch_kernel(s, KernelDesc::new("k", DurationNs::ZERO));
+        let delta = cupti.clock().now() - TimeNs::ZERO;
+        let base = plain.clock().now() - TimeNs::ZERO;
+        assert_eq!(delta - base, CudaCostConfig::default().cupti_launch_inflation);
+    }
+
+    #[test]
+    fn interception_adds_uniform_cost_per_api() {
+        let cfg = CudaCostConfig::default();
+        let mut c = ctx();
+        c.set_interception_enabled(true);
+        let s = c.default_stream();
+        c.launch_kernel(s, KernelDesc::new("k", DurationNs::ZERO));
+        assert_eq!(
+            c.clock().now(),
+            TimeNs::ZERO + cfg.launch_cpu + cfg.interception_cost
+        );
+    }
+
+    #[test]
+    fn device_synchronize_waits_for_gpu() {
+        let mut c = ctx();
+        let s = c.default_stream();
+        c.launch_kernel(s, KernelDesc::new("k", DurationNs::from_millis(1)));
+        c.device_synchronize();
+        // 6.5us launch + 1ms kernel (which started at 6.5us).
+        assert_eq!(c.clock().now(), TimeNs::from_nanos(6_500 + 1_000_000));
+    }
+
+    #[test]
+    fn sync_with_idle_gpu_costs_only_base() {
+        let mut c = ctx();
+        c.device_synchronize();
+        assert_eq!(c.clock().now(), TimeNs::from_nanos(1_800));
+    }
+
+    #[test]
+    fn hooks_see_api_intervals_and_kernel_records() {
+        let mut c = ctx();
+        c.set_cupti_enabled(true);
+        let rec = Arc::new(Recorder::default());
+        c.set_hooks(rec.clone());
+        let s = c.default_stream();
+        c.launch_kernel(s, KernelDesc::new("k", DurationNs::from_micros(10)));
+        c.device_synchronize();
+        let apis = rec.apis.lock();
+        assert_eq!(apis.len(), 2);
+        assert_eq!(apis[0].0, CudaApiKind::LaunchKernel);
+        assert_eq!(apis[1].0, CudaApiKind::DeviceSynchronize);
+        assert_eq!(rec.kernels.lock().len(), 1);
+    }
+
+    #[test]
+    fn kernel_activity_records_require_cupti() {
+        let mut c = ctx();
+        let rec = Arc::new(Recorder::default());
+        c.set_hooks(rec.clone());
+        let s = c.default_stream();
+        c.launch_kernel(s, KernelDesc::new("k", DurationNs::from_micros(10)));
+        // API callbacks fire, but no activity records without CUPTI.
+        assert_eq!(rec.apis.lock().len(), 1);
+        assert!(rec.kernels.lock().is_empty());
+    }
+
+    #[test]
+    fn counts_accumulate_and_reset() {
+        let mut c = ctx();
+        let s = c.default_stream();
+        c.launch_kernel(s, KernelDesc::new("k", DurationNs::ZERO));
+        c.memcpy_async(s, MemcpyDir::HostToDevice, 128);
+        c.device_synchronize();
+        assert_eq!(c.counts(), ApiCounts { launches: 1, memcpys: 1, syncs: 1 });
+        assert_eq!(c.counts().total(), 3);
+        c.reset_counts();
+        assert_eq!(c.counts().total(), 0);
+    }
+}

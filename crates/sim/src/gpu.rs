@@ -1,0 +1,307 @@
+//! The virtual GPU: streams, kernels, memory copies, busy intervals.
+//!
+//! The essential property reproduced from real hardware is *asynchrony*:
+//! `cudaLaunchKernel` costs CPU time and returns immediately; the kernel
+//! itself executes later, on the GPU timeline, after every previously
+//! enqueued operation on the same stream has finished. This is what creates
+//! the CPU/GPU overlap regions that RL-Scope's sweep (paper Figure 3)
+//! attributes.
+
+use crate::ids::StreamId;
+use crate::time::{DurationNs, TimeNs};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Direction of a memory copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemcpyDir {
+    /// Host (CPU) to device (GPU).
+    HostToDevice,
+    /// Device (GPU) to host (CPU).
+    DeviceToHost,
+    /// Device to device.
+    DeviceToDevice,
+}
+
+/// A kernel launch request: a name (for attribution) and a modelled GPU
+/// execution duration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Kernel name, e.g. `"gemm_f32_64x64"`.
+    pub name: Arc<str>,
+    /// Modelled execution time on the GPU.
+    pub duration: DurationNs,
+}
+
+impl KernelDesc {
+    /// Creates a kernel descriptor.
+    pub fn new(name: impl Into<Arc<str>>, duration: DurationNs) -> Self {
+        KernelDesc { name: name.into(), duration }
+    }
+}
+
+/// A completed kernel execution on the GPU timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Kernel name.
+    pub name: Arc<str>,
+    /// Stream the kernel ran on.
+    pub stream: StreamId,
+    /// CPU-side instant the kernel was enqueued (API exit time).
+    pub queued: TimeNs,
+    /// GPU-side execution start.
+    pub start: TimeNs,
+    /// GPU-side execution end.
+    pub end: TimeNs,
+}
+
+/// A completed memory copy on the GPU timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemcpyRecord {
+    /// Copy direction.
+    pub dir: MemcpyDir,
+    /// Bytes copied.
+    pub bytes: u64,
+    /// Stream the copy ran on.
+    pub stream: StreamId,
+    /// CPU-side instant the copy was enqueued.
+    pub queued: TimeNs,
+    /// GPU-side start.
+    pub start: TimeNs,
+    /// GPU-side end.
+    pub end: TimeNs,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Stream {
+    available_at: TimeNs,
+}
+
+/// A virtual GPU device.
+///
+/// Streams are FIFO queues: work enqueued on a stream starts at
+/// `max(enqueue_time, stream_available_at)`. Distinct streams execute
+/// concurrently (the device models enough SM capacity for the small kernels
+/// typical of RL workloads — the paper's central observation is precisely
+/// that RL kernels underutilize the device).
+///
+/// The device records every busy interval so that the `nvidia-smi` model
+/// ([`crate::smi`]) can sample coarse utilization over them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuDevice {
+    streams: Vec<Stream>,
+    busy: Vec<(TimeNs, TimeNs)>,
+    memcpy_bandwidth_bytes_per_sec: f64,
+    memcpy_latency: DurationNs,
+}
+
+impl GpuDevice {
+    /// PCIe-class default copy bandwidth (12 GB/s).
+    pub const DEFAULT_BANDWIDTH: f64 = 12.0e9;
+
+    /// Creates a device with `n_streams` streams (at least 1).
+    pub fn new(n_streams: usize) -> Self {
+        GpuDevice {
+            streams: vec![Stream::default(); n_streams.max(1)],
+            busy: Vec::new(),
+            memcpy_bandwidth_bytes_per_sec: Self::DEFAULT_BANDWIDTH,
+            memcpy_latency: DurationNs::from_micros(2),
+        }
+    }
+
+    /// The default stream (stream 0).
+    pub fn default_stream(&self) -> StreamId {
+        StreamId(0)
+    }
+
+    /// Adds a stream and returns its id (used per worker process in
+    /// scale-up workloads).
+    pub fn add_stream(&mut self) -> StreamId {
+        self.streams.push(Stream::default());
+        StreamId((self.streams.len() - 1) as u32)
+    }
+
+    /// Number of streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Enqueues a kernel at CPU instant `queued`; returns the completed
+    /// execution record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` does not exist on this device.
+    pub fn enqueue_kernel(&mut self, stream: StreamId, desc: &KernelDesc, queued: TimeNs) -> KernelRecord {
+        let (start, end) = self.schedule(stream, queued, desc.duration);
+        KernelRecord { name: desc.name.clone(), stream, queued, start, end }
+    }
+
+    /// Enqueues a memory copy of `bytes` at CPU instant `queued`.
+    ///
+    /// Copy duration is `latency + bytes / bandwidth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` does not exist on this device.
+    pub fn enqueue_memcpy(
+        &mut self,
+        stream: StreamId,
+        dir: MemcpyDir,
+        bytes: u64,
+        queued: TimeNs,
+    ) -> MemcpyRecord {
+        let dur = self.memcpy_duration(bytes);
+        let (start, end) = self.schedule(stream, queued, dur);
+        MemcpyRecord { dir, bytes, stream, queued, start, end }
+    }
+
+    /// Modelled duration of a copy of `bytes` bytes.
+    pub fn memcpy_duration(&self, bytes: u64) -> DurationNs {
+        self.memcpy_latency
+            + DurationNs::from_secs_f64(bytes as f64 / self.memcpy_bandwidth_bytes_per_sec)
+    }
+
+    /// The instant at which `stream` will have drained all enqueued work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` does not exist on this device.
+    pub fn stream_available_at(&self, stream: StreamId) -> TimeNs {
+        self.streams[stream.as_u32() as usize].available_at
+    }
+
+    /// The instant at which every stream has drained.
+    pub fn device_idle_at(&self) -> TimeNs {
+        self.streams
+            .iter()
+            .map(|s| s.available_at)
+            .max()
+            .unwrap_or(TimeNs::ZERO)
+    }
+
+    /// All busy intervals recorded so far, in enqueue order (not globally
+    /// sorted across streams).
+    pub fn busy_intervals(&self) -> &[(TimeNs, TimeNs)] {
+        &self.busy
+    }
+
+    /// Total GPU-busy time, counting overlap across streams once.
+    pub fn busy_union(&self) -> DurationNs {
+        let mut ivs = self.busy.clone();
+        ivs.sort();
+        let mut total = DurationNs::ZERO;
+        let mut cur: Option<(TimeNs, TimeNs)> = None;
+        for (s, e) in ivs {
+            match cur {
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    total += ce - cs;
+                    cur = Some((s, e));
+                    let _ = cs;
+                }
+                None => cur = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            total += ce - cs;
+        }
+        total
+    }
+
+    fn schedule(&mut self, stream: StreamId, queued: TimeNs, dur: DurationNs) -> (TimeNs, TimeNs) {
+        let s = &mut self.streams[stream.as_u32() as usize];
+        let start = queued.max(s.available_at);
+        let end = start + dur;
+        s.available_at = end;
+        if !dur.is_zero() {
+            self.busy.push((start, end));
+        }
+        (start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kd(name: &str, us: u64) -> KernelDesc {
+        KernelDesc::new(name, DurationNs::from_micros(us))
+    }
+
+    #[test]
+    fn fifo_within_stream() {
+        let mut gpu = GpuDevice::new(1);
+        let s = gpu.default_stream();
+        let a = gpu.enqueue_kernel(s, &kd("a", 10), TimeNs::from_nanos(0));
+        let b = gpu.enqueue_kernel(s, &kd("b", 10), TimeNs::from_nanos(100));
+        assert_eq!(a.start, TimeNs::ZERO);
+        assert_eq!(a.end, TimeNs::from_nanos(10_000));
+        // b was queued at t=100ns but must wait for a.
+        assert_eq!(b.start, TimeNs::from_nanos(10_000));
+        assert_eq!(b.end, TimeNs::from_nanos(20_000));
+    }
+
+    #[test]
+    fn streams_run_concurrently() {
+        let mut gpu = GpuDevice::new(2);
+        let a = gpu.enqueue_kernel(StreamId(0), &kd("a", 10), TimeNs::ZERO);
+        let b = gpu.enqueue_kernel(StreamId(1), &kd("b", 10), TimeNs::ZERO);
+        assert_eq!(a.start, TimeNs::ZERO);
+        assert_eq!(b.start, TimeNs::ZERO);
+        // Overlapping intervals are unioned once.
+        assert_eq!(gpu.busy_union(), DurationNs::from_micros(10));
+    }
+
+    #[test]
+    fn idle_gap_delays_start_to_queue_time() {
+        let mut gpu = GpuDevice::new(1);
+        let s = gpu.default_stream();
+        let a = gpu.enqueue_kernel(s, &kd("a", 5), TimeNs::from_micros(100));
+        assert_eq!(a.start, TimeNs::from_micros(100));
+    }
+
+    #[test]
+    fn memcpy_duration_scales_with_bytes() {
+        let gpu = GpuDevice::new(1);
+        let small = gpu.memcpy_duration(1_000);
+        let large = gpu.memcpy_duration(1_000_000);
+        assert!(large > small);
+        // 1 MB at 12 GB/s is ~83 us plus 2 us latency.
+        let expect = 2_000.0 + 1.0e6 / 12.0e9 * 1e9;
+        assert!((large.as_nanos() as f64 - expect).abs() < 500.0);
+    }
+
+    #[test]
+    fn busy_union_merges_disjoint_and_overlapping() {
+        let mut gpu = GpuDevice::new(2);
+        gpu.enqueue_kernel(StreamId(0), &kd("a", 10), TimeNs::ZERO);
+        gpu.enqueue_kernel(StreamId(1), &kd("b", 10), TimeNs::from_micros(5));
+        gpu.enqueue_kernel(StreamId(0), &kd("c", 10), TimeNs::from_micros(100));
+        // [0,10] ∪ [5,15] = 15us, plus disjoint [100,110] = 25us.
+        assert_eq!(gpu.busy_union(), DurationNs::from_micros(25));
+    }
+
+    #[test]
+    fn device_idle_at_is_max_over_streams() {
+        let mut gpu = GpuDevice::new(2);
+        gpu.enqueue_kernel(StreamId(0), &kd("a", 10), TimeNs::ZERO);
+        gpu.enqueue_kernel(StreamId(1), &kd("b", 30), TimeNs::ZERO);
+        assert_eq!(gpu.device_idle_at(), TimeNs::from_micros(30));
+    }
+
+    #[test]
+    fn add_stream_returns_fresh_id() {
+        let mut gpu = GpuDevice::new(1);
+        let s = gpu.add_stream();
+        assert_eq!(s, StreamId(1));
+        assert_eq!(gpu.stream_count(), 2);
+    }
+
+    #[test]
+    fn zero_duration_kernels_do_not_pollute_busy_list() {
+        let mut gpu = GpuDevice::new(1);
+        gpu.enqueue_kernel(StreamId(0), &kd("noop", 0), TimeNs::ZERO);
+        assert!(gpu.busy_intervals().is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Transparent interception hook traits.
+//!
+//! RL-Scope collects cross-stack events *transparently*: CUPTI callbacks for
+//! CUDA API calls and GPU activities, and dynamically generated wrappers
+//! around native-library bindings for Python↔C transitions (paper §3.2). The
+//! substrate exposes the same two hook surfaces. A profiler (rlscope-core)
+//! implements these traits and registers itself; the workload code never
+//! references the profiler directly.
+
+use crate::cuda::CudaApiKind;
+use crate::gpu::{KernelRecord, MemcpyRecord};
+use crate::time::TimeNs;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which native library a Python↔C transition enters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NativeLib {
+    /// The ML backend (TensorFlow / PyTorch stand-in).
+    Backend,
+    /// The simulator (Atari / MuJoCo / Unreal stand-in).
+    Simulator,
+}
+
+impl fmt::Display for NativeLib {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NativeLib::Backend => write!(f, "Backend"),
+            NativeLib::Simulator => write!(f, "Simulator"),
+        }
+    }
+}
+
+/// CUPTI-style callbacks delivered by the CUDA layer.
+///
+/// `on_api_*` mirror CUPTI's callback API (driver/runtime API enter/exit);
+/// `on_kernel` / `on_memcpy` mirror CUPTI's activity API, which delivers GPU
+/// activity records asynchronously after the work completes. The virtual
+/// GPU schedules deterministically, so records are delivered as soon as the
+/// completion time is known.
+pub trait CudaHooks: Send + Sync {
+    /// A CUDA API call is entered at `t`.
+    fn on_api_enter(&self, api: CudaApiKind, t: TimeNs);
+    /// A CUDA API call entered at `enter` returned at `exit`.
+    fn on_api_exit(&self, api: CudaApiKind, enter: TimeNs, exit: TimeNs);
+    /// A GPU kernel completed.
+    fn on_kernel(&self, rec: &KernelRecord);
+    /// A GPU memory copy completed.
+    fn on_memcpy(&self, rec: &MemcpyRecord);
+}
+
+/// Hooks for high-level-language execution and Python↔C transitions.
+///
+/// Implemented by the profiler; invoked by [`crate::python::PyRuntime`].
+pub trait StackHooks: Send + Sync {
+    /// A contiguous span of pure high-level-language (Python) execution.
+    fn on_python_span(&self, start: TimeNs, end: TimeNs);
+    /// Control transferred from Python into a native library at `t`.
+    fn on_native_enter(&self, lib: NativeLib, t: TimeNs);
+    /// Control returned from the native library entered at `enter`.
+    fn on_native_exit(&self, lib: NativeLib, enter: TimeNs, exit: TimeNs);
+}
+
+/// A no-op hook implementation, used when profiling is disabled
+/// (the "uninstrumented" configuration of the calibration experiments).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHooks;
+
+impl CudaHooks for NullHooks {
+    fn on_api_enter(&self, _: CudaApiKind, _: TimeNs) {}
+    fn on_api_exit(&self, _: CudaApiKind, _: TimeNs, _: TimeNs) {}
+    fn on_kernel(&self, _: &KernelRecord) {}
+    fn on_memcpy(&self, _: &MemcpyRecord) {}
+}
+
+impl StackHooks for NullHooks {
+    fn on_python_span(&self, _: TimeNs, _: TimeNs) {}
+    fn on_native_enter(&self, _: NativeLib, _: TimeNs) {}
+    fn on_native_exit(&self, _: NativeLib, _: TimeNs, _: TimeNs) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_lib_display() {
+        assert_eq!(NativeLib::Backend.to_string(), "Backend");
+        assert_eq!(NativeLib::Simulator.to_string(), "Simulator");
+    }
+
+    #[test]
+    fn null_hooks_are_callable() {
+        let h = NullHooks;
+        h.on_python_span(TimeNs::ZERO, TimeNs::from_nanos(1));
+        h.on_native_enter(NativeLib::Simulator, TimeNs::ZERO);
+        h.on_api_enter(CudaApiKind::LaunchKernel, TimeNs::ZERO);
+    }
+}

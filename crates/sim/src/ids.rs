@@ -1,0 +1,68 @@
+//! Identifier newtypes for processes, threads and GPU streams.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw numeric id.
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A simulated OS process.
+    ProcessId,
+    "pid"
+);
+id_newtype!(
+    /// A simulated OS thread within a process.
+    ThreadId,
+    "tid"
+);
+id_newtype!(
+    /// A CUDA stream on a simulated GPU.
+    StreamId,
+    "stream"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(ProcessId(3).to_string(), "pid3");
+        assert_eq!(ThreadId(1).to_string(), "tid1");
+        assert_eq!(StreamId(0).to_string(), "stream0");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert_eq!(StreamId::from(7).as_u32(), 7);
+    }
+}

@@ -1,0 +1,172 @@
+//! Multi-process model: fork/join relationships between simulated processes.
+//!
+//! Scale-up RL workloads (paper §4.3, Appendix B.2) run many worker
+//! processes in parallel — Minigo forks 16 self-play workers, joins them,
+//! then runs SGD-update and evaluation phases. RL-Scope's multi-process view
+//! (Figure 8) renders each process as a node in a "computational graph" with
+//! dependencies generated from fork/join relationships.
+
+use crate::ids::ProcessId;
+use crate::time::TimeNs;
+use serde::{Deserialize, Serialize};
+
+/// One simulated process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessNode {
+    /// The process id.
+    pub id: ProcessId,
+    /// Human-readable name, e.g. `"selfplay_worker_3"`.
+    pub name: String,
+    /// Parent process, if forked.
+    pub parent: Option<ProcessId>,
+    /// Fork instant on the parent's timeline (`ZERO` for the root).
+    pub forked_at: TimeNs,
+    /// Join instant, once the process has been joined.
+    pub joined_at: Option<TimeNs>,
+}
+
+/// The fork/join graph of a multi-process workload.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessGraph {
+    nodes: Vec<ProcessNode>,
+}
+
+impl ProcessGraph {
+    /// Creates a graph containing a single root process named `root_name`.
+    pub fn new(root_name: impl Into<String>) -> Self {
+        ProcessGraph {
+            nodes: vec![ProcessNode {
+                id: ProcessId(0),
+                name: root_name.into(),
+                parent: None,
+                forked_at: TimeNs::ZERO,
+                joined_at: None,
+            }],
+        }
+    }
+
+    /// The root process id.
+    pub fn root(&self) -> ProcessId {
+        ProcessId(0)
+    }
+
+    /// Forks a child of `parent` at `t`; returns the child's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not exist.
+    pub fn fork(&mut self, parent: ProcessId, name: impl Into<String>, t: TimeNs) -> ProcessId {
+        assert!(
+            (parent.as_u32() as usize) < self.nodes.len(),
+            "fork from unknown process {parent}"
+        );
+        let id = ProcessId(self.nodes.len() as u32);
+        self.nodes.push(ProcessNode {
+            id,
+            name: name.into(),
+            parent: Some(parent),
+            forked_at: t,
+            joined_at: None,
+        });
+        id
+    }
+
+    /// Marks `child` joined at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` does not exist or was already joined.
+    pub fn join(&mut self, child: ProcessId, t: TimeNs) {
+        let node = &mut self.nodes[child.as_u32() as usize];
+        assert!(node.joined_at.is_none(), "{child} joined twice");
+        node.joined_at = Some(t);
+    }
+
+    /// Looks up a process node.
+    pub fn get(&self, id: ProcessId) -> Option<&ProcessNode> {
+        self.nodes.get(id.as_u32() as usize)
+    }
+
+    /// Iterates over all nodes in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProcessNode> {
+        self.nodes.iter()
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists... never: the root always exists, so
+    /// this returns false; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Children of `id`, in fork order.
+    pub fn children(&self, id: ProcessId) -> Vec<ProcessId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.parent == Some(id))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Dependency edges `(from, to)`: one fork edge per parent→child, and
+    /// one join edge child→parent for joined children — the "dependency"
+    /// arrows of Figure 8.
+    pub fn dependency_edges(&self) -> Vec<(ProcessId, ProcessId)> {
+        let mut edges = Vec::new();
+        for n in &self.nodes {
+            if let Some(p) = n.parent {
+                edges.push((p, n.id));
+                if n.joined_at.is_some() {
+                    edges.push((n.id, p));
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_join_lifecycle() {
+        let mut g = ProcessGraph::new("loader");
+        let w0 = g.fork(g.root(), "selfplay_worker_0", TimeNs::from_nanos(10));
+        let w1 = g.fork(g.root(), "selfplay_worker_1", TimeNs::from_nanos(10));
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.children(g.root()), vec![w0, w1]);
+        g.join(w0, TimeNs::from_nanos(100));
+        assert_eq!(g.get(w0).unwrap().joined_at, Some(TimeNs::from_nanos(100)));
+        assert_eq!(g.get(w1).unwrap().joined_at, None);
+    }
+
+    #[test]
+    fn dependency_edges_include_joins() {
+        let mut g = ProcessGraph::new("root");
+        let c = g.fork(g.root(), "child", TimeNs::ZERO);
+        assert_eq!(g.dependency_edges(), vec![(g.root(), c)]);
+        g.join(c, TimeNs::from_nanos(5));
+        assert_eq!(g.dependency_edges(), vec![(g.root(), c), (c, g.root())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "joined twice")]
+    fn double_join_panics() {
+        let mut g = ProcessGraph::new("root");
+        let c = g.fork(g.root(), "child", TimeNs::ZERO);
+        g.join(c, TimeNs::ZERO);
+        g.join(c, TimeNs::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown process")]
+    fn fork_from_unknown_panics() {
+        let mut g = ProcessGraph::new("root");
+        g.fork(ProcessId(9), "child", TimeNs::ZERO);
+    }
+}

@@ -1,0 +1,234 @@
+//! The high-level-language (Python) runtime model and the Python↔C boundary.
+//!
+//! RL workloads run high-level code *inside* the training loop (paper §2.2).
+//! [`PyRuntime`] models that: explicit high-level execution segments, and
+//! wrapped calls into native libraries (ML backend or simulator) that record
+//! transitions through [`StackHooks`] — the analogue of RL-Scope's
+//! dynamically generated wrappers around native bindings (§3.2).
+//!
+//! When interception book-keeping is enabled, each transition injects a
+//! type-uniform wrapper cost on the Python side of the boundary; this is the
+//! overhead delta calibration (Appendix C.1) measures.
+
+use crate::clock::VirtualClock;
+use crate::hooks::{NativeLib, StackHooks};
+use crate::time::DurationNs;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Cost model for the Python runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PyCostConfig {
+    /// Book-keeping cost injected on *each side* (call and return) of a
+    /// Python↔C transition when interception is enabled.
+    pub interception_cost: DurationNs,
+}
+
+impl Default for PyCostConfig {
+    fn default() -> Self {
+        PyCostConfig { interception_cost: DurationNs::from_nanos(700) }
+    }
+}
+
+/// The simulated Python interpreter for one process.
+pub struct PyRuntime {
+    clock: VirtualClock,
+    config: PyCostConfig,
+    hooks: Option<Arc<dyn StackHooks>>,
+    interception_enabled: bool,
+    transitions: [u64; 2],
+}
+
+impl fmt::Debug for PyRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PyRuntime")
+            .field("now", &self.clock.now())
+            .field("interception_enabled", &self.interception_enabled)
+            .field("transitions", &self.transitions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PyRuntime {
+    /// Creates a runtime over `clock`.
+    pub fn new(clock: VirtualClock, config: PyCostConfig) -> Self {
+        PyRuntime {
+            clock,
+            config,
+            hooks: None,
+            interception_enabled: false,
+            transitions: [0, 0],
+        }
+    }
+
+    /// Registers transition hooks (the profiler).
+    pub fn set_hooks(&mut self, hooks: Arc<dyn StackHooks>) {
+        self.hooks = Some(hooks);
+    }
+
+    /// Removes any registered hooks.
+    pub fn clear_hooks(&mut self) {
+        self.hooks = None;
+    }
+
+    /// Enables/disables interception wrapper book-keeping cost.
+    pub fn set_interception_enabled(&mut self, on: bool) {
+        self.interception_enabled = on;
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The cost configuration in effect.
+    pub fn config(&self) -> &PyCostConfig {
+        &self.config
+    }
+
+    /// Number of Python→native transitions made into `lib` so far.
+    pub fn transition_count(&self, lib: NativeLib) -> u64 {
+        self.transitions[lib as usize]
+    }
+
+    /// Resets transition counters.
+    pub fn reset_transition_counts(&mut self) {
+        self.transitions = [0, 0];
+    }
+
+    /// Executes `cost` worth of pure high-level (Python) work.
+    pub fn exec(&self, cost: DurationNs) {
+        if cost.is_zero() {
+            return;
+        }
+        let start = self.clock.now();
+        let end = self.clock.advance(cost);
+        if let Some(h) = &self.hooks {
+            h.on_python_span(start, end);
+        }
+    }
+
+    /// Calls into native library `lib`, running `f` as the native body.
+    ///
+    /// Records the native interval through the hooks, and injects the
+    /// interception wrapper cost (as Python time) on both sides of the
+    /// boundary when interception is enabled.
+    pub fn call_native<R>(&mut self, lib: NativeLib, f: impl FnOnce() -> R) -> R {
+        self.transitions[lib as usize] += 1;
+        self.wrapper_cost();
+        let enter = self.clock.now();
+        if let Some(h) = &self.hooks {
+            h.on_native_enter(lib, enter);
+        }
+        let out = f();
+        let exit = self.clock.now();
+        if let Some(h) = &self.hooks {
+            h.on_native_exit(lib, enter, exit);
+        }
+        self.wrapper_cost();
+        out
+    }
+
+    fn wrapper_cost(&self) {
+        if self.interception_enabled && !self.config.interception_cost.is_zero() {
+            let start = self.clock.now();
+            let end = self.clock.advance(self.config.interception_cost);
+            if let Some(h) = &self.hooks {
+                h.on_python_span(start, end);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeNs;
+    use parking_lot::Mutex;
+
+    #[derive(Default)]
+    struct Recorder {
+        python: Mutex<Vec<(TimeNs, TimeNs)>>,
+        native: Mutex<Vec<(NativeLib, TimeNs, TimeNs)>>,
+    }
+
+    impl StackHooks for Recorder {
+        fn on_python_span(&self, start: TimeNs, end: TimeNs) {
+            self.python.lock().push((start, end));
+        }
+        fn on_native_enter(&self, _: NativeLib, _: TimeNs) {}
+        fn on_native_exit(&self, lib: NativeLib, enter: TimeNs, exit: TimeNs) {
+            self.native.lock().push((lib, enter, exit));
+        }
+    }
+
+    #[test]
+    fn exec_advances_clock_and_records_span() {
+        let clock = VirtualClock::new();
+        let mut py = PyRuntime::new(clock.clone(), PyCostConfig::default());
+        let rec = Arc::new(Recorder::default());
+        py.set_hooks(rec.clone());
+        py.exec(DurationNs::from_micros(5));
+        assert_eq!(clock.now(), TimeNs::from_micros(5));
+        assert_eq!(rec.python.lock().as_slice(), &[(TimeNs::ZERO, TimeNs::from_micros(5))]);
+    }
+
+    #[test]
+    fn exec_zero_cost_records_nothing() {
+        let clock = VirtualClock::new();
+        let mut py = PyRuntime::new(clock, PyCostConfig::default());
+        let rec = Arc::new(Recorder::default());
+        py.set_hooks(rec.clone());
+        py.exec(DurationNs::ZERO);
+        assert!(rec.python.lock().is_empty());
+    }
+
+    #[test]
+    fn call_native_records_interval_and_counts_transition() {
+        let clock = VirtualClock::new();
+        let mut py = PyRuntime::new(clock.clone(), PyCostConfig::default());
+        let rec = Arc::new(Recorder::default());
+        py.set_hooks(rec.clone());
+        let out = py.call_native(NativeLib::Simulator, || {
+            clock.advance(DurationNs::from_micros(10));
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(py.transition_count(NativeLib::Simulator), 1);
+        assert_eq!(py.transition_count(NativeLib::Backend), 0);
+        let native = rec.native.lock();
+        assert_eq!(native.len(), 1);
+        assert_eq!(native[0], (NativeLib::Simulator, TimeNs::ZERO, TimeNs::from_micros(10)));
+        // No interception enabled: no wrapper python spans.
+        assert!(rec.python.lock().is_empty());
+    }
+
+    #[test]
+    fn interception_injects_wrapper_cost_both_sides() {
+        let clock = VirtualClock::new();
+        let cfg = PyCostConfig { interception_cost: DurationNs::from_nanos(500) };
+        let mut py = PyRuntime::new(clock.clone(), cfg);
+        let rec = Arc::new(Recorder::default());
+        py.set_hooks(rec.clone());
+        py.set_interception_enabled(true);
+        py.call_native(NativeLib::Backend, || {
+            clock.advance(DurationNs::from_micros(1));
+        });
+        // 500ns wrapper + 1us native + 500ns wrapper.
+        assert_eq!(clock.now(), TimeNs::from_nanos(2_000));
+        assert_eq!(rec.python.lock().len(), 2);
+        let native = rec.native.lock();
+        assert_eq!(native[0].1, TimeNs::from_nanos(500));
+        assert_eq!(native[0].2, TimeNs::from_nanos(1_500));
+    }
+
+    #[test]
+    fn reset_transition_counts() {
+        let clock = VirtualClock::new();
+        let mut py = PyRuntime::new(clock, PyCostConfig::default());
+        py.call_native(NativeLib::Backend, || {});
+        py.reset_transition_counts();
+        assert_eq!(py.transition_count(NativeLib::Backend), 0);
+    }
+}

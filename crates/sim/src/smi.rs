@@ -1,0 +1,210 @@
+//! The `nvidia-smi` GPU-utilization model.
+//!
+//! The paper quotes the official `nvidia-smi` documentation: utilization is
+//! measured "by looking to see if one or more kernels are executing over the
+//! sample period", with the sample period "between 1/6 seconds and 1
+//! second". A sample period that contains *any* kernel activity — however
+//! brief — counts as 100% utilized. This is the mechanism behind finding
+//! F.11: many tiny inference kernels spread across time drive the reported
+//! utilization to 100% while the true GPU-busy time is negligible.
+
+use crate::time::{DurationNs, TimeNs};
+use serde::{Deserialize, Serialize};
+
+/// A coarse utilization sampler with `nvidia-smi` semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtilizationSampler {
+    period: DurationNs,
+}
+
+/// Output of a sampling pass over a window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationReport {
+    /// One flag per sample period: did any kernel overlap the period?
+    pub samples: Vec<bool>,
+    /// Percentage of periods reported "utilized" (0–100).
+    pub reported_percent: f64,
+    /// True busy time within the window (union of kernel intervals).
+    pub true_busy: DurationNs,
+    /// The window length.
+    pub window: DurationNs,
+}
+
+impl UtilizationReport {
+    /// True utilization: busy-union time over window time, as a percentage.
+    pub fn true_percent(&self) -> f64 {
+        100.0 * self.true_busy.ratio(self.window)
+    }
+}
+
+impl Default for UtilizationSampler {
+    /// The fastest documented `nvidia-smi` sample period (1/6 s).
+    fn default() -> Self {
+        UtilizationSampler { period: DurationNs::from_nanos(1_000_000_000 / 6) }
+    }
+}
+
+impl UtilizationSampler {
+    /// Creates a sampler with the given sample period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: DurationNs) -> Self {
+        assert!(!period.is_zero(), "sample period must be non-zero");
+        UtilizationSampler { period }
+    }
+
+    /// The sample period.
+    pub fn period(&self) -> DurationNs {
+        self.period
+    }
+
+    /// Samples `busy` intervals over `[window_start, window_end)`.
+    ///
+    /// Intervals need not be sorted and may overlap (multiple streams).
+    pub fn sample(
+        &self,
+        busy: &[(TimeNs, TimeNs)],
+        window_start: TimeNs,
+        window_end: TimeNs,
+    ) -> UtilizationReport {
+        let window = if window_end > window_start {
+            window_end - window_start
+        } else {
+            DurationNs::ZERO
+        };
+        let mut ivs: Vec<(TimeNs, TimeNs)> = busy
+            .iter()
+            .copied()
+            .filter(|&(s, e)| e > window_start && s < window_end)
+            .map(|(s, e)| (s.max(window_start), e.min(window_end)))
+            .collect();
+        ivs.sort();
+
+        // Union for true busy time.
+        let mut true_busy = DurationNs::ZERO;
+        let mut cur: Option<(TimeNs, TimeNs)> = None;
+        for &(s, e) in &ivs {
+            match cur {
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    true_busy += ce - cs;
+                    let _ = cs;
+                    cur = Some((s, e));
+                }
+                None => cur = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            true_busy += ce - cs;
+        }
+
+        // Coarse sampling: a period is "utilized" if any interval intersects.
+        let mut samples = Vec::new();
+        let mut idx = 0;
+        let mut t = window_start;
+        while t < window_end {
+            let pe = (t + self.period).min(window_end);
+            while idx < ivs.len() && ivs[idx].1 <= t {
+                idx += 1;
+            }
+            // ivs is sorted by start; scan forward from idx for any overlap.
+            let mut hit = false;
+            let mut j = idx;
+            while j < ivs.len() && ivs[j].0 < pe {
+                if ivs[j].1 > t {
+                    hit = true;
+                    break;
+                }
+                j += 1;
+            }
+            samples.push(hit);
+            t = pe;
+        }
+
+        let reported_percent = if samples.is_empty() {
+            0.0
+        } else {
+            100.0 * samples.iter().filter(|&&b| b).count() as f64 / samples.len() as f64
+        };
+        UtilizationReport { samples, reported_percent, true_busy, window }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> TimeNs {
+        TimeNs::from_nanos(v)
+    }
+
+    #[test]
+    fn tiny_kernels_inflate_reported_utilization() {
+        // One 1us kernel per 100ms period over 1s: true usage ~0.001%,
+        // reported 100%.
+        let sampler = UtilizationSampler::new(DurationNs::from_millis(100));
+        let busy: Vec<_> = (0..10)
+            .map(|i| {
+                let s = ns(i * 100_000_000 + 50_000_000);
+                (s, s + DurationNs::from_micros(1))
+            })
+            .collect();
+        let rep = sampler.sample(&busy, ns(0), ns(1_000_000_000));
+        assert_eq!(rep.reported_percent, 100.0);
+        assert!(rep.true_percent() < 0.01);
+        assert_eq!(rep.true_busy, DurationNs::from_micros(10));
+    }
+
+    #[test]
+    fn idle_window_reports_zero() {
+        let sampler = UtilizationSampler::default();
+        let rep = sampler.sample(&[], ns(0), ns(1_000_000_000));
+        assert_eq!(rep.reported_percent, 0.0);
+        assert_eq!(rep.true_busy, DurationNs::ZERO);
+        // 1/6s periods over 1s: six full periods plus a 4ns remainder.
+        assert_eq!(rep.samples.len(), 7);
+    }
+
+    #[test]
+    fn fully_busy_window_reports_hundred_both_ways() {
+        let sampler = UtilizationSampler::new(DurationNs::from_millis(100));
+        let rep = sampler.sample(&[(ns(0), ns(1_000_000_000))], ns(0), ns(1_000_000_000));
+        assert_eq!(rep.reported_percent, 100.0);
+        assert!((rep.true_percent() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intervals_outside_window_are_clipped() {
+        let sampler = UtilizationSampler::new(DurationNs::from_millis(100));
+        let rep = sampler.sample(
+            &[(ns(0), ns(50_000_000))],
+            ns(40_000_000),
+            ns(240_000_000),
+        );
+        // Only [40ms, 50ms) falls in window; first of two periods busy.
+        assert_eq!(rep.samples, vec![true, false]);
+        assert_eq!(rep.true_busy, DurationNs::from_millis(10));
+    }
+
+    #[test]
+    fn unsorted_overlapping_streams_handled() {
+        let sampler = UtilizationSampler::new(DurationNs::from_millis(100));
+        let busy = vec![
+            (ns(150_000_000), ns(160_000_000)),
+            (ns(0), ns(20_000_000)),
+            (ns(10_000_000), ns(30_000_000)),
+        ];
+        let rep = sampler.sample(&busy, ns(0), ns(200_000_000));
+        assert_eq!(rep.samples, vec![true, true]);
+        // Union: [0,30ms) + [150,160ms) = 40ms.
+        assert_eq!(rep.true_busy, DurationNs::from_millis(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_panics() {
+        UtilizationSampler::new(DurationNs::ZERO);
+    }
+}

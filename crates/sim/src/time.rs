@@ -1,0 +1,330 @@
+//! Nanosecond-resolution virtual time primitives.
+//!
+//! All timestamps in the substrate and the profiler are [`TimeNs`] instants
+//! on a virtual timeline, and all costs are [`DurationNs`] spans. Keeping
+//! them as distinct newtypes (rather than bare `u64`s) prevents the classic
+//! instant-vs-span confusion bugs in interval arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the virtual timeline, in nanoseconds since process start.
+///
+/// ```
+/// use rlscope_sim::time::{DurationNs, TimeNs};
+/// let t = TimeNs::ZERO + DurationNs::from_micros(3);
+/// assert_eq!(t.as_nanos(), 3_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TimeNs(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// ```
+/// use rlscope_sim::time::DurationNs;
+/// let d = DurationNs::from_millis(2) + DurationNs::from_micros(500);
+/// assert_eq!(d.as_nanos(), 2_500_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct DurationNs(u64);
+
+impl TimeNs {
+    /// The origin of the virtual timeline.
+    pub const ZERO: TimeNs = TimeNs(0);
+
+    /// Creates an instant at `ns` nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        TimeNs(ns)
+    }
+
+    /// Creates an instant at `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        TimeNs(us * 1_000)
+    }
+
+    /// Creates an instant at `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeNs(ms * 1_000_000)
+    }
+
+    /// Creates an instant at `s` whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        TimeNs(s * 1_000_000_000)
+    }
+
+    /// Returns the raw nanosecond value.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: TimeNs) -> DurationNs {
+        debug_assert!(earlier.0 <= self.0, "duration_since: {earlier:?} > {self:?}");
+        DurationNs(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, d: DurationNs) -> TimeNs {
+        TimeNs(self.0.saturating_sub(d.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: TimeNs) -> TimeNs {
+        TimeNs(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: TimeNs) -> TimeNs {
+        TimeNs(self.0.min(other.0))
+    }
+}
+
+impl DurationNs {
+    /// A zero-length span.
+    pub const ZERO: DurationNs = DurationNs(0);
+
+    /// Creates a duration of `ns` nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        DurationNs(ns)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        DurationNs(us * 1_000)
+    }
+
+    /// Creates a duration of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        DurationNs(ms * 1_000_000)
+    }
+
+    /// Creates a duration of `s` whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        DurationNs(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to nanoseconds.
+    ///
+    /// Negative values saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        DurationNs(if s <= 0.0 { 0 } else { (s * 1e9).round() as u64 })
+    }
+
+    /// Returns the raw nanosecond value.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if the span is zero-length.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: DurationNs) -> DurationNs {
+        DurationNs(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: DurationNs) -> DurationNs {
+        DurationNs(self.0.max(other.0))
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: DurationNs) -> DurationNs {
+        DurationNs(self.0.min(other.0))
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to nanoseconds.
+    pub fn mul_f64(self, k: f64) -> DurationNs {
+        debug_assert!(k >= 0.0, "mul_f64 with negative factor {k}");
+        DurationNs((self.0 as f64 * k).round() as u64)
+    }
+
+    /// Ratio of two spans, `self / other`, as a float.
+    ///
+    /// Returns 0.0 when `other` is zero.
+    pub fn ratio(self, other: DurationNs) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl Add<DurationNs> for TimeNs {
+    type Output = TimeNs;
+    fn add(self, rhs: DurationNs) -> TimeNs {
+        TimeNs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<DurationNs> for TimeNs {
+    fn add_assign(&mut self, rhs: DurationNs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeNs> for TimeNs {
+    type Output = DurationNs;
+    fn sub(self, rhs: TimeNs) -> DurationNs {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for DurationNs {
+    type Output = DurationNs;
+    fn add(self, rhs: DurationNs) -> DurationNs {
+        DurationNs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for DurationNs {
+    fn add_assign(&mut self, rhs: DurationNs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for DurationNs {
+    type Output = DurationNs;
+    fn sub(self, rhs: DurationNs) -> DurationNs {
+        debug_assert!(rhs.0 <= self.0, "DurationNs underflow: {self:?} - {rhs:?}");
+        DurationNs(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for DurationNs {
+    fn sub_assign(&mut self, rhs: DurationNs) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for DurationNs {
+    type Output = DurationNs;
+    fn mul(self, rhs: u64) -> DurationNs {
+        DurationNs(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for DurationNs {
+    type Output = DurationNs;
+    fn div(self, rhs: u64) -> DurationNs {
+        DurationNs(self.0 / rhs)
+    }
+}
+
+impl Sum for DurationNs {
+    fn sum<I: Iterator<Item = DurationNs>>(iter: I) -> DurationNs {
+        DurationNs(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for TimeNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for DurationNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_plus_duration() {
+        let t = TimeNs::from_nanos(100) + DurationNs::from_nanos(50);
+        assert_eq!(t, TimeNs::from_nanos(150));
+    }
+
+    #[test]
+    fn instant_difference_is_duration() {
+        let a = TimeNs::from_nanos(100);
+        let b = TimeNs::from_nanos(350);
+        assert_eq!(b - a, DurationNs::from_nanos(250));
+    }
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(DurationNs::from_micros(1), DurationNs::from_nanos(1_000));
+        assert_eq!(DurationNs::from_millis(1), DurationNs::from_micros(1_000));
+        assert_eq!(DurationNs::from_secs(1), DurationNs::from_millis(1_000));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_saturates() {
+        assert_eq!(DurationNs::from_secs_f64(1.5e-9), DurationNs::from_nanos(2));
+        assert_eq!(DurationNs::from_secs_f64(-1.0), DurationNs::ZERO);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: DurationNs = (1..=4).map(DurationNs::from_nanos).sum();
+        assert_eq!(total, DurationNs::from_nanos(10));
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(DurationNs::from_nanos(5).ratio(DurationNs::ZERO), 0.0);
+        assert!((DurationNs::from_nanos(6).ratio(DurationNs::from_nanos(3)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(DurationNs::from_nanos(5).to_string(), "5ns");
+        assert_eq!(DurationNs::from_micros(5).to_string(), "5.000us");
+        assert_eq!(DurationNs::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(DurationNs::from_secs(5).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(DurationNs::from_nanos(10).mul_f64(0.25), DurationNs::from_nanos(3));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            TimeNs::from_nanos(5).saturating_sub(DurationNs::from_nanos(10)),
+            TimeNs::ZERO
+        );
+        assert_eq!(
+            DurationNs::from_nanos(5).saturating_sub(DurationNs::from_nanos(10)),
+            DurationNs::ZERO
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Action-space adapters between algorithms and environments.
+
+use rlscope_envs::{Action, ActionSpace, Environment, SimComplexity, StepResult};
+
+/// Exposes a discrete-action environment through a 1-D continuous action
+/// space, binning `[-1, 1]` into the discrete choices. This is how the
+/// continuous-control survey algorithms (e.g. PPO2 in Figure 7) drive the
+/// Pong simulator.
+#[derive(Debug)]
+pub struct ContinuousAdapter<E> {
+    inner: E,
+    n_actions: usize,
+}
+
+impl<E: Environment> ContinuousAdapter<E> {
+    /// Wraps `inner`, which must have a discrete action space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` is already continuous.
+    pub fn new(inner: E) -> Self {
+        let n_actions = match inner.action_space() {
+            ActionSpace::Discrete(n) => n,
+            ActionSpace::Continuous { .. } => {
+                panic!("ContinuousAdapter over a continuous environment")
+            }
+        };
+        ContinuousAdapter { inner, n_actions }
+    }
+
+    fn to_discrete(&self, a: &Action) -> Action {
+        let v = a.continuous()[0].clamp(-1.0, 1.0);
+        // Map [-1, 1] onto n bins.
+        let bin = (((v + 1.0) / 2.0) * self.n_actions as f32) as usize;
+        Action::Discrete(bin.min(self.n_actions - 1))
+    }
+}
+
+impl<E: Environment> Environment for ContinuousAdapter<E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn obs_dim(&self) -> usize {
+        self.inner.obs_dim()
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Continuous { dim: 1, low: -1.0, high: 1.0 }
+    }
+
+    fn complexity(&self) -> SimComplexity {
+        self.inner.complexity()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.inner.reset()
+    }
+
+    fn step(&mut self, action: &Action) -> StepResult {
+        let d = self.to_discrete(action);
+        self.inner.step(&d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlscope_envs::Pong;
+    use rlscope_sim::VirtualClock;
+
+    #[test]
+    fn bins_cover_all_actions() {
+        let adapter = ContinuousAdapter::new(Pong::new(VirtualClock::new(), 0));
+        let lo = adapter.to_discrete(&Action::Continuous(vec![-1.0]));
+        let mid = adapter.to_discrete(&Action::Continuous(vec![0.0]));
+        let hi = adapter.to_discrete(&Action::Continuous(vec![1.0]));
+        assert_eq!(lo.discrete(), 0);
+        assert_eq!(mid.discrete(), 1);
+        assert_eq!(hi.discrete(), 2);
+    }
+
+    #[test]
+    fn step_accepts_continuous_actions() {
+        let mut adapter = ContinuousAdapter::new(Pong::new(VirtualClock::new(), 0));
+        adapter.reset();
+        let r = adapter.step(&Action::Continuous(vec![0.7]));
+        assert_eq!(r.obs.len(), adapter.obs_dim());
+        assert_eq!(adapter.action_space().dim(), 1);
+    }
+
+    #[test]
+    fn out_of_range_actions_clamp() {
+        let adapter = ContinuousAdapter::new(Pong::new(VirtualClock::new(), 0));
+        assert_eq!(adapter.to_discrete(&Action::Continuous(vec![5.0])).discrete(), 2);
+        assert_eq!(adapter.to_discrete(&Action::Continuous(vec![-5.0])).discrete(), 0);
+    }
+}

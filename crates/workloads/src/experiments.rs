@@ -1,0 +1,217 @@
+//! The paper's case-study experiments: framework comparison (Figure 4),
+//! algorithm survey (Figure 5), simulator survey (Figure 7), and the
+//! effect of skipping correction (§C.4).
+
+use crate::frameworks::{table1, FrameworkConfig, REAGENT};
+use crate::runner::{ScaleConfig, TrainSpec};
+use rlscope_core::calibrate::{calibrate, Calibration, RunStats};
+use rlscope_core::correct::{correct, uncorrected, CorrectedProfile};
+use rlscope_core::event::CpuCategory;
+use rlscope_core::profiler::Toggles;
+use rlscope_core::report::TransitionReport;
+use rlscope_core::trace::Trace;
+use rlscope_rl::AlgoKind;
+
+/// One profiled framework/algorithm/simulator configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Human-readable label (framework, algorithm, or simulator name).
+    pub label: String,
+    /// The framework configuration used.
+    pub framework: FrameworkConfig,
+    /// The corrected profile.
+    pub profile: CorrectedProfile,
+    /// Per-operation transition counts.
+    pub transitions: TransitionReport,
+    /// The raw trace.
+    pub trace: Trace,
+}
+
+impl ExperimentRun {
+    /// Percent of total time in a CPU category.
+    pub fn cpu_percent(&self, cat: CpuCategory) -> f64 {
+        100.0 * self.profile.table.cpu_category_total(cat).ratio(self.profile.table.total())
+    }
+
+    /// Percent of total time with the GPU busy.
+    pub fn gpu_percent(&self) -> f64 {
+        100.0 * self.profile.table.gpu_total().ratio(self.profile.table.total())
+    }
+
+    /// Ratio of CUDA-API CPU time to GPU-busy time (finding F.8).
+    pub fn cuda_over_gpu(&self) -> f64 {
+        self.profile
+            .table
+            .cpu_category_total(CpuCategory::CudaApi)
+            .ratio(self.profile.table.gpu_total())
+    }
+
+    /// Percent of total time in the simulator (finding F.10/F.12).
+    pub fn simulation_percent(&self) -> f64 {
+        self.cpu_percent(CpuCategory::Simulator)
+    }
+}
+
+/// Runs the full calibration protocol for a workload spec (five runs).
+pub fn calibration_for(spec: &TrainSpec) -> Calibration {
+    calibrate(&mut |toggles: Toggles| {
+        let out = spec.run(Some(toggles));
+        RunStats::from_trace(&out.trace.expect("profiled run has a trace"))
+    })
+}
+
+/// Profiles one spec end-to-end: calibrate, run fully instrumented,
+/// correct.
+pub fn profile_spec(spec: &TrainSpec, label: impl Into<String>) -> ExperimentRun {
+    let cal = calibration_for(spec);
+    profile_spec_with(spec, label, &cal)
+}
+
+/// Profiles one spec with a pre-computed calibration (calibration "only
+/// needs to be done once per workload", §3.4).
+pub fn profile_spec_with(
+    spec: &TrainSpec,
+    label: impl Into<String>,
+    cal: &Calibration,
+) -> ExperimentRun {
+    let out = spec.run(Some(Toggles::all()));
+    let trace = out.trace.expect("profiled run has a trace");
+    let profile = correct(&trace, cal);
+    ExperimentRun {
+        label: label.into(),
+        framework: spec.framework,
+        profile,
+        transitions: TransitionReport::from_trace(&trace),
+        trace,
+    }
+}
+
+/// The framework rows compared for an algorithm: the paper's Figure 4a
+/// (TD3) uses all four Table-1 rows; Figure 4b (DDPG) only the three
+/// TensorFlow configurations (ReAgent ships no DDPG).
+pub fn frameworks_for(algo: AlgoKind) -> Vec<FrameworkConfig> {
+    match algo {
+        AlgoKind::Ddpg => table1().into_iter().filter(|f| *f != REAGENT).collect(),
+        _ => table1(),
+    }
+}
+
+/// Figure 4: the framework comparison for one algorithm on Walker2D.
+pub fn run_framework_comparison(
+    algo: AlgoKind,
+    steps: usize,
+    scale: ScaleConfig,
+) -> Vec<ExperimentRun> {
+    frameworks_for(algo)
+        .into_iter()
+        .map(|fw| {
+            let spec = TrainSpec {
+                scale,
+                ..TrainSpec::new(algo, "Walker2D", fw, steps)
+            };
+            profile_spec(&spec, fw.to_string())
+        })
+        .collect()
+}
+
+/// Figure 5: the algorithm survey on Walker2D (stable-baselines configs).
+pub fn run_algorithm_survey(steps: usize, scale: ScaleConfig) -> Vec<ExperimentRun> {
+    [AlgoKind::Ddpg, AlgoKind::Sac, AlgoKind::A2c, AlgoKind::Ppo2]
+        .into_iter()
+        .map(|algo| {
+            let spec = TrainSpec {
+                scale,
+                ..TrainSpec::new(algo, "Walker2D", crate::frameworks::STABLE_BASELINES, steps)
+            };
+            profile_spec(&spec, algo.to_string())
+        })
+        .collect()
+}
+
+/// Per-environment tuned PPO hyperparameters `(n_steps, epochs,
+/// minibatch)` used by the simulator survey — the paper notes the tuned
+/// (PPO, Pong) and Walker2D configurations perform few gradient updates
+/// relative to simulator invocations (Appendix B.1), which is what makes
+/// their simulation share high.
+pub fn ppo_tuning_for(env: &str) -> Option<(usize, usize, usize)> {
+    match env {
+        "Pong" => Some((48, 1, 48)),
+        "Hopper" => Some((12, 1, 12)),
+        "Ant" => Some((12, 2, 12)),
+        "HalfCheetah" => Some((8, 4, 8)),
+        _ => None,
+    }
+}
+
+/// Figure 7: the simulator survey with PPO2.
+pub fn run_simulator_survey(steps: usize, scale: ScaleConfig) -> Vec<ExperimentRun> {
+    ["AirLearning", "Ant", "HalfCheetah", "Hopper", "Pong", "Walker2D"]
+        .into_iter()
+        .map(|env| {
+            let spec = TrainSpec {
+                scale: ScaleConfig { ppo: ppo_tuning_for(env), ..scale },
+                ..TrainSpec::new(
+                    AlgoKind::Ppo2,
+                    env,
+                    crate::frameworks::STABLE_BASELINES,
+                    steps,
+                )
+            };
+            profile_spec(&spec, env.to_string())
+        })
+        .collect()
+}
+
+/// §C.4: the same trace analyzed with and without overhead correction.
+/// Returns `(corrected, uncorrected)` profiles of one fully instrumented
+/// run.
+pub fn run_correction_ablation(spec: &TrainSpec) -> (CorrectedProfile, CorrectedProfile) {
+    let cal = calibration_for(spec);
+    let out = spec.run(Some(Toggles::all()));
+    let trace = out.trace.expect("profiled run has a trace");
+    (correct(&trace, &cal), uncorrected(&trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frameworks::STABLE_BASELINES;
+
+    fn tiny_scale() -> ScaleConfig {
+        ScaleConfig { hidden: 8, batch: 4, freq_div: 25, ppo: None }
+    }
+
+    #[test]
+    fn ddpg_comparison_skips_reagent() {
+        let fws = frameworks_for(AlgoKind::Ddpg);
+        assert_eq!(fws.len(), 3);
+        assert!(fws.iter().all(|f| *f != REAGENT));
+        assert_eq!(frameworks_for(AlgoKind::Td3).len(), 4);
+    }
+
+    #[test]
+    fn profile_spec_produces_consistent_run() {
+        let spec = TrainSpec {
+            scale: tiny_scale(),
+            ..TrainSpec::new(AlgoKind::Ddpg, "Walker2D", STABLE_BASELINES, 60)
+        };
+        let run = profile_spec(&spec, "test");
+        assert!(run.profile.corrected_total < run.profile.instrumented_total);
+        assert!(run.gpu_percent() > 0.0);
+        assert!(run.simulation_percent() > 0.0);
+        // RL workloads: CUDA API time exceeds GPU time (F.8 shape).
+        assert!(run.cuda_over_gpu() > 1.0, "cuda/gpu = {}", run.cuda_over_gpu());
+    }
+
+    #[test]
+    fn correction_ablation_shows_inflation() {
+        let spec = TrainSpec {
+            scale: tiny_scale(),
+            ..TrainSpec::new(AlgoKind::Ddpg, "Walker2D", STABLE_BASELINES, 60)
+        };
+        let (corrected, raw) = run_correction_ablation(&spec);
+        assert!(raw.corrected_total > corrected.corrected_total);
+        assert!(raw.overhead.total().is_zero());
+        assert!(!corrected.overhead.total().is_zero());
+    }
+}

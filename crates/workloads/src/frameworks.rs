@@ -1,0 +1,109 @@
+//! The RL framework configurations of the paper's Table 1.
+
+use rlscope_backend::exec::{BackendKind, ExecModel};
+use rlscope_sim::time::DurationNs;
+use serde::Serialize;
+use std::fmt;
+
+/// One ⟨RL framework, execution model, ML backend⟩ row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct FrameworkConfig {
+    /// Framework name as the paper prints it.
+    pub name: &'static str,
+    /// The execution model.
+    pub model: ExecModel,
+    /// The ML backend.
+    pub backend: BackendKind,
+}
+
+impl fmt::Display for FrameworkConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.backend, self.model)
+    }
+}
+
+/// stable-baselines: TensorFlow Graph.
+pub const STABLE_BASELINES: FrameworkConfig = FrameworkConfig {
+    name: "stable-baselines",
+    model: ExecModel::Graph,
+    backend: BackendKind::TensorFlow,
+};
+
+/// tf-agents with Autograph enabled.
+pub const TF_AGENTS_AUTOGRAPH: FrameworkConfig = FrameworkConfig {
+    name: "tf-agents",
+    model: ExecModel::Autograph,
+    backend: BackendKind::TensorFlow,
+};
+
+/// tf-agents in pure Eager mode.
+pub const TF_AGENTS_EAGER: FrameworkConfig = FrameworkConfig {
+    name: "tf-agents",
+    model: ExecModel::Eager,
+    backend: BackendKind::TensorFlow,
+};
+
+/// ReAgent: PyTorch Eager.
+pub const REAGENT: FrameworkConfig = FrameworkConfig {
+    name: "ReAgent",
+    model: ExecModel::Eager,
+    backend: BackendKind::PyTorch,
+};
+
+/// All four Table-1 rows, in the paper's order.
+pub fn table1() -> Vec<FrameworkConfig> {
+    vec![STABLE_BASELINES, TF_AGENTS_AUTOGRAPH, TF_AGENTS_EAGER, REAGENT]
+}
+
+/// Python-side data-collection cost model for an execution model.
+///
+/// Autograph compiles the collect loop in-graph: per-step Python cost is
+/// the same as the shared data-collection code, but each *entry* into the
+/// in-graph loop costs extra — the overhead that DDPG's `train_freq = 100`
+/// amortizes poorly and TD3's 1000 amortizes well (finding F.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CollectCosts {
+    /// Python orchestration per simulator step.
+    pub per_step_python: DurationNs,
+    /// Python cost of (re-)entering the collect loop after each update.
+    pub loop_entry_python: DurationNs,
+}
+
+impl CollectCosts {
+    /// The cost model for an execution model.
+    pub fn for_model(model: ExecModel) -> Self {
+        match model {
+            ExecModel::Graph | ExecModel::Eager => CollectCosts {
+                per_step_python: DurationNs::from_micros(12),
+                loop_entry_python: DurationNs::ZERO,
+            },
+            ExecModel::Autograph => CollectCosts {
+                per_step_python: DurationNs::from_micros(12),
+                loop_entry_python: DurationNs::from_micros(1_680),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_four_rows_matching_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].model, ExecModel::Graph);
+        assert_eq!(t[1].model, ExecModel::Autograph);
+        assert_eq!(t[2].model, ExecModel::Eager);
+        assert_eq!(t[3].backend, BackendKind::PyTorch);
+        assert_eq!(t[3].to_string(), "PyTorch Eager");
+    }
+
+    #[test]
+    fn only_autograph_pays_loop_entry() {
+        assert!(CollectCosts::for_model(ExecModel::Graph).loop_entry_python.is_zero());
+        assert!(CollectCosts::for_model(ExecModel::Eager).loop_entry_python.is_zero());
+        assert!(!CollectCosts::for_model(ExecModel::Autograph).loop_entry_python.is_zero());
+    }
+}

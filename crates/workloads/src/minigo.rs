@@ -1,0 +1,425 @@
+//! The Minigo scale-up workload (paper §4.3, Appendix B.2, Figure 8).
+//!
+//! Sixteen self-play worker processes collect Go games in parallel, each
+//! running MCTS whose leaf expansions are neural-network inference
+//! minibatches (the `mcts_tree_search` / `expand_leaf` annotation nesting
+//! of the paper's Figure 2). The parent then proposes a candidate model
+//! with SGD updates and evaluates it. The headline reproduction target is
+//! finding F.11: `nvidia-smi` reports ~100% GPU utilization during
+//! parallel data collection while the true per-worker GPU time is a tiny
+//! fraction of each worker's wall time.
+
+use crate::stack::Stack;
+use rlscope_backend::prelude::*;
+use rlscope_core::profiler::{Profiler, Toggles};
+use rlscope_core::report::MultiProcessReport;
+use rlscope_core::trace::Trace;
+use rlscope_envs::go::{Color, GoGame, GoMove};
+use rlscope_envs::mcts::{Evaluator, Mcts};
+use rlscope_rl::common::mlp_forward_frozen;
+use rlscope_sim::ids::ProcessId;
+use rlscope_sim::process::ProcessGraph;
+use rlscope_sim::rng::SimRng;
+use rlscope_sim::smi::UtilizationSampler;
+use rlscope_sim::time::{DurationNs, TimeNs};
+use rlscope_sim::VirtualClock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Minigo workload configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinigoConfig {
+    /// Parallel self-play worker processes (paper: 16).
+    pub workers: usize,
+    /// Self-play games per worker.
+    pub games_per_worker: usize,
+    /// MCTS simulations per move.
+    pub sims_per_move: u32,
+    /// Board side length (paper uses 19; 9 keeps runs fast).
+    pub board: usize,
+    /// Move cap per game.
+    pub max_moves: u32,
+    /// Games played in the evaluation phase.
+    pub eval_games: usize,
+    /// SGD update steps in the training phase.
+    pub sgd_steps: usize,
+    /// `nvidia-smi` sample period (scaled down with the workload).
+    pub smi_period: DurationNs,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for MinigoConfig {
+    fn default() -> Self {
+        MinigoConfig {
+            workers: 16,
+            games_per_worker: 1,
+            sims_per_move: 8,
+            board: 9,
+            max_moves: 40,
+            eval_games: 2,
+            sgd_steps: 8,
+            smi_period: DurationNs::from_millis(5),
+            seed: 7,
+        }
+    }
+}
+
+/// Result of one Minigo training round.
+#[derive(Debug)]
+pub struct MinigoResult {
+    /// The multi-process report (Figure 8).
+    pub report: MultiProcessReport,
+    /// All traces merged across processes.
+    pub merged: Trace,
+    /// Fork/join process graph.
+    pub graph: ProcessGraph,
+    /// Wall time of each self-play worker.
+    pub worker_walls: Vec<DurationNs>,
+    /// GPU-busy time of each self-play worker.
+    pub worker_gpu: Vec<DurationNs>,
+}
+
+struct NetEvaluator<'a> {
+    stack: &'a Stack,
+    rls: &'a Profiler,
+    params: &'a Params,
+    net: &'a Mlp,
+    board: usize,
+    go_cost: DurationNs,
+}
+
+impl Evaluator for NetEvaluator<'_> {
+    fn evaluate(&mut self, game: &GoGame) -> (HashMap<GoMove, f32>, f32) {
+        let _op = self.rls.operation("expand_leaf");
+        // Go engine work for this simulation (feature extraction, move
+        // generation) counts as simulator time.
+        let go_cost = self.go_cost;
+        let clock = self.stack.clock.clone();
+        self.stack.exec.call_simulator(|| {
+            clock.advance(go_cost);
+        });
+        let feats = game.features();
+        let x = Tensor::from_vec(1, feats.len(), feats);
+        let (net, params) = (self.net, self.params);
+        let out = self.stack.exec.run(RunKind::Inference, |tape| {
+            let xv = tape.constant(x.clone());
+            let y = mlp_forward_frozen(net, tape, params, xv, Activation::Relu, Activation::Linear);
+            tape.value(y).clone()
+        });
+        self.stack.exec.fetch(&out);
+
+        let n = self.board * self.board;
+        let logits = out.data();
+        let mut priors = HashMap::new();
+        for mv in game.legal_moves() {
+            let idx = match mv {
+                GoMove::Pass => n,
+                GoMove::Place(i) => i,
+            };
+            priors.insert(mv, logits[idx].exp());
+        }
+        let value = logits[n + 1].tanh();
+        (priors, value)
+    }
+}
+
+fn make_net(board: usize, rng: &mut SimRng) -> (Params, Mlp) {
+    let mut params = Params::new();
+    let n = board * board;
+    let net = Mlp::new(
+        &mut params,
+        rng,
+        "minigo",
+        &[2 * n, 64, n + 2],
+        Activation::Relu,
+        Activation::Linear,
+    );
+    (params, net)
+}
+
+struct WorkerOutput {
+    trace: Trace,
+    wall_end: TimeNs,
+    busy: Vec<(TimeNs, TimeNs)>,
+    examples: Vec<(Vec<f32>, f32)>,
+}
+
+fn run_selfplay_worker(cfg: &MinigoConfig, pid: ProcessId, seed: u64) -> WorkerOutput {
+    let stack = Stack::new(BackendKind::TensorFlow, ExecModel::Graph);
+    let rls = stack.profile(pid, Toggles::all());
+    rls.set_phase("selfplay");
+    let mut rng = SimRng::seed_from_u64(seed);
+    let (params, net) = make_net(cfg.board, &mut rng);
+    let mut examples = Vec::new();
+
+    for _game_idx in 0..cfg.games_per_worker {
+        let mut game = GoGame::new(cfg.board);
+        let mut history: Vec<Vec<f32>> = Vec::new();
+        let mut moves = 0;
+        while !game.is_over() && moves < cfg.max_moves {
+            let mv = {
+                let _op = rls.operation("mcts_tree_search");
+                // Pure-Python tree traversal per move.
+                stack.exec.python(DurationNs::from_micros(140));
+                let mut evaluator = NetEvaluator {
+                    stack: &stack,
+                    rls: &rls,
+                    params: &params,
+                    net: &net,
+                    board: cfg.board,
+                    go_cost: DurationNs::from_micros(30),
+                };
+                let mut mcts = Mcts::new(game.clone());
+                mcts.run(cfg.sims_per_move, &mut evaluator);
+                if moves < 6 {
+                    mcts.sample_move(&mut rng)
+                } else {
+                    mcts.best_move()
+                }
+            };
+            let clock = stack.clock.clone();
+            stack.exec.call_simulator(|| {
+                clock.advance(DurationNs::from_micros(30));
+                game.play(mv).expect("MCTS selected illegal move");
+            });
+            history.push(game.features());
+            moves += 1;
+        }
+        let outcome = match game.winner() {
+            Some(Color::Black) => 1.0,
+            Some(Color::White) => -1.0,
+            None => 0.0,
+        };
+        examples.extend(history.into_iter().map(|f| (f, outcome)));
+    }
+    stack.exec.sync();
+    let wall_end = stack.clock.now();
+    let busy = stack.cuda.borrow().device().busy_intervals().to_vec();
+    WorkerOutput { trace: rls.finish(), wall_end, busy, examples }
+}
+
+/// A smaller evaluation process: plays games between the current and
+/// candidate nets (both evaluated through the same inference path).
+fn run_eval_process(
+    cfg: &MinigoConfig,
+    pid: ProcessId,
+    name_seed: u64,
+    start: TimeNs,
+    games: usize,
+    phase: &str,
+) -> WorkerOutput {
+    let stack = Stack::with_clock(
+        BackendKind::TensorFlow,
+        ExecModel::Graph,
+        VirtualClock::starting_at(start),
+    );
+    let rls = stack.profile(pid, Toggles::all());
+    rls.set_phase(phase);
+    let mut rng = SimRng::seed_from_u64(name_seed);
+    let (params, net) = make_net(cfg.board, &mut rng);
+    for _ in 0..games {
+        let mut game = GoGame::new(cfg.board);
+        let mut moves = 0;
+        while !game.is_over() && moves < cfg.max_moves / 2 {
+            let mv = {
+                let _op = rls.operation("mcts_tree_search");
+                stack.exec.python(DurationNs::from_micros(120));
+                let mut evaluator = NetEvaluator {
+                    stack: &stack,
+                    rls: &rls,
+                    params: &params,
+                    net: &net,
+                    board: cfg.board,
+                    go_cost: DurationNs::from_micros(30),
+                };
+                let mut mcts = Mcts::new(game.clone());
+                mcts.run(cfg.sims_per_move / 2, &mut evaluator);
+                mcts.best_move()
+            };
+            let clock = stack.clock.clone();
+            stack.exec.call_simulator(|| {
+                clock.advance(DurationNs::from_micros(30));
+                game.play(mv).expect("illegal eval move");
+            });
+            moves += 1;
+        }
+    }
+    stack.exec.sync();
+    let wall_end = stack.clock.now();
+    let busy = stack.cuda.borrow().device().busy_intervals().to_vec();
+    WorkerOutput { trace: rls.finish(), wall_end, busy, examples: Vec::new() }
+}
+
+/// Runs one full Minigo training round: parallel self-play, SGD updates,
+/// evaluation.
+pub fn run_minigo(cfg: &MinigoConfig) -> MinigoResult {
+    let mut graph = ProcessGraph::new("loader");
+    let mut names = vec![(ProcessId(0), "loader".to_string())];
+    let mut traces = Vec::new();
+    let mut busy_all: Vec<(TimeNs, TimeNs)> = Vec::new();
+    let mut worker_walls = Vec::new();
+    let mut worker_gpu = Vec::new();
+    let mut examples = Vec::new();
+    let mut join_at = TimeNs::ZERO;
+
+    // Phase 1: parallel self-play workers, all forked at t=0.
+    for w in 0..cfg.workers {
+        let pid = graph.fork(graph.root(), format!("selfplay_worker_{w}"), TimeNs::ZERO);
+        names.push((pid, format!("selfplay_worker_{w}")));
+        let out = run_selfplay_worker(cfg, pid, cfg.seed ^ (w as u64) << 8);
+        graph.join(pid, out.wall_end);
+        join_at = join_at.max(out.wall_end);
+        worker_walls.push(out.wall_end - TimeNs::ZERO);
+        let gpu: DurationNs = out.busy.iter().map(|&(s, e)| e - s).sum();
+        worker_gpu.push(gpu);
+        busy_all.extend(out.busy);
+        examples.extend(out.examples);
+        traces.push(out.trace);
+    }
+
+    // Phase 2: SGD updates on the loader process.
+    let loader = Stack::with_clock(
+        BackendKind::TensorFlow,
+        ExecModel::Graph,
+        VirtualClock::starting_at(join_at),
+    );
+    let rls = loader.profile(ProcessId(0), Toggles::all());
+    rls.set_phase("sgd_updates");
+    let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0x5d9);
+    let (mut params, net) = make_net(cfg.board, &mut rng);
+    let mut opt = Adam::new(1e-3);
+    let n = cfg.board * cfg.board;
+    for step in 0..cfg.sgd_steps {
+        let batch: Vec<&(Vec<f32>, f32)> = examples
+            .iter()
+            .skip(step)
+            .step_by(cfg.sgd_steps.max(1))
+            .take(16)
+            .collect();
+        if batch.is_empty() {
+            break;
+        }
+        let x = Tensor::stack_rows(
+            &batch.iter().map(|(f, _)| Tensor::vector(f.clone())).collect::<Vec<_>>(),
+        );
+        let y = Tensor::from_vec(batch.len(), 1, batch.iter().map(|(_, o)| *o).collect());
+        loader.exec.feed(x.byte_size());
+        let _op = rls.operation("sgd_update");
+        let grads = loader.exec.run(RunKind::Backprop, |tape| {
+            let xv = tape.constant(x.clone());
+            let yv = tape.constant(y.clone());
+            let out = net.forward(tape, &params, xv);
+            // Select the value column with a fixed selector matrix.
+            let mut sel = vec![0.0f32; (n + 2) * 1];
+            sel[n + 1] = 1.0;
+            let sel = tape.constant(Tensor::from_vec(n + 2, 1, sel));
+            let v = tape.matmul(out, sel);
+            let vt = tape.tanh(v);
+            let loss = tape.mse(vt, yv);
+            tape.backward(loss)
+        });
+        drop(_op);
+        opt.step(&mut params, &grads, Some(&loader.exec));
+    }
+    loader.exec.sync();
+    let sgd_end = loader.clock.now();
+    busy_all.extend(loader.cuda.borrow().device().busy_intervals().iter().copied());
+    traces.push(rls.finish());
+
+    // Phase 3: evaluation processes forked after SGD.
+    let term_pid = graph.fork(graph.root(), "evaluate_termination", sgd_end);
+    names.push((term_pid, "evaluate_termination".to_string()));
+    let term = run_eval_process(cfg, term_pid, cfg.seed ^ 0xee1, sgd_end, 1, "evaluation");
+    graph.join(term_pid, term.wall_end);
+    busy_all.extend(term.busy);
+    let mut global_end = term.wall_end.max(sgd_end);
+    traces.push(term.trace);
+
+    let cand_pid = graph.fork(graph.root(), "evaluate_candidate_model", sgd_end);
+    names.push((cand_pid, "evaluate_candidate_model".to_string()));
+    let cand =
+        run_eval_process(cfg, cand_pid, cfg.seed ^ 0xee2, sgd_end, cfg.eval_games, "evaluation");
+    graph.join(cand_pid, cand.wall_end);
+    busy_all.extend(cand.busy);
+    global_end = global_end.max(cand.wall_end);
+    traces.push(cand.trace);
+
+    let merged = Trace::merge(traces);
+    let smi = UtilizationSampler::new(cfg.smi_period).sample(&busy_all, TimeNs::ZERO, global_end);
+    let report = MultiProcessReport::new(&merged, &names, graph.dependency_edges(), &smi);
+    MinigoResult { report, merged, graph, worker_walls, worker_gpu }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MinigoConfig {
+        MinigoConfig {
+            workers: 3,
+            games_per_worker: 1,
+            sims_per_move: 4,
+            board: 5,
+            max_moves: 14,
+            eval_games: 1,
+            sgd_steps: 2,
+            smi_period: DurationNs::from_millis(2),
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn minigo_round_produces_multiprocess_view() {
+        let result = run_minigo(&tiny());
+        // loader + 3 workers + 2 eval processes.
+        assert_eq!(result.graph.len(), 6);
+        assert_eq!(result.report.processes.len(), 6);
+        assert_eq!(result.worker_walls.len(), 3);
+        let rendered = result.report.render();
+        assert!(rendered.contains("selfplay_worker_0"));
+        assert!(rendered.contains("evaluate_candidate_model"));
+    }
+
+    #[test]
+    fn f11_smi_overstates_true_gpu_usage() {
+        let result = run_minigo(&tiny());
+        // nvidia-smi reports high utilization, true GPU-bound time is low.
+        assert!(
+            result.report.smi_reported_percent >= 50.0,
+            "smi reported only {:.1}%",
+            result.report.smi_reported_percent
+        );
+        assert!(
+            result.report.true_gpu_percent < result.report.smi_reported_percent / 3.0,
+            "true {:.2}% vs reported {:.1}%",
+            result.report.true_gpu_percent,
+            result.report.smi_reported_percent
+        );
+    }
+
+    #[test]
+    fn workers_are_cpu_bound() {
+        let result = run_minigo(&tiny());
+        for (wall, gpu) in result.worker_walls.iter().zip(&result.worker_gpu) {
+            assert!(
+                gpu.as_nanos() * 5 < wall.as_nanos(),
+                "worker suspiciously GPU-bound: {gpu} of {wall}"
+            );
+        }
+    }
+
+    #[test]
+    fn traces_nest_expand_leaf_inside_mcts() {
+        let result = run_minigo(&tiny());
+        let names = result.merged.operation_names();
+        let names: Vec<&str> = names.iter().map(|n| &**n).collect();
+        assert!(names.contains(&"mcts_tree_search"));
+        assert!(names.contains(&"expand_leaf"));
+        // expand_leaf time is scoped under (not double-counted with) the
+        // tree search in the breakdown.
+        let table = result.merged.breakdown();
+        assert!(table.operation_total("expand_leaf") > DurationNs::ZERO);
+        assert!(table.operation_total("mcts_tree_search") > DurationNs::ZERO);
+    }
+}

@@ -1,0 +1,93 @@
+//! Assembling one simulated process's full software stack.
+
+use rlscope_backend::prelude::*;
+use rlscope_core::profiler::{Profiler, ProfilerConfig, Toggles};
+use rlscope_sim::cuda::{CudaContext, CudaCostConfig};
+use rlscope_sim::gpu::GpuDevice;
+use rlscope_sim::ids::{ProcessId, StreamId};
+use rlscope_sim::python::{PyCostConfig, PyRuntime};
+use rlscope_sim::VirtualClock;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// One process's stack: virtual clock, Python runtime, CUDA context, and
+/// the backend executor, all sharing the same timeline.
+pub struct Stack {
+    /// The process clock.
+    pub clock: VirtualClock,
+    /// The Python runtime.
+    pub py: Rc<RefCell<PyRuntime>>,
+    /// The CUDA context (owns the virtual GPU).
+    pub cuda: Rc<RefCell<CudaContext>>,
+    /// The backend executor.
+    pub exec: Executor,
+    /// The GPU stream this process launches on.
+    pub stream: StreamId,
+}
+
+impl fmt::Debug for Stack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stack").field("now", &self.clock.now()).finish_non_exhaustive()
+    }
+}
+
+impl Stack {
+    /// Builds a stack for one ⟨backend, execution model⟩ configuration.
+    pub fn new(kind: BackendKind, model: ExecModel) -> Self {
+        Self::with_clock(kind, model, VirtualClock::new())
+    }
+
+    /// Builds a stack over an existing clock (worker processes forked at a
+    /// later instant).
+    pub fn with_clock(kind: BackendKind, model: ExecModel, clock: VirtualClock) -> Self {
+        let py = Rc::new(RefCell::new(PyRuntime::new(clock.clone(), PyCostConfig::default())));
+        let cuda = Rc::new(RefCell::new(CudaContext::new(
+            clock.clone(),
+            GpuDevice::new(1),
+            CudaCostConfig::default(),
+        )));
+        let stream = cuda.borrow().default_stream();
+        let exec = Executor::new(
+            kind,
+            model,
+            py.clone(),
+            cuda.clone(),
+            OpCostModel::for_config(kind, model),
+            stream,
+        );
+        Stack { clock, py, cuda, exec, stream }
+    }
+
+    /// Creates and attaches a profiler with the given toggles; returns it.
+    pub fn profile(&self, pid: ProcessId, toggles: Toggles) -> Profiler {
+        let config = ProfilerConfig { pid, toggles, ..ProfilerConfig::default() };
+        let profiler = Profiler::new(self.clock.clone(), config);
+        profiler.attach(&mut self.py.borrow_mut(), &mut self.cuda.borrow_mut());
+        profiler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlscope_sim::time::DurationNs;
+
+    #[test]
+    fn stack_shares_one_clock() {
+        let stack = Stack::new(BackendKind::TensorFlow, ExecModel::Graph);
+        stack.py.borrow().exec(DurationNs::from_micros(3));
+        assert_eq!(stack.clock.now().as_nanos(), 3_000);
+        assert_eq!(stack.cuda.borrow().clock().now().as_nanos(), 3_000);
+    }
+
+    #[test]
+    fn profile_attaches_hooks() {
+        let stack = Stack::new(BackendKind::TensorFlow, ExecModel::Graph);
+        let rls = stack.profile(ProcessId(0), Toggles::all());
+        stack.py.borrow().exec(DurationNs::from_micros(1));
+        let trace = rls.finish();
+        assert_eq!(trace.events.len(), 1);
+        assert!(stack.cuda.borrow().cupti_enabled());
+    }
+}

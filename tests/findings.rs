@@ -1,0 +1,195 @@
+//! Shape assertions for the paper's findings F.1–F.12.
+//!
+//! Absolute numbers differ from the authors' testbed (our substrate is a
+//! virtual-time simulator); these tests pin down the *shape* of each
+//! finding — who wins, rough factors, orderings — at reduced step counts.
+
+use rlscope::core::event::CpuCategory;
+use rlscope::core::profiler::TransitionKind;
+use rlscope::prelude::*;
+use rlscope::workloads::{
+    run_algorithm_survey, run_framework_comparison, run_minigo, run_simulator_survey,
+    MinigoConfig, ScaleConfig,
+};
+use rlscope_backend::ExecModel;
+
+use std::sync::OnceLock;
+
+const STEPS: usize = 150;
+
+fn scale() -> ScaleConfig {
+    ScaleConfig { hidden: 16, batch: 8, freq_div: 10, ppo: None }
+}
+
+/// The TD3 framework comparison is consumed by several findings; run it
+/// once per test binary.
+fn td3_runs() -> &'static [rlscope::workloads::ExperimentRun] {
+    static RUNS: OnceLock<Vec<rlscope::workloads::ExperimentRun>> = OnceLock::new();
+    RUNS.get_or_init(|| run_framework_comparison(AlgoKind::Td3, STEPS, scale()))
+}
+
+#[test]
+fn f1_eager_slower_than_graph_and_autograph() {
+    let runs = td3_runs();
+    let total = |model: ExecModel, backend: BackendKind| {
+        runs.iter()
+            .find(|r| r.framework.model == model && r.framework.backend == backend)
+            .map(|r| r.profile.corrected_total)
+            .unwrap()
+    };
+    let graph = total(ExecModel::Graph, BackendKind::TensorFlow);
+    let autograph = total(ExecModel::Autograph, BackendKind::TensorFlow);
+    let tf_eager = total(ExecModel::Eager, BackendKind::TensorFlow);
+
+    // Eager ≥ 1.9x slower than both Graph and Autograph (paper: 1.9–4.8x).
+    assert!(tf_eager.ratio(graph) >= 1.9, "TF Eager only {:.2}x Graph", tf_eager.ratio(graph));
+    assert!(
+        tf_eager.ratio(autograph) >= 1.5,
+        "TF Eager only {:.2}x Autograph",
+        tf_eager.ratio(autograph)
+    );
+    // Graph and Autograph within ~35% of each other (paper: within 19.7%).
+    let ratio = graph.ratio(autograph).max(autograph.ratio(graph));
+    assert!(ratio <= 1.35, "Graph vs Autograph differ {ratio:.2}x");
+}
+
+#[test]
+fn f2_autograph_reduces_backend_transitions_vs_eager() {
+    let runs = td3_runs();
+    let by_model = |model: ExecModel| {
+        runs.iter().find(|r| r.framework.model == model && r.framework.backend == BackendKind::TensorFlow).unwrap()
+    };
+    let autograph = by_model(ExecModel::Autograph);
+    let eager = by_model(ExecModel::Eager);
+    for op in ["backpropagation", "inference"] {
+        let a = autograph.transitions.per_iteration(op, TransitionKind::Backend);
+        let e = eager.transitions.per_iteration(op, TransitionKind::Backend);
+        assert!(a * 5.0 < e, "{op}: autograph {a} vs eager {e} transitions/iter");
+    }
+}
+
+#[test]
+fn f3_pytorch_eager_faster_and_fewer_transitions_than_tf_eager() {
+    let runs = td3_runs();
+    let by = |backend: BackendKind| {
+        runs.iter()
+            .find(|r| r.framework.model == ExecModel::Eager && r.framework.backend == backend)
+            .unwrap()
+    };
+    let tf = by(BackendKind::TensorFlow);
+    let pt = by(BackendKind::PyTorch);
+    // PyTorch Eager is faster (paper: 2.3x).
+    let speedup = tf.profile.corrected_total.ratio(pt.profile.corrected_total);
+    assert!(speedup > 1.5, "TF/PT eager speedup only {speedup:.2}x");
+    // And TF Eager makes more Python->Backend transitions (paper: 1.6-3.2x).
+    let tf_tr = tf.transitions.per_iteration("backpropagation", TransitionKind::Backend);
+    let pt_tr = pt.transitions.per_iteration("backpropagation", TransitionKind::Backend);
+    assert!(tf_tr > 1.5 * pt_tr, "tf {tf_tr} vs pt {pt_tr}");
+}
+
+#[test]
+fn f4_mpi_adam_inflates_ddpg_graph_backprop() {
+    let runs = run_framework_comparison(AlgoKind::Ddpg, STEPS, scale());
+    let by_model = |model: ExecModel| {
+        runs.iter().find(|r| r.framework.model == model).unwrap()
+    };
+    let graph = by_model(ExecModel::Graph); // stable-baselines: MpiAdam
+    let autograph = by_model(ExecModel::Autograph); // tf-agents: in-graph Adam
+    let bp = |run: &rlscope::workloads::ExperimentRun| {
+        run.profile.table.operation_total("backpropagation")
+    };
+    let inflation = bp(graph).ratio(bp(autograph));
+    assert!(
+        inflation > 1.3,
+        "DDPG Graph backprop only {inflation:.2}x Autograph (paper: 3.7x)"
+    );
+}
+
+#[test]
+fn f6_autograph_inflates_inference_backend_time() {
+    let runs = td3_runs();
+    let backend_time = |model: ExecModel| {
+        let run = runs
+            .iter()
+            .find(|r| r.framework.model == model && r.framework.backend == BackendKind::TensorFlow)
+            .unwrap();
+        run.profile.table.total_where(|k| {
+            &*k.operation == "inference" && k.cpu == Some(CpuCategory::Backend)
+        })
+    };
+    let inflation = backend_time(ExecModel::Autograph).ratio(backend_time(ExecModel::Graph));
+    assert!(inflation > 2.0, "inference backend inflation {inflation:.2}x (paper: 3.8-4.4x)");
+}
+
+#[test]
+fn f7_f8_gpu_low_and_cuda_api_dominates_kernels() {
+    let runs = td3_runs();
+    for run in runs {
+        // F.7: GPU ≤ ~15% of total in every framework (paper: ≤14.1%).
+        let gpu_pct = 100.0 * run.profile.table.gpu_total().ratio(run.profile.table.total());
+        assert!(gpu_pct <= 16.0, "{}: GPU {gpu_pct:.1}%", run.label);
+        // F.8: CUDA API CPU time exceeds GPU kernel time.
+        let cuda = run.profile.table.cpu_category_total(CpuCategory::CudaApi);
+        let gpu = run.profile.table.gpu_total();
+        assert!(cuda.ratio(gpu) > 2.0, "{}: CUDA/GPU {:.1}x", run.label, cuda.ratio(gpu));
+    }
+}
+
+#[test]
+fn f9_f10_on_policy_more_simulation_bound() {
+    let runs = run_algorithm_survey(STEPS, scale());
+    let sim = |label: &str| {
+        runs.iter().find(|r| r.label == label).map(|r| r.simulation_percent()).unwrap()
+    };
+    let (ddpg, sac, a2c, ppo) = (sim("DDPG"), sim("SAC"), sim("A2C"), sim("PPO2"));
+    // F.10: on-policy at least ~3x more simulation-bound than off-policy.
+    let off_max = ddpg.max(sac);
+    assert!(a2c > 3.0 * off_max, "A2C {a2c:.1}% vs off-policy max {off_max:.1}%");
+    assert!(ppo > 2.0 * off_max, "PPO2 {ppo:.1}% vs off-policy max {off_max:.1}%");
+    // F.9: GPU-heavy operations still spend ≤ ~15% on GPU kernels.
+    for run in &runs {
+        for op in ["inference", "backpropagation"] {
+            let pct = rlscope::core::report::gpu_percent_of_operation(&run.profile.table, op);
+            assert!(pct <= 17.0, "{} {op}: {pct:.1}% GPU (paper: ≤12.9%)", run.label);
+        }
+    }
+}
+
+#[test]
+fn f11_nvidia_smi_overstates_gpu_usage() {
+    let result = run_minigo(&MinigoConfig {
+        workers: 4,
+        board: 5,
+        max_moves: 16,
+        sims_per_move: 4,
+        ..MinigoConfig::default()
+    });
+    assert!(result.report.smi_reported_percent >= 50.0);
+    assert!(result.report.true_gpu_percent < 10.0);
+    assert!(result.report.smi_reported_percent > 5.0 * result.report.true_gpu_percent);
+}
+
+#[test]
+fn f12_simulation_always_a_large_bottleneck() {
+    let runs = run_simulator_survey(STEPS, scale());
+    let sim = |label: &str| {
+        runs.iter().find(|r| r.label == label).map(|r| r.simulation_percent()).unwrap()
+    };
+    // Every simulator ≥ ~30% simulation time (paper: ≥38.1%).
+    for run in &runs {
+        assert!(
+            run.simulation_percent() >= 30.0,
+            "{}: sim only {:.1}%",
+            run.label,
+            run.simulation_percent()
+        );
+        // GPU ≤ ~12% across simulators (paper: ≤5-7%).
+        assert!(run.gpu_percent() <= 12.0, "{}: gpu {:.1}%", run.label, run.gpu_percent());
+    }
+    // AirLearning dominated by simulation (paper: 99.6%).
+    assert!(sim("AirLearning") > 90.0);
+    // HalfCheetah is the least simulation-bound locomotion task.
+    assert!(sim("HalfCheetah") < sim("Hopper"));
+    assert!(sim("HalfCheetah") < sim("Ant"));
+    assert!(sim("HalfCheetah") < sim("Pong"));
+}

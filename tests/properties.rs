@@ -1,0 +1,172 @@
+//! Property-based tests on the profiler's core invariants.
+
+use proptest::prelude::*;
+use rlscope::core::event::{CpuCategory, Event, EventKind, GpuCategory};
+use rlscope::core::overlap::compute_overlap;
+use rlscope::core::store::{decode_events, encode_events};
+use rlscope::sim::ids::ProcessId;
+use rlscope::sim::time::{DurationNs, TimeNs};
+use rlscope_rl::{ReplayBuffer, RolloutBuffer, RolloutStep, Transition};
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        Just(EventKind::Cpu(CpuCategory::Python)),
+        Just(EventKind::Cpu(CpuCategory::Simulator)),
+        Just(EventKind::Cpu(CpuCategory::Backend)),
+        Just(EventKind::Cpu(CpuCategory::CudaApi)),
+        Just(EventKind::Gpu(GpuCategory::Kernel)),
+        Just(EventKind::Gpu(GpuCategory::Memcpy)),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (arb_kind(), 0u64..10_000, 1u64..500, 0u32..4).prop_map(|(kind, start, len, pid)| {
+        Event::new(
+            ProcessId(pid),
+            kind,
+            "e",
+            TimeNs::from_nanos(start),
+            TimeNs::from_nanos(start + len),
+        )
+    })
+}
+
+/// Union length of a set of intervals.
+fn union_len(mut ivs: Vec<(u64, u64)>) -> u64 {
+    ivs.sort();
+    let mut total = 0;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in ivs {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                let _ = cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+proptest! {
+    /// Conservation: the sweep attributes exactly the union of all
+    /// instrumented intervals — no time invented, none lost.
+    #[test]
+    fn overlap_conserves_time(events in prop::collection::vec(arb_event(), 0..60)) {
+        let table = compute_overlap(&events);
+        let union = union_len(
+            events.iter().map(|e| (e.start.as_nanos(), e.end.as_nanos())).collect(),
+        );
+        prop_assert_eq!(table.total().as_nanos(), union);
+    }
+
+    /// No single bucket can exceed the total.
+    #[test]
+    fn no_bucket_exceeds_total(events in prop::collection::vec(arb_event(), 1..40)) {
+        let table = compute_overlap(&events);
+        let total = table.total();
+        for (_, d) in table.iter() {
+            prop_assert!(d <= total);
+        }
+    }
+
+    /// The binary trace codec is lossless for arbitrary event streams.
+    #[test]
+    fn codec_round_trips(events in prop::collection::vec(arb_event(), 0..80)) {
+        let decoded = decode_events(&encode_events(&events)).unwrap();
+        prop_assert_eq!(decoded, events);
+    }
+
+    /// Truncating an encoded chunk anywhere must produce an error (or the
+    /// empty prefix case), never a panic or silent wrong data.
+    #[test]
+    fn codec_truncation_is_detected(
+        events in prop::collection::vec(arb_event(), 1..20),
+        cut_frac in 0.0f64..0.99,
+    ) {
+        let encoded = encode_events(&events);
+        let cut = ((encoded.len() as f64) * cut_frac) as usize;
+        let result = decode_events(&encoded[..cut]);
+        prop_assert!(result.is_err());
+    }
+
+    /// Replay buffer never exceeds capacity and keeps the newest items.
+    #[test]
+    fn replay_buffer_bounded(cap in 1usize..64, n in 0usize..200) {
+        let mut buf = ReplayBuffer::new(cap);
+        for i in 0..n {
+            buf.push(Transition {
+                obs: vec![i as f32],
+                action: rlscope::envs::Action::Discrete(0),
+                reward: i as f32,
+                next_obs: vec![],
+                done: false,
+            });
+        }
+        prop_assert_eq!(buf.len(), n.min(cap));
+    }
+
+    /// GAE with zero rewards and zero values yields zero advantages.
+    #[test]
+    fn gae_zero_signal_zero_advantage(n in 1usize..30, gamma in 0.0f32..1.0, lambda in 0.0f32..1.0) {
+        let mut r = RolloutBuffer::new(n);
+        for _ in 0..n {
+            r.push(RolloutStep {
+                obs: vec![],
+                action: rlscope::envs::Action::Discrete(0),
+                reward: 0.0,
+                value: 0.0,
+                log_prob: 0.0,
+                done: false,
+            });
+        }
+        let (adv, ret) = r.gae(0.0, gamma, lambda);
+        prop_assert!(adv.iter().all(|a| a.abs() < 1e-6));
+        prop_assert!(ret.iter().all(|a| a.abs() < 1e-6));
+    }
+
+    /// Tensor matmul distributes over addition: (A+B)C == AC + BC.
+    #[test]
+    fn matmul_distributes(
+        a in prop::collection::vec(-2.0f32..2.0, 6),
+        b in prop::collection::vec(-2.0f32..2.0, 6),
+        c in prop::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        use rlscope::backend::Tensor;
+        let a = Tensor::from_vec(2, 3, a);
+        let b = Tensor::from_vec(2, 3, b);
+        let c = Tensor::from_vec(3, 2, c);
+        let lhs = a.zip(&b, |x, y| x + y).matmul(&c);
+        let rhs = a.matmul(&c).zip(&b.matmul(&c), |x, y| x + y);
+        for (l, r) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+        }
+    }
+
+    /// The GPU stream scheduler never overlaps work on one stream and
+    /// never starts before the enqueue instant.
+    #[test]
+    fn stream_fifo_invariant(durations in prop::collection::vec(1u64..100, 1..30)) {
+        use rlscope::sim::gpu::{GpuDevice, KernelDesc};
+        let mut gpu = GpuDevice::new(1);
+        let stream = gpu.default_stream();
+        let mut prev_end = TimeNs::ZERO;
+        for (i, d) in durations.iter().enumerate() {
+            let queued = TimeNs::from_nanos(i as u64 * 37);
+            let rec = gpu.enqueue_kernel(
+                stream,
+                &KernelDesc::new("k", DurationNs::from_nanos(*d)),
+                queued,
+            );
+            prop_assert!(rec.start >= queued);
+            prop_assert!(rec.start >= prev_end);
+            prop_assert_eq!(rec.end, rec.start + DurationNs::from_nanos(*d));
+            prev_end = rec.end;
+        }
+    }
+}
