@@ -389,7 +389,10 @@ mod tests {
     use rlscope_sim::gpu::GpuDevice;
     use rlscope_sim::python::PyCostConfig;
 
-    fn make(kind: BackendKind, model: ExecModel) -> (Executor, Rc<RefCell<PyRuntime>>, Rc<RefCell<CudaContext>>) {
+    fn make(
+        kind: BackendKind,
+        model: ExecModel,
+    ) -> (Executor, Rc<RefCell<PyRuntime>>, Rc<RefCell<CudaContext>>) {
         let clock = VirtualClock::new();
         let py = Rc::new(RefCell::new(PyRuntime::new(clock.clone(), PyCostConfig::default())));
         let cuda = Rc::new(RefCell::new(CudaContext::new(

@@ -146,9 +146,8 @@ impl Mlp {
         for (i, w) in sizes.windows(2).enumerate() {
             let (fan_in, fan_out) = (w[0], w[1]);
             let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
-            let data: Vec<f32> = (0..fan_in * fan_out)
-                .map(|_| rng.uniform_range(-bound, bound) as f32)
-                .collect();
+            let data: Vec<f32> =
+                (0..fan_in * fan_out).map(|_| rng.uniform_range(-bound, bound) as f32).collect();
             let wid = params.add(format!("{name}/w{i}"), Tensor::from_vec(fan_in, fan_out, data));
             let bid = params.add(format!("{name}/b{i}"), Tensor::vector(vec![0.0; fan_out]));
             layers.push((wid, bid));
@@ -217,7 +216,8 @@ mod tests {
     #[test]
     fn mlp_registers_params_and_shapes() {
         let mut p = Params::new();
-        let mlp = Mlp::new(&mut p, &mut rng(), "pi", &[4, 8, 2], Activation::Relu, Activation::Tanh);
+        let mlp =
+            Mlp::new(&mut p, &mut rng(), "pi", &[4, 8, 2], Activation::Relu, Activation::Tanh);
         assert_eq!(p.len(), 4); // 2 weights + 2 biases
         assert_eq!(mlp.param_ids().len(), 4);
         assert_eq!(p.get(0).rows(), 4);
@@ -230,7 +230,8 @@ mod tests {
     #[test]
     fn forward_output_shape_and_bounds() {
         let mut p = Params::new();
-        let mlp = Mlp::new(&mut p, &mut rng(), "pi", &[3, 16, 2], Activation::Relu, Activation::Tanh);
+        let mlp =
+            Mlp::new(&mut p, &mut rng(), "pi", &[3, 16, 2], Activation::Relu, Activation::Tanh);
         let y = mlp.predict(&p, &Tensor::from_vec(5, 3, vec![0.1; 15]));
         assert_eq!(y.rows(), 5);
         assert_eq!(y.cols(), 2);
@@ -242,7 +243,8 @@ mod tests {
     fn gradient_descent_reduces_loss() {
         // Regression: fit y = 2x on a tiny MLP; loss must strictly drop.
         let mut p = Params::new();
-        let mlp = Mlp::new(&mut p, &mut rng(), "f", &[1, 8, 1], Activation::Tanh, Activation::Linear);
+        let mlp =
+            Mlp::new(&mut p, &mut rng(), "f", &[1, 8, 1], Activation::Tanh, Activation::Linear);
         let x = Tensor::from_vec(4, 1, vec![-1.0, -0.5, 0.5, 1.0]);
         let t = x.map(|v| 2.0 * v);
         let mut losses = Vec::new();

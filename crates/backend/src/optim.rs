@@ -172,10 +172,8 @@ impl Optimizer for MpiAdam {
             // parameter group* and round-trips each tensor through the CPU
             // in its own pair of backend calls — the "overly abstracted"
             // pattern finding F.4 pins the 3.7x backprop inflation on.
-            let updated: Vec<(usize, u64, usize)> = grads
-                .params()
-                .map(|(pid, g)| (pid, g.byte_size(), g.len()))
-                .collect();
+            let updated: Vec<(usize, u64, usize)> =
+                grads.params().map(|(pid, g)| (pid, g.byte_size(), g.len())).collect();
             for (_pid, bytes, len) in &updated {
                 // (1) getflat: fetch this tensor's gradient and value.
                 ex.backend_call(|ex| {
@@ -186,9 +184,7 @@ impl Optimizer for MpiAdam {
                 // (2) NumPy Adam update on the CPU, in Python.
                 ex.python(
                     self.python_base
-                        + DurationNs::from_secs_f64(
-                            self.python_ns_per_elem * *len as f64 / 1e9,
-                        ),
+                        + DurationNs::from_secs_f64(self.python_ns_per_elem * *len as f64 / 1e9),
                 );
                 // (3) setfromflat: write the tensor back and assign.
                 ex.backend_call(|ex| {
@@ -258,7 +254,8 @@ mod tests {
     fn adam_and_mpi_adam_compute_identical_updates() {
         let mut rng = SimRng::seed_from_u64(5);
         let mut pa = Params::new();
-        let mlp = Mlp::new(&mut pa, &mut rng, "f", &[2, 4, 1], Activation::Tanh, Activation::Linear);
+        let mlp =
+            Mlp::new(&mut pa, &mut rng, "f", &[2, 4, 1], Activation::Tanh, Activation::Linear);
         let mut pb = pa.clone();
         let mut a = Adam::new(0.01);
         let mut b = MpiAdam::new(0.01);

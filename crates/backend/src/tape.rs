@@ -362,8 +362,10 @@ impl<'s> Tape<'s> {
                     let a = self.nodes[inputs[0].0].value.clone();
                     let b = self.nodes[inputs[1].0].value.clone();
                     // Subgradient: route to the smaller input (ties to `a`).
-                    let ga = gout.zip(&a.zip(&b, |x, y| if x <= y { 1.0 } else { 0.0 }), |g, m| g * m);
-                    let gb = gout.zip(&a.zip(&b, |x, y| if x > y { 1.0 } else { 0.0 }), |g, m| g * m);
+                    let ga =
+                        gout.zip(&a.zip(&b, |x, y| if x <= y { 1.0 } else { 0.0 }), |g, m| g * m);
+                    let gb =
+                        gout.zip(&a.zip(&b, |x, y| if x > y { 1.0 } else { 0.0 }), |g, m| g * m);
                     accumulate(&mut grads, inputs[0], ga);
                     accumulate(&mut grads, inputs[1], gb);
                 }
@@ -636,8 +638,7 @@ mod tests {
         let b = tape.param(9, Tensor::vector(vec![2.0]));
         let y = tape.mul(a, b);
         let g = tape.backward(y);
-        let mut got: Vec<(usize, f32)> =
-            g.params().map(|(pid, t)| (pid, t.data()[0])).collect();
+        let mut got: Vec<(usize, f32)> = g.params().map(|(pid, t)| (pid, t.data()[0])).collect();
         got.sort_by_key(|&(pid, _)| pid);
         assert_eq!(got, vec![(7, 2.0), (9, 1.0)]);
     }

@@ -108,7 +108,12 @@ impl Tensor {
     ///
     /// Panics if out of bounds.
     pub fn at(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -135,16 +140,18 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(rrow) {
-                    *o += a * b;
+        // ikj loop order with `chunks_exact` row views: the inner
+        // accumulation is a branch-free slice zip the compiler can
+        // autovectorize (no sparsity test — the branch cost more than the
+        // multiplies it occasionally skipped, and it blocked SIMD). The
+        // zero-dimension guard keeps `chunks_exact(0)` unreachable; the
+        // product is all zeros then anyway.
+        if k > 0 && n > 0 {
+            for (orow, arow) in out.chunks_exact_mut(n).zip(self.data.chunks_exact(k)) {
+                for (&a, rrow) in arow.iter().zip(rhs.data.chunks_exact(n)) {
+                    for (o, &b) in orow.iter_mut().zip(rrow) {
+                        *o += a * b;
+                    }
                 }
             }
         }
@@ -206,9 +213,11 @@ impl Tensor {
     /// Column sums collapsed to a row vector (gradient of row broadcast).
     pub fn sum_rows(&self) -> Tensor {
         let mut out = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c] += self.data[r * self.cols + c];
+        if self.cols > 0 {
+            for row in self.data.chunks_exact(self.cols) {
+                for (o, &v) in out.iter_mut().zip(row) {
+                    *o += v;
+                }
             }
         }
         Tensor::vector(out)
@@ -316,6 +325,18 @@ mod tests {
         let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
         let c = a.matmul(&b);
         assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn zero_dimension_matmul_and_sum_rows() {
+        // k == 0: inner dimension empty, product is the zero matrix.
+        let c = Tensor::from_vec(2, 0, vec![]).matmul(&Tensor::from_vec(0, 3, vec![]));
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+        assert!(c.data().iter().all(|&v| v == 0.0));
+        // n == 0: empty output shape.
+        let d = Tensor::zeros(2, 3).matmul(&Tensor::from_vec(3, 0, vec![]));
+        assert_eq!((d.rows(), d.cols()), (2, 0));
+        assert!(Tensor::from_vec(3, 0, vec![]).sum_rows().is_empty());
     }
 
     #[test]

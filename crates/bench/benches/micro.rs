@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rlscope_core::event::{CpuCategory, Event, EventKind, GpuCategory};
 use rlscope_core::overlap::compute_overlap;
 use rlscope_core::store::{decode_events, encode_events};
+use rlscope_core::Trace;
 use rlscope_sim::gpu::{GpuDevice, KernelDesc};
 use rlscope_sim::ids::{ProcessId, StreamId};
 use rlscope_sim::time::{DurationNs, TimeNs};
@@ -38,6 +39,73 @@ fn synthetic_events(n: usize) -> Vec<Event> {
     events
 }
 
+/// Deeply nested operation annotations: `blocks` repeated blocks of
+/// `depth` properly-nested operations plus CPU/GPU activity, exercising
+/// the scope-indexed operation stack (the old engine's `retain` was
+/// `O(depth)` per close).
+fn nested_events(blocks: usize, depth: usize) -> Vec<Event> {
+    let block_ns = 100_000u64;
+    let step = block_ns / (2 * depth as u64 + 2);
+    let mut events = Vec::with_capacity(blocks * (depth + 2));
+    for b in 0..blocks {
+        let base = b as u64 * block_ns;
+        for d in 0..depth {
+            let off = d as u64 * step;
+            events.push(Event::new(
+                ProcessId(0),
+                EventKind::Operation,
+                format!("op_{d}"),
+                TimeNs::from_nanos(base + off),
+                TimeNs::from_nanos(base + block_ns - off),
+            ));
+        }
+        events.push(Event::new(
+            ProcessId(0),
+            EventKind::Cpu(CpuCategory::Python),
+            "py",
+            TimeNs::from_nanos(base),
+            TimeNs::from_nanos(base + block_ns),
+        ));
+        events.push(Event::new(
+            ProcessId(0),
+            EventKind::Gpu(GpuCategory::Kernel),
+            "k",
+            TimeNs::from_nanos(base + block_ns / 4),
+            TimeNs::from_nanos(base + block_ns / 2),
+        ));
+    }
+    events
+}
+
+/// Interleaved events rotating over `ops` distinct operation names and
+/// `procs` processes, exercising the interner and the multi-process
+/// partitioning path.
+fn multi_op_events(n: usize, ops: usize, procs: u32) -> Vec<Event> {
+    let names: Vec<String> = (0..ops).map(|i| format!("operation_{i}")).collect();
+    let mut events = Vec::with_capacity(n + n / 10);
+    for i in 0..n {
+        let t = i as u64 * 10;
+        let pid = ProcessId(i as u32 % procs);
+        if i % 10 == 0 {
+            events.push(Event::new(
+                pid,
+                EventKind::Operation,
+                names[(i / 10) % ops].as_str(),
+                TimeNs::from_nanos(t),
+                TimeNs::from_nanos(t + 100),
+            ));
+        }
+        let kind = match i % 4 {
+            0 => EventKind::Cpu(CpuCategory::Python),
+            1 => EventKind::Cpu(CpuCategory::Backend),
+            2 => EventKind::Cpu(CpuCategory::CudaApi),
+            _ => EventKind::Gpu(GpuCategory::Kernel),
+        };
+        events.push(Event::new(pid, kind, "e", TimeNs::from_nanos(t), TimeNs::from_nanos(t + 8)));
+    }
+    events
+}
+
 fn bench_overlap(c: &mut Criterion) {
     let mut group = c.benchmark_group("overlap_sweep");
     for n in [1_000usize, 10_000] {
@@ -46,7 +114,34 @@ fn bench_overlap(c: &mut Criterion) {
             b.iter(|| compute_overlap(std::hint::black_box(&events)))
         });
     }
+    // ~10k events, 64 operations deep.
+    let deep = nested_events(156, 64);
+    group.bench_function("deep_nest_10k", |b| {
+        b.iter(|| compute_overlap(std::hint::black_box(&deep)))
+    });
+    // ~11k events across 32 distinct operation names.
+    let multi = multi_op_events(10_000, 32, 1);
+    group.bench_function("multi_op_10k", |b| {
+        b.iter(|| compute_overlap(std::hint::black_box(&multi)))
+    });
     group.finish();
+}
+
+fn bench_multiprocess(c: &mut Criterion) {
+    // ~44k events over 4 processes, analyzed with the sharded parallel
+    // per-process path used by whole-experiment reports.
+    let trace = Trace {
+        pid: ProcessId(0),
+        events: multi_op_events(40_000, 16, 4),
+        counts: Default::default(),
+        per_op_transitions: vec![],
+        api_stats: vec![],
+        iterations: 0,
+        wall_end: TimeNs::from_nanos(400_000),
+    };
+    c.bench_function("multiprocess_breakdown_4proc_40k", |b| {
+        b.iter(|| std::hint::black_box(&trace).breakdowns_by_process())
+    });
 }
 
 fn bench_trace_codec(c: &mut Criterion) {
@@ -57,6 +152,15 @@ fn bench_trace_codec(c: &mut Criterion) {
     let encoded = encode_events(&events);
     c.bench_function("trace_decode_10k", |b| {
         b.iter(|| decode_events(std::hint::black_box(&encoded)).unwrap())
+    });
+    // Many distinct names: stresses the v2 per-chunk string table.
+    let multi = multi_op_events(10_000, 32, 1);
+    c.bench_function("trace_encode_10k_multi_op", |b| {
+        b.iter(|| encode_events(std::hint::black_box(&multi)))
+    });
+    let multi_encoded = encode_events(&multi);
+    c.bench_function("trace_decode_10k_multi_op", |b| {
+        b.iter(|| decode_events(std::hint::black_box(&multi_encoded)).unwrap())
     });
 }
 
@@ -88,5 +192,12 @@ fn bench_gpu_scheduler(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_overlap, bench_trace_codec, bench_tensor, bench_gpu_scheduler);
+criterion_group!(
+    benches,
+    bench_overlap,
+    bench_multiprocess,
+    bench_trace_codec,
+    bench_tensor,
+    bench_gpu_scheduler
+);
 criterion_main!(benches);

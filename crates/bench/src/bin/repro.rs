@@ -24,13 +24,10 @@ fn main() {
                 i += 2;
             }
             "--steps" | "-s" => {
-                steps = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--steps requires a number");
-                        std::process::exit(2);
-                    });
+                steps = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--steps requires a number");
+                    std::process::exit(2);
+                });
                 i += 2;
             }
             "--help" | "-h" => {

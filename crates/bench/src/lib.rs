@@ -41,8 +41,7 @@ fn breakdown_block(out: &mut String, run: &ExperimentRun) {
         let pct = |cat: CpuCategory| {
             100.0 * table.total_where(|k| &*k.operation == op && k.cpu == Some(cat)).ratio(op_total)
         };
-        let gpu =
-            100.0 * table.total_where(|k| &*k.operation == op && k.gpu).ratio(op_total);
+        let gpu = 100.0 * table.total_where(|k| &*k.operation == op && k.gpu).ratio(op_total);
         let _ = writeln!(
             out,
             "    {:<18} {:>6.1}% of total | py {:>5.1}% sim {:>5.1}% backend {:>5.1}% cuda {:>5.1}% gpu {:>5.1}%",

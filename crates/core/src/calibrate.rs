@@ -47,9 +47,10 @@ impl RunStats {
 
     /// Mean CPU duration of one CUDA API in this run.
     pub fn api_mean(&self, api: CudaApiKind) -> Option<DurationNs> {
-        self.api_stats.iter().find(|(a, _)| *a == api).and_then(|(_, (n, total))| {
-            (*n > 0).then(|| *total / *n)
-        })
+        self.api_stats
+            .iter()
+            .find(|(a, _)| *a == api)
+            .and_then(|(_, (n, total))| (*n > 0).then(|| *total / *n))
     }
 }
 
@@ -78,15 +79,16 @@ impl Calibration {
 
     /// Count-weighted average CUPTI inflation across the API mix of
     /// `api_stats` (used when per-operation API mixes are unknown).
-    pub fn cupti_weighted_mean(&self, api_stats: &[(CudaApiKind, (u64, DurationNs))]) -> DurationNs {
+    pub fn cupti_weighted_mean(
+        &self,
+        api_stats: &[(CudaApiKind, (u64, DurationNs))],
+    ) -> DurationNs {
         let total_calls: u64 = api_stats.iter().map(|(_, (n, _))| n).sum();
         if total_calls == 0 {
             return DurationNs::ZERO;
         }
-        let weighted: u64 = api_stats
-            .iter()
-            .map(|(api, (n, _))| self.cupti_mean(*api).as_nanos() * n)
-            .sum();
+        let weighted: u64 =
+            api_stats.iter().map(|(api, (n, _))| self.cupti_mean(*api).as_nanos() * n).sum();
         DurationNs::from_nanos(weighted / total_calls)
     }
 }
@@ -104,7 +106,10 @@ pub fn delta_mean(t_on: DurationNs, t_off: DurationNs, count: u64) -> DurationNs
 /// Difference of per-API average durations between a CUPTI-on and a
 /// CUPTI-off run (both with API interception enabled so durations are
 /// observable).
-pub fn diff_of_average(with_cupti: &RunStats, without_cupti: &RunStats) -> Vec<(CudaApiKind, DurationNs)> {
+pub fn diff_of_average(
+    with_cupti: &RunStats,
+    without_cupti: &RunStats,
+) -> Vec<(CudaApiKind, DurationNs)> {
     CudaApiKind::ALL
         .iter()
         .filter_map(|&api| {
@@ -150,9 +155,18 @@ mod tests {
 
     #[test]
     fn delta_mean_zero_cases() {
-        assert_eq!(delta_mean(DurationNs::from_micros(10), DurationNs::from_micros(10), 5), DurationNs::ZERO);
-        assert_eq!(delta_mean(DurationNs::from_micros(5), DurationNs::from_micros(10), 5), DurationNs::ZERO);
-        assert_eq!(delta_mean(DurationNs::from_micros(20), DurationNs::from_micros(10), 0), DurationNs::ZERO);
+        assert_eq!(
+            delta_mean(DurationNs::from_micros(10), DurationNs::from_micros(10), 5),
+            DurationNs::ZERO
+        );
+        assert_eq!(
+            delta_mean(DurationNs::from_micros(5), DurationNs::from_micros(10), 5),
+            DurationNs::ZERO
+        );
+        assert_eq!(
+            delta_mean(DurationNs::from_micros(20), DurationNs::from_micros(10), 0),
+            DurationNs::ZERO
+        );
     }
 
     fn stats(api_means_us: &[(CudaApiKind, u64, u64)]) -> RunStats {
@@ -172,7 +186,7 @@ mod tests {
     #[test]
     fn figure_10_difference_of_average() {
         let without = stats(&[
-            (CudaApiKind::LaunchKernel, 2, 13 / 2),   // handled below precisely
+            (CudaApiKind::LaunchKernel, 2, 13 / 2), // handled below precisely
             (CudaApiKind::MemcpyAsync, 2, 9 / 2),
         ]);
         // Construct precisely: 2 launches totalling 13us (mean 6.5), 2
@@ -219,7 +233,8 @@ mod tests {
             if t.cuda_interception {
                 total += api_cost * api_calls;
             }
-            let launch_mean = 6_500 + if t.cuda_interception { api_cost } else { 0 }
+            let launch_mean = 6_500
+                + if t.cuda_interception { api_cost } else { 0 }
                 + if t.cupti { cupti_launch } else { 0 };
             if t.cupti {
                 total += cupti_launch * api_calls;

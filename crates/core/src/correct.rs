@@ -280,13 +280,8 @@ mod tests {
     fn oversubtraction_saturates_and_spills_to_gpu_bucket() {
         let mut trace = base_trace();
         // Make the python bucket tiny and add a CPU+GPU python bucket.
-        trace.events[1] = Event::new(
-            ProcessId(0),
-            EventKind::Cpu(CpuCategory::Python),
-            "python",
-            us(0),
-            us(10),
-        );
+        trace.events[1] =
+            Event::new(ProcessId(0), EventKind::Cpu(CpuCategory::Python), "python", us(0), us(10));
         trace.events.push(Event::new(
             ProcessId(0),
             EventKind::Gpu(crate::event::GpuCategory::Kernel),

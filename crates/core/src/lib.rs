@@ -50,6 +50,7 @@
 pub mod calibrate;
 pub mod correct;
 pub mod event;
+pub mod intern;
 pub mod overlap;
 pub mod profiler;
 pub mod report;

@@ -14,7 +14,8 @@
 //! executing on both CPU and GPU (reproduced verbatim in the tests below).
 
 use crate::event::{CpuCategory, Event, EventKind};
-use rlscope_sim::time::{DurationNs, TimeNs};
+use crate::intern::Interner;
+use rlscope_sim::time::DurationNs;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -126,8 +127,7 @@ impl BreakdownTable {
 
     /// Operation names present, in order.
     pub fn operations(&self) -> Vec<Arc<str>> {
-        let mut ops: Vec<Arc<str>> =
-            self.buckets.keys().map(|k| k.operation.clone()).collect();
+        let mut ops: Vec<Arc<str>> = self.buckets.keys().map(|k| k.operation.clone()).collect();
         ops.dedup();
         ops.sort();
         ops.dedup();
@@ -142,70 +142,209 @@ impl BreakdownTable {
     }
 }
 
+/// Number of accumulator slots per operation: 5 CPU tags (none + 4
+/// categories) × 2 GPU states.
+const SLOTS: usize = 10;
+
+/// Tombstone marking a removed (non-LIFO-closed) operation stack entry.
+const TOMBSTONE: u32 = u32::MAX;
+
+/// Finest active CPU category per 4-bit active-category mask, encoded as
+/// an accumulator tag (0 = no CPU, `1 + category discriminant` otherwise).
+///
+/// Bit `i` of the mask is category `i` in declaration order (Python,
+/// Simulator, Backend, CudaApi). The finest level wins — CUDA API is
+/// carved out of Backend, which is carved out of Simulator/Python — and
+/// Backend beats Simulator at equal priority, reproducing the old
+/// `max_by_key((priority, category))` scan as a single table lookup.
+const FINEST_TAG: [u8; 16] = {
+    let mut table = [0u8; 16];
+    let mut mask = 1;
+    while mask < 16 {
+        table[mask] = if mask & 0b1000 != 0 {
+            4 // CudaApi
+        } else if mask & 0b0100 != 0 {
+            3 // Backend
+        } else if mask & 0b0010 != 0 {
+            2 // Simulator
+        } else {
+            1 // Python
+        };
+        mask += 1;
+    }
+    table
+};
+
+/// Accumulator tag back to category (inverse of [`FINEST_TAG`]).
+const TAG_TO_CATEGORY: [Option<CpuCategory>; 5] = [
+    None,
+    Some(CpuCategory::Python),
+    Some(CpuCategory::Simulator),
+    Some(CpuCategory::Backend),
+    Some(CpuCategory::CudaApi),
+];
+
 /// Runs the overlap sweep over `events` (any order; typically one process).
 ///
 /// Phase events are ignored for bucketing (they scope reporting, not
 /// attribution). Segments where nothing is active are skipped.
+///
+/// # Engine
+///
+/// The sweep walks sorted interval boundaries and attributes each
+/// constant-active-set segment to a bucket. The hot path is allocation-
+/// free per boundary:
+///
+/// * operation names are interned to dense `u32` ids up front
+///   ([`crate::intern::Interner`]), so the segment accumulator is a flat
+///   `Vec<u64>` indexed by `(op_id, cpu_tag, gpu)` instead of a
+///   `BTreeMap` insert per boundary;
+/// * the active CPU set is a fixed `[u32; 4]` counter array plus a 4-bit
+///   occupancy mask; the finest category is a [`FINEST_TAG`] lookup, not
+///   a map scan;
+/// * the operation stack records each event's slot at push time, so a
+///   non-LIFO close tombstones its slot in O(1) instead of the former
+///   `O(depth)` `retain`; tombstones are popped lazily when they surface.
+///
+/// The ordered [`BreakdownTable`] is materialized once at the end from
+/// the non-zero accumulator cells.
 pub fn compute_overlap(events: &[Event]) -> BreakdownTable {
-    #[derive(Clone, Copy, PartialEq)]
-    enum Edge {
-        Start,
-        End,
-    }
-    // (time, edge, event index); ends sort before starts at equal times so
-    // zero-length active sets do not generate spurious segments.
-    let mut boundaries: Vec<(TimeNs, Edge, usize)> = Vec::with_capacity(events.len() * 2);
+    let mut interner = Interner::with_capacity(16);
+    let untracked = interner.intern_str(BucketKey::UNTRACKED);
+
+    // Interval boundaries, kept as separate start/end arrays of raw
+    // `(time, event index)` pairs — the edge kind is implicit in which
+    // array a pair lives in, so the full u64 timestamp range is
+    // representable. Profiler event streams are emitted in
+    // near-chronological order, so each array is close to sorted and the
+    // run-detecting sort degrades to ~O(n); the sweep then merges the
+    // two sorted arrays on the fly, taking ends before starts at equal
+    // times so zero-length active sets generate no spurious segments.
+    let mut starts: Vec<(u64, u32)> = Vec::with_capacity(events.len());
+    let mut ends: Vec<(u64, u32)> = Vec::with_capacity(events.len());
+    // Dense operation id per event (untracked for non-operations), and a
+    // compact kind code (see `code_*` below) so the sweep touches one
+    // byte per event instead of the full `Event`.
+    let mut op_ids: Vec<u32> = vec![untracked; events.len()];
+    let mut kind_codes: Vec<u8> = vec![0; events.len()];
+    const CODE_GPU: u8 = 4;
+    const CODE_OP: u8 = 5;
+    const CODE_PHASE: u8 = 6;
     for (i, e) in events.iter().enumerate() {
         if e.start == e.end {
             continue;
         }
-        boundaries.push((e.start, Edge::Start, i));
-        boundaries.push((e.end, Edge::End, i));
+        kind_codes[i] = match &e.kind {
+            EventKind::Cpu(c) => *c as u8,
+            EventKind::Gpu(_) => CODE_GPU,
+            EventKind::Operation => {
+                op_ids[i] = interner.intern(&e.name);
+                CODE_OP
+            }
+            EventKind::Phase => CODE_PHASE,
+        };
+        starts.push((e.start.as_nanos(), i as u32));
+        ends.push((e.end.as_nanos(), i as u32));
     }
-    boundaries.sort_by_key(|&(t, edge, _)| (t, matches!(edge, Edge::Start)));
+    // Stable sort by key only: ties keep push order, which is event-index
+    // order — the same total order as an unstable sort on (key, index) —
+    // and the run-detecting stable sort is ~O(n) on the near-sorted
+    // arrays real profiler streams produce.
+    starts.sort_by_key(|p| p.0);
+    ends.sort_by_key(|p| p.0);
 
-    let mut table = BreakdownTable::new();
-    // Active sets.
-    let mut cpu_active: BTreeMap<CpuCategory, u32> = BTreeMap::new();
+    // Flat accumulator: one u64 of attributed nanoseconds per
+    // (operation, cpu tag, gpu) combination.
+    let mut acc: Vec<u64> = vec![0; interner.len() * SLOTS];
+
+    let mut cpu_counts = [0u32; 4];
+    let mut cpu_mask: usize = 0;
     let mut gpu_active: u32 = 0;
-    let mut op_stack: Vec<usize> = Vec::new(); // indices into `events`, in start order
+    // Scope-indexed operation stack: `slot_of[event]` is the entry the
+    // event occupies, letting a non-LIFO close tombstone it in O(1).
+    let mut op_stack: Vec<u32> = Vec::new();
+    let mut slot_of: Vec<u32> = vec![0; events.len()];
+    let mut cur_op: u32 = untracked;
 
-    let mut prev_t: Option<TimeNs> = None;
-    for &(t, edge, idx) in &boundaries {
-        if let Some(p) = prev_t {
-            if t > p {
-                let seg = t - p;
-                let cpu = cpu_active
-                    .iter()
-                    .filter(|&(_, &n)| n > 0)
-                    .map(|(&c, _)| c)
-                    .max_by_key(|c| (c.priority(), *c));
-                let gpu = gpu_active > 0;
-                if cpu.is_some() || gpu {
-                    let operation: Arc<str> = op_stack
-                        .last()
-                        .map(|&i| events[i].name.clone())
-                        .unwrap_or_else(|| Arc::from(BucketKey::UNTRACKED));
-                    table.add(BucketKey { operation, cpu, gpu }, seg);
+    let mut prev_t: u64 = 0;
+    let mut have_prev = false;
+    // Merge the sorted start/end arrays (ends first at equal times);
+    // every event starts before it ends, so ends can never be exhausted
+    // first.
+    let (mut si, mut ei) = (0usize, 0usize);
+    while ei < ends.len() {
+        let is_start = si < starts.len() && starts[si].0 < ends[ei].0;
+        let (t, idx) = if is_start {
+            si += 1;
+            starts[si - 1]
+        } else {
+            ei += 1;
+            ends[ei - 1]
+        };
+        if have_prev && t > prev_t && (cpu_mask != 0 || gpu_active > 0) {
+            let tag = FINEST_TAG[cpu_mask] as usize;
+            let gpu = (gpu_active > 0) as usize;
+            acc[cur_op as usize * SLOTS + tag * 2 + gpu] += t - prev_t;
+        }
+        prev_t = t;
+        have_prev = true;
+
+        match kind_codes[idx as usize] {
+            code @ 0..=3 => {
+                let ci = code as usize;
+                if is_start {
+                    if cpu_counts[ci] == 0 {
+                        cpu_mask |= 1 << ci;
+                    }
+                    cpu_counts[ci] += 1;
+                } else {
+                    let n = &mut cpu_counts[ci];
+                    assert!(*n > 0, "unbalanced cpu event");
+                    *n -= 1;
+                    if *n == 0 {
+                        cpu_mask &= !(1 << ci);
+                    }
                 }
             }
+            CODE_GPU => {
+                if is_start {
+                    gpu_active += 1;
+                } else {
+                    gpu_active -= 1;
+                }
+            }
+            CODE_OP => {
+                if is_start {
+                    slot_of[idx as usize] = op_stack.len() as u32;
+                    op_stack.push(idx);
+                } else {
+                    let slot = slot_of[idx as usize] as usize;
+                    debug_assert_eq!(op_stack[slot], idx, "operation stack corrupted");
+                    op_stack[slot] = TOMBSTONE;
+                    while op_stack.last() == Some(&TOMBSTONE) {
+                        op_stack.pop();
+                    }
+                }
+                cur_op = op_stack.last().map(|&i| op_ids[i as usize]).unwrap_or(untracked);
+            }
+            _ => {}
         }
-        prev_t = Some(t);
+    }
 
-        let ev = &events[idx];
-        match (&ev.kind, edge) {
-            (EventKind::Cpu(c), Edge::Start) => *cpu_active.entry(*c).or_insert(0) += 1,
-            (EventKind::Cpu(c), Edge::End) => {
-                let n = cpu_active.get_mut(c).expect("unbalanced cpu event");
-                *n -= 1;
+    // Materialize the ordered table once, from non-zero cells only.
+    let mut table = BreakdownTable::new();
+    for (op_id, cells) in acc.chunks_exact(SLOTS).enumerate() {
+        let operation = interner.resolve(op_id as u32);
+        for (tag, &category) in TAG_TO_CATEGORY.iter().enumerate() {
+            for gpu in 0..2 {
+                let nanos = cells[tag * 2 + gpu];
+                if nanos != 0 {
+                    table.add(
+                        BucketKey { operation: operation.clone(), cpu: category, gpu: gpu == 1 },
+                        DurationNs::from_nanos(nanos),
+                    );
+                }
             }
-            (EventKind::Gpu(_), Edge::Start) => gpu_active += 1,
-            (EventKind::Gpu(_), Edge::End) => gpu_active -= 1,
-            (EventKind::Operation, Edge::Start) => op_stack.push(idx),
-            (EventKind::Operation, Edge::End) => {
-                op_stack.retain(|&i| i != idx);
-            }
-            (EventKind::Phase, _) => {}
         }
     }
     table
@@ -215,6 +354,7 @@ pub fn compute_overlap(events: &[Event]) -> BreakdownTable {
 mod tests {
     use super::*;
     use rlscope_sim::ids::ProcessId;
+    use rlscope_sim::time::TimeNs;
 
     fn ev(kind: EventKind, name: &str, start_us: u64, end_us: u64) -> Event {
         Event::new(
@@ -300,7 +440,10 @@ mod tests {
             ev(EventKind::Gpu(crate::event::GpuCategory::Kernel), "k", 30, 80),
         ];
         let table = compute_overlap(&events);
-        assert_eq!(table.get(&key("op", Some(CpuCategory::Python), true)), DurationNs::from_micros(10));
+        assert_eq!(
+            table.get(&key("op", Some(CpuCategory::Python), true)),
+            DurationNs::from_micros(10)
+        );
         assert_eq!(table.get(&key("op", None, true)), DurationNs::from_micros(40));
         assert_eq!(table.gpu_total(), DurationNs::from_micros(50));
     }
@@ -330,7 +473,10 @@ mod tests {
         b.add(key("op", Some(CpuCategory::Python), false), DurationNs::from_micros(5));
         b.add(key("op", None, true), DurationNs::from_micros(2));
         a.merge(&b);
-        assert_eq!(a.get(&key("op", Some(CpuCategory::Python), false)), DurationNs::from_micros(15));
+        assert_eq!(
+            a.get(&key("op", Some(CpuCategory::Python), false)),
+            DurationNs::from_micros(15)
+        );
         assert_eq!(a.total(), DurationNs::from_micros(17));
     }
 
@@ -341,6 +487,34 @@ mod tests {
         t.add(k.clone(), DurationNs::from_micros(5));
         t.subtract(&k, DurationNs::from_micros(10));
         assert_eq!(t.get(&k), DurationNs::ZERO);
+    }
+
+    /// The sweep handles the full u64 timestamp range (no packed-key
+    /// headroom requirement).
+    #[test]
+    fn extreme_timestamps_attribute_correctly() {
+        let events = vec![
+            Event::new(
+                ProcessId(0),
+                EventKind::Operation,
+                "op",
+                TimeNs::from_nanos(u64::MAX - 100),
+                TimeNs::from_nanos(u64::MAX),
+            ),
+            Event::new(
+                ProcessId(0),
+                EventKind::Cpu(CpuCategory::Python),
+                "py",
+                TimeNs::from_nanos(u64::MAX - 80),
+                TimeNs::from_nanos(u64::MAX - 30),
+            ),
+        ];
+        let table = compute_overlap(&events);
+        assert_eq!(
+            table.get(&key("op", Some(CpuCategory::Python), false)),
+            DurationNs::from_nanos(50)
+        );
+        assert_eq!(table.total(), DurationNs::from_nanos(50));
     }
 
     #[test]

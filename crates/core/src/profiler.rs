@@ -237,9 +237,7 @@ impl Profiler {
             pid,
             events: std::mem::take(&mut state.events),
             counts: state.counts,
-            per_op_transitions: std::mem::take(&mut state.per_op_transitions)
-                .into_iter()
-                .collect(),
+            per_op_transitions: std::mem::take(&mut state.per_op_transitions).into_iter().collect(),
             api_stats: std::mem::take(&mut state.api_stats).into_iter().collect(),
             iterations: state.iterations,
             wall_end: now,
@@ -428,8 +426,7 @@ mod tests {
         // Two edges × default 600ns.
         assert_eq!(clock_on.now(), TimeNs::from_nanos(1_200));
         let trace = rls_on.finish();
-        let py_events =
-            trace.events.iter().filter(|e| &*e.name == "annotation").count();
+        let py_events = trace.events.iter().filter(|e| &*e.name == "annotation").count();
         assert_eq!(py_events, 2);
     }
 
@@ -500,10 +497,7 @@ mod tests {
         rls.mark_iteration();
         let trace = rls.finish();
         assert_eq!(trace.iterations, 1);
-        assert_eq!(
-            trace.transitions_for("simulation", TransitionKind::Simulator),
-            2
-        );
+        assert_eq!(trace.transitions_for("simulation", TransitionKind::Simulator), 2);
         assert_eq!(trace.transitions_for("backprop", TransitionKind::Backend), 1);
         assert_eq!(trace.transitions_for("backprop", TransitionKind::Simulator), 0);
     }

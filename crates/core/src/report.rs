@@ -56,11 +56,7 @@ impl BreakdownReport {
                 percent: 100.0 * d.ratio(total),
             })
             .collect();
-        rows.sort_by(|a, b| {
-            a.operation
-                .cmp(&b.operation)
-                .then(b.time.cmp(&a.time))
-        });
+        rows.sort_by(|a, b| a.operation.cmp(&b.operation).then(b.time.cmp(&a.time)));
         BreakdownReport { rows, total }
     }
 
@@ -83,7 +79,15 @@ impl BreakdownReport {
                 r.percent
             );
         }
-        let _ = writeln!(out, "{:<24} {:<8} {:<11} {:>14} {:>6.1}%", "TOTAL", "", "", self.total.to_string(), 100.0);
+        let _ = writeln!(
+            out,
+            "{:<24} {:<8} {:<11} {:>14} {:>6.1}%",
+            "TOTAL",
+            "",
+            "",
+            self.total.to_string(),
+            100.0
+        );
         out
     }
 }
@@ -116,11 +120,7 @@ impl TransitionReport {
 
     /// Transitions per iteration for one `(operation, kind)`.
     pub fn per_iteration(&self, op: &str, kind: TransitionKind) -> f64 {
-        self.rows
-            .iter()
-            .filter(|(o, k, _)| o == op && *k == kind)
-            .map(|(_, _, v)| *v)
-            .sum()
+        self.rows.iter().filter(|(o, k, _)| o == op && *k == kind).map(|(_, _, v)| *v).sum()
     }
 
     /// Formats the report as text.
@@ -166,16 +166,23 @@ pub struct MultiProcessReport {
 impl MultiProcessReport {
     /// Builds the view from a merged trace, process names, dependency
     /// edges, and an smi sampling report.
+    ///
+    /// Per-process tables come from the parallel sharded analysis
+    /// ([`Trace::breakdowns_by_process`]): one partition pass over the
+    /// merged event stream and one sweep per process on worker threads,
+    /// rather than a full re-filtering scan per process.
     pub fn new(
         trace: &Trace,
         names: &[(ProcessId, String)],
         dependencies: Vec<(ProcessId, ProcessId)>,
         smi: &UtilizationReport,
     ) -> Self {
+        let tables = trace.breakdowns_by_process();
+        let empty = BreakdownTable::new();
         let processes = names
             .iter()
             .map(|(pid, name)| {
-                let table = trace.breakdown_for(*pid);
+                let table = tables.iter().find(|(p, _)| p == pid).map(|(_, t)| t).unwrap_or(&empty);
                 ProcessSummary {
                     pid: *pid,
                     name: name.clone(),
@@ -238,10 +245,10 @@ pub fn simulation_percent(table: &BreakdownTable) -> f64 {
 mod tests {
     use super::*;
     use crate::event::{CpuCategory, Event, EventKind};
-    use std::sync::Arc;
     use crate::trace::Trace;
     use rlscope_sim::smi::UtilizationSampler;
     use rlscope_sim::time::TimeNs;
+    use std::sync::Arc;
 
     fn us(v: u64) -> TimeNs {
         TimeNs::from_micros(v)
@@ -250,7 +257,11 @@ mod tests {
     fn table() -> BreakdownTable {
         let mut t = BreakdownTable::new();
         t.add(
-            BucketKey { operation: Arc::from("sim"), cpu: Some(CpuCategory::Simulator), gpu: false },
+            BucketKey {
+                operation: Arc::from("sim"),
+                cpu: Some(CpuCategory::Simulator),
+                gpu: false,
+            },
             DurationNs::from_micros(60),
         );
         t.add(

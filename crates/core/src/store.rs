@@ -5,8 +5,30 @@
 //! serialization. This module reproduces that design: a dedicated writer
 //! thread receives event batches over a channel, encodes them with a
 //! compact binary codec, and rotates chunk files at a size threshold.
+//!
+//! # Chunk formats
+//!
+//! Two wire formats are supported. [`encode_events`] writes **v2**;
+//! [`decode_events`] dispatches on the 8-byte magic and reads both, so
+//! v1 chunks on disk remain loadable.
+//!
+//! **v1** (`RLSCOPE1`): `magic(8) | count:u32` then per event
+//! `pid:u32 | tag:u8 | name_len:u16 | name | start:u64 | end:u64`
+//! (fixed-width big-endian, name bytes inline per event).
+//!
+//! **v2** (`RLSCOPE2`): `magic(8) | count:u32`, a per-chunk **string
+//! table** `n:u32` then `n × (len:u16 | utf8)` of deduplicated names,
+//! then per event
+//! `pid:varint | tag:u8 | name_id:varint | start_delta:zigzag-varint |
+//! duration:varint`. Event names repeat heavily (operation and category
+//! labels), so the table collapses them to one varint id per event; and
+//! events are emitted near-chronologically, so the signed delta from the
+//! previous event's start is small and varints stay short. Varints are
+//! LEB128; deltas use zigzag so slightly out-of-order streams still
+//! encode compactly.
 
 use crate::event::{CpuCategory, Event, EventKind, GpuCategory};
+use crate::intern::Interner;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Sender};
 use rlscope_sim::ids::ProcessId;
@@ -15,9 +37,11 @@ use std::fmt;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-const MAGIC: &[u8; 8] = b"RLSCOPE1";
+const MAGIC_V1: &[u8; 8] = b"RLSCOPE1";
+const MAGIC_V2: &[u8; 8] = b"RLSCOPE2";
 
 /// Errors from trace encoding, decoding, or I/O.
 #[derive(Debug)]
@@ -79,38 +103,154 @@ fn tag_kind(tag: u8) -> Result<EventKind, TraceIoError> {
     })
 }
 
-/// Encodes a batch of events into the chunk wire format.
+/// Truncates a name to at most `u16::MAX` bytes **on a char boundary**,
+/// so oversized names shorten cleanly instead of producing invalid UTF-8
+/// that fails the round-trip decode.
+fn truncate_name(name: &str) -> &str {
+    const MAX: usize = u16::MAX as usize;
+    if name.len() <= MAX {
+        return name;
+    }
+    let mut end = MAX;
+    while !name.is_char_boundary(end) {
+        end -= 1;
+    }
+    &name[..end]
+}
+
+/// Writes an LEB128 varint into `out` at `at`, returning the new offset.
+fn write_varint(out: &mut [u8], mut at: usize, mut v: u64) -> usize {
+    while v >= 0x80 {
+        out[at] = (v as u8 & 0x7f) | 0x80;
+        v >>= 7;
+        at += 1;
+    }
+    out[at] = v as u8;
+    at + 1
+}
+
+/// Reads an LEB128 varint, erroring on truncation or overlong encodings.
+fn get_varint(data: &mut &[u8], what: &str) -> Result<u64, TraceIoError> {
+    let mut v: u64 = 0;
+    let mut i = 0;
+    loop {
+        let Some(&byte) = data.get(i) else {
+            return Err(TraceIoError::Corrupt(format!("truncated varint in {what}")));
+        };
+        // The 10th byte carries only bit 63: anything larger overflows
+        // u64 and must be rejected, not silently truncated.
+        if i == 9 && byte > 1 {
+            return Err(TraceIoError::Corrupt(format!("varint overflow in {what}")));
+        }
+        v |= u64::from(byte & 0x7f) << (7 * i as u32);
+        i += 1;
+        if byte & 0x80 == 0 {
+            *data = &data[i..];
+            return Ok(v);
+        }
+        if i == 10 {
+            return Err(TraceIoError::Corrupt(format!("varint too long in {what}")));
+        }
+    }
+}
+
+/// Maps a signed value onto an unsigned varint-friendly code.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes a batch of events into the current (v2) chunk wire format:
+/// a per-chunk string table plus varint delta-encoded timestamps. See the
+/// module docs for the byte layout.
 pub fn encode_events(events: &[Event]) -> Bytes {
+    // Start timestamps are delta-coded through i64, so batches containing
+    // a start beyond i64::MAX (impossible for virtual-clock traces, but
+    // representable in the event model) fall back to the fixed-width v1
+    // format, which round-trips the full u64 range.
+    if events.iter().any(|e| e.start.as_nanos() > i64::MAX as u64) {
+        return encode_events_v1(events);
+    }
+    let mut interner = Interner::with_capacity(64);
+    let mut name_ids = Vec::with_capacity(events.len());
+    for e in events {
+        if e.name.len() <= u16::MAX as usize {
+            name_ids.push(interner.intern(&e.name));
+        } else {
+            name_ids.push(interner.intern_str(truncate_name(&e.name)));
+        }
+    }
+
+    let mut buf = BytesMut::with_capacity(events.len() * 12 + interner.len() * 16 + 32);
+    buf.put_slice(MAGIC_V2);
+    buf.put_u32(events.len() as u32);
+    buf.put_u32(interner.len() as u32);
+    for name in interner.names() {
+        buf.put_u16(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+    }
+    // Each event record is staged in a stack buffer and appended with a
+    // single slice copy (4 varints ≤ 40 bytes + pid/tag bytes).
+    let mut record = [0u8; 48];
+    let mut prev_start: i64 = 0;
+    for (e, &name_id) in events.iter().zip(&name_ids) {
+        let start = e.start.as_nanos();
+        let mut n = write_varint(&mut record, 0, u64::from(e.pid.as_u32()));
+        record[n] = kind_tag(&e.kind);
+        n += 1;
+        n = write_varint(&mut record, n, u64::from(name_id));
+        n = write_varint(&mut record, n, zigzag(start as i64 - prev_start));
+        n = write_varint(&mut record, n, e.end.as_nanos() - start);
+        buf.put_slice(&record[..n]);
+        prev_start = start as i64;
+    }
+    buf.freeze()
+}
+
+/// Encodes a batch of events in the legacy v1 chunk format (fixed-width
+/// fields, names inline). Kept for compatibility tooling and tests;
+/// new chunks should use [`encode_events`].
+pub fn encode_events_v1(events: &[Event]) -> Bytes {
     let mut buf = BytesMut::with_capacity(events.len() * 32 + 16);
-    buf.put_slice(MAGIC);
+    buf.put_slice(MAGIC_V1);
     buf.put_u32(events.len() as u32);
     for e in events {
         buf.put_u32(e.pid.as_u32());
         buf.put_u8(kind_tag(&e.kind));
-        let name = e.name.as_bytes();
-        buf.put_u16(name.len().min(u16::MAX as usize) as u16);
-        buf.put_slice(&name[..name.len().min(u16::MAX as usize)]);
+        let name = truncate_name(&e.name);
+        buf.put_u16(name.len() as u16);
+        buf.put_slice(name.as_bytes());
         buf.put_u64(e.start.as_nanos());
         buf.put_u64(e.end.as_nanos());
     }
     buf.freeze()
 }
 
-/// Decodes a chunk produced by [`encode_events`].
+/// Decodes a chunk produced by [`encode_events`] (v2) or
+/// [`encode_events_v1`] (v1), dispatching on the magic.
 ///
 /// # Errors
 ///
 /// Returns [`TraceIoError::Corrupt`] on bad magic, truncation, or invalid
 /// tags.
 pub fn decode_events(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
-    if data.len() < MAGIC.len() + 4 {
+    if data.len() < MAGIC_V1.len() + 4 {
         return Err(TraceIoError::Corrupt("chunk too short for header".into()));
     }
     let mut magic = [0u8; 8];
     data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(TraceIoError::Corrupt("bad magic".into()));
+    match &magic {
+        m if m == MAGIC_V1 => decode_events_v1(data),
+        m if m == MAGIC_V2 => decode_events_v2(data),
+        _ => Err(TraceIoError::Corrupt("bad magic".into())),
     }
+}
+
+fn decode_events_v1(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
     let count = data.get_u32() as usize;
     let mut events = Vec::with_capacity(count.min(1 << 20));
     for i in 0..count {
@@ -131,6 +271,63 @@ pub fn decode_events(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
             return Err(TraceIoError::Corrupt(format!("event {i} ends before start")));
         }
         events.push(Event { pid, kind, name: name.into(), start, end });
+    }
+    Ok(events)
+}
+
+fn decode_events_v2(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
+    let count = data.get_u32() as usize;
+    if data.remaining() < 4 {
+        return Err(TraceIoError::Corrupt("truncated string table header".into()));
+    }
+    let n_strings = data.get_u32() as usize;
+    let mut names: Vec<Arc<str>> = Vec::with_capacity(n_strings.min(1 << 20));
+    for i in 0..n_strings {
+        if data.remaining() < 2 {
+            return Err(TraceIoError::Corrupt(format!("truncated string table at entry {i}")));
+        }
+        let len = data.get_u16() as usize;
+        if data.remaining() < len {
+            return Err(TraceIoError::Corrupt(format!("truncated string table at entry {i}")));
+        }
+        let s = std::str::from_utf8(&data[..len])
+            .map_err(|_| TraceIoError::Corrupt(format!("non-utf8 string table entry {i}")))?;
+        names.push(Arc::from(s));
+        data = &data[len..];
+    }
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    let mut prev_start: i64 = 0;
+    for i in 0..count {
+        let pid = get_varint(&mut data, "pid")?;
+        let pid = u32::try_from(pid)
+            .map_err(|_| TraceIoError::Corrupt(format!("pid out of range at event {i}")))?;
+        if data.remaining() < 1 {
+            return Err(TraceIoError::Corrupt(format!("truncated at event {i}")));
+        }
+        let kind = tag_kind(data.get_u8())?;
+        let name_id = get_varint(&mut data, "name id")? as usize;
+        let name = names.get(name_id).ok_or_else(|| {
+            TraceIoError::Corrupt(format!("name id {name_id} out of range at event {i}"))
+        })?;
+        let delta = unzigzag(get_varint(&mut data, "start delta")?);
+        let start = prev_start
+            .checked_add(delta)
+            .ok_or_else(|| TraceIoError::Corrupt(format!("timestamp overflow at event {i}")))?;
+        if start < 0 {
+            return Err(TraceIoError::Corrupt(format!("negative timestamp at event {i}")));
+        }
+        let duration = get_varint(&mut data, "duration")?;
+        let end = (start as u64)
+            .checked_add(duration)
+            .ok_or_else(|| TraceIoError::Corrupt(format!("timestamp overflow at event {i}")))?;
+        prev_start = start;
+        events.push(Event {
+            pid: ProcessId(pid),
+            kind,
+            name: name.clone(),
+            start: TimeNs::from_nanos(start as u64),
+            end: TimeNs::from_nanos(end),
+        });
     }
     Ok(events)
 }
@@ -169,9 +366,9 @@ impl TraceWriter {
             let mut files = Vec::new();
             let mut seq = 0u32;
             let flush = |pending: &mut Vec<Event>,
-                             pending_bytes: &mut usize,
-                             seq: &mut u32,
-                             files: &mut Vec<PathBuf>|
+                         pending_bytes: &mut usize,
+                         seq: &mut u32,
+                         files: &mut Vec<PathBuf>|
              -> Result<(), TraceIoError> {
                 if pending.is_empty() {
                     return Ok(());
@@ -289,6 +486,139 @@ mod tests {
         let events = sample_events(100);
         let decoded = decode_events(&encode_events(&events)).unwrap();
         assert_eq!(events, decoded);
+    }
+
+    #[test]
+    fn v1_chunks_still_decode() {
+        let events = sample_events(100);
+        let decoded = decode_events(&encode_events_v1(&events)).unwrap();
+        assert_eq!(events, decoded);
+    }
+
+    #[test]
+    fn v1_and_v2_decode_identically() {
+        let events = sample_events(50);
+        let from_v1 = decode_events(&encode_events_v1(&events)).unwrap();
+        let from_v2 = decode_events(&encode_events(&events)).unwrap();
+        assert_eq!(from_v1, from_v2);
+    }
+
+    #[test]
+    fn v2_string_table_dedups_repeated_names() {
+        // Two distinct names across 1000 events: v2 pays for each name
+        // once plus a 1-byte id per event; v1 re-embeds the name bytes.
+        let events: Vec<Event> = (0..1000)
+            .map(|i| {
+                Event::new(
+                    ProcessId(0),
+                    EventKind::Operation,
+                    if i % 2 == 0 { "interleaved_operation_a" } else { "interleaved_operation_b" },
+                    TimeNs::from_nanos(i * 10),
+                    TimeNs::from_nanos(i * 10 + 5),
+                )
+            })
+            .collect();
+        let v1 = encode_events_v1(&events);
+        let v2 = encode_events(&events);
+        assert!(
+            v2.len() * 3 < v1.len(),
+            "v2 ({}) should be well under a third of v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+        assert_eq!(decode_events(&v2).unwrap(), events);
+    }
+
+    #[test]
+    fn v2_handles_out_of_order_timestamps() {
+        // Deltas go negative: zigzag must round-trip exactly.
+        let events = vec![
+            Event::new(
+                ProcessId(0),
+                EventKind::Cpu(CpuCategory::Python),
+                "late",
+                TimeNs::from_nanos(1_000_000),
+                TimeNs::from_nanos(1_000_500),
+            ),
+            Event::new(
+                ProcessId(1),
+                EventKind::Gpu(GpuCategory::Kernel),
+                "early",
+                TimeNs::from_nanos(10),
+                TimeNs::from_nanos(20),
+            ),
+        ];
+        assert_eq!(decode_events(&encode_events(&events)).unwrap(), events);
+    }
+
+    /// Regression: names longer than `u16::MAX` bytes used to be cut at
+    /// exactly 65535 bytes even mid-codepoint, producing invalid UTF-8
+    /// that failed the round-trip decode. Both encoders now truncate on
+    /// a char boundary.
+    #[test]
+    fn oversized_name_truncates_on_char_boundary() {
+        // 65534 ASCII bytes then a 3-byte char: any naive cut at 65535
+        // lands mid-codepoint.
+        let mut name = "x".repeat(u16::MAX as usize - 1);
+        name.push('€');
+        name.push_str("tail");
+        let event = Event::new(
+            ProcessId(0),
+            EventKind::Operation,
+            name.as_str(),
+            TimeNs::from_nanos(0),
+            TimeNs::from_nanos(10),
+        );
+        for encoded in [
+            encode_events(std::slice::from_ref(&event)),
+            encode_events_v1(std::slice::from_ref(&event)),
+        ] {
+            let decoded = decode_events(&encoded).unwrap();
+            assert_eq!(decoded.len(), 1);
+            assert_eq!(&*decoded[0].name, &name[..u16::MAX as usize - 1]);
+            assert_eq!(decoded[0].start, event.start);
+            assert_eq!(decoded[0].end, event.end);
+        }
+    }
+
+    /// Timestamps beyond the v2 delta-codable range fall back to v1 and
+    /// still round-trip exactly.
+    #[test]
+    fn extreme_timestamps_round_trip_via_v1_fallback() {
+        let events = vec![Event::new(
+            ProcessId(0),
+            EventKind::Cpu(CpuCategory::Python),
+            "late",
+            TimeNs::from_nanos(u64::MAX - 100),
+            TimeNs::from_nanos(u64::MAX - 1),
+        )];
+        let encoded = encode_events(&events);
+        assert_eq!(&encoded[..8], MAGIC_V1, "oversized timestamps use the v1 format");
+        assert_eq!(decode_events(&encoded).unwrap(), events);
+    }
+
+    /// Overlong varints whose 10th byte carries bits beyond u64 must be
+    /// rejected as corruption, not silently truncated to a wrong value.
+    #[test]
+    fn v2_rejects_overflowing_varint() {
+        let mut data = encode_events(&sample_events(1)).to_vec();
+        // Replace the 1-byte pid varint with a 10-byte overflowing one
+        // (same header layout as in `v2_rejects_bad_name_id`).
+        let pid_offset = 8 + 4 + 4 + 2 + 3;
+        data.splice(pid_offset..pid_offset + 1, [0x80u8; 9].into_iter().chain([0x7e]));
+        let err = decode_events(&data).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn v2_rejects_bad_name_id() {
+        let mut data = encode_events(&sample_events(1)).to_vec();
+        // Layout: magic(8) count(4) n_strings(4) len(2) "ev0"(3) pid(1)
+        // tag(1) name_id(1) ... — corrupt the name id varint.
+        let name_id_offset = 8 + 4 + 4 + 2 + 3 + 1 + 1;
+        data[name_id_offset] = 0x7f;
+        let err = decode_events(&data).unwrap_err();
+        assert!(err.to_string().contains("name id"), "{err}");
     }
 
     #[test]

@@ -3,10 +3,13 @@
 use crate::event::{BookkeepingCounts, Event};
 use crate::overlap::{compute_overlap, BreakdownTable};
 use crate::profiler::TransitionKind;
+use parking_lot::Mutex;
 use rlscope_sim::cuda::CudaApiKind;
 use rlscope_sim::ids::ProcessId;
 use rlscope_sim::time::{DurationNs, TimeNs};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Everything recorded for one process in one run.
@@ -77,9 +80,7 @@ impl Trace {
     pub fn operation_names(&self) -> Vec<Arc<str>> {
         let mut names: Vec<Arc<str>> = Vec::new();
         for e in &self.events {
-            if e.kind == crate::event::EventKind::Operation
-                && !names.iter().any(|n| n == &e.name)
-            {
+            if e.kind == crate::event::EventKind::Operation && !names.iter().any(|n| n == &e.name) {
                 names.push(e.name.clone());
             }
         }
@@ -134,9 +135,81 @@ impl Trace {
 
     /// Breakdown restricted to one process.
     pub fn breakdown_for(&self, pid: ProcessId) -> BreakdownTable {
-        let events: Vec<Event> =
-            self.events.iter().filter(|e| e.pid == pid).cloned().collect();
+        let events: Vec<Event> = self.events.iter().filter(|e| e.pid == pid).cloned().collect();
         compute_overlap(&events)
+    }
+
+    /// Per-process breakdown tables, computed in parallel.
+    ///
+    /// Events are partitioned by pid in one pass (instead of one
+    /// re-filtering scan per process as chained [`Trace::breakdown_for`]
+    /// calls would do), then each process's sweep runs on a worker
+    /// thread, capped at the machine's available parallelism. Results
+    /// are returned in first-seen pid order of the event stream.
+    ///
+    /// This is the whole-experiment analysis path: reports over merged
+    /// multi-process traces ([`crate::report::MultiProcessReport`])
+    /// consume these partial tables and aggregate them with
+    /// [`BreakdownTable::merge`].
+    pub fn breakdowns_by_process(&self) -> Vec<(ProcessId, BreakdownTable)> {
+        let mut order: Vec<ProcessId> = Vec::new();
+        let mut groups: HashMap<ProcessId, Vec<Event>> = HashMap::new();
+        for e in &self.events {
+            groups
+                .entry(e.pid)
+                .or_insert_with(|| {
+                    order.push(e.pid);
+                    Vec::new()
+                })
+                .push(e.clone());
+        }
+        let workers =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(order.len());
+        if workers <= 1 {
+            return order
+                .into_iter()
+                .map(|pid| {
+                    let table = compute_overlap(&groups[&pid]);
+                    (pid, table)
+                })
+                .collect();
+        }
+
+        let tasks: Vec<(ProcessId, Vec<Event>)> = order
+            .into_iter()
+            .map(|pid| {
+                let events = groups.remove(&pid).expect("grouped above");
+                (pid, events)
+            })
+            .collect();
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<BreakdownTable>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((_, events)) = tasks.get(i) else { break };
+                    *results[i].lock() = Some(compute_overlap(events));
+                });
+            }
+        });
+        tasks
+            .into_iter()
+            .zip(results)
+            .map(|((pid, _), result)| (pid, result.into_inner().expect("worker completed")))
+            .collect()
+    }
+
+    /// Whole-experiment aggregate: per-process partial tables (computed
+    /// in parallel) merged into one (the multi-process view of paper
+    /// §4.3, where each process's resource time counts separately).
+    pub fn breakdown_per_process(&self) -> BreakdownTable {
+        let mut merged = BreakdownTable::new();
+        for (_, table) in self.breakdowns_by_process() {
+            merged.merge(&table);
+        }
+        merged
     }
 }
 
@@ -173,10 +246,7 @@ mod tests {
     #[test]
     fn api_mean_divides_total_by_count() {
         let t = trace_with(0, 1, 10);
-        assert_eq!(
-            t.api_mean(CudaApiKind::LaunchKernel),
-            Some(DurationNs::from_nanos(6_500))
-        );
+        assert_eq!(t.api_mean(CudaApiKind::LaunchKernel), Some(DurationNs::from_nanos(6_500)));
         assert_eq!(t.api_mean(CudaApiKind::MemcpyAsync), None);
     }
 
@@ -189,10 +259,7 @@ mod tests {
         assert_eq!(merged.events_for(ProcessId(1)).len(), 1);
         assert_eq!(merged.transitions_for("backprop", TransitionKind::Backend), 7);
         // API stats merged: 4 calls totalling 26us → mean 6.5us.
-        assert_eq!(
-            merged.api_mean(CudaApiKind::LaunchKernel),
-            Some(DurationNs::from_nanos(6_500))
-        );
+        assert_eq!(merged.api_mean(CudaApiKind::LaunchKernel), Some(DurationNs::from_nanos(6_500)));
         // Per-process breakdown only sees that process.
         assert_eq!(merged.breakdown_for(ProcessId(1)).total(), DurationNs::from_micros(80));
     }
@@ -208,5 +275,38 @@ mod tests {
     #[should_panic(expected = "zero traces")]
     fn merge_empty_panics() {
         Trace::merge(Vec::new());
+    }
+
+    #[test]
+    fn parallel_per_process_matches_serial_filtering() {
+        let merged = Trace::merge(vec![
+            trace_with(0, 1, 100),
+            trace_with(1, 2, 80),
+            trace_with(2, 3, 60),
+            trace_with(3, 4, 40),
+        ]);
+        let parallel = merged.breakdowns_by_process();
+        assert_eq!(parallel.len(), 4);
+        // First-seen pid order of the merged event stream.
+        assert_eq!(
+            parallel.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            (0..4).map(ProcessId).collect::<Vec<_>>()
+        );
+        for (pid, table) in &parallel {
+            assert_eq!(table, &merged.breakdown_for(*pid), "pid {pid:?}");
+        }
+        // The aggregate equals the sum of the partials.
+        let aggregate = merged.breakdown_per_process();
+        let expected: DurationNs = parallel.iter().map(|(_, t)| t.total()).sum();
+        assert_eq!(aggregate.total(), expected);
+        assert_eq!(aggregate.total(), DurationNs::from_micros(100 + 80 + 60 + 40));
+    }
+
+    #[test]
+    fn parallel_per_process_empty_trace() {
+        let mut t = trace_with(0, 0, 10);
+        t.events.clear();
+        assert!(t.breakdowns_by_process().is_empty());
+        assert!(t.breakdown_per_process().is_empty());
     }
 }

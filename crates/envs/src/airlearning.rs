@@ -76,19 +76,19 @@ impl AirLearning {
     }
 
     /// Overrides the cost model (per-step physics CPU, render CPU, render GPU).
-    pub fn set_costs(&mut self, physics: DurationNs, render_cpu: DurationNs, render_gpu: DurationNs) {
+    pub fn set_costs(
+        &mut self,
+        physics: DurationNs,
+        render_cpu: DurationNs,
+        render_gpu: DurationNs,
+    ) {
         self.physics_cost = physics;
         self.render_cpu_cost = render_cpu;
         self.render_gpu_cost = render_gpu;
     }
 
     fn dist_to_goal(&self) -> f32 {
-        self.pos
-            .iter()
-            .zip(&self.goal)
-            .map(|(p, g)| (p - g) * (p - g))
-            .sum::<f32>()
-            .sqrt()
+        self.pos.iter().zip(&self.goal).map(|(p, g)| (p - g) * (p - g)).sum::<f32>().sqrt()
     }
 
     fn observation(&self) -> Vec<f32> {
@@ -147,8 +147,8 @@ impl Environment for AirLearning {
         let thrust = action.continuous();
         assert_eq!(thrust.len(), 3, "drone expects 3 thrust components");
         let before = self.dist_to_goal();
-        for i in 0..3 {
-            let a = thrust[i].clamp(-1.0, 1.0) * 4.0 - 0.5 * self.vel[i];
+        for (i, t) in thrust.iter().enumerate().take(3) {
+            let a = t.clamp(-1.0, 1.0) * 4.0 - 0.5 * self.vel[i];
             self.vel[i] += a * DT;
             self.pos[i] = (self.pos[i] + self.vel[i] * DT).clamp(-ARENA, ARENA);
         }
@@ -177,10 +177,7 @@ mod tests {
         let d0 = (obs[6] * obs[6] + obs[7] * obs[7] + obs[8] * obs[8]).sqrt();
         for _ in 0..50 {
             // Thrust along the goal direction vector.
-            let dir: Vec<f32> = e.observation()[6..9]
-                .iter()
-                .map(|d| d.clamp(-1.0, 1.0))
-                .collect();
+            let dir: Vec<f32> = e.observation()[6..9].iter().map(|d| d.clamp(-1.0, 1.0)).collect();
             e.step(&Action::Continuous(dir));
         }
         assert!(e.dist_to_goal() < d0, "drone did not approach goal");
@@ -192,10 +189,7 @@ mod tests {
         e.reset();
         let mut got_bonus = false;
         for _ in 0..MAX_STEPS {
-            let dir: Vec<f32> = e.observation()[6..9]
-                .iter()
-                .map(|d| d.clamp(-1.0, 1.0))
-                .collect();
+            let dir: Vec<f32> = e.observation()[6..9].iter().map(|d| d.clamp(-1.0, 1.0)).collect();
             let r = e.step(&Action::Continuous(dir));
             if r.done {
                 got_bonus = r.reward > 5.0;
@@ -212,7 +206,8 @@ mod tests {
         e.reset();
         e.step(&Action::Continuous(vec![0.0; 3]));
         // 2 × (physics + render CPU).
-        let expected = (AirLearning::DEFAULT_PHYSICS_COST + AirLearning::DEFAULT_RENDER_CPU_COST) * 2;
+        let expected =
+            (AirLearning::DEFAULT_PHYSICS_COST + AirLearning::DEFAULT_RENDER_CPU_COST) * 2;
         assert_eq!(clock.now().as_nanos(), expected.as_nanos());
     }
 

@@ -322,11 +322,9 @@ impl GoGame {
             seen[p] = true;
             for n in self.neighbors(p) {
                 match self.grid[n] {
-                    None => {
-                        if !lib_seen[n] {
-                            lib_seen[n] = true;
-                            libs += 1;
-                        }
+                    None if !lib_seen[n] => {
+                        lib_seen[n] = true;
+                        libs += 1;
                     }
                     Some(c) if c == color => stack.push(n),
                     _ => {}
@@ -422,7 +420,7 @@ mod tests {
         place(&mut g, 0, 1); // B
         place(&mut g, 2, 2); // W
         place(&mut g, 1, 0); // B
-        // White plays (0,0): zero liberties, captures nothing => suicide.
+                             // White plays (0,0): zero liberties, captures nothing => suicide.
         assert_eq!(g.play(GoMove::Place(0)), Err(IllegalMove::Suicide));
     }
 
@@ -440,11 +438,11 @@ mod tests {
         place(&mut g, 1, 1); // W captures B at (1,2)
         assert_eq!(at(&g, 1, 2), None);
         // Black may not immediately recapture at (1,2).
-        assert_eq!(g.play(GoMove::Place(1 * 5 + 2)), Err(IllegalMove::Ko));
+        assert_eq!(g.play(GoMove::Place(5 + 2)), Err(IllegalMove::Ko));
         // After a ko threat elsewhere, recapture becomes legal.
         place(&mut g, 4, 4); // B elsewhere
         place(&mut g, 4, 0); // W responds
-        assert!(g.play(GoMove::Place(1 * 5 + 2)).is_ok());
+        assert!(g.play(GoMove::Place(5 + 2)).is_ok());
     }
 
     #[test]
@@ -474,8 +472,8 @@ mod tests {
         place(&mut g, 1, 1); // B
         place(&mut g, 1, 2); // W
         place(&mut g, 2, 1); // B
-        // Black: 3 stones + 3 territory (col 0) = 6.
-        // White: 2 stones + komi 7.5; (2,2) borders both colors → neutral.
+                             // Black: 3 stones + 3 territory (col 0) = 6.
+                             // White: 2 stones + komi 7.5; (2,2) borders both colors → neutral.
         assert_eq!(g.score(), 6.0 - 9.5);
     }
 

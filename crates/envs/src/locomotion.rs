@@ -191,8 +191,8 @@ impl Environment for Locomotion {
         // clipped torque; semi-implicit Euler.
         let mut control_cost = 0.0;
         let mut coordination = 0.0;
-        for j in 0..self.theta.len() {
-            let tau = torques[j].clamp(-1.0, 1.0);
+        for (j, torque) in torques.iter().take(self.theta.len()).enumerate() {
+            let tau = torque.clamp(-1.0, 1.0);
             control_cost += tau * tau;
             let alpha = 8.0 * tau - 1.5 * self.omega[j] - GRAVITY * 0.4 * self.theta[j].sin();
             self.omega[j] += alpha * DT;
@@ -252,10 +252,7 @@ mod tests {
         let mut e = Locomotion::new(LocomotionTask::Ant, clock.clone(), 0);
         e.reset();
         e.step(&Action::Continuous(vec![0.0; 8]));
-        assert_eq!(
-            clock.now(),
-            TimeNs::ZERO + LocomotionTask::Ant.default_step_cost() * 2
-        );
+        assert_eq!(clock.now(), TimeNs::ZERO + LocomotionTask::Ant.default_step_cost() * 2);
     }
 
     #[test]

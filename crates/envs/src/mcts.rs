@@ -189,11 +189,7 @@ impl Mcts {
 
     /// Root visit distribution, for training targets.
     pub fn visit_counts(&self) -> Vec<(GoMove, u32)> {
-        self.nodes[0]
-            .children
-            .iter()
-            .map(|(&mv, &c)| (mv, self.nodes[c].visits))
-            .collect()
+        self.nodes[0].children.iter().map(|(&mv, &c)| (mv, self.nodes[c].visits)).collect()
     }
 }
 
@@ -271,8 +267,7 @@ mod tests {
     #[test]
     fn self_play_completes_and_declares_winner() {
         let mut rng = SimRng::seed_from_u64(8);
-        let (winner, moves) =
-            self_play_game(5, 16, &mut UniformEvaluator, &mut rng, 120);
+        let (winner, moves) = self_play_game(5, 16, &mut UniformEvaluator, &mut rng, 120);
         assert!(moves > 2, "game too short: {moves}");
         assert!(winner.is_some());
     }

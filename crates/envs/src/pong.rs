@@ -66,7 +66,14 @@ impl Pong {
     }
 
     fn observation(&self) -> Vec<f32> {
-        vec![self.ball.0, self.ball.1, self.vel.0 / BALL_SPEED, self.vel.1 / BALL_SPEED, self.paddle_y, self.opp_y]
+        vec![
+            self.ball.0,
+            self.ball.1,
+            self.vel.0 / BALL_SPEED,
+            self.vel.1 / BALL_SPEED,
+            self.paddle_y,
+            self.opp_y,
+        ]
     }
 
     /// Current ball position (for tests).

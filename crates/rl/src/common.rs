@@ -86,8 +86,7 @@ pub fn next_obs_batch<'a>(batch: impl Iterator<Item = &'a Transition>) -> Tensor
 ///
 /// Panics if any action is discrete.
 pub fn action_batch<'a>(batch: impl Iterator<Item = &'a Transition>) -> Tensor {
-    let rows: Vec<Tensor> =
-        batch.map(|t| Tensor::vector(t.action.continuous().to_vec())).collect();
+    let rows: Vec<Tensor> = batch.map(|t| Tensor::vector(t.action.continuous().to_vec())).collect();
     Tensor::stack_rows(&rows)
 }
 
@@ -163,8 +162,14 @@ impl TwoHeadCritic {
         let w_obs = params.add(format!("{name}/w_obs"), mk(rng, obs_dim, hidden));
         let w_act = params.add(format!("{name}/w_act"), mk(rng, act_dim, hidden));
         let b0 = params.add(format!("{name}/b0"), Tensor::vector(vec![0.0; hidden]));
-        let tail =
-            Mlp::new(params, rng, &format!("{name}/tail"), &[hidden, hidden, 1], Activation::Relu, Activation::Linear);
+        let tail = Mlp::new(
+            params,
+            rng,
+            &format!("{name}/tail"),
+            &[hidden, hidden, 1],
+            Activation::Relu,
+            Activation::Linear,
+        );
         TwoHeadCritic { w_obs, w_act, b0, tail, hidden }
     }
 
@@ -283,7 +288,7 @@ mod tests {
 
     #[test]
     fn batch_builders_shape() {
-        let ts = vec![
+        let ts = [
             transition(vec![1.0, 2.0], vec![0.5], 1.0, false),
             transition(vec![3.0, 4.0], vec![-0.5], -1.0, true),
         ];
@@ -370,7 +375,8 @@ mod tests {
         let expected = mlp.predict(&params, &x);
         let mut tape = Tape::new();
         let xv = tape.constant(x);
-        let y = mlp_forward_frozen(&mlp, &mut tape, &params, xv, Activation::Relu, Activation::Tanh);
+        let y =
+            mlp_forward_frozen(&mlp, &mut tape, &params, xv, Activation::Relu, Activation::Tanh);
         assert_eq!(tape.value(y), &expected);
     }
 

@@ -130,7 +130,8 @@ impl Ddpg {
             Activation::Relu,
             Activation::Tanh,
         );
-        let critic = TwoHeadCritic::new(&mut params, &mut rng, "critic", obs_dim, act_dim, config.hidden);
+        let critic =
+            TwoHeadCritic::new(&mut params, &mut rng, "critic", obs_dim, act_dim, config.hidden);
         let target_params = params.clone();
         let mk = |lr: f32| {
             if config.use_mpi_adam {
@@ -175,7 +176,14 @@ impl Agent for Ddpg {
         let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
         let mu = exec.run(RunKind::Inference, |tape| {
             let xv = tape.constant(x.clone());
-            let y = mlp_forward_frozen(&self.actor, tape, &self.params, xv, Activation::Relu, Activation::Tanh);
+            let y = mlp_forward_frozen(
+                &self.actor,
+                tape,
+                &self.params,
+                xv,
+                Activation::Relu,
+                Activation::Tanh,
+            );
             tape.value(y).clone()
         });
         exec.fetch(&mu);
@@ -194,8 +202,7 @@ impl Agent for Ddpg {
     }
 
     fn ready_to_update(&self) -> bool {
-        self.replay.len() >= self.config.warmup
-            && self.steps_since_update >= self.config.train_freq
+        self.replay.len() >= self.config.warmup && self.steps_since_update >= self.config.train_freq
     }
 
     fn update(&mut self, exec: &Executor) {
@@ -221,7 +228,14 @@ impl Agent for Ddpg {
                 (&self.actor, &self.critic, &self.params, &self.target_params);
             let critic_grads = exec.run(RunKind::Backprop, |tape| {
                 let nx = tape.constant(next_obs.clone());
-                let a_next = mlp_forward_frozen(actor, tape, target_params, nx, Activation::Relu, Activation::Tanh);
+                let a_next = mlp_forward_frozen(
+                    actor,
+                    tape,
+                    target_params,
+                    nx,
+                    Activation::Relu,
+                    Activation::Tanh,
+                );
                 let q_next = critic.forward_frozen(tape, target_params, nx, a_next);
                 let q_next_val = tape.value(q_next).clone();
                 let y: Vec<f32> = (0..q_next_val.rows())

@@ -125,7 +125,14 @@ impl Agent for Dqn {
         let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
         let qvals = exec.run(RunKind::Inference, |tape| {
             let xv = tape.constant(x.clone());
-            let y = mlp_forward_frozen(&self.q, tape, &self.params, xv, Activation::Relu, Activation::Linear);
+            let y = mlp_forward_frozen(
+                &self.q,
+                tape,
+                &self.params,
+                xv,
+                Activation::Relu,
+                Activation::Linear,
+            );
             tape.value(y).clone()
         });
         exec.fetch(&qvals);
@@ -143,8 +150,7 @@ impl Agent for Dqn {
     }
 
     fn ready_to_update(&self) -> bool {
-        self.replay.len() >= self.config.warmup
-            && self.steps_since_update >= self.config.train_freq
+        self.replay.len() >= self.config.warmup && self.steps_since_update >= self.config.train_freq
     }
 
     fn update(&mut self, exec: &Executor) {
@@ -169,7 +175,14 @@ impl Agent for Dqn {
             let grads = exec.run(RunKind::Backprop, |tape| {
                 // Target: r + γ max_a' Q_target(s', a').
                 let nx = tape.constant(next_obs.clone());
-                let qt = mlp_forward_frozen(q_net, tape, target_params, nx, Activation::Relu, Activation::Linear);
+                let qt = mlp_forward_frozen(
+                    q_net,
+                    tape,
+                    target_params,
+                    nx,
+                    Activation::Relu,
+                    Activation::Linear,
+                );
                 let qt_val = tape.value(qt).clone();
                 let mut y = Vec::with_capacity(qt_val.rows());
                 for r in 0..qt_val.rows() {
@@ -194,7 +207,8 @@ impl Agent for Dqn {
             });
             self.opt.step(&mut self.params, &grads, Some(exec));
             self.total_updates += 1;
-            if self.total_updates % self.config.target_sync as u64 == 0 {
+            assert!(self.config.target_sync > 0, "target_sync must be nonzero");
+            if self.total_updates.is_multiple_of(self.config.target_sync as u64) {
                 self.target_params.copy_from(&self.params);
                 exec.backend_call(|ex| {
                     for pid in self.q.param_ids() {

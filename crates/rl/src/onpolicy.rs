@@ -64,8 +64,22 @@ impl GaussianActorCritic {
         let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
         let (mu, value) = exec.run(RunKind::Inference, |tape| {
             let xv = tape.constant(x.clone());
-            let mu = mlp_forward_frozen(&self.actor, tape, &self.params, xv, Activation::Tanh, Activation::Tanh);
-            let v = mlp_forward_frozen(&self.critic, tape, &self.params, xv, Activation::Tanh, Activation::Linear);
+            let mu = mlp_forward_frozen(
+                &self.actor,
+                tape,
+                &self.params,
+                xv,
+                Activation::Tanh,
+                Activation::Tanh,
+            );
+            let v = mlp_forward_frozen(
+                &self.critic,
+                tape,
+                &self.params,
+                xv,
+                Activation::Tanh,
+                Activation::Linear,
+            );
             (tape.value(mu).clone(), tape.value(v).item())
         });
         exec.fetch(&mu);
@@ -86,7 +100,14 @@ impl GaussianActorCritic {
         let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
         exec.run(RunKind::Inference, |tape| {
             let xv = tape.constant(x.clone());
-            let v = mlp_forward_frozen(&self.critic, tape, &self.params, xv, Activation::Tanh, Activation::Linear);
+            let v = mlp_forward_frozen(
+                &self.critic,
+                tape,
+                &self.params,
+                xv,
+                Activation::Tanh,
+                Activation::Linear,
+            );
             tape.value(v).item()
         })
     }

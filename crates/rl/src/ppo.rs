@@ -150,7 +150,10 @@ impl Agent for Ppo {
             }
             for chunk in order.chunks(mb) {
                 let obs = Tensor::stack_rows(
-                    &chunk.iter().map(|&i| Tensor::vector(steps[i].obs.clone())).collect::<Vec<_>>(),
+                    &chunk
+                        .iter()
+                        .map(|&i| Tensor::vector(steps[i].obs.clone()))
+                        .collect::<Vec<_>>(),
                 );
                 let actions = Tensor::stack_rows(
                     &chunk
@@ -158,16 +161,10 @@ impl Agent for Ppo {
                         .map(|&i| Tensor::vector(steps[i].action.continuous().to_vec()))
                         .collect::<Vec<_>>(),
                 );
-                let adv_t = Tensor::from_vec(
-                    chunk.len(),
-                    1,
-                    chunk.iter().map(|&i| adv[i]).collect(),
-                );
-                let ret_t = Tensor::from_vec(
-                    chunk.len(),
-                    1,
-                    chunk.iter().map(|&i| ret[i]).collect(),
-                );
+                let adv_t =
+                    Tensor::from_vec(chunk.len(), 1, chunk.iter().map(|&i| adv[i]).collect());
+                let ret_t =
+                    Tensor::from_vec(chunk.len(), 1, chunk.iter().map(|&i| ret[i]).collect());
                 let old_logp_t = Tensor::from_vec(
                     chunk.len(),
                     1,

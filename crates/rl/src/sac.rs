@@ -97,8 +97,10 @@ impl Sac {
             Activation::Relu,
             Activation::Tanh,
         );
-        let critic1 = TwoHeadCritic::new(&mut params, &mut rng, "critic1", obs_dim, act_dim, config.hidden);
-        let critic2 = TwoHeadCritic::new(&mut params, &mut rng, "critic2", obs_dim, act_dim, config.hidden);
+        let critic1 =
+            TwoHeadCritic::new(&mut params, &mut rng, "critic1", obs_dim, act_dim, config.hidden);
+        let critic2 =
+            TwoHeadCritic::new(&mut params, &mut rng, "critic2", obs_dim, act_dim, config.hidden);
         let target_params = params.clone();
         Sac {
             actor_opt: Adam::new(config.lr),
@@ -127,7 +129,14 @@ impl Agent for Sac {
         let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
         let mu = exec.run(RunKind::Inference, |tape| {
             let xv = tape.constant(x.clone());
-            let y = mlp_forward_frozen(&self.actor, tape, &self.params, xv, Activation::Relu, Activation::Tanh);
+            let y = mlp_forward_frozen(
+                &self.actor,
+                tape,
+                &self.params,
+                xv,
+                Activation::Relu,
+                Activation::Tanh,
+            );
             tape.value(y).clone()
         });
         exec.fetch(&mu);
@@ -150,8 +159,7 @@ impl Agent for Sac {
     }
 
     fn ready_to_update(&self) -> bool {
-        self.replay.len() >= self.config.warmup
-            && self.steps_since_update >= self.config.train_freq
+        self.replay.len() >= self.config.warmup && self.steps_since_update >= self.config.train_freq
     }
 
     fn update(&mut self, exec: &Executor) {
@@ -179,18 +187,19 @@ impl Agent for Sac {
             }
             let next_noise = Tensor::from_vec(batch.len(), self.act_dim, next_noise);
 
-            let (actor, c1, c2, params, target_params) = (
-                &self.actor,
-                &self.critic1,
-                &self.critic2,
-                &self.params,
-                &self.target_params,
-            );
+            let (actor, c1, c2, params, target_params) =
+                (&self.actor, &self.critic1, &self.critic2, &self.params, &self.target_params);
             let act_dim = self.act_dim;
             let critic_grads = exec.run(RunKind::Backprop, |tape| {
                 let nx = tape.constant(next_obs.clone());
-                let mu_next =
-                    mlp_forward_frozen(actor, tape, target_params, nx, Activation::Relu, Activation::Tanh);
+                let mu_next = mlp_forward_frozen(
+                    actor,
+                    tape,
+                    target_params,
+                    nx,
+                    Activation::Relu,
+                    Activation::Tanh,
+                );
                 let noise = tape.constant(next_noise.clone());
                 let a_next = tape.add(mu_next, noise);
                 let a_next = tape.clamp(a_next, -1.0, 1.0);
@@ -203,11 +212,9 @@ impl Agent for Sac {
                 let a_val = tape.value(a_next).clone();
                 let y: Vec<f32> = (0..qmin_val.rows())
                     .map(|r| {
-                        let logp = gaussian_logp_host(
-                            mu_val.row(r).data(),
-                            a_val.row(r).data(),
-                            std,
-                        ) / act_dim as f32;
+                        let logp =
+                            gaussian_logp_host(mu_val.row(r).data(), a_val.row(r).data(), std)
+                                / act_dim as f32;
                         rewards.at(r, 0)
                             + gamma * not_done.at(r, 0) * (qmin_val.at(r, 0) - alpha * logp)
                     })
@@ -243,12 +250,7 @@ impl Agent for Sac {
 
             self.target_params.soft_update_from(&self.params, self.config.tau);
             exec.backend_call(|ex| {
-                for pid in self
-                    .critic1
-                    .param_ids()
-                    .into_iter()
-                    .chain(self.critic2.param_ids())
-                {
+                for pid in self.critic1.param_ids().into_iter().chain(self.critic2.param_ids()) {
                     ex.kernel("target_soft_update", self.params.get(pid).len() as f64 * 3.0);
                 }
             });

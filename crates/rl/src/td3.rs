@@ -103,8 +103,10 @@ impl Td3 {
             Activation::Relu,
             Activation::Tanh,
         );
-        let critic1 = TwoHeadCritic::new(&mut params, &mut rng, "critic1", obs_dim, act_dim, config.hidden);
-        let critic2 = TwoHeadCritic::new(&mut params, &mut rng, "critic2", obs_dim, act_dim, config.hidden);
+        let critic1 =
+            TwoHeadCritic::new(&mut params, &mut rng, "critic1", obs_dim, act_dim, config.hidden);
+        let critic2 =
+            TwoHeadCritic::new(&mut params, &mut rng, "critic2", obs_dim, act_dim, config.hidden);
         let target_params = params.clone();
         Td3 {
             actor_opt: Adam::new(config.lr),
@@ -140,7 +142,14 @@ impl Agent for Td3 {
         let x = Tensor::from_vec(1, obs.len(), obs.to_vec());
         let mu = exec.run(RunKind::Inference, |tape| {
             let xv = tape.constant(x.clone());
-            let y = mlp_forward_frozen(&self.actor, tape, &self.params, xv, Activation::Relu, Activation::Tanh);
+            let y = mlp_forward_frozen(
+                &self.actor,
+                tape,
+                &self.params,
+                xv,
+                Activation::Relu,
+                Activation::Tanh,
+            );
             tape.value(y).clone()
         });
         exec.fetch(&mu);
@@ -159,8 +168,7 @@ impl Agent for Td3 {
     }
 
     fn ready_to_update(&self) -> bool {
-        self.replay.len() >= self.config.warmup
-            && self.steps_since_update >= self.config.train_freq
+        self.replay.len() >= self.config.warmup && self.steps_since_update >= self.config.train_freq
     }
 
     fn update(&mut self, exec: &Executor) {
@@ -189,18 +197,19 @@ impl Agent for Td3 {
             let smooth = Tensor::from_vec(batch.len(), self.act_dim, smooth);
 
             let gamma = self.config.gamma;
-            let (actor, c1, c2, params, target_params) = (
-                &self.actor,
-                &self.critic1,
-                &self.critic2,
-                &self.params,
-                &self.target_params,
-            );
+            let (actor, c1, c2, params, target_params) =
+                (&self.actor, &self.critic1, &self.critic2, &self.params, &self.target_params);
             // Twin-critic TD update in a single backprop run.
             let critic_grads = exec.run(RunKind::Backprop, |tape| {
                 let nx = tape.constant(next_obs.clone());
-                let a_next =
-                    mlp_forward_frozen(actor, tape, target_params, nx, Activation::Relu, Activation::Tanh);
+                let a_next = mlp_forward_frozen(
+                    actor,
+                    tape,
+                    target_params,
+                    nx,
+                    Activation::Relu,
+                    Activation::Tanh,
+                );
                 let noise = tape.constant(smooth.clone());
                 let a_next = tape.add(a_next, noise);
                 let a_next = tape.clamp(a_next, -1.0, 1.0);
@@ -226,7 +235,8 @@ impl Agent for Td3 {
             self.critic_updates += 1;
 
             // Delayed policy + target updates.
-            if self.critic_updates % self.config.policy_delay as u64 == 0 {
+            assert!(self.config.policy_delay > 0, "policy_delay must be nonzero");
+            if self.critic_updates.is_multiple_of(self.config.policy_delay as u64) {
                 let (actor, c1, params) = (&self.actor, &self.critic1, &self.params);
                 let actor_grads = exec.run(RunKind::Backprop, |tape| {
                     let ob = tape.constant(obs.clone());
@@ -307,12 +317,8 @@ mod tests {
         cfg.gradient_steps = 1; // 1 < policy_delay=2
         let mut agent = Td3::new(2, 1, cfg, 1);
         fill(&mut agent, 16);
-        let actor_before: Vec<Tensor> = agent
-            .actor
-            .param_ids()
-            .iter()
-            .map(|&pid| agent.params.get(pid).clone())
-            .collect();
+        let actor_before: Vec<Tensor> =
+            agent.actor.param_ids().iter().map(|&pid| agent.params.get(pid).clone()).collect();
         agent.update(&exec);
         let unchanged = agent
             .actor

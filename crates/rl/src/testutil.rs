@@ -9,8 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 /// A TensorFlow/Graph executor over a fresh virtual stack.
-pub(crate) fn test_executor(
-) -> (Executor, Rc<RefCell<PyRuntime>>, Rc<RefCell<CudaContext>>) {
+pub(crate) fn test_executor() -> (Executor, Rc<RefCell<PyRuntime>>, Rc<RefCell<CudaContext>>) {
     executor_for(BackendKind::TensorFlow, ExecModel::Graph)
 }
 

@@ -299,10 +299,7 @@ impl CudaContext {
     ///
     /// Panics if `stream` does not exist on the device.
     pub fn stream_synchronize(&mut self, stream: StreamId) {
-        self.sync_until(
-            CudaApiKind::StreamSynchronize,
-            self.device.stream_available_at(stream),
-        );
+        self.sync_until(CudaApiKind::StreamSynchronize, self.device.stream_available_at(stream));
     }
 
     fn sync_until(&mut self, api: CudaApiKind, target: TimeNs) {
@@ -378,10 +375,7 @@ mod tests {
         c.set_interception_enabled(true);
         let s = c.default_stream();
         c.launch_kernel(s, KernelDesc::new("k", DurationNs::ZERO));
-        assert_eq!(
-            c.clock().now(),
-            TimeNs::ZERO + cfg.launch_cpu + cfg.interception_cost
-        );
+        assert_eq!(c.clock().now(), TimeNs::ZERO + cfg.launch_cpu + cfg.interception_cost);
     }
 
     #[test]

@@ -132,7 +132,12 @@ impl GpuDevice {
     /// # Panics
     ///
     /// Panics if `stream` does not exist on this device.
-    pub fn enqueue_kernel(&mut self, stream: StreamId, desc: &KernelDesc, queued: TimeNs) -> KernelRecord {
+    pub fn enqueue_kernel(
+        &mut self,
+        stream: StreamId,
+        desc: &KernelDesc,
+        queued: TimeNs,
+    ) -> KernelRecord {
         let (start, end) = self.schedule(stream, queued, desc.duration);
         KernelRecord { name: desc.name.clone(), stream, queued, start, end }
     }
@@ -173,11 +178,7 @@ impl GpuDevice {
 
     /// The instant at which every stream has drained.
     pub fn device_idle_at(&self) -> TimeNs {
-        self.streams
-            .iter()
-            .map(|s| s.available_at)
-            .max()
-            .unwrap_or(TimeNs::ZERO)
+        self.streams.iter().map(|s| s.available_at).max().unwrap_or(TimeNs::ZERO)
     }
 
     /// All busy intervals recorded so far, in enqueue order (not globally

@@ -105,11 +105,7 @@ impl ProcessGraph {
 
     /// Children of `id`, in fork order.
     pub fn children(&self, id: ProcessId) -> Vec<ProcessId> {
-        self.nodes
-            .iter()
-            .filter(|n| n.parent == Some(id))
-            .map(|n| n.id)
-            .collect()
+        self.nodes.iter().filter(|n| n.parent == Some(id)).map(|n| n.id).collect()
     }
 
     /// Dependency edges `(from, to)`: one fork edge per parent→child, and

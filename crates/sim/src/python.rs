@@ -53,13 +53,7 @@ impl fmt::Debug for PyRuntime {
 impl PyRuntime {
     /// Creates a runtime over `clock`.
     pub fn new(clock: VirtualClock, config: PyCostConfig) -> Self {
-        PyRuntime {
-            clock,
-            config,
-            hooks: None,
-            interception_enabled: false,
-            transitions: [0, 0],
-        }
+        PyRuntime { clock, config, hooks: None, interception_enabled: false, transitions: [0, 0] }
     }
 
     /// Registers transition hooks (the profiler).

@@ -69,11 +69,8 @@ impl UtilizationSampler {
         window_start: TimeNs,
         window_end: TimeNs,
     ) -> UtilizationReport {
-        let window = if window_end > window_start {
-            window_end - window_start
-        } else {
-            DurationNs::ZERO
-        };
+        let window =
+            if window_end > window_start { window_end - window_start } else { DurationNs::ZERO };
         let mut ivs: Vec<(TimeNs, TimeNs)> = busy
             .iter()
             .copied()
@@ -178,11 +175,7 @@ mod tests {
     #[test]
     fn intervals_outside_window_are_clipped() {
         let sampler = UtilizationSampler::new(DurationNs::from_millis(100));
-        let rep = sampler.sample(
-            &[(ns(0), ns(50_000_000))],
-            ns(40_000_000),
-            ns(240_000_000),
-        );
+        let rep = sampler.sample(&[(ns(0), ns(50_000_000))], ns(40_000_000), ns(240_000_000));
         // Only [40ms, 50ms) falls in window; first of two periods busy.
         assert_eq!(rep.samples, vec![true, false]);
         assert_eq!(rep.true_busy, DurationNs::from_millis(10));

@@ -17,7 +17,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = TimeNs::ZERO + DurationNs::from_micros(3);
 /// assert_eq!(t.as_nanos(), 3_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TimeNs(u64);
 
 /// A span of virtual time, in nanoseconds.
@@ -27,7 +29,9 @@ pub struct TimeNs(u64);
 /// let d = DurationNs::from_millis(2) + DurationNs::from_micros(500);
 /// assert_eq!(d.as_nanos(), 2_500_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DurationNs(u64);
 
 impl TimeNs {
@@ -318,10 +322,7 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(
-            TimeNs::from_nanos(5).saturating_sub(DurationNs::from_nanos(10)),
-            TimeNs::ZERO
-        );
+        assert_eq!(TimeNs::from_nanos(5).saturating_sub(DurationNs::from_nanos(10)), TimeNs::ZERO);
         assert_eq!(
             DurationNs::from_nanos(5).saturating_sub(DurationNs::from_nanos(10)),
             DurationNs::ZERO

@@ -49,8 +49,7 @@ pub fn validate_correction(spec: &TrainSpec, label: impl Into<String>) -> BiasRo
     let trace = out.trace.expect("profiled run has a trace");
     let profile = correct(&trace, &cal);
     let corrected = profile.corrected_total;
-    let bias_percent = 100.0
-        * (corrected.as_nanos() as f64 - uninstrumented.as_nanos() as f64)
+    let bias_percent = 100.0 * (corrected.as_nanos() as f64 - uninstrumented.as_nanos() as f64)
         / uninstrumented.as_nanos() as f64;
     BiasRow {
         label: label.into(),
@@ -67,10 +66,8 @@ pub fn fig11a(steps: usize, scale: ScaleConfig) -> Vec<BiasRow> {
     [AlgoKind::Ppo2, AlgoKind::A2c, AlgoKind::Sac, AlgoKind::Ddpg]
         .into_iter()
         .map(|algo| {
-            let spec = TrainSpec {
-                scale,
-                ..TrainSpec::new(algo, "Walker2D", STABLE_BASELINES, steps)
-            };
+            let spec =
+                TrainSpec { scale, ..TrainSpec::new(algo, "Walker2D", STABLE_BASELINES, steps) };
             validate_correction(&spec, algo.to_string())
         })
         .collect()
@@ -81,10 +78,8 @@ pub fn fig11b(steps: usize, scale: ScaleConfig) -> Vec<BiasRow> {
     ["Hopper", "Ant", "HalfCheetah", "Pong"]
         .into_iter()
         .map(|env| {
-            let spec = TrainSpec {
-                scale,
-                ..TrainSpec::new(AlgoKind::Ppo2, env, STABLE_BASELINES, steps)
-            };
+            let spec =
+                TrainSpec { scale, ..TrainSpec::new(AlgoKind::Ppo2, env, STABLE_BASELINES, steps) };
             validate_correction(&spec, env.to_string())
         })
         .collect()

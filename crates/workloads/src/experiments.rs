@@ -105,10 +105,7 @@ pub fn run_framework_comparison(
     frameworks_for(algo)
         .into_iter()
         .map(|fw| {
-            let spec = TrainSpec {
-                scale,
-                ..TrainSpec::new(algo, "Walker2D", fw, steps)
-            };
+            let spec = TrainSpec { scale, ..TrainSpec::new(algo, "Walker2D", fw, steps) };
             profile_spec(&spec, fw.to_string())
         })
         .collect()
@@ -150,12 +147,7 @@ pub fn run_simulator_survey(steps: usize, scale: ScaleConfig) -> Vec<ExperimentR
         .map(|env| {
             let spec = TrainSpec {
                 scale: ScaleConfig { ppo: ppo_tuning_for(env), ..scale },
-                ..TrainSpec::new(
-                    AlgoKind::Ppo2,
-                    env,
-                    crate::frameworks::STABLE_BASELINES,
-                    steps,
-                )
+                ..TrainSpec::new(AlgoKind::Ppo2, env, crate::frameworks::STABLE_BASELINES, steps)
             };
             profile_spec(&spec, env.to_string())
         })

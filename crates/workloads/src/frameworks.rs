@@ -44,11 +44,8 @@ pub const TF_AGENTS_EAGER: FrameworkConfig = FrameworkConfig {
 };
 
 /// ReAgent: PyTorch Eager.
-pub const REAGENT: FrameworkConfig = FrameworkConfig {
-    name: "ReAgent",
-    model: ExecModel::Eager,
-    backend: BackendKind::PyTorch,
-};
+pub const REAGENT: FrameworkConfig =
+    FrameworkConfig { name: "ReAgent", model: ExecModel::Eager, backend: BackendKind::PyTorch };
 
 /// All four Table-1 rows, in the paper's order.
 pub fn table1() -> Vec<FrameworkConfig> {

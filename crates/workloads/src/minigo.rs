@@ -291,12 +291,8 @@ pub fn run_minigo(cfg: &MinigoConfig) -> MinigoResult {
     let mut opt = Adam::new(1e-3);
     let n = cfg.board * cfg.board;
     for step in 0..cfg.sgd_steps {
-        let batch: Vec<&(Vec<f32>, f32)> = examples
-            .iter()
-            .skip(step)
-            .step_by(cfg.sgd_steps.max(1))
-            .take(16)
-            .collect();
+        let batch: Vec<&(Vec<f32>, f32)> =
+            examples.iter().skip(step).step_by(cfg.sgd_steps.max(1)).take(16).collect();
         if batch.is_empty() {
             break;
         }
@@ -311,7 +307,7 @@ pub fn run_minigo(cfg: &MinigoConfig) -> MinigoResult {
             let yv = tape.constant(y.clone());
             let out = net.forward(tape, &params, xv);
             // Select the value column with a fixed selector matrix.
-            let mut sel = vec![0.0f32; (n + 2) * 1];
+            let mut sel = vec![0.0f32; n + 2];
             sel[n + 1] = 1.0;
             let sel = tape.constant(Tensor::from_vec(n + 2, 1, sel));
             let v = tape.matmul(out, sel);

@@ -9,9 +9,7 @@ use crate::frameworks::{CollectCosts, FrameworkConfig};
 use crate::stack::Stack;
 use rlscope_core::profiler::{Profiler, Toggles};
 use rlscope_core::trace::Trace;
-use rlscope_envs::{
-    AirLearning, Environment, Locomotion, LocomotionTask, Pong,
-};
+use rlscope_envs::{AirLearning, Environment, Locomotion, LocomotionTask, Pong};
 use rlscope_rl::{
     A2c, A2cConfig, Agent, AlgoKind, Ddpg, DdpgConfig, Dqn, DqnConfig, Ppo, PpoConfig, Sac,
     SacConfig, Td3, Td3Config, Transition,
@@ -61,11 +59,9 @@ pub fn make_env(name: &str, stack: &Stack, seed: u64, continuous: bool) -> Box<d
         "Hopper" => Box::new(Locomotion::new(LocomotionTask::Hopper, clock, seed)),
         "HalfCheetah" => Box::new(Locomotion::new(LocomotionTask::HalfCheetah, clock, seed)),
         "Ant" => Box::new(Locomotion::new(LocomotionTask::Ant, clock, seed)),
-        "AirLearning" => Box::new(AirLearning::new(
-            clock,
-            Some((stack.cuda.clone(), stack.stream)),
-            seed,
-        )),
+        "AirLearning" => {
+            Box::new(AirLearning::new(clock, Some((stack.cuda.clone(), stack.stream)), seed))
+        }
         other => panic!("unknown environment {other}"),
     }
 }
@@ -144,9 +140,8 @@ pub fn make_agent(
             seed,
         )),
         AlgoKind::Ppo2 => {
-            let (n_steps, epochs, minibatch) = scale
-                .ppo
-                .unwrap_or(((128 / div).max(4), 4, scale.batch.min((128 / div).max(4))));
+            let (n_steps, epochs, minibatch) =
+                scale.ppo.unwrap_or(((128 / div).max(4), 4, scale.batch.min((128 / div).max(4))));
             Box::new(Ppo::new(
                 obs_dim,
                 act_dim,
@@ -241,12 +236,7 @@ pub fn run_annotated_loop(
     }
     exec.sync();
 
-    RunOutcome {
-        wall: stack.clock.now() - start,
-        trace: None,
-        episodes,
-        reward_sum,
-    }
+    RunOutcome { wall: stack.clock.now() - start, trace: None, episodes, reward_sum }
 }
 
 /// A complete, reproducible training-workload specification.
@@ -290,14 +280,8 @@ impl TrainSpec {
             (AlgoKind::Dqn, rlscope_envs::ActionSpace::Discrete(n)) => n,
             (_, space) => space.dim(),
         };
-        let mut agent = make_agent(
-            self.algo,
-            self.framework,
-            env.obs_dim(),
-            act_dim,
-            self.seed,
-            self.scale,
-        );
+        let mut agent =
+            make_agent(self.algo, self.framework, env.obs_dim(), act_dim, self.seed, self.scale);
         let profiler = toggles.map(|t| stack.profile(ProcessId(0), t));
         let collect = CollectCosts::for_model(self.framework.model);
         let mut outcome = run_annotated_loop(

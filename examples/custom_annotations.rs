@@ -18,7 +18,14 @@ use rlscope_sim::rng::SimRng;
 fn train_script(stack: &Stack, rls: &Profiler, timesteps: usize) {
     let mut rng = SimRng::seed_from_u64(1);
     let mut params = Params::new();
-    let net = Mlp::new(&mut params, &mut rng, "value", &[32, 64, 1], Activation::Relu, Activation::Linear);
+    let net = Mlp::new(
+        &mut params,
+        &mut rng,
+        "value",
+        &[32, 64, 1],
+        Activation::Relu,
+        Activation::Linear,
+    );
 
     rls.set_phase("data_collection");
     for _t in 0..timesteps {

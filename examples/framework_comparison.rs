@@ -17,11 +17,8 @@ fn main() {
     println!("== Framework comparison: TD3 on Walker2D, {steps} steps ==\n");
 
     let runs = run_framework_comparison(AlgoKind::Td3, steps, scale);
-    let baseline = runs
-        .iter()
-        .map(|r| r.profile.corrected_total)
-        .min()
-        .expect("at least one framework");
+    let baseline =
+        runs.iter().map(|r| r.profile.corrected_total).min().expect("at least one framework");
 
     for run in &runs {
         let total = run.profile.corrected_total;

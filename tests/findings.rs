@@ -8,8 +8,8 @@ use rlscope::core::event::CpuCategory;
 use rlscope::core::profiler::TransitionKind;
 use rlscope::prelude::*;
 use rlscope::workloads::{
-    run_algorithm_survey, run_framework_comparison, run_minigo, run_simulator_survey,
-    MinigoConfig, ScaleConfig,
+    run_algorithm_survey, run_framework_comparison, run_minigo, run_simulator_survey, MinigoConfig,
+    ScaleConfig,
 };
 use rlscope_backend::ExecModel;
 
@@ -57,7 +57,9 @@ fn f1_eager_slower_than_graph_and_autograph() {
 fn f2_autograph_reduces_backend_transitions_vs_eager() {
     let runs = td3_runs();
     let by_model = |model: ExecModel| {
-        runs.iter().find(|r| r.framework.model == model && r.framework.backend == BackendKind::TensorFlow).unwrap()
+        runs.iter()
+            .find(|r| r.framework.model == model && r.framework.backend == BackendKind::TensorFlow)
+            .unwrap()
     };
     let autograph = by_model(ExecModel::Autograph);
     let eager = by_model(ExecModel::Eager);
@@ -90,19 +92,14 @@ fn f3_pytorch_eager_faster_and_fewer_transitions_than_tf_eager() {
 #[test]
 fn f4_mpi_adam_inflates_ddpg_graph_backprop() {
     let runs = run_framework_comparison(AlgoKind::Ddpg, STEPS, scale());
-    let by_model = |model: ExecModel| {
-        runs.iter().find(|r| r.framework.model == model).unwrap()
-    };
+    let by_model = |model: ExecModel| runs.iter().find(|r| r.framework.model == model).unwrap();
     let graph = by_model(ExecModel::Graph); // stable-baselines: MpiAdam
     let autograph = by_model(ExecModel::Autograph); // tf-agents: in-graph Adam
     let bp = |run: &rlscope::workloads::ExperimentRun| {
         run.profile.table.operation_total("backpropagation")
     };
     let inflation = bp(graph).ratio(bp(autograph));
-    assert!(
-        inflation > 1.3,
-        "DDPG Graph backprop only {inflation:.2}x Autograph (paper: 3.7x)"
-    );
+    assert!(inflation > 1.3, "DDPG Graph backprop only {inflation:.2}x Autograph (paper: 3.7x)");
 }
 
 #[test]
@@ -113,9 +110,9 @@ fn f6_autograph_inflates_inference_backend_time() {
             .iter()
             .find(|r| r.framework.model == model && r.framework.backend == BackendKind::TensorFlow)
             .unwrap();
-        run.profile.table.total_where(|k| {
-            &*k.operation == "inference" && k.cpu == Some(CpuCategory::Backend)
-        })
+        run.profile
+            .table
+            .total_where(|k| &*k.operation == "inference" && k.cpu == Some(CpuCategory::Backend))
     };
     let inflation = backend_time(ExecModel::Autograph).ratio(backend_time(ExecModel::Graph));
     assert!(inflation > 2.0, "inference backend inflation {inflation:.2}x (paper: 3.8-4.4x)");

@@ -51,11 +51,9 @@ fn breakdown_total_bounded_by_wall_time() {
 
 #[test]
 fn correction_bias_within_16_percent_across_workloads() {
-    for (algo, env) in [
-        (AlgoKind::Ddpg, "Walker2D"),
-        (AlgoKind::Ppo2, "Pong"),
-        (AlgoKind::Sac, "Hopper"),
-    ] {
+    for (algo, env) in
+        [(AlgoKind::Ddpg, "Walker2D"), (AlgoKind::Ppo2, "Pong"), (AlgoKind::Sac, "Hopper")]
+    {
         let row = validate_correction(&spec(algo, env, 80), format!("{algo}/{env}"));
         assert!(
             row.bias_percent.abs() <= 16.0,
@@ -73,9 +71,7 @@ fn skipping_correction_inflates_cuda_over_gpu_ratio() {
     let s = spec(AlgoKind::Ddpg, "Walker2D", 80);
     let (corrected, raw) = run_correction_ablation(&s);
     let ratio = |p: &CorrectedProfile| {
-        p.table
-            .cpu_category_total(CpuCategory::CudaApi)
-            .ratio(p.table.gpu_total())
+        p.table.cpu_category_total(CpuCategory::CudaApi).ratio(p.table.gpu_total())
     };
     assert!(
         ratio(&raw) > ratio(&corrected),

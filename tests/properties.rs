@@ -2,11 +2,13 @@
 
 use proptest::prelude::*;
 use rlscope::core::event::{CpuCategory, Event, EventKind, GpuCategory};
-use rlscope::core::overlap::compute_overlap;
-use rlscope::core::store::{decode_events, encode_events};
+use rlscope::core::overlap::{compute_overlap, BreakdownTable, BucketKey};
+use rlscope::core::store::{decode_events, encode_events, encode_events_v1};
+use rlscope::core::Trace;
 use rlscope::sim::ids::ProcessId;
 use rlscope::sim::time::{DurationNs, TimeNs};
 use rlscope_rl::{ReplayBuffer, RolloutBuffer, RolloutStep, Transition};
+use std::sync::Arc;
 
 fn arb_kind() -> impl Strategy<Value = EventKind> {
     prop_oneof![
@@ -29,6 +31,77 @@ fn arb_event() -> impl Strategy<Value = Event> {
             TimeNs::from_nanos(start + len),
         )
     })
+}
+
+/// Any event kind, including operation annotations and phases, with a
+/// handful of distinct names and zero-length intervals allowed — the
+/// adversarial input space for the overlap engine.
+fn arb_full_event() -> impl Strategy<Value = Event> {
+    let kind = prop_oneof![
+        Just(EventKind::Cpu(CpuCategory::Python)),
+        Just(EventKind::Cpu(CpuCategory::Simulator)),
+        Just(EventKind::Cpu(CpuCategory::Backend)),
+        Just(EventKind::Cpu(CpuCategory::CudaApi)),
+        Just(EventKind::Gpu(GpuCategory::Kernel)),
+        Just(EventKind::Gpu(GpuCategory::Memcpy)),
+        Just(EventKind::Operation),
+        Just(EventKind::Operation),
+        Just(EventKind::Operation),
+        Just(EventKind::Phase),
+    ];
+    (kind, 0u64..2_000, 0u64..300, 0usize..4).prop_map(|(kind, start, len, name)| {
+        Event::new(
+            ProcessId(0),
+            kind,
+            ["alpha", "beta", "gamma", "delta"][name],
+            TimeNs::from_nanos(start),
+            TimeNs::from_nanos(start + len),
+        )
+    })
+}
+
+/// Naive O(n²) reference for the overlap sweep: for every elementary
+/// segment between adjacent boundary times, scan all events for the
+/// active set and attribute the segment directly from the paper's rules
+/// (§3.3): finest CPU category wins, the innermost operation is the
+/// active one that started last, untracked otherwise.
+fn reference_overlap(events: &[Event]) -> BreakdownTable {
+    let mut times: Vec<u64> = events
+        .iter()
+        .filter(|e| e.start != e.end)
+        .flat_map(|e| [e.start.as_nanos(), e.end.as_nanos()])
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    let mut table = BreakdownTable::new();
+    for w in times.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let covers =
+            |e: &Event| e.start != e.end && e.start.as_nanos() <= a && e.end.as_nanos() >= b;
+        let cpu = events
+            .iter()
+            .filter(|e| covers(e))
+            .filter_map(|e| match e.kind {
+                EventKind::Cpu(c) => Some(c),
+                _ => None,
+            })
+            .max_by_key(|c| (c.priority(), *c));
+        let gpu = events.iter().any(|e| covers(e) && matches!(e.kind, EventKind::Gpu(_)));
+        if cpu.is_none() && !gpu {
+            continue;
+        }
+        // Innermost operation: of the active annotations, the one pushed
+        // last, i.e. max (start time, event index).
+        let operation: Arc<str> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind == EventKind::Operation && covers(e))
+            .max_by_key(|(i, e)| (e.start.as_nanos(), *i))
+            .map(|(_, e)| e.name.clone())
+            .unwrap_or_else(|| Arc::from(BucketKey::UNTRACKED));
+        table.add(BucketKey { operation, cpu, gpu }, DurationNs::from_nanos(b - a));
+    }
+    table
 }
 
 /// Union length of a set of intervals.
@@ -75,11 +148,64 @@ proptest! {
         }
     }
 
+    /// The rewritten flat-indexed overlap engine agrees bucket-for-bucket
+    /// with a naive O(n²) reference on arbitrary event sets, including
+    /// nested / interleaved / duplicate-name operation annotations.
+    #[test]
+    fn overlap_matches_naive_reference(
+        events in prop::collection::vec(arb_full_event(), 0..60),
+    ) {
+        let fast = compute_overlap(&events);
+        let reference = reference_overlap(&events);
+        prop_assert_eq!(&fast, &reference);
+        // Conservation: attributed time equals the union length of the
+        // instrumented (CPU/GPU) intervals.
+        let union = union_len(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Cpu(_) | EventKind::Gpu(_)))
+                .map(|e| (e.start.as_nanos(), e.end.as_nanos()))
+                .collect(),
+        );
+        prop_assert_eq!(fast.total().as_nanos(), union);
+    }
+
+    /// Sharded per-process analysis equals the serial per-pid filter path.
+    #[test]
+    fn parallel_per_process_matches_serial(
+        events in prop::collection::vec(arb_event(), 0..80),
+    ) {
+        let trace = Trace {
+            pid: ProcessId(0),
+            events,
+            counts: Default::default(),
+            per_op_transitions: vec![],
+            api_stats: vec![],
+            iterations: 0,
+            wall_end: TimeNs::from_nanos(20_000),
+        };
+        let sharded = trace.breakdowns_by_process();
+        for (pid, table) in &sharded {
+            prop_assert_eq!(table, &trace.breakdown_for(*pid));
+        }
+        let merged_total: DurationNs = sharded.iter().map(|(_, t)| t.total()).sum();
+        prop_assert_eq!(trace.breakdown_per_process().total(), merged_total);
+    }
+
     /// The binary trace codec is lossless for arbitrary event streams.
     #[test]
     fn codec_round_trips(events in prop::collection::vec(arb_event(), 0..80)) {
         let decoded = decode_events(&encode_events(&events)).unwrap();
         prop_assert_eq!(decoded, events);
+    }
+
+    /// The legacy v1 codec remains decodable and agrees with v2.
+    #[test]
+    fn v1_codec_round_trips(events in prop::collection::vec(arb_event(), 0..80)) {
+        let from_v1 = decode_events(&encode_events_v1(&events)).unwrap();
+        prop_assert_eq!(&from_v1, &events);
+        let from_v2 = decode_events(&encode_events(&events)).unwrap();
+        prop_assert_eq!(from_v1, from_v2);
     }
 
     /// Truncating an encoded chunk anywhere must produce an error (or the

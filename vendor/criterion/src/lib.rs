@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`, API-compatible with the subset the
+//! workspace's benches use (`bench_function`, `benchmark_group`,
+//! `iter`, `iter_batched`, the `criterion_group!` / `criterion_main!`
+//! macros).
+//!
+//! Measurement model: per benchmark, a short warm-up estimates the cost of
+//! one iteration, then up to `sample_size` samples are taken (each a batch
+//! of iterations sized to ≥ ~2 ms of work) under a total wall-clock budget.
+//! The **median** per-iteration time is reported on stdout both
+//! human-readably and as a machine-parsable line:
+//!
+//! ```text
+//! CRITERION_RESULT name=<bench> median_ns=<n> samples=<k>
+//! ```
+//!
+//! Passing `--test` (as `cargo bench -- --test` does) runs each benchmark
+//! exactly once as a smoke test, mirroring real criterion. A positional
+//! argument filters benchmarks by substring. All other flags are ignored.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost — accepted for API
+/// compatibility; this harness re-runs setup per measured batch element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Total wall-clock budget for one benchmark's measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_secs(3);
+/// Target duration of one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+/// Warm-up budget before sampling.
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+
+/// The per-benchmark timing context handed to the bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<f64>, // per-iteration nanoseconds
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly, recording per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up: estimate single-iteration cost.
+        let mut iters_per_sample = 1u64;
+        let warm_start = Instant::now();
+        let mut est = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            est += t.elapsed();
+            warm_iters += 1;
+            if est > Duration::from_millis(50) && warm_iters >= 3 {
+                break;
+            }
+        }
+        if warm_iters > 0 && !est.is_zero() {
+            let per_iter = est / warm_iters as u32;
+            if per_iter < SAMPLE_TARGET {
+                iters_per_sample =
+                    (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+            }
+        }
+        let start = Instant::now();
+        while self.samples.len() < self.sample_size
+            && (start.elapsed() < MEASURE_BUDGET || self.samples.len() < 5)
+        {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Measures `routine` over fresh inputs produced by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            return;
+        }
+        let start = Instant::now();
+        while self.samples.len() < self.sample_size
+            && (start.elapsed() < MEASURE_BUDGET || self.samples.len() < 5)
+        {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            let elapsed = t.elapsed();
+            std::hint::black_box(out);
+            self.samples.push(elapsed.as_nanos() as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The benchmark harness: filtering, test mode, and result reporting.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, test_mode: false, sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (`--test`, a substring filter; other flags
+    /// are accepted and ignored so `cargo bench`'s harness args pass).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    // Flags with a value we do not use.
+                    if arg != "--bench" {
+                        let _ = args.next();
+                    }
+                }
+                a if a.starts_with("--") => {}
+                positional => self.filter = Some(positional.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, f);
+        self
+    }
+
+    /// Starts a named group; benchmark ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    fn run_one<F>(&mut self, id: &str, f: F)
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("Testing {id} ... ok");
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        let median = samples[samples.len() / 2];
+        println!("{id:<40} time: [median {}]", format_ns(median));
+        println!("CRITERION_RESULT name={id} median_ns={median:.1} samples={}", samples.len());
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (restores the default sample count).
+    pub fn finish(self) {
+        self.criterion.sample_size = Criterion::default().sample_size;
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $bench_fn(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

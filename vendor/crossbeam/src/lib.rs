@@ -1,0 +1,78 @@
+//! Offline stand-in for the `crossbeam` channel API over `std::sync::mpsc`.
+
+/// Multi-producer channels (the subset the trace writer uses).
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    /// Error returned when the receiving half has disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of an unbounded channel. Iterating blocks until the
+    /// channel disconnects.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; `None` once disconnected and empty.
+        pub fn recv(&self) -> Option<T> {
+            self.inner.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}

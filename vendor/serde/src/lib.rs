@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as derive decoration (`#[derive(Serialize,
+//! Deserialize)]`); no code calls serializer methods or bounds on the
+//! traits. This crate re-exports no-op derive macros alongside empty
+//! marker traits so `use serde::{Deserialize, Serialize}` resolves in both
+//! the macro and type namespaces, exactly like the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes through serde at runtime — the
+//! derives are decorative API surface. The container has no crates.io
+//! access, so these derives expand to nothing: the annotated types simply
+//! do not implement the (empty) `serde` traits, which no code requires.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for `serde_json`: a minimal JSON `Value` with escaping
+//! and pretty-printing, enough for tooling that emits reports. There is no
+//! serde integration (the workspace's serde stand-in has no data model).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (serialized with up to 17 significant digits).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        let pad = |out: &mut String, n: usize| {
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(n));
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) if n.is_finite() => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Value::Number(_) => out.push_str("null"),
+            Value::String(s) => Self::write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1, pretty);
+                }
+                if !items.is_empty() {
+                    pad(out, indent);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    Self::write_escaped(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, indent + 1, pretty);
+                }
+                if !map.is_empty() {
+                    pad(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+/// Compact serialization.
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    value.write(&mut out, 0, false);
+    out
+}
+
+/// Two-space-indented serialization.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    value.write(&mut out, 0, true);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_nests() {
+        let mut obj = BTreeMap::new();
+        obj.insert("k\"ey".into(), Value::Array(vec![Value::Number(1.5), Value::Null]));
+        let v = Value::Object(obj);
+        assert_eq!(to_string(&v), "{\"k\\\"ey\":[1.5,null]}");
+        assert!(to_string_pretty(&v).contains("\n  "));
+    }
+}
