@@ -62,16 +62,22 @@ pub mod prelude {
     pub use crate::calibrate::{calibrate, Calibration, RunStats};
     pub use crate::correct::{correct, uncorrected, CorrectedProfile, OverheadBreakdown};
     pub use crate::event::{BookkeepingCounts, CpuCategory, Event, EventKind, GpuCategory};
-    pub use crate::overlap::{compute_overlap, BreakdownTable, BucketKey};
+    pub use crate::overlap::{
+        compute_overlap, compute_overlap_indexed, BreakdownTable, BucketKey, OverlapSweep,
+    };
     pub use crate::profiler::{OperationGuard, Profiler, ProfilerConfig, Toggles, TransitionKind};
     pub use crate::report::{BreakdownReport, MultiProcessReport, TransitionReport};
-    pub use crate::trace::Trace;
+    pub use crate::store::ChunkReader;
+    pub use crate::trace::{streamed_breakdowns_by_process, Trace};
 }
 
 pub use calibrate::{calibrate, Calibration, RunStats};
 pub use correct::{correct, uncorrected, CorrectedProfile, OverheadBreakdown};
 pub use event::{BookkeepingCounts, CpuCategory, Event, EventKind, GpuCategory};
-pub use overlap::{compute_overlap, BreakdownTable, BucketKey};
+pub use overlap::{
+    compute_overlap, compute_overlap_indexed, BreakdownTable, BucketKey, OverlapSweep,
+};
 pub use profiler::{OperationGuard, Profiler, ProfilerConfig, Toggles, TransitionKind};
 pub use report::{BreakdownReport, MultiProcessReport, TransitionReport};
-pub use trace::Trace;
+pub use store::ChunkReader;
+pub use trace::{streamed_breakdowns_by_process, Trace};

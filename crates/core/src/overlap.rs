@@ -12,12 +12,25 @@
 //! Summing segment lengths per bucket yields exactly the arithmetic of
 //! Figure 3: `expand_leaf` spends 0.79 ms purely CPU-bound and 1.7 ms
 //! executing on both CPU and GPU (reproduced verbatim in the tests below).
+//!
+//! Two entry points share the engine:
+//!
+//! * [`compute_overlap`] / [`compute_overlap_indexed`] — the batch path:
+//!   all events (or an index subset of a borrowed slice) are encoded into
+//!   flat boundary arrays, sorted with the run-aware [`sort_boundaries`],
+//!   and swept in one pass.
+//! * [`OverlapSweep`] — the incremental path: events arrive in batches
+//!   (e.g. one decoded trace chunk at a time), are reduced immediately to
+//!   compact boundary records, and the same sweep finalizes to an
+//!   identical [`BreakdownTable`]. See the type docs for the memory
+//!   contract of its exact and bounded modes.
 
 use crate::event::{CpuCategory, Event, EventKind};
 use crate::intern::Interner;
 use rlscope_sim::time::DurationNs;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -140,6 +153,51 @@ impl BreakdownTable {
             self.add(k.clone(), d);
         }
     }
+
+    /// Renders the table in the canonical JSON form used by the golden
+    /// trace corpus (`tests/corpus/`): a sorted array of
+    /// `{"operation", "cpu", "gpu", "nanos"}` rows. The encoding is
+    /// byte-stable — key order fixed, rows in `BTreeMap` key order,
+    /// strings minimally escaped — so golden files can be compared as
+    /// exact strings and any sweep behavior drift fails the harness.
+    pub fn canonical_json(&self) -> String {
+        fn escape(s: &str, out: &mut String) {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        let mut out = String::from("[\n");
+        for (i, (k, d)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  {\"operation\": ");
+            escape(&k.operation, &mut out);
+            out.push_str(", \"cpu\": ");
+            match k.cpu {
+                Some(CpuCategory::Python) => out.push_str("\"Python\""),
+                Some(CpuCategory::Simulator) => out.push_str("\"Simulator\""),
+                Some(CpuCategory::Backend) => out.push_str("\"Backend\""),
+                Some(CpuCategory::CudaApi) => out.push_str("\"CudaApi\""),
+                None => out.push_str("null"),
+            }
+            out.push_str(&format!(", \"gpu\": {}, \"nanos\": {}}}", k.gpu, d.as_nanos()));
+        }
+        out.push_str("\n]\n");
+        out
+    }
 }
 
 /// Number of accumulator slots per operation: 5 CPU tags (none + 4
@@ -184,6 +242,122 @@ const TAG_TO_CATEGORY: [Option<CpuCategory>; 5] = [
     Some(CpuCategory::CudaApi),
 ];
 
+/// Compact per-event kind codes shared by the batch and streaming engines:
+/// `0..=3` are the CPU categories in declaration order.
+const CODE_GPU: u8 = 4;
+const CODE_OP: u8 = 5;
+const CODE_PHASE: u8 = 6;
+
+/// Reverses every strictly-descending run in place. Strict descent has no
+/// equal keys, so reversal preserves stability.
+fn reverse_descending_runs(v: &mut [(u64, u32)]) {
+    let n = v.len();
+    let mut i = 0;
+    while i + 1 < n {
+        if v[i].0 > v[i + 1].0 {
+            let run_start = i;
+            i += 1;
+            while i + 1 < n && v[i].0 > v[i + 1].0 {
+                i += 1;
+            }
+            v[run_start..=i].reverse();
+        }
+        i += 1;
+    }
+}
+
+/// One left-to-right repair pass over an almost-sorted array: when an
+/// element breaks the sorted prefix, the displaced predecessor block and
+/// the ascending run starting at the offender are merged by block
+/// rotations. Returns `false` (array left as a stability-preserving
+/// permutation of the input) when the work exceeds `budget` moved
+/// elements or a displaced block is long — both signs the input is not
+/// the near-sorted shape this pass is for.
+fn rotate_merge_repair(v: &mut [(u64, u32)], budget: usize) -> bool {
+    let n = v.len();
+    let mut moved = 0usize;
+    let mut i = 1;
+    while i < n {
+        if v[i].0 >= v[i - 1].0 {
+            i += 1;
+            continue;
+        }
+        // Sorted-prefix invariant: v[..i] is sorted, so the displaced
+        // block v[a..b) (everything > v[i]) is found by binary search.
+        let key = v[i].0;
+        let mut a = v[..i].partition_point(|p| p.0 <= key);
+        let mut b = i;
+        // A long displaced block means coarse interleaving of long runs
+        // (e.g. per-process streams concatenated by a trace merge), which
+        // block rotation handles poorly; std's run-merging sort is the
+        // right tool there.
+        if b - a > 256 {
+            return false;
+        }
+        let mut k = i + 1;
+        while k < n && v[k].0 >= v[k - 1].0 {
+            k += 1;
+        }
+        // Merge adjacent sorted blocks v[a..b) and v[b..k) by rotating
+        // run prefixes into place. `partition_point` bounds keep equal
+        // keys in first-seen order, so the pass is stable.
+        while a < b && b < k {
+            if v[b].0 < v[a].0 {
+                let t = v[b..k].partition_point(|p| p.0 < v[a].0); // >= 1
+                moved += b - a + t;
+                if moved > budget {
+                    return false;
+                }
+                v[a..b + t].rotate_left(b - a);
+                a += t;
+                b += t;
+            } else {
+                a += v[a..b].partition_point(|p| p.0 <= v[b].0);
+            }
+        }
+        i = k;
+    }
+    true
+}
+
+/// Stable sort of a boundary array by time, tuned for profiler streams.
+///
+/// Real event streams are emitted near-chronologically, but two shapes
+/// defeat std's run-merging sort: deeply nested annotation stacks make the
+/// *end* array a chain of descending runs (each block of 64-deep scopes
+/// closes inside-out), and the per-block close order leaves single
+/// stragglers between runs. This sort reverses strictly-descending runs in
+/// an O(n) pre-pass, then repairs the remaining local disorder with block
+/// rotations; genuinely unsorted input falls back to `sort_by_key`. Ties
+/// keep push order (event order), matching a stable sort by time.
+fn sort_boundaries(v: &mut [(u64, u32)]) {
+    reverse_descending_runs(v);
+    let budget = v.len() * 2 + 64;
+    if !rotate_merge_repair(v, budget) {
+        v.sort_by_key(|p| p.0);
+    }
+}
+
+/// Builds the ordered table from the flat accumulator's non-zero cells.
+fn materialize(interner: &Interner, acc: &[u64]) -> BreakdownTable {
+    let mut table = BreakdownTable::new();
+    for (op_id, cells) in acc.chunks_exact(SLOTS).enumerate() {
+        let operation = interner.resolve(op_id as u32);
+        for (tag, &category) in TAG_TO_CATEGORY.iter().enumerate() {
+            for gpu in 0..2 {
+                let nanos = cells[tag * 2 + gpu];
+                if nanos != 0 {
+                    table.add(
+                        BucketKey { operation: operation.clone(), cpu: category, gpu: gpu == 1 },
+                        DurationNs::from_nanos(nanos),
+                    );
+                }
+            }
+        }
+    }
+    table
+}
+
 /// Runs the overlap sweep over `events` (any order; typically one process).
 ///
 /// Phase events are ignored for bucketing (they scope reporting, not
@@ -209,49 +383,78 @@ const TAG_TO_CATEGORY: [Option<CpuCategory>; 5] = [
 /// The ordered [`BreakdownTable`] is materialized once at the end from
 /// the non-zero accumulator cells.
 pub fn compute_overlap(events: &[Event]) -> BreakdownTable {
+    sweep_iter(events.iter())
+}
+
+/// [`compute_overlap`] over an index subset of one borrowed event slice.
+///
+/// This is the zero-copy sharding primitive behind
+/// [`crate::trace::Trace::breakdowns_by_process`]: a merged multi-process
+/// trace is partitioned into per-pid index lists once, and each worker
+/// sweeps its indices over the same borrowed slice — no per-process event
+/// clones.
+pub fn compute_overlap_indexed(events: &[Event], indices: &[u32]) -> BreakdownTable {
+    sweep_iter(indices.iter().map(|&i| &events[i as usize]))
+}
+
+/// The shared batch engine: encodes the event stream into flat boundary
+/// arrays, sorts them with [`sort_boundaries`], and sweeps.
+fn sweep_iter<'a>(events: impl Iterator<Item = &'a Event>) -> BreakdownTable {
     let mut interner = Interner::with_capacity(16);
     let untracked = interner.intern_str(BucketKey::UNTRACKED);
 
     // Interval boundaries, kept as separate start/end arrays of raw
-    // `(time, event index)` pairs — the edge kind is implicit in which
+    // `(time, event seq)` pairs — the edge kind is implicit in which
     // array a pair lives in, so the full u64 timestamp range is
     // representable. Profiler event streams are emitted in
-    // near-chronological order, so each array is close to sorted and the
-    // run-detecting sort degrades to ~O(n); the sweep then merges the
+    // near-chronological order, so each array is close to sorted and
+    // `sort_boundaries` degrades to ~O(n); the sweep then merges the
     // two sorted arrays on the fly, taking ends before starts at equal
     // times so zero-length active sets generate no spurious segments.
-    let mut starts: Vec<(u64, u32)> = Vec::with_capacity(events.len());
-    let mut ends: Vec<(u64, u32)> = Vec::with_capacity(events.len());
-    // Dense operation id per event (untracked for non-operations), and a
-    // compact kind code (see `code_*` below) so the sweep touches one
-    // byte per event instead of the full `Event`.
-    let mut op_ids: Vec<u32> = vec![untracked; events.len()];
-    let mut kind_codes: Vec<u8> = vec![0; events.len()];
-    const CODE_GPU: u8 = 4;
-    const CODE_OP: u8 = 5;
-    const CODE_PHASE: u8 = 6;
-    for (i, e) in events.iter().enumerate() {
+    let (lo, hi) = events.size_hint();
+    let cap = hi.unwrap_or(lo);
+    let mut starts: Vec<(u64, u32)> = Vec::with_capacity(cap);
+    let mut ends: Vec<(u64, u32)> = Vec::with_capacity(cap);
+    // Dense operation id per kept event (untracked for non-operations),
+    // and a compact kind code, so the sweep touches a few bytes per event
+    // instead of the full `Event`.
+    let mut op_ids: Vec<u32> = Vec::with_capacity(cap);
+    let mut kind_codes: Vec<u8> = Vec::with_capacity(cap);
+    // Sortedness is tracked during encoding (flat single-process streams
+    // usually arrive start-sorted), sparing sorted arrays the sort passes
+    // entirely.
+    let (mut starts_sorted, mut prev_start) = (true, 0u64);
+    let (mut ends_sorted, mut prev_end) = (true, 0u64);
+    for e in events {
         if e.start == e.end {
             continue;
         }
-        kind_codes[i] = match &e.kind {
+        let seq = op_ids.len() as u32;
+        let mut op_id = untracked;
+        kind_codes.push(match &e.kind {
             EventKind::Cpu(c) => *c as u8,
             EventKind::Gpu(_) => CODE_GPU,
             EventKind::Operation => {
-                op_ids[i] = interner.intern(&e.name);
+                op_id = interner.intern(&e.name);
                 CODE_OP
             }
             EventKind::Phase => CODE_PHASE,
-        };
-        starts.push((e.start.as_nanos(), i as u32));
-        ends.push((e.end.as_nanos(), i as u32));
+        });
+        op_ids.push(op_id);
+        let (s, t) = (e.start.as_nanos(), e.end.as_nanos());
+        starts_sorted &= s >= prev_start;
+        ends_sorted &= t >= prev_end;
+        prev_start = s;
+        prev_end = t;
+        starts.push((s, seq));
+        ends.push((t, seq));
     }
-    // Stable sort by key only: ties keep push order, which is event-index
-    // order — the same total order as an unstable sort on (key, index) —
-    // and the run-detecting stable sort is ~O(n) on the near-sorted
-    // arrays real profiler streams produce.
-    starts.sort_by_key(|p| p.0);
-    ends.sort_by_key(|p| p.0);
+    if !starts_sorted {
+        sort_boundaries(&mut starts);
+    }
+    if !ends_sorted {
+        sort_boundaries(&mut ends);
+    }
 
     // Flat accumulator: one u64 of attributed nanoseconds per
     // (operation, cpu tag, gpu) combination.
@@ -263,7 +466,7 @@ pub fn compute_overlap(events: &[Event]) -> BreakdownTable {
     // Scope-indexed operation stack: `slot_of[event]` is the entry the
     // event occupies, letting a non-LIFO close tombstone it in O(1).
     let mut op_stack: Vec<u32> = Vec::new();
-    let mut slot_of: Vec<u32> = vec![0; events.len()];
+    let mut slot_of: Vec<u32> = vec![0; op_ids.len()];
     let mut cur_op: u32 = untracked;
 
     let mut prev_t: u64 = 0;
@@ -331,23 +534,296 @@ pub fn compute_overlap(events: &[Event]) -> BreakdownTable {
         }
     }
 
-    // Materialize the ordered table once, from non-zero cells only.
-    let mut table = BreakdownTable::new();
-    for (op_id, cells) in acc.chunks_exact(SLOTS).enumerate() {
-        let operation = interner.resolve(op_id as u32);
-        for (tag, &category) in TAG_TO_CATEGORY.iter().enumerate() {
-            for gpu in 0..2 {
-                let nanos = cells[tag * 2 + gpu];
-                if nanos != 0 {
-                    table.add(
-                        BucketKey { operation: operation.clone(), cpu: category, gpu: gpu == 1 },
-                        DurationNs::from_nanos(nanos),
-                    );
+    materialize(&interner, &acc)
+}
+
+/// Error from [`OverlapSweep::push`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// A bounded sweep received an event starting before time it had
+    /// already attributed: the stream's disorder exceeds the configured
+    /// lag. Re-run the analysis with an exact ([`OverlapSweep::new`])
+    /// sweep, which accepts any order.
+    OrderViolation {
+        /// The offending event's start time (nanoseconds).
+        start: u64,
+        /// The time up to which segments were already finalized.
+        swept_to: u64,
+    },
+    /// More than `u32::MAX - 1` operation annotations were pushed.
+    TooManyOperations,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::OrderViolation { start, swept_to } => write!(
+                f,
+                "stream order violation: event starts at {start} ns but segments are \
+                 finalized through {swept_to} ns (disorder exceeds the sweep lag)"
+            ),
+            SweepError::TooManyOperations => {
+                write!(f, "operation annotation count exceeds u32 range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// A pending interval boundary: ordered by `(time, op_seq)` so that
+/// same-time operation starts pop in arrival order, matching the batch
+/// engine's stable event-order tie-break. `meta` is a kind code
+/// (`0..=4`) for CPU/GPU events or `8 + op_id` for operations.
+type Boundary = std::cmp::Reverse<(u64, u32, u32)>;
+
+const META_OP_BASE: u32 = 8;
+
+/// Incremental overlap sweep: feed event batches with [`push`]
+/// ([`OverlapSweep::push`]) as they are decoded, then [`finalize`]
+/// ([`OverlapSweep::finalize`]) to the same [`BreakdownTable`] the batch
+/// [`compute_overlap`] produces over the concatenated stream.
+///
+/// Each pushed event is reduced immediately to two 16-byte boundary
+/// records (time, tie-break seq, kind/op code); the `Event` itself — and
+/// its name allocation — can be dropped as soon as `push` returns, which
+/// is what lets chunked trace directories be analyzed one decoded chunk
+/// at a time.
+///
+/// # Memory modes
+///
+/// * [`OverlapSweep::new`] — **exact**: accepts events in any order;
+///   boundary records are buffered until `finalize`, so memory is
+///   `O(events)` but with a small constant (32 bytes/event, no `Arc`
+///   retention) instead of full `Event` materialization.
+/// * [`OverlapSweep::bounded`] — **bounded**: for streams whose start
+///   times are sorted within a known `lag`, segments are finalized
+///   eagerly once the stream has advanced `lag` past them. Pending state
+///   is then `O(open intervals + events per lag window)` — flat in total
+///   event count. If an event arrives starting before already-finalized
+///   time, `push` fails with [`SweepError::OrderViolation`] rather than
+///   attribute time incorrectly; callers fall back to an exact sweep
+///   (chunk files are still on disk and can simply be re-read).
+///
+/// Note the profiler records an event when it **ends**, so raw per-process
+/// trace streams are sorted by end time and their start-time disorder is
+/// bounded by the longest open annotation — pick the lag accordingly (or
+/// use exact mode when in doubt).
+#[derive(Debug)]
+pub struct OverlapSweep {
+    interner: Interner,
+    untracked: u32,
+    /// Eager-finalization window; `None` = exact mode (never drain early).
+    lag: Option<u64>,
+    starts: BinaryHeap<Boundary>,
+    ends: BinaryHeap<Boundary>,
+    /// Dense arrival counter for operation events: heap tie-break and
+    /// open-op identity.
+    next_op_seq: u32,
+    /// Slot in `op_stack` occupied by each open operation, by op seq.
+    open_ops: HashMap<u32, u32>,
+    /// `(op_seq, op_id)` entries; closed entries tombstoned in place.
+    op_stack: Vec<(u32, u32)>,
+    acc: Vec<u64>,
+    cpu_counts: [u32; 4],
+    cpu_mask: usize,
+    gpu_active: u32,
+    cur_op: u32,
+    max_start: u64,
+    prev_t: u64,
+    have_prev: bool,
+    events_pushed: u64,
+}
+
+impl Default for OverlapSweep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OverlapSweep {
+    /// An exact incremental sweep: accepts events in any order.
+    pub fn new() -> Self {
+        Self::with_lag(None)
+    }
+
+    /// A bounded-memory sweep for streams whose event start times are
+    /// sorted to within `lag`: segments older than `lag` behind the
+    /// newest start are finalized eagerly and their boundary records
+    /// freed.
+    pub fn bounded(lag: DurationNs) -> Self {
+        Self::with_lag(Some(lag.as_nanos()))
+    }
+
+    fn with_lag(lag: Option<u64>) -> Self {
+        let mut interner = Interner::with_capacity(16);
+        let untracked = interner.intern_str(BucketKey::UNTRACKED);
+        OverlapSweep {
+            interner,
+            untracked,
+            lag,
+            starts: BinaryHeap::new(),
+            ends: BinaryHeap::new(),
+            next_op_seq: 0,
+            open_ops: HashMap::new(),
+            op_stack: Vec::new(),
+            acc: vec![0; SLOTS],
+            cpu_counts: [0; 4],
+            cpu_mask: 0,
+            gpu_active: 0,
+            cur_op: untracked,
+            max_start: 0,
+            prev_t: 0,
+            have_prev: false,
+            events_pushed: 0,
+        }
+    }
+
+    /// Total events accepted so far (including zero-length ones).
+    pub fn events_pushed(&self) -> u64 {
+        self.events_pushed
+    }
+
+    /// Boundary records currently buffered — the sweep's working-set
+    /// size. In bounded mode this stays flat as the stream grows.
+    pub fn pending_boundaries(&self) -> usize {
+        self.starts.len() + self.ends.len()
+    }
+
+    /// Feeds one event.
+    ///
+    /// # Errors
+    ///
+    /// In bounded mode, [`SweepError::OrderViolation`] if the event
+    /// starts before already-finalized time. The sweep is then poisoned
+    /// for attribution purposes; discard it and re-analyze exactly.
+    pub fn push(&mut self, e: &Event) -> Result<(), SweepError> {
+        self.events_pushed += 1;
+        // Phases scope reporting, not attribution; their boundaries only
+        // split segments without changing any sums, so they are dropped
+        // before the order check — a whole-run phase recorded at close
+        // (start near 0, arriving last) must not trip the bounded mode.
+        if e.start == e.end || e.kind == EventKind::Phase {
+            return Ok(());
+        }
+        let start = e.start.as_nanos();
+        let end = e.end.as_nanos();
+        if self.have_prev && start < self.prev_t {
+            return Err(SweepError::OrderViolation { start, swept_to: self.prev_t });
+        }
+        let (seq, meta) = match &e.kind {
+            EventKind::Cpu(c) => (0, *c as u32),
+            EventKind::Gpu(_) => (0, u32::from(CODE_GPU)),
+            EventKind::Operation => {
+                let op_id = self.interner.intern(&e.name);
+                let needed = self.interner.len() * SLOTS;
+                if self.acc.len() < needed {
+                    self.acc.resize(needed, 0);
+                }
+                let seq = self.next_op_seq;
+                self.next_op_seq =
+                    self.next_op_seq.checked_add(1).ok_or(SweepError::TooManyOperations)?;
+                (seq, META_OP_BASE + op_id)
+            }
+            EventKind::Phase => unreachable!("phases dropped above"),
+        };
+        self.starts.push(std::cmp::Reverse((start, seq, meta)));
+        self.ends.push(std::cmp::Reverse((end, seq, meta)));
+        self.max_start = self.max_start.max(start);
+        if let Some(lag) = self.lag {
+            let safe_to = self.max_start.saturating_sub(lag);
+            self.drain(Some(safe_to));
+        }
+        Ok(())
+    }
+
+    /// Feeds a batch of events (e.g. one decoded chunk).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SweepError`] (see [`OverlapSweep::push`]).
+    pub fn push_batch(&mut self, events: &[Event]) -> Result<(), SweepError> {
+        for e in events {
+            self.push(e)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes all pending segments and materializes the table.
+    pub fn finalize(mut self) -> BreakdownTable {
+        self.drain(None);
+        materialize(&self.interner, &self.acc)
+    }
+
+    /// Processes pending boundaries with time ≤ `limit` (all when `None`),
+    /// ends before starts at equal times — the same merge order as the
+    /// batch engine.
+    fn drain(&mut self, limit: Option<u64>) {
+        // Starts can never outlive ends: every push adds both and starts
+        // drain first (start < end for non-zero-length events).
+        while let Some(&std::cmp::Reverse(end_head)) = self.ends.peek() {
+            let start_head = self.starts.peek().map(|&std::cmp::Reverse(s)| s);
+            let is_start = start_head.is_some_and(|s| s.0 < end_head.0);
+            let (t, seq, meta) = if is_start { start_head.unwrap() } else { end_head };
+            if limit.is_some_and(|l| t > l) {
+                break;
+            }
+            if is_start {
+                self.starts.pop();
+            } else {
+                self.ends.pop();
+            }
+            if self.have_prev && t > self.prev_t && (self.cpu_mask != 0 || self.gpu_active > 0) {
+                let tag = FINEST_TAG[self.cpu_mask] as usize;
+                let gpu = (self.gpu_active > 0) as usize;
+                self.acc[self.cur_op as usize * SLOTS + tag * 2 + gpu] += t - self.prev_t;
+            }
+            self.prev_t = t;
+            self.have_prev = true;
+
+            match meta {
+                code @ 0..=3 => {
+                    let ci = code as usize;
+                    if is_start {
+                        if self.cpu_counts[ci] == 0 {
+                            self.cpu_mask |= 1 << ci;
+                        }
+                        self.cpu_counts[ci] += 1;
+                    } else {
+                        let n = &mut self.cpu_counts[ci];
+                        assert!(*n > 0, "unbalanced cpu event");
+                        *n -= 1;
+                        if *n == 0 {
+                            self.cpu_mask &= !(1 << ci);
+                        }
+                    }
+                }
+                4 => {
+                    if is_start {
+                        self.gpu_active += 1;
+                    } else {
+                        self.gpu_active -= 1;
+                    }
+                }
+                _ => {
+                    let op_id = meta - META_OP_BASE;
+                    if is_start {
+                        self.open_ops.insert(seq, self.op_stack.len() as u32);
+                        self.op_stack.push((seq, op_id));
+                    } else {
+                        let slot =
+                            self.open_ops.remove(&seq).expect("op end without start") as usize;
+                        debug_assert_eq!(self.op_stack[slot].0, seq, "operation stack corrupted");
+                        self.op_stack[slot].0 = TOMBSTONE;
+                        while self.op_stack.last().is_some_and(|&(s, _)| s == TOMBSTONE) {
+                            self.op_stack.pop();
+                        }
+                    }
+                    self.cur_op = self.op_stack.last().map(|&(_, id)| id).unwrap_or(self.untracked);
                 }
             }
         }
     }
-    table
 }
 
 #[cfg(test)]
@@ -525,5 +1001,120 @@ mod tests {
         ];
         let table = compute_overlap(&events);
         assert_eq!(table.total(), DurationNs::from_micros(75));
+    }
+
+    #[test]
+    fn indexed_subset_matches_filtered_slice() {
+        let events = vec![
+            ev(EventKind::Operation, "op", 0, 100),
+            ev(EventKind::Cpu(CpuCategory::Python), "py", 0, 60),
+            ev(EventKind::Cpu(CpuCategory::Backend), "be", 20, 40),
+            ev(EventKind::Gpu(crate::event::GpuCategory::Kernel), "k", 50, 90),
+        ];
+        let indices = [0u32, 2, 3];
+        let subset: Vec<Event> = indices.iter().map(|&i| events[i as usize].clone()).collect();
+        assert_eq!(compute_overlap_indexed(&events, &indices), compute_overlap(&subset));
+    }
+
+    fn figure_3_events() -> Vec<Event> {
+        let us = |ms: f64| (ms * 1000.0) as u64;
+        vec![
+            ev(EventKind::Operation, "mcts_tree_search", 0, us(4.05)),
+            ev(EventKind::Operation, "expand_leaf", us(1.0), us(3.95)),
+            ev(EventKind::Cpu(CpuCategory::Python), "py", 0, us(4.05)),
+            ev(EventKind::Gpu(crate::event::GpuCategory::Kernel), "k1", us(1.45), us(2.3)),
+            ev(EventKind::Gpu(crate::event::GpuCategory::Kernel), "k2", us(2.7), us(3.55)),
+        ]
+    }
+
+    #[test]
+    fn streaming_sweep_matches_batch_per_event() {
+        let events = figure_3_events();
+        let mut sweep = OverlapSweep::new();
+        for e in &events {
+            sweep.push(e).unwrap();
+        }
+        assert_eq!(sweep.finalize(), compute_overlap(&events));
+    }
+
+    #[test]
+    fn streaming_sweep_matches_batch_across_splits() {
+        let events = figure_3_events();
+        for split in 0..=events.len() {
+            let mut sweep = OverlapSweep::new();
+            sweep.push_batch(&events[..split]).unwrap();
+            sweep.push_batch(&events[split..]).unwrap();
+            assert_eq!(sweep.finalize(), compute_overlap(&events), "split {split}");
+        }
+    }
+
+    #[test]
+    fn bounded_sweep_drains_and_matches_on_sorted_stream() {
+        // Start-ordered stream: bounded mode must finalize eagerly and
+        // still produce the exact batch table.
+        let mut events = Vec::new();
+        for i in 0..1000u64 {
+            events.push(ev(
+                if i % 10 == 0 {
+                    EventKind::Operation
+                } else {
+                    EventKind::Cpu(CpuCategory::Python)
+                },
+                if i % 10 == 0 { "op" } else { "py" },
+                i * 10,
+                i * 10 + 8,
+            ));
+        }
+        let mut sweep = OverlapSweep::bounded(DurationNs::from_micros(100));
+        let mut max_pending = 0;
+        for e in &events {
+            sweep.push(e).unwrap();
+            max_pending = max_pending.max(sweep.pending_boundaries());
+        }
+        // The pending set must stay bounded by the lag window, far below
+        // the 2000 boundaries the stream contains in total.
+        assert!(max_pending < 100, "pending grew to {max_pending}");
+        assert_eq!(sweep.finalize(), compute_overlap(&events));
+    }
+
+    /// A whole-run phase recorded at close (start near 0, arriving last)
+    /// is ignored for attribution and must NOT trip the bounded mode's
+    /// order check — otherwise every realistic stream would silently
+    /// fall back to exact sweeps and void the memory bound.
+    #[test]
+    fn bounded_sweep_ignores_late_phase_events() {
+        let mut events: Vec<Event> = (0..200u64)
+            .map(|i| ev(EventKind::Cpu(CpuCategory::Python), "py", i * 10, i * 10 + 8))
+            .collect();
+        let expected = compute_overlap(&events);
+        events.push(ev(EventKind::Phase, "training", 0, 2_000));
+        let mut sweep = OverlapSweep::bounded(DurationNs::from_micros(50));
+        for e in &events {
+            sweep.push(e).unwrap();
+        }
+        assert_eq!(sweep.finalize(), expected);
+    }
+
+    #[test]
+    fn bounded_sweep_rejects_excess_disorder() {
+        let mut sweep = OverlapSweep::bounded(DurationNs::from_nanos(10));
+        for i in 0..100u64 {
+            sweep
+                .push(&ev(EventKind::Cpu(CpuCategory::Python), "py", i * 100, i * 100 + 50))
+                .unwrap();
+        }
+        // An event starting long before the finalized frontier must be
+        // rejected, not silently misattributed.
+        let err = sweep.push(&ev(EventKind::Cpu(CpuCategory::Python), "late", 0, 5)).unwrap_err();
+        assert!(matches!(err, SweepError::OrderViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn canonical_json_is_stable() {
+        let table = compute_overlap(&figure_3_events());
+        let json = table.canonical_json();
+        assert!(json.contains("\"operation\": \"expand_leaf\""));
+        assert!(json.contains("\"cpu\": \"Python\""));
+        assert_eq!(json, compute_overlap(&figure_3_events()).canonical_json());
     }
 }

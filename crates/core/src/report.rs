@@ -3,12 +3,14 @@
 use crate::event::CpuCategory;
 use crate::overlap::{BreakdownTable, BucketKey};
 use crate::profiler::TransitionKind;
-use crate::trace::Trace;
+use crate::store::TraceIoError;
+use crate::trace::{streamed_breakdowns_by_process, Trace};
 use rlscope_sim::ids::ProcessId;
 use rlscope_sim::smi::UtilizationReport;
 use rlscope_sim::time::DurationNs;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// One row of a time-breakdown report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -168,16 +170,48 @@ impl MultiProcessReport {
     /// edges, and an smi sampling report.
     ///
     /// Per-process tables come from the parallel sharded analysis
-    /// ([`Trace::breakdowns_by_process`]): one partition pass over the
-    /// merged event stream and one sweep per process on worker threads,
-    /// rather than a full re-filtering scan per process.
+    /// ([`Trace::breakdowns_by_process`]): one index-partition pass over
+    /// the borrowed merged event stream and one sweep per process on
+    /// worker threads, rather than a full re-filtering scan (or a
+    /// per-process event clone) per process.
     pub fn new(
         trace: &Trace,
         names: &[(ProcessId, String)],
         dependencies: Vec<(ProcessId, ProcessId)>,
         smi: &UtilizationReport,
     ) -> Self {
-        let tables = trace.breakdowns_by_process();
+        Self::from_tables(trace.breakdowns_by_process(), names, dependencies, smi)
+    }
+
+    /// Builds the view by streaming a chunk directory end-to-end in
+    /// bounded memory: chunks decode one at a time and route into
+    /// per-process incremental sweeps
+    /// ([`streamed_breakdowns_by_process`]); the concatenated event
+    /// stream is never materialized, so whole-experiment directories
+    /// larger than RAM analyze in the working set of one chunk plus the
+    /// sweeps. `lag` selects the bounded-memory eager sweep window (see
+    /// [`crate::overlap::OverlapSweep`]); `None` uses exact sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O or corruption error from the directory.
+    pub fn from_chunk_dir(
+        dir: &Path,
+        names: &[(ProcessId, String)],
+        dependencies: Vec<(ProcessId, ProcessId)>,
+        smi: &UtilizationReport,
+        lag: Option<DurationNs>,
+    ) -> Result<Self, TraceIoError> {
+        let tables = streamed_breakdowns_by_process(dir, lag)?;
+        Ok(Self::from_tables(tables, names, dependencies, smi))
+    }
+
+    fn from_tables(
+        tables: Vec<(ProcessId, BreakdownTable)>,
+        names: &[(ProcessId, String)],
+        dependencies: Vec<(ProcessId, ProcessId)>,
+        smi: &UtilizationReport,
+    ) -> Self {
         let empty = BreakdownTable::new();
         let processes = names
             .iter()
@@ -346,5 +380,51 @@ mod tests {
         assert_eq!(rep.processes[1].gpu, DurationNs::from_micros(10));
         assert!((rep.true_gpu_percent - 20.0).abs() < 1e-9);
         assert!(rep.render().contains("worker_0"));
+    }
+
+    #[test]
+    fn chunk_dir_report_matches_in_memory_report() {
+        use crate::store::TraceWriter;
+
+        let mk_event = |pid: u32, kind: EventKind, s: u64, e: u64| {
+            Event::new(ProcessId(pid), kind, "x", us(s), us(e))
+        };
+        let trace = Trace {
+            pid: ProcessId(0),
+            events: vec![
+                mk_event(0, EventKind::Cpu(CpuCategory::Python), 0, 50),
+                mk_event(1, EventKind::Cpu(CpuCategory::Python), 0, 30),
+                mk_event(1, EventKind::Gpu(crate::event::GpuCategory::Kernel), 10, 20),
+            ],
+            counts: Default::default(),
+            per_op_transitions: vec![],
+            api_stats: vec![],
+            iterations: 0,
+            wall_end: us(50),
+        };
+        let smi = UtilizationSampler::new(DurationNs::from_micros(10)).sample(
+            &[(us(10), us(20))],
+            us(0),
+            us(50),
+        );
+        let names = [(ProcessId(0), "loader".to_string()), (ProcessId(1), "worker_0".to_string())];
+        let deps = vec![(ProcessId(0), ProcessId(1))];
+        let in_memory = MultiProcessReport::new(&trace, &names, deps.clone(), &smi);
+
+        let dir = std::env::temp_dir().join(format!("rlscope_report_dir_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = TraceWriter::create(&dir, 64).unwrap();
+        writer.write(trace.events.clone());
+        writer.finish().unwrap();
+        let streamed = MultiProcessReport::from_chunk_dir(
+            &dir,
+            &names,
+            deps,
+            &smi,
+            Some(DurationNs::from_micros(100)),
+        )
+        .unwrap();
+        assert_eq!(streamed, in_memory);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -26,6 +26,33 @@
 //! previous event's start is small and varints stay short. Varints are
 //! LEB128; deltas use zigzag so slightly out-of-order streams still
 //! encode compactly.
+//!
+//! Every field is validated on decode: unknown magic or event tags,
+//! truncation at any offset, overlong or overflowing varints, and
+//! out-of-range string-table ids all surface as
+//! [`TraceIoError::Corrupt`], never a panic (the corruption-fuzz suite
+//! in `tests/fuzz_codec.rs` holds this line).
+//!
+//! # Streaming reader contract
+//!
+//! A chunk directory is a set of `chunk_NNNNN.rls` files; stream order
+//! is name-length-then-lexicographic (see [`list_chunk_files`]) — the
+//! writer's rotation sequence, robust to the sequence number outgrowing
+//! its zero padding. Each
+//! chunk is self-contained — its string table and timestamp delta chain
+//! reset at the chunk header — so chunks decode independently and a
+//! reader never needs more than one chunk in memory.
+//!
+//! [`ChunkReader`] is the streaming access path: it iterates a directory
+//! one decoded chunk at a time, in stream order, yielding each chunk's
+//! `Vec<Event>` for the caller to consume and drop. Downstream analysis
+//! ([`crate::overlap::OverlapSweep`],
+//! [`crate::trace::streamed_breakdowns_by_process`]) reduces each batch
+//! to compact sweep state immediately, which is what lets
+//! whole-experiment chunk directories be analyzed without ever
+//! materializing the concatenated event stream ([`read_chunk_dir`] does
+//! exactly that concatenation and remains only for small traces and
+//! tests).
 
 use crate::event::{CpuCategory, Event, EventKind, GpuCategory};
 use crate::intern::Interner;
@@ -353,11 +380,21 @@ impl TraceWriter {
     /// Starts a writer thread that stores chunks under `dir`, rotating
     /// files once the encoded pending batch reaches `chunk_bytes`.
     ///
+    /// Any chunk files already in `dir` are deleted first: rotation
+    /// numbering restarts at `chunk_00000`, so leftovers from a previous
+    /// (possibly longer) run would otherwise survive alongside the new
+    /// stream and the name-ordered readers would silently concatenate
+    /// the two traces.
+    ///
     /// # Errors
     ///
-    /// Returns an error if `dir` cannot be created.
+    /// Returns an error if `dir` cannot be created or stale chunk files
+    /// cannot be removed.
     pub fn create(dir: &Path, chunk_bytes: usize) -> Result<Self, TraceIoError> {
         fs::create_dir_all(dir)?;
+        for stale in list_chunk_files(dir)? {
+            fs::remove_file(stale)?;
+        }
         let dir = dir.to_path_buf();
         let (tx, rx) = unbounded::<WriterCmd>();
         let handle = std::thread::spawn(move || -> Result<Vec<PathBuf>, TraceIoError> {
@@ -436,24 +473,90 @@ impl Drop for TraceWriter {
     }
 }
 
-/// Reads every chunk file under `dir` (sorted by name) and concatenates
-/// the events.
+/// Lists the chunk files under `dir` in stream order: shorter names
+/// first, then lexicographic — natural order for the writer's
+/// zero-padded `chunk_NNNNN.rls` rotation sequence even after the
+/// sequence number outgrows its padding (a plain name sort would slot
+/// `chunk_100000.rls` between `chunk_10000.rls` and `chunk_10001.rls`).
 ///
 /// # Errors
 ///
-/// Returns the first I/O or corruption error encountered.
-pub fn read_chunk_dir(dir: &Path) -> Result<Vec<Event>, TraceIoError> {
+/// Returns an error if the directory cannot be read.
+pub fn list_chunk_files(dir: &Path) -> Result<Vec<PathBuf>, TraceIoError> {
     let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|x| x == "rls"))
         .collect();
-    paths.sort();
+    paths.sort_by(|a, b| {
+        (a.as_os_str().len(), a.as_os_str()).cmp(&(b.as_os_str().len(), b.as_os_str()))
+    });
+    Ok(paths)
+}
+
+/// Iterates a chunk directory one decoded chunk at a time, in stream
+/// order, without concatenating events across chunks.
+///
+/// This is the bounded-memory entry point of the streaming analysis
+/// pipeline (see the module docs): at most one chunk's raw bytes and
+/// decoded events are live at a time, independent of how many chunks the
+/// directory holds. Each `next()` yields one chunk's `Vec<Event>` (or
+/// the first I/O / corruption error for that chunk); iteration order is
+/// the order [`read_chunk_dir`] would concatenate in.
+#[derive(Debug)]
+pub struct ChunkReader {
+    paths: std::vec::IntoIter<PathBuf>,
+}
+
+impl ChunkReader {
+    /// Opens `dir`, resolving its chunk files in stream order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be listed.
+    pub fn open(dir: &Path) -> Result<Self, TraceIoError> {
+        Ok(ChunkReader { paths: list_chunk_files(dir)?.into_iter() })
+    }
+
+    /// A reader over an explicit file list (e.g. [`TraceWriter::finish`]'s
+    /// return value), read in the given order.
+    pub fn from_files(files: Vec<PathBuf>) -> Self {
+        ChunkReader { paths: files.into_iter() }
+    }
+
+    /// Chunks not yet yielded.
+    pub fn remaining_chunks(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+impl Iterator for ChunkReader {
+    type Item = Result<Vec<Event>, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let path = self.paths.next()?;
+        let read = || -> Result<Vec<Event>, TraceIoError> {
+            let mut data = Vec::new();
+            fs::File::open(&path)?.read_to_end(&mut data)?;
+            decode_events(&data)
+        };
+        Some(read())
+    }
+}
+
+/// Reads every chunk file under `dir` (sorted by name) and concatenates
+/// the events.
+///
+/// Materializes the whole stream; prefer [`ChunkReader`] plus an
+/// incremental consumer for large directories.
+///
+/// # Errors
+///
+/// Returns the first I/O or corruption error encountered.
+pub fn read_chunk_dir(dir: &Path) -> Result<Vec<Event>, TraceIoError> {
     let mut events = Vec::new();
-    for p in paths {
-        let mut data = Vec::new();
-        fs::File::open(&p)?.read_to_end(&mut data)?;
-        events.extend(decode_events(&data)?);
+    for chunk in ChunkReader::open(dir)? {
+        events.extend(chunk?);
     }
     Ok(events)
 }
@@ -659,6 +762,100 @@ mod tests {
         assert!(files.len() > 1, "expected rotation, got {} file(s)", files.len());
         let read = read_chunk_dir(&dir).unwrap();
         assert_eq!(read, events);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Rotation numbering restarts at chunk_00000 per writer, so a new
+    /// writer must clear a reused directory's stale chunks — otherwise a
+    /// shorter rerun leaves the previous stream's tail on disk and the
+    /// name-ordered readers concatenate two traces.
+    #[test]
+    fn writer_clears_stale_chunks_from_reused_dir() {
+        let dir = std::env::temp_dir().join(format!("rlscope_stale_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let writer = TraceWriter::create(&dir, 64).unwrap(); // rotate every batch
+        for chunk in sample_events(50).chunks(10) {
+            writer.write(chunk.to_vec());
+        }
+        assert!(writer.finish().unwrap().len() > 2);
+
+        let writer = TraceWriter::create(&dir, 64).unwrap();
+        let short = sample_events(10);
+        writer.write(short.clone());
+        writer.finish().unwrap();
+        assert_eq!(read_chunk_dir(&dir).unwrap(), short);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunk_reader_streams_chunks_in_order() {
+        let dir = std::env::temp_dir().join(format!("rlscope_stream_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let writer = TraceWriter::create(&dir, 640).unwrap();
+        let events = sample_events(100);
+        for chunk in events.chunks(10) {
+            writer.write(chunk.to_vec());
+        }
+        let files = writer.finish().unwrap();
+        assert!(files.len() > 1);
+
+        let mut reader = ChunkReader::open(&dir).unwrap();
+        assert_eq!(reader.remaining_chunks(), files.len());
+        let mut streamed = Vec::new();
+        let mut chunks = 0;
+        for chunk in &mut reader {
+            let chunk = chunk.unwrap();
+            assert!(!chunk.is_empty());
+            streamed.extend(chunk);
+            chunks += 1;
+        }
+        assert_eq!(chunks, files.len());
+        // Stream order is exactly read_chunk_dir's concatenation order.
+        assert_eq!(streamed, events);
+        assert_eq!(ChunkReader::from_files(files).flat_map(|c| c.unwrap()).count(), 100);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Stream order must survive the rotation sequence outgrowing its
+    /// zero padding: chunk_100000 comes after chunk_99999, not between
+    /// chunk_10000 and chunk_10001 as a plain name sort would put it.
+    #[test]
+    fn chunk_order_survives_padding_overflow() {
+        let dir = std::env::temp_dir().join(format!("rlscope_pad_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        for seq in ["10000", "10001", "99999", "100000", "100001"] {
+            fs::write(dir.join(format!("chunk_{seq}.rls")), b"").unwrap();
+        }
+        let names: Vec<String> = list_chunk_files(&dir)
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "chunk_10000.rls",
+                "chunk_10001.rls",
+                "chunk_99999.rls",
+                "chunk_100000.rls",
+                "chunk_100001.rls"
+            ]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunk_reader_surfaces_per_chunk_corruption() {
+        let dir = std::env::temp_dir().join(format!("rlscope_streamc_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("chunk_00000.rls"), encode_events(&sample_events(5))).unwrap();
+        fs::write(dir.join("chunk_00001.rls"), b"garbage").unwrap();
+        let mut reader = ChunkReader::open(&dir).unwrap();
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,14 +1,16 @@
 //! The finalized trace of one profiled process, and multi-process merging.
 
 use crate::event::{BookkeepingCounts, Event};
-use crate::overlap::{compute_overlap, BreakdownTable};
+use crate::overlap::{compute_overlap, compute_overlap_indexed, BreakdownTable, OverlapSweep};
 use crate::profiler::TransitionKind;
+use crate::store::{ChunkReader, TraceIoError};
 use parking_lot::Mutex;
 use rlscope_sim::cuda::CudaApiKind;
 use rlscope_sim::ids::ProcessId;
 use rlscope_sim::time::{DurationNs, TimeNs};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -133,55 +135,60 @@ impl Trace {
         self.events.iter().filter(|e| e.pid == pid).collect()
     }
 
-    /// Breakdown restricted to one process.
+    /// Breakdown restricted to one process, sweeping index references
+    /// into the borrowed event slice (no per-process event clones).
     pub fn breakdown_for(&self, pid: ProcessId) -> BreakdownTable {
-        let events: Vec<Event> = self.events.iter().filter(|e| e.pid == pid).cloned().collect();
-        compute_overlap(&events)
+        let indices: Vec<u32> = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.pid == pid)
+            .map(|(i, _)| i as u32)
+            .collect();
+        compute_overlap_indexed(&self.events, &indices)
     }
 
-    /// Per-process breakdown tables, computed in parallel.
+    /// Per-process index partition of the event stream: `(pid, indices)`
+    /// in first-seen pid order, one pass, no event clones.
+    fn partition_by_process(&self) -> Vec<(ProcessId, Vec<u32>)> {
+        let mut slot_of: HashMap<ProcessId, usize> = HashMap::new();
+        let mut groups: Vec<(ProcessId, Vec<u32>)> = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            let slot = *slot_of.entry(e.pid).or_insert_with(|| {
+                groups.push((e.pid, Vec::new()));
+                groups.len() - 1
+            });
+            groups[slot].1.push(i as u32);
+        }
+        groups
+    }
+
+    /// Per-process breakdown tables, computed in parallel over one
+    /// borrowed event slice.
     ///
-    /// Events are partitioned by pid in one pass (instead of one
-    /// re-filtering scan per process as chained [`Trace::breakdown_for`]
-    /// calls would do), then each process's sweep runs on a worker
-    /// thread, capped at the machine's available parallelism. Results
-    /// are returned in first-seen pid order of the event stream.
+    /// The merged stream is partitioned into per-pid **index lists** in
+    /// one pass — events are never cloned, unlike the former
+    /// per-pid-`Vec<Event>` sharding, so peak memory stays one `u32` per
+    /// event over the trace itself. Each process's sweep
+    /// ([`compute_overlap_indexed`]) then runs on a worker thread, capped
+    /// at the machine's available parallelism. Results are returned in
+    /// first-seen pid order of the event stream.
     ///
     /// This is the whole-experiment analysis path: reports over merged
     /// multi-process traces ([`crate::report::MultiProcessReport`])
     /// consume these partial tables and aggregate them with
     /// [`BreakdownTable::merge`].
     pub fn breakdowns_by_process(&self) -> Vec<(ProcessId, BreakdownTable)> {
-        let mut order: Vec<ProcessId> = Vec::new();
-        let mut groups: HashMap<ProcessId, Vec<Event>> = HashMap::new();
-        for e in &self.events {
-            groups
-                .entry(e.pid)
-                .or_insert_with(|| {
-                    order.push(e.pid);
-                    Vec::new()
-                })
-                .push(e.clone());
-        }
+        let tasks = self.partition_by_process();
         let workers =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(order.len());
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(tasks.len());
         if workers <= 1 {
-            return order
+            return tasks
                 .into_iter()
-                .map(|pid| {
-                    let table = compute_overlap(&groups[&pid]);
-                    (pid, table)
-                })
+                .map(|(pid, indices)| (pid, compute_overlap_indexed(&self.events, &indices)))
                 .collect();
         }
 
-        let tasks: Vec<(ProcessId, Vec<Event>)> = order
-            .into_iter()
-            .map(|pid| {
-                let events = groups.remove(&pid).expect("grouped above");
-                (pid, events)
-            })
-            .collect();
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<BreakdownTable>>> =
             tasks.iter().map(|_| Mutex::new(None)).collect();
@@ -189,8 +196,8 @@ impl Trace {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((_, events)) = tasks.get(i) else { break };
-                    *results[i].lock() = Some(compute_overlap(events));
+                    let Some((_, indices)) = tasks.get(i) else { break };
+                    *results[i].lock() = Some(compute_overlap_indexed(&self.events, indices));
                 });
             }
         });
@@ -211,6 +218,79 @@ impl Trace {
         }
         merged
     }
+}
+
+/// Streaming equivalent of [`Trace::breakdowns_by_process`] over a chunk
+/// directory: decodes one chunk at a time ([`ChunkReader`]) and routes
+/// each event into a per-process incremental [`OverlapSweep`], so the
+/// concatenated event stream is never materialized. Results are in
+/// first-seen pid order of the stream — identical tables, in identical
+/// order, to reading the directory whole and sharding in memory.
+///
+/// With `lag = Some(d)`, per-process sweeps run in bounded-memory mode:
+/// each process's working set stays flat as the directory grows, provided
+/// that process's start times are sorted to within `d` in stream order.
+/// A stream more disordered than that is detected (never silently
+/// misattributed) and transparently re-analyzed with exact sweeps — the
+/// chunks are still on disk, so the fallback is one more pass, not a
+/// failure. With `lag = None`, exact sweeps are used directly.
+///
+/// # Errors
+///
+/// Returns the first I/O or corruption error encountered.
+pub fn streamed_breakdowns_by_process(
+    dir: &Path,
+    lag: Option<DurationNs>,
+) -> Result<Vec<(ProcessId, BreakdownTable)>, TraceIoError> {
+    match try_streamed_breakdowns(dir, lag) {
+        Ok(tables) => Ok(tables),
+        // Disorder beyond the lag: fall back to exact sweeps.
+        Err(StreamedSweepError::Order) if lag.is_some() => {
+            match try_streamed_breakdowns(dir, None) {
+                Ok(tables) => Ok(tables),
+                Err(StreamedSweepError::Io(e)) => Err(e),
+                Err(StreamedSweepError::Order) => unreachable!("exact sweeps accept any order"),
+            }
+        }
+        Err(StreamedSweepError::Order) => unreachable!("exact sweeps accept any order"),
+        Err(StreamedSweepError::Io(e)) => Err(e),
+    }
+}
+
+enum StreamedSweepError {
+    Io(TraceIoError),
+    Order,
+}
+
+impl From<TraceIoError> for StreamedSweepError {
+    fn from(e: TraceIoError) -> Self {
+        StreamedSweepError::Io(e)
+    }
+}
+
+fn try_streamed_breakdowns(
+    dir: &Path,
+    lag: Option<DurationNs>,
+) -> Result<Vec<(ProcessId, BreakdownTable)>, StreamedSweepError> {
+    let new_sweep = || match lag {
+        Some(d) => OverlapSweep::bounded(d),
+        None => OverlapSweep::new(),
+    };
+    let mut slot_of: HashMap<ProcessId, usize> = HashMap::new();
+    let mut sweeps: Vec<(ProcessId, OverlapSweep)> = Vec::new();
+    for chunk in ChunkReader::open(dir)? {
+        for e in &chunk? {
+            let slot = *slot_of.entry(e.pid).or_insert_with(|| {
+                sweeps.push((e.pid, new_sweep()));
+                sweeps.len() - 1
+            });
+            sweeps[slot].1.push(e).map_err(|err| match err {
+                crate::overlap::SweepError::OrderViolation { .. } => StreamedSweepError::Order,
+                other => StreamedSweepError::Io(TraceIoError::Corrupt(other.to_string())),
+            })?;
+        }
+    }
+    Ok(sweeps.into_iter().map(|(pid, sweep)| (pid, sweep.finalize())).collect())
 }
 
 #[cfg(test)]
@@ -308,5 +388,57 @@ mod tests {
         t.events.clear();
         assert!(t.breakdowns_by_process().is_empty());
         assert!(t.breakdown_per_process().is_empty());
+    }
+
+    #[test]
+    fn streamed_chunk_dir_matches_in_memory_sharding() {
+        use crate::store::TraceWriter;
+
+        let mut merged =
+            Trace::merge(vec![trace_with(0, 1, 100), trace_with(1, 2, 80), trace_with(2, 3, 60)]);
+        // End-ordered disorder on pid 0: a later record starting earlier,
+        // as the profiler's record-at-close order produces.
+        let py = |s: u64, e: u64| {
+            Event::new(
+                ProcessId(0),
+                EventKind::Cpu(CpuCategory::Python),
+                "late",
+                TimeNs::from_micros(s),
+                TimeNs::from_micros(e),
+            )
+        };
+        merged.events.push(py(150, 220));
+        merged.events.push(py(110, 130));
+        let dir = std::env::temp_dir().join(format!("rlscope_streamed_bd_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = TraceWriter::create(&dir, 64).unwrap();
+        for chunk in merged.events.chunks(2) {
+            writer.write(chunk.to_vec());
+        }
+        writer.finish().unwrap();
+
+        let expected = merged.breakdowns_by_process();
+        // Exact mode accepts any stream order.
+        let exact = streamed_breakdowns_by_process(&dir, None).unwrap();
+        assert_eq!(exact, expected);
+        // Bounded mode: these per-pid streams are start-sorted, so the
+        // eager path applies; a too-tight lag must still end up correct
+        // via the exact-sweep fallback.
+        let bounded =
+            streamed_breakdowns_by_process(&dir, Some(DurationNs::from_micros(200))).unwrap();
+        assert_eq!(bounded, expected);
+        let tight = streamed_breakdowns_by_process(&dir, Some(DurationNs::ZERO)).unwrap();
+        assert_eq!(tight, expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streamed_chunk_dir_propagates_errors() {
+        let dir = std::env::temp_dir().join(format!("rlscope_streamed_err_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("chunk_00000.rls"), b"garbage").unwrap();
+        assert!(streamed_breakdowns_by_process(&dir, None).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -21,6 +21,7 @@ pub mod adapter;
 pub mod calibration_suite;
 pub mod experiments;
 pub mod frameworks;
+pub mod membench;
 pub mod minigo;
 pub mod runner;
 pub mod stack;
@@ -31,6 +32,7 @@ pub use experiments::{
     run_correction_ablation, run_framework_comparison, run_simulator_survey, ExperimentRun,
 };
 pub use frameworks::{table1, CollectCosts, FrameworkConfig};
+pub use membench::{run_membench, MemBenchReport, TrackingAlloc};
 pub use minigo::{run_minigo, MinigoConfig, MinigoResult};
 pub use runner::{make_agent, make_env, run_annotated_loop, RunOutcome, ScaleConfig, TrainSpec};
 pub use stack::Stack;

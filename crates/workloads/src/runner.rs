@@ -8,6 +8,7 @@ use crate::adapter::ContinuousAdapter;
 use crate::frameworks::{CollectCosts, FrameworkConfig};
 use crate::stack::Stack;
 use rlscope_core::profiler::{Profiler, Toggles};
+use rlscope_core::store::{TraceIoError, TraceWriter};
 use rlscope_core::trace::Trace;
 use rlscope_envs::{AirLearning, Environment, Locomotion, LocomotionTask, Pong};
 use rlscope_rl::{
@@ -295,6 +296,36 @@ impl TrainSpec {
         outcome.trace = profiler.map(|p| p.finish());
         outcome
     }
+
+    /// Executes the workload profiled and stores the trace as a rotated
+    /// chunk directory under `dir`, the on-disk form the streaming
+    /// analysis pipeline consumes
+    /// ([`rlscope_core::trace::streamed_breakdowns_by_process`],
+    /// [`rlscope_core::report::MultiProcessReport::from_chunk_dir`]).
+    /// Chunk files already in `dir` are **deleted** first
+    /// ([`TraceWriter::create`]'s stale-chunk purge), so a reused
+    /// directory holds exactly this run. Returns the run outcome (its
+    /// `trace` still attached, for callers that want to cross-check the
+    /// streamed analysis) and the chunk files written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chunk-writer I/O errors.
+    pub fn run_to_chunk_dir(
+        &self,
+        toggles: Toggles,
+        dir: &std::path::Path,
+        chunk_bytes: usize,
+    ) -> Result<(RunOutcome, Vec<std::path::PathBuf>), TraceIoError> {
+        let outcome = self.run(Some(toggles));
+        let trace = outcome.trace.as_ref().expect("profiled run always carries a trace");
+        let writer = TraceWriter::create(dir, chunk_bytes)?;
+        for chunk in trace.events.chunks(1024) {
+            writer.write(chunk.to_vec());
+        }
+        let files = writer.finish()?;
+        Ok((outcome, files))
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +395,26 @@ mod tests {
     fn ppo_runs_on_pong_via_adapter() {
         let out = spec(AlgoKind::Ppo2, "Pong").run(Some(Toggles::all()));
         assert!(out.trace.is_some());
+    }
+
+    #[test]
+    fn chunked_run_streams_to_identical_breakdowns() {
+        use rlscope_core::trace::streamed_breakdowns_by_process;
+
+        let dir =
+            std::env::temp_dir().join(format!("rlscope_runner_chunks_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (out, files) = spec(AlgoKind::Ddpg, "Walker2D")
+            .run_to_chunk_dir(Toggles::all(), &dir, 16 * 1024)
+            .unwrap();
+        assert!(!files.is_empty());
+        let trace = out.trace.unwrap();
+        // The streamed chunk-dir analysis reproduces the in-memory
+        // sharded analysis exactly, table for table — real profiler
+        // streams are end-ordered, so this exercises the exact sweeps.
+        let streamed = streamed_breakdowns_by_process(&dir, None).unwrap();
+        assert_eq!(streamed, trace.breakdowns_by_process());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Regenerates the golden trace corpus under `tests/corpus/`.
+//!
+//! Run after any **deliberate** change to the chunk wire formats, the
+//! overlap sweep's attribution semantics, or the fixture itself:
+//!
+//! ```text
+//! cargo run --example gen_corpus
+//! ```
+//!
+//! then review the corpus diff as part of the change. `tests/golden.rs`
+//! fails on any drift between the checked-in files and the current
+//! codec/sweep behavior.
+
+use rlscope::core::compute_overlap;
+use rlscope::core::store::{encode_events, encode_events_v1};
+use std::path::Path;
+
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/fixture.rs"));
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let events = corpus_events();
+    let extreme = corpus_extreme_events();
+
+    let v2 = encode_events(&events);
+    assert_eq!(&v2[..8], b"RLSCOPE2", "main corpus must encode as v2");
+    let v1 = encode_events_v1(&events);
+    let extreme_chunk = encode_events(&extreme);
+    assert_eq!(&extreme_chunk[..8], b"RLSCOPE1", "extreme corpus must fall back to v1");
+
+    std::fs::write(dir.join("corpus_v2.rls"), &v2).unwrap();
+    std::fs::write(dir.join("corpus_v1.rls"), &v1).unwrap();
+    std::fs::write(dir.join("corpus_extreme.rls"), &extreme_chunk).unwrap();
+    std::fs::write(dir.join("expected_overall.json"), compute_overlap(&events).canonical_json())
+        .unwrap();
+    std::fs::write(
+        dir.join("expected_by_pid.json"),
+        per_pid_canonical_json(&per_pid_tables(&events)),
+    )
+    .unwrap();
+    std::fs::write(dir.join("expected_extreme.json"), compute_overlap(&extreme).canonical_json())
+        .unwrap();
+
+    println!(
+        "wrote {} events (v1 {} B, v2 {} B) + {} extreme events to {}",
+        events.len(),
+        v1.len(),
+        v2.len(),
+        extreme.len(),
+        dir.display()
+    );
+}

@@ -1,0 +1,133 @@
+// The golden-corpus event fixture, shared (via `include!`) by the
+// corpus generator (`examples/gen_corpus.rs`) and the drift harness
+// (`tests/golden.rs`). Deliberately adversarial but fully deterministic:
+// every event kind, multiple processes, nested and non-LIFO operation
+// scopes, duplicate operation names, zero-length intervals, timestamp
+// ties, end-ordered (profiler-style) disorder, and names that stress
+// UTF-8 handling and JSON escaping.
+//
+// **Changing this fixture invalidates the checked-in corpus files** —
+// regenerate them with `cargo run --example gen_corpus` and review the
+// resulting diff as a deliberate format/semantics change.
+
+/// Builds the fixture event stream (stable order, stable contents).
+pub fn corpus_events() -> Vec<rlscope::core::Event> {
+    use rlscope::core::event::{CpuCategory, Event, EventKind, GpuCategory};
+    use rlscope::sim::ids::ProcessId;
+    use rlscope::sim::time::TimeNs;
+
+    let e = |pid: u32, kind: EventKind, name: &str, start: u64, end: u64| {
+        Event::new(ProcessId(pid), kind, name, TimeNs::from_nanos(start), TimeNs::from_nanos(end))
+    };
+    let mut events = vec![
+        // A regular annotated phase on pid 0: nested operations with CPU
+        // carve-outs and GPU overlap (Figure-3-style arithmetic).
+        e(0, EventKind::Phase, "training", 0, 100_000),
+        e(0, EventKind::Operation, "mcts_tree_search", 0, 40_500),
+        e(0, EventKind::Operation, "expand_leaf", 10_000, 39_500),
+        e(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 40_500),
+        e(0, EventKind::Cpu(CpuCategory::Backend), "be", 12_000, 30_000),
+        e(0, EventKind::Cpu(CpuCategory::CudaApi), "cudaLaunchKernel", 14_000, 19_000),
+        e(0, EventKind::Gpu(GpuCategory::Kernel), "matmul_kernel", 14_500, 23_000),
+        e(0, EventKind::Gpu(GpuCategory::Memcpy), "HtoD", 27_000, 35_500),
+        // pid 1: duplicate operation names (recursion), a non-LIFO close,
+        // simulator time, and a timestamp tie with pid 0's boundaries.
+        e(1, EventKind::Operation, "simulate", 5_000, 60_000),
+        e(1, EventKind::Operation, "simulate", 20_000, 30_000),
+        e(1, EventKind::Operation, "overlap_a", 35_000, 50_000),
+        e(1, EventKind::Operation, "overlap_b", 40_000, 55_000),
+        e(1, EventKind::Cpu(CpuCategory::Simulator), "mujoco", 5_000, 58_000),
+        e(1, EventKind::Cpu(CpuCategory::Python), "py", 0, 62_000),
+        e(1, EventKind::Gpu(GpuCategory::Kernel), "render", 40_500, 40_500), // zero-length
+        e(1, EventKind::Gpu(GpuCategory::Kernel), "render", 41_000, 47_000),
+        // pid 2: untracked CPU/GPU time only, with exotic names
+        // exercising string-table dedup, UTF-8, and JSON escaping.
+        e(2, EventKind::Cpu(CpuCategory::Backend), "tensor→grad \"fast\"", 1_000, 9_000),
+        e(2, EventKind::Cpu(CpuCategory::Backend), "tensor→grad \"fast\"", 9_000, 12_000),
+        e(2, EventKind::Gpu(GpuCategory::Kernel), "kernel\tλ", 2_000, 6_000),
+        // End-ordered (record-at-close) disorder: later records starting
+        // earlier, as real profiler streams produce.
+        e(0, EventKind::Cpu(CpuCategory::Python), "py", 50_000, 90_000),
+        e(0, EventKind::Operation, "checkpoint", 45_000, 95_000),
+        e(0, EventKind::Cpu(CpuCategory::CudaApi), "cudaMemcpyAsync", 52_000, 54_000),
+    ];
+
+    // A deterministic near-chronological tail over all pids: ties,
+    // adjacent intervals, and rotating kinds/names.
+    let mut t = 60_000u64;
+    for i in 0..40u64 {
+        let pid = (i % 3) as u32;
+        let (kind, name) = match i % 5 {
+            0 => (EventKind::Cpu(CpuCategory::Python), "py"),
+            1 => (EventKind::Cpu(CpuCategory::Backend), "be"),
+            2 => (EventKind::Cpu(CpuCategory::CudaApi), "cudaLaunchKernel"),
+            3 => (EventKind::Gpu(GpuCategory::Kernel), "matmul_kernel"),
+            _ => (EventKind::Cpu(CpuCategory::Simulator), "mujoco"),
+        };
+        events.push(e(pid, kind, name, t, t + 700 + (i % 4) * 150));
+        if i % 8 == 0 {
+            events.push(e(pid, EventKind::Operation, "tail_op", t, t + 2_000));
+        }
+        t += 400 + (i % 3) * 100;
+    }
+    events
+}
+
+/// Extreme-timestamp fixture: starts beyond the v2 delta-codable range,
+/// so [`rlscope::core::store::encode_events`] must fall back to the v1
+/// wire format and still round-trip exactly.
+pub fn corpus_extreme_events() -> Vec<rlscope::core::Event> {
+    use rlscope::core::event::{CpuCategory, Event, EventKind, GpuCategory};
+    use rlscope::sim::ids::ProcessId;
+    use rlscope::sim::time::TimeNs;
+
+    let e = |pid: u32, kind: EventKind, name: &str, start: u64, end: u64| {
+        Event::new(ProcessId(pid), kind, name, TimeNs::from_nanos(start), TimeNs::from_nanos(end))
+    };
+    vec![
+        e(0, EventKind::Operation, "edge", u64::MAX - 10_000, u64::MAX - 1),
+        e(0, EventKind::Cpu(CpuCategory::Python), "py", u64::MAX - 9_000, u64::MAX - 4_000),
+        e(0, EventKind::Gpu(GpuCategory::Kernel), "k", u64::MAX - 6_000, u64::MAX - 2_000),
+    ]
+}
+
+/// First-seen-pid-order per-process tables over a borrowed event slice —
+/// the same partition and sweep `Trace::breakdowns_by_process` performs.
+/// Shared by the generator and the harness so the two can never disagree
+/// on the per-pid reference.
+pub fn per_pid_tables(
+    events: &[rlscope::core::Event],
+) -> Vec<(rlscope::sim::ids::ProcessId, rlscope::core::BreakdownTable)> {
+    use rlscope::core::overlap::compute_overlap_indexed;
+    use rlscope::sim::ids::ProcessId;
+
+    let mut order: Vec<(ProcessId, Vec<u32>)> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match order.iter_mut().find(|(p, _)| *p == e.pid) {
+            Some((_, indices)) => indices.push(i as u32),
+            None => order.push((e.pid, vec![i as u32])),
+        }
+    }
+    order
+        .into_iter()
+        .map(|(pid, indices)| (pid, compute_overlap_indexed(events, &indices)))
+        .collect()
+}
+
+/// Canonical JSON for a set of per-process tables: one object keyed
+/// `"pid_N"` (in given order) whose values are each table's
+/// [`rlscope::core::BreakdownTable::canonical_json`] array.
+pub fn per_pid_canonical_json(
+    tables: &[(rlscope::sim::ids::ProcessId, rlscope::core::BreakdownTable)],
+) -> String {
+    let mut out = String::from("{\n");
+    for (i, (pid, table)) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!("\"pid_{}\": ", pid.as_u32()));
+        out.push_str(table.canonical_json().trim_end());
+    }
+    out.push_str("\n}\n");
+    out
+}

@@ -1,0 +1,125 @@
+//! Golden trace corpus: any drift in codec bytes or sweep attribution
+//! fails here.
+//!
+//! The corpus under `tests/corpus/` holds checked-in v1 and v2 chunk
+//! files for a fixed adversarial event stream plus the expected
+//! `BreakdownTable`s in canonical JSON. Deliberate format or semantics
+//! changes must regenerate it (`cargo run --example gen_corpus`) and the
+//! corpus diff reviewed with the change; anything else failing these
+//! tests is a regression.
+
+use rlscope::core::compute_overlap;
+use rlscope::core::overlap::OverlapSweep;
+use rlscope::core::store::{decode_events, encode_events, encode_events_v1, TraceWriter};
+use rlscope::core::trace::streamed_breakdowns_by_process;
+use std::path::{Path, PathBuf};
+
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/fixture.rs"));
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_file(name: &str) -> Vec<u8> {
+    std::fs::read(corpus_dir().join(name)).unwrap_or_else(|e| {
+        panic!("missing corpus file {name} ({e}); run `cargo run --example gen_corpus`")
+    })
+}
+
+fn corpus_text(name: &str) -> String {
+    String::from_utf8(corpus_file(name)).unwrap()
+}
+
+/// Decoding the checked-in chunks must reproduce the fixture exactly —
+/// both wire formats, field for field.
+#[test]
+fn corpus_chunks_decode_to_fixture() {
+    let events = corpus_events();
+    assert_eq!(decode_events(&corpus_file("corpus_v2.rls")).unwrap(), events, "v2 decode drift");
+    assert_eq!(decode_events(&corpus_file("corpus_v1.rls")).unwrap(), events, "v1 decode drift");
+    assert_eq!(
+        decode_events(&corpus_file("corpus_extreme.rls")).unwrap(),
+        corpus_extreme_events(),
+        "extreme (v1-fallback) decode drift"
+    );
+}
+
+/// Encoding the fixture must reproduce the checked-in bytes exactly: the
+/// wire formats are frozen, including string-table order and varint
+/// choices. (New formats get a new magic, not silent byte changes.)
+#[test]
+fn corpus_encode_is_byte_stable() {
+    let events = corpus_events();
+    assert_eq!(&encode_events(&events)[..], &corpus_file("corpus_v2.rls")[..], "v2 encode drift");
+    assert_eq!(
+        &encode_events_v1(&events)[..],
+        &corpus_file("corpus_v1.rls")[..],
+        "v1 encode drift"
+    );
+    let extreme = encode_events(&corpus_extreme_events());
+    assert_eq!(&extreme[..8], b"RLSCOPE1", "extreme timestamps must fall back to v1");
+    assert_eq!(&extreme[..], &corpus_file("corpus_extreme.rls")[..], "extreme encode drift");
+}
+
+/// The batch sweep's attribution over the corpus is frozen in canonical
+/// JSON — any bucket or nanosecond of drift fails.
+#[test]
+fn corpus_overlap_matches_expected_tables() {
+    let events = corpus_events();
+    assert_eq!(
+        compute_overlap(&events).canonical_json(),
+        corpus_text("expected_overall.json"),
+        "merged-stream sweep drift"
+    );
+    assert_eq!(
+        per_pid_canonical_json(&per_pid_tables(&events)),
+        corpus_text("expected_by_pid.json"),
+        "per-process sweep drift"
+    );
+    assert_eq!(
+        compute_overlap(&corpus_extreme_events()).canonical_json(),
+        corpus_text("expected_extreme.json"),
+        "extreme-timestamp sweep drift"
+    );
+}
+
+/// The streaming sweep must produce the identical frozen table over the
+/// decoded corpus, at several chunk granularities.
+#[test]
+fn corpus_streaming_sweep_matches_expected() {
+    let events = decode_events(&corpus_file("corpus_v2.rls")).unwrap();
+    let expected = corpus_text("expected_overall.json");
+    for chunk_len in [1usize, 7, 64, events.len()] {
+        let mut sweep = OverlapSweep::new();
+        for chunk in events.chunks(chunk_len) {
+            sweep.push_batch(chunk).unwrap();
+        }
+        assert_eq!(
+            sweep.finalize().canonical_json(),
+            expected,
+            "streaming sweep drift at chunk_len {chunk_len}"
+        );
+    }
+}
+
+/// End-to-end streaming over a chunk directory built from the corpus:
+/// the per-process tables must match the frozen per-pid JSON.
+#[test]
+fn corpus_chunk_dir_streams_to_expected_tables() {
+    let events = corpus_events();
+    let dir = std::env::temp_dir().join(format!("rlscope_golden_dir_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let writer = TraceWriter::create(&dir, 256).unwrap();
+    for chunk in events.chunks(5) {
+        writer.write(chunk.to_vec());
+    }
+    let files = writer.finish().unwrap();
+    assert!(files.len() > 1, "corpus should span multiple chunks");
+    let tables = streamed_breakdowns_by_process(&dir, None).unwrap();
+    assert_eq!(
+        per_pid_canonical_json(&tables),
+        corpus_text("expected_by_pid.json"),
+        "streamed chunk-dir analysis drift"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

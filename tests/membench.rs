@@ -1,0 +1,58 @@
+//! The `bench` workload harness: with a byte-counting global allocator
+//! installed, the streamed chunk-directory analysis must hold its peak
+//! allocation flat while the event count grows 100×, and the
+//! full-materialization path must not.
+
+use rlscope::workloads::membench::{run_membench, TrackingAlloc, EVENTS_PER_SCALE};
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+#[test]
+fn streamed_peak_allocation_stays_flat_across_100x_growth() {
+    let base = std::env::temp_dir().join(format!("rlscope_membench_it_{}", std::process::id()));
+    let small_dir = base.join("x1");
+    let big_dir = base.join("x100");
+    let _ = std::fs::remove_dir_all(&base);
+
+    let small = run_membench(&small_dir, 1).unwrap();
+    let big = run_membench(&big_dir, 100).unwrap();
+    std::fs::remove_dir_all(&base).unwrap();
+
+    // Correctness first: both passes agree at both scales.
+    assert!(small.tables_match, "streamed != batch at scale 1");
+    assert!(big.tables_match, "streamed != batch at scale 100");
+    assert_eq!(small.events, EVENTS_PER_SCALE);
+    assert_eq!(big.events, EVENTS_PER_SCALE * 100);
+
+    // The allocator is installed, so peaks are real measurements.
+    assert!(small.streamed_peak > 0 && small.batch_peak > 0, "allocator not tracking");
+
+    // The batch path materializes every event: peak grows roughly with
+    // the stream (×100 here; require ×20 to stay robust to allocator
+    // rounding and arena reuse).
+    assert!(
+        big.batch_peak > small.batch_peak.saturating_mul(20),
+        "batch peak unexpectedly flat: {} -> {} bytes",
+        small.batch_peak,
+        big.batch_peak
+    );
+
+    // The streamed path holds one decoded chunk plus bounded sweep
+    // windows: peak must stay flat across the 100× growth (generous 4×
+    // slack for allocator noise and hash-map resizing).
+    assert!(
+        big.streamed_peak < small.streamed_peak.saturating_mul(4),
+        "streamed peak grew with the stream: {} -> {} bytes",
+        small.streamed_peak,
+        big.streamed_peak
+    );
+
+    // And at scale, streaming is the decisively smaller footprint.
+    assert!(
+        big.streamed_peak.saturating_mul(10) < big.batch_peak,
+        "streamed peak {} not well under batch peak {}",
+        big.streamed_peak,
+        big.batch_peak
+    );
+}

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use rlscope::core::event::{CpuCategory, Event, EventKind, GpuCategory};
-use rlscope::core::overlap::{compute_overlap, BreakdownTable, BucketKey};
+use rlscope::core::overlap::{compute_overlap, BreakdownTable, BucketKey, OverlapSweep};
 use rlscope::core::store::{decode_events, encode_events, encode_events_v1};
 use rlscope::core::Trace;
 use rlscope::sim::ids::ProcessId;
@@ -170,7 +170,45 @@ proptest! {
         prop_assert_eq!(fast.total().as_nanos(), union);
     }
 
-    /// Sharded per-process analysis equals the serial per-pid filter path.
+    /// The incremental streaming sweep over **arbitrary chunk splits** of
+    /// an arbitrary event stream is bucket-for-bucket equal to the batch
+    /// `compute_overlap` over the concatenation.
+    #[test]
+    fn streaming_sweep_matches_batch_on_arbitrary_splits(
+        events in prop::collection::vec(arb_full_event(), 0..60),
+        chunk_lens in prop::collection::vec(1usize..12, 1..12),
+    ) {
+        let batch = compute_overlap(&events);
+        let mut sweep = OverlapSweep::new();
+        let mut rest: &[Event] = &events;
+        let mut cuts = chunk_lens.iter().cycle();
+        while !rest.is_empty() {
+            let take = (*cuts.next().unwrap()).min(rest.len());
+            sweep.push_batch(&rest[..take]).unwrap();
+            rest = &rest[take..];
+        }
+        prop_assert_eq!(sweep.finalize(), batch);
+    }
+
+    /// On start-sorted streams the bounded-memory sweep never rejects —
+    /// whatever the lag — and still equals the batch table exactly.
+    #[test]
+    fn bounded_sweep_matches_batch_on_sorted_streams(
+        unsorted in prop::collection::vec(arb_full_event(), 0..60),
+        lag in 0u64..2_000,
+    ) {
+        let mut events = unsorted;
+        events.sort_by_key(|e| e.start);
+        let batch = compute_overlap(&events);
+        let mut sweep = OverlapSweep::bounded(DurationNs::from_nanos(lag));
+        for e in &events {
+            sweep.push(e).unwrap();
+        }
+        prop_assert_eq!(sweep.finalize(), batch);
+    }
+
+    /// Index-sharded per-process analysis over one borrowed slice equals
+    /// the sequential per-pid path, table for table, in first-seen order.
     #[test]
     fn parallel_per_process_matches_serial(
         events in prop::collection::vec(arb_event(), 0..80),
@@ -186,6 +224,11 @@ proptest! {
         };
         let sharded = trace.breakdowns_by_process();
         for (pid, table) in &sharded {
+            // Independent reference: filter-and-clone the pid's events and
+            // run the plain batch sweep over the owned copy.
+            let filtered: Vec<Event> =
+                trace.events.iter().filter(|e| e.pid == *pid).cloned().collect();
+            prop_assert_eq!(table, &compute_overlap(&filtered));
             prop_assert_eq!(table, &trace.breakdown_for(*pid));
         }
         let merged_total: DurationNs = sharded.iter().map(|(_, t)| t.total()).sum();
