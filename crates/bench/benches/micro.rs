@@ -3,6 +3,7 @@
 //! math, and GPU stream scheduling.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rlscope_core::analysis::{Analysis, Dim};
 use rlscope_core::event::{CpuCategory, Event, EventKind, GpuCategory};
 use rlscope_core::overlap::{compute_overlap, OverlapSweep};
 use rlscope_core::store::{decode_events, encode_events, TraceWriter};
@@ -108,6 +109,27 @@ fn multi_op_events(n: usize, ops: usize, procs: u32) -> Vec<Event> {
     events
 }
 
+/// The active positional benchmark filter, parsed with the harness's
+/// argument grammar (vendor/criterion): value-taking flags consume their
+/// next token, the LAST positional token is the filter (and single-dash
+/// tokens count as positionals). Shared by the inline regression gates so
+/// filtered runs of unrelated benches can't die on them.
+fn bench_filter() -> Option<String> {
+    let mut filter: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile-time" | "--save-baseline" | "--baseline" | "--measurement-time"
+            | "--warm-up-time" | "--sample-size" => {
+                let _ = args.next();
+            }
+            a if a.starts_with("--") => {}
+            positional => filter = Some(positional.to_string()),
+        }
+    }
+    filter
+}
+
 fn bench_overlap(c: &mut Criterion) {
     let mut group = c.benchmark_group("overlap_sweep");
     for n in [1_000usize, 10_000] {
@@ -134,25 +156,9 @@ fn bench_overlap(c: &mut Criterion) {
     // flat stream; the run-reversing boundary sort holds the ratio down.
     // Measured directly (not via criterion) so it also runs under
     // `--test`. Skipped when a substring filter excludes the deep-nest
-    // bench, so filtered runs of unrelated benches can't die on it. The
-    // positional-filter scan mirrors the harness's argument grammar
-    // (vendor/criterion): value-taking flags consume their next token.
+    // bench, so filtered runs of unrelated benches can't die on it.
     let gate_name = "overlap_sweep/deep_nest_10k";
-    let mut filter: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--profile-time" | "--save-baseline" | "--baseline" | "--measurement-time"
-            | "--warm-up-time" | "--sample-size" => {
-                let _ = args.next();
-            }
-            a if a.starts_with("--") => {}
-            // Like the harness, the LAST positional token is the filter
-            // (and single-dash tokens count as positionals).
-            positional => filter = Some(positional.to_string()),
-        }
-    }
-    if filter.is_some_and(|f| !gate_name.contains(f.as_str())) {
+    if bench_filter().is_some_and(|f| !gate_name.contains(f.as_str())) {
         return;
     }
     let flat = synthetic_events(10_000);
@@ -188,6 +194,83 @@ fn bench_overlap(c: &mut Criterion) {
         "deep-nest sweep regressed to {ratio:.2}x the flat per-event cost \
          (flat {flat_ns:.1} ns, deep {deep_ns:.1} ns, bound {bound}x); the \
          descending-run end-array sort fix measures ~1.3-1.8x here"
+    );
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    // The unified query API over the same 10k-event stream as
+    // overlap_sweep/10000_events: the wrapper must stay within noise of
+    // the direct engine call.
+    let events = synthetic_events(10_000);
+    c.bench_function("analysis_query/10000_events", |b| {
+        b.iter(|| Analysis::of_events(std::hint::black_box(&events)).table().unwrap())
+    });
+    // The phase-tagged grouped query on a phase-annotated variant of the
+    // same stream (the view the old pipeline could not produce).
+    let mut phased = events.clone();
+    let span = 10_000u64 * 10;
+    for p in 0..4u64 {
+        phased.push(Event::new(
+            ProcessId(0),
+            EventKind::Phase,
+            format!("phase_{p}"),
+            TimeNs::from_micros(p * span / 4),
+            TimeNs::from_micros((p + 1) * span / 4),
+        ));
+    }
+    c.bench_function("analysis_query/10000_events_by_phase", |b| {
+        b.iter(|| {
+            Analysis::of_events(std::hint::black_box(&phased))
+                .group_by([Dim::Phase])
+                .tables()
+                .unwrap()
+        })
+    });
+
+    // Regression ratio gate (CI bench-smoke entry): the `Analysis`
+    // pipeline's plain table query must stay within 1.1x of the raw
+    // batch engine (`compute_overlap_raw`) on the
+    // overlap_sweep/10000_events workload. The baseline deliberately
+    // bypasses the builder — `compute_overlap` is itself an `Analysis`
+    // wrapper, so gating against it would compare identical code and
+    // never detect pipeline overhead. Measured inline (min of 3
+    // interleaved passes) so it also runs under `--test`; skipped when a
+    // substring filter excludes it.
+    let gate_name = "analysis_query/10000_events";
+    if bench_filter().is_some_and(|f| !gate_name.contains(f.as_str())) {
+        return;
+    }
+    let time_per_call = |f: &dyn Fn() -> rlscope_core::BreakdownTable| {
+        let reps = 8;
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        t.elapsed().as_nanos() as f64 / reps as f64
+    };
+    let direct = || rlscope_core::overlap::compute_overlap_raw(std::hint::black_box(&events));
+    let query = || Analysis::of_events(std::hint::black_box(&events)).table().unwrap();
+    let (_, _) = (time_per_call(&direct), time_per_call(&query));
+    let mut direct_ns = f64::INFINITY;
+    let mut query_ns = f64::INFINITY;
+    for _ in 0..3 {
+        direct_ns = direct_ns.min(time_per_call(&direct));
+        query_ns = query_ns.min(time_per_call(&query));
+    }
+    let ratio = query_ns / direct_ns;
+    println!(
+        "analysis_query_regression_gate: direct {:.1} us, query {:.1} us, ratio {ratio:.3}",
+        direct_ns / 1e3,
+        query_ns / 1e3
+    );
+    // The fast path dispatches straight to the raw engine, so the ratio
+    // should sit at ~1.00. Bench runs assert the acceptance bound (1.1x);
+    // the noisy `--test` CI smoke only gates catastrophic regressions.
+    let bound = if std::env::args().any(|a| a == "--test") { 2.0 } else { 1.1 };
+    assert!(
+        ratio < bound,
+        "Analysis::table() regressed to {ratio:.3}x the raw engine cost \
+         (direct {direct_ns:.0} ns, query {query_ns:.0} ns, bound {bound}x)"
     );
 }
 
@@ -296,6 +379,7 @@ fn bench_gpu_scheduler(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_overlap,
+    bench_analysis,
     bench_streaming,
     bench_multiprocess,
     bench_trace_codec,

@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! repro [--experiment <id>] [--steps N]
-//!   ids: table1 fig4a fig4b fig4c fig4d fig5 fig7 fig8 fig9 fig10 fig11a fig11b c4 all
+//!   ids: table1 fig4a fig4b fig4c fig4d fig5 fig7 fig8 fig8p fig9 fig10
+//!        fig11a fig11b c4 all
 //! ```
 
 use rlscope_bench::*;
 use rlscope_rl::AlgoKind;
 use rlscope_workloads::MinigoConfig;
+
+/// Every experiment id `--experiment` accepts, besides `all`.
+const EXPERIMENTS: &[&str] = &[
+    "table1", "fig4a", "fig4b", "fig4c", "fig4d", "fig5", "fig7", "fig8", "fig8p", "fig9", "fig10",
+    "fig11a", "fig11b", "c4",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,9 +38,7 @@ fn main() {
                 i += 2;
             }
             "--help" | "-h" => {
-                println!(
-                    "repro [--experiment table1|fig4a|fig4b|fig4c|fig4d|fig5|fig7|fig8|fig9|fig10|fig11a|fig11b|c4|all] [--steps N]"
-                );
+                println!("repro [--experiment {}|all] [--steps N]", EXPERIMENTS.join("|"));
                 return;
             }
             other => {
@@ -41,6 +46,14 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    // An unknown experiment id used to print nothing and exit 0, making
+    // typos indistinguishable from success in scripts.
+    if experiment != "all" && !EXPERIMENTS.contains(&experiment.as_str()) {
+        eprintln!("unknown experiment id `{experiment}`");
+        eprintln!("valid ids: {} (or `all`)", EXPERIMENTS.join(", "));
+        std::process::exit(2);
     }
 
     let want = |id: &str| experiment == "all" || experiment == id;
@@ -72,8 +85,17 @@ fn main() {
     if want("fig7") {
         println!("{}", render_fig7(steps).0);
     }
-    if want("fig8") {
-        println!("{}", render_fig8(&MinigoConfig::default()));
+    if want("fig8") || want("fig8p") {
+        // One Minigo round serves both views: the workload is the
+        // heaviest in the suite and nondeterministic, so rendering both
+        // figures from the same round keeps them cross-checkable.
+        let result = rlscope_workloads::run_minigo(&MinigoConfig::default());
+        if want("fig8") {
+            println!("{}", render_fig8_result(&result));
+        }
+        if want("fig8p") {
+            println!("{}", render_fig8_phases_result(&result));
+        }
     }
     if want("fig9") || want("fig10") {
         println!("{}", render_fig9_10(steps));

@@ -138,9 +138,11 @@ pub fn render_fig7(steps: usize) -> (String, Vec<ExperimentRun>) {
     (out, runs)
 }
 
-/// Figure 8: the Minigo multi-process view.
-pub fn render_fig8(cfg: &MinigoConfig) -> String {
-    let result = run_minigo(cfg);
+/// Figure 8: the Minigo multi-process view, rendered from an
+/// already-computed round (the workload is the heaviest in the suite and
+/// nondeterministic, so callers wanting both the per-process and
+/// per-phase views should run it once and render twice).
+pub fn render_fig8_result(result: &rlscope_workloads::MinigoResult) -> String {
     let mut out = String::from("Figure 8 — Minigo multi-process view\n");
     out.push_str(&result.report.render());
     let _ = writeln!(
@@ -149,6 +151,28 @@ pub fn render_fig8(cfg: &MinigoConfig) -> String {
         result.report.smi_reported_percent, result.report.true_gpu_percent
     );
     out
+}
+
+/// Figure 8: runs one Minigo round and renders the multi-process view.
+pub fn render_fig8(cfg: &MinigoConfig) -> String {
+    render_fig8_result(&run_minigo(cfg))
+}
+
+/// Figure 8, per-phase variant, rendered from an already-computed round:
+/// the Minigo round broken down by training phase (selfplay /
+/// sgd_updates / evaluation) via the unified analysis pipeline
+/// (`Analysis::of(&merged).group_by([Dim::Phase])`) — a view the paper
+/// shows per process only, and the pre-`Analysis` sweep could not
+/// produce at all (phase events were dropped).
+pub fn render_fig8_phases_result(result: &rlscope_workloads::MinigoResult) -> String {
+    let mut out = String::from("Figure 8 (per-phase) — Minigo time breakdown by training phase\n");
+    out.push_str(&result.phase_report.render());
+    out
+}
+
+/// Figure 8 per-phase variant: runs one Minigo round and renders it.
+pub fn render_fig8_phases(cfg: &MinigoConfig) -> String {
+    render_fig8_phases_result(&run_minigo(cfg))
 }
 
 /// Figures 9/10: calibration means for one workload.

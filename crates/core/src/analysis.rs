@@ -1,0 +1,1163 @@
+//! The unified `Analysis` query API: one composable pipeline for every
+//! breakdown the profiler can produce.
+//!
+//! Historically each report reached the overlap engine through its own
+//! ad-hoc door (`compute_overlap`, `Trace::breakdown*`,
+//! `streamed_breakdowns_by_process`, `correct`, …). [`Analysis`] replaces
+//! them with a single builder that composes
+//!
+//! * a **source** — [`Analysis::of`] (one trace), [`Analysis::merged`]
+//!   (several traces), [`Analysis::of_events`] /
+//!   [`Analysis::of_indexed`] (raw event slices), or
+//!   [`Analysis::from_chunk_dir`] (on-disk chunk directories, streamed
+//!   chunk-at-a-time — optionally in bounded memory via
+//!   [`Analysis::bounded_streaming`]);
+//! * **filters** — [`Analysis::phase`], [`Analysis::process`],
+//!   [`Analysis::operation`], [`Analysis::time_window`];
+//! * **grouping** — [`Analysis::group_by`] over [`Dim`] dimensions,
+//!   making the training *phase* a first-class key next to process and
+//!   operation;
+//! * **overhead correction** — [`Analysis::corrected`] runs the paper's
+//!   §3.4 subtraction inside the same pipeline;
+//! * **sinks** — [`Analysis::table`] (one merged [`BreakdownTable`]),
+//!   [`Analysis::tables`] (grouped), [`Analysis::report`],
+//!   [`Analysis::profile`] (a [`CorrectedProfile`]), and
+//!   [`Analysis::canonical_json`].
+//!
+//! All legacy entry points are thin wrappers over this pipeline, so every
+//! path — batch, indexed, parallel per-process, streamed — shares one
+//! engine and one set of semantics.
+//!
+//! # Phase semantics
+//!
+//! Phases tag segments by the innermost *active* phase annotation, with
+//! [`NO_PHASE`] collecting time outside any phase. Phase boundaries only
+//! split segments; they never move time between buckets, so grouping or
+//! filtering by phase conserves totals exactly: merging the per-phase
+//! tables reproduces the ungrouped table bucket for bucket.
+//!
+//! The profiler records a phase event when the phase **closes**. For
+//! bounded-lag streaming ([`Analysis::bounded_streaming`]) this matters:
+//! a long-lived phase arrives with a start far behind the finalized
+//! frontier, so a phase-scoped bounded query typically detects the
+//! disorder and transparently falls back to an exact second pass over
+//! the chunk directory (never misattributing time). Plain per-process
+//! queries are unaffected — without phase grouping/filtering, phase
+//! events are dropped before the order check.
+//!
+//! # Example
+//!
+//! ```
+//! use rlscope_core::analysis::{Analysis, Dim};
+//! use rlscope_core::event::{CpuCategory, Event, EventKind};
+//! use rlscope_sim::ids::ProcessId;
+//! use rlscope_sim::time::{DurationNs, TimeNs};
+//!
+//! let e = |kind, name: &str, start_us, end_us| {
+//!     Event::new(
+//!         ProcessId(0),
+//!         kind,
+//!         name,
+//!         TimeNs::from_micros(start_us),
+//!         TimeNs::from_micros(end_us),
+//!     )
+//! };
+//! let events = vec![
+//!     e(EventKind::Phase, "collect", 0, 100),
+//!     e(EventKind::Phase, "train", 100, 200),
+//!     e(EventKind::Operation, "simulation", 0, 100),
+//!     e(EventKind::Operation, "backpropagation", 100, 200),
+//!     e(EventKind::Cpu(CpuCategory::Python), "py", 0, 200),
+//! ];
+//!
+//! let overall = Analysis::of_events(&events).table().unwrap();
+//! let by_phase = Analysis::of_events(&events).group_by([Dim::Phase]).tables().unwrap();
+//! assert_eq!(by_phase.len(), 2);
+//! // Per-phase tables conserve the overall total exactly.
+//! let phase_sum: DurationNs = by_phase.iter().map(|(_, t)| t.total()).sum();
+//! assert_eq!(phase_sum, overall.total());
+//! assert_eq!(overall.total(), DurationNs::from_micros(200));
+//! ```
+
+use crate::calibrate::Calibration;
+use crate::correct::{apply_correction, CorrectedProfile, CorrectionInputs, OverheadBreakdown};
+use crate::event::Event;
+use crate::overlap::{
+    sweep_tables, sweep_tables_by_phase, BreakdownTable, BucketKey, OverlapSweep, PhaseTables,
+    SweepError, NO_PHASE,
+};
+use crate::report::BreakdownReport;
+use crate::store::{ChunkReader, TraceIoError};
+use crate::trace::Trace;
+use parking_lot::Mutex;
+use rlscope_sim::ids::ProcessId;
+use rlscope_sim::time::{DurationNs, TimeNs};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A grouping dimension for [`Analysis::group_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Training phase (`rls.set_phase(...)` annotations); time outside
+    /// any phase lands in the [`NO_PHASE`] group.
+    Phase,
+    /// Traced process.
+    Process,
+    /// Innermost operation annotation (already the row key inside a
+    /// [`BreakdownTable`]; as a group dimension it splits the output into
+    /// one single-operation table per name).
+    Operation,
+}
+
+/// Identity of one group in a grouped analysis result. A field is `Some`
+/// exactly when the corresponding [`Dim`] was requested via
+/// [`Analysis::group_by`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroupKey {
+    /// Phase name ([`NO_PHASE`] for untagged time); `None` when not
+    /// grouped by phase.
+    pub phase: Option<Arc<str>>,
+    /// Process id; `None` when not grouped by process.
+    pub process: Option<ProcessId>,
+    /// Operation name; `None` when not grouped by operation.
+    pub operation: Option<Arc<str>>,
+}
+
+impl GroupKey {
+    /// Human-readable label, e.g. `phase=training pid=2 op=backprop`
+    /// (`all` for the ungrouped key).
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(p) = &self.phase {
+            parts.push(format!("phase={p}"));
+        }
+        if let Some(p) = self.process {
+            parts.push(format!("pid={}", p.as_u32()));
+        }
+        if let Some(o) = &self.operation {
+            parts.push(format!("op={o}"));
+        }
+        if parts.is_empty() {
+            "all".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error from running an [`Analysis`] query.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// I/O or corruption error from a chunk-directory source.
+    Io(TraceIoError),
+    /// The requested combination is not supported, e.g. overhead
+    /// correction on a source without book-keeping metadata.
+    Unsupported(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Io(e) => write!(f, "analysis i/o error: {e}"),
+            AnalysisError::Unsupported(msg) => write!(f, "unsupported analysis: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Io(e) => Some(e),
+            AnalysisError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<TraceIoError> for AnalysisError {
+    fn from(e: TraceIoError) -> Self {
+        AnalysisError::Io(e)
+    }
+}
+
+#[derive(Debug)]
+enum Source<'a> {
+    Events(&'a [Event]),
+    Indexed(&'a [Event], &'a [u32]),
+    Trace(&'a Trace),
+    Merged(&'a [Trace]),
+    ChunkDir(PathBuf),
+}
+
+/// The unified analysis query builder. See the [module docs](crate::analysis)
+/// for the full pipeline and an example.
+#[derive(Debug)]
+pub struct Analysis<'a> {
+    source: Source<'a>,
+    /// Bounded-lag streaming window for chunk-dir sources.
+    lag: Option<DurationNs>,
+    phase_filter: Option<Arc<str>>,
+    process_filter: Option<ProcessId>,
+    operation_filter: Option<Arc<str>>,
+    window: Option<(TimeNs, TimeNs)>,
+    dims: Vec<Dim>,
+    calibration: Option<&'a Calibration>,
+}
+
+impl<'a> Analysis<'a> {
+    fn new(source: Source<'a>) -> Self {
+        Analysis {
+            source,
+            lag: None,
+            phase_filter: None,
+            process_filter: None,
+            operation_filter: None,
+            window: None,
+            dims: Vec::new(),
+            calibration: None,
+        }
+    }
+
+    // ----- sources ------------------------------------------------------
+
+    /// Analyzes one finalized trace (single- or multi-process after a
+    /// [`Trace::merge`]).
+    pub fn of(trace: &'a Trace) -> Self {
+        Self::new(Source::Trace(trace))
+    }
+
+    /// Analyzes several traces as one merged stream (events concatenated
+    /// in the given order, counters summed for correction purposes) —
+    /// without materializing a merged [`Trace`].
+    pub fn merged(traces: &'a [Trace]) -> Self {
+        Self::new(Source::Merged(traces))
+    }
+
+    /// Analyzes a raw event slice.
+    pub fn of_events(events: &'a [Event]) -> Self {
+        Self::new(Source::Events(events))
+    }
+
+    /// Analyzes an index subset of one borrowed event slice — the
+    /// zero-copy sharding primitive (no per-subset event clones).
+    pub fn of_indexed(events: &'a [Event], indices: &'a [u32]) -> Self {
+        Self::new(Source::Indexed(events, indices))
+    }
+
+    /// Analyzes an on-disk chunk directory by streaming it one decoded
+    /// chunk at a time ([`ChunkReader`]); the concatenated event stream
+    /// is never materialized. Exact incremental sweeps are used unless
+    /// [`Analysis::bounded_streaming`] selects a bounded-lag window.
+    pub fn from_chunk_dir(dir: impl Into<PathBuf>) -> Self {
+        Self::new(Source::ChunkDir(dir.into()))
+    }
+
+    /// Uses bounded-memory streaming sweeps ([`OverlapSweep::bounded`])
+    /// for a chunk-dir source: per-sweep state stays flat as the
+    /// directory grows, provided event start times are sorted to within
+    /// `lag` in stream order. Excess disorder is detected — never
+    /// silently misattributed — and the query transparently re-runs with
+    /// exact sweeps (one more pass over the on-disk chunks). Ignored for
+    /// in-memory sources.
+    pub fn bounded_streaming(mut self, lag: DurationNs) -> Self {
+        self.lag = Some(lag);
+        self
+    }
+
+    // ----- filters ------------------------------------------------------
+
+    /// Keeps only time attributed to the named phase ([`NO_PHASE`]
+    /// selects time outside any phase annotation).
+    pub fn phase(mut self, name: &str) -> Self {
+        self.phase_filter = Some(Arc::from(name));
+        self
+    }
+
+    /// Keeps only events of one process.
+    pub fn process(mut self, pid: ProcessId) -> Self {
+        self.process_filter = Some(pid);
+        self
+    }
+
+    /// Keeps only table rows of one operation ([`BucketKey::UNTRACKED`]
+    /// selects unannotated time).
+    pub fn operation(mut self, name: &str) -> Self {
+        self.operation_filter = Some(Arc::from(name));
+        self
+    }
+
+    /// Restricts attribution to `[start, end)`: events are clipped to the
+    /// window, so exactly the time inside it is attributed.
+    pub fn time_window(mut self, start: TimeNs, end: TimeNs) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+
+    // ----- grouping and correction --------------------------------------
+
+    /// Groups the output by the given dimensions (duplicates ignored).
+    /// Grouped results come out of [`Analysis::tables`]; the
+    /// [`Analysis::table`] sink merges the groups.
+    ///
+    /// Note the process dimension changes *how* time is counted, not just
+    /// how it is keyed: each process is swept separately, so one instant
+    /// with two busy processes counts twice (the multi-process view of
+    /// paper §4.3), whereas the ungrouped sweep counts the union once.
+    pub fn group_by(mut self, dims: impl IntoIterator<Item = Dim>) -> Self {
+        for d in dims {
+            if !self.dims.contains(&d) {
+                self.dims.push(d);
+            }
+        }
+        self
+    }
+
+    /// Applies calibrated overhead correction (paper §3.4) inside the
+    /// pipeline. Requires a trace-backed source ([`Analysis::of`] or
+    /// [`Analysis::merged`]) for the book-keeping counters.
+    ///
+    /// Correction always estimates the **whole-run** overhead and
+    /// subtracts it from the full (unfiltered) view first; the query's
+    /// result tables then take each bucket's subtraction **in proportion
+    /// to their share of that bucket**. Grouped sinks therefore still
+    /// sum exactly to the corrected merged table, and a filtered query
+    /// (`.phase(..)`, `.process(..)`, `.time_window(..)`) is charged only
+    /// its share of the overhead — never the whole run's. The counters do
+    /// not record *when* each occurrence happened, so the proportional
+    /// split assumes occurrences are uniform over a bucket's time; a
+    /// filter that changes attribution itself (a process filter on a
+    /// merged stream whose operations span processes) makes the mapping
+    /// approximate for the shifted buckets.
+    pub fn corrected(mut self, cal: &'a Calibration) -> Self {
+        self.calibration = Some(cal);
+        self
+    }
+
+    // ----- sinks --------------------------------------------------------
+
+    /// One merged [`BreakdownTable`] honoring all filters, grouping
+    /// semantics, and correction.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from chunk-dir sources; [`AnalysisError::Unsupported`]
+    /// if correction was requested without a trace-backed source.
+    pub fn table(&self) -> Result<BreakdownTable, AnalysisError> {
+        if self.is_plain() {
+            // Fast path: a plain unfiltered batch sweep runs without
+            // building the reference index.
+            return Ok(match &self.source {
+                Source::Events(events) => sweep_tables(events.iter()),
+                Source::Indexed(events, indices) => {
+                    sweep_tables(indices.iter().map(|&i| &events[i as usize]))
+                }
+                Source::Trace(t) => sweep_tables(t.events.iter()),
+                Source::Merged(ts) => sweep_tables(ts.iter().flat_map(|t| t.events.iter())),
+                Source::ChunkDir(_) => unreachable!("chunk dirs are never plain"),
+            });
+        }
+        let groups = self.resolve_groups()?;
+        let mut table = BreakdownTable::new();
+        for (_, t) in &groups {
+            table.merge(t);
+        }
+        if let Some(cal) = self.calibration {
+            let inputs = self.correction_inputs()?;
+            (table, _) = self.corrected_merged(table, &inputs, cal)?;
+        }
+        Ok(table)
+    }
+
+    /// Grouped tables, one per [`GroupKey`] combination, in deterministic
+    /// order (process first-seen, then phase first-seen, then operation
+    /// name). Without [`Analysis::group_by`] this is a single entry with
+    /// the all-`None` key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Analysis::table`].
+    pub fn tables(&self) -> Result<Vec<(GroupKey, BreakdownTable)>, AnalysisError> {
+        let mut groups = self.resolve_groups()?;
+        if let Some(cal) = self.calibration {
+            let inputs = self.correction_inputs()?;
+            self.apply_corrected(&mut groups, &inputs, cal)?;
+        }
+        Ok(groups)
+    }
+
+    /// The merged table rendered as a [`BreakdownReport`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Analysis::table`].
+    pub fn report(&self) -> Result<BreakdownReport, AnalysisError> {
+        Ok(BreakdownReport::from_table(&self.table()?))
+    }
+
+    /// A full [`CorrectedProfile`]: the (possibly corrected) merged table
+    /// plus the instrumented/corrected totals and the per-source overhead
+    /// stack. Without [`Analysis::corrected`] this is the uncorrected
+    /// view (zero overhead, totals equal).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Unsupported`] unless the source is trace-backed
+    /// (wall time and counters are needed); I/O errors otherwise as for
+    /// [`Analysis::table`].
+    pub fn profile(&self) -> Result<CorrectedProfile, AnalysisError> {
+        let inputs = self.correction_inputs()?;
+        let groups = self.resolve_groups()?;
+        let mut table = BreakdownTable::new();
+        for (_, t) in &groups {
+            table.merge(t);
+        }
+        let overhead = match self.calibration {
+            Some(cal) => {
+                let (corrected, overhead) = self.corrected_merged(table, &inputs, cal)?;
+                table = corrected;
+                overhead
+            }
+            None => OverheadBreakdown::default(),
+        };
+        // The totals and overhead stack always describe the whole run
+        // (that is what calibration measured); filters scope the table.
+        let instrumented_total = inputs.wall;
+        Ok(CorrectedProfile {
+            table,
+            corrected_total: instrumented_total.saturating_sub(overhead.total()),
+            instrumented_total,
+            overhead,
+        })
+    }
+
+    /// Canonical JSON for the query result: the bare table array
+    /// ([`BreakdownTable::canonical_json`]) when ungrouped, or an object
+    /// keyed by [`GroupKey::label`] when grouped. Byte-stable for a given
+    /// query, suitable for golden files.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Analysis::table`].
+    pub fn canonical_json(&self) -> Result<String, AnalysisError> {
+        if self.dims.is_empty() {
+            return Ok(self.table()?.canonical_json());
+        }
+        let groups = self.tables()?;
+        let mut out = String::from("{\n");
+        for (i, (key, table)) in groups.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            crate::overlap::json_escape_into(&key.label(), &mut out);
+            out.push_str(": ");
+            out.push_str(table.canonical_json().trim_end());
+        }
+        out.push_str("\n}\n");
+        Ok(out)
+    }
+
+    // ----- execution ----------------------------------------------------
+
+    /// True when the query is a bare unfiltered batch sweep.
+    fn is_plain(&self) -> bool {
+        self.phase_filter.is_none()
+            && self.process_filter.is_none()
+            && self.operation_filter.is_none()
+            && self.window.is_none()
+            && self.dims.is_empty()
+            && self.calibration.is_none()
+            && !matches!(self.source, Source::ChunkDir(_))
+    }
+
+    /// Runs the source + filters + grouping stages, producing the final
+    /// keyed tables with all filters applied (correction is applied by
+    /// the sinks).
+    fn resolve_groups(&self) -> Result<Vec<(GroupKey, BreakdownTable)>, AnalysisError> {
+        self.resolve_groups_with(true)
+    }
+
+    /// [`Analysis::resolve_groups`], optionally ignoring every filter —
+    /// the `filters = false` form computes the full-view reference that
+    /// [`Analysis::apply_corrected`] distributes overhead against.
+    fn resolve_groups_with(
+        &self,
+        filters: bool,
+    ) -> Result<Vec<(GroupKey, BreakdownTable)>, AnalysisError> {
+        let want_phase = self.dims.contains(&Dim::Phase);
+        let want_proc = self.dims.contains(&Dim::Process);
+        let want_op = self.dims.contains(&Dim::Operation);
+        let track_phases = want_phase || self.phase_filter.is_some();
+        let raw = match &self.source {
+            Source::ChunkDir(dir) => {
+                self.resolve_streamed(dir, want_proc, track_phases, filters)?
+            }
+            _ => self.resolve_batch(want_proc, track_phases, filters),
+        };
+        Ok(self.assemble(raw, want_phase, want_op, filters))
+    }
+
+    /// True when any filter stage is active.
+    fn has_filters(&self) -> bool {
+        self.phase_filter.is_some()
+            || self.process_filter.is_some()
+            || self.operation_filter.is_some()
+            || self.window.is_some()
+    }
+
+    /// Batch execution: builds the (filtered, possibly clipped) event
+    /// reference list and sweeps it — per process in parallel when the
+    /// process dimension is requested.
+    fn resolve_batch(
+        &self,
+        per_process: bool,
+        track_phases: bool,
+        filters: bool,
+    ) -> Vec<(Option<ProcessId>, PhaseTables)> {
+        let mut refs: Vec<&Event> = match &self.source {
+            Source::Events(events) => events.iter().collect(),
+            Source::Indexed(events, indices) => {
+                indices.iter().map(|&i| &events[i as usize]).collect()
+            }
+            Source::Trace(t) => t.events.iter().collect(),
+            Source::Merged(ts) => ts.iter().flat_map(|t| t.events.iter()).collect(),
+            Source::ChunkDir(_) => unreachable!("handled by resolve_streamed"),
+        };
+        if let Some(pid) = self.process_filter.filter(|_| filters) {
+            refs.retain(|e| e.pid == pid);
+        }
+        let clipped_store: Vec<Event>;
+        if let Some(w) = self.window.filter(|_| filters) {
+            clipped_store = refs.iter().filter_map(|e| clip_event(e, w)).collect();
+            refs = clipped_store.iter().collect();
+        }
+        if per_process {
+            per_process_sweeps(&refs, track_phases)
+        } else if track_phases {
+            vec![(None, sweep_tables_by_phase(refs.iter().copied()))]
+        } else {
+            vec![(None, vec![(Arc::from(NO_PHASE), sweep_tables(refs.iter().copied()))])]
+        }
+    }
+
+    /// Streamed execution over a chunk directory, with the transparent
+    /// exact-sweep fallback when bounded mode detects excess disorder.
+    fn resolve_streamed(
+        &self,
+        dir: &std::path::Path,
+        per_process: bool,
+        track_phases: bool,
+        filters: bool,
+    ) -> Result<Vec<(Option<ProcessId>, PhaseTables)>, AnalysisError> {
+        match self.try_streamed(dir, self.lag, per_process, track_phases, filters) {
+            Ok(raw) => Ok(raw),
+            // Disorder beyond the lag: the chunks are still on disk, so
+            // re-read them with exact sweeps.
+            Err(StreamedError::Order) if self.lag.is_some() => {
+                match self.try_streamed(dir, None, per_process, track_phases, filters) {
+                    Ok(raw) => Ok(raw),
+                    Err(StreamedError::Io(e)) => Err(e.into()),
+                    Err(StreamedError::Order) => unreachable!("exact sweeps accept any order"),
+                }
+            }
+            Err(StreamedError::Order) => unreachable!("exact sweeps accept any order"),
+            Err(StreamedError::Io(e)) => Err(e.into()),
+        }
+    }
+
+    fn try_streamed(
+        &self,
+        dir: &std::path::Path,
+        lag: Option<DurationNs>,
+        per_process: bool,
+        track_phases: bool,
+        filters: bool,
+    ) -> Result<Vec<(Option<ProcessId>, PhaseTables)>, StreamedError> {
+        let new_sweep = || {
+            let sweep = match lag {
+                Some(d) => OverlapSweep::bounded(d),
+                None => OverlapSweep::new(),
+            };
+            if track_phases {
+                sweep.with_phase_tagging()
+            } else {
+                sweep
+            }
+        };
+        let mut slot_of: HashMap<ProcessId, usize> = HashMap::new();
+        let mut sweeps: Vec<(Option<ProcessId>, OverlapSweep)> = Vec::new();
+        if !per_process {
+            sweeps.push((None, new_sweep()));
+        }
+        for chunk in ChunkReader::open(dir)? {
+            for e in &chunk? {
+                if filters && self.process_filter.is_some_and(|pid| e.pid != pid) {
+                    continue;
+                }
+                let slot = if per_process {
+                    *slot_of.entry(e.pid).or_insert_with(|| {
+                        sweeps.push((Some(e.pid), new_sweep()));
+                        sweeps.len() - 1
+                    })
+                } else {
+                    0
+                };
+                let sweep = &mut sweeps[slot].1;
+                let pushed = match self.window.filter(|_| filters) {
+                    None => sweep.push(e),
+                    Some(w) => match clip_event(e, w) {
+                        Some(clipped) => sweep.push(&clipped),
+                        None => Ok(()),
+                    },
+                };
+                pushed.map_err(|err| match err {
+                    SweepError::OrderViolation { .. } => StreamedError::Order,
+                    other => StreamedError::Io(TraceIoError::Corrupt(other.to_string())),
+                })?;
+            }
+        }
+        Ok(sweeps.into_iter().map(|(pid, sweep)| (pid, sweep.finalize_grouped())).collect())
+    }
+
+    /// Applies the phase filter, collapses undesired dimensions, applies
+    /// the operation filter/split, and assembles the final group keys.
+    fn assemble(
+        &self,
+        raw: Vec<(Option<ProcessId>, PhaseTables)>,
+        want_phase: bool,
+        want_op: bool,
+        filters: bool,
+    ) -> Vec<(GroupKey, BreakdownTable)> {
+        let mut out = Vec::new();
+        for (pid, mut phase_tables) in raw {
+            if let Some(pf) = self.phase_filter.as_ref().filter(|_| filters) {
+                phase_tables.retain(|(name, _)| name == pf);
+            }
+            let keyed: Vec<(Option<Arc<str>>, BreakdownTable)> = if want_phase {
+                phase_tables.into_iter().map(|(name, t)| (Some(name), t)).collect()
+            } else {
+                // A process entry survives even when its table is empty
+                // (a process can exist with nothing attributable); empty
+                // *phase* groups are never emitted by the sweeps.
+                let mut merged = BreakdownTable::new();
+                for (_, t) in &phase_tables {
+                    merged.merge(t);
+                }
+                vec![(None, merged)]
+            };
+            for (phase, mut table) in keyed {
+                if let Some(of) = self.operation_filter.as_ref().filter(|_| filters) {
+                    table = filter_table(&table, |k| k.operation == *of);
+                }
+                if want_op {
+                    for op in table.operations() {
+                        let sub = filter_table(&table, |k| k.operation == op);
+                        out.push((
+                            GroupKey {
+                                phase: phase.clone(),
+                                process: pid,
+                                operation: Some(op.clone()),
+                            },
+                            sub,
+                        ));
+                    }
+                } else {
+                    out.push((GroupKey { phase, process: pid, operation: None }, table));
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies overhead correction to already-resolved result tables (see
+    /// [`Analysis::corrected`] for the semantics): the whole-run overhead
+    /// is subtracted from the **unfiltered** full view first, then each
+    /// result table takes its proportional share of every bucket's
+    /// subtraction. When the result tables partition the full view
+    /// exactly (no filters), a largest-remainder split keeps the groups
+    /// summing to the corrected merged table to the nanosecond. Returns
+    /// the whole-run overhead estimate.
+    /// [`Analysis::apply_corrected`] over one already-merged table,
+    /// returning the corrected table and the overhead estimate.
+    fn corrected_merged(
+        &self,
+        table: BreakdownTable,
+        inputs: &CorrectionInputs,
+        cal: &Calibration,
+    ) -> Result<(BreakdownTable, OverheadBreakdown), AnalysisError> {
+        let mut single = [(GroupKey { phase: None, process: None, operation: None }, table)];
+        let overhead = self.apply_corrected(&mut single, inputs, cal)?;
+        let [(_, corrected)] = single;
+        Ok((corrected, overhead))
+    }
+
+    fn apply_corrected(
+        &self,
+        groups: &mut [(GroupKey, BreakdownTable)],
+        inputs: &CorrectionInputs,
+        cal: &Calibration,
+    ) -> Result<OverheadBreakdown, AnalysisError> {
+        let mut full = BreakdownTable::new();
+        if self.has_filters() {
+            for (_, t) in &self.resolve_groups_with(false)? {
+                full.merge(t);
+            }
+        } else {
+            for (_, t) in groups.iter() {
+                full.merge(t);
+            }
+        }
+        let mut corrected = full.clone();
+        let overhead = apply_correction(&mut corrected, inputs, cal);
+        for (key, had) in full.iter() {
+            let removed = had.saturating_sub(corrected.get(key)).as_nanos();
+            if removed == 0 {
+                continue;
+            }
+            let parts: Vec<u64> = groups.iter().map(|(_, t)| t.get(key).as_nanos()).collect();
+            let shares: Vec<u64> = if parts.iter().sum::<u64>() == had.as_nanos() {
+                split_proportionally(removed, &parts)
+            } else {
+                // A filtered subset of the full view: round-down shares
+                // (conservation is not observable without the complement),
+                // capped at what each table holds for the buckets whose
+                // attribution a filter shifted.
+                parts
+                    .iter()
+                    .map(|&p| {
+                        let share = (u128::from(removed) * u128::from(p)
+                            / u128::from(had.as_nanos()))
+                            as u64;
+                        share.min(p)
+                    })
+                    .collect()
+            };
+            for ((_, t), share) in groups.iter_mut().zip(shares) {
+                t.subtract(key, DurationNs::from_nanos(share));
+            }
+        }
+        Ok(overhead)
+    }
+
+    /// Book-keeping counters and wall time needed by overhead correction
+    /// and [`Analysis::profile`].
+    fn correction_inputs(&self) -> Result<CorrectionInputs, AnalysisError> {
+        match &self.source {
+            Source::Trace(t) => Ok(CorrectionInputs::from_trace(t)),
+            Source::Merged(ts) => Ok(CorrectionInputs::from_traces(ts)),
+            _ => Err(AnalysisError::Unsupported(
+                "overhead correction and profiles need a trace-backed source \
+                 (Analysis::of or Analysis::merged) for book-keeping counters"
+                    .to_string(),
+            )),
+        }
+    }
+}
+
+enum StreamedError {
+    Io(TraceIoError),
+    Order,
+}
+
+impl From<TraceIoError> for StreamedError {
+    fn from(e: TraceIoError) -> Self {
+        StreamedError::Io(e)
+    }
+}
+
+/// Clips an event to a half-open window, dropping it when nothing is
+/// left. Clipping all events to the window yields exactly the
+/// within-window attribution, because the sweep is segment-based.
+fn clip_event(e: &Event, (lo, hi): (TimeNs, TimeNs)) -> Option<Event> {
+    let start = e.start.max(lo);
+    let end = e.end.min(hi);
+    (start < end).then(|| Event { start, end, ..e.clone() })
+}
+
+/// A table restricted to buckets matching `pred`.
+fn filter_table(table: &BreakdownTable, pred: impl Fn(&BucketKey) -> bool) -> BreakdownTable {
+    let mut out = BreakdownTable::new();
+    for (k, d) in table.iter() {
+        if pred(k) {
+            out.add(k.clone(), d);
+        }
+    }
+    out
+}
+
+/// Per-process sweeps over one borrowed reference list: the merged stream
+/// is partitioned into per-pid index lists in one pass (first-seen pid
+/// order, no event clones), then each process sweeps on a worker thread,
+/// capped at the machine's available parallelism.
+fn per_process_sweeps(
+    refs: &[&Event],
+    track_phases: bool,
+) -> Vec<(Option<ProcessId>, PhaseTables)> {
+    let mut slot_of: HashMap<ProcessId, usize> = HashMap::new();
+    let mut tasks: Vec<(ProcessId, Vec<u32>)> = Vec::new();
+    for (i, e) in refs.iter().enumerate() {
+        let slot = *slot_of.entry(e.pid).or_insert_with(|| {
+            tasks.push((e.pid, Vec::new()));
+            tasks.len() - 1
+        });
+        tasks[slot].1.push(i as u32);
+    }
+    let sweep_one = |indices: &[u32]| -> PhaseTables {
+        let it = indices.iter().map(|&i| refs[i as usize]);
+        if track_phases {
+            sweep_tables_by_phase(it)
+        } else {
+            vec![(Arc::from(NO_PHASE), sweep_tables(it))]
+        }
+    };
+
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(tasks.len());
+    if workers <= 1 {
+        return tasks.into_iter().map(|(pid, indices)| (Some(pid), sweep_one(&indices))).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<PhaseTables>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((_, indices)) = tasks.get(i) else { break };
+                *results[i].lock() = Some(sweep_one(indices));
+            });
+        }
+    });
+    tasks
+        .into_iter()
+        .zip(results)
+        .map(|((pid, _), result)| (Some(pid), result.into_inner().expect("worker completed")))
+        .collect()
+}
+
+/// Splits `amount` across `parts` proportionally, never exceeding any
+/// part, with the rounding remainder assigned round-robin to parts that
+/// still have capacity. Requires `amount <= parts.sum()`.
+fn split_proportionally(amount: u64, parts: &[u64]) -> Vec<u64> {
+    let total: u128 = parts.iter().map(|&p| u128::from(p)).sum();
+    debug_assert!(u128::from(amount) <= total, "cannot remove more than the parts hold");
+    if total == 0 {
+        return vec![0; parts.len()];
+    }
+    let mut shares: Vec<u64> =
+        parts.iter().map(|&p| (u128::from(amount) * u128::from(p) / total) as u64).collect();
+    let mut left = amount - shares.iter().sum::<u64>();
+    let mut i = 0;
+    while left > 0 {
+        if shares[i] < parts[i] {
+            shares[i] += 1;
+            left -= 1;
+        }
+        i = (i + 1) % parts.len();
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CpuCategory, EventKind, GpuCategory};
+    use crate::overlap::compute_overlap;
+
+    fn ev(pid: u32, kind: EventKind, name: &str, start_us: u64, end_us: u64) -> Event {
+        Event::new(
+            ProcessId(pid),
+            kind,
+            name,
+            TimeNs::from_micros(start_us),
+            TimeNs::from_micros(end_us),
+        )
+    }
+
+    /// Two phases with a gap between them (untagged time), two processes,
+    /// nested operations, and GPU time. Phases scope the merged stream:
+    /// pid 1's simulator work falls under whatever phase is active.
+    fn phased_events() -> Vec<Event> {
+        vec![
+            ev(0, EventKind::Phase, "collect", 0, 100),
+            ev(0, EventKind::Phase, "train", 120, 200),
+            ev(0, EventKind::Operation, "simulation", 10, 90),
+            ev(0, EventKind::Operation, "backprop", 130, 190),
+            ev(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 200),
+            ev(0, EventKind::Gpu(GpuCategory::Kernel), "k", 140, 180),
+            ev(1, EventKind::Cpu(CpuCategory::Simulator), "sim", 20, 140),
+        ]
+    }
+
+    #[test]
+    fn plain_table_matches_compute_overlap() {
+        let events = phased_events();
+        assert_eq!(Analysis::of_events(&events).table().unwrap(), compute_overlap(&events));
+    }
+
+    #[test]
+    fn phase_groups_sum_to_overall() {
+        let events = phased_events();
+        let overall = Analysis::of_events(&events).table().unwrap();
+        let by_phase = Analysis::of_events(&events).group_by([Dim::Phase]).tables().unwrap();
+        assert_eq!(by_phase.len(), 3, "expected no-phase/collect/train groups: {by_phase:?}");
+        let mut merged = BreakdownTable::new();
+        for (key, t) in &by_phase {
+            assert!(key.phase.is_some() && key.process.is_none() && key.operation.is_none());
+            merged.merge(t);
+        }
+        assert_eq!(merged, overall);
+    }
+
+    #[test]
+    fn phase_filter_selects_one_phase() {
+        let events = phased_events();
+        let by_phase = Analysis::of_events(&events).group_by([Dim::Phase]).tables().unwrap();
+        let train_group =
+            by_phase.iter().find(|(k, _)| k.phase.as_deref() == Some("train")).unwrap();
+        let filtered = Analysis::of_events(&events).phase("train").table().unwrap();
+        assert_eq!(filtered, train_group.1);
+        // The gap between the phases ([100,120)) lands in NO_PHASE.
+        let untagged = Analysis::of_events(&events).phase(NO_PHASE).table().unwrap();
+        assert_eq!(untagged.total(), DurationNs::from_micros(20));
+    }
+
+    #[test]
+    fn process_group_matches_indexed_sweeps() {
+        let events = phased_events();
+        let groups = Analysis::of_events(&events).group_by([Dim::Process]).tables().unwrap();
+        assert_eq!(groups.len(), 2);
+        for (key, table) in &groups {
+            let pid = key.process.unwrap();
+            let filtered: Vec<Event> = events.iter().filter(|e| e.pid == pid).cloned().collect();
+            assert_eq!(table, &compute_overlap(&filtered), "pid {pid:?}");
+        }
+    }
+
+    #[test]
+    fn phase_process_cross_product_conserves() {
+        let events = phased_events();
+        let groups =
+            Analysis::of_events(&events).group_by([Dim::Phase, Dim::Process]).tables().unwrap();
+        let per_proc_total: DurationNs = Analysis::of_events(&events)
+            .group_by([Dim::Process])
+            .tables()
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t.total())
+            .sum();
+        let cross_total: DurationNs = groups.iter().map(|(_, t)| t.total()).sum();
+        assert_eq!(cross_total, per_proc_total);
+        for (key, _) in &groups {
+            assert!(key.phase.is_some() && key.process.is_some());
+        }
+    }
+
+    #[test]
+    fn operation_group_splits_tables() {
+        let events = phased_events();
+        let groups = Analysis::of_events(&events).group_by([Dim::Operation]).tables().unwrap();
+        let overall = Analysis::of_events(&events).table().unwrap();
+        let sum: DurationNs = groups.iter().map(|(_, t)| t.total()).sum();
+        assert_eq!(sum, overall.total());
+        for (key, table) in &groups {
+            let op = key.operation.clone().unwrap();
+            assert_eq!(table.total(), overall.operation_total(&op));
+        }
+    }
+
+    #[test]
+    fn operation_filter_keeps_one_operation() {
+        let events = phased_events();
+        let t = Analysis::of_events(&events).operation("backprop").table().unwrap();
+        assert_eq!(
+            t.total(),
+            Analysis::of_events(&events).table().unwrap().operation_total("backprop")
+        );
+        assert!(t.iter().all(|(k, _)| &*k.operation == "backprop"));
+    }
+
+    #[test]
+    fn time_window_clips_attribution() {
+        let events = phased_events();
+        let full = Analysis::of_events(&events).table().unwrap();
+        let first_half = Analysis::of_events(&events)
+            .time_window(TimeNs::ZERO, TimeNs::from_micros(100))
+            .table()
+            .unwrap();
+        let second_half = Analysis::of_events(&events)
+            .time_window(TimeNs::from_micros(100), TimeNs::from_micros(200))
+            .table()
+            .unwrap();
+        assert_eq!(first_half.total() + second_half.total(), full.total());
+        assert_eq!(first_half.gpu_total(), DurationNs::ZERO);
+        assert_eq!(second_half.gpu_total(), DurationNs::from_micros(40));
+    }
+
+    #[test]
+    fn merged_traces_match_trace_merge() {
+        let mk = |pid: u32, end: u64| Trace {
+            pid: ProcessId(pid),
+            events: vec![ev(pid, EventKind::Cpu(CpuCategory::Python), "py", 0, end)],
+            counts: Default::default(),
+            per_op_transitions: vec![],
+            api_stats: vec![],
+            iterations: 1,
+            wall_end: TimeNs::from_micros(end),
+        };
+        let traces = vec![mk(0, 50), mk(1, 80)];
+        let merged_trace = Trace::merge(traces.clone());
+        assert_eq!(
+            Analysis::merged(&traces).table().unwrap(),
+            Analysis::of(&merged_trace).table().unwrap()
+        );
+        let per_proc = Analysis::merged(&traces).group_by([Dim::Process]).tables().unwrap();
+        assert_eq!(per_proc.len(), 2);
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_keyed() {
+        let events = phased_events();
+        let a = Analysis::of_events(&events)
+            .group_by([Dim::Phase, Dim::Process])
+            .canonical_json()
+            .unwrap();
+        let b = Analysis::of_events(&events)
+            .group_by([Dim::Phase, Dim::Process])
+            .canonical_json()
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"phase=collect pid=0\""), "{a}");
+        let plain = Analysis::of_events(&events).canonical_json().unwrap();
+        assert!(plain.starts_with('['));
+    }
+
+    #[test]
+    fn correction_requires_trace_backed_source() {
+        let events = phased_events();
+        let cal = Calibration::default();
+        let err = Analysis::of_events(&events).corrected(&cal).table().unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn grouped_correction_sums_to_corrected_merged_table() {
+        use crate::profiler::TransitionKind;
+        use rlscope_sim::cuda::CudaApiKind;
+
+        let trace = Trace {
+            pid: ProcessId(0),
+            events: vec![
+                ev(0, EventKind::Phase, "collect", 0, 100),
+                ev(0, EventKind::Phase, "train", 100, 200),
+                ev(0, EventKind::Operation, "backprop", 0, 200),
+                ev(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 200),
+            ],
+            counts: crate::event::BookkeepingCounts { annotations: 2, ..Default::default() },
+            per_op_transitions: vec![((Arc::from("backprop"), TransitionKind::Backend), 10)],
+            api_stats: vec![(CudaApiKind::LaunchKernel, (0, DurationNs::ZERO))],
+            iterations: 1,
+            wall_end: TimeNs::from_micros(200),
+        };
+        let cal = Calibration {
+            annotation_mean: DurationNs::from_micros(1),
+            py_interception_mean: DurationNs::from_micros(2),
+            ..Default::default()
+        };
+        let corrected = Analysis::of(&trace).corrected(&cal).table().unwrap();
+        let groups = Analysis::of(&trace).corrected(&cal).group_by([Dim::Phase]).tables().unwrap();
+        let sum: DurationNs = groups.iter().map(|(_, t)| t.total()).sum();
+        assert_eq!(sum, corrected.total());
+        // 200 - 10*2 - 2*1 = 178us survive correction.
+        assert_eq!(corrected.total(), DurationNs::from_micros(178));
+    }
+
+    /// A filtered query must take only its proportional share of the
+    /// whole-run overhead, never the full amount (which used to
+    /// overcorrect the filtered slice).
+    #[test]
+    fn filtered_correction_takes_proportional_share() {
+        use crate::profiler::TransitionKind;
+
+        // 200us of backprop/Python split evenly across two phases; 10
+        // backend transitions at 2us each = 20us of overhead on the
+        // (backprop, Python) bucket.
+        let trace = Trace {
+            pid: ProcessId(0),
+            events: vec![
+                ev(0, EventKind::Phase, "collect", 0, 100),
+                ev(0, EventKind::Phase, "train", 100, 200),
+                ev(0, EventKind::Operation, "backprop", 0, 200),
+                ev(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 200),
+            ],
+            counts: Default::default(),
+            per_op_transitions: vec![((Arc::from("backprop"), TransitionKind::Backend), 10)],
+            api_stats: vec![],
+            iterations: 1,
+            wall_end: TimeNs::from_micros(200),
+        };
+        let cal =
+            Calibration { py_interception_mean: DurationNs::from_micros(2), ..Default::default() };
+        // Each phase holds half the bucket, so each is charged half the
+        // 20us subtraction: 100 - 10 = 90us.
+        let train = Analysis::of(&trace).phase("train").corrected(&cal).table().unwrap();
+        assert_eq!(train.total(), DurationNs::from_micros(90));
+        // And the filtered view equals its group in the grouped query.
+        let grouped = Analysis::of(&trace).corrected(&cal).group_by([Dim::Phase]).tables().unwrap();
+        let train_group =
+            grouped.iter().find(|(k, _)| k.phase.as_deref() == Some("train")).unwrap();
+        assert_eq!(train, train_group.1);
+        // A half-run time window likewise pays half the overhead.
+        let window = Analysis::of(&trace)
+            .time_window(TimeNs::ZERO, TimeNs::from_micros(100))
+            .corrected(&cal)
+            .table()
+            .unwrap();
+        assert_eq!(window.total(), DurationNs::from_micros(90));
+    }
+
+    #[test]
+    fn profile_without_calibration_is_uncorrected() {
+        let trace = Trace {
+            pid: ProcessId(0),
+            events: vec![ev(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 50)],
+            counts: Default::default(),
+            per_op_transitions: vec![],
+            api_stats: vec![],
+            iterations: 0,
+            wall_end: TimeNs::from_micros(50),
+        };
+        let p = Analysis::of(&trace).profile().unwrap();
+        assert_eq!(p.corrected_total, p.instrumented_total);
+        assert_eq!(p.overhead.total(), DurationNs::ZERO);
+    }
+
+    #[test]
+    fn split_proportionally_is_exact_and_capped() {
+        let shares = split_proportionally(10, &[3, 3, 4]);
+        assert_eq!(shares.iter().sum::<u64>(), 10);
+        assert_eq!(shares, vec![3, 3, 4]);
+        let shares = split_proportionally(7, &[5, 5]);
+        assert_eq!(shares.iter().sum::<u64>(), 7);
+        assert!(shares.iter().zip([5, 5]).all(|(&s, p)| s <= p));
+        assert_eq!(split_proportionally(0, &[1, 2]), vec![0, 0]);
+    }
+
+    #[test]
+    fn group_key_labels() {
+        let key = GroupKey {
+            phase: Some(Arc::from("train")),
+            process: Some(ProcessId(3)),
+            operation: Some(Arc::from("bp")),
+        };
+        assert_eq!(key.label(), "phase=train pid=3 op=bp");
+        let none = GroupKey { phase: None, process: None, operation: None };
+        assert_eq!(none.label(), "all");
+    }
+}

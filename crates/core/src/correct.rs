@@ -22,6 +22,7 @@ use crate::event::CpuCategory;
 use crate::overlap::{BreakdownTable, BucketKey};
 use crate::profiler::TransitionKind;
 use crate::trace::Trace;
+use rlscope_sim::cuda::CudaApiKind;
 use rlscope_sim::time::DurationNs;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -108,56 +109,116 @@ fn subtract_python_pool(table: &mut BreakdownTable, amount: DurationNs) {
     }
 }
 
-/// Applies calibrated overhead correction to a trace.
-pub fn correct(trace: &Trace, cal: &Calibration) -> CorrectedProfile {
-    let mut table = trace.breakdown();
+/// The book-keeping counters and wall time correction needs, detached
+/// from any particular [`Trace`] so the unified analysis pipeline can
+/// build them from merged sources too.
+#[derive(Debug, Clone)]
+pub(crate) struct CorrectionInputs {
+    /// Operation annotations recorded.
+    pub annotations: u64,
+    /// Per-(operation, kind) transition counts.
+    pub per_op_transitions: Vec<((Arc<str>, TransitionKind), u64)>,
+    /// Per-CUDA-API `(call count, total CPU duration)`.
+    pub api_stats: Vec<(CudaApiKind, (u64, DurationNs))>,
+    /// Instrumented wall time.
+    pub wall: DurationNs,
+}
+
+impl CorrectionInputs {
+    /// Inputs of one finalized trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        CorrectionInputs {
+            annotations: trace.counts.annotations,
+            per_op_transitions: trace.per_op_transitions.clone(),
+            api_stats: trace.api_stats.clone(),
+            wall: trace.wall_time(),
+        }
+    }
+
+    /// Inputs of several traces analyzed as one merged stream: counters
+    /// sum (through the same find-or-push merges as [`Trace::merge`], so
+    /// the two cannot diverge), the wall time is the latest finalization
+    /// instant.
+    pub fn from_traces(traces: &[Trace]) -> Self {
+        let mut merged = CorrectionInputs {
+            annotations: 0,
+            per_op_transitions: Vec::new(),
+            api_stats: Vec::new(),
+            wall: DurationNs::ZERO,
+        };
+        for t in traces {
+            merged.annotations += t.counts.annotations;
+            merged.wall = merged.wall.max(t.wall_time());
+            crate::trace::merge_transition_counts(
+                &mut merged.per_op_transitions,
+                t.per_op_transitions.iter().cloned(),
+            );
+            crate::trace::merge_api_stats(&mut merged.api_stats, t.api_stats.iter().copied());
+        }
+        merged
+    }
+}
+
+/// Subtracts calibrated overhead from `table` in place at the buckets
+/// where it occurred, returning the per-source overhead estimate. This is
+/// the correction engine shared by [`correct`] and the analysis
+/// pipeline's [`crate::analysis::Analysis::corrected`].
+pub(crate) fn apply_correction(
+    table: &mut BreakdownTable,
+    inputs: &CorrectionInputs,
+    cal: &Calibration,
+) -> OverheadBreakdown {
     let mut overhead = OverheadBreakdown::default();
 
     // Python↔C interception and CUDA interception, attributed per
     // operation from the transition counters.
-    let cupti_per_call = cal.cupti_weighted_mean(&trace.api_stats);
-    for ((op, kind), n) in &trace.per_op_transitions {
+    let cupti_per_call = cal.cupti_weighted_mean(&inputs.api_stats);
+    for ((op, kind), n) in &inputs.per_op_transitions {
         match kind {
             TransitionKind::Backend => {
                 let amount = cal.py_interception_mean * *n;
                 overhead.python_backend += amount;
-                subtract_split(&mut table, op, CpuCategory::Python, amount);
+                subtract_split(table, op, CpuCategory::Python, amount);
             }
             TransitionKind::Simulator => {
                 let amount = cal.py_interception_mean * *n;
                 overhead.python_simulator += amount;
-                subtract_split(&mut table, op, CpuCategory::Python, amount);
+                subtract_split(table, op, CpuCategory::Python, amount);
             }
             TransitionKind::Cuda => {
                 let interception = cal.cuda_interception_mean * *n;
                 let cupti = cupti_per_call * *n;
                 overhead.cuda_interception += interception;
                 overhead.cupti += cupti;
-                subtract_split(&mut table, op, CpuCategory::CudaApi, interception + cupti);
+                subtract_split(table, op, CpuCategory::CudaApi, interception + cupti);
             }
         }
     }
 
     // Annotation book-keeping: per-operation attribution is not tracked,
     // so drain the Python pool.
-    let ann = cal.annotation_mean * trace.counts.annotations;
+    let ann = cal.annotation_mean * inputs.annotations;
     overhead.python_annotation = ann;
-    subtract_python_pool(&mut table, ann);
+    subtract_python_pool(table, ann);
 
-    let instrumented_total = trace.wall_time();
-    let corrected_total = instrumented_total.saturating_sub(overhead.total());
-    CorrectedProfile { table, corrected_total, instrumented_total, overhead }
+    overhead
+}
+
+/// Applies calibrated overhead correction to a trace — a wrapper over
+/// `Analysis::of(trace).corrected(cal).profile()`
+/// ([`crate::analysis::Analysis`]).
+pub fn correct(trace: &Trace, cal: &Calibration) -> CorrectedProfile {
+    crate::analysis::Analysis::of(trace)
+        .corrected(cal)
+        .profile()
+        .expect("in-memory trace analysis cannot fail")
 }
 
 /// The uncorrected view of the same trace (paper §C.4: what analyses look
-/// like when correction is skipped).
+/// like when correction is skipped) — a wrapper over
+/// `Analysis::of(trace).profile()`.
 pub fn uncorrected(trace: &Trace) -> CorrectedProfile {
-    CorrectedProfile {
-        table: trace.breakdown(),
-        corrected_total: trace.wall_time(),
-        instrumented_total: trace.wall_time(),
-        overhead: OverheadBreakdown::default(),
-    }
+    crate::analysis::Analysis::of(trace).profile().expect("in-memory trace analysis cannot fail")
 }
 
 #[cfg(test)]

@@ -10,19 +10,37 @@
 //!    Python↔C transitions via hooks ([`profiler::Profiler::attach`] —
 //!    §3.2);
 //! 3. computes **cross-stack event overlap**, scoping every instant of
-//!    CPU/GPU time to the innermost operation and finest stack level
-//!    ([`overlap::compute_overlap`] — §3.3, Figure 3);
+//!    CPU/GPU time to the training phase, process, innermost operation,
+//!    and finest stack level ([`overlap`], [`analysis`] — §3.3, Figure 3);
 //! 4. **calibrates and corrects profiling overhead**: delta calibration
 //!    for type-uniform book-keeping, difference-of-average calibration for
 //!    closed-source CUPTI inflation, and per-bucket subtraction at the
-//!    occurrence points ([`calibrate`], [`correct`] — §3.4, Appendix C);
+//!    occurrence points ([`mod@calibrate`],
+//!    [`analysis::Analysis::corrected`] — §3.4, Appendix C);
 //! 5. stores traces **asynchronously** in rotated binary chunks
 //!    ([`store`] — Appendix A.1);
-//! 6. renders the paper's reports: time breakdowns, transition counts,
-//!    and the multi-process view with the `nvidia-smi` comparison
-//!    ([`report`]).
+//! 6. renders the paper's reports: time breakdowns (overall, per phase,
+//!    per process), transition counts, and the multi-process view with
+//!    the `nvidia-smi` comparison ([`report`]).
+//!
+//! # The unified query API
+//!
+//! Every breakdown flows through one composable pipeline,
+//! [`analysis::Analysis`]:
+//!
+//! ```text
+//! source            filters            grouping           sinks
+//! ─────────────     ──────────────     ───────────────    ─────────────────
+//! of(&trace)        .phase(..)         .group_by([        .table()
+//! merged(&[..])     .process(..)          Dim::Phase,     .tables()
+//! of_events(..)     .operation(..)        Dim::Process,   .report()
+//! of_indexed(..)    .time_window(..)      Dim::Operation  .profile()
+//! from_chunk_dir    .corrected(&cal)   ])                 .canonical_json()
+//!   [.bounded_streaming(lag)]
+//! ```
 //!
 //! ```
+//! use rlscope_core::analysis::{Analysis, Dim};
 //! use rlscope_core::prelude::*;
 //! use rlscope_sim::VirtualClock;
 //! use rlscope_sim::time::DurationNs;
@@ -38,15 +56,68 @@
 //!     let _inner = rls.operation("expand_leaf");
 //!     clock.advance(DurationNs::from_millis(1));
 //! }
-//! let trace = rls.finish();
+//! let mut trace = rls.finish();
 //! assert_eq!(trace.counts.annotations, 2);
-//! let expand = trace.events.iter().find(|e| &*e.name == "expand_leaf").unwrap();
-//! assert_eq!(expand.duration(), DurationNs::from_millis(1));
+//!
+//! // The observer above records annotations only; stand in for the
+//! // intercepted Python span the full stack would have captured, so the
+//! // sweep has CPU time to attribute.
+//! use rlscope_sim::ids::ProcessId;
+//! use rlscope_sim::time::TimeNs;
+//! trace.events.push(Event::new(
+//!     ProcessId(0),
+//!     EventKind::Cpu(CpuCategory::Python),
+//!     "python",
+//!     TimeNs::ZERO,
+//!     trace.wall_end,
+//! ));
+//!
+//! // One pipeline for every scope: overall, per phase, per process.
+//! let overall = Analysis::of(&trace).table().unwrap();
+//! assert_eq!(overall.total(), DurationNs::from_millis(3));
+//! let by_phase = Analysis::of(&trace).group_by([Dim::Phase]).tables().unwrap();
+//! assert_eq!(by_phase.len(), 1); // everything ran inside data_collection
+//! let phase_total: DurationNs = by_phase.iter().map(|(_, t)| t.total()).sum();
+//! assert_eq!(phase_total, overall.total());
 //! ```
+//!
+//! # Migrating from the historical entry points
+//!
+//! The pre-`Analysis` entry points remain available as thin wrappers, so
+//! existing code keeps working; each is exactly one query:
+//!
+//! | historical entry point                      | `Analysis` query |
+//! |---------------------------------------------|------------------|
+//! | `compute_overlap(events)`                   | `Analysis::of_events(events).table()` |
+//! | `compute_overlap_indexed(events, idx)`      | `Analysis::of_indexed(events, idx).table()` |
+//! | `trace.breakdown()`                         | `Analysis::of(&trace).table()` |
+//! | `trace.breakdown_for(pid)`                  | `Analysis::of(&trace).process(pid).table()` |
+//! | `trace.breakdowns_by_process()`             | `Analysis::of(&trace).group_by([Dim::Process]).tables()` |
+//! | `trace.breakdown_per_process()`             | `Analysis::of(&trace).group_by([Dim::Process]).table()` |
+//! | `streamed_breakdowns_by_process(dir, lag)`  | `Analysis::from_chunk_dir(dir)[.bounded_streaming(lag)].group_by([Dim::Process]).tables()` |
+//! | `correct(&trace, &cal)`                     | `Analysis::of(&trace).corrected(&cal).profile()` |
+//! | `uncorrected(&trace)`                       | `Analysis::of(&trace).profile()` |
+//!
+//! Queries the old doors could not express — per-phase tables, phase ×
+//! process cross products, time windows, corrected per-phase views — are
+//! just more combinations of the same builder.
+//!
+//! # Phase tagging and bounded streaming
+//!
+//! The profiler records a phase event when the phase **closes**, so in a
+//! raw stream a long-lived phase arrives late with an early start time.
+//! Exact streaming queries are unaffected. Bounded-lag queries
+//! ([`analysis::Analysis::bounded_streaming`]) that group or filter by
+//! phase treat the late phase event as stream disorder: it is detected —
+//! never misattributed — and the query transparently re-runs with exact
+//! sweeps. Queries that ignore phases drop phase events before the order
+//! check, preserving the flat-memory bound for ordinary per-process
+//! breakdowns. See [`overlap::OverlapSweep::with_phase_tagging`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 pub mod calibrate;
 pub mod correct;
 pub mod event;
@@ -59,25 +130,29 @@ pub mod trace;
 
 /// Convenient glob-import of the most-used types.
 pub mod prelude {
+    pub use crate::analysis::{Analysis, AnalysisError, Dim, GroupKey};
     pub use crate::calibrate::{calibrate, Calibration, RunStats};
     pub use crate::correct::{correct, uncorrected, CorrectedProfile, OverheadBreakdown};
     pub use crate::event::{BookkeepingCounts, CpuCategory, Event, EventKind, GpuCategory};
     pub use crate::overlap::{
-        compute_overlap, compute_overlap_indexed, BreakdownTable, BucketKey, OverlapSweep,
+        compute_overlap, compute_overlap_indexed, BreakdownTable, BucketKey, OverlapSweep, NO_PHASE,
     };
     pub use crate::profiler::{OperationGuard, Profiler, ProfilerConfig, Toggles, TransitionKind};
-    pub use crate::report::{BreakdownReport, MultiProcessReport, TransitionReport};
+    pub use crate::report::{
+        BreakdownReport, MultiPhaseReport, MultiProcessReport, TransitionReport,
+    };
     pub use crate::store::ChunkReader;
     pub use crate::trace::{streamed_breakdowns_by_process, Trace};
 }
 
+pub use analysis::{Analysis, AnalysisError, Dim, GroupKey};
 pub use calibrate::{calibrate, Calibration, RunStats};
 pub use correct::{correct, uncorrected, CorrectedProfile, OverheadBreakdown};
 pub use event::{BookkeepingCounts, CpuCategory, Event, EventKind, GpuCategory};
 pub use overlap::{
-    compute_overlap, compute_overlap_indexed, BreakdownTable, BucketKey, OverlapSweep,
+    compute_overlap, compute_overlap_indexed, BreakdownTable, BucketKey, OverlapSweep, NO_PHASE,
 };
 pub use profiler::{OperationGuard, Profiler, ProfilerConfig, Toggles, TransitionKind};
-pub use report::{BreakdownReport, MultiProcessReport, TransitionReport};
+pub use report::{BreakdownReport, MultiPhaseReport, MultiProcessReport, TransitionReport};
 pub use store::ChunkReader;
 pub use trace::{streamed_breakdowns_by_process, Trace};

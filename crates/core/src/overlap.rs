@@ -13,17 +13,25 @@
 //! Figure 3: `expand_leaf` spends 0.79 ms purely CPU-bound and 1.7 ms
 //! executing on both CPU and GPU (reproduced verbatim in the tests below).
 //!
-//! Two entry points share the engine:
+//! This module is the engine room of the unified query API
+//! ([`crate::analysis::Analysis`]); two execution paths share it:
 //!
-//! * [`compute_overlap`] / [`compute_overlap_indexed`] — the batch path:
-//!   all events (or an index subset of a borrowed slice) are encoded into
-//!   flat boundary arrays, sorted with the run-aware [`sort_boundaries`],
-//!   and swept in one pass.
+//! * the batch path: all events (or an index subset of a borrowed slice)
+//!   are encoded into flat boundary arrays, sorted with the run-aware
+//!   `sort_boundaries`, and swept in one pass ([`compute_overlap`] /
+//!   [`compute_overlap_indexed`] are the historical entry points, now
+//!   wrappers over `Analysis`);
 //! * [`OverlapSweep`] — the incremental path: events arrive in batches
 //!   (e.g. one decoded trace chunk at a time), are reduced immediately to
 //!   compact boundary records, and the same sweep finalizes to an
 //!   identical [`BreakdownTable`]. See the type docs for the memory
 //!   contract of its exact and bounded modes.
+//!
+//! Both paths can additionally carry a **phase tag** through segments
+//! (the innermost active [`crate::event::EventKind::Phase`] annotation),
+//! producing one table per phase ([`PhaseTables`]) for
+//! `Analysis::group_by([Dim::Phase])` queries; with tagging off, phase
+//! events are dropped exactly as before.
 
 use crate::event::{CpuCategory, Event, EventKind};
 use crate::intern::Interner;
@@ -49,6 +57,11 @@ impl BucketKey {
     /// The label for segments outside any operation annotation.
     pub const UNTRACKED: &'static str = "(untracked)";
 }
+
+/// The phase label for segments outside any phase annotation, used by
+/// phase-grouped sweeps ([`crate::analysis::Analysis::group_by`] with
+/// [`crate::analysis::Dim::Phase`]).
+pub const NO_PHASE: &str = "(no phase)";
 
 impl fmt::Display for BucketKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -161,30 +174,13 @@ impl BreakdownTable {
     /// strings minimally escaped — so golden files can be compared as
     /// exact strings and any sweep behavior drift fails the harness.
     pub fn canonical_json(&self) -> String {
-        fn escape(s: &str, out: &mut String) {
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => {
-                        out.push_str(&format!("\\u{:04x}", c as u32));
-                    }
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-        }
         let mut out = String::from("[\n");
         for (i, (k, d)) in self.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
             }
             out.push_str("  {\"operation\": ");
-            escape(&k.operation, &mut out);
+            json_escape_into(&k.operation, &mut out);
             out.push_str(", \"cpu\": ");
             match k.cpu {
                 Some(CpuCategory::Python) => out.push_str("\"Python\""),
@@ -198,6 +194,27 @@ impl BreakdownTable {
         out.push_str("\n]\n");
         out
     }
+}
+
+/// Appends `s` as a minimally escaped JSON string (the byte-stable
+/// encoding of the golden corpus, shared with the grouped canonical
+/// output of [`crate::analysis::Analysis::canonical_json`]).
+pub(crate) fn json_escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Number of accumulator slots per operation: 5 CPU tags (none + 4
@@ -338,6 +355,13 @@ fn sort_boundaries(v: &mut [(u64, u32)]) {
     }
 }
 
+/// Per-phase breakdown tables in first-seen phase order; the label
+/// [`NO_PHASE`] collects time outside any phase annotation. Empty groups
+/// are omitted. Summing (merging) all groups reproduces the ungrouped
+/// table exactly — phase boundaries only split segments, never move time
+/// between buckets.
+pub type PhaseTables = Vec<(Arc<str>, BreakdownTable)>;
+
 /// Builds the ordered table from the flat accumulator's non-zero cells.
 fn materialize(interner: &Interner, acc: &[u64]) -> BreakdownTable {
     let mut table = BreakdownTable::new();
@@ -361,7 +385,11 @@ fn materialize(interner: &Interner, acc: &[u64]) -> BreakdownTable {
 /// Runs the overlap sweep over `events` (any order; typically one process).
 ///
 /// Phase events are ignored for bucketing (they scope reporting, not
-/// attribution). Segments where nothing is active are skipped.
+/// attribution); phase-scoped views go through
+/// [`crate::analysis::Analysis::group_by`] instead. Segments where
+/// nothing is active are skipped. This is now a thin wrapper over the
+/// unified query API — it is exactly
+/// `Analysis::of_events(events).table()`.
 ///
 /// # Engine
 ///
@@ -371,10 +399,11 @@ fn materialize(interner: &Interner, acc: &[u64]) -> BreakdownTable {
 ///
 /// * operation names are interned to dense `u32` ids up front
 ///   ([`crate::intern::Interner`]), so the segment accumulator is a flat
-///   `Vec<u64>` indexed by `(op_id, cpu_tag, gpu)` instead of a
-///   `BTreeMap` insert per boundary;
+///   `Vec<u64>` indexed by `(phase_id, op_id, cpu_tag, gpu)` instead of a
+///   `BTreeMap` insert per boundary (the phase dimension collapses to a
+///   single row when phase tagging is off);
 /// * the active CPU set is a fixed `[u32; 4]` counter array plus a 4-bit
-///   occupancy mask; the finest category is a [`FINEST_TAG`] lookup, not
+///   occupancy mask; the finest category is a `FINEST_TAG` lookup, not
 ///   a map scan;
 /// * the operation stack records each event's slot at push time, so a
 ///   non-LIFO close tombstones its slot in O(1) instead of the former
@@ -383,10 +412,11 @@ fn materialize(interner: &Interner, acc: &[u64]) -> BreakdownTable {
 /// The ordered [`BreakdownTable`] is materialized once at the end from
 /// the non-zero accumulator cells.
 pub fn compute_overlap(events: &[Event]) -> BreakdownTable {
-    sweep_iter(events.iter())
+    crate::analysis::Analysis::of_events(events).table().expect("in-memory analysis cannot fail")
 }
 
-/// [`compute_overlap`] over an index subset of one borrowed event slice.
+/// [`compute_overlap`] over an index subset of one borrowed event slice
+/// (`Analysis::of_indexed(events, indices).table()`).
 ///
 /// This is the zero-copy sharding primitive behind
 /// [`crate::trace::Trace::breakdowns_by_process`]: a merged multi-process
@@ -394,14 +424,60 @@ pub fn compute_overlap(events: &[Event]) -> BreakdownTable {
 /// sweeps its indices over the same borrowed slice — no per-process event
 /// clones.
 pub fn compute_overlap_indexed(events: &[Event], indices: &[u32]) -> BreakdownTable {
-    sweep_iter(indices.iter().map(|&i| &events[i as usize]))
+    crate::analysis::Analysis::of_indexed(events, indices)
+        .table()
+        .expect("in-memory analysis cannot fail")
+}
+
+/// The raw batch engine over an event slice, bypassing the
+/// [`crate::analysis::Analysis`] builder entirely.
+///
+/// This exists as the measurement baseline for the `analysis_query`
+/// regression gate (`benches/micro.rs`): [`compute_overlap`] is itself a
+/// wrapper over `Analysis`, so comparing the pipeline against it would
+/// compare identical code and could never detect pipeline overhead. Use
+/// [`compute_overlap`] or `Analysis` for actual analysis.
+pub fn compute_overlap_raw(events: &[Event]) -> BreakdownTable {
+    sweep_tables(events.iter())
+}
+
+/// Batch sweep over an event iterator, phases dropped (the historical
+/// `compute_overlap` semantics).
+pub(crate) fn sweep_tables<'a>(events: impl Iterator<Item = &'a Event>) -> BreakdownTable {
+    let (interner, _, acc) = sweep_raw(events, false);
+    materialize(&interner, &acc)
+}
+
+/// Batch sweep over an event iterator with phase tagging: one table per
+/// phase, [`NO_PHASE`] first if any untagged time exists.
+pub(crate) fn sweep_tables_by_phase<'a>(events: impl Iterator<Item = &'a Event>) -> PhaseTables {
+    let (interner, phases, acc) = sweep_raw(events, true);
+    let row = interner.len() * SLOTS;
+    phases
+        .names()
+        .iter()
+        .enumerate()
+        .filter_map(|(p, name)| {
+            let table = materialize(&interner, &acc[p * row..(p + 1) * row]);
+            (!table.is_empty()).then(|| (name.clone(), table))
+        })
+        .collect()
 }
 
 /// The shared batch engine: encodes the event stream into flat boundary
-/// arrays, sorts them with [`sort_boundaries`], and sweeps.
-fn sweep_iter<'a>(events: impl Iterator<Item = &'a Event>) -> BreakdownTable {
+/// arrays, sorts them with [`sort_boundaries`], and sweeps. Returns the
+/// operation interner, the phase interner (id 0 = [`NO_PHASE`]; only id 0
+/// when `track_phases` is off), and the accumulator laid out
+/// `[phase][operation][slot]`.
+fn sweep_raw<'a>(
+    events: impl Iterator<Item = &'a Event>,
+    track_phases: bool,
+) -> (Interner, Interner, Vec<u64>) {
     let mut interner = Interner::with_capacity(16);
     let untracked = interner.intern_str(BucketKey::UNTRACKED);
+    let mut phase_interner = Interner::with_capacity(4);
+    let no_phase = phase_interner.intern_str(NO_PHASE);
+    debug_assert_eq!(no_phase, 0);
 
     // Interval boundaries, kept as separate start/end arrays of raw
     // `(time, event seq)` pairs — the edge kind is implicit in which
@@ -430,17 +506,24 @@ fn sweep_iter<'a>(events: impl Iterator<Item = &'a Event>) -> BreakdownTable {
             continue;
         }
         let seq = op_ids.len() as u32;
-        let mut op_id = untracked;
+        // Dense id of the event's own name: operation id for operations,
+        // phase id for tracked phases, untracked otherwise.
+        let mut own_id = untracked;
         kind_codes.push(match &e.kind {
             EventKind::Cpu(c) => *c as u8,
             EventKind::Gpu(_) => CODE_GPU,
             EventKind::Operation => {
-                op_id = interner.intern(&e.name);
+                own_id = interner.intern(&e.name);
                 CODE_OP
             }
-            EventKind::Phase => CODE_PHASE,
+            EventKind::Phase => {
+                if track_phases {
+                    own_id = phase_interner.intern(&e.name);
+                }
+                CODE_PHASE
+            }
         });
-        op_ids.push(op_id);
+        op_ids.push(own_id);
         let (s, t) = (e.start.as_nanos(), e.end.as_nanos());
         starts_sorted &= s >= prev_start;
         ends_sorted &= t >= prev_end;
@@ -457,17 +540,27 @@ fn sweep_iter<'a>(events: impl Iterator<Item = &'a Event>) -> BreakdownTable {
     }
 
     // Flat accumulator: one u64 of attributed nanoseconds per
-    // (operation, cpu tag, gpu) combination.
-    let mut acc: Vec<u64> = vec![0; interner.len() * SLOTS];
+    // (phase, operation, cpu tag, gpu) combination. Without phase
+    // tracking the phase dimension is a single row, so the layout — and
+    // the per-boundary index arithmetic — is identical to a plain
+    // (operation, cpu tag, gpu) accumulator.
+    let n_ops = interner.len();
+    let mut acc: Vec<u64> = vec![0; phase_interner.len() * n_ops * SLOTS];
 
     let mut cpu_counts = [0u32; 4];
     let mut cpu_mask: usize = 0;
     let mut gpu_active: u32 = 0;
-    // Scope-indexed operation stack: `slot_of[event]` is the entry the
-    // event occupies, letting a non-LIFO close tombstone it in O(1).
+    // Scope-indexed operation/phase stacks: `slot_of[event]` is the entry
+    // the event occupies in its stack, letting a non-LIFO close tombstone
+    // it in O(1).
     let mut op_stack: Vec<u32> = Vec::new();
+    let mut phase_stack: Vec<u32> = Vec::new();
     let mut slot_of: Vec<u32> = vec![0; op_ids.len()];
     let mut cur_op: u32 = untracked;
+    // Accumulator row of the current (phase, operation) pair; phase_base
+    // stays 0 when phases are untracked.
+    let mut phase_base: usize = 0;
+    let mut cur_row: usize = untracked as usize;
 
     let mut prev_t: u64 = 0;
     let mut have_prev = false;
@@ -487,7 +580,7 @@ fn sweep_iter<'a>(events: impl Iterator<Item = &'a Event>) -> BreakdownTable {
         if have_prev && t > prev_t && (cpu_mask != 0 || gpu_active > 0) {
             let tag = FINEST_TAG[cpu_mask] as usize;
             let gpu = (gpu_active > 0) as usize;
-            acc[cur_op as usize * SLOTS + tag * 2 + gpu] += t - prev_t;
+            acc[cur_row * SLOTS + tag * 2 + gpu] += t - prev_t;
         }
         prev_t = t;
         have_prev = true;
@@ -529,12 +622,31 @@ fn sweep_iter<'a>(events: impl Iterator<Item = &'a Event>) -> BreakdownTable {
                     }
                 }
                 cur_op = op_stack.last().map(|&i| op_ids[i as usize]).unwrap_or(untracked);
+                cur_row = phase_base + cur_op as usize;
+            }
+            CODE_PHASE if track_phases => {
+                // Same stack discipline as operations: the innermost
+                // (latest-started) active phase tags the segment.
+                if is_start {
+                    slot_of[idx as usize] = phase_stack.len() as u32;
+                    phase_stack.push(idx);
+                } else {
+                    let slot = slot_of[idx as usize] as usize;
+                    debug_assert_eq!(phase_stack[slot], idx, "phase stack corrupted");
+                    phase_stack[slot] = TOMBSTONE;
+                    while phase_stack.last() == Some(&TOMBSTONE) {
+                        phase_stack.pop();
+                    }
+                }
+                let cur_phase = phase_stack.last().map(|&i| op_ids[i as usize]).unwrap_or(no_phase);
+                phase_base = cur_phase as usize * n_ops;
+                cur_row = phase_base + cur_op as usize;
             }
             _ => {}
         }
     }
 
-    materialize(&interner, &acc)
+    (interner, phase_interner, acc)
 }
 
 /// Error from [`OverlapSweep::push`].
@@ -571,17 +683,19 @@ impl fmt::Display for SweepError {
 
 impl std::error::Error for SweepError {}
 
-/// A pending interval boundary: ordered by `(time, op_seq)` so that
-/// same-time operation starts pop in arrival order, matching the batch
-/// engine's stable event-order tie-break. `meta` is a kind code
-/// (`0..=4`) for CPU/GPU events or `8 + op_id` for operations.
+/// A pending interval boundary: ordered by `(time, seq)` so that
+/// same-time operation/phase starts pop in arrival order, matching the
+/// batch engine's stable event-order tie-break. `meta` is a kind code
+/// (`0..=4`) for CPU/GPU events, `8 + op_id` for operations, or
+/// [`META_PHASE_FLAG`]`| phase_id` for tracked phases.
 type Boundary = std::cmp::Reverse<(u64, u32, u32)>;
 
 const META_OP_BASE: u32 = 8;
+const META_PHASE_FLAG: u32 = 1 << 31;
 
-/// Incremental overlap sweep: feed event batches with [`push`]
-/// ([`OverlapSweep::push`]) as they are decoded, then [`finalize`]
-/// ([`OverlapSweep::finalize`]) to the same [`BreakdownTable`] the batch
+/// Incremental overlap sweep: feed event batches with
+/// [`OverlapSweep::push`] as they are decoded, then
+/// [`OverlapSweep::finalize`] to the same [`BreakdownTable`] the batch
 /// [`compute_overlap`] produces over the concatenated stream.
 ///
 /// Each pushed event is reduced immediately to two 16-byte boundary
@@ -615,20 +729,31 @@ pub struct OverlapSweep {
     untracked: u32,
     /// Eager-finalization window; `None` = exact mode (never drain early).
     lag: Option<u64>,
+    /// Whether phase events are tagged through segments (see
+    /// [`OverlapSweep::with_phase_tagging`]) instead of dropped.
+    track_phases: bool,
+    phase_interner: Interner,
     starts: BinaryHeap<Boundary>,
     ends: BinaryHeap<Boundary>,
-    /// Dense arrival counter for operation events: heap tie-break and
-    /// open-op identity.
+    /// Dense arrival counter for operation and phase events: heap
+    /// tie-break and open-scope identity.
     next_op_seq: u32,
-    /// Slot in `op_stack` occupied by each open operation, by op seq.
+    /// Slot in `op_stack` occupied by each open operation, by seq.
     open_ops: HashMap<u32, u32>,
-    /// `(op_seq, op_id)` entries; closed entries tombstoned in place.
+    /// Slot in `phase_stack` occupied by each open phase, by seq.
+    open_phases: HashMap<u32, u32>,
+    /// `(seq, op_id)` entries; closed entries tombstoned in place.
     op_stack: Vec<(u32, u32)>,
-    acc: Vec<u64>,
+    /// `(seq, phase_id)` entries; closed entries tombstoned in place.
+    phase_stack: Vec<(u32, u32)>,
+    /// One flat `(op_id, cpu_tag, gpu)` accumulator per phase id; only
+    /// index 0 ([`NO_PHASE`]) exists when phases are untracked.
+    accs: Vec<Vec<u64>>,
     cpu_counts: [u32; 4],
     cpu_mask: usize,
     gpu_active: u32,
     cur_op: u32,
+    cur_phase: u32,
     max_start: u64,
     prev_t: u64,
     have_prev: bool,
@@ -658,25 +783,52 @@ impl OverlapSweep {
     fn with_lag(lag: Option<u64>) -> Self {
         let mut interner = Interner::with_capacity(16);
         let untracked = interner.intern_str(BucketKey::UNTRACKED);
+        let mut phase_interner = Interner::with_capacity(4);
+        phase_interner.intern_str(NO_PHASE);
         OverlapSweep {
             interner,
             untracked,
             lag,
+            track_phases: false,
+            phase_interner,
             starts: BinaryHeap::new(),
             ends: BinaryHeap::new(),
             next_op_seq: 0,
             open_ops: HashMap::new(),
+            open_phases: HashMap::new(),
             op_stack: Vec::new(),
-            acc: vec![0; SLOTS],
+            phase_stack: Vec::new(),
+            accs: vec![vec![0; SLOTS]],
             cpu_counts: [0; 4],
             cpu_mask: 0,
             gpu_active: 0,
             cur_op: untracked,
+            cur_phase: 0,
             max_start: 0,
             prev_t: 0,
             have_prev: false,
             events_pushed: 0,
         }
+    }
+
+    /// Enables phase tagging: phase events participate in the sweep and
+    /// [`OverlapSweep::finalize_grouped`] yields one table per phase.
+    ///
+    /// Phase events then also participate in the **order check** of
+    /// bounded mode. The profiler records a phase when it *closes*, so a
+    /// whole-run phase arrives with a start far behind the finalized
+    /// frontier and a bounded sweep will reject it
+    /// ([`SweepError::OrderViolation`]) rather than misattribute already-
+    /// finalized segments; callers fall back to an exact sweep, exactly
+    /// as for any other excess disorder. Without phase tagging (the
+    /// default), phase events are dropped before the order check and
+    /// never trip bounded mode.
+    ///
+    /// Must be selected before the first [`OverlapSweep::push`].
+    pub fn with_phase_tagging(mut self) -> Self {
+        debug_assert_eq!(self.events_pushed, 0, "enable phase tagging before pushing");
+        self.track_phases = true;
+        self
     }
 
     /// Total events accepted so far (including zero-length ones).
@@ -699,11 +851,13 @@ impl OverlapSweep {
     /// for attribution purposes; discard it and re-analyze exactly.
     pub fn push(&mut self, e: &Event) -> Result<(), SweepError> {
         self.events_pushed += 1;
-        // Phases scope reporting, not attribution; their boundaries only
-        // split segments without changing any sums, so they are dropped
-        // before the order check — a whole-run phase recorded at close
-        // (start near 0, arriving last) must not trip the bounded mode.
-        if e.start == e.end || e.kind == EventKind::Phase {
+        // Without phase tagging, phases scope reporting, not attribution;
+        // their boundaries only split segments without changing any sums,
+        // so they are dropped before the order check — a whole-run phase
+        // recorded at close (start near 0, arriving last) must not trip
+        // the bounded mode. With phase tagging they are real boundaries
+        // and go through the order check like every other event.
+        if e.start == e.end || (e.kind == EventKind::Phase && !self.track_phases) {
             return Ok(());
         }
         let start = e.start.as_nanos();
@@ -717,15 +871,21 @@ impl OverlapSweep {
             EventKind::Operation => {
                 let op_id = self.interner.intern(&e.name);
                 let needed = self.interner.len() * SLOTS;
-                if self.acc.len() < needed {
-                    self.acc.resize(needed, 0);
+                for acc in &mut self.accs {
+                    if acc.len() < needed {
+                        acc.resize(needed, 0);
+                    }
                 }
-                let seq = self.next_op_seq;
-                self.next_op_seq =
-                    self.next_op_seq.checked_add(1).ok_or(SweepError::TooManyOperations)?;
-                (seq, META_OP_BASE + op_id)
+                (self.next_seq()?, META_OP_BASE + op_id)
             }
-            EventKind::Phase => unreachable!("phases dropped above"),
+            EventKind::Phase => {
+                let phase_id = self.phase_interner.intern(&e.name);
+                if self.accs.len() <= phase_id as usize {
+                    let len = self.interner.len() * SLOTS;
+                    self.accs.resize_with(phase_id as usize + 1, || vec![0; len]);
+                }
+                (self.next_seq()?, META_PHASE_FLAG | phase_id)
+            }
         };
         self.starts.push(std::cmp::Reverse((start, seq, meta)));
         self.ends.push(std::cmp::Reverse((end, seq, meta)));
@@ -749,10 +909,42 @@ impl OverlapSweep {
         Ok(())
     }
 
-    /// Finalizes all pending segments and materializes the table.
+    /// Allocates the next arrival seq for an operation or phase event.
+    fn next_seq(&mut self) -> Result<u32, SweepError> {
+        let seq = self.next_op_seq;
+        self.next_op_seq = self.next_op_seq.checked_add(1).ok_or(SweepError::TooManyOperations)?;
+        Ok(seq)
+    }
+
+    /// Finalizes all pending segments and materializes the table (all
+    /// phases merged — identical to the phase-untracked table).
     pub fn finalize(mut self) -> BreakdownTable {
         self.drain(None);
-        materialize(&self.interner, &self.acc)
+        let len = self.interner.len() * SLOTS;
+        let mut merged = vec![0u64; len];
+        for acc in &self.accs {
+            for (m, &v) in merged.iter_mut().zip(acc) {
+                *m += v;
+            }
+        }
+        materialize(&self.interner, &merged)
+    }
+
+    /// Finalizes all pending segments into one table per phase (requires
+    /// [`OverlapSweep::with_phase_tagging`]; without it everything lands
+    /// in the single [`NO_PHASE`] group). Empty groups are omitted;
+    /// merging the groups reproduces [`OverlapSweep::finalize`] exactly.
+    pub fn finalize_grouped(mut self) -> PhaseTables {
+        self.drain(None);
+        self.phase_interner
+            .names()
+            .iter()
+            .zip(&self.accs)
+            .filter_map(|(name, acc)| {
+                let table = materialize(&self.interner, acc);
+                (!table.is_empty()).then(|| (name.clone(), table))
+            })
+            .collect()
     }
 
     /// Processes pending boundaries with time ≤ `limit` (all when `None`),
@@ -776,7 +968,8 @@ impl OverlapSweep {
             if self.have_prev && t > self.prev_t && (self.cpu_mask != 0 || self.gpu_active > 0) {
                 let tag = FINEST_TAG[self.cpu_mask] as usize;
                 let gpu = (self.gpu_active > 0) as usize;
-                self.acc[self.cur_op as usize * SLOTS + tag * 2 + gpu] += t - self.prev_t;
+                self.accs[self.cur_phase as usize][self.cur_op as usize * SLOTS + tag * 2 + gpu] +=
+                    t - self.prev_t;
             }
             self.prev_t = t;
             self.have_prev = true;
@@ -804,6 +997,22 @@ impl OverlapSweep {
                     } else {
                         self.gpu_active -= 1;
                     }
+                }
+                m if m & META_PHASE_FLAG != 0 => {
+                    let phase_id = m & !META_PHASE_FLAG;
+                    if is_start {
+                        self.open_phases.insert(seq, self.phase_stack.len() as u32);
+                        self.phase_stack.push((seq, phase_id));
+                    } else {
+                        let slot = self.open_phases.remove(&seq).expect("phase end without start")
+                            as usize;
+                        debug_assert_eq!(self.phase_stack[slot].0, seq, "phase stack corrupted");
+                        self.phase_stack[slot].0 = TOMBSTONE;
+                        while self.phase_stack.last().is_some_and(|&(s, _)| s == TOMBSTONE) {
+                            self.phase_stack.pop();
+                        }
+                    }
+                    self.cur_phase = self.phase_stack.last().map(|&(_, id)| id).unwrap_or(0);
                 }
                 _ => {
                     let op_id = meta - META_OP_BASE;

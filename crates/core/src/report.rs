@@ -1,5 +1,6 @@
 //! Human-readable reports: the tabular equivalents of the paper's figures.
 
+use crate::analysis::{Analysis, Dim};
 use crate::event::CpuCategory;
 use crate::overlap::{BreakdownTable, BucketKey};
 use crate::profiler::TransitionKind;
@@ -169,11 +170,12 @@ impl MultiProcessReport {
     /// Builds the view from a merged trace, process names, dependency
     /// edges, and an smi sampling report.
     ///
-    /// Per-process tables come from the parallel sharded analysis
-    /// ([`Trace::breakdowns_by_process`]): one index-partition pass over
-    /// the borrowed merged event stream and one sweep per process on
-    /// worker threads, rather than a full re-filtering scan (or a
-    /// per-process event clone) per process.
+    /// Per-process tables come from the unified analysis pipeline
+    /// (`Analysis::of(trace).group_by([Dim::Process]).tables()`,
+    /// [`Analysis`]): one index-partition pass over the borrowed merged
+    /// event stream and one sweep per process on worker threads, rather
+    /// than a full re-filtering scan (or a per-process event clone) per
+    /// process.
     pub fn new(
         trace: &Trace,
         names: &[(ProcessId, String)],
@@ -257,6 +259,98 @@ impl MultiProcessReport {
     }
 }
 
+/// Per-phase summary row of a [`MultiPhaseReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSummary {
+    /// Phase name ([`crate::overlap::NO_PHASE`] for untagged time).
+    pub phase: String,
+    /// The phase's full breakdown table.
+    pub table: BreakdownTable,
+    /// Total attributed time in the phase.
+    pub total: DurationNs,
+    /// CPU-bound portion (CPU busy, GPU idle).
+    pub cpu: DurationNs,
+    /// Time with the GPU busy.
+    pub gpu: DurationNs,
+}
+
+/// The per-phase view of a trace: the paper's time-breakdown figures
+/// scoped to training phases (§3.1/§3.3), which the pre-`Analysis`
+/// pipeline could not produce (phases were dropped by the sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiPhaseReport {
+    /// Per-phase summaries, in first-seen phase order of the stream.
+    pub phases: Vec<PhaseSummary>,
+}
+
+impl MultiPhaseReport {
+    /// Builds the view from a (possibly merged multi-process) trace via
+    /// `Analysis::of(trace).group_by([Dim::Phase]).tables()`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let tables = Analysis::of(trace)
+            .group_by([Dim::Phase])
+            .tables()
+            .expect("in-memory analysis cannot fail");
+        Self::from_tables(
+            tables
+                .into_iter()
+                .map(|(key, t)| (key.phase.expect("grouped by phase").to_string(), t)),
+        )
+    }
+
+    /// Builds the view from already-grouped per-phase tables.
+    pub fn from_tables(tables: impl IntoIterator<Item = (String, BreakdownTable)>) -> Self {
+        let phases = tables
+            .into_iter()
+            .map(|(phase, table)| PhaseSummary {
+                total: table.total(),
+                cpu: table.total_where(|k: &BucketKey| k.cpu.is_some() && !k.gpu),
+                gpu: table.gpu_total(),
+                phase,
+                table,
+            })
+            .collect();
+        MultiPhaseReport { phases }
+    }
+
+    /// Total attributed time across all phases (equals the ungrouped
+    /// table's total — phase grouping conserves time exactly).
+    pub fn total(&self) -> DurationNs {
+        self.phases.iter().map(|p| p.total).sum()
+    }
+
+    /// Formats the report as text: one summary line per phase plus each
+    /// phase's top operations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total = self.total();
+        let _ =
+            writeln!(out, "{:<20} {:>12} {:>7} {:>12} {:>12}", "phase", "total", "%", "cpu", "gpu");
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>12} {:>6.1}% {:>12} {:>12}",
+                p.phase,
+                p.total.to_string(),
+                100.0 * p.total.ratio(total),
+                p.cpu.to_string(),
+                p.gpu.to_string()
+            );
+            for op in p.table.operations() {
+                let op_total = p.table.operation_total(&op);
+                let _ = writeln!(
+                    out,
+                    "    {:<16} {:>12} {:>6.1}%",
+                    op,
+                    op_total.to_string(),
+                    100.0 * op_total.ratio(p.total)
+                );
+            }
+        }
+        out
+    }
+}
+
 /// Percentage of a table's total spent in a CPU category (helper used all
 /// over the experiment harness).
 pub fn percent_of_total(table: &BreakdownTable, pred: impl Fn(&BucketKey) -> bool) -> f64 {
@@ -324,6 +418,27 @@ mod tests {
         assert!((simulation_percent(&t) - 60.0).abs() < 1e-9);
         assert!((gpu_percent_of_operation(&t, "bp") - 100.0).abs() < 1e-9);
         assert!((gpu_percent_of_operation(&t, "sim") - 0.0).abs() < 1e-9);
+    }
+
+    /// Zero-denominator guards: percentage helpers over empty tables or
+    /// absent operations must report 0.0, never NaN.
+    #[test]
+    fn percentage_helpers_guard_zero_denominators() {
+        let empty = BreakdownTable::new();
+        for v in [
+            percent_of_total(&empty, |_| true),
+            simulation_percent(&empty),
+            gpu_percent_of_operation(&empty, "missing"),
+            gpu_percent_of_operation(&table(), "no_such_operation"),
+        ] {
+            assert_eq!(v, 0.0);
+            assert!(!v.is_nan());
+        }
+        // The report builder itself: rows over a zero-total table carry
+        // 0% instead of NaN.
+        let rep = BreakdownReport::from_table(&empty);
+        assert!(rep.rows.is_empty());
+        assert_eq!(rep.total, DurationNs::ZERO);
     }
 
     #[test]

@@ -1,17 +1,15 @@
 //! The finalized trace of one profiled process, and multi-process merging.
 
+use crate::analysis::{Analysis, AnalysisError, Dim};
 use crate::event::{BookkeepingCounts, Event};
-use crate::overlap::{compute_overlap, compute_overlap_indexed, BreakdownTable, OverlapSweep};
+use crate::overlap::BreakdownTable;
 use crate::profiler::TransitionKind;
-use crate::store::{ChunkReader, TraceIoError};
-use parking_lot::Mutex;
+use crate::store::TraceIoError;
 use rlscope_sim::cuda::CudaApiKind;
 use rlscope_sim::ids::ProcessId;
 use rlscope_sim::time::{DurationNs, TimeNs};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Everything recorded for one process in one run.
@@ -40,9 +38,10 @@ impl Trace {
         self.wall_end - TimeNs::ZERO
     }
 
-    /// Runs the overlap sweep over this trace's events.
+    /// Runs the overlap sweep over this trace's events — a wrapper over
+    /// `Analysis::of(self).table()` ([`Analysis`]).
     pub fn breakdown(&self) -> BreakdownTable {
-        compute_overlap(&self.events)
+        Analysis::of(self).table().expect("in-memory analysis cannot fail")
     }
 
     /// Transition count for one operation and kind.
@@ -107,25 +106,8 @@ impl Trace {
             merged.counts.cuda_api_calls += t.counts.cuda_api_calls;
             merged.iterations += t.iterations;
             merged.wall_end = merged.wall_end.max(t.wall_end);
-            for ((op, kind), n) in t.per_op_transitions {
-                match merged
-                    .per_op_transitions
-                    .iter_mut()
-                    .find(|((o, k), _)| *o == op && *k == kind)
-                {
-                    Some((_, existing)) => *existing += n,
-                    None => merged.per_op_transitions.push(((op, kind), n)),
-                }
-            }
-            for (api, (n, total)) in t.api_stats {
-                match merged.api_stats.iter_mut().find(|(a, _)| *a == api) {
-                    Some((_, (en, etotal))) => {
-                        *en += n;
-                        *etotal += total;
-                    }
-                    None => merged.api_stats.push((api, (n, total))),
-                }
-            }
+            merge_transition_counts(&mut merged.per_op_transitions, t.per_op_transitions);
+            merge_api_stats(&mut merged.api_stats, t.api_stats);
         }
         merged
     }
@@ -136,42 +118,21 @@ impl Trace {
     }
 
     /// Breakdown restricted to one process, sweeping index references
-    /// into the borrowed event slice (no per-process event clones).
+    /// into the borrowed event slice (no per-process event clones) — a
+    /// wrapper over `Analysis::of(self).process(pid).table()`.
     pub fn breakdown_for(&self, pid: ProcessId) -> BreakdownTable {
-        let indices: Vec<u32> = self
-            .events
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.pid == pid)
-            .map(|(i, _)| i as u32)
-            .collect();
-        compute_overlap_indexed(&self.events, &indices)
-    }
-
-    /// Per-process index partition of the event stream: `(pid, indices)`
-    /// in first-seen pid order, one pass, no event clones.
-    fn partition_by_process(&self) -> Vec<(ProcessId, Vec<u32>)> {
-        let mut slot_of: HashMap<ProcessId, usize> = HashMap::new();
-        let mut groups: Vec<(ProcessId, Vec<u32>)> = Vec::new();
-        for (i, e) in self.events.iter().enumerate() {
-            let slot = *slot_of.entry(e.pid).or_insert_with(|| {
-                groups.push((e.pid, Vec::new()));
-                groups.len() - 1
-            });
-            groups[slot].1.push(i as u32);
-        }
-        groups
+        Analysis::of(self).process(pid).table().expect("in-memory analysis cannot fail")
     }
 
     /// Per-process breakdown tables, computed in parallel over one
-    /// borrowed event slice.
+    /// borrowed event slice — a wrapper over
+    /// `Analysis::of(self).group_by([Dim::Process]).tables()`.
     ///
     /// The merged stream is partitioned into per-pid **index lists** in
-    /// one pass — events are never cloned, unlike the former
-    /// per-pid-`Vec<Event>` sharding, so peak memory stays one `u32` per
-    /// event over the trace itself. Each process's sweep
-    /// ([`compute_overlap_indexed`]) then runs on a worker thread, capped
-    /// at the machine's available parallelism. Results are returned in
+    /// one pass — events are never cloned, so peak memory over the trace
+    /// itself stays one reference plus one `u32` index per event. Each
+    /// process's sweep then runs on a worker thread, capped at the
+    /// machine's available parallelism. Results are returned in
     /// first-seen pid order of the event stream.
     ///
     /// This is the whole-experiment analysis path: reports over merged
@@ -179,50 +140,63 @@ impl Trace {
     /// consume these partial tables and aggregate them with
     /// [`BreakdownTable::merge`].
     pub fn breakdowns_by_process(&self) -> Vec<(ProcessId, BreakdownTable)> {
-        let tasks = self.partition_by_process();
-        let workers =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(tasks.len());
-        if workers <= 1 {
-            return tasks
-                .into_iter()
-                .map(|(pid, indices)| (pid, compute_overlap_indexed(&self.events, &indices)))
-                .collect();
-        }
-
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<BreakdownTable>>> =
-            tasks.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((_, indices)) = tasks.get(i) else { break };
-                    *results[i].lock() = Some(compute_overlap_indexed(&self.events, indices));
-                });
-            }
-        });
-        tasks
+        Analysis::of(self)
+            .group_by([Dim::Process])
+            .tables()
+            .expect("in-memory analysis cannot fail")
             .into_iter()
-            .zip(results)
-            .map(|((pid, _), result)| (pid, result.into_inner().expect("worker completed")))
+            .map(|(key, table)| (key.process.expect("grouped by process"), table))
             .collect()
     }
 
     /// Whole-experiment aggregate: per-process partial tables (computed
     /// in parallel) merged into one (the multi-process view of paper
-    /// §4.3, where each process's resource time counts separately).
+    /// §4.3, where each process's resource time counts separately) — a
+    /// wrapper over `Analysis::of(self).group_by([Dim::Process]).table()`.
     pub fn breakdown_per_process(&self) -> BreakdownTable {
-        let mut merged = BreakdownTable::new();
-        for (_, table) in self.breakdowns_by_process() {
-            merged.merge(&table);
+        Analysis::of(self).group_by([Dim::Process]).table().expect("in-memory analysis cannot fail")
+    }
+}
+
+/// Find-or-push accumulation of `(operation, kind) → count` rows into an
+/// existing counter list — the one merge implementation shared by
+/// [`Trace::merge`] and the correction-input merge
+/// (`CorrectionInputs::from_traces`), so the two can never diverge.
+pub(crate) fn merge_transition_counts(
+    dst: &mut Vec<((Arc<str>, TransitionKind), u64)>,
+    src: impl IntoIterator<Item = ((Arc<str>, TransitionKind), u64)>,
+) {
+    for ((op, kind), n) in src {
+        match dst.iter_mut().find(|((o, k), _)| *o == op && *k == kind) {
+            Some((_, existing)) => *existing += n,
+            None => dst.push(((op, kind), n)),
         }
-        merged
+    }
+}
+
+/// Find-or-push accumulation of per-CUDA-API `(count, total)` rows;
+/// shared like [`merge_transition_counts`].
+pub(crate) fn merge_api_stats(
+    dst: &mut Vec<(CudaApiKind, (u64, DurationNs))>,
+    src: impl IntoIterator<Item = (CudaApiKind, (u64, DurationNs))>,
+) {
+    for (api, (n, total)) in src {
+        match dst.iter_mut().find(|(a, _)| *a == api) {
+            Some((_, (en, etotal))) => {
+                *en += n;
+                *etotal += total;
+            }
+            None => dst.push((api, (n, total))),
+        }
     }
 }
 
 /// Streaming equivalent of [`Trace::breakdowns_by_process`] over a chunk
-/// directory: decodes one chunk at a time ([`ChunkReader`]) and routes
-/// each event into a per-process incremental [`OverlapSweep`], so the
+/// directory — a wrapper over
+/// `Analysis::from_chunk_dir(dir).group_by([Dim::Process]).tables()`
+/// (plus [`Analysis::bounded_streaming`] when `lag` is set). Chunks
+/// decode one at a time ([`crate::store::ChunkReader`]) and route into
+/// per-process incremental [`crate::overlap::OverlapSweep`]s, so the
 /// concatenated event stream is never materialized. Results are in
 /// first-seen pid order of the stream — identical tables, in identical
 /// order, to reading the directory whole and sharding in memory.
@@ -242,55 +216,18 @@ pub fn streamed_breakdowns_by_process(
     dir: &Path,
     lag: Option<DurationNs>,
 ) -> Result<Vec<(ProcessId, BreakdownTable)>, TraceIoError> {
-    match try_streamed_breakdowns(dir, lag) {
-        Ok(tables) => Ok(tables),
-        // Disorder beyond the lag: fall back to exact sweeps.
-        Err(StreamedSweepError::Order) if lag.is_some() => {
-            match try_streamed_breakdowns(dir, None) {
-                Ok(tables) => Ok(tables),
-                Err(StreamedSweepError::Io(e)) => Err(e),
-                Err(StreamedSweepError::Order) => unreachable!("exact sweeps accept any order"),
-            }
-        }
-        Err(StreamedSweepError::Order) => unreachable!("exact sweeps accept any order"),
-        Err(StreamedSweepError::Io(e)) => Err(e),
+    let mut analysis = Analysis::from_chunk_dir(dir).group_by([Dim::Process]);
+    if let Some(lag) = lag {
+        analysis = analysis.bounded_streaming(lag);
     }
-}
-
-enum StreamedSweepError {
-    Io(TraceIoError),
-    Order,
-}
-
-impl From<TraceIoError> for StreamedSweepError {
-    fn from(e: TraceIoError) -> Self {
-        StreamedSweepError::Io(e)
-    }
-}
-
-fn try_streamed_breakdowns(
-    dir: &Path,
-    lag: Option<DurationNs>,
-) -> Result<Vec<(ProcessId, BreakdownTable)>, StreamedSweepError> {
-    let new_sweep = || match lag {
-        Some(d) => OverlapSweep::bounded(d),
-        None => OverlapSweep::new(),
-    };
-    let mut slot_of: HashMap<ProcessId, usize> = HashMap::new();
-    let mut sweeps: Vec<(ProcessId, OverlapSweep)> = Vec::new();
-    for chunk in ChunkReader::open(dir)? {
-        for e in &chunk? {
-            let slot = *slot_of.entry(e.pid).or_insert_with(|| {
-                sweeps.push((e.pid, new_sweep()));
-                sweeps.len() - 1
-            });
-            sweeps[slot].1.push(e).map_err(|err| match err {
-                crate::overlap::SweepError::OrderViolation { .. } => StreamedSweepError::Order,
-                other => StreamedSweepError::Io(TraceIoError::Corrupt(other.to_string())),
-            })?;
-        }
-    }
-    Ok(sweeps.into_iter().map(|(pid, sweep)| (pid, sweep.finalize())).collect())
+    let tables = analysis.tables().map_err(|e| match e {
+        AnalysisError::Io(io) => io,
+        AnalysisError::Unsupported(msg) => unreachable!("plain grouped query: {msg}"),
+    })?;
+    Ok(tables
+        .into_iter()
+        .map(|(key, table)| (key.process.expect("grouped by process"), table))
+        .collect())
 }
 
 #[cfg(test)]
@@ -349,6 +286,15 @@ mod tests {
         let t = trace_with(0, 6, 10);
         assert_eq!(t.transitions_per_iteration("backprop", TransitionKind::Backend), 3.0);
         assert_eq!(t.transitions_per_iteration("inference", TransitionKind::Backend), 0.0);
+    }
+
+    #[test]
+    fn transitions_per_iteration_zero_iterations_is_zero_not_nan() {
+        let mut t = trace_with(0, 6, 10);
+        t.iterations = 0;
+        let v = t.transitions_per_iteration("backprop", TransitionKind::Backend);
+        assert_eq!(v, 0.0);
+        assert!(!v.is_nan());
     }
 
     #[test]

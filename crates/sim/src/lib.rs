@@ -8,7 +8,7 @@
 //! The substrate models:
 //!
 //! * a [`clock::VirtualClock`] shared by every layer of one simulated process;
-//! * a [`gpu::GpuDevice`] with FIFO [`gpu::Stream`]s on which kernels and
+//! * a [`gpu::GpuDevice`] with FIFO streams ([`ids::StreamId`]) on which kernels and
 //!   memory copies execute *asynchronously* with respect to the CPU timeline,
 //!   exactly the asynchrony that makes CPU/GPU overlap analysis non-trivial;
 //! * a [`cuda::CudaContext`] exposing `cudaLaunchKernel` /

@@ -49,8 +49,14 @@ pub fn validate_correction(spec: &TrainSpec, label: impl Into<String>) -> BiasRo
     let trace = out.trace.expect("profiled run has a trace");
     let profile = correct(&trace, &cal);
     let corrected = profile.corrected_total;
-    let bias_percent = 100.0 * (corrected.as_nanos() as f64 - uninstrumented.as_nanos() as f64)
-        / uninstrumented.as_nanos() as f64;
+    // Guard the ratio: a degenerate zero-length uninstrumented run must
+    // report zero bias, not NaN.
+    let bias_percent = if uninstrumented.is_zero() {
+        0.0
+    } else {
+        100.0 * (corrected.as_nanos() as f64 - uninstrumented.as_nanos() as f64)
+            / uninstrumented.as_nanos() as f64
+    };
     BiasRow {
         label: label.into(),
         uninstrumented,

@@ -4,8 +4,9 @@
 
 use crate::frameworks::{table1, FrameworkConfig, REAGENT};
 use crate::runner::{ScaleConfig, TrainSpec};
+use rlscope_core::analysis::Analysis;
 use rlscope_core::calibrate::{calibrate, Calibration, RunStats};
-use rlscope_core::correct::{correct, uncorrected, CorrectedProfile};
+use rlscope_core::correct::CorrectedProfile;
 use rlscope_core::event::CpuCategory;
 use rlscope_core::profiler::Toggles;
 use rlscope_core::report::TransitionReport;
@@ -50,6 +51,13 @@ impl ExperimentRun {
     pub fn simulation_percent(&self) -> f64 {
         self.cpu_percent(CpuCategory::Simulator)
     }
+
+    /// The run's uncorrected per-phase breakdown
+    /// (`Analysis::of(&trace).group_by([Dim::Phase])`) — a view the
+    /// pre-`Analysis` pipeline could not produce.
+    pub fn phase_report(&self) -> rlscope_core::report::MultiPhaseReport {
+        rlscope_core::report::MultiPhaseReport::from_trace(&self.trace)
+    }
 }
 
 /// Runs the full calibration protocol for a workload spec (five runs).
@@ -76,7 +84,9 @@ pub fn profile_spec_with(
 ) -> ExperimentRun {
     let out = spec.run(Some(Toggles::all()));
     let trace = out.trace.expect("profiled run has a trace");
-    let profile = correct(&trace, cal);
+    // Overhead correction runs inside the unified analysis pipeline.
+    let profile =
+        Analysis::of(&trace).corrected(cal).profile().expect("trace-backed analysis cannot fail");
     ExperimentRun {
         label: label.into(),
         framework: spec.framework,
@@ -161,7 +171,10 @@ pub fn run_correction_ablation(spec: &TrainSpec) -> (CorrectedProfile, Corrected
     let cal = calibration_for(spec);
     let out = spec.run(Some(Toggles::all()));
     let trace = out.trace.expect("profiled run has a trace");
-    (correct(&trace, &cal), uncorrected(&trace))
+    let corrected =
+        Analysis::of(&trace).corrected(&cal).profile().expect("trace-backed analysis cannot fail");
+    let raw = Analysis::of(&trace).profile().expect("trace-backed analysis cannot fail");
+    (corrected, raw)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 use crate::stack::Stack;
 use rlscope_backend::prelude::*;
 use rlscope_core::profiler::{Profiler, Toggles};
-use rlscope_core::report::MultiProcessReport;
+use rlscope_core::report::{MultiPhaseReport, MultiProcessReport};
 use rlscope_core::trace::Trace;
 use rlscope_envs::go::{Color, GoGame, GoMove};
 use rlscope_envs::mcts::{Evaluator, Mcts};
@@ -70,6 +70,10 @@ impl Default for MinigoConfig {
 pub struct MinigoResult {
     /// The multi-process report (Figure 8).
     pub report: MultiProcessReport,
+    /// The per-phase view of the same round (selfplay / sgd_updates /
+    /// evaluation), the phase-scoped variant of Figure 8 that the
+    /// pre-`Analysis` pipeline could not produce.
+    pub phase_report: MultiPhaseReport,
     /// All traces merged across processes.
     pub merged: Trace,
     /// Fork/join process graph.
@@ -344,7 +348,8 @@ pub fn run_minigo(cfg: &MinigoConfig) -> MinigoResult {
     let merged = Trace::merge(traces);
     let smi = UtilizationSampler::new(cfg.smi_period).sample(&busy_all, TimeNs::ZERO, global_end);
     let report = MultiProcessReport::new(&merged, &names, graph.dependency_edges(), &smi);
-    MinigoResult { report, merged, graph, worker_walls, worker_gpu }
+    let phase_report = MultiPhaseReport::from_trace(&merged);
+    MinigoResult { report, phase_report, merged, graph, worker_walls, worker_gpu }
 }
 
 #[cfg(test)]
@@ -403,6 +408,21 @@ mod tests {
                 "worker suspiciously GPU-bound: {gpu} of {wall}"
             );
         }
+    }
+
+    #[test]
+    fn phase_report_covers_round_phases_and_conserves_time() {
+        let result = run_minigo(&tiny());
+        let names: Vec<&str> =
+            result.phase_report.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert!(names.contains(&"selfplay"), "{names:?}");
+        assert!(names.contains(&"sgd_updates"), "{names:?}");
+        assert!(names.contains(&"evaluation"), "{names:?}");
+        // Phase grouping conserves the merged-stream total exactly.
+        assert_eq!(result.phase_report.total(), result.merged.breakdown().total());
+        let rendered = result.phase_report.render();
+        assert!(rendered.contains("selfplay"), "{rendered}");
+        assert!(rendered.contains("mcts_tree_search"), "{rendered}");
     }
 
     #[test]

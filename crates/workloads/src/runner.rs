@@ -300,7 +300,8 @@ impl TrainSpec {
     /// Executes the workload profiled and stores the trace as a rotated
     /// chunk directory under `dir`, the on-disk form the streaming
     /// analysis pipeline consumes
-    /// ([`rlscope_core::trace::streamed_breakdowns_by_process`],
+    /// ([`rlscope_core::analysis::Analysis::from_chunk_dir`] and its
+    /// wrappers [`rlscope_core::trace::streamed_breakdowns_by_process`],
     /// [`rlscope_core::report::MultiProcessReport::from_chunk_dir`]).
     /// Chunk files already in `dir` are **deleted** first
     /// ([`TraceWriter::create`]'s stale-chunk purge), so a reused
@@ -399,7 +400,7 @@ mod tests {
 
     #[test]
     fn chunked_run_streams_to_identical_breakdowns() {
-        use rlscope_core::trace::streamed_breakdowns_by_process;
+        use rlscope_core::analysis::{Analysis, Dim};
 
         let dir =
             std::env::temp_dir().join(format!("rlscope_runner_chunks_{}", std::process::id()));
@@ -412,8 +413,20 @@ mod tests {
         // The streamed chunk-dir analysis reproduces the in-memory
         // sharded analysis exactly, table for table — real profiler
         // streams are end-ordered, so this exercises the exact sweeps.
-        let streamed = streamed_breakdowns_by_process(&dir, None).unwrap();
+        let streamed: Vec<_> = Analysis::from_chunk_dir(&dir)
+            .group_by([Dim::Process])
+            .tables()
+            .unwrap()
+            .into_iter()
+            .map(|(key, table)| (key.process.unwrap(), table))
+            .collect();
         assert_eq!(streamed, trace.breakdowns_by_process());
+        // The per-phase streamed query also matches the in-memory one —
+        // the training loop runs a single "training" phase.
+        let streamed_phases = Analysis::from_chunk_dir(&dir).group_by([Dim::Phase]).tables();
+        let batch_phases = Analysis::of(&trace).group_by([Dim::Phase]).tables().unwrap();
+        assert_eq!(streamed_phases.unwrap(), batch_phases);
+        assert!(batch_phases.iter().any(|(k, _)| k.phase.as_deref() == Some("training")));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use rlscope::core::analysis::{Analysis, Dim};
 use rlscope::core::report::BreakdownReport;
 use rlscope::prelude::*;
 
@@ -30,10 +31,22 @@ fn main() {
         trace.wall_time()
     );
 
-    // Cross-stack overlap: every instant attributed to (operation,
-    // resources, stack level).
-    let breakdown = trace.breakdown();
+    // Cross-stack overlap via the unified query API: every instant
+    // attributed to (operation, resources, stack level).
+    let breakdown = Analysis::of(&trace).table().expect("in-memory analysis");
     println!("{}", BreakdownReport::from_table(&breakdown).render());
+
+    // The same pipeline scoped per operation: one single-operation table
+    // per annotation, conserving the overall total exactly.
+    for (key, table) in Analysis::of(&trace).group_by([Dim::Operation]).tables().unwrap() {
+        println!(
+            "{:<18} {:>12}  ({:.1}% of total)",
+            key.label(),
+            table.total().to_string(),
+            100.0 * table.total().ratio(breakdown.total())
+        );
+    }
+    println!();
 
     // The paper's headline observation, visible even in a quickstart: the
     // CPU side of the CUDA API costs more than the GPU kernels it feeds.

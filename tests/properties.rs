@@ -1,13 +1,15 @@
 //! Property-based tests on the profiler's core invariants.
 
 use proptest::prelude::*;
+use rlscope::core::analysis::{Analysis, Dim};
 use rlscope::core::event::{CpuCategory, Event, EventKind, GpuCategory};
 use rlscope::core::overlap::{compute_overlap, BreakdownTable, BucketKey, OverlapSweep};
-use rlscope::core::store::{decode_events, encode_events, encode_events_v1};
+use rlscope::core::store::{decode_events, encode_events, encode_events_v1, TraceWriter};
 use rlscope::core::Trace;
 use rlscope::sim::ids::ProcessId;
 use rlscope::sim::time::{DurationNs, TimeNs};
 use rlscope_rl::{ReplayBuffer, RolloutBuffer, RolloutStep, Transition};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 fn arb_kind() -> impl Strategy<Value = EventKind> {
@@ -52,6 +54,32 @@ fn arb_full_event() -> impl Strategy<Value = Event> {
     (kind, 0u64..2_000, 0u64..300, 0usize..4).prop_map(|(kind, start, len, name)| {
         Event::new(
             ProcessId(0),
+            kind,
+            ["alpha", "beta", "gamma", "delta"][name],
+            TimeNs::from_nanos(start),
+            TimeNs::from_nanos(start + len),
+        )
+    })
+}
+
+/// Like [`arb_full_event`] but spread over several processes — the input
+/// space for the grouped-analysis conservation properties.
+fn arb_multiproc_full_event() -> impl Strategy<Value = Event> {
+    let kind = prop_oneof![
+        Just(EventKind::Cpu(CpuCategory::Python)),
+        Just(EventKind::Cpu(CpuCategory::Simulator)),
+        Just(EventKind::Cpu(CpuCategory::Backend)),
+        Just(EventKind::Cpu(CpuCategory::CudaApi)),
+        Just(EventKind::Gpu(GpuCategory::Kernel)),
+        Just(EventKind::Gpu(GpuCategory::Memcpy)),
+        Just(EventKind::Operation),
+        Just(EventKind::Operation),
+        Just(EventKind::Phase),
+        Just(EventKind::Phase),
+    ];
+    (kind, 0u64..2_000, 0u64..300, 0usize..4, 0u32..3).prop_map(|(kind, start, len, name, pid)| {
+        Event::new(
+            ProcessId(pid),
             kind,
             ["alpha", "beta", "gamma", "delta"][name],
             TimeNs::from_nanos(start),
@@ -233,6 +261,105 @@ proptest! {
         }
         let merged_total: DurationNs = sharded.iter().map(|(_, t)| t.total()).sum();
         prop_assert_eq!(trace.breakdown_per_process().total(), merged_total);
+    }
+
+    /// Conservation of the phase dimension: tables grouped by phase merge
+    /// back to the ungrouped overall table bucket for bucket, and each
+    /// phase filter reproduces exactly its group — phase boundaries split
+    /// segments but never move time.
+    #[test]
+    fn phase_grouping_conserves_tables(
+        events in prop::collection::vec(arb_multiproc_full_event(), 0..60),
+    ) {
+        let overall = Analysis::of_events(&events).table().unwrap();
+        let by_phase = Analysis::of_events(&events).group_by([Dim::Phase]).tables().unwrap();
+        let mut merged = BreakdownTable::new();
+        for (_, t) in &by_phase {
+            merged.merge(t);
+        }
+        prop_assert_eq!(&merged, &overall);
+        for (key, table) in &by_phase {
+            let name = key.phase.clone().unwrap();
+            let filtered = Analysis::of_events(&events).phase(&name).table().unwrap();
+            prop_assert_eq!(&filtered, table);
+        }
+    }
+
+    /// Conservation of the process dimension: per-process groups sum to
+    /// the per-process merged table, and each group equals an independent
+    /// filter-and-clone batch sweep.
+    #[test]
+    fn process_grouping_conserves_tables(
+        events in prop::collection::vec(arb_multiproc_full_event(), 0..60),
+    ) {
+        let groups = Analysis::of_events(&events).group_by([Dim::Process]).tables().unwrap();
+        let merged = Analysis::of_events(&events).group_by([Dim::Process]).table().unwrap();
+        let group_sum: DurationNs = groups.iter().map(|(_, t)| t.total()).sum();
+        prop_assert_eq!(merged.total(), group_sum);
+        for (key, table) in &groups {
+            let pid = key.process.unwrap();
+            let filtered: Vec<Event> =
+                events.iter().filter(|e| e.pid == pid).cloned().collect();
+            prop_assert_eq!(table, &compute_overlap(&filtered));
+            prop_assert_eq!(
+                table,
+                &Analysis::of_events(&events).process(pid).table().unwrap()
+            );
+        }
+        // The phase × process cross product conserves the same total.
+        let cross = Analysis::of_events(&events)
+            .group_by([Dim::Phase, Dim::Process])
+            .tables()
+            .unwrap();
+        let cross_sum: DurationNs = cross.iter().map(|(_, t)| t.total()).sum();
+        prop_assert_eq!(cross_sum, group_sum);
+    }
+
+    /// The streamed chunk-dir pipeline produces group-for-group identical
+    /// phase/process tables to the batch pipeline — including bounded-lag
+    /// mode, whose excess-disorder fallback must stay invisible.
+    #[test]
+    fn streamed_grouping_matches_batch(
+        events in prop::collection::vec(arb_multiproc_full_event(), 0..40),
+        chunk_len in 1usize..16,
+        lag in 0u64..2_000,
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rlscope_prop_stream_{}_{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = TraceWriter::create(&dir, 256).unwrap();
+        for chunk in events.chunks(chunk_len) {
+            writer.write(chunk.to_vec());
+        }
+        writer.finish().unwrap();
+
+        let batch_phase = Analysis::of_events(&events).group_by([Dim::Phase]).tables().unwrap();
+        let streamed_phase =
+            Analysis::from_chunk_dir(&dir).group_by([Dim::Phase]).tables().unwrap();
+        prop_assert_eq!(streamed_phase, batch_phase);
+
+        let batch_proc =
+            Analysis::of_events(&events).group_by([Dim::Process]).tables().unwrap();
+        let streamed_proc =
+            Analysis::from_chunk_dir(&dir).group_by([Dim::Process]).tables().unwrap();
+        prop_assert_eq!(streamed_proc, batch_proc);
+
+        let batch_cross = Analysis::of_events(&events)
+            .group_by([Dim::Phase, Dim::Process])
+            .tables()
+            .unwrap();
+        let bounded_cross = Analysis::from_chunk_dir(&dir)
+            .bounded_streaming(DurationNs::from_nanos(lag))
+            .group_by([Dim::Phase, Dim::Process])
+            .tables()
+            .unwrap();
+        prop_assert_eq!(bounded_cross, batch_cross);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// The binary trace codec is lossless for arbitrary event streams.
