@@ -287,6 +287,53 @@ fn bench_streaming(c: &mut Criterion) {
             sweep.finalize()
         })
     });
+
+    // Regression ratio gate (CI bench-smoke entry): the exact streaming
+    // sweep's per-event cost must stay within 3x of the batch engine on
+    // the same stream. The old binary-heap pending set measured ~4x
+    // (every boundary paid a sift); the sorted-run buffer appends and
+    // walks, heapifying only on disorder, and measures ~1.3-2x here.
+    // Measured inline (min of 3 interleaved passes) so it also runs
+    // under `--test`; skipped when a substring filter excludes it.
+    let gate_name = "overlap_stream_10k";
+    if bench_filter().is_none_or(|f| gate_name.contains(f.as_str())) {
+        let batch = || rlscope_core::overlap::compute_overlap_raw(std::hint::black_box(&events));
+        let streamed = || {
+            let mut sweep = OverlapSweep::new();
+            for e in std::hint::black_box(&events) {
+                sweep.push(e).unwrap();
+            }
+            sweep.finalize()
+        };
+        let time_per_call = |f: &dyn Fn() -> rlscope_core::BreakdownTable| {
+            let reps = 8;
+            let t = std::time::Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / reps as f64
+        };
+        let (_, _) = (time_per_call(&batch), time_per_call(&streamed));
+        let mut batch_ns = f64::INFINITY;
+        let mut stream_ns = f64::INFINITY;
+        for _ in 0..3 {
+            batch_ns = batch_ns.min(time_per_call(&batch));
+            stream_ns = stream_ns.min(time_per_call(&streamed));
+        }
+        let ratio = stream_ns / batch_ns;
+        println!(
+            "overlap_stream_regression_gate: batch {:.1} us, streamed {:.1} us, ratio {ratio:.2}",
+            batch_ns / 1e3,
+            stream_ns / 1e3
+        );
+        let bound = if std::env::args().any(|a| a == "--test") { 8.0 } else { 3.0 };
+        assert!(
+            ratio < bound,
+            "exact streaming sweep regressed to {ratio:.2}x the batch cost \
+             (batch {batch_ns:.0} ns, streamed {stream_ns:.0} ns, bound {bound}x); \
+             the sorted-run boundary buffer measures ~1.3-2x here"
+        );
+    }
     // End-to-end chunk-directory analysis: decode + per-pid streaming
     // sweeps, against the materialize-then-shard baseline shape.
     let dir = std::env::temp_dir().join(format!("rlscope_bench_chunks_{}", std::process::id()));
@@ -308,6 +355,86 @@ fn bench_streaming(c: &mut Criterion) {
             .unwrap()
         })
     });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_pushdown(c: &mut Criterion) {
+    // A 16-chunk directory with disjoint per-chunk time ranges — the
+    // manifest-pushdown micro: a 3-chunk time-window query must skip the
+    // other 13 chunks before any decode.
+    let dir = std::env::temp_dir().join(format!("rlscope_bench_pushdown_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let writer = TraceWriter::create(&dir, 1).unwrap(); // rotate per batch
+    for c_idx in 0..16u64 {
+        let mut events = Vec::with_capacity(2_000);
+        for i in 0..2_000u64 {
+            let t = c_idx * 25_000 + i * 10;
+            events.push(Event::new(
+                ProcessId((i % 4) as u32),
+                if i % 16 == 0 {
+                    EventKind::Operation
+                } else {
+                    EventKind::Cpu(CpuCategory::Python)
+                },
+                if i % 16 == 0 { "op" } else { "py" },
+                TimeNs::from_micros(t),
+                TimeNs::from_micros(t + 8),
+            ));
+        }
+        writer.write(events);
+    }
+    writer.finish().unwrap();
+    let lo = TimeNs::from_micros(5 * 25_000);
+    let hi = TimeNs::from_micros(8 * 25_000 - 10_000);
+    let windowed = || Analysis::from_chunk_dir(&dir).time_window(lo, hi).table().unwrap();
+    let full = || Analysis::from_chunk_dir(&dir).table().unwrap();
+    let plan = Analysis::from_chunk_dir(&dir).time_window(lo, hi).chunk_plan().unwrap().unwrap();
+    assert_eq!(plan.1, 16);
+    assert!(plan.0 <= 3, "window should select at most 3 of 16 chunks, got {}", plan.0);
+
+    c.bench_function("manifest_pushdown/time_window_16chunks", |b| b.iter(windowed));
+    c.bench_function("manifest_pushdown/full_scan_16chunks", |b| b.iter(full));
+
+    // Inline ratio gate (CI bench-smoke entry): the windowed query must
+    // cost well under the full scan — it decodes ≤3 of 16 chunks, so
+    // anything near parity means the pushdown stopped skipping. Measures
+    // ~0.15-0.3x; bench runs assert 0.6x, the noisy `--test` smoke 1.0x.
+    let gate_name = "manifest_pushdown/time_window_16chunks";
+    if bench_filter().is_some_and(|f| !gate_name.contains(f.as_str())) {
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+    let time_per_call = |f: &dyn Fn() -> rlscope_core::BreakdownTable| {
+        let reps = 5;
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        t.elapsed().as_nanos() as f64 / reps as f64
+    };
+    let (_, _) = (time_per_call(&full), time_per_call(&windowed));
+    let mut full_ns = f64::INFINITY;
+    let mut windowed_ns = f64::INFINITY;
+    for _ in 0..3 {
+        full_ns = full_ns.min(time_per_call(&full));
+        windowed_ns = windowed_ns.min(time_per_call(&windowed));
+    }
+    let ratio = windowed_ns / full_ns;
+    println!(
+        "manifest_pushdown_gate: full scan {:.1} us, windowed {:.1} us, ratio {ratio:.3} \
+         ({} of {} chunks decoded)",
+        full_ns / 1e3,
+        windowed_ns / 1e3,
+        plan.0,
+        plan.1
+    );
+    let bound = if std::env::args().any(|a| a == "--test") { 1.0 } else { 0.6 };
+    assert!(
+        ratio < bound,
+        "manifest pushdown regressed to {ratio:.3}x the full-scan cost \
+         (full {full_ns:.0} ns, windowed {windowed_ns:.0} ns, bound {bound}x); \
+         a 3-of-16-chunk window measures ~0.15-0.3x here"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -381,6 +508,7 @@ criterion_group!(
     bench_overlap,
     bench_analysis,
     bench_streaming,
+    bench_pushdown,
     bench_multiprocess,
     bench_trace_codec,
     bench_tensor,

@@ -43,7 +43,37 @@
 //! disorder and transparently falls back to an exact second pass over
 //! the chunk directory (never misattributing time). Plain per-process
 //! queries are unaffected — without phase grouping/filtering, phase
-//! events are dropped before the order check.
+//! events are dropped before the order check. Rewriting a raw dump with
+//! [`crate::store::reorder_chunk_dir`] removes the close-order disorder
+//! entirely, making bounded mode applicable with any lag.
+//!
+//! # Predicate pushdown: when is a whole chunk skipped?
+//!
+//! Chunk-directory sources consult the directory's
+//! [`crate::store::Manifest`] before decoding anything: filters become a
+//! [`crate::store::ChunkQuery`] and chunks whose footers cannot
+//! contribute are never read. The decisions are conservative — a
+//! selected chunk may still contribute nothing — and never lossy (the
+//! result is table-identical to a full scan). [`Analysis::chunk_plan`]
+//! reports the selection for a query without running it.
+//!
+//! | filter | pushed down when | a chunk is skipped when |
+//! |--------|------------------|--------------------------|
+//! | [`Analysis::time_window`] `[lo, hi)` | always | the chunk's `[min_start, max_end)` is disjoint from the window |
+//! | [`Analysis::process`] | always | the footer's pid set lacks the process |
+//! | [`Analysis::phase`] | the phase is named (not [`NO_PHASE`]) and the query is not grouped by [`Dim::Process`] | the chunk's `[min_start, max_end)` is disjoint from the phase's bounding span across the whole manifest (a phase present in no footer skips everything) |
+//! | [`Analysis::operation`] | never — operations are table rows, not chunk predicates | — |
+//!
+//! `NO_PHASE` selects time *outside* every phase, which any chunk can
+//! hold, so it never skips. The `Dim::Process` restriction keeps group
+//! enumeration identical to a full scan: a process whose chunks are all
+//! skippable would otherwise silently lose its (empty) group row.
+//!
+//! Chunk decode itself is **chunk-parallel**: selected files are decoded
+//! on worker threads and fed to the per-process incremental sweeps in
+//! stream order through bounded channels
+//! ([`crate::store::for_each_decoded_chunk`]), so decode overlaps
+//! sweeping on multi-core machines with bounded in-flight memory.
 //!
 //! # Example
 //!
@@ -87,11 +117,12 @@ use crate::overlap::{
     SweepError, NO_PHASE,
 };
 use crate::report::BreakdownReport;
-use crate::store::{ChunkReader, TraceIoError};
+use crate::store::{for_each_decoded_chunk, list_chunk_files, ChunkQuery, Manifest, TraceIoError};
 use crate::trace::Trace;
 use parking_lot::Mutex;
 use rlscope_sim::ids::ProcessId;
 use rlscope_sim::time::{DurationNs, TimeNs};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -253,8 +284,12 @@ impl<'a> Analysis<'a> {
     }
 
     /// Analyzes an on-disk chunk directory by streaming it one decoded
-    /// chunk at a time ([`ChunkReader`]); the concatenated event stream
-    /// is never materialized. Exact incremental sweeps are used unless
+    /// chunk at a time; the concatenated event stream is never
+    /// materialized. `.time_window` / `.process` / `.phase` filters push
+    /// down into the directory's [`Manifest`], skipping whole chunks
+    /// before any decode, and the surviving chunks are decoded
+    /// chunk-parallel while the sweeps consume them in stream order (see
+    /// the module docs). Exact incremental sweeps are used unless
     /// [`Analysis::bounded_streaming`] selects a bounded-lag window.
     pub fn from_chunk_dir(dir: impl Into<PathBuf>) -> Self {
         Self::new(Source::ChunkDir(dir.into()))
@@ -267,6 +302,10 @@ impl<'a> Analysis<'a> {
     /// silently misattributed — and the query transparently re-runs with
     /// exact sweeps (one more pass over the on-disk chunks). Ignored for
     /// in-memory sources.
+    ///
+    /// Raw profiler dumps are end-ordered and usually exceed any useful
+    /// lag; rewrite them once with [`crate::store::reorder_chunk_dir`]
+    /// and bounded mode applies with any lag (including zero).
     pub fn bounded_streaming(mut self, lag: DurationNs) -> Self {
         self.lag = Some(lag);
         self
@@ -464,6 +503,35 @@ impl<'a> Analysis<'a> {
         Ok(out)
     }
 
+    /// For chunk-directory sources: `(decoded, total)` — how many chunks
+    /// the manifest pushdown selects for this query versus the directory
+    /// total (see the module docs' pushdown table). `Ok(None)` for
+    /// in-memory sources. Running the query decodes exactly the selected
+    /// chunks; the result is table-identical to a full scan either way.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors from the directory or its manifest, and
+    /// [`AnalysisError::Unsupported`] when [`Analysis::corrected`] is
+    /// set — overhead correction needs a trace-backed source, so such a
+    /// query cannot run (and therefore has no decode plan).
+    pub fn chunk_plan(&self) -> Result<Option<(usize, usize)>, AnalysisError> {
+        match &self.source {
+            Source::ChunkDir(dir) => {
+                if self.calibration.is_some() {
+                    // Mirror the error the query itself produces, rather
+                    // than reporting a plan for an impossible run.
+                    self.correction_inputs()?;
+                }
+                let per_process = self.dims.contains(&Dim::Process);
+                let (files, total) =
+                    self.pushdown_selection(dir, per_process, true).map_err(AnalysisError::Io)?;
+                Ok(Some((files.len(), total)))
+            }
+            _ => Ok(None),
+        }
+    }
+
     // ----- execution ----------------------------------------------------
 
     /// True when the query is a bare unfiltered batch sweep.
@@ -512,43 +580,106 @@ impl<'a> Analysis<'a> {
             || self.window.is_some()
     }
 
-    /// Batch execution: builds the (filtered, possibly clipped) event
-    /// reference list and sweeps it — per process in parallel when the
-    /// process dimension is requested.
+    /// Batch execution: builds the (filtered, possibly clipped) row set
+    /// and sweeps it — per process in parallel when the process dimension
+    /// is requested.
     fn resolve_batch(
         &self,
         per_process: bool,
         track_phases: bool,
         filters: bool,
     ) -> Vec<(Option<ProcessId>, PhaseTables)> {
-        let mut refs: Vec<&Event> = match &self.source {
-            Source::Events(events) => events.iter().collect(),
-            Source::Indexed(events, indices) => {
-                indices.iter().map(|&i| &events[i as usize]).collect()
-            }
-            Source::Trace(t) => t.events.iter().collect(),
-            Source::Merged(ts) => ts.iter().flat_map(|t| t.events.iter()).collect(),
+        let mut rows: Rows<'_> = match &self.source {
+            Source::Events(events) => Rows::Slice(events),
+            Source::Indexed(events, indices) => Rows::SliceIndexed(events, Cow::Borrowed(indices)),
+            Source::Trace(t) => Rows::Slice(&t.events),
+            Source::Merged(ts) => Rows::Refs(ts.iter().flat_map(|t| t.events.iter()).collect()),
             Source::ChunkDir(_) => unreachable!("handled by resolve_streamed"),
         };
         if let Some(pid) = self.process_filter.filter(|_| filters) {
-            refs.retain(|e| e.pid == pid);
+            rows = match rows {
+                Rows::Slice(events) => Rows::SliceIndexed(
+                    events,
+                    Cow::Owned(
+                        (0..events.len() as u32)
+                            .filter(|&i| events[i as usize].pid == pid)
+                            .collect(),
+                    ),
+                ),
+                Rows::SliceIndexed(events, indices) => Rows::SliceIndexed(
+                    events,
+                    Cow::Owned(
+                        indices
+                            .iter()
+                            .copied()
+                            .filter(|&i| events[i as usize].pid == pid)
+                            .collect(),
+                    ),
+                ),
+                Rows::Refs(mut refs) => {
+                    refs.retain(|e| e.pid == pid);
+                    Rows::Refs(refs)
+                }
+                Rows::Clipped(_) => unreachable!("clipping happens after the process filter"),
+            };
         }
-        let clipped_store: Vec<Event>;
         if let Some(w) = self.window.filter(|_| filters) {
-            clipped_store = refs.iter().filter_map(|e| clip_event(e, w)).collect();
-            refs = clipped_store.iter().collect();
+            rows = Rows::Clipped(rows.iter().filter_map(|e| clip_event(e, w)).collect());
         }
         if per_process {
-            per_process_sweeps(&refs, track_phases)
+            per_process_sweeps(&rows, track_phases)
         } else if track_phases {
-            vec![(None, sweep_tables_by_phase(refs.iter().copied()))]
+            vec![(None, sweep_tables_by_phase(rows.iter()))]
         } else {
-            vec![(None, vec![(Arc::from(NO_PHASE), sweep_tables(refs.iter().copied()))])]
+            vec![(None, vec![(Arc::from(NO_PHASE), sweep_tables(rows.iter()))])]
         }
     }
 
-    /// Streamed execution over a chunk directory, with the transparent
-    /// exact-sweep fallback when bounded mode detects excess disorder.
+    /// The manifest-pushdown predicate for the current filters. Phase
+    /// pushdown is withheld for [`NO_PHASE`] (not expressible as a chunk
+    /// predicate) and for process-grouped queries (skipping a process's
+    /// chunks would drop its group row) — see the module docs' table.
+    fn chunk_query(&self, per_process: bool, filters: bool) -> ChunkQuery {
+        let mut query = ChunkQuery::default();
+        if !filters {
+            return query;
+        }
+        if let Some((lo, hi)) = self.window {
+            query.window = Some((lo.as_nanos(), hi.as_nanos()));
+        }
+        if let Some(pid) = self.process_filter {
+            query.pid = Some(pid.as_u32());
+        }
+        if let Some(phase) = &self.phase_filter {
+            if !per_process && &**phase != NO_PHASE {
+                query.phase = Some(phase.clone());
+            }
+        }
+        query
+    }
+
+    /// Resolves which chunk files the query must decode: the full stream
+    /// listing when no predicate applies, otherwise the manifest
+    /// selection. Returns `(files, directory total)`.
+    fn pushdown_selection(
+        &self,
+        dir: &std::path::Path,
+        per_process: bool,
+        filters: bool,
+    ) -> Result<(Vec<PathBuf>, usize), TraceIoError> {
+        let query = self.chunk_query(per_process, filters);
+        if query.is_unconstrained() {
+            let files = list_chunk_files(dir)?;
+            let total = files.len();
+            return Ok((files, total));
+        }
+        let selection = Manifest::open(dir)?.select(&query);
+        Ok((selection.files, selection.total))
+    }
+
+    /// Streamed execution over a chunk directory: manifest pushdown, the
+    /// chunk-parallel decode stage, and the transparent exact-sweep
+    /// fallback when bounded mode detects excess disorder.
     fn resolve_streamed(
         &self,
         dir: &std::path::Path,
@@ -556,12 +687,14 @@ impl<'a> Analysis<'a> {
         track_phases: bool,
         filters: bool,
     ) -> Result<Vec<(Option<ProcessId>, PhaseTables)>, AnalysisError> {
-        match self.try_streamed(dir, self.lag, per_process, track_phases, filters) {
+        let (files, _) =
+            self.pushdown_selection(dir, per_process, filters).map_err(AnalysisError::Io)?;
+        match self.try_streamed(&files, self.lag, per_process, track_phases, filters) {
             Ok(raw) => Ok(raw),
             // Disorder beyond the lag: the chunks are still on disk, so
             // re-read them with exact sweeps.
             Err(StreamedError::Order) if self.lag.is_some() => {
-                match self.try_streamed(dir, None, per_process, track_phases, filters) {
+                match self.try_streamed(&files, None, per_process, track_phases, filters) {
                     Ok(raw) => Ok(raw),
                     Err(StreamedError::Io(e)) => Err(e.into()),
                     Err(StreamedError::Order) => unreachable!("exact sweeps accept any order"),
@@ -574,7 +707,7 @@ impl<'a> Analysis<'a> {
 
     fn try_streamed(
         &self,
-        dir: &std::path::Path,
+        files: &[PathBuf],
         lag: Option<DurationNs>,
         per_process: bool,
         track_phases: bool,
@@ -596,11 +729,26 @@ impl<'a> Analysis<'a> {
         if !per_process {
             sweeps.push((None, new_sweep()));
         }
-        for chunk in ChunkReader::open(dir)? {
-            for e in &chunk? {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        for_each_decoded_chunk::<StreamedError>(files, threads, |chunk| {
+            for e in &chunk {
                 if filters && self.process_filter.is_some_and(|pid| e.pid != pid) {
                     continue;
                 }
+                // Clip before slot creation: an event the window drops
+                // entirely must not materialize an empty per-process
+                // group the batch path would not produce.
+                let clipped;
+                let e = match self.window.filter(|_| filters) {
+                    None => e,
+                    Some(w) => match clip_event(e, w) {
+                        Some(c) => {
+                            clipped = c;
+                            &clipped
+                        }
+                        None => continue,
+                    },
+                };
                 let slot = if per_process {
                     *slot_of.entry(e.pid).or_insert_with(|| {
                         sweeps.push((Some(e.pid), new_sweep()));
@@ -609,20 +757,13 @@ impl<'a> Analysis<'a> {
                 } else {
                     0
                 };
-                let sweep = &mut sweeps[slot].1;
-                let pushed = match self.window.filter(|_| filters) {
-                    None => sweep.push(e),
-                    Some(w) => match clip_event(e, w) {
-                        Some(clipped) => sweep.push(&clipped),
-                        None => Ok(()),
-                    },
-                };
-                pushed.map_err(|err| match err {
+                sweeps[slot].1.push(e).map_err(|err| match err {
                     SweepError::OrderViolation { .. } => StreamedError::Order,
                     other => StreamedError::Io(TraceIoError::Corrupt(other.to_string())),
                 })?;
             }
-        }
+            Ok(())
+        })?;
         Ok(sweeps.into_iter().map(|(pid, sweep)| (pid, sweep.finalize_grouped())).collect())
     }
 
@@ -792,25 +933,67 @@ fn filter_table(table: &BreakdownTable, pred: impl Fn(&BucketKey) -> bool) -> Br
     out
 }
 
-/// Per-process sweeps over one borrowed reference list: the merged stream
-/// is partitioned into per-pid index lists in one pass (first-seen pid
+/// The batch resolver's row set. Single-slice sources (one trace, one
+/// event slice, one index subset) are carried as the borrowed slice plus
+/// — only when a filter narrows them — a `u32` index list, i.e. 4 bytes
+/// per kept event. Only merged multi-trace sources materialize an
+/// 8-byte-per-event reference list, and window clipping (which rewrites
+/// events) owns the clipped events themselves.
+enum Rows<'a> {
+    /// Every event of one borrowed slice.
+    Slice(&'a [Event]),
+    /// An index subset of one borrowed slice.
+    SliceIndexed(&'a [Event], Cow<'a, [u32]>),
+    /// Window-clipped events (clipping rewrites endpoints).
+    Clipped(Vec<Event>),
+    /// Concatenated references over several traces.
+    Refs(Vec<&'a Event>),
+}
+
+impl Rows<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Rows::Slice(events) => events.len(),
+            Rows::SliceIndexed(_, indices) => indices.len(),
+            Rows::Clipped(events) => events.len(),
+            Rows::Refs(refs) => refs.len(),
+        }
+    }
+
+    fn get(&self, i: usize) -> &Event {
+        match self {
+            Rows::Slice(events) => &events[i],
+            Rows::SliceIndexed(events, indices) => &events[indices[i] as usize],
+            Rows::Clipped(events) => &events[i],
+            Rows::Refs(refs) => refs[i],
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Event> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+/// Per-process sweeps over one borrowed row set: the merged stream is
+/// partitioned into per-pid index lists in one pass (first-seen pid
 /// order, no event clones), then each process sweeps on a worker thread,
 /// capped at the machine's available parallelism.
 fn per_process_sweeps(
-    refs: &[&Event],
+    rows: &Rows<'_>,
     track_phases: bool,
 ) -> Vec<(Option<ProcessId>, PhaseTables)> {
     let mut slot_of: HashMap<ProcessId, usize> = HashMap::new();
     let mut tasks: Vec<(ProcessId, Vec<u32>)> = Vec::new();
-    for (i, e) in refs.iter().enumerate() {
-        let slot = *slot_of.entry(e.pid).or_insert_with(|| {
-            tasks.push((e.pid, Vec::new()));
+    for i in 0..rows.len() {
+        let pid = rows.get(i).pid;
+        let slot = *slot_of.entry(pid).or_insert_with(|| {
+            tasks.push((pid, Vec::new()));
             tasks.len() - 1
         });
         tasks[slot].1.push(i as u32);
     }
     let sweep_one = |indices: &[u32]| -> PhaseTables {
-        let it = indices.iter().map(|&i| refs[i as usize]);
+        let it = indices.iter().map(|&i| rows.get(i as usize));
         if track_phases {
             sweep_tables_by_phase(it)
         } else {
@@ -1147,6 +1330,148 @@ mod tests {
         assert_eq!(shares.iter().sum::<u64>(), 7);
         assert!(shares.iter().zip([5, 5]).all(|(&s, p)| s <= p));
         assert_eq!(split_proportionally(0, &[1, 2]), vec![0, 0]);
+    }
+
+    fn write_chunk_dir(tag: &str, events: &[Event], per_batch: usize) -> std::path::PathBuf {
+        use crate::store::TraceWriter;
+        let dir = std::env::temp_dir().join(format!("rlscope_ana_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = TraceWriter::create(&dir, 1).unwrap(); // rotate every batch
+        for chunk in events.chunks(per_batch) {
+            writer.write(chunk.to_vec());
+        }
+        writer.finish().unwrap();
+        dir
+    }
+
+    /// 16 chunks with disjoint time ranges: a windowed query must decode
+    /// strictly fewer chunks than the directory holds while producing
+    /// exactly the full scan's windowed table.
+    #[test]
+    fn time_window_pushdown_skips_chunks_and_matches_batch() {
+        let mut events = Vec::new();
+        for c in 0..16u64 {
+            for i in 0..8u64 {
+                let t = c * 10_000 + i * 1_000;
+                events.push(ev(
+                    (i % 2) as u32,
+                    if i == 0 { EventKind::Operation } else { EventKind::Cpu(CpuCategory::Python) },
+                    if i == 0 { "op" } else { "py" },
+                    t,
+                    t + 800,
+                ));
+            }
+        }
+        let dir = write_chunk_dir("window", &events, 8);
+        let lo = TimeNs::from_micros(20_000);
+        let hi = TimeNs::from_micros(50_000);
+        let query = Analysis::from_chunk_dir(&dir).time_window(lo, hi);
+        let (decoded, total) = query.chunk_plan().unwrap().expect("chunk-dir source");
+        assert_eq!(total, 16);
+        assert!(decoded < total, "pushdown decoded {decoded}/{total}");
+        assert!(decoded >= 3, "window spans 3 chunks, got {decoded}");
+        let expected = Analysis::of_events(&events).time_window(lo, hi).table().unwrap();
+        assert_eq!(query.table().unwrap(), expected);
+        // Unfiltered plan decodes everything.
+        assert_eq!(Analysis::from_chunk_dir(&dir).chunk_plan().unwrap(), Some((16, 16)));
+        // In-memory sources have no chunk plan.
+        assert_eq!(Analysis::of_events(&events).chunk_plan().unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn process_pushdown_skips_chunks_and_matches_batch() {
+        // Each chunk holds one pid; filtering pid 2 decodes 1/3 of them.
+        let mut events = Vec::new();
+        for c in 0..9u64 {
+            let pid = (c % 3) as u32;
+            for i in 0..4u64 {
+                let t = c * 1_000 + i * 100;
+                events.push(ev(pid, EventKind::Cpu(CpuCategory::Python), "py", t, t + 80));
+            }
+        }
+        let dir = write_chunk_dir("pid", &events, 4);
+        let query = Analysis::from_chunk_dir(&dir).process(ProcessId(2));
+        let (decoded, total) = query.chunk_plan().unwrap().unwrap();
+        assert_eq!((decoded, total), (3, 9));
+        let expected = Analysis::of_events(&events).process(ProcessId(2)).table().unwrap();
+        assert_eq!(query.table().unwrap(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn phase_pushdown_skips_chunks_and_matches_batch() {
+        // A phase recorded at close (profiler order): its event lands in
+        // a later chunk than the time it covers. Chunks far outside the
+        // phase's span are skipped; the table still matches the batch.
+        let mut events: Vec<Event> = (0..64u64)
+            .map(|i| ev(0, EventKind::Cpu(CpuCategory::Python), "py", i * 1_000, i * 1_000 + 900))
+            .collect();
+        // Covers [4ms, 10ms); recorded after the events it spans.
+        events.insert(10, ev(0, EventKind::Phase, "warmup", 4_000, 10_000));
+        let dir = write_chunk_dir("phase", &events, 8);
+        let query = Analysis::from_chunk_dir(&dir).phase("warmup");
+        let (decoded, total) = query.chunk_plan().unwrap().unwrap();
+        assert!(decoded < total, "pushdown decoded {decoded}/{total}");
+        let expected = Analysis::of_events(&events).phase("warmup").table().unwrap();
+        assert!(!expected.is_empty());
+        assert_eq!(query.table().unwrap(), expected);
+        // NO_PHASE is not a chunk predicate: nothing is skipped, results
+        // still agree.
+        let untagged = Analysis::from_chunk_dir(&dir).phase(NO_PHASE);
+        assert_eq!(untagged.chunk_plan().unwrap(), Some((total, total)));
+        assert_eq!(
+            untagged.table().unwrap(),
+            Analysis::of_events(&events).phase(NO_PHASE).table().unwrap()
+        );
+        // Process-grouped phase queries keep the full scan (group rows
+        // must not depend on pushdown).
+        let grouped = Analysis::from_chunk_dir(&dir).phase("warmup").group_by([Dim::Process]);
+        assert_eq!(grouped.chunk_plan().unwrap(), Some((total, total)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A filter naming a phase that exists nowhere decodes nothing and
+    /// returns the empty result the batch path produces.
+    #[test]
+    fn absent_phase_pushdown_decodes_nothing() {
+        let events: Vec<Event> =
+            (0..8u64).map(|i| ev(0, EventKind::Cpu(CpuCategory::Python), "py", i, i + 1)).collect();
+        let dir = write_chunk_dir("absent", &events, 2);
+        let query = Analysis::from_chunk_dir(&dir).phase("never");
+        let (decoded, _) = query.chunk_plan().unwrap().unwrap();
+        assert_eq!(decoded, 0);
+        assert_eq!(
+            query.table().unwrap(),
+            Analysis::of_events(&events).phase("never").table().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Windowed per-process grouping: streamed and batch paths must
+    /// enumerate identical groups — an event fully clipped away creates a
+    /// group in neither.
+    #[test]
+    fn windowed_process_groups_match_batch_enumeration() {
+        let events = vec![
+            ev(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 100),
+            ev(1, EventKind::Cpu(CpuCategory::Python), "py", 500, 600), // outside window
+        ];
+        let dir = write_chunk_dir("wgroups", &events, 1);
+        let window = (TimeNs::ZERO, TimeNs::from_micros(200));
+        let batch = Analysis::of_events(&events)
+            .time_window(window.0, window.1)
+            .group_by([Dim::Process])
+            .tables()
+            .unwrap();
+        let streamed = Analysis::from_chunk_dir(&dir)
+            .time_window(window.0, window.1)
+            .group_by([Dim::Process])
+            .tables()
+            .unwrap();
+        assert_eq!(streamed, batch);
+        assert_eq!(streamed.len(), 1, "pid 1 is fully clipped away: {streamed:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::intern::Interner;
 use rlscope_sim::time::DurationNs;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -688,7 +688,86 @@ impl std::error::Error for SweepError {}
 /// batch engine's stable event-order tie-break. `meta` is a kind code
 /// (`0..=4`) for CPU/GPU events, `8 + op_id` for operations, or
 /// [`META_PHASE_FLAG`]`| phase_id` for tracked phases.
-type Boundary = std::cmp::Reverse<(u64, u32, u32)>;
+type Boundary = (u64, u32, u32);
+
+/// The sweep's pending-boundary set: a **sorted-run buffer** that
+/// replaces the binary heaps the incremental sweep used to carry.
+///
+/// Profiler streams push boundaries in near-ascending time order, so the
+/// buffer is simply appended to and popped from the front — no per-push
+/// sift-up, no per-pop sift-down, and the drained prefix is reclaimed in
+/// bulk. Only when a push actually lands out of order does the buffer
+/// mark itself unsorted and re-sort the undrained tail (a run-merging
+/// `sort_unstable`, cheap on the near-sorted shapes that caused the
+/// disorder) at the next pop. A fully sorted stream never sorts at all;
+/// an adversarially shuffled one degrades to one sort per drain of the
+/// pending window — never to heap behavior per boundary.
+#[derive(Debug, Default)]
+struct BoundaryQueue {
+    buf: Vec<Boundary>,
+    /// Boundaries before this index are already drained.
+    head: usize,
+    /// Whether `buf[head..]` is ascending.
+    sorted: bool,
+    /// Smallest pending time (`u64::MAX` when empty) — maintained across
+    /// pushes and pops so a bounded-lag drain that cannot make progress
+    /// returns without consulting (or sorting) the buffer at all.
+    min_time: u64,
+}
+
+impl BoundaryQueue {
+    fn new() -> Self {
+        BoundaryQueue { buf: Vec::new(), head: 0, sorted: true, min_time: u64::MAX }
+    }
+
+    fn push(&mut self, b: Boundary) {
+        if self.sorted && self.buf.last().is_some_and(|last| *last > b) {
+            self.sorted = false;
+        }
+        self.min_time = self.min_time.min(b.0);
+        self.buf.push(b);
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.buf[self.head..].sort_unstable();
+            self.sorted = true;
+            debug_assert!(self.buf.get(self.head).is_none_or(|b| b.0 == self.min_time));
+        }
+    }
+
+    /// Smallest pending time; `u64::MAX` when empty. O(1) — never sorts.
+    fn min_time(&self) -> u64 {
+        self.min_time
+    }
+
+    /// The smallest pending boundary, if any (sorts the tail on demand).
+    fn peek(&mut self) -> Option<Boundary> {
+        self.ensure_sorted();
+        self.buf.get(self.head).copied()
+    }
+
+    /// Drops the boundary [`BoundaryQueue::peek`] returned.
+    fn pop(&mut self) {
+        debug_assert!(self.sorted && self.head < self.buf.len());
+        self.head += 1;
+        self.min_time = self.buf.get(self.head).map_or(u64::MAX, |b| b.0);
+    }
+
+    /// Reclaims the drained prefix once it dominates the buffer, keeping
+    /// bounded-lag sweeps at a working set proportional to the lag
+    /// window rather than the stream.
+    fn compact(&mut self) {
+        if self.head > 1024 && self.head * 2 > self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+}
 
 const META_OP_BASE: u32 = 8;
 const META_PHASE_FLAG: u32 = 1 << 31;
@@ -702,7 +781,11 @@ const META_PHASE_FLAG: u32 = 1 << 31;
 /// records (time, tie-break seq, kind/op code); the `Event` itself — and
 /// its name allocation — can be dropped as soon as `push` returns, which
 /// is what lets chunked trace directories be analyzed one decoded chunk
-/// at a time.
+/// at a time. Pending boundaries live in sorted-run buffers
+/// that append and pop without any per-boundary heap
+/// work, heapifying (one tail re-sort) only when a push actually arrives
+/// out of order — on near-sorted profiler streams the sweep costs the
+/// same per boundary as the batch engine's merge loop.
 ///
 /// # Memory modes
 ///
@@ -733,8 +816,8 @@ pub struct OverlapSweep {
     /// [`OverlapSweep::with_phase_tagging`]) instead of dropped.
     track_phases: bool,
     phase_interner: Interner,
-    starts: BinaryHeap<Boundary>,
-    ends: BinaryHeap<Boundary>,
+    starts: BoundaryQueue,
+    ends: BoundaryQueue,
     /// Dense arrival counter for operation and phase events: heap
     /// tie-break and open-scope identity.
     next_op_seq: u32,
@@ -791,8 +874,8 @@ impl OverlapSweep {
             lag,
             track_phases: false,
             phase_interner,
-            starts: BinaryHeap::new(),
-            ends: BinaryHeap::new(),
+            starts: BoundaryQueue::new(),
+            ends: BoundaryQueue::new(),
             next_op_seq: 0,
             open_ops: HashMap::new(),
             open_phases: HashMap::new(),
@@ -887,8 +970,8 @@ impl OverlapSweep {
                 (self.next_seq()?, META_PHASE_FLAG | phase_id)
             }
         };
-        self.starts.push(std::cmp::Reverse((start, seq, meta)));
-        self.ends.push(std::cmp::Reverse((end, seq, meta)));
+        self.starts.push((start, seq, meta));
+        self.ends.push((end, seq, meta));
         self.max_start = self.max_start.max(start);
         if let Some(lag) = self.lag {
             let safe_to = self.max_start.saturating_sub(lag);
@@ -951,10 +1034,19 @@ impl OverlapSweep {
     /// ends before starts at equal times — the same merge order as the
     /// batch engine.
     fn drain(&mut self, limit: Option<u64>) {
+        // Fast pre-check for the bounded mode's per-push drains: when
+        // nothing pending is at or below the limit, return before peeking
+        // — peeking may re-sort a disordered tail, and doing that on
+        // every push of a wide-lag stream is quadratic.
+        if let Some(l) = limit {
+            if self.starts.min_time().min(self.ends.min_time()) > l {
+                return;
+            }
+        }
         // Starts can never outlive ends: every push adds both and starts
         // drain first (start < end for non-zero-length events).
-        while let Some(&std::cmp::Reverse(end_head)) = self.ends.peek() {
-            let start_head = self.starts.peek().map(|&std::cmp::Reverse(s)| s);
+        while let Some(end_head) = self.ends.peek() {
+            let start_head = self.starts.peek();
             let is_start = start_head.is_some_and(|s| s.0 < end_head.0);
             let (t, seq, meta) = if is_start { start_head.unwrap() } else { end_head };
             if limit.is_some_and(|l| t > l) {
@@ -1032,6 +1124,10 @@ impl OverlapSweep {
                 }
             }
         }
+        // Bounded mode drains repeatedly: reclaim the drained prefixes so
+        // the buffers track the lag window, not the stream.
+        self.starts.compact();
+        self.ends.compact();
     }
 }
 

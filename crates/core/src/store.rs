@@ -8,9 +8,9 @@
 //!
 //! # Chunk formats
 //!
-//! Two wire formats are supported. [`encode_events`] writes **v2**;
-//! [`decode_events`] dispatches on the 8-byte magic and reads both, so
-//! v1 chunks on disk remain loadable.
+//! Three wire formats are supported. [`encode_events`] writes **v3**;
+//! [`decode_events`] dispatches on the 8-byte magic and reads all three,
+//! so v1 and v2 chunks on disk remain loadable.
 //!
 //! **v1** (`RLSCOPE1`): `magic(8) | count:u32` then per event
 //! `pid:u32 | tag:u8 | name_len:u16 | name | start:u64 | end:u64`
@@ -27,11 +27,95 @@
 //! LEB128; deltas use zigzag so slightly out-of-order streams still
 //! encode compactly.
 //!
+//! **v3** (`RLSCOPE3`): the v2 body byte-for-byte (count, string table,
+//! event records), followed by a self-describing **footer** and a fixed
+//! trailer locating it:
+//!
+//! ```text
+//! RLSCOPE3 | <v2 body> | footer payload | footer_len:u32 | "RLF3"
+//! ```
+//!
+//! The footer payload is fixed-width big-endian:
+//!
+//! ```text
+//! events:u32
+//! min_start:u64 | max_start:u64 | max_end:u64
+//! flags:u8                      (bit 0: starts ascending within chunk)
+//! pid_count:u32 | pid:u32 …     (ascending)
+//! phase_count:u32 | (len:u16 | name | min_start:u64 | max_end:u64) …
+//!                               (name-ascending; span covers that
+//!                                phase's events in this chunk)
+//! checksum:u64                  (FNV-1a of the payload bytes above)
+//! ```
+//!
+//! The footer is what makes a chunk *skippable*: a reader can bound a
+//! chunk's contribution to any time-window, process, or phase query from
+//! the footer alone, without decoding a single event record
+//! ([`read_chunk_footer`]). A full [`decode_events`] of a v3 chunk
+//! additionally cross-checks the footer against the decoded events, so a
+//! corrupted footer can never cause a silent wrong skip on data that
+//! still decodes.
+//!
+//! # Compatibility matrix
+//!
+//! | format | encode | decode | footer | skippable via [`Manifest`] |
+//! |--------|--------|--------|--------|----------------------------|
+//! | v1     | [`encode_events_v1`] (and the extreme-timestamp fallback of [`encode_events`]) | yes | no | yes — footer synthesized by a full scan |
+//! | v2     | [`encode_events_v2`] | yes | no | yes — footer synthesized by a full scan |
+//! | v3     | [`encode_events`] | yes | yes | yes — footer read from the trailer, no event decode |
+//!
 //! Every field is validated on decode: unknown magic or event tags,
-//! truncation at any offset, overlong or overflowing varints, and
-//! out-of-range string-table ids all surface as
+//! truncation at any offset, overlong or overflowing varints,
+//! out-of-range string-table ids, checksum mismatches, and footers that
+//! contradict their chunk's events all surface as
 //! [`TraceIoError::Corrupt`], never a panic (the corruption-fuzz suite
 //! in `tests/fuzz_codec.rs` holds this line).
+//!
+//! # The chunk-directory manifest
+//!
+//! A chunk directory may carry a `MANIFEST` file ([`MANIFEST_FILE`])
+//! summarizing every chunk's footer:
+//!
+//! ```text
+//! RLSMANF1 | count:u32
+//!          | (name_len:u16 | file name | size:u64
+//!             | footer_len:u32 | footer payload) …   (stream order)
+//!          | checksum:u64       (FNV-1a of everything after the magic)
+//! ```
+//!
+//! [`TraceWriter`] records each chunk's footer as it writes and emits the
+//! manifest at [`TraceWriter::finish`] — including for chunks that fell
+//! back to the v1 wire format, whose footers exist only here.
+//! [`Manifest::open`] loads the file when present and consistent with the
+//! directory (same files, same sizes, in stream order, no chunk modified
+//! after the manifest) and otherwise synthesizes the manifest by
+//! scanning the chunks — v3 chunks yield their footer without event
+//! decode, v1/v2 chunks are decoded once — then writes the synthesized
+//! index back (best-effort) so the scan is paid once per directory, not
+//! per query. Corrupt manifest *bytes* are an error, not a rescan — a
+//! reader must never act on summary data that fails validation.
+//!
+//! [`Manifest::select`] is the predicate-pushdown primitive: given a
+//! [`ChunkQuery`] (time window, process id, phase name), it returns
+//! exactly the chunk files whose footers admit a contribution to the
+//! query, in stream order. [`crate::analysis::Analysis`] pushes its
+//! `.time_window` / `.process` / `.phase` filters down through this call,
+//! skipping whole chunks before any decode.
+//!
+//! # Start-ordered rewrite
+//!
+//! Profiler streams record an event when it **closes**, so raw dumps are
+//! end-ordered and their start-time disorder spans the longest open
+//! annotation — which makes bounded-lag streaming sweeps
+//! ([`crate::overlap::OverlapSweep::bounded`]) inapplicable to them.
+//! [`reorder_chunk_dir`] rewrites any chunk directory into a
+//! start-sorted v3 directory via an external merge (sorted runs spilled
+//! as chunk dirs, k-way merged chunk-at-a-time), in bounded memory. The
+//! rewrite preserves the event multiset and the relative order of
+//! equal-start events, so every analysis over the reordered directory is
+//! table-identical to the original — and bounded-lag sweeps now apply
+//! with any lag (the stream is fully start-sorted,
+//! [`Manifest::is_start_sorted`] reports it).
 //!
 //! # Streaming reader contract
 //!
@@ -55,13 +139,15 @@
 //! tests).
 
 use crate::event::{CpuCategory, Event, EventKind, GpuCategory};
-use crate::intern::Interner;
+use crate::intern::{FnvHasher, Interner};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Sender};
 use rlscope_sim::ids::ProcessId;
 use rlscope_sim::time::TimeNs;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
+use std::hash::Hasher;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -69,6 +155,23 @@ use std::thread::JoinHandle;
 
 const MAGIC_V1: &[u8; 8] = b"RLSCOPE1";
 const MAGIC_V2: &[u8; 8] = b"RLSCOPE2";
+const MAGIC_V3: &[u8; 8] = b"RLSCOPE3";
+/// Trailer magic closing a v3 chunk (preceded by the footer length).
+const FOOTER_MAGIC: &[u8; 4] = b"RLF3";
+const MANIFEST_MAGIC: &[u8; 8] = b"RLSMANF1";
+
+/// Name of the chunk-directory manifest file (see the module docs).
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// FNV-1a checksum of `bytes` — the integrity check appended to chunk
+/// footers and manifests. Not cryptographic; it exists to turn random
+/// corruption into a detected [`TraceIoError::Corrupt`] instead of a
+/// silently wrong chunk-skip decision.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FnvHasher::default();
+    h.write(bytes);
+    h.finish()
+}
 
 /// Errors from trace encoding, decoding, or I/O.
 #[derive(Debug)]
@@ -191,17 +294,300 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-/// Encodes a batch of events into the current (v2) chunk wire format:
-/// a per-chunk string table plus varint delta-encoded timestamps. See the
-/// module docs for the byte layout.
+// ---------------------------------------------------------------------------
+// Chunk footers
+// ---------------------------------------------------------------------------
+
+/// The span one phase covers inside one chunk: the bounding interval of
+/// that phase's [`EventKind::Phase`] events there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase name (truncated to the wire limit like every event name).
+    pub name: Arc<str>,
+    /// Earliest start of the phase's events in the chunk.
+    pub min_start: u64,
+    /// Latest end of the phase's events in the chunk.
+    pub max_end: u64,
+}
+
+/// Per-chunk summary recorded in v3 trailers and [`Manifest`] entries:
+/// everything a reader needs to decide whether a chunk can contribute to
+/// a time-window, process, or phase query without decoding it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkFooter {
+    /// Number of events in the chunk (including zero-length ones).
+    pub events: u32,
+    /// Earliest event start (`u64::MAX` for an empty chunk).
+    pub min_start: u64,
+    /// Latest event start (`0` for an empty chunk).
+    pub max_start: u64,
+    /// Latest event end (`0` for an empty chunk).
+    pub max_end: u64,
+    /// Whether event starts are ascending within the chunk.
+    pub start_sorted: bool,
+    /// Process ids present, ascending.
+    pub pids: Vec<u32>,
+    /// Phase spans present, ascending by name.
+    pub phases: Vec<PhaseSpan>,
+}
+
+impl ChunkFooter {
+    /// True when some event interval may overlap the half-open window
+    /// `[lo, hi)` — the safe-to-decode test for time-window pushdown
+    /// (every event lies inside `[min_start, max_end)`, so a disjoint
+    /// window cannot receive any attribution from this chunk).
+    pub fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        self.events > 0 && self.min_start < hi && self.max_end > lo
+    }
+
+    /// True when the chunk holds events of `pid`.
+    pub fn contains_pid(&self, pid: u32) -> bool {
+        self.pids.binary_search(&pid).is_ok()
+    }
+
+    /// The chunk's bounding span for one phase, if present.
+    pub fn phase_span(&self, name: &str) -> Option<(u64, u64)> {
+        self.phases
+            .binary_search_by(|p| (*p.name).cmp(name))
+            .ok()
+            .map(|i| (self.phases[i].min_start, self.phases[i].max_end))
+    }
+}
+
+/// Computes the footer summary of an event batch — the same values a v3
+/// decode cross-checks against its trailer.
+pub fn compute_footer(events: &[Event]) -> ChunkFooter {
+    let mut min_start = u64::MAX;
+    let mut max_start = 0u64;
+    let mut max_end = 0u64;
+    let mut sorted = true;
+    let mut prev = 0u64;
+    let mut pids: Vec<u32> = Vec::new();
+    let mut phases: BTreeMap<Arc<str>, (u64, u64)> = BTreeMap::new();
+    for e in events {
+        let (s, t) = (e.start.as_nanos(), e.end.as_nanos());
+        min_start = min_start.min(s);
+        max_start = max_start.max(s);
+        max_end = max_end.max(t);
+        sorted &= s >= prev;
+        prev = s;
+        let pid = e.pid.as_u32();
+        if let Err(at) = pids.binary_search(&pid) {
+            pids.insert(at, pid);
+        }
+        if e.kind == EventKind::Phase {
+            // Names are truncated like the codec truncates them, so the
+            // footer matches what a round-trip decode will contain.
+            let name: Arc<str> = if e.name.len() <= u16::MAX as usize {
+                e.name.clone()
+            } else {
+                Arc::from(truncate_name(&e.name))
+            };
+            let span = phases.entry(name).or_insert((s, t));
+            span.0 = span.0.min(s);
+            span.1 = span.1.max(t);
+        }
+    }
+    ChunkFooter {
+        events: events.len() as u32,
+        min_start,
+        max_start,
+        max_end,
+        start_sorted: sorted,
+        pids,
+        phases: phases
+            .into_iter()
+            .map(|(name, (min_start, max_end))| PhaseSpan { name, min_start, max_end })
+            .collect(),
+    }
+}
+
+/// Appends the footer payload (including its trailing checksum) to `out`.
+fn encode_footer_payload(f: &ChunkFooter, out: &mut BytesMut) {
+    let at = out.len();
+    out.put_u32(f.events);
+    out.put_u64(f.min_start);
+    out.put_u64(f.max_start);
+    out.put_u64(f.max_end);
+    out.put_u8(u8::from(f.start_sorted));
+    out.put_u32(f.pids.len() as u32);
+    for &pid in &f.pids {
+        out.put_u32(pid);
+    }
+    out.put_u32(f.phases.len() as u32);
+    for p in &f.phases {
+        out.put_u16(p.name.len() as u16);
+        out.put_slice(p.name.as_bytes());
+        out.put_u64(p.min_start);
+        out.put_u64(p.max_end);
+    }
+    let sum = fnv1a(&out[at..]);
+    out.put_u64(sum);
+}
+
+/// Decodes a footer payload, verifying its checksum, canonical ordering,
+/// and that every byte is consumed.
+fn decode_footer_payload(payload: &[u8]) -> Result<ChunkFooter, TraceIoError> {
+    let corrupt = |what: &str| TraceIoError::Corrupt(format!("footer: {what}"));
+    if payload.len() < 8 {
+        return Err(corrupt("too short for checksum"));
+    }
+    let (mut data, sum_bytes) = payload.split_at(payload.len() - 8);
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(sum_bytes);
+    if u64::from_be_bytes(sum) != fnv1a(data) {
+        return Err(corrupt("checksum mismatch"));
+    }
+    if data.remaining() < 4 + 8 + 8 + 8 + 1 + 4 {
+        return Err(corrupt("truncated header"));
+    }
+    let events = data.get_u32();
+    let min_start = data.get_u64();
+    let max_start = data.get_u64();
+    let max_end = data.get_u64();
+    let flags = data.get_u8();
+    if flags > 1 {
+        return Err(corrupt("unknown flag bits"));
+    }
+    let pid_count = data.get_u32() as usize;
+    if data.remaining() < pid_count.saturating_mul(4) {
+        return Err(corrupt("truncated pid set"));
+    }
+    let mut pids = Vec::with_capacity(pid_count);
+    for _ in 0..pid_count {
+        let pid = data.get_u32();
+        if pids.last().is_some_and(|&prev| prev >= pid) {
+            return Err(corrupt("pid set not strictly ascending"));
+        }
+        pids.push(pid);
+    }
+    if data.remaining() < 4 {
+        return Err(corrupt("truncated phase set"));
+    }
+    let phase_count = data.get_u32() as usize;
+    let mut phases: Vec<PhaseSpan> = Vec::with_capacity(phase_count.min(1 << 16));
+    for _ in 0..phase_count {
+        if data.remaining() < 2 {
+            return Err(corrupt("truncated phase entry"));
+        }
+        let len = data.get_u16() as usize;
+        if data.remaining() < len + 16 {
+            return Err(corrupt("truncated phase entry"));
+        }
+        let name = std::str::from_utf8(&data[..len]).map_err(|_| corrupt("non-utf8 phase name"))?;
+        let name: Arc<str> = Arc::from(name);
+        data = &data[len..];
+        let min = data.get_u64();
+        let max = data.get_u64();
+        if phases.last().is_some_and(|prev| *prev.name >= *name) {
+            return Err(corrupt("phase set not strictly name-ascending"));
+        }
+        phases.push(PhaseSpan { name, min_start: min, max_end: max });
+    }
+    if !data.is_empty() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(ChunkFooter {
+        events,
+        min_start,
+        max_start,
+        max_end,
+        start_sorted: flags & 1 != 0,
+        pids,
+        phases,
+    })
+}
+
+/// Splits the post-magic bytes of a v3 chunk into `(body, footer
+/// payload)` using the fixed trailer.
+fn split_v3(rem: &[u8]) -> Result<(&[u8], &[u8]), TraceIoError> {
+    if rem.len() < 8 {
+        return Err(TraceIoError::Corrupt("v3 chunk too short for trailer".into()));
+    }
+    let (tail, magic) = rem.split_at(rem.len() - 4);
+    if magic != FOOTER_MAGIC {
+        return Err(TraceIoError::Corrupt("missing v3 footer magic".into()));
+    }
+    let len_at = tail.len() - 4;
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&tail[len_at..]);
+    let footer_len = u32::from_be_bytes(len_bytes) as usize;
+    if footer_len > len_at {
+        return Err(TraceIoError::Corrupt("v3 footer length out of range".into()));
+    }
+    let (body, footer) = tail[..len_at].split_at(len_at - footer_len);
+    Ok((body, footer))
+}
+
+/// Reads a chunk's footer without decoding its events: `Some` for v3
+/// chunks (trailer parse only), `None` for v1/v2 chunks (no footer on
+/// the wire — decode the chunk and use [`compute_footer`]).
+///
+/// # Errors
+///
+/// [`TraceIoError::Corrupt`] on unknown magic or a malformed trailer.
+pub fn read_chunk_footer(data: &[u8]) -> Result<Option<ChunkFooter>, TraceIoError> {
+    if data.len() < MAGIC_V1.len() + 4 {
+        return Err(TraceIoError::Corrupt("chunk too short for header".into()));
+    }
+    match &data[..8] {
+        m if m == MAGIC_V1 || m == MAGIC_V2 => Ok(None),
+        m if m == MAGIC_V3 => {
+            let (_, footer) = split_v3(&data[8..])?;
+            Ok(Some(decode_footer_payload(footer)?))
+        }
+        _ => Err(TraceIoError::Corrupt("bad magic".into())),
+    }
+}
+
+/// Encodes a batch of events into the current (v3) chunk wire format:
+/// the v2 body (string table plus varint delta-encoded timestamps)
+/// followed by the self-describing footer. See the module docs for the
+/// byte layout.
 pub fn encode_events(events: &[Event]) -> Bytes {
+    encode_events_with_footer(events).0
+}
+
+/// [`encode_events`] returning the chunk's [`ChunkFooter`] alongside the
+/// bytes, so callers that also index the chunk (the [`TraceWriter`]'s
+/// manifest) summarize the batch once instead of twice.
+pub fn encode_events_with_footer(events: &[Event]) -> (Bytes, ChunkFooter) {
+    let footer = compute_footer(events);
     // Start timestamps are delta-coded through i64, so batches containing
     // a start beyond i64::MAX (impossible for virtual-clock traces, but
     // representable in the event model) fall back to the fixed-width v1
-    // format, which round-trips the full u64 range.
+    // format, which round-trips the full u64 range. (The chunk then has
+    // no on-wire footer; TraceWriter still records one in the manifest.)
+    if events.iter().any(|e| e.start.as_nanos() > i64::MAX as u64) {
+        return (encode_events_v1(events), footer);
+    }
+    let mut buf = BytesMut::with_capacity(events.len() * 12 + 128);
+    buf.put_slice(MAGIC_V3);
+    encode_v2_body(events, &mut buf);
+    let at = buf.len();
+    encode_footer_payload(&footer, &mut buf);
+    let footer_len = (buf.len() - at) as u32;
+    buf.put_u32(footer_len);
+    buf.put_slice(FOOTER_MAGIC);
+    (buf.freeze(), footer)
+}
+
+/// Encodes a batch of events in the legacy v2 chunk format (the v3 body
+/// without a footer). Kept for compatibility tooling and tests; new
+/// chunks should use [`encode_events`].
+pub fn encode_events_v2(events: &[Event]) -> Bytes {
     if events.iter().any(|e| e.start.as_nanos() > i64::MAX as u64) {
         return encode_events_v1(events);
     }
+    let mut buf = BytesMut::with_capacity(events.len() * 12 + 128);
+    buf.put_slice(MAGIC_V2);
+    encode_v2_body(events, &mut buf);
+    buf.freeze()
+}
+
+/// Appends the shared v2/v3 body — `count`, string table, event records —
+/// to `buf`.
+fn encode_v2_body(events: &[Event], buf: &mut BytesMut) {
     let mut interner = Interner::with_capacity(64);
     let mut name_ids = Vec::with_capacity(events.len());
     for e in events {
@@ -212,8 +598,6 @@ pub fn encode_events(events: &[Event]) -> Bytes {
         }
     }
 
-    let mut buf = BytesMut::with_capacity(events.len() * 12 + interner.len() * 16 + 32);
-    buf.put_slice(MAGIC_V2);
     buf.put_u32(events.len() as u32);
     buf.put_u32(interner.len() as u32);
     for name in interner.names() {
@@ -235,7 +619,6 @@ pub fn encode_events(events: &[Event]) -> Bytes {
         buf.put_slice(&record[..n]);
         prev_start = start as i64;
     }
-    buf.freeze()
 }
 
 /// Encodes a batch of events in the legacy v1 chunk format (fixed-width
@@ -257,13 +640,16 @@ pub fn encode_events_v1(events: &[Event]) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a chunk produced by [`encode_events`] (v2) or
-/// [`encode_events_v1`] (v1), dispatching on the magic.
+/// Decodes a chunk produced by [`encode_events`] (v3),
+/// [`encode_events_v2`] (v2), or [`encode_events_v1`] (v1), dispatching
+/// on the magic. v3 chunks additionally have their footer verified —
+/// checksum and consistency with the decoded events — so a corrupt
+/// summary can never survive a successful decode.
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Corrupt`] on bad magic, truncation, or invalid
-/// tags.
+/// Returns [`TraceIoError::Corrupt`] on bad magic, truncation, invalid
+/// tags, or a footer that fails validation.
 pub fn decode_events(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
     if data.len() < MAGIC_V1.len() + 4 {
         return Err(TraceIoError::Corrupt("chunk too short for header".into()));
@@ -272,9 +658,29 @@ pub fn decode_events(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
     data.copy_to_slice(&mut magic);
     match &magic {
         m if m == MAGIC_V1 => decode_events_v1(data),
-        m if m == MAGIC_V2 => decode_events_v2(data),
+        m if m == MAGIC_V2 => {
+            let mut cursor = data;
+            decode_v2_body(&mut cursor)
+        }
+        m if m == MAGIC_V3 => decode_events_v3(data),
         _ => Err(TraceIoError::Corrupt("bad magic".into())),
     }
+}
+
+/// Decodes the post-magic bytes of a v3 chunk: body, then footer, then
+/// the footer-vs-events cross-check.
+fn decode_events_v3(rem: &[u8]) -> Result<Vec<Event>, TraceIoError> {
+    let (body, footer_bytes) = split_v3(rem)?;
+    let footer = decode_footer_payload(footer_bytes)?;
+    let mut cursor = body;
+    let events = decode_v2_body(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(TraceIoError::Corrupt("trailing bytes after v3 event records".into()));
+    }
+    if footer != compute_footer(&events) {
+        return Err(TraceIoError::Corrupt("footer contradicts chunk events".into()));
+    }
+    Ok(events)
 }
 
 fn decode_events_v1(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
@@ -302,7 +708,12 @@ fn decode_events_v1(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
     Ok(events)
 }
 
-fn decode_events_v2(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
+/// Decodes the shared v2/v3 body (`count`, string table, event records),
+/// advancing `data` past the records it consumed.
+fn decode_v2_body(data: &mut &[u8]) -> Result<Vec<Event>, TraceIoError> {
+    if data.remaining() < 4 {
+        return Err(TraceIoError::Corrupt("truncated chunk header".into()));
+    }
     let count = data.get_u32() as usize;
     if data.remaining() < 4 {
         return Err(TraceIoError::Corrupt("truncated string table header".into()));
@@ -320,30 +731,30 @@ fn decode_events_v2(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
         let s = std::str::from_utf8(&data[..len])
             .map_err(|_| TraceIoError::Corrupt(format!("non-utf8 string table entry {i}")))?;
         names.push(Arc::from(s));
-        data = &data[len..];
+        *data = &data[len..];
     }
     let mut events = Vec::with_capacity(count.min(1 << 20));
     let mut prev_start: i64 = 0;
     for i in 0..count {
-        let pid = get_varint(&mut data, "pid")?;
+        let pid = get_varint(data, "pid")?;
         let pid = u32::try_from(pid)
             .map_err(|_| TraceIoError::Corrupt(format!("pid out of range at event {i}")))?;
         if data.remaining() < 1 {
             return Err(TraceIoError::Corrupt(format!("truncated at event {i}")));
         }
         let kind = tag_kind(data.get_u8())?;
-        let name_id = get_varint(&mut data, "name id")? as usize;
+        let name_id = get_varint(data, "name id")? as usize;
         let name = names.get(name_id).ok_or_else(|| {
             TraceIoError::Corrupt(format!("name id {name_id} out of range at event {i}"))
         })?;
-        let delta = unzigzag(get_varint(&mut data, "start delta")?);
+        let delta = unzigzag(get_varint(data, "start delta")?);
         let start = prev_start
             .checked_add(delta)
             .ok_or_else(|| TraceIoError::Corrupt(format!("timestamp overflow at event {i}")))?;
         if start < 0 {
             return Err(TraceIoError::Corrupt(format!("negative timestamp at event {i}")));
         }
-        let duration = get_varint(&mut data, "duration")?;
+        let duration = get_varint(data, "duration")?;
         let end = (start as u64)
             .checked_add(duration)
             .ok_or_else(|| TraceIoError::Corrupt(format!("timestamp overflow at event {i}")))?;
@@ -380,11 +791,15 @@ impl TraceWriter {
     /// Starts a writer thread that stores chunks under `dir`, rotating
     /// files once the encoded pending batch reaches `chunk_bytes`.
     ///
-    /// Any chunk files already in `dir` are deleted first: rotation
-    /// numbering restarts at `chunk_00000`, so leftovers from a previous
-    /// (possibly longer) run would otherwise survive alongside the new
-    /// stream and the name-ordered readers would silently concatenate
-    /// the two traces.
+    /// Any chunk files already in `dir` are deleted first (along with a
+    /// stale [`MANIFEST_FILE`]): rotation numbering restarts at
+    /// `chunk_00000`, so leftovers from a previous (possibly longer) run
+    /// would otherwise survive alongside the new stream and the
+    /// name-ordered readers would silently concatenate the two traces.
+    ///
+    /// The writer records each chunk's [`ChunkFooter`] as it encodes it
+    /// and emits the directory [`Manifest`] at [`TraceWriter::finish`] —
+    /// including footers for chunks that fell back to the v1 wire format.
     ///
     /// # Errors
     ///
@@ -395,30 +810,47 @@ impl TraceWriter {
         for stale in list_chunk_files(dir)? {
             fs::remove_file(stale)?;
         }
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            fs::remove_file(&manifest_path)?;
+        }
         let dir = dir.to_path_buf();
         let (tx, rx) = unbounded::<WriterCmd>();
         let handle = std::thread::spawn(move || -> Result<Vec<PathBuf>, TraceIoError> {
             let mut pending: Vec<Event> = Vec::new();
             let mut pending_bytes = 0usize;
             let mut files = Vec::new();
+            let mut entries: Vec<ManifestEntry> = Vec::new();
             let mut seq = 0u32;
             let flush = |pending: &mut Vec<Event>,
                          pending_bytes: &mut usize,
                          seq: &mut u32,
-                         files: &mut Vec<PathBuf>|
+                         files: &mut Vec<PathBuf>,
+                         entries: &mut Vec<ManifestEntry>|
              -> Result<(), TraceIoError> {
                 if pending.is_empty() {
                     return Ok(());
                 }
-                let path = dir.join(format!("chunk_{seq:05}.rls"));
-                let encoded = encode_events(pending);
+                let name = format!("chunk_{seq:05}.rls");
+                let path = dir.join(&name);
+                let (encoded, footer) = encode_events_with_footer(pending);
                 let mut f = fs::File::create(&path)?;
                 f.write_all(&encoded)?;
+                entries.push(ManifestEntry { file: name, size: encoded.len() as u64, footer });
                 files.push(path);
                 *seq += 1;
                 pending.clear();
                 *pending_bytes = 0;
                 Ok(())
+            };
+            let finish = |pending: &mut Vec<Event>,
+                          pending_bytes: &mut usize,
+                          seq: &mut u32,
+                          files: &mut Vec<PathBuf>,
+                          entries: &mut Vec<ManifestEntry>|
+             -> Result<(), TraceIoError> {
+                flush(pending, pending_bytes, seq, files, entries)?;
+                Manifest { dir: dir.clone(), entries: std::mem::take(entries) }.write()
             };
             for cmd in rx {
                 match cmd {
@@ -426,16 +858,28 @@ impl TraceWriter {
                         pending_bytes += events.len() * 32;
                         pending.extend(events);
                         if pending_bytes >= chunk_bytes {
-                            flush(&mut pending, &mut pending_bytes, &mut seq, &mut files)?;
+                            flush(
+                                &mut pending,
+                                &mut pending_bytes,
+                                &mut seq,
+                                &mut files,
+                                &mut entries,
+                            )?;
                         }
                     }
                     WriterCmd::Finish => {
-                        flush(&mut pending, &mut pending_bytes, &mut seq, &mut files)?;
+                        finish(
+                            &mut pending,
+                            &mut pending_bytes,
+                            &mut seq,
+                            &mut files,
+                            &mut entries,
+                        )?;
                         return Ok(files);
                     }
                 }
             }
-            flush(&mut pending, &mut pending_bytes, &mut seq, &mut files)?;
+            finish(&mut pending, &mut pending_bytes, &mut seq, &mut files, &mut entries)?;
             Ok(files)
         });
         Ok(TraceWriter { tx, handle: Some(handle) })
@@ -561,6 +1005,550 @@ pub fn read_chunk_dir(dir: &Path) -> Result<Vec<Event>, TraceIoError> {
     Ok(events)
 }
 
+// ---------------------------------------------------------------------------
+// Manifest + predicate pushdown
+// ---------------------------------------------------------------------------
+
+/// One [`Manifest`] row: a chunk file's name, byte size, and footer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Chunk file name (no directory component).
+    pub file: String,
+    /// Chunk file size in bytes (staleness check against the directory).
+    pub size: u64,
+    /// The chunk's footer summary.
+    pub footer: ChunkFooter,
+}
+
+/// The per-directory chunk index: every chunk's footer, in stream order.
+/// See the module docs for the on-disk layout and the consistency rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    dir: PathBuf,
+    entries: Vec<ManifestEntry>,
+}
+
+/// Chunk-level predicates an analysis pushes down into a [`Manifest`]:
+/// a chunk is decoded only if its footer admits a contribution under
+/// **every** active predicate. An empty query selects everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChunkQuery {
+    /// Half-open attribution window `[lo, hi)` in nanoseconds.
+    pub window: Option<(u64, u64)>,
+    /// Keep only chunks containing this process id.
+    pub pid: Option<u32>,
+    /// Keep only chunks overlapping this phase's bounding span (derived
+    /// from the whole manifest). Must name a real phase — callers handle
+    /// [`crate::overlap::NO_PHASE`] (not pushdownable) themselves.
+    pub phase: Option<Arc<str>>,
+}
+
+impl ChunkQuery {
+    /// True when no predicate is set (nothing can be skipped).
+    pub fn is_unconstrained(&self) -> bool {
+        self.window.is_none() && self.pid.is_none() && self.phase.is_none()
+    }
+}
+
+/// The outcome of [`Manifest::select`]: the chunk files to decode, in
+/// stream order, plus the directory total for skip accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkSelection {
+    /// Full paths of the chunks that must be decoded.
+    pub files: Vec<PathBuf>,
+    /// Total chunks in the directory (`files.len()` of them selected).
+    pub total: usize,
+}
+
+impl Manifest {
+    /// Opens the directory's manifest: loads [`MANIFEST_FILE`] when it is
+    /// present and consistent with the directory — same chunk files in
+    /// stream order, same sizes, and **no chunk modified after the
+    /// manifest was written** (a same-size in-place rewrite must not be
+    /// trusted) — otherwise synthesizes one by scanning the chunks
+    /// ([`Manifest::scan`]). A stale or missing manifest is silently
+    /// re-synthesized and the fresh manifest written back (best-effort —
+    /// a read-only directory just pays the scan again next time);
+    /// corrupt manifest *bytes* are an error, never a rescan.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, corrupt manifest bytes, or (during a synthesis scan)
+    /// corrupt chunks.
+    pub fn open(dir: &Path) -> Result<Manifest, TraceIoError> {
+        if let Some(manifest) = Self::load(dir)? {
+            let manifest_mtime = fs::metadata(dir.join(MANIFEST_FILE)).and_then(|m| m.modified());
+            let files = list_chunk_files(dir)?;
+            let fresh = manifest_mtime.is_ok()
+                && files.len() == manifest.entries.len()
+                && manifest.entries.iter().zip(&files).all(|(entry, path)| {
+                    path.file_name().is_some_and(|n| n.to_string_lossy() == *entry.file)
+                        && fs::metadata(path).is_ok_and(|m| {
+                            // Strictly older: a same-size rewrite landing
+                            // in the same timestamp tick as the manifest
+                            // (coarse-mtime filesystems) must not be
+                            // trusted. A freshly-written dir whose chunks
+                            // share the manifest's tick just rescans once
+                            // — safe, and the write-back advances the
+                            // manifest's mtime past the chunks'.
+                            m.len() == entry.size
+                                && m.modified()
+                                    .is_ok_and(|t| manifest_mtime.as_ref().is_ok_and(|mt| t < *mt))
+                        })
+                });
+            if fresh {
+                return Ok(manifest);
+            }
+        }
+        let manifest = Self::scan(dir)?;
+        // Persist the synthesized index so legacy or tampered-with dirs
+        // pay the full scan once, not on every filtered query.
+        let _ = manifest.write();
+        Ok(manifest)
+    }
+
+    /// Parses [`MANIFEST_FILE`] if present (`None` when the file does not
+    /// exist).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::Corrupt`] on any malformed byte — truncation,
+    /// checksum mismatch, bad magic — and I/O errors reading the file.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, TraceIoError> {
+        let path = dir.join(MANIFEST_FILE);
+        let data = match fs::read(&path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Some(Self::decode(dir, &data)?))
+    }
+
+    /// Builds the manifest by reading every chunk in the directory: v3
+    /// chunks yield their footer from the trailer (no event decode);
+    /// v1/v2 chunks are fully decoded once and summarized with
+    /// [`compute_footer`].
+    ///
+    /// # Errors
+    ///
+    /// The first I/O or corruption error encountered.
+    pub fn scan(dir: &Path) -> Result<Manifest, TraceIoError> {
+        let mut entries = Vec::new();
+        for path in list_chunk_files(dir)? {
+            let data = fs::read(&path)?;
+            let footer = match read_chunk_footer(&data)? {
+                Some(footer) => footer,
+                None => compute_footer(&decode_events(&data)?),
+            };
+            let file =
+                path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+            entries.push(ManifestEntry { file, size: data.len() as u64, footer });
+        }
+        Ok(Manifest { dir: dir.to_path_buf(), entries })
+    }
+
+    /// Writes the manifest to [`MANIFEST_FILE`] in its directory —
+    /// atomically (temp file + rename), because corrupt manifest bytes
+    /// are a hard error for every subsequent filtered query: a torn
+    /// write from a crash mid-emit must leave either the old manifest or
+    /// the new one, never a partial file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self) -> Result<(), TraceIoError> {
+        let tmp = self.dir.join(format!(".{MANIFEST_FILE}.{}.tmp", std::process::id()));
+        fs::write(&tmp, self.encode())?;
+        fs::rename(&tmp, self.dir.join(MANIFEST_FILE)).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })?;
+        Ok(())
+    }
+
+    /// The directory this manifest describes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The per-chunk entries, in stream order.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Total events across all chunks.
+    pub fn total_events(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(e.footer.events)).sum()
+    }
+
+    /// True when the whole directory is start-sorted in stream order:
+    /// every chunk internally sorted and no chunk starting before its
+    /// predecessor's last start — the precondition under which
+    /// [`crate::overlap::OverlapSweep::bounded`] applies with any lag.
+    /// [`reorder_chunk_dir`] establishes this.
+    pub fn is_start_sorted(&self) -> bool {
+        let mut prev_last = 0u64;
+        for e in &self.entries {
+            if e.footer.events == 0 {
+                continue;
+            }
+            if !e.footer.start_sorted || e.footer.min_start < prev_last {
+                return false;
+            }
+            prev_last = e.footer.max_start;
+        }
+        true
+    }
+
+    /// Selects the chunks that may contribute to `query`, in stream
+    /// order — the predicate-pushdown step. The skip decisions are
+    /// conservative (a selected chunk may still contribute nothing) but
+    /// never lossy: analyzing the selected chunks is table-identical to
+    /// analyzing the whole directory under the same filters.
+    ///
+    /// Per predicate, a chunk is skipped when:
+    ///
+    /// * **window `[lo, hi)`** — the chunk's `[min_start, max_end)` is
+    ///   disjoint from the window (no event can overlap it);
+    /// * **pid** — the footer's pid set lacks the process;
+    /// * **phase** — the chunk's `[min_start, max_end)` is disjoint from
+    ///   the phase's bounding span across the *whole* manifest (events
+    ///   outside that span can neither be attributed to the phase nor
+    ///   change which phase is active inside it). A phase appearing in no
+    ///   footer selects nothing.
+    ///
+    /// Empty chunks are skipped under any active predicate.
+    pub fn select(&self, query: &ChunkQuery) -> ChunkSelection {
+        let total = self.entries.len();
+        if query.is_unconstrained() {
+            let files = self.entries.iter().map(|e| self.dir.join(&e.file)).collect();
+            return ChunkSelection { files, total };
+        }
+        // The phase predicate needs the phase's global bounding span
+        // first; `None` here means the phase exists nowhere.
+        let phase_span: Option<Option<(u64, u64)>> = query.phase.as_ref().map(|name| {
+            self.entries
+                .iter()
+                .filter_map(|e| e.footer.phase_span(name))
+                .reduce(|a, b| (a.0.min(b.0), a.1.max(b.1)))
+        });
+        let files = self
+            .entries
+            .iter()
+            .filter(|e| {
+                let f = &e.footer;
+                if f.events == 0 {
+                    return false;
+                }
+                if let Some((lo, hi)) = query.window {
+                    if !f.overlaps(lo, hi) {
+                        return false;
+                    }
+                }
+                if let Some(pid) = query.pid {
+                    if !f.contains_pid(pid) {
+                        return false;
+                    }
+                }
+                match &phase_span {
+                    Some(None) => false,
+                    Some(Some((lo, hi))) => f.overlaps(*lo, *hi),
+                    None => true,
+                }
+            })
+            .map(|e| self.dir.join(&e.file))
+            .collect();
+        ChunkSelection { files, total }
+    }
+
+    fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.entries.len() * 96);
+        buf.put_slice(MANIFEST_MAGIC);
+        let at = buf.len();
+        buf.put_u32(self.entries.len() as u32);
+        for entry in &self.entries {
+            buf.put_u16(entry.file.len() as u16);
+            buf.put_slice(entry.file.as_bytes());
+            buf.put_u64(entry.size);
+            let mut footer_buf = BytesMut::with_capacity(128);
+            encode_footer_payload(&entry.footer, &mut footer_buf);
+            buf.put_u32(footer_buf.len() as u32);
+            buf.put_slice(&footer_buf);
+        }
+        let sum = fnv1a(&buf[at..]);
+        buf.put_u64(sum);
+        buf.freeze()
+    }
+
+    fn decode(dir: &Path, data: &[u8]) -> Result<Manifest, TraceIoError> {
+        let corrupt = |what: &str| TraceIoError::Corrupt(format!("manifest: {what}"));
+        if data.len() < MANIFEST_MAGIC.len() + 4 + 8 {
+            return Err(corrupt("too short"));
+        }
+        if &data[..8] != MANIFEST_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let (payload, sum_bytes) = data[8..].split_at(data.len() - 8 - 8);
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(sum_bytes);
+        if u64::from_be_bytes(sum) != fnv1a(payload) {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut cursor = payload;
+        let count = cursor.get_u32() as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for i in 0..count {
+            if cursor.remaining() < 2 {
+                return Err(corrupt(&format!("truncated entry {i}")));
+            }
+            let name_len = cursor.get_u16() as usize;
+            if cursor.remaining() < name_len + 8 + 4 {
+                return Err(corrupt(&format!("truncated entry {i}")));
+            }
+            let file = std::str::from_utf8(&cursor[..name_len])
+                .map_err(|_| corrupt(&format!("non-utf8 file name in entry {i}")))?
+                .to_owned();
+            cursor = &cursor[name_len..];
+            let size = cursor.get_u64();
+            let footer_len = cursor.get_u32() as usize;
+            if cursor.remaining() < footer_len {
+                return Err(corrupt(&format!("truncated footer in entry {i}")));
+            }
+            let footer = decode_footer_payload(&cursor[..footer_len])?;
+            cursor = &cursor[footer_len..];
+            entries.push(ManifestEntry { file, size, footer });
+        }
+        if !cursor.is_empty() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Manifest { dir: dir.to_path_buf(), entries })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Start-ordered rewrite
+// ---------------------------------------------------------------------------
+
+/// What [`reorder_chunk_dir`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Events rewritten.
+    pub events: u64,
+    /// Sorted runs spilled during the external merge (1 when the whole
+    /// stream fit in memory).
+    pub runs: usize,
+    /// Chunk files written to the destination.
+    pub chunks: usize,
+}
+
+/// Events per in-memory sorted run of the external merge (~tens of MB of
+/// `Event` structs — the reorder pass's peak working set).
+const REORDER_RUN_EVENTS: usize = 1 << 18;
+
+/// Rewrites the chunk directory `src` into a **start-sorted** v3 chunk
+/// directory at `dst` via an external merge, in bounded memory.
+///
+/// Raw profiler dumps are end-ordered (events are recorded at close), so
+/// their start-time disorder spans the longest open annotation and
+/// bounded-lag streaming sweeps reject them. After this rewrite the
+/// stream is fully start-sorted ([`Manifest::is_start_sorted`]), so
+/// [`crate::overlap::OverlapSweep::bounded`] applies with any lag — and
+/// because the rewrite preserves the event multiset and the relative
+/// order of equal-start events, every analysis over `dst` is
+/// table-identical to one over `src`.
+///
+/// `dst` gains a fresh [`Manifest`]; any chunks already there are
+/// removed ([`TraceWriter::create`] semantics). On error the destination
+/// is left in an unspecified partial state.
+///
+/// # Errors
+///
+/// I/O or corruption errors from either directory, or `src == dst`.
+pub fn reorder_chunk_dir(
+    src: &Path,
+    dst: &Path,
+    chunk_bytes: usize,
+) -> Result<ReorderStats, TraceIoError> {
+    reorder_chunk_dir_with(src, dst, chunk_bytes, REORDER_RUN_EVENTS)
+}
+
+/// [`reorder_chunk_dir`] with an explicit in-memory run size (events per
+/// spilled sorted run) — exposed so tests can force multi-run merges on
+/// small inputs.
+pub fn reorder_chunk_dir_with(
+    src: &Path,
+    dst: &Path,
+    chunk_bytes: usize,
+    run_events: usize,
+) -> Result<ReorderStats, TraceIoError> {
+    let run_events = run_events.max(1);
+    if src == dst || (dst.exists() && fs::canonicalize(src).ok() == fs::canonicalize(dst).ok()) {
+        return Err(TraceIoError::Corrupt(
+            "reorder_chunk_dir source and destination must differ".into(),
+        ));
+    }
+    let spill = dst.join(".reorder_spill");
+    let _ = fs::remove_dir_all(&spill);
+
+    // Pass 1: cut the stream into sorted runs. `sort_by_key` is stable,
+    // so equal-start events keep their stream order within a run.
+    let mut buf: Vec<Event> = Vec::new();
+    let mut runs: Vec<PathBuf> = Vec::new();
+    let mut total = 0u64;
+    let spill_run = |buf: &mut Vec<Event>, runs: &mut Vec<PathBuf>| -> Result<(), TraceIoError> {
+        buf.sort_by_key(|e| e.start);
+        let run_dir = spill.join(format!("run_{:05}", runs.len()));
+        let writer = TraceWriter::create(&run_dir, chunk_bytes.max(1))?;
+        for chunk in buf.chunks(4096) {
+            writer.write(chunk.to_vec());
+        }
+        writer.finish()?;
+        runs.push(run_dir);
+        buf.clear();
+        Ok(())
+    };
+    for chunk in ChunkReader::open(src)? {
+        let chunk = chunk?;
+        total += chunk.len() as u64;
+        buf.extend(chunk);
+        if buf.len() >= run_events {
+            spill_run(&mut buf, &mut runs)?;
+        }
+    }
+
+    // Single-run fast path: everything fit in memory — sort and write
+    // straight to the destination, no spill.
+    if runs.is_empty() {
+        buf.sort_by_key(|e| e.start);
+        let out = TraceWriter::create(dst, chunk_bytes)?;
+        let events = buf.len() as u64;
+        for chunk in buf.chunks(4096) {
+            out.write(chunk.to_vec());
+        }
+        let files = out.finish()?;
+        let _ = fs::remove_dir_all(&spill);
+        return Ok(ReorderStats { events, runs: usize::from(events > 0), chunks: files.len() });
+    }
+    if !buf.is_empty() {
+        spill_run(&mut buf, &mut runs)?;
+    }
+
+    // Pass 2: k-way merge of the runs, chunk-at-a-time per run. Ties on
+    // start break by run index — runs were cut in stream order, so this
+    // preserves the original relative order of equal-start events.
+    struct RunCursor {
+        reader: ChunkReader,
+        chunk: std::vec::IntoIter<Event>,
+    }
+    impl RunCursor {
+        fn next(&mut self) -> Result<Option<Event>, TraceIoError> {
+            loop {
+                if let Some(e) = self.chunk.next() {
+                    return Ok(Some(e));
+                }
+                match self.reader.next() {
+                    None => return Ok(None),
+                    Some(chunk) => self.chunk = chunk?.into_iter(),
+                }
+            }
+        }
+    }
+    let mut cursors: Vec<RunCursor> = Vec::with_capacity(runs.len());
+    for run in &runs {
+        cursors.push(RunCursor { reader: ChunkReader::open(run)?, chunk: Vec::new().into_iter() });
+    }
+    let mut heads: Vec<Option<Event>> = Vec::with_capacity(cursors.len());
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::with_capacity(cursors.len());
+    for (i, cursor) in cursors.iter_mut().enumerate() {
+        let head = cursor.next()?;
+        if let Some(e) = &head {
+            heap.push(std::cmp::Reverse((e.start.as_nanos(), i)));
+        }
+        heads.push(head);
+    }
+    let out = TraceWriter::create(dst, chunk_bytes)?;
+    let mut batch: Vec<Event> = Vec::with_capacity(4096);
+    while let Some(std::cmp::Reverse((_, i))) = heap.pop() {
+        let event = heads[i].take().expect("heap entry without a head");
+        if let Some(next) = cursors[i].next()? {
+            heap.push(std::cmp::Reverse((next.start.as_nanos(), i)));
+            heads[i] = Some(next);
+        }
+        batch.push(event);
+        if batch.len() == 4096 {
+            out.write(std::mem::take(&mut batch));
+        }
+    }
+    out.write(batch);
+    let files = out.finish()?;
+    fs::remove_dir_all(&spill)?;
+    Ok(ReorderStats { events: total, runs: runs.len(), chunks: files.len() })
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-parallel decode
+// ---------------------------------------------------------------------------
+
+/// Reads and decodes `files` on up to `threads` worker threads while
+/// feeding each decoded chunk to `consume` **in stream order** on the
+/// calling thread — the decode stage of the chunk-parallel streaming
+/// executor (see [`crate::analysis::Analysis::from_chunk_dir`]).
+///
+/// Files are assigned to workers round-robin and each worker feeds its
+/// own bounded channel, so at most `threads × 3` decoded chunks are in
+/// flight at once (bounded memory) and the consumer — which always drains
+/// the channel owning the next stream index — can never deadlock against
+/// a blocked producer. If `consume` fails, the remaining workers are
+/// disconnected and the error is returned immediately.
+///
+/// # Errors
+///
+/// The first chunk I/O or corruption error in stream order, or the first
+/// `consume` error.
+pub fn for_each_decoded_chunk<E: From<TraceIoError>>(
+    files: &[PathBuf],
+    threads: usize,
+    mut consume: impl FnMut(Vec<Event>) -> Result<(), E>,
+) -> Result<(), E> {
+    fn read_decode(path: &Path) -> Result<Vec<Event>, TraceIoError> {
+        let mut data = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut data)?;
+        decode_events(&data)
+    }
+
+    let threads = threads.min(files.len());
+    if threads <= 1 {
+        for path in files {
+            consume(read_decode(path).map_err(E::from)?)?;
+        }
+        return Ok(());
+    }
+    std::thread::scope(|scope| {
+        let mut receivers = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = bounded::<Result<Vec<Event>, TraceIoError>>(2);
+            receivers.push(rx);
+            scope.spawn(move || {
+                let mut i = w;
+                while let Some(path) = files.get(i) {
+                    if tx.send(read_decode(path)).is_err() {
+                        break; // Consumer gone: error path, stop decoding.
+                    }
+                    i += threads;
+                }
+            });
+        }
+        for i in 0..files.len() {
+            let chunk = receivers[i % threads]
+                .recv()
+                .expect("decode worker exited without sending")
+                .map_err(E::from)?;
+            consume(chunk)?;
+        }
+        Ok(())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,11 +1587,19 @@ mod tests {
     }
 
     #[test]
-    fn v1_and_v2_decode_identically() {
+    fn all_formats_decode_identically() {
         let events = sample_events(50);
         let from_v1 = decode_events(&encode_events_v1(&events)).unwrap();
-        let from_v2 = decode_events(&encode_events(&events)).unwrap();
+        let from_v2 = decode_events(&encode_events_v2(&events)).unwrap();
+        let from_v3 = decode_events(&encode_events(&events)).unwrap();
         assert_eq!(from_v1, from_v2);
+        assert_eq!(from_v2, from_v3);
+        assert_eq!(&encode_events(&events)[..8], MAGIC_V3);
+        assert_eq!(&encode_events_v2(&events)[..8], MAGIC_V2);
+        // The v3 body is the v2 body byte-for-byte.
+        let v2 = encode_events_v2(&events);
+        let v3 = encode_events(&events);
+        assert_eq!(&v3[8..8 + v2.len() - 8], &v2[8..]);
     }
 
     #[test]
@@ -702,26 +1698,31 @@ mod tests {
 
     /// Overlong varints whose 10th byte carries bits beyond u64 must be
     /// rejected as corruption, not silently truncated to a wrong value.
+    /// The v2 and v3 bodies share the layout, so both paths are covered.
     #[test]
-    fn v2_rejects_overflowing_varint() {
-        let mut data = encode_events(&sample_events(1)).to_vec();
-        // Replace the 1-byte pid varint with a 10-byte overflowing one
-        // (same header layout as in `v2_rejects_bad_name_id`).
-        let pid_offset = 8 + 4 + 4 + 2 + 3;
-        data.splice(pid_offset..pid_offset + 1, [0x80u8; 9].into_iter().chain([0x7e]));
-        let err = decode_events(&data).unwrap_err();
-        assert!(err.to_string().contains("overflow"), "{err}");
+    fn body_rejects_overflowing_varint() {
+        for base in [encode_events(&sample_events(1)), encode_events_v2(&sample_events(1))] {
+            let mut data = base.to_vec();
+            // Replace the 1-byte pid varint with a 10-byte overflowing one
+            // (same header layout as in `body_rejects_bad_name_id`).
+            let pid_offset = 8 + 4 + 4 + 2 + 3;
+            data.splice(pid_offset..pid_offset + 1, [0x80u8; 9].into_iter().chain([0x7e]));
+            let err = decode_events(&data).unwrap_err();
+            assert!(err.to_string().contains("overflow"), "{err}");
+        }
     }
 
     #[test]
-    fn v2_rejects_bad_name_id() {
-        let mut data = encode_events(&sample_events(1)).to_vec();
-        // Layout: magic(8) count(4) n_strings(4) len(2) "ev0"(3) pid(1)
-        // tag(1) name_id(1) ... — corrupt the name id varint.
-        let name_id_offset = 8 + 4 + 4 + 2 + 3 + 1 + 1;
-        data[name_id_offset] = 0x7f;
-        let err = decode_events(&data).unwrap_err();
-        assert!(err.to_string().contains("name id"), "{err}");
+    fn body_rejects_bad_name_id() {
+        for base in [encode_events(&sample_events(1)), encode_events_v2(&sample_events(1))] {
+            let mut data = base.to_vec();
+            // Layout: magic(8) count(4) n_strings(4) len(2) "ev0"(3) pid(1)
+            // tag(1) name_id(1) ... — corrupt the name id varint.
+            let name_id_offset = 8 + 4 + 4 + 2 + 3 + 1 + 1;
+            data[name_id_offset] = 0x7f;
+            let err = decode_events(&data).unwrap_err();
+            assert!(err.to_string().contains("name id"), "{err}");
+        }
     }
 
     #[test]
@@ -738,9 +1739,13 @@ mod tests {
 
     #[test]
     fn truncated_chunk_rejected() {
+        // Cutting into the v3 trailer destroys the footer magic.
         let data = encode_events(&sample_events(10));
-        let truncated = &data[..data.len() - 7];
-        let err = decode_events(truncated).unwrap_err();
+        let err = decode_events(&data[..data.len() - 7]).unwrap_err();
+        assert!(err.to_string().contains("footer"), "{err}");
+        // Cutting inside the v2 body is reported as truncation.
+        let data = encode_events_v2(&sample_events(10));
+        let err = decode_events(&data[..data.len() - 7]).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
     }
 
@@ -866,6 +1871,434 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("chunk_00000.rls"), b"garbage data here").unwrap();
         assert!(read_chunk_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // -- codec v3 footers ------------------------------------------------
+
+    fn phased_events() -> Vec<Event> {
+        let mut events = sample_events(20);
+        events.push(Event::new(
+            ProcessId(7),
+            EventKind::Phase,
+            "train",
+            TimeNs::from_nanos(40),
+            TimeNs::from_nanos(160),
+        ));
+        events.push(Event::new(
+            ProcessId(7),
+            EventKind::Phase,
+            "train",
+            TimeNs::from_nanos(10),
+            TimeNs::from_nanos(30),
+        ));
+        events.push(Event::new(
+            ProcessId(7),
+            EventKind::Phase,
+            "collect",
+            TimeNs::from_nanos(0),
+            TimeNs::from_nanos(9),
+        ));
+        events
+    }
+
+    #[test]
+    fn footer_summarizes_the_chunk() {
+        let events = phased_events();
+        let footer = compute_footer(&events);
+        assert_eq!(footer.events, events.len() as u32);
+        assert_eq!(footer.min_start, 0);
+        assert_eq!(footer.max_start, 190);
+        assert_eq!(footer.max_end, 195);
+        assert!(!footer.start_sorted, "the phase tail is out of order");
+        assert_eq!(footer.pids, vec![0, 1, 2, 7]);
+        let spans: Vec<(&str, u64, u64)> =
+            footer.phases.iter().map(|p| (&*p.name, p.min_start, p.max_end)).collect();
+        assert_eq!(spans, vec![("collect", 0, 9), ("train", 10, 160)]);
+        assert!(footer.contains_pid(7) && !footer.contains_pid(3));
+        assert_eq!(footer.phase_span("train"), Some((10, 160)));
+        assert_eq!(footer.phase_span("absent"), None);
+        assert!(footer.overlaps(0, 1) && footer.overlaps(194, 1_000));
+        assert!(!footer.overlaps(195, 1_000));
+    }
+
+    #[test]
+    fn read_chunk_footer_skips_event_decode_paths() {
+        let events = phased_events();
+        let footer = read_chunk_footer(&encode_events(&events)).unwrap();
+        assert_eq!(footer, Some(compute_footer(&events)));
+        // v1/v2 chunks carry no footer.
+        assert_eq!(read_chunk_footer(&encode_events_v2(&events)).unwrap(), None);
+        assert_eq!(read_chunk_footer(&encode_events_v1(&events)).unwrap(), None);
+        assert!(read_chunk_footer(b"XXXXXXXX____").is_err());
+    }
+
+    /// A footer that decodes cleanly (checksum recomputed) but contradicts
+    /// the chunk's events must fail the full decode — the guard against a
+    /// silently wrong skip surviving a successful read.
+    #[test]
+    fn forged_footer_fails_cross_check() {
+        let events = sample_events(10);
+        let data = encode_events(&events).to_vec();
+        let mut footer = compute_footer(&events);
+        footer.min_start += 1_000_000; // lie about the time range
+        let body_len = {
+            let (body, _) = split_v3(&data[8..]).unwrap();
+            body.len()
+        };
+        let mut forged = BytesMut::new();
+        forged.put_slice(MAGIC_V3);
+        forged.put_slice(&data[8..8 + body_len]);
+        let at = forged.len();
+        encode_footer_payload(&footer, &mut forged);
+        let footer_len = (forged.len() - at) as u32;
+        forged.put_u32(footer_len);
+        forged.put_slice(FOOTER_MAGIC);
+        let err = decode_events(&forged).unwrap_err();
+        assert!(err.to_string().contains("contradicts"), "{err}");
+        // But the footer alone still parses (valid checksum): skip
+        // decisions on unread chunks trust the checksum only.
+        assert!(read_chunk_footer(&forged).unwrap().is_some());
+    }
+
+    #[test]
+    fn empty_chunk_footer_is_canonical() {
+        let footer = compute_footer(&[]);
+        assert_eq!(footer.events, 0);
+        assert_eq!(footer.min_start, u64::MAX);
+        assert_eq!((footer.max_start, footer.max_end), (0, 0));
+        assert!(footer.start_sorted);
+        assert!(!footer.overlaps(0, u64::MAX));
+        assert_eq!(decode_events(&encode_events(&[])).unwrap(), Vec::new());
+    }
+
+    // -- manifest --------------------------------------------------------
+
+    fn write_dir(dir: &Path, events: &[Event], per_batch: usize, chunk_bytes: usize) {
+        let _ = fs::remove_dir_all(dir);
+        let writer = TraceWriter::create(dir, chunk_bytes).unwrap();
+        for chunk in events.chunks(per_batch) {
+            writer.write(chunk.to_vec());
+        }
+        writer.finish().unwrap();
+    }
+
+    #[test]
+    fn writer_emits_manifest_matching_scan() {
+        let dir = std::env::temp_dir().join(format!("rlscope_manifest_{}", std::process::id()));
+        write_dir(&dir, &phased_events(), 5, 64);
+        let loaded = Manifest::load(&dir).unwrap().expect("writer must emit MANIFEST");
+        let scanned = Manifest::scan(&dir).unwrap();
+        assert_eq!(loaded, scanned);
+        assert!(loaded.entries().len() > 1, "expected rotation");
+        assert_eq!(loaded.total_events(), phased_events().len() as u64);
+        assert_eq!(Manifest::open(&dir).unwrap(), loaded);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_synthesized_for_legacy_dirs() {
+        // A dir of v1 + v2 chunks, no MANIFEST: open() scans and the
+        // footers match what the events imply.
+        let dir = std::env::temp_dir().join(format!("rlscope_manifest_leg_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let events = sample_events(30);
+        fs::write(dir.join("chunk_00000.rls"), encode_events_v1(&events[..10])).unwrap();
+        fs::write(dir.join("chunk_00001.rls"), encode_events_v2(&events[10..])).unwrap();
+        let manifest = Manifest::open(&dir).unwrap();
+        assert_eq!(manifest.entries().len(), 2);
+        assert_eq!(manifest.entries()[0].footer, compute_footer(&events[..10]));
+        assert_eq!(manifest.entries()[1].footer, compute_footer(&events[10..]));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_manifest_is_resynthesized_not_trusted() {
+        let dir =
+            std::env::temp_dir().join(format!("rlscope_manifest_stale_{}", std::process::id()));
+        write_dir(&dir, &sample_events(40), 5, 64);
+        // Overwrite one chunk behind the manifest's back: sizes diverge.
+        let files = list_chunk_files(&dir).unwrap();
+        fs::write(&files[0], encode_events(&sample_events(3))).unwrap();
+        let manifest = Manifest::open(&dir).unwrap();
+        assert_eq!(manifest.entries()[0].footer, compute_footer(&sample_events(3)));
+        // The rescan was written back: a plain load now sees the truth.
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap(), manifest);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// An in-place rewrite that keeps the byte size identical must still
+    /// be detected (via mtime) — a silently trusted stale manifest would
+    /// drive wrong skip decisions with no error anywhere.
+    #[test]
+    fn same_size_chunk_rewrite_is_detected() {
+        let shifted = |offset: u64| -> Vec<Event> {
+            (0..5u64)
+                .map(|i| {
+                    Event::new(
+                        ProcessId(0),
+                        EventKind::Operation,
+                        "op",
+                        TimeNs::from_nanos(offset + i * 100),
+                        TimeNs::from_nanos(offset + i * 100 + 50),
+                    )
+                })
+                .collect()
+        };
+        let dir =
+            std::env::temp_dir().join(format!("rlscope_manifest_mtime_{}", std::process::id()));
+        write_dir(&dir, &shifted(1_000), 5, 1 << 20);
+        let files = list_chunk_files(&dir).unwrap();
+        let replacement = encode_events(&shifted(5_000));
+        assert_eq!(
+            replacement.len() as u64,
+            fs::metadata(&files[0]).unwrap().len(),
+            "rewrite must keep the byte size for this test to bite"
+        );
+        fs::write(&files[0], &replacement).unwrap();
+        let manifest = Manifest::open(&dir).unwrap();
+        assert_eq!(manifest.entries()[0].footer, compute_footer(&shifted(5_000)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `Manifest::open` on a manifest-less (legacy) dir persists the
+    /// synthesized index so later opens load instead of rescanning.
+    #[test]
+    fn synthesized_manifest_is_written_back() {
+        let dir = std::env::temp_dir().join(format!("rlscope_manifest_wb_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("chunk_00000.rls"), encode_events_v2(&sample_events(10))).unwrap();
+        assert!(Manifest::load(&dir).unwrap().is_none());
+        let scanned = Manifest::open(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(scanned));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_bytes_error() {
+        let dir = std::env::temp_dir().join(format!("rlscope_manifest_bad_{}", std::process::id()));
+        write_dir(&dir, &sample_events(20), 5, 64);
+        let path = dir.join(MANIFEST_FILE);
+        let mut data = fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x40;
+        fs::write(&path, &data).unwrap();
+        assert!(matches!(Manifest::load(&dir), Err(TraceIoError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn select_pushes_down_window_pid_and_phase() {
+        // Four chunks with disjoint time ranges; pid 9 and phase "late"
+        // only in the last one.
+        let dir = std::env::temp_dir().join(format!("rlscope_select_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        for i in 0..4u64 {
+            let base = i * 1_000;
+            let mut events = vec![Event::new(
+                ProcessId(i as u32),
+                EventKind::Cpu(CpuCategory::Python),
+                "py",
+                TimeNs::from_nanos(base),
+                TimeNs::from_nanos(base + 900),
+            )];
+            if i == 3 {
+                events.push(Event::new(
+                    ProcessId(9),
+                    EventKind::Phase,
+                    "late",
+                    TimeNs::from_nanos(base + 100),
+                    TimeNs::from_nanos(base + 500),
+                ));
+            }
+            fs::write(dir.join(format!("chunk_0000{i}.rls")), encode_events(&events)).unwrap();
+        }
+        let manifest = Manifest::open(&dir).unwrap();
+        assert_eq!(manifest.select(&ChunkQuery::default()).files.len(), 4);
+
+        let window = ChunkQuery { window: Some((1_000, 2_000)), ..Default::default() };
+        let sel = manifest.select(&window);
+        assert_eq!((sel.files.len(), sel.total), (1, 4));
+        assert!(sel.files[0].ends_with("chunk_00001.rls"));
+
+        let pid = ChunkQuery { pid: Some(9), ..Default::default() };
+        assert_eq!(manifest.select(&pid).files.len(), 1);
+
+        let phase = ChunkQuery { phase: Some(Arc::from("late")), ..Default::default() };
+        let sel = manifest.select(&phase);
+        assert_eq!(sel.files.len(), 1);
+        assert!(sel.files[0].ends_with("chunk_00003.rls"));
+
+        let absent = ChunkQuery { phase: Some(Arc::from("never")), ..Default::default() };
+        assert!(manifest.select(&absent).files.is_empty());
+
+        // Conjunction: window hits chunk 1 but pid 9 lives in chunk 3.
+        let both = ChunkQuery { window: Some((1_000, 2_000)), pid: Some(9), ..Default::default() };
+        assert!(manifest.select(&both).files.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A phase whose span covers events in *other* chunks must keep those
+    /// chunks selected — the span test is about overlap, not containment.
+    #[test]
+    fn phase_selection_keeps_overlapping_chunks() {
+        let dir = std::env::temp_dir().join(format!("rlscope_selphase_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // Chunk 0: plain events inside the phase's interval. Chunk 1:
+        // events after it. Chunk 2: the phase event itself, recorded at
+        // close (profiler order).
+        let ev = |s: u64, e: u64| {
+            Event::new(
+                ProcessId(0),
+                EventKind::Cpu(CpuCategory::Python),
+                "py",
+                TimeNs::from_nanos(s),
+                TimeNs::from_nanos(e),
+            )
+        };
+        fs::write(dir.join("chunk_00000.rls"), encode_events(&[ev(100, 200)])).unwrap();
+        fs::write(dir.join("chunk_00001.rls"), encode_events(&[ev(5_000, 6_000)])).unwrap();
+        let phase = Event::new(
+            ProcessId(0),
+            EventKind::Phase,
+            "warmup",
+            TimeNs::from_nanos(50),
+            TimeNs::from_nanos(300),
+        );
+        fs::write(dir.join("chunk_00002.rls"), encode_events(&[phase])).unwrap();
+        let manifest = Manifest::open(&dir).unwrap();
+        let sel =
+            manifest.select(&ChunkQuery { phase: Some(Arc::from("warmup")), ..Default::default() });
+        let names: Vec<String> = sel
+            .files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["chunk_00000.rls", "chunk_00002.rls"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // -- start-ordered rewrite -------------------------------------------
+
+    /// Profiler-style close-ordered stream: long annotations arrive late
+    /// with early starts.
+    fn close_ordered_events(n: u64) -> Vec<Event> {
+        let mut events = Vec::new();
+        for i in 0..n {
+            let t = i * 100;
+            events.push(Event::new(
+                ProcessId((i % 3) as u32),
+                EventKind::Cpu(CpuCategory::Python),
+                "py",
+                TimeNs::from_nanos(t),
+                TimeNs::from_nanos(t + 80),
+            ));
+            if i % 10 == 9 {
+                // A 10-step operation recorded at close.
+                events.push(Event::new(
+                    ProcessId((i % 3) as u32),
+                    EventKind::Operation,
+                    "op",
+                    TimeNs::from_nanos(t.saturating_sub(900)),
+                    TimeNs::from_nanos(t + 90),
+                ));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn reorder_sorts_and_preserves_the_multiset() {
+        for run_events in [usize::MAX, 16] {
+            let tag = format!("{}_{}", std::process::id(), run_events == 16);
+            let src = std::env::temp_dir().join(format!("rlscope_reorder_src_{tag}"));
+            let dst = std::env::temp_dir().join(format!("rlscope_reorder_dst_{tag}"));
+            write_dir(&src, &close_ordered_events(100), 7, 256);
+            let _ = fs::remove_dir_all(&dst);
+            let stats = reorder_chunk_dir_with(&src, &dst, 256, run_events).unwrap();
+            assert_eq!(stats.events, 110);
+            if run_events == 16 {
+                assert!(stats.runs > 1, "expected an external merge, got {stats:?}");
+            }
+            let sorted = read_chunk_dir(&dst).unwrap();
+            assert!(sorted.windows(2).all(|w| w[0].start <= w[1].start), "not start-sorted");
+            let manifest = Manifest::open(&dst).unwrap();
+            assert!(manifest.is_start_sorted());
+            // Same multiset: sorting the source by (start, stream order)
+            // stably must reproduce the rewritten stream exactly.
+            let mut expected = read_chunk_dir(&src).unwrap();
+            expected.sort_by_key(|e| e.start);
+            assert_eq!(sorted, expected);
+            fs::remove_dir_all(&src).unwrap();
+            fs::remove_dir_all(&dst).unwrap();
+        }
+    }
+
+    #[test]
+    fn reorder_rejects_same_dir_and_handles_empty() {
+        let dir = std::env::temp_dir().join(format!("rlscope_reorder_same_{}", std::process::id()));
+        write_dir(&dir, &sample_events(5), 5, 1 << 20);
+        assert!(reorder_chunk_dir(&dir, &dir, 256).is_err());
+        let empty_src =
+            std::env::temp_dir().join(format!("rlscope_reorder_esrc_{}", std::process::id()));
+        let empty_dst =
+            std::env::temp_dir().join(format!("rlscope_reorder_edst_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&empty_src);
+        let _ = fs::remove_dir_all(&empty_dst);
+        fs::create_dir_all(&empty_src).unwrap();
+        let stats = reorder_chunk_dir(&empty_src, &empty_dst, 256).unwrap();
+        assert_eq!(stats, ReorderStats { events: 0, runs: 0, chunks: 0 });
+        assert!(read_chunk_dir(&empty_dst).unwrap().is_empty());
+        for d in [dir, empty_src, empty_dst] {
+            fs::remove_dir_all(&d).unwrap();
+        }
+    }
+
+    // -- chunk-parallel decode -------------------------------------------
+
+    #[test]
+    fn parallel_decode_preserves_stream_order() {
+        let dir = std::env::temp_dir().join(format!("rlscope_pardec_{}", std::process::id()));
+        let events = sample_events(200);
+        write_dir(&dir, &events, 10, 64);
+        let files = list_chunk_files(&dir).unwrap();
+        assert!(files.len() > 2);
+        for threads in [1usize, 3, 8] {
+            let mut streamed = Vec::new();
+            for_each_decoded_chunk::<TraceIoError>(&files, threads, |chunk| {
+                streamed.extend(chunk);
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(streamed, events, "threads={threads}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_decode_surfaces_errors_and_stops() {
+        let dir = std::env::temp_dir().join(format!("rlscope_parderr_{}", std::process::id()));
+        write_dir(&dir, &sample_events(100), 10, 64);
+        let files = list_chunk_files(&dir).unwrap();
+        fs::write(&files[1], b"garbage").unwrap();
+        let mut seen = 0usize;
+        let err = for_each_decoded_chunk::<TraceIoError>(&files, 4, |_| {
+            seen += 1;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, TraceIoError::Corrupt(_)));
+        assert_eq!(seen, 1, "only the chunk before the corrupt one is consumed");
+        // Consumer errors also stop the pipeline.
+        let err = for_each_decoded_chunk::<TraceIoError>(&files[..1], 4, |_| {
+            Err(TraceIoError::Corrupt("sink failed".into()))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("sink failed"));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -194,12 +194,14 @@ pub(crate) fn merge_api_stats(
 /// Streaming equivalent of [`Trace::breakdowns_by_process`] over a chunk
 /// directory — a wrapper over
 /// `Analysis::from_chunk_dir(dir).group_by([Dim::Process]).tables()`
-/// (plus [`Analysis::bounded_streaming`] when `lag` is set). Chunks
-/// decode one at a time ([`crate::store::ChunkReader`]) and route into
-/// per-process incremental [`crate::overlap::OverlapSweep`]s, so the
-/// concatenated event stream is never materialized. Results are in
-/// first-seen pid order of the stream — identical tables, in identical
-/// order, to reading the directory whole and sharding in memory.
+/// (plus [`Analysis::bounded_streaming`] when `lag` is set). Chunks are
+/// decoded chunk-parallel on worker threads
+/// ([`crate::store::for_each_decoded_chunk`]) and fed in stream order
+/// into per-process incremental [`crate::overlap::OverlapSweep`]s, so
+/// decode overlaps sweeping and the concatenated event stream is never
+/// materialized. Results are in first-seen pid order of the stream —
+/// identical tables, in identical order, to reading the directory whole
+/// and sharding in memory.
 ///
 /// With `lag = Some(d)`, per-process sweeps run in bounded-memory mode:
 /// each process's working set stays flat as the directory grows, provided

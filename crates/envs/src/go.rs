@@ -29,7 +29,11 @@ impl Color {
 }
 
 /// A move: pass or place a stone at a board index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` (pass first, then board index) is what lets MCTS route priors
+/// and children through sorted maps, keeping self-play runs
+/// deterministic for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum GoMove {
     /// Pass the turn.
     Pass,

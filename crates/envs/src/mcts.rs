@@ -10,14 +10,19 @@
 
 use crate::go::{Color, GoGame, GoMove};
 use rlscope_sim::rng::SimRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Evaluates a position: returns `(priors, value)` where `priors` assigns a
 /// weight to each legal move and `value` is the expected outcome for the
 /// side to move, in `[-1, 1]`.
+///
+/// Priors travel through a **sorted** map: expansion order, PUCT
+/// tie-breaking, and visit-count walks are all iteration-order dependent,
+/// and a hash map here made whole self-play runs (and the paper-figure
+/// reports built on them) differ run to run.
 pub trait Evaluator {
     /// Evaluate `game`, producing move priors and a value estimate.
-    fn evaluate(&mut self, game: &GoGame) -> (HashMap<GoMove, f32>, f32);
+    fn evaluate(&mut self, game: &GoGame) -> (BTreeMap<GoMove, f32>, f32);
 }
 
 /// A uniform-prior, zero-value evaluator (pure MCTS with no network).
@@ -25,7 +30,7 @@ pub trait Evaluator {
 pub struct UniformEvaluator;
 
 impl Evaluator for UniformEvaluator {
-    fn evaluate(&mut self, game: &GoGame) -> (HashMap<GoMove, f32>, f32) {
+    fn evaluate(&mut self, game: &GoGame) -> (BTreeMap<GoMove, f32>, f32) {
         let moves = game.legal_moves();
         let p = 1.0 / moves.len().max(1) as f32;
         (moves.into_iter().map(|m| (m, p)).collect(), 0.0)
@@ -34,7 +39,7 @@ impl Evaluator for UniformEvaluator {
 
 #[derive(Debug)]
 struct MctsNode {
-    children: HashMap<GoMove, usize>,
+    children: BTreeMap<GoMove, usize>,
     visits: u32,
     total_value: f32,
     prior: f32,
@@ -43,7 +48,7 @@ struct MctsNode {
 
 impl MctsNode {
     fn new(prior: f32) -> Self {
-        MctsNode { children: HashMap::new(), visits: 0, total_value: 0.0, prior, expanded: false }
+        MctsNode { children: BTreeMap::new(), visits: 0, total_value: 0.0, prior, expanded: false }
     }
 
     fn q(&self) -> f32 {
@@ -175,9 +180,9 @@ impl Mcts {
             return self.best_move();
         }
         let mut pick = rng.below(total as usize) as u32;
-        let mut entries: Vec<(&GoMove, &usize)> = root.children.iter().collect();
-        entries.sort_by_key(|(mv, _)| format!("{mv:?}"));
-        for (mv, &child) in entries {
+        // BTreeMap iteration is move-ordered, so the cumulative walk is
+        // deterministic without any auxiliary sort.
+        for (mv, &child) in root.children.iter() {
             let v = self.nodes[child].visits;
             if pick < v {
                 return *mv;
@@ -250,7 +255,7 @@ mod tests {
         // visits there.
         struct CornerFan;
         impl Evaluator for CornerFan {
-            fn evaluate(&mut self, game: &GoGame) -> (HashMap<GoMove, f32>, f32) {
+            fn evaluate(&mut self, game: &GoGame) -> (BTreeMap<GoMove, f32>, f32) {
                 let moves = game.legal_moves();
                 let priors = moves
                     .into_iter()

@@ -24,7 +24,7 @@ use rlscope_sim::smi::UtilizationSampler;
 use rlscope_sim::time::{DurationNs, TimeNs};
 use rlscope_sim::VirtualClock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Minigo workload configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,7 +94,7 @@ struct NetEvaluator<'a> {
 }
 
 impl Evaluator for NetEvaluator<'_> {
-    fn evaluate(&mut self, game: &GoGame) -> (HashMap<GoMove, f32>, f32) {
+    fn evaluate(&mut self, game: &GoGame) -> (BTreeMap<GoMove, f32>, f32) {
         let _op = self.rls.operation("expand_leaf");
         // Go engine work for this simulation (feature extraction, move
         // generation) counts as simulator time.
@@ -115,7 +115,7 @@ impl Evaluator for NetEvaluator<'_> {
 
         let n = self.board * self.board;
         let logits = out.data();
-        let mut priors = HashMap::new();
+        let mut priors = BTreeMap::new();
         for mv in game.legal_moves() {
             let idx = match mv {
                 GoMove::Pass => n,
@@ -423,6 +423,24 @@ mod tests {
         let rendered = result.phase_report.render();
         assert!(rendered.contains("selfplay"), "{rendered}");
         assert!(rendered.contains("mcts_tree_search"), "{rendered}");
+    }
+
+    /// The whole round — move choices, virtual-clock timings, phase
+    /// report — must be reproducible for a fixed seed. MCTS priors used
+    /// to travel through a `HashMap`, whose iteration order varied the
+    /// expansion order and therefore the moves (and every derived
+    /// figure) run to run; the sorted-map routing pins it down.
+    #[test]
+    fn minigo_round_is_deterministic() {
+        use rlscope_core::analysis::{Analysis, Dim};
+        let canonical = |r: &MinigoResult| {
+            Analysis::of(&r.merged).group_by([Dim::Phase]).canonical_json().unwrap()
+        };
+        let a = run_minigo(&tiny());
+        let b = run_minigo(&tiny());
+        assert_eq!(a.merged.events, b.merged.events, "event streams diverged");
+        assert_eq!(canonical(&a), canonical(&b), "phase reports diverged");
+        assert_eq!(a.report.render(), b.report.render());
     }
 
     #[test]

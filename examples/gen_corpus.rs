@@ -12,7 +12,7 @@
 //! codec/sweep behavior.
 
 use rlscope::core::compute_overlap;
-use rlscope::core::store::{encode_events, encode_events_v1};
+use rlscope::core::store::{encode_events, encode_events_v1, encode_events_v2};
 use std::path::Path;
 
 include!(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/fixture.rs"));
@@ -22,12 +22,15 @@ fn main() {
     let events = corpus_events();
     let extreme = corpus_extreme_events();
 
-    let v2 = encode_events(&events);
-    assert_eq!(&v2[..8], b"RLSCOPE2", "main corpus must encode as v2");
+    let v3 = encode_events(&events);
+    assert_eq!(&v3[..8], b"RLSCOPE3", "main corpus must encode as v3");
+    let v2 = encode_events_v2(&events);
+    assert_eq!(&v2[..8], b"RLSCOPE2", "legacy corpus must encode as v2");
     let v1 = encode_events_v1(&events);
     let extreme_chunk = encode_events(&extreme);
     assert_eq!(&extreme_chunk[..8], b"RLSCOPE1", "extreme corpus must fall back to v1");
 
+    std::fs::write(dir.join("corpus_v3.rls"), &v3).unwrap();
     std::fs::write(dir.join("corpus_v2.rls"), &v2).unwrap();
     std::fs::write(dir.join("corpus_v1.rls"), &v1).unwrap();
     std::fs::write(dir.join("corpus_extreme.rls"), &extreme_chunk).unwrap();
@@ -41,11 +44,24 @@ fn main() {
     std::fs::write(dir.join("expected_extreme.json"), compute_overlap(&extreme).canonical_json())
         .unwrap();
 
+    // The deterministic chunk directory's manifest: footers for every
+    // chunk, byte-stable for the fixture + chunking parameters.
+    let tmp = std::env::temp_dir().join(format!("rlscope_gen_corpus_{}", std::process::id()));
+    let manifest = write_corpus_chunk_dir(&tmp);
+    std::fs::remove_dir_all(&tmp).unwrap();
+    std::fs::write(dir.join("corpus_manifest.bin"), &manifest).unwrap();
+
+    // The Minigo phase-report golden (regenerate after any deliberate
+    // change to the simulation stack's cost models or the workload).
+    std::fs::write(dir.join("minigo_phase.json"), minigo_phase_canonical_json()).unwrap();
+
     println!(
-        "wrote {} events (v1 {} B, v2 {} B) + {} extreme events to {}",
+        "wrote {} events (v1 {} B, v2 {} B, v3 {} B, manifest {} B) + {} extreme events to {}",
         events.len(),
         v1.len(),
         v2.len(),
+        v3.len(),
+        manifest.len(),
         extreme.len(),
         dir.display()
     );

@@ -131,3 +131,53 @@ pub fn per_pid_canonical_json(
     out.push_str("\n}\n");
     out
 }
+
+/// Batch size (events per `TraceWriter::write`) of the fixture's
+/// deterministic chunk directory — shared by the manifest golden's
+/// generator and harness so the chunk boundaries can never drift apart.
+pub const CORPUS_DIR_BATCH: usize = 5;
+
+/// Rotation threshold of the fixture's deterministic chunk directory.
+pub const CORPUS_DIR_CHUNK_BYTES: usize = 256;
+
+/// Writes the fixture's deterministic chunk directory (fresh) through
+/// `TraceWriter` and returns the `MANIFEST` bytes the writer emitted —
+/// the manifest golden's subject.
+pub fn write_corpus_chunk_dir(dir: &std::path::Path) -> Vec<u8> {
+    use rlscope::core::store::{TraceWriter, MANIFEST_FILE};
+
+    let _ = std::fs::remove_dir_all(dir);
+    let writer = TraceWriter::create(dir, CORPUS_DIR_CHUNK_BYTES).unwrap();
+    for chunk in corpus_events().chunks(CORPUS_DIR_BATCH) {
+        writer.write(chunk.to_vec());
+    }
+    writer.finish().unwrap();
+    std::fs::read(dir.join(MANIFEST_FILE)).unwrap()
+}
+
+/// The fixed Minigo round behind the phase-report golden: small enough
+/// to run in a test, large enough to exercise all three phases.
+/// Reproducible because MCTS priors travel through sorted maps.
+pub fn minigo_golden_config() -> rlscope::workloads::minigo::MinigoConfig {
+    rlscope::workloads::minigo::MinigoConfig {
+        workers: 2,
+        games_per_worker: 1,
+        sims_per_move: 4,
+        board: 5,
+        max_moves: 10,
+        eval_games: 1,
+        sgd_steps: 2,
+        smi_period: rlscope::sim::time::DurationNs::from_millis(2),
+        seed: 11,
+    }
+}
+
+/// Canonical per-phase JSON of one golden Minigo round
+/// (`Analysis::of(&merged).group_by([Dim::Phase])`): the frozen form of
+/// `MinigoResult::phase_report`'s underlying tables.
+pub fn minigo_phase_canonical_json() -> String {
+    use rlscope::core::analysis::{Analysis, Dim};
+
+    let result = rlscope::workloads::minigo::run_minigo(&minigo_golden_config());
+    Analysis::of(&result.merged).group_by([Dim::Phase]).canonical_json().unwrap()
+}

@@ -1,13 +1,18 @@
-//! Corruption-fuzz suite for the chunk codec: `decode_events` must map
-//! every malformed input to `TraceIoError` — truncations, bit flips,
-//! bad magic, overlong varints, out-of-range string-table ids — and
-//! never panic, overflow, or return silently wrong intervals.
+//! Corruption-fuzz suite for the chunk codec and the chunk-dir manifest:
+//! `decode_events` and `Manifest::load` must map every malformed input
+//! to `TraceIoError` — truncations, bit flips, bad magic, overlong
+//! varints, out-of-range string-table ids, checksum mismatches — and
+//! never panic, overflow, return silently wrong intervals, or (for
+//! footers and manifests) produce a silently wrong chunk-skip summary.
 //!
 //! The "fuzzing" is deterministic (seeded xorshift), so failures
 //! reproduce; a panic anywhere in a decode aborts the test process and
 //! fails the suite.
 
-use rlscope::core::store::{decode_events, encode_events, encode_events_v1, TraceIoError};
+use rlscope::core::store::{
+    decode_events, encode_events, encode_events_v1, encode_events_v2, Manifest, TraceIoError,
+    MANIFEST_FILE,
+};
 use rlscope::core::{Event, EventKind};
 
 include!(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/fixture.rs"));
@@ -39,12 +44,13 @@ fn assert_events_sane(events: &[Event]) {
     }
 }
 
-/// Truncation at *every* byte offset of both wire formats must error
-/// (never panic, never return data from a partial record).
+/// Truncation at *every* byte offset of all three wire formats must
+/// error (never panic, never return data from a partial record — and for
+/// v3, never a chunk whose footer survives the cross-check).
 #[test]
 fn truncation_at_every_offset_errors() {
     let events = corpus_events();
-    for encoded in [encode_events(&events), encode_events_v1(&events)] {
+    for encoded in [encode_events(&events), encode_events_v2(&events), encode_events_v1(&events)] {
         assert!(decode_events(&encoded).is_ok());
         for cut in 0..encoded.len() {
             match decode_events(&encoded[..cut]) {
@@ -60,14 +66,16 @@ fn truncation_at_every_offset_errors() {
     }
 }
 
-/// Seeded byte-flip fuzzing over both formats: decode must return
+/// Seeded byte-flip fuzzing over all formats: decode must return
 /// `Ok` (with sane events) or `Corrupt`, never panic.
 #[test]
 fn random_byte_flips_never_panic() {
     let events = corpus_events();
-    for (seed, base) in
-        [(0x1234_5678u64, encode_events(&events)), (0x9abc_def0, encode_events_v1(&events))]
-    {
+    for (seed, base) in [
+        (0x1234_5678u64, encode_events(&events)),
+        (0x5e5e_5e5e, encode_events_v2(&events)),
+        (0x9abc_def0, encode_events_v1(&events)),
+    ] {
         let mut rng = Rng(seed);
         for _ in 0..4_000 {
             let mut data = base.to_vec();
@@ -98,7 +106,7 @@ fn random_garbage_never_panics() {
         }
     }
     // And garbage behind a valid magic + count header.
-    for magic in [&b"RLSCOPE1"[..], &b"RLSCOPE2"[..]] {
+    for magic in [&b"RLSCOPE1"[..], &b"RLSCOPE2"[..], &b"RLSCOPE3"[..]] {
         for len in 0..256usize {
             let mut data = magic.to_vec();
             data.extend_from_slice(&(u32::MAX).to_be_bytes());
@@ -110,45 +118,61 @@ fn random_garbage_never_panics() {
     }
 }
 
-/// v2 layout for one event named "x": magic(8) count(4) n_strings(4)
-/// len(2) name(1), then pid varint at offset 19.
-fn one_event_v2() -> Vec<u8> {
-    let e = Event::new(
+fn one_event() -> Event {
+    Event::new(
         rlscope::sim::ids::ProcessId(1),
         EventKind::Operation,
         "x",
         rlscope::sim::time::TimeNs::from_nanos(5),
         rlscope::sim::time::TimeNs::from_nanos(9),
-    );
-    let data = encode_events(std::slice::from_ref(&e)).to_vec();
+    )
+}
+
+/// v2 layout for one event named "x": magic(8) count(4) n_strings(4)
+/// len(2) name(1), then pid varint at offset 19. (The v3 body shares the
+/// layout; [`one_event_v3`] exercises it behind the footer trailer.)
+fn one_event_v2() -> Vec<u8> {
+    let e = one_event();
+    let data = encode_events_v2(std::slice::from_ref(&e)).to_vec();
     assert_eq!(&data[..8], b"RLSCOPE2");
+    data
+}
+
+/// The same single-event chunk in v3 (footer + trailer appended).
+fn one_event_v3() -> Vec<u8> {
+    let e = one_event();
+    let data = encode_events(std::slice::from_ref(&e)).to_vec();
+    assert_eq!(&data[..8], b"RLSCOPE3");
     data
 }
 
 const V2_PID_OFFSET: usize = 8 + 4 + 4 + 2 + 1;
 
 /// Overlong varints — 10 continuation bytes, or a 10th byte with bits
-/// beyond u64 — are corruption, not silent truncation.
+/// beyond u64 — are corruption, not silent truncation. The v2 and v3
+/// bodies share the record layout, so both formats are exercised.
 #[test]
 fn overlong_and_overflowing_varints_rejected() {
-    // 11-byte varint (too long even if the value would fit).
-    let mut data = one_event_v2();
-    data.splice(V2_PID_OFFSET..V2_PID_OFFSET + 1, [0x80u8; 10].into_iter().chain([0x01]));
-    let err = decode_events(&data).unwrap_err();
-    assert!(err.to_string().contains("varint"), "{err}");
+    for base in [one_event_v2(), one_event_v3()] {
+        // 11-byte varint (too long even if the value would fit).
+        let mut data = base.clone();
+        data.splice(V2_PID_OFFSET..V2_PID_OFFSET + 1, [0x80u8; 10].into_iter().chain([0x01]));
+        let err = decode_events(&data).unwrap_err();
+        assert!(err.to_string().contains("varint"), "{err}");
 
-    // 10-byte varint whose final byte overflows u64.
-    let mut data = one_event_v2();
-    data.splice(V2_PID_OFFSET..V2_PID_OFFSET + 1, [0x80u8; 9].into_iter().chain([0x02]));
-    let err = decode_events(&data).unwrap_err();
-    assert!(err.to_string().contains("overflow"), "{err}");
+        // 10-byte varint whose final byte overflows u64.
+        let mut data = base.clone();
+        data.splice(V2_PID_OFFSET..V2_PID_OFFSET + 1, [0x80u8; 9].into_iter().chain([0x02]));
+        let err = decode_events(&data).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
 
-    // Maximal legal varint in the pid field: decodes as a varint but the
-    // value must then fail the pid u32 range check — not wrap.
-    let mut data = one_event_v2();
-    data.splice(V2_PID_OFFSET..V2_PID_OFFSET + 1, [0xffu8; 9].into_iter().chain([0x01]));
-    let err = decode_events(&data).unwrap_err();
-    assert!(err.to_string().contains("pid out of range"), "{err}");
+        // Maximal legal varint in the pid field: decodes as a varint but
+        // the value must then fail the pid u32 range check — not wrap.
+        let mut data = base.clone();
+        data.splice(V2_PID_OFFSET..V2_PID_OFFSET + 1, [0xffu8; 9].into_iter().chain([0x01]));
+        let err = decode_events(&data).unwrap_err();
+        assert!(err.to_string().contains("pid out of range"), "{err}");
+    }
 }
 
 /// String-table ids at or past the table length are corruption.
@@ -156,12 +180,81 @@ fn overlong_and_overflowing_varints_rejected() {
 fn out_of_range_string_table_ids_rejected() {
     // name_id follows pid varint (1 byte) + tag (1 byte).
     let name_id_at = V2_PID_OFFSET + 2;
-    for bad_id in [0x01u8, 0x7f] {
-        let mut data = one_event_v2();
-        data[name_id_at] = bad_id; // table holds exactly one name (id 0)
-        let err = decode_events(&data).unwrap_err();
-        assert!(err.to_string().contains("name id"), "{err}");
+    for base in [one_event_v2(), one_event_v3()] {
+        for bad_id in [0x01u8, 0x7f] {
+            let mut data = base.clone();
+            data[name_id_at] = bad_id; // table holds exactly one name (id 0)
+            let err = decode_events(&data).unwrap_err();
+            assert!(err.to_string().contains("name id"), "{err}");
+        }
     }
+}
+
+/// Every single-byte flip anywhere in a v3 chunk's footer region —
+/// payload, length field, trailer magic — must yield `TraceIoError`,
+/// never a silently different skip summary: the checksum (or the
+/// footer-vs-events cross-check) catches it.
+#[test]
+fn v3_footer_flips_never_skip_silently() {
+    let events = corpus_events();
+    let data = encode_events(&events).to_vec();
+    // The footer region is everything after the v2 body; recover its
+    // start from the trailer length field.
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&data[data.len() - 8..data.len() - 4]);
+    let footer_start = data.len() - 8 - u32::from_be_bytes(len_bytes) as usize;
+    for at in footer_start..data.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut flipped = data.clone();
+            flipped[at] ^= bit;
+            match decode_events(&flipped) {
+                Err(TraceIoError::Corrupt(_)) => {}
+                Err(TraceIoError::Io(e)) => panic!("unexpected io error at byte {at}: {e}"),
+                Ok(_) => panic!("flip at footer byte {at} (bit {bit:#x}) decoded cleanly"),
+            }
+        }
+    }
+}
+
+/// Manifest corruption: truncation at every offset and seeded byte flips
+/// must surface as `TraceIoError::Corrupt` from `Manifest::load` — a
+/// corrupted chunk index must never silently drive skip decisions.
+#[test]
+fn manifest_corruption_errors_never_panics() {
+    let dir = std::env::temp_dir().join(format!("rlscope_fuzz_manifest_{}", std::process::id()));
+    write_corpus_chunk_dir(&dir);
+    let path = dir.join(MANIFEST_FILE);
+    let base = std::fs::read(&path).unwrap();
+    assert!(Manifest::load(&dir).unwrap().is_some());
+
+    for cut in 0..base.len() {
+        std::fs::write(&path, &base[..cut]).unwrap();
+        match Manifest::load(&dir) {
+            Err(TraceIoError::Corrupt(_)) => {}
+            Err(TraceIoError::Io(e)) => panic!("unexpected io error at cut {cut}: {e}"),
+            Ok(_) => panic!("truncated manifest ({cut}/{} bytes) loaded", base.len()),
+        }
+    }
+    let mut rng = Rng(0xfeed_beef);
+    for _ in 0..2_000 {
+        let mut data = base.clone();
+        for _ in 0..1 + rng.below(3) {
+            let at = rng.below(data.len());
+            data[at] ^= (rng.next() % 255 + 1) as u8;
+        }
+        std::fs::write(&path, &data).unwrap();
+        match Manifest::load(&dir) {
+            Err(TraceIoError::Corrupt(_)) => {}
+            Err(TraceIoError::Io(e)) => panic!("unexpected io error: {e}"),
+            Ok(_) => panic!("byte-flipped manifest loaded cleanly"),
+        }
+    }
+    // And after all that abuse, `Manifest::open` still recovers the
+    // truth by scanning the intact chunks.
+    std::fs::remove_file(&path).unwrap();
+    let scanned = Manifest::open(&dir).unwrap();
+    assert_eq!(scanned.total_events(), corpus_events().len() as u64);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Declared counts far beyond the payload must error cheaply (the
@@ -182,7 +275,7 @@ fn inflated_counts_rejected() {
 /// Unknown magic values are rejected outright.
 #[test]
 fn unknown_magic_rejected() {
-    for magic in [&b"RLSCOPE0"[..], b"RLSCOPE3", b"rlscope2", b"XXXXXXXX"] {
+    for magic in [&b"RLSCOPE0"[..], b"RLSCOPE4", b"rlscope2", b"XXXXXXXX"] {
         let mut data = encode_events(&corpus_events()).to_vec();
         data[..8].copy_from_slice(magic);
         assert!(matches!(decode_events(&data), Err(TraceIoError::Corrupt(_))));

@@ -10,7 +10,10 @@
 
 use rlscope::core::compute_overlap;
 use rlscope::core::overlap::OverlapSweep;
-use rlscope::core::store::{decode_events, encode_events, encode_events_v1, TraceWriter};
+use rlscope::core::store::{
+    decode_events, encode_events, encode_events_v1, encode_events_v2, reorder_chunk_dir, Manifest,
+    TraceWriter,
+};
 use rlscope::core::trace::streamed_breakdowns_by_process;
 use std::path::{Path, PathBuf};
 
@@ -31,10 +34,12 @@ fn corpus_text(name: &str) -> String {
 }
 
 /// Decoding the checked-in chunks must reproduce the fixture exactly —
-/// both wire formats, field for field.
+/// all three wire formats, field for field. The v1/v2 fixtures predate
+/// codec v3 and must keep decoding **byte-identically** forever.
 #[test]
 fn corpus_chunks_decode_to_fixture() {
     let events = corpus_events();
+    assert_eq!(decode_events(&corpus_file("corpus_v3.rls")).unwrap(), events, "v3 decode drift");
     assert_eq!(decode_events(&corpus_file("corpus_v2.rls")).unwrap(), events, "v2 decode drift");
     assert_eq!(decode_events(&corpus_file("corpus_v1.rls")).unwrap(), events, "v1 decode drift");
     assert_eq!(
@@ -45,12 +50,18 @@ fn corpus_chunks_decode_to_fixture() {
 }
 
 /// Encoding the fixture must reproduce the checked-in bytes exactly: the
-/// wire formats are frozen, including string-table order and varint
-/// choices. (New formats get a new magic, not silent byte changes.)
+/// wire formats are frozen, including string-table order, varint
+/// choices, and the v3 footer layout. (New formats get a new magic, not
+/// silent byte changes.)
 #[test]
 fn corpus_encode_is_byte_stable() {
     let events = corpus_events();
-    assert_eq!(&encode_events(&events)[..], &corpus_file("corpus_v2.rls")[..], "v2 encode drift");
+    assert_eq!(&encode_events(&events)[..], &corpus_file("corpus_v3.rls")[..], "v3 encode drift");
+    assert_eq!(
+        &encode_events_v2(&events)[..],
+        &corpus_file("corpus_v2.rls")[..],
+        "v2 encode drift"
+    );
     assert_eq!(
         &encode_events_v1(&events)[..],
         &corpus_file("corpus_v1.rls")[..],
@@ -59,6 +70,22 @@ fn corpus_encode_is_byte_stable() {
     let extreme = encode_events(&corpus_extreme_events());
     assert_eq!(&extreme[..8], b"RLSCOPE1", "extreme timestamps must fall back to v1");
     assert_eq!(&extreme[..], &corpus_file("corpus_extreme.rls")[..], "extreme encode drift");
+}
+
+/// The chunk-directory manifest is byte-stable for the fixture's
+/// deterministic chunking — footers, file sizes, checksums and all — and
+/// `Manifest::open` agrees with a from-scratch scan of the chunks.
+#[test]
+fn corpus_manifest_is_byte_stable() {
+    let dir = std::env::temp_dir().join(format!("rlscope_golden_manifest_{}", std::process::id()));
+    let manifest_bytes = write_corpus_chunk_dir(&dir);
+    assert_eq!(
+        manifest_bytes,
+        corpus_file("corpus_manifest.bin"),
+        "manifest drift — regenerate deliberately with `cargo run --example gen_corpus`"
+    );
+    assert_eq!(Manifest::open(&dir).unwrap(), Manifest::scan(&dir).unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// The batch sweep's attribution over the corpus is frozen in canonical
@@ -122,4 +149,41 @@ fn corpus_chunk_dir_streams_to_expected_tables() {
         "streamed chunk-dir analysis drift"
     );
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The corpus carries profiler-style close-order disorder, so a
+/// bounded-lag sweep over the raw directory would reject or fall back.
+/// After `reorder_chunk_dir`, bounded mode with **zero** lag must
+/// reproduce the frozen per-pid tables exactly.
+#[test]
+fn corpus_reordered_dir_bounded_sweep_matches_expected() {
+    let src = std::env::temp_dir().join(format!("rlscope_golden_rsrc_{}", std::process::id()));
+    let dst = std::env::temp_dir().join(format!("rlscope_golden_rdst_{}", std::process::id()));
+    write_corpus_chunk_dir(&src);
+    let _ = std::fs::remove_dir_all(&dst);
+    let stats = reorder_chunk_dir(&src, &dst, 256).unwrap();
+    assert_eq!(stats.events, corpus_events().len() as u64);
+    assert!(Manifest::open(&dst).unwrap().is_start_sorted());
+    let tables =
+        streamed_breakdowns_by_process(&dst, Some(rlscope::sim::time::DurationNs::ZERO)).unwrap();
+    assert_eq!(
+        per_pid_canonical_json(&tables),
+        corpus_text("expected_by_pid.json"),
+        "reordered bounded-sweep drift"
+    );
+    std::fs::remove_dir_all(&src).unwrap();
+    std::fs::remove_dir_all(&dst).unwrap();
+}
+
+/// The Minigo phase report of one fixed round is frozen: any drift in
+/// the workload, the simulation stack's cost models, or phase-grouped
+/// analysis fails here. Regenerate deliberately with
+/// `cargo run --example gen_corpus` and review the diff.
+#[test]
+fn corpus_minigo_phase_report_matches_expected() {
+    assert_eq!(
+        minigo_phase_canonical_json(),
+        corpus_text("minigo_phase.json"),
+        "Minigo phase-report drift"
+    );
 }

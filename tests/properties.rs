@@ -369,6 +369,149 @@ proptest! {
         prop_assert_eq!(decoded, events);
     }
 
+    /// Chunk footers and the directory manifest round-trip exactly:
+    /// writing a directory, reopening it, and re-scanning its chunks all
+    /// agree footer-for-footer — so every pushdown decision made from the
+    /// stored manifest equals the one a full scan would make.
+    #[test]
+    fn footer_and_manifest_round_trip_with_identical_pushdown(
+        events in prop::collection::vec(arb_multiproc_full_event(), 0..60),
+        chunk_len in 1usize..16,
+        lo in 0u64..3_000,
+        len in 0u64..3_000,
+        pid in 0u32..4,
+    ) {
+        use rlscope::core::store::{compute_footer, read_chunk_footer, ChunkQuery, Manifest};
+
+        // The on-wire footer equals the recomputed one.
+        let encoded = encode_events(&events);
+        let footer = read_chunk_footer(&encoded).unwrap().expect("v3 chunk has a footer");
+        prop_assert_eq!(&footer, &compute_footer(&events));
+
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rlscope_prop_manifest_{}_{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = TraceWriter::create(&dir, 256).unwrap();
+        for chunk in events.chunks(chunk_len) {
+            writer.write(chunk.to_vec());
+        }
+        writer.finish().unwrap();
+
+        let stored = Manifest::load(&dir).unwrap().expect("writer emits MANIFEST");
+        let scanned = Manifest::scan(&dir).unwrap();
+        prop_assert_eq!(&stored, &scanned);
+        prop_assert_eq!(&Manifest::open(&dir).unwrap(), &stored);
+
+        // Identical pushdown decisions from the file and from the scan,
+        // and the decisions are safe: skipped chunks hold nothing the
+        // query could attribute.
+        for query in [
+            ChunkQuery { window: Some((lo, lo + len)), ..Default::default() },
+            ChunkQuery { pid: Some(pid), ..Default::default() },
+            ChunkQuery { phase: Some(std::sync::Arc::from("alpha")), ..Default::default() },
+        ] {
+            let a = stored.select(&query);
+            let b = scanned.select(&query);
+            prop_assert_eq!(&a, &b);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Manifest-pushdown queries (window, process, phase) are
+    /// table-identical to the same query over the raw in-memory events —
+    /// skipping chunks must never change a result.
+    #[test]
+    fn pushdown_queries_match_batch(
+        events in prop::collection::vec(arb_multiproc_full_event(), 0..60),
+        chunk_len in 1usize..12,
+        lo in 0u64..2_500,
+        len in 1u64..2_500,
+        pid in 0u32..4,
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rlscope_prop_pushdown_{}_{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = TraceWriter::create(&dir, 64).unwrap();
+        for chunk in events.chunks(chunk_len) {
+            writer.write(chunk.to_vec());
+        }
+        writer.finish().unwrap();
+
+        let (wlo, whi) = (TimeNs::from_nanos(lo), TimeNs::from_nanos(lo + len));
+        prop_assert_eq!(
+            Analysis::from_chunk_dir(&dir).time_window(wlo, whi).table().unwrap(),
+            Analysis::of_events(&events).time_window(wlo, whi).table().unwrap()
+        );
+        prop_assert_eq!(
+            Analysis::from_chunk_dir(&dir).process(ProcessId(pid)).table().unwrap(),
+            Analysis::of_events(&events).process(ProcessId(pid)).table().unwrap()
+        );
+        prop_assert_eq!(
+            Analysis::from_chunk_dir(&dir).phase("beta").table().unwrap(),
+            Analysis::of_events(&events).phase("beta").table().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `reorder_chunk_dir` + a **zero-lag** bounded sweep reproduces the
+    /// exact batch sweep on arbitrary (close-ordered, multi-process)
+    /// streams — the acceptance property of the start-ordered rewrite.
+    /// Small run sizes force real external merges.
+    #[test]
+    fn reordered_bounded_sweep_matches_exact_batch(
+        events in prop::collection::vec(arb_multiproc_full_event(), 0..60),
+        chunk_len in 1usize..12,
+        run_events in 4usize..24,
+    ) {
+        use rlscope::core::store::{reorder_chunk_dir_with, Manifest};
+        use rlscope::core::trace::streamed_breakdowns_by_process;
+
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let src = std::env::temp_dir().join(format!(
+            "rlscope_prop_resrc_{}_{case}", std::process::id()
+        ));
+        let dst = std::env::temp_dir().join(format!(
+            "rlscope_prop_redst_{}_{case}", std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&src);
+        let _ = std::fs::remove_dir_all(&dst);
+        let writer = TraceWriter::create(&src, 128).unwrap();
+        for chunk in events.chunks(chunk_len) {
+            writer.write(chunk.to_vec());
+        }
+        writer.finish().unwrap();
+
+        let stats = reorder_chunk_dir_with(&src, &dst, 128, run_events).unwrap();
+        prop_assert_eq!(stats.events, events.len() as u64);
+        prop_assert!(Manifest::open(&dst).unwrap().is_start_sorted());
+
+        // Merged-stream view, zero lag.
+        let bounded = Analysis::from_chunk_dir(&dst)
+            .bounded_streaming(DurationNs::ZERO)
+            .table()
+            .unwrap();
+        prop_assert_eq!(&bounded, &compute_overlap(&events));
+
+        // Per-process view, zero lag, against the batch per-pid tables.
+        let streamed = streamed_breakdowns_by_process(&dst, Some(DurationNs::ZERO)).unwrap();
+        for (pid, table) in &streamed {
+            let filtered: Vec<Event> =
+                events.iter().filter(|e| e.pid == *pid).cloned().collect();
+            prop_assert_eq!(table, &compute_overlap(&filtered));
+        }
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+
     /// The legacy v1 codec remains decodable and agrees with v2.
     #[test]
     fn v1_codec_round_trips(events in prop::collection::vec(arb_event(), 0..80)) {

@@ -5,9 +5,23 @@ pub mod channel {
     use std::fmt;
     use std::sync::mpsc;
 
-    /// Sending half of an unbounded channel.
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel (unbounded or bounded).
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: Tx<T>,
     }
 
     impl<T> Clone for Sender<T> {
@@ -27,9 +41,13 @@ pub mod channel {
     pub struct SendError<T>(pub T);
 
     impl<T> Sender<T> {
-        /// Sends a message, failing only if the receiver is gone.
+        /// Sends a message, failing only if the receiver is gone. On a
+        /// bounded channel this blocks while the buffer is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.inner {
+                Tx::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
         }
     }
 
@@ -73,6 +91,13 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (Sender { inner: Tx::Unbounded(tx) }, Receiver { inner: rx })
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages;
+    /// sends block while full (`cap == 0` is a rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: Tx::Bounded(tx) }, Receiver { inner: rx })
     }
 }
