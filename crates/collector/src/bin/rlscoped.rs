@@ -1,0 +1,71 @@
+//! `rlscoped` — the live trace collector daemon.
+//!
+//! ```text
+//! rlscoped --socket <path> --data-dir <dir> [--credits N]
+//! ```
+//!
+//! Binds the Unix-domain socket, upgrades any legacy session
+//! directories under the data dir (one-shot manifest rebuild), and
+//! serves profiling sessions and queries until killed. See the
+//! `rlscope-collector` crate docs for the wire protocol.
+
+use rlscope_collector::daemon::serve_forever;
+use rlscope_collector::{Collector, CollectorConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: rlscoped --socket <path> --data-dir <dir> [--credits N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut socket: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut credits: Option<u32> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: usize| -> String {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{} requires a value", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--socket" | "-s" => socket = Some(value(i)),
+            "--data-dir" | "-d" => data_dir = Some(value(i)),
+            "--credits" => credits = Some(value(i).parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => {
+                println!("rlscoped --socket <path> --data-dir <dir> [--credits N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                usage();
+            }
+        }
+        i += 2;
+    }
+    let (Some(socket), Some(data_dir)) = (socket, data_dir) else { usage() };
+    let mut config = CollectorConfig::new(socket, data_dir);
+    if let Some(credits) = credits {
+        config.credits = credits.max(1);
+    }
+    let collector = match Collector::bind(config) {
+        Ok(collector) => collector,
+        Err(e) => {
+            eprintln!("rlscoped: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (dir, outcome) in collector.upgraded_dirs() {
+        println!(
+            "rlscoped: upgraded legacy chunk dir {} ({} chunks, {} events, manifest {})",
+            dir.display(),
+            outcome.chunks,
+            outcome.events,
+            if outcome.written { "written" } else { "not writable" }
+        );
+    }
+    println!("rlscoped: listening on {}", collector.socket().display());
+    serve_forever(collector);
+}

@@ -1,0 +1,343 @@
+//! The client half: the raw protocol client and the profiler sink that
+//! streams a live workload into the daemon.
+
+use crate::protocol::{
+    decode_error, kind, CollectorError, QueryReply, QuerySpec, PROTOCOL_VERSION,
+};
+use parking_lot::Mutex;
+use rlscope_core::event::Event;
+use rlscope_core::profiler::EventSink;
+use rlscope_core::store::{encode_events, read_frame, write_frame};
+use std::fmt;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::Arc;
+
+/// What the daemon reported at session finish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Chunks the daemon accepted for the session.
+    pub chunks: u64,
+    /// Events the daemon accepted for the session.
+    pub events: u64,
+}
+
+/// A synchronous protocol client over one Unix-socket connection.
+///
+/// [`CollectorClient::open_session`] performs the handshake and streams
+/// chunks with credit-window backpressure ([crate docs](crate));
+/// [`CollectorClient::connect`] opens a query-only connection. Chunks
+/// are encoded with the standard codec ([`encode_events`]), so the bytes
+/// on the wire are exactly the bytes a [`rlscope_core::store::TraceWriter`]
+/// would put on disk.
+pub struct CollectorClient {
+    stream: UnixStream,
+    session: Option<String>,
+    session_id: u64,
+    credits: u32,
+    max_credits: u32,
+    events_sent: u64,
+}
+
+impl fmt::Debug for CollectorClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollectorClient")
+            .field("session", &self.session)
+            .field("credits", &self.credits)
+            .field("events_sent", &self.events_sent)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CollectorClient {
+    /// Opens a query-only connection (no session handshake).
+    ///
+    /// # Errors
+    ///
+    /// Socket connection failures.
+    pub fn connect(socket: &Path) -> Result<CollectorClient, CollectorError> {
+        let stream = UnixStream::connect(socket)?;
+        Ok(CollectorClient {
+            stream,
+            session: None,
+            session_id: 0,
+            credits: 0,
+            max_credits: 0,
+            events_sent: 0,
+        })
+    }
+
+    /// Connects and opens a profiling session named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, or the server's rejection (bad name, name
+    /// already in use, version mismatch) as [`CollectorError::Remote`].
+    pub fn open_session(socket: &Path, name: &str) -> Result<CollectorClient, CollectorError> {
+        let mut stream = UnixStream::connect(socket)?;
+        let mut hello = PROTOCOL_VERSION.to_be_bytes().to_vec();
+        hello.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        hello.extend_from_slice(name.as_bytes());
+        write_frame(&mut stream, kind::HELLO, &hello)?;
+        let (frame_kind, payload) = expect_frame(&mut stream)?;
+        match frame_kind {
+            kind::HELLO_ACK if payload.len() == 12 => {
+                let mut word = [0u8; 8];
+                word.copy_from_slice(&payload[..8]);
+                let session_id = u64::from_be_bytes(word);
+                let credits =
+                    u32::from_be_bytes(payload[8..].try_into().expect("4-byte slice")).max(1);
+                Ok(CollectorClient {
+                    stream,
+                    session: Some(name.to_string()),
+                    session_id,
+                    credits,
+                    max_credits: credits,
+                    events_sent: 0,
+                })
+            }
+            kind::ERROR => Err(decode_error(&payload)),
+            other => {
+                Err(CollectorError::Protocol(format!("unexpected HELLO reply kind {other:#04x}")))
+            }
+        }
+    }
+
+    /// The session name, when this connection opened one.
+    pub fn session(&self) -> Option<&str> {
+        self.session.as_deref()
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Events sent so far over this connection.
+    pub fn events_sent(&self) -> u64 {
+        self.events_sent
+    }
+
+    /// Encodes `events` as one codec-v3 chunk and streams it, blocking
+    /// on the credit window when the daemon applies backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side rejection of an earlier
+    /// chunk.
+    pub fn send_events(&mut self, events: &[Event]) -> Result<(), CollectorError> {
+        let chunk = encode_events(events);
+        self.send_chunk_bytes(&chunk)?;
+        self.events_sent += events.len() as u64;
+        Ok(())
+    }
+
+    /// Streams an already-encoded chunk (any format [`decode_events`]
+    /// accepts — the zero-copy path for relaying existing chunk files).
+    ///
+    /// [`decode_events`]: rlscope_core::store::decode_events
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectorClient::send_events`].
+    pub fn send_chunk_bytes(&mut self, chunk: &[u8]) -> Result<(), CollectorError> {
+        if self.session.is_none() {
+            return Err(CollectorError::Protocol("no open session".into()));
+        }
+        while self.credits == 0 {
+            self.recv_ack()?;
+        }
+        if let Err(e) = write_frame(&mut self.stream, kind::CHUNK, chunk) {
+            // A write failure mid-stream usually means the server
+            // rejected an earlier chunk and closed: its typed ERROR
+            // frame is sitting in our receive buffer behind any acks —
+            // surface that instead of an opaque broken pipe.
+            return Err(self.pending_server_error().unwrap_or(CollectorError::Io(e)));
+        }
+        self.credits -= 1;
+        Ok(())
+    }
+
+    /// Drains buffered incoming frames looking for a server `ERROR`
+    /// (skipping acks), without blocking for more than a short grace
+    /// period. Used to explain transport failures.
+    fn pending_server_error(&mut self) -> Option<CollectorError> {
+        let _ = self.stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+        let mut found = None;
+        for _ in 0..self.max_credits.max(1) + 1 {
+            match read_frame(&mut self.stream) {
+                Ok(Some((kind::ERROR, payload))) => {
+                    found = Some(decode_error(&payload));
+                    break;
+                }
+                Ok(Some((kind::CHUNK_ACK, _))) => continue,
+                _ => break,
+            }
+        }
+        let _ = self.stream.set_read_timeout(None);
+        found
+    }
+
+    fn recv_ack(&mut self) -> Result<(), CollectorError> {
+        let (frame_kind, payload) = expect_frame(&mut self.stream)?;
+        match frame_kind {
+            kind::CHUNK_ACK => {
+                self.credits += 1;
+                Ok(())
+            }
+            kind::ERROR => Err(decode_error(&payload)),
+            other => {
+                Err(CollectorError::Protocol(format!("unexpected ack frame kind {other:#04x}")))
+            }
+        }
+    }
+
+    /// Blocks until every in-flight chunk is acknowledged — the barrier
+    /// before a query or finish, so replies cannot interleave with acks.
+    fn drain_acks(&mut self) -> Result<(), CollectorError> {
+        while self.credits < self.max_credits {
+            self.recv_ack()?;
+        }
+        Ok(())
+    }
+
+    /// Runs a query. On a session connection, outstanding chunk acks are
+    /// drained first, so the reply reflects at least every chunk this
+    /// client has sent (its own writes are always visible).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side error reply.
+    pub fn query(&mut self, spec: &QuerySpec) -> Result<QueryReply, CollectorError> {
+        if self.session.is_some() {
+            self.drain_acks()?;
+        }
+        write_frame(&mut self.stream, kind::QUERY, &spec.encode())?;
+        let (frame_kind, payload) = expect_frame(&mut self.stream)?;
+        match frame_kind {
+            kind::QUERY_OK => QueryReply::decode(&payload),
+            kind::ERROR => Err(decode_error(&payload)),
+            other => {
+                Err(CollectorError::Protocol(format!("unexpected query reply kind {other:#04x}")))
+            }
+        }
+    }
+
+    /// Finishes the session durably: drains acks, sends `FINISH`, and
+    /// waits for the daemon's acknowledgment (chunk files flushed,
+    /// manifest written). The connection stays usable for queries.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side error reply.
+    pub fn finish(&mut self) -> Result<SessionSummary, CollectorError> {
+        if self.session.is_none() {
+            return Err(CollectorError::Protocol("no open session to finish".into()));
+        }
+        self.drain_acks()?;
+        write_frame(&mut self.stream, kind::FINISH, &[])?;
+        let (frame_kind, payload) = expect_frame(&mut self.stream)?;
+        match frame_kind {
+            kind::FINISH_ACK if payload.len() == 16 => {
+                let mut word = [0u8; 8];
+                word.copy_from_slice(&payload[..8]);
+                let chunks = u64::from_be_bytes(word);
+                word.copy_from_slice(&payload[8..]);
+                let events = u64::from_be_bytes(word);
+                self.session = None;
+                Ok(SessionSummary { chunks, events })
+            }
+            kind::ERROR => Err(decode_error(&payload)),
+            other => {
+                Err(CollectorError::Protocol(format!("unexpected finish reply kind {other:#04x}")))
+            }
+        }
+    }
+}
+
+fn expect_frame(stream: &mut UnixStream) -> Result<(u8, Vec<u8>), CollectorError> {
+    match read_frame(stream)? {
+        Some(frame) => Ok(frame),
+        None => Err(CollectorError::Protocol("server closed the connection".into())),
+    }
+}
+
+/// An [`EventSink`] that streams a profiler's events into a collector
+/// session — attach with
+/// [`Profiler::stream_to`](rlscope_core::profiler::Profiler::stream_to)
+/// and the workload's trace flows to the daemon while it runs.
+///
+/// `emit` cannot return errors through the profiler, so transport
+/// failures are latched: the first error stops further sends and is
+/// surfaced by [`CollectorSink::finish`] (or [`CollectorSink::take_error`]).
+pub struct CollectorSink {
+    client: Mutex<Option<CollectorClient>>,
+    error: Mutex<Option<CollectorError>>,
+}
+
+impl fmt::Debug for CollectorSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollectorSink").finish_non_exhaustive()
+    }
+}
+
+impl CollectorSink {
+    /// Connects and opens a session (see
+    /// [`CollectorClient::open_session`]).
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect(socket: &Path, session: &str) -> Result<Arc<CollectorSink>, CollectorError> {
+        let client = CollectorClient::open_session(socket, session)?;
+        Ok(Arc::new(CollectorSink { client: Mutex::new(Some(client)), error: Mutex::new(None) }))
+    }
+
+    /// Finishes the session durably, surfacing any latched streaming
+    /// error first. The underlying connection stays open for queries.
+    ///
+    /// # Errors
+    ///
+    /// A latched transport error from `emit`, or the finish exchange's
+    /// own failure.
+    pub fn finish(&self) -> Result<SessionSummary, CollectorError> {
+        if let Some(e) = self.error.lock().take() {
+            return Err(e);
+        }
+        let mut guard = self.client.lock();
+        let client =
+            guard.as_mut().ok_or_else(|| CollectorError::Protocol("sink disconnected".into()))?;
+        client.finish()
+    }
+
+    /// Runs a query over this sink's connection (e.g. asking about the
+    /// session itself, mid-run).
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectorClient::query`].
+    pub fn query(&self, spec: &QuerySpec) -> Result<QueryReply, CollectorError> {
+        let mut guard = self.client.lock();
+        let client =
+            guard.as_mut().ok_or_else(|| CollectorError::Protocol("sink disconnected".into()))?;
+        client.query(spec)
+    }
+
+    /// Takes the latched streaming error, if any.
+    pub fn take_error(&self) -> Option<CollectorError> {
+        self.error.lock().take()
+    }
+}
+
+impl EventSink for CollectorSink {
+    fn emit(&self, events: Vec<Event>) {
+        if self.error.lock().is_some() {
+            return; // poisoned: the session already failed
+        }
+        let mut guard = self.client.lock();
+        let Some(client) = guard.as_mut() else { return };
+        if let Err(e) = client.send_events(&events) {
+            *self.error.lock() = Some(e);
+        }
+    }
+}

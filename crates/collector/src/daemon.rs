@@ -1,0 +1,777 @@
+//! The collector daemon: socket accept loop, per-session ingest, live
+//! and finished-dir query execution, and the keyed result cache.
+
+use crate::protocol::{
+    encode_error, kind, CollectorError, ErrorCode, QueryReply, QuerySpec, QueryTarget,
+    PROTOCOL_VERSION,
+};
+use parking_lot::Mutex;
+use rlscope_core::analysis::{Analysis, AnalysisError, LiveState};
+use rlscope_core::event::Event;
+use rlscope_core::store::{
+    compute_footer, decode_events, list_chunk_files, read_chunk_footer, read_frame,
+    upgrade_chunk_dir, write_frame, Manifest, ManifestEntry, ManifestUpgrade, TraceIoError,
+    MANIFEST_FILE,
+};
+use rlscope_sim::ids::ProcessId;
+use rlscope_sim::time::TimeNs;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::fs;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Unix-domain socket path to listen on (created at bind, removed at
+    /// shutdown; a stale file from a dead daemon is replaced).
+    pub socket: PathBuf,
+    /// Directory under which each session gets its chunk directory.
+    /// Session chunk files are the client's flush batches persisted
+    /// verbatim (see [`Collector`]'s session store), so chunk
+    /// granularity is chosen client-side.
+    pub data_dir: PathBuf,
+    /// Credit window granted to each session connection (max unacked
+    /// `CHUNK` frames in flight — the explicit backpressure bound).
+    pub credits: u32,
+    /// Finished-target query results cached (FIFO eviction).
+    pub cache_capacity: usize,
+    /// Force the decode→apply pipeline on (`Some(true)`) or off
+    /// (`Some(false)`); `None` picks by available parallelism — a
+    /// dedicated apply thread per session only pays when there is a core
+    /// for it.
+    pub apply_pipeline: Option<bool>,
+}
+
+impl CollectorConfig {
+    /// A config with default tuning (8 credits, 256 cached results).
+    pub fn new(socket: impl Into<PathBuf>, data_dir: impl Into<PathBuf>) -> Self {
+        CollectorConfig {
+            socket: socket.into(),
+            data_dir: data_dir.into(),
+            credits: 8,
+            cache_capacity: 256,
+            apply_pipeline: None,
+        }
+    }
+}
+
+/// One profiling session's server-side state.
+///
+/// Ingest is a two-stage pipeline per session: the connection thread
+/// decodes and validates each chunk, then hands the decoded events to
+/// the session's **apply thread** over a bounded channel (the bounded
+/// per-connection buffer — at most [`APPLY_QUEUE_CHUNKS`] decoded chunks
+/// in flight). The apply thread pushes them into the live sweeps and
+/// the chunk store, so decode overlaps sweeping and single-session
+/// ingest is not serialized on the sum of both costs. (On single-core
+/// hosts the pipeline is skipped and chunks apply inline — same
+/// [`Session::apply_chunk`] path, no context-switch tax.)
+///
+/// Chunks apply atomically — the whole-chunk sweep push under the
+/// `live` lock, then counters and the verbatim persist under the
+/// `state` lock — and live snapshots run **after** a flush barrier
+/// (queries wait until every chunk enqueued before them has applied).
+/// That is what makes a live query a *consistent prefix*: it observes
+/// whole chunks, in order, including every chunk the querying client
+/// has been acked.
+struct Session {
+    name: String,
+    dir: PathBuf,
+    state: Mutex<SessionState>,
+    /// The live sweeps, under their own lock so a whole-chunk sweep push
+    /// never blocks the connection thread's (short) state accesses —
+    /// only the apply thread and snapshots touch it. Lock order: `state`
+    /// may be held while taking `live`, never the reverse.
+    live: Mutex<LiveState>,
+    /// Monotonic enqueue/apply counters driving the flush barrier. (std
+    /// primitives: the vendored parking_lot stub has no Condvar.)
+    progress: std::sync::Mutex<ApplyProgress>,
+    applied: std::sync::Condvar,
+}
+
+/// Monotonic pipeline counters: `enqueued` advances when the connection
+/// thread hands a chunk to the apply stage, `applied` when the apply
+/// stage resolves it (applied, or discarded after a failure — the
+/// counters must stay reconciled so barriers never wait forever).
+#[derive(Debug, Default, Clone, Copy)]
+struct ApplyProgress {
+    enqueued: u64,
+    applied: u64,
+}
+
+/// Decoded chunks the apply queue may hold — the bound on per-session
+/// in-flight memory between decode and apply.
+const APPLY_QUEUE_CHUNKS: usize = 8;
+
+/// The session's durable half: received chunk payloads are persisted
+/// **verbatim** — they are codec-v3 chunks, already validated end to end
+/// by the ingest decode — so the collector never re-encodes a byte, and
+/// the on-disk directory is exactly what a [`TraceWriter`] run would
+/// leave behind (`chunk_NNNNN.rls` files plus a `MANIFEST` at finish,
+/// with chunk granularity set by the client's flush batches).
+///
+/// [`TraceWriter`]: rlscope_core::store::TraceWriter
+struct ChunkStore {
+    dir: PathBuf,
+    entries: Vec<ManifestEntry>,
+    seq: u32,
+}
+
+impl ChunkStore {
+    /// Creates the session directory, clearing stale chunks and any old
+    /// `MANIFEST` (same reused-directory semantics as
+    /// `TraceWriter::create`).
+    fn create(dir: &Path) -> Result<ChunkStore, TraceIoError> {
+        fs::create_dir_all(dir)?;
+        for stale in list_chunk_files(dir)? {
+            fs::remove_file(stale)?;
+        }
+        let manifest = dir.join(MANIFEST_FILE);
+        if manifest.exists() {
+            fs::remove_file(&manifest)?;
+        }
+        Ok(ChunkStore { dir: dir.to_path_buf(), entries: Vec::new(), seq: 0 })
+    }
+
+    /// Persists one validated chunk payload verbatim and indexes its
+    /// footer (parsed from the v3 trailer; computed from the decoded
+    /// events for v1-fallback payloads, whose wire format carries none).
+    fn append(&mut self, payload: &[u8], events: &[Event]) -> Result<(), TraceIoError> {
+        let file = format!("chunk_{:05}.rls", self.seq);
+        fs::write(self.dir.join(&file), payload)?;
+        self.seq += 1;
+        let footer = match read_chunk_footer(payload)? {
+            Some(footer) => footer,
+            None => compute_footer(events),
+        };
+        self.entries.push(ManifestEntry { file, size: payload.len() as u64, footer });
+        Ok(())
+    }
+
+    /// Writes the manifest; the directory is then fully query-ready
+    /// (pushdown included) without any scan.
+    fn finish(&mut self) -> Result<(), TraceIoError> {
+        Manifest::from_entries(&self.dir, std::mem::take(&mut self.entries)).write()
+    }
+}
+
+struct SessionState {
+    /// `Some` while the session accepts chunks; taken at finish (which
+    /// writes the manifest) and flushed best-effort on abort.
+    store: Option<ChunkStore>,
+    /// Decoded-chunk channel into the apply thread; dropped at finish or
+    /// abort so the thread drains and exits.
+    apply_tx: Option<crossbeam::channel::Sender<(Vec<u8>, Vec<Event>)>>,
+    apply_thread: Option<JoinHandle<()>>,
+    /// First apply-stage failure; poisons the session (reported, with
+    /// its error class, on the next chunk, query, or finish).
+    apply_error: Option<(ErrorCode, String)>,
+    chunks: u64,
+    events: u64,
+    finished: bool,
+    aborted: bool,
+}
+
+impl Session {
+    /// Applies one validated chunk: live sweeps, then counters and the
+    /// verbatim persist — the single code path both the pipelined apply
+    /// thread and the single-core inline mode run. Sweep rejections are
+    /// client-data problems ([`ErrorCode::Protocol`]); store failures
+    /// are server-side [`ErrorCode::Io`].
+    fn apply_chunk(&self, payload: &[u8], events: &[Event]) -> Result<(), ConnError> {
+        {
+            let mut live = self.live.lock();
+            live.push_batch(events).map_err(|e| (ErrorCode::Protocol, e.to_string()))?;
+        }
+        let mut state = self.state.lock();
+        if let Some(store) = &mut state.store {
+            store.append(payload, events).map_err(|e| (ErrorCode::Io, e.to_string()))?;
+            state.events += events.len() as u64;
+            state.chunks += 1;
+        }
+        Ok(())
+    }
+
+    /// Blocks until every chunk enqueued **before this call** has been
+    /// applied — the barrier before any live snapshot. Deliberately not
+    /// "wait for an empty queue": under sustained ingest a saturated
+    /// pipeline may never drain, and a query only needs the chunks its
+    /// sender was acked, all of which were enqueued before the query
+    /// frame was read.
+    fn flush_applies(&self) {
+        let mut progress = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        let target = progress.enqueued;
+        while progress.applied < target {
+            progress = self.applied.wait(progress).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops the apply thread (drains the queue first) — finish and
+    /// abort both funnel through here.
+    fn stop_apply_thread(&self) {
+        let (tx, thread) = {
+            let mut state = self.state.lock();
+            (state.apply_tx.take(), state.apply_thread.take())
+        };
+        drop(tx);
+        if let Some(thread) = thread {
+            let _ = thread.join();
+        }
+    }
+}
+
+struct CachedResult {
+    checksum: u64,
+    events: u64,
+    json: String,
+}
+
+/// Finished-target query results keyed by `(target dir, query bytes)`,
+/// invalidated by manifest checksum, FIFO-evicted at capacity.
+struct QueryCache {
+    map: HashMap<(String, Vec<u8>), CachedResult>,
+    order: VecDeque<(String, Vec<u8>)>,
+    capacity: usize,
+}
+
+impl QueryCache {
+    fn new(capacity: usize) -> Self {
+        QueryCache { map: HashMap::new(), order: VecDeque::new(), capacity: capacity.max(1) }
+    }
+
+    fn get(&self, key: &(String, Vec<u8>), checksum: u64) -> Option<(u64, String)> {
+        self.map.get(key).filter(|c| c.checksum == checksum).map(|c| (c.events, c.json.clone()))
+    }
+
+    fn insert(&mut self, key: (String, Vec<u8>), value: CachedResult) {
+        if !self.map.contains_key(&key) {
+            self.order.push_back(key.clone());
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+        self.map.insert(key, value);
+    }
+}
+
+struct Daemon {
+    config: CollectorConfig,
+    sessions: Mutex<HashMap<String, Arc<Session>>>,
+    cache: Mutex<QueryCache>,
+    next_session_id: AtomicU64,
+    next_conn_id: AtomicU64,
+    shutdown: AtomicBool,
+    /// Clones of live connection streams, keyed by connection id
+    /// (handlers deregister themselves on exit); shut down to unblock
+    /// handler threads at daemon shutdown.
+    conn_streams: Mutex<HashMap<u64, UnixStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The collector daemon (the library form of the `rlscoped` binary):
+/// binds a Unix-domain socket, serves session and query connections on
+/// per-connection threads, and shuts down cleanly on drop. See the
+/// [crate docs](crate) for the protocol.
+pub struct Collector {
+    daemon: Arc<Daemon>,
+    accept_thread: Option<JoinHandle<()>>,
+    upgraded: Vec<(PathBuf, ManifestUpgrade)>,
+}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector")
+            .field("socket", &self.daemon.config.socket)
+            .field("data_dir", &self.daemon.config.data_dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Collector {
+    /// Binds the socket and starts serving.
+    ///
+    /// Creates the data directory, replaces a stale socket file, and —
+    /// before accepting any connection — runs the one-shot
+    /// [`upgrade_chunk_dir`] pass over every existing session directory,
+    /// so finished sessions from previous daemon runs answer their first
+    /// filtered query from a manifest instead of a full scan
+    /// ([`Collector::upgraded_dirs`] reports what was rebuilt).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or socket errors. Per-directory upgrade failures are
+    /// skipped, not fatal — a corrupt old session must not keep the
+    /// daemon from starting.
+    pub fn bind(config: CollectorConfig) -> Result<Collector, CollectorError> {
+        fs::create_dir_all(&config.data_dir).map_err(rlscope_core::store::TraceIoError::from)?;
+        let mut upgraded = Vec::new();
+        if let Ok(entries) = fs::read_dir(&config.data_dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let has_chunks =
+                    path.is_dir() && list_chunk_files(&path).is_ok_and(|f| !f.is_empty());
+                if !has_chunks {
+                    continue;
+                }
+                if let Ok(outcome) = upgrade_chunk_dir(&path) {
+                    if outcome.rebuilt {
+                        upgraded.push((path, outcome));
+                    }
+                }
+            }
+        }
+        if config.socket.exists() {
+            fs::remove_file(&config.socket).map_err(rlscope_core::store::TraceIoError::from)?;
+        }
+        let listener =
+            UnixListener::bind(&config.socket).map_err(rlscope_core::store::TraceIoError::from)?;
+        let cache = QueryCache::new(config.cache_capacity);
+        let daemon = Arc::new(Daemon {
+            config,
+            sessions: Mutex::new(HashMap::new()),
+            cache: Mutex::new(cache),
+            next_session_id: AtomicU64::new(1),
+            next_conn_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            conn_streams: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let accept_daemon = daemon.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_daemon.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_id = accept_daemon.next_conn_id.fetch_add(1, Ordering::SeqCst);
+                if let Ok(clone) = stream.try_clone() {
+                    accept_daemon.conn_streams.lock().insert(conn_id, clone);
+                }
+                let conn_daemon = accept_daemon.clone();
+                let handle = std::thread::spawn(move || {
+                    handle_connection(&conn_daemon, stream);
+                    conn_daemon.conn_streams.lock().remove(&conn_id);
+                });
+                let mut threads = accept_daemon.conn_threads.lock();
+                threads.retain(|h| !h.is_finished());
+                threads.push(handle);
+            }
+        });
+        Ok(Collector { daemon, accept_thread: Some(accept_thread), upgraded })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &Path {
+        &self.daemon.config.socket
+    }
+
+    /// Legacy session directories whose manifest the startup upgrade
+    /// pass rebuilt.
+    pub fn upgraded_dirs(&self) -> &[(PathBuf, ManifestUpgrade)] {
+        &self.upgraded
+    }
+
+    /// Session names currently registered, with their finished flag.
+    pub fn sessions(&self) -> Vec<(String, bool)> {
+        self.daemon
+            .sessions
+            .lock()
+            .values()
+            .map(|s| (s.name.clone(), s.state.lock().finished))
+            .collect()
+    }
+
+    /// Stops accepting, disconnects live connections, joins all threads,
+    /// and removes the socket file. Sessions still streaming are marked
+    /// aborted (their data so far stays on disk).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.daemon.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = UnixStream::connect(&self.daemon.config.socket);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for (_, stream) in self.daemon.conn_streams.lock().drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<_> = self.daemon.conn_threads.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let _ = fs::remove_file(&self.daemon.config.socket);
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Blocks serving until the process is killed — the `rlscoped` binary's
+/// main loop.
+pub fn serve_forever(collector: Collector) -> ! {
+    let _collector = collector;
+    loop {
+        std::thread::park();
+    }
+}
+
+type ConnError = (ErrorCode, String);
+
+fn send_error(stream: &mut UnixStream, code: ErrorCode, message: &str) {
+    let _ = write_frame(stream, kind::ERROR, &encode_error(code, message));
+}
+
+fn handle_connection(daemon: &Daemon, mut stream: UnixStream) {
+    let mut session: Option<Arc<Session>> = None;
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // clean EOF at a frame boundary
+            Err(e) => {
+                send_error(&mut stream, ErrorCode::Protocol, &e.to_string());
+                break;
+            }
+        };
+        let outcome: Result<(), ConnError> = match frame.0 {
+            kind::HELLO => handle_hello(daemon, &mut stream, &mut session, &frame.1),
+            kind::CHUNK => handle_chunk(&mut stream, session.as_deref(), frame.1),
+            kind::FINISH => {
+                let result = handle_finish(&mut stream, session.as_deref());
+                if result.is_ok() {
+                    session = None; // clean finish: nothing to abort
+                }
+                result
+            }
+            kind::QUERY => handle_query(daemon, &mut stream, &frame.1),
+            other => Err((ErrorCode::Protocol, format!("unexpected frame kind {other:#04x}"))),
+        };
+        if let Err((code, message)) = outcome {
+            send_error(&mut stream, code, &message);
+            break;
+        }
+    }
+    // Any path out of the loop with a session still open — truncated
+    // stream, protocol error, daemon shutdown — aborts it: the data so
+    // far stays queryable, but it is never reported finished.
+    if let Some(session) = session {
+        session.stop_apply_thread();
+        let mut state = session.state.lock();
+        if !state.finished {
+            state.aborted = true;
+            // Best-effort manifest for the partial directory, so the
+            // chunks that did land stay analyzable without a scan.
+            if let Some(mut store) = state.store.take() {
+                let _ = store.finish();
+            }
+        }
+    }
+}
+
+fn valid_session_name(name: &str) -> bool {
+    (1..=64).contains(&name.len())
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+        && !name.bytes().all(|b| b == b'.')
+}
+
+fn handle_hello(
+    daemon: &Daemon,
+    stream: &mut UnixStream,
+    session: &mut Option<Arc<Session>>,
+    payload: &[u8],
+) -> Result<(), ConnError> {
+    if session.is_some() {
+        return Err((ErrorCode::Protocol, "second HELLO on one connection".into()));
+    }
+    if payload.len() < 6 {
+        return Err((ErrorCode::Protocol, "truncated HELLO".into()));
+    }
+    let version = u32::from_be_bytes(payload[..4].try_into().expect("4-byte slice"));
+    if version != PROTOCOL_VERSION {
+        return Err((
+            ErrorCode::Version,
+            format!("protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"),
+        ));
+    }
+    let name_len = u16::from_be_bytes([payload[4], payload[5]]) as usize;
+    if payload.len() != 6 + name_len {
+        return Err((ErrorCode::Protocol, "HELLO length mismatch".into()));
+    }
+    let Ok(name) = std::str::from_utf8(&payload[6..]) else {
+        return Err((ErrorCode::BadSessionName, "non-utf8 session name".into()));
+    };
+    if !valid_session_name(name) {
+        return Err((
+            ErrorCode::BadSessionName,
+            format!("bad session name {name:?} (want [A-Za-z0-9_.-]{{1,64}})"),
+        ));
+    }
+    let dir = daemon.config.data_dir.join(name);
+    let mut sessions = daemon.sessions.lock();
+    if sessions.contains_key(name) {
+        return Err((ErrorCode::SessionExists, format!("session {name:?} already exists")));
+    }
+    // The registry dedupes names only within this daemon's lifetime; a
+    // directory holding chunks (or a manifest) is durable data from an
+    // earlier run — refuse rather than silently wipe it. Pick a fresh
+    // name, or query the old data via a Dir-target query.
+    let prior_data = dir.is_dir()
+        && (dir.join(MANIFEST_FILE).exists()
+            || list_chunk_files(&dir).is_ok_and(|files| !files.is_empty()));
+    if prior_data {
+        return Err((
+            ErrorCode::SessionExists,
+            format!("session {name:?} has durable data from a previous daemon run"),
+        ));
+    }
+    let store = ChunkStore::create(&dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
+    // Decode→apply pipelining only pays when there is a core to run the
+    // apply stage on; on a single-CPU host the extra thread is pure
+    // context-switch overhead, so chunks apply inline on the connection
+    // thread (same `apply_chunk` code path either way).
+    let pipelined = daemon
+        .config
+        .apply_pipeline
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1);
+    let new = Arc::new(Session {
+        name: name.to_string(),
+        dir,
+        state: Mutex::new(SessionState {
+            store: Some(store),
+            apply_tx: None,
+            apply_thread: None,
+            apply_error: None,
+            chunks: 0,
+            events: 0,
+            finished: false,
+            aborted: false,
+        }),
+        live: Mutex::new(LiveState::new()),
+        progress: std::sync::Mutex::new(ApplyProgress::default()),
+        applied: std::sync::Condvar::new(),
+    });
+    if pipelined {
+        let (apply_tx, apply_rx) =
+            crossbeam::channel::bounded::<(Vec<u8>, Vec<Event>)>(APPLY_QUEUE_CHUNKS);
+        let apply_session = new.clone();
+        let apply_thread = std::thread::spawn(move || {
+            while let Some((payload, events)) = apply_rx.recv() {
+                if let Err(error) = apply_session.apply_chunk(&payload, &events) {
+                    let mut state = apply_session.state.lock();
+                    if state.apply_error.is_none() {
+                        state.apply_error = Some(error);
+                    }
+                }
+                let mut progress = apply_session.progress.lock().unwrap_or_else(|e| e.into_inner());
+                progress.applied += 1;
+                apply_session.applied.notify_all();
+            }
+        });
+        let mut state = new.state.lock();
+        state.apply_tx = Some(apply_tx);
+        state.apply_thread = Some(apply_thread);
+    }
+    sessions.insert(name.to_string(), new.clone());
+    drop(sessions);
+    *session = Some(new);
+    let id = daemon.next_session_id.fetch_add(1, Ordering::SeqCst);
+    let mut ack = id.to_be_bytes().to_vec();
+    ack.extend_from_slice(&daemon.config.credits.max(1).to_be_bytes());
+    write_frame(stream, kind::HELLO_ACK, &ack).map_err(io_err)?;
+    Ok(())
+}
+
+fn handle_chunk(
+    stream: &mut UnixStream,
+    session: Option<&Session>,
+    payload: Vec<u8>,
+) -> Result<(), ConnError> {
+    let session = session.ok_or((ErrorCode::Protocol, "CHUNK before HELLO".to_string()))?;
+    // The payload is a codec-v3 chunk: decode validates everything —
+    // framing, varints, string ids, the footer cross-check — before a
+    // single event enters the session.
+    let events = decode_events(&payload).map_err(|e| (ErrorCode::CorruptChunk, e.to_string()))?;
+    let accepted = events.len() as u32;
+    let apply_tx = {
+        let state = session.state.lock();
+        if let Some(err) = &state.apply_error {
+            return Err(err.clone());
+        }
+        if state.apply_tx.is_none() && state.store.is_none() {
+            return Err((ErrorCode::Protocol, "CHUNK after FINISH".into()));
+        }
+        state.apply_tx.clone()
+    };
+    match apply_tx {
+        Some(apply_tx) => {
+            // Count the chunk as enqueued before sending, so the flush
+            // barrier can never observe a sent-but-uncounted chunk; the
+            // bounded send then blocks (backpressure) when the apply
+            // stage lags.
+            session.progress.lock().unwrap_or_else(|e| e.into_inner()).enqueued += 1;
+            if apply_tx.send((payload, events)).is_err() {
+                // The chunk will never apply; count it resolved so
+                // barriers taken against the bumped `enqueued` cannot
+                // wait forever.
+                let mut progress = session.progress.lock().unwrap_or_else(|e| e.into_inner());
+                progress.applied += 1;
+                session.applied.notify_all();
+                return Err((ErrorCode::Io, "session apply stage is gone".into()));
+            }
+        }
+        // Single-core inline mode: apply synchronously before the ack.
+        None => session.apply_chunk(&payload, &events)?,
+    }
+    write_frame(stream, kind::CHUNK_ACK, &accepted.to_be_bytes()).map_err(io_err)?;
+    Ok(())
+}
+
+fn handle_finish(stream: &mut UnixStream, session: Option<&Session>) -> Result<(), ConnError> {
+    let session = session.ok_or((ErrorCode::Protocol, "FINISH before HELLO".to_string()))?;
+    // Drain and stop the apply stage first, so every accepted chunk has
+    // reached the writer before it is flushed.
+    session.stop_apply_thread();
+    let (chunks, events) = {
+        let mut state = session.state.lock();
+        if let Some(err) = state.apply_error.take() {
+            state.aborted = true;
+            state.store = None;
+            return Err(err);
+        }
+        let mut store =
+            state.store.take().ok_or((ErrorCode::Protocol, "second FINISH".to_string()))?;
+        store.finish().map_err(|e| (ErrorCode::Io, e.to_string()))?;
+        state.finished = true;
+        (state.chunks, state.events)
+    };
+    // Finished queries route to the chunk directory (full query
+    // surface, manifest pushdown, result cache) — release the live
+    // sweep memory.
+    *session.live.lock() = LiveState::new();
+    let mut ack = chunks.to_be_bytes().to_vec();
+    ack.extend_from_slice(&events.to_be_bytes());
+    write_frame(stream, kind::FINISH_ACK, &ack).map_err(io_err)?;
+    Ok(())
+}
+
+fn handle_query(daemon: &Daemon, stream: &mut UnixStream, payload: &[u8]) -> Result<(), ConnError> {
+    let spec = QuerySpec::decode(payload).map_err(|e| (ErrorCode::Protocol, e.to_string()))?;
+    let reply = run_query(daemon, &spec)?;
+    write_frame(stream, kind::QUERY_OK, &reply.encode()).map_err(io_err)?;
+    Ok(())
+}
+
+fn run_query(daemon: &Daemon, spec: &QuerySpec) -> Result<QueryReply, ConnError> {
+    match &spec.target {
+        QueryTarget::Session(name) => {
+            let session = daemon
+                .sessions
+                .lock()
+                .get(name)
+                .cloned()
+                .ok_or((ErrorCode::UnknownTarget, format!("no session {name:?}")))?;
+            // Flush barrier: wait until everything enqueued before the
+            // query is applied, so the snapshot covers every chunk
+            // acked to any producer so far.
+            session.flush_applies();
+            let live_tables = {
+                // State first, live nested — the one sanctioned nesting
+                // (see the Session lock-order note): checking `finished`
+                // and snapshotting must be atomic against a concurrent
+                // finish resetting the live state.
+                let state = session.state.lock();
+                if let Some(err) = &state.apply_error {
+                    return Err(err.clone());
+                }
+                if state.finished {
+                    None
+                } else {
+                    Some(session.live.lock().snapshot())
+                }
+            };
+            match live_tables {
+                Some(tables) => {
+                    let analysis = apply_spec(Analysis::of_live(&tables), spec);
+                    let json = analysis.canonical_json().map_err(analysis_err)?;
+                    Ok(QueryReply {
+                        live: true,
+                        cache_hit: false,
+                        events_observed: tables.events_observed(),
+                        canonical_json: json,
+                    })
+                }
+                None => dir_query(daemon, &session.dir, spec),
+            }
+        }
+        QueryTarget::Dir(path) => {
+            let dir = PathBuf::from(path);
+            if !dir.is_dir() {
+                return Err((ErrorCode::UnknownTarget, format!("no chunk directory {path:?}")));
+            }
+            dir_query(daemon, &dir, spec)
+        }
+    }
+}
+
+/// Finished-directory query: manifest pushdown via
+/// [`Analysis::from_chunk_dir`], fronted by the checksum-keyed cache.
+fn dir_query(daemon: &Daemon, dir: &Path, spec: &QuerySpec) -> Result<QueryReply, ConnError> {
+    let manifest = Manifest::open(dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
+    let checksum = manifest.checksum();
+    let key = (dir.to_string_lossy().into_owned(), spec.encode());
+    if let Some((events, json)) = daemon.cache.lock().get(&key, checksum) {
+        return Ok(QueryReply {
+            live: false,
+            cache_hit: true,
+            events_observed: events,
+            canonical_json: json,
+        });
+    }
+    let analysis = apply_spec(Analysis::from_chunk_dir(dir), spec);
+    let json = analysis.canonical_json().map_err(analysis_err)?;
+    let events = manifest.total_events();
+    daemon.cache.lock().insert(key, CachedResult { checksum, events, json: json.clone() });
+    Ok(QueryReply { live: false, cache_hit: false, events_observed: events, canonical_json: json })
+}
+
+/// Applies a wire query spec to an [`Analysis`] builder.
+fn apply_spec<'a>(mut analysis: Analysis<'a>, spec: &'a QuerySpec) -> Analysis<'a> {
+    if let Some(phase) = &spec.phase {
+        analysis = analysis.phase(phase);
+    }
+    if let Some(pid) = spec.process {
+        analysis = analysis.process(ProcessId(pid));
+    }
+    if let Some(op) = &spec.operation {
+        analysis = analysis.operation(op);
+    }
+    if let Some((lo, hi)) = spec.window {
+        analysis = analysis.time_window(TimeNs::from_nanos(lo), TimeNs::from_nanos(hi));
+    }
+    analysis.group_by(spec.dims.iter().copied())
+}
+
+fn io_err(e: rlscope_core::store::TraceIoError) -> ConnError {
+    (ErrorCode::Io, e.to_string())
+}
+
+fn analysis_err(e: AnalysisError) -> ConnError {
+    match e {
+        AnalysisError::Unsupported(msg) => (ErrorCode::UnsupportedQuery, msg),
+        AnalysisError::Io(e) => (ErrorCode::Io, e.to_string()),
+    }
+}

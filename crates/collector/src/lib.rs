@@ -1,0 +1,103 @@
+//! # rlscope-collector — the live trace collector daemon
+//!
+//! The paper's workflow is strictly post-hoc: profilers dump chunk
+//! files, analysis runs later. This crate makes measurement
+//! infrastructure **always-on**: a daemon (`rlscoped`, [`Collector`])
+//! accepts many concurrent profiling sessions over Unix-domain sockets,
+//! shards each session onto its own chunk directory (the exact on-disk
+//! format a [`TraceWriter`] produces — `chunk_NNNNN.rls` files plus a
+//! `MANIFEST` — but with validated chunk payloads persisted **verbatim**,
+//! so ingest never re-encodes a byte), feeds every accepted chunk into
+//! per-session incremental
+//! sweeps ([`rlscope_core::analysis::LiveState`]), and answers
+//! [`Analysis`]-shaped queries — filters, `group_by`, canonical JSON —
+//! over sessions that are **still streaming** as well as over finished
+//! directories (the latter through [`Manifest`] predicate pushdown and a
+//! result cache keyed by manifest checksum).
+//!
+//! The client half is [`CollectorClient`] (the raw protocol) and
+//! [`CollectorSink`] (a [`rlscope_core::profiler::EventSink`], so an
+//! existing workload streams live by calling
+//! [`Profiler::stream_to`](rlscope_core::profiler::Profiler::stream_to)
+//! instead of writing files).
+//!
+//! # Wire protocol
+//!
+//! Transport framing is [`rlscope_core::store::write_frame`] /
+//! [`read_frame`]: `len:u32 BE | kind:u8 | payload`, payloads capped at
+//! [`MAX_FRAME_LEN`](rlscope_core::store::MAX_FRAME_LEN). **Chunk
+//! payloads are codec-v3 chunk bodies** ([`encode_events`] bytes), so
+//! ingest reuses [`decode_events`] and inherits its fuzz-hardened error
+//! paths — every malformed byte surfaces as a protocol error, never a
+//! panic or a silently dropped event.
+//!
+//! | kind | dir | name | payload |
+//! |------|-----|------------|---------|
+//! | `0x01` | C→S | `HELLO` | `version:u32` \| `name_len:u16` \| session name |
+//! | `0x02` | C→S | `CHUNK` | one codec-v3 chunk ([`encode_events`]) |
+//! | `0x03` | C→S | `FINISH` | empty |
+//! | `0x04` | C→S | `QUERY` | a [`QuerySpec`] (see its docs for the byte layout) |
+//! | `0x81` | S→C | `HELLO_ACK` | `session_id:u64` \| `credits:u32` |
+//! | `0x82` | S→C | `CHUNK_ACK` | `events:u32` accepted from the acked chunk |
+//! | `0x83` | S→C | `FINISH_ACK` | `chunks:u64` \| `events:u64` (durable, manifest written) |
+//! | `0x84` | S→C | `QUERY_OK` | `flags:u8` (bit 0 live, bit 1 cache hit) \| `events_observed:u64` \| canonical JSON |
+//! | `0xFF` | S→C | `ERROR` | `code:u8` \| `msg_len:u16` \| message |
+//!
+//! **Handshake.** A session connection opens with `HELLO` (protocol
+//! version [`PROTOCOL_VERSION`], session name `[A-Za-z0-9_.-]{1,64}` —
+//! it names the on-disk chunk directory, so path characters are
+//! rejected). The server replies `HELLO_ACK` with the session id and
+//! the **credit window**. Query-only connections skip the handshake and
+//! send `QUERY` directly.
+//!
+//! **Backpressure.** Credits bound the unacknowledged `CHUNK` frames a
+//! client may have in flight: each `CHUNK` spends one credit, each
+//! `CHUNK_ACK` returns one, and a client at zero credits must block
+//! until an ack arrives ([`CollectorClient`] does). The server applies
+//! each chunk synchronously — decode, live-sweep push, writer enqueue —
+//! before acking, so per-connection server memory is bounded by one
+//! decoded chunk plus the socket buffer, and a slow disk or a heavy
+//! live-sweep propagates to the producer instead of ballooning the
+//! daemon.
+//!
+//! **Error codes** ([`ErrorCode`]): any server-side failure is reported
+//! as an `ERROR` frame and closes the connection; a session that errors
+//! (or whose connection drops before `FINISH`) is marked **aborted** —
+//! its data so far stays queryable live, but it is never reported
+//! finished.
+//!
+//! # Query semantics
+//!
+//! A [`QuerySpec`] targets a session by name or a chunk directory by
+//! path. Live sessions answer from a [`LiveState`] snapshot taken under
+//! the session lock — a consistent chunk prefix; see the `analysis`
+//! module docs ("Live-query consistency") for exactly what a mid-run
+//! query observes. Finished sessions and directory targets run
+//! [`Analysis::from_chunk_dir`] (manifest predicate pushdown included);
+//! their results are cached keyed by `(target, query bytes)` and
+//! invalidated by [`Manifest::checksum`], so a repeated dashboard query
+//! costs one manifest load, not a re-analysis, until the directory's
+//! chunk set actually changes.
+//!
+//! [`Analysis`]: rlscope_core::analysis::Analysis
+//! [`Analysis::from_chunk_dir`]: rlscope_core::analysis::Analysis::from_chunk_dir
+//! [`LiveState`]: rlscope_core::analysis::LiveState
+//! [`Manifest`]: rlscope_core::store::Manifest
+//! [`Manifest::checksum`]: rlscope_core::store::Manifest::checksum
+//! [`TraceWriter`]: rlscope_core::store::TraceWriter
+//! [`encode_events`]: rlscope_core::store::encode_events
+//! [`decode_events`]: rlscope_core::store::decode_events
+//! [`read_frame`]: rlscope_core::store::read_frame
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+
+pub use client::{CollectorClient, CollectorSink, SessionSummary};
+pub use daemon::{Collector, CollectorConfig};
+pub use protocol::{
+    CollectorError, ErrorCode, QueryReply, QuerySpec, QueryTarget, PROTOCOL_VERSION,
+};

@@ -1,0 +1,496 @@
+//! Protocol messages layered over the [`rlscope_core::store`] wire
+//! framing: frame kinds, handshake payloads, the query spec codec, and
+//! the error taxonomy. See the [crate docs](crate) for the full spec
+//! table.
+
+use rlscope_core::analysis::Dim;
+use rlscope_core::store::TraceIoError;
+use std::fmt;
+
+/// Protocol version carried in `HELLO`; the server rejects others.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Frame kinds (the `kind` byte of the wire framing).
+pub mod kind {
+    /// Client → server: open a profiling session.
+    pub const HELLO: u8 = 0x01;
+    /// Client → server: one codec-v3 chunk of events.
+    pub const CHUNK: u8 = 0x02;
+    /// Client → server: close the session durably.
+    pub const FINISH: u8 = 0x03;
+    /// Client → server: an analysis query ([`super::QuerySpec`]).
+    pub const QUERY: u8 = 0x04;
+    /// Server → client: session accepted (`session_id`, credit window).
+    pub const HELLO_ACK: u8 = 0x81;
+    /// Server → client: one chunk applied; returns one credit.
+    pub const CHUNK_ACK: u8 = 0x82;
+    /// Server → client: session finished and durable.
+    pub const FINISH_ACK: u8 = 0x83;
+    /// Server → client: query result ([`super::QueryReply`]).
+    pub const QUERY_OK: u8 = 0x84;
+    /// Server → client: failure; the connection closes after this.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// Server-reported failure categories (the `code` byte of `ERROR`
+/// frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// `HELLO` carried an unsupported protocol version.
+    Version = 1,
+    /// Session name empty, too long, or containing path characters.
+    BadSessionName = 2,
+    /// A session of that name already exists (live or finished).
+    SessionExists = 3,
+    /// A frame arrived that the connection state does not allow.
+    Protocol = 4,
+    /// A chunk payload failed to decode (corrupt bytes).
+    CorruptChunk = 5,
+    /// Server-side I/O failure (session storage, manifest).
+    Io = 6,
+    /// The query target names no known session or readable directory.
+    UnknownTarget = 7,
+    /// The query combination is unsupported (e.g. a time window over a
+    /// live session).
+    UnsupportedQuery = 8,
+}
+
+impl ErrorCode {
+    /// The code for a wire byte, if known.
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Version,
+            2 => ErrorCode::BadSessionName,
+            3 => ErrorCode::SessionExists,
+            4 => ErrorCode::Protocol,
+            5 => ErrorCode::CorruptChunk,
+            6 => ErrorCode::Io,
+            7 => ErrorCode::UnknownTarget,
+            8 => ErrorCode::UnsupportedQuery,
+            _ => return None,
+        })
+    }
+}
+
+/// Errors surfaced by the collector client and daemon.
+#[derive(Debug)]
+pub enum CollectorError {
+    /// Transport or storage failure (framing, sockets, chunk files).
+    Io(TraceIoError),
+    /// The peer violated the protocol (unexpected frame, bad payload).
+    Protocol(String),
+    /// The server reported a failure via an `ERROR` frame.
+    Remote {
+        /// The server's error code (`None` for codes this client
+        /// version does not know).
+        code: Option<ErrorCode>,
+        /// Human-readable server message.
+        message: String,
+    },
+}
+
+impl fmt::Display for CollectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectorError::Io(e) => write!(f, "collector i/o error: {e}"),
+            CollectorError::Protocol(msg) => write!(f, "collector protocol error: {msg}"),
+            CollectorError::Remote { code, message } => {
+                write!(f, "collector server error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollectorError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceIoError> for CollectorError {
+    fn from(e: TraceIoError) -> Self {
+        CollectorError::Io(e)
+    }
+}
+
+impl From<std::io::Error> for CollectorError {
+    fn from(e: std::io::Error) -> Self {
+        CollectorError::Io(TraceIoError::Io(e))
+    }
+}
+
+/// What a [`QuerySpec`] is asked about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryTarget {
+    /// A collector session, by name — live or finished.
+    Session(String),
+    /// A chunk directory, by path on the daemon's filesystem.
+    Dir(String),
+}
+
+/// An `Analysis`-shaped query, wire-codable.
+///
+/// Byte layout (all integers big-endian, strings UTF-8):
+///
+/// ```text
+/// target_kind:u8        0 = session name, 1 = chunk dir path
+/// target_len:u16 | target bytes
+/// flags:u8              bit 0 phase filter, bit 1 process filter,
+///                       bit 2 operation filter, bit 3 time window
+/// [phase_len:u16 | phase]          if bit 0
+/// [pid:u32]                        if bit 1
+/// [op_len:u16 | operation]         if bit 2
+/// [lo:u64 | hi:u64]                if bit 3
+/// dims:u8               bit 0 Dim::Phase, bit 1 Dim::Process,
+///                       bit 2 Dim::Operation
+/// ```
+///
+/// Decoding validates every field and rejects trailing bytes, unknown
+/// flag bits, and non-UTF-8 strings — the query codec holds the same
+/// "corruption is an error, never a panic" line as the chunk codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// What to query.
+    pub target: QueryTarget,
+    /// Keep only time attributed to this phase.
+    pub phase: Option<String>,
+    /// Keep only this process.
+    pub process: Option<u32>,
+    /// Keep only this operation's rows.
+    pub operation: Option<String>,
+    /// Restrict attribution to `[lo, hi)` nanoseconds (finished
+    /// targets only).
+    pub window: Option<(u64, u64)>,
+    /// Grouping dimensions (deduplicated; output order is canonical
+    /// regardless of request order).
+    pub dims: Vec<Dim>,
+}
+
+const FLAG_PHASE: u8 = 1;
+const FLAG_PROCESS: u8 = 1 << 1;
+const FLAG_OPERATION: u8 = 1 << 2;
+const FLAG_WINDOW: u8 = 1 << 3;
+
+impl QuerySpec {
+    /// A query over a collector session (live or finished).
+    pub fn session(name: impl Into<String>) -> Self {
+        Self::new(QueryTarget::Session(name.into()))
+    }
+
+    /// A query over a chunk directory on the daemon's filesystem.
+    pub fn dir(path: impl Into<String>) -> Self {
+        Self::new(QueryTarget::Dir(path.into()))
+    }
+
+    fn new(target: QueryTarget) -> Self {
+        QuerySpec {
+            target,
+            phase: None,
+            process: None,
+            operation: None,
+            window: None,
+            dims: Vec::new(),
+        }
+    }
+
+    /// Filters to the named phase.
+    pub fn phase(mut self, name: impl Into<String>) -> Self {
+        self.phase = Some(name.into());
+        self
+    }
+
+    /// Filters to one process.
+    pub fn process(mut self, pid: u32) -> Self {
+        self.process = Some(pid);
+        self
+    }
+
+    /// Filters to one operation's rows.
+    pub fn operation(mut self, name: impl Into<String>) -> Self {
+        self.operation = Some(name.into());
+        self
+    }
+
+    /// Restricts attribution to `[lo, hi)` nanoseconds.
+    pub fn window(mut self, lo: u64, hi: u64) -> Self {
+        self.window = Some((lo, hi));
+        self
+    }
+
+    /// Adds grouping dimensions.
+    pub fn group_by(mut self, dims: impl IntoIterator<Item = Dim>) -> Self {
+        for d in dims {
+            if !self.dims.contains(&d) {
+                self.dims.push(d);
+            }
+        }
+        self
+    }
+
+    /// Serializes the spec to its wire form (also the cache key for
+    /// finished-target results — byte-equal specs are result-equal).
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::with_capacity(64);
+        let (kind, target) = match &self.target {
+            QueryTarget::Session(name) => (0u8, name),
+            QueryTarget::Dir(path) => (1u8, path),
+        };
+        out.push(kind);
+        put_str(&mut out, target);
+        let mut flags = 0u8;
+        flags |= if self.phase.is_some() { FLAG_PHASE } else { 0 };
+        flags |= if self.process.is_some() { FLAG_PROCESS } else { 0 };
+        flags |= if self.operation.is_some() { FLAG_OPERATION } else { 0 };
+        flags |= if self.window.is_some() { FLAG_WINDOW } else { 0 };
+        out.push(flags);
+        if let Some(p) = &self.phase {
+            put_str(&mut out, p);
+        }
+        if let Some(pid) = self.process {
+            out.extend_from_slice(&pid.to_be_bytes());
+        }
+        if let Some(op) = &self.operation {
+            put_str(&mut out, op);
+        }
+        if let Some((lo, hi)) = self.window {
+            out.extend_from_slice(&lo.to_be_bytes());
+            out.extend_from_slice(&hi.to_be_bytes());
+        }
+        let mut dims = 0u8;
+        for d in &self.dims {
+            dims |= match d {
+                Dim::Phase => 1,
+                Dim::Process => 1 << 1,
+                Dim::Operation => 1 << 2,
+            };
+        }
+        out.push(dims);
+        out
+    }
+
+    /// Parses a wire-form spec, validating every field.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectorError::Protocol`] on truncation, unknown flag or
+    /// target-kind bits, non-UTF-8 strings, or trailing bytes.
+    pub fn decode(mut data: &[u8]) -> Result<QuerySpec, CollectorError> {
+        fn bad(what: &str) -> CollectorError {
+            CollectorError::Protocol(format!("query spec: {what}"))
+        }
+        fn take<'a>(data: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], CollectorError> {
+            if data.len() < n {
+                return Err(bad(&format!("truncated {what}")));
+            }
+            let (head, rest) = data.split_at(n);
+            *data = rest;
+            Ok(head)
+        }
+        fn take_str(data: &mut &[u8], what: &str) -> Result<String, CollectorError> {
+            let len = take(data, 2, what)?;
+            let len = u16::from_be_bytes([len[0], len[1]]) as usize;
+            let bytes = take(data, len, what)?;
+            String::from_utf8(bytes.to_vec()).map_err(|_| bad(&format!("non-utf8 {what}")))
+        }
+        let target_kind = take(&mut data, 1, "target kind")?[0];
+        let target = take_str(&mut data, "target")?;
+        let target = match target_kind {
+            0 => QueryTarget::Session(target),
+            1 => QueryTarget::Dir(target),
+            k => return Err(bad(&format!("unknown target kind {k}"))),
+        };
+        let flags = take(&mut data, 1, "flags")?[0];
+        if flags & !(FLAG_PHASE | FLAG_PROCESS | FLAG_OPERATION | FLAG_WINDOW) != 0 {
+            return Err(bad("unknown flag bits"));
+        }
+        let phase =
+            if flags & FLAG_PHASE != 0 { Some(take_str(&mut data, "phase")?) } else { None };
+        let process = if flags & FLAG_PROCESS != 0 {
+            let b = take(&mut data, 4, "pid")?;
+            Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        } else {
+            None
+        };
+        let operation = if flags & FLAG_OPERATION != 0 {
+            Some(take_str(&mut data, "operation")?)
+        } else {
+            None
+        };
+        let window = if flags & FLAG_WINDOW != 0 {
+            let b = take(&mut data, 16, "window")?;
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&b[..8]);
+            let lo = u64::from_be_bytes(word);
+            word.copy_from_slice(&b[8..]);
+            Some((lo, u64::from_be_bytes(word)))
+        } else {
+            None
+        };
+        let dim_bits = take(&mut data, 1, "dims")?[0];
+        if dim_bits & !0b111 != 0 {
+            return Err(bad("unknown dim bits"));
+        }
+        let mut dims = Vec::new();
+        for (bit, dim) in [(1, Dim::Phase), (1 << 1, Dim::Process), (1 << 2, Dim::Operation)] {
+            if dim_bits & bit != 0 {
+                dims.push(dim);
+            }
+        }
+        if !data.is_empty() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(QuerySpec { target, phase, process, operation, window, dims })
+    }
+}
+
+/// A successful query result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// True when answered from a live session's in-flight sweep state
+    /// (a consistent prefix); false for finished targets.
+    pub live: bool,
+    /// True when served from the finished-target result cache (always
+    /// false for live answers — they are never cached).
+    pub cache_hit: bool,
+    /// Events the answer covers: the live prefix length, or the
+    /// finished directory's total.
+    pub events_observed: u64,
+    /// The query's canonical JSON (same bytes
+    /// [`rlscope_core::analysis::Analysis::canonical_json`] produces).
+    pub canonical_json: String,
+}
+
+impl QueryReply {
+    /// Serializes to the `QUERY_OK` payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.canonical_json.len());
+        let mut flags = 0u8;
+        flags |= u8::from(self.live);
+        flags |= u8::from(self.cache_hit) << 1;
+        out.push(flags);
+        out.extend_from_slice(&self.events_observed.to_be_bytes());
+        out.extend_from_slice(self.canonical_json.as_bytes());
+        out
+    }
+
+    /// Parses a `QUERY_OK` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectorError::Protocol`] on truncation, unknown flag bits, or
+    /// non-UTF-8 JSON bytes.
+    pub fn decode(data: &[u8]) -> Result<QueryReply, CollectorError> {
+        if data.len() < 9 {
+            return Err(CollectorError::Protocol("truncated query reply".into()));
+        }
+        let flags = data[0];
+        if flags & !0b11 != 0 {
+            return Err(CollectorError::Protocol("unknown query reply flags".into()));
+        }
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&data[1..9]);
+        let canonical_json = String::from_utf8(data[9..].to_vec())
+            .map_err(|_| CollectorError::Protocol("non-utf8 query reply".into()))?;
+        Ok(QueryReply {
+            live: flags & 1 != 0,
+            cache_hit: flags & 2 != 0,
+            events_observed: u64::from_be_bytes(word),
+            canonical_json,
+        })
+    }
+}
+
+/// Encodes an `ERROR` payload.
+pub(crate) fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
+    let msg = &message.as_bytes()[..message.len().min(u16::MAX as usize)];
+    let mut out = Vec::with_capacity(3 + msg.len());
+    out.push(code as u8);
+    out.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+/// Parses an `ERROR` payload into the [`CollectorError::Remote`] form.
+pub(crate) fn decode_error(data: &[u8]) -> CollectorError {
+    if data.len() < 3 {
+        return CollectorError::Protocol("truncated error frame".into());
+    }
+    let code = ErrorCode::from_u8(data[0]);
+    let len = u16::from_be_bytes([data[1], data[2]]) as usize;
+    let message = String::from_utf8_lossy(&data[3..data.len().min(3 + len)]).into_owned();
+    CollectorError::Remote { code, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_spec_round_trips() {
+        let specs = vec![
+            QuerySpec::session("s1"),
+            QuerySpec::dir("/tmp/run"),
+            QuerySpec::session("s2")
+                .phase("training")
+                .process(3)
+                .operation("backprop")
+                .window(100, 2_000)
+                .group_by([Dim::Phase, Dim::Process, Dim::Operation]),
+            QuerySpec::session("s3").group_by([Dim::Operation]),
+        ];
+        for spec in specs {
+            let decoded = QuerySpec::decode(&spec.encode()).unwrap();
+            assert_eq!(decoded, spec);
+        }
+    }
+
+    #[test]
+    fn query_spec_rejects_malformed_bytes() {
+        let good = QuerySpec::session("s").phase("p").encode();
+        for cut in 0..good.len() {
+            assert!(QuerySpec::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(QuerySpec::decode(&trailing).is_err());
+        let mut bad_kind = good.clone();
+        bad_kind[0] = 9;
+        assert!(QuerySpec::decode(&bad_kind).is_err());
+        let mut bad_dims = good;
+        *bad_dims.last_mut().unwrap() = 0xf0;
+        assert!(QuerySpec::decode(&bad_dims).is_err());
+    }
+
+    #[test]
+    fn query_reply_round_trips() {
+        let reply = QueryReply {
+            live: true,
+            cache_hit: false,
+            events_observed: 12_345,
+            canonical_json: "[\n]\n".to_string(),
+        };
+        assert_eq!(QueryReply::decode(&reply.encode()).unwrap(), reply);
+        assert!(QueryReply::decode(&[0x04, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(QueryReply::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn error_frames_round_trip() {
+        let err = decode_error(&encode_error(ErrorCode::CorruptChunk, "bad chunk"));
+        match err {
+            CollectorError::Remote { code, message } => {
+                assert_eq!(code, Some(ErrorCode::CorruptChunk));
+                assert_eq!(message, "bad chunk");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

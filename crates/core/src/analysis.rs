@@ -75,6 +75,36 @@
 //! ([`crate::store::for_each_decoded_chunk`]), so decode overlaps
 //! sweeping on multi-core machines with bounded in-flight memory.
 //!
+//! # Live-query consistency
+//!
+//! [`Analysis::of_live`] answers queries over sessions that are **still
+//! streaming** (the `rlscope-collector` daemon's live path, fed through
+//! [`LiveState`]). What such a query observes is defined precisely:
+//!
+//! * **A consistent chunk prefix.** The collector applies each accepted
+//!   chunk atomically — its events enter the live sweeps and the
+//!   observed-event counter together, under the session lock — and
+//!   snapshots ([`LiveState::snapshot`]) are taken under the same lock.
+//!   A live query therefore sees *exactly* the first `events_observed()`
+//!   events of the session stream, never a partially-applied chunk, and
+//!   its result equals the batch analysis of that prefix table for table
+//!   (canonical JSON included).
+//! * **Monotonicity.** Later queries observe a superset prefix; totals
+//!   for any fixed filter never decrease between queries.
+//! * **Open annotations are invisible.** The profiler records intervals
+//!   when they *close*, so time inside a still-open operation or phase
+//!   has not been streamed yet; it appears once the annotation closes
+//!   (or, client-side, in a [`crate::profiler::Profiler::snapshot`],
+//!   which synthesizes open annotations locally). In particular a
+//!   session's whole-run phase typically shows up only at finish — live
+//!   tables attribute that time to [`NO_PHASE`] until then.
+//! * **Supported queries.** Phase/process/operation filters and every
+//!   `group_by` combination run with batch-identical semantics.
+//!   [`Analysis::time_window`] and [`Analysis::corrected`] are
+//!   unsupported over live snapshots (no event-level granularity, no
+//!   book-keeping counters); once the session finishes, its chunk
+//!   directory supports the full query surface.
+//!
 //! # Example
 //!
 //! ```
@@ -226,6 +256,145 @@ enum Source<'a> {
     Trace(&'a Trace),
     Merged(&'a [Trace]),
     ChunkDir(PathBuf),
+    Live(&'a LiveTables),
+}
+
+/// Incrementally-maintained sweep state over a **live** (still
+/// in-flight) event stream — the analysis substrate behind the
+/// `rlscope-collector` daemon's mid-session queries.
+///
+/// Feed accepted events with [`LiveState::push`] as they arrive; at any
+/// point, [`LiveState::snapshot`] materializes [`LiveTables`] — the
+/// finalized tables over exactly the events observed so far — without
+/// disturbing the live sweeps, and [`Analysis::of_live`] answers queries
+/// over that snapshot with batch-identical semantics (see the
+/// [module docs](crate::analysis) on live-query consistency).
+///
+/// Internally this mirrors the chunk-dir executor's sweep layout: one
+/// phase-tagged exact [`OverlapSweep`] per process, plus a merged-stream
+/// sweep for ungrouped queries. While only one process has been seen the
+/// merged stream *is* that process's stream, so the merged sweep is not
+/// materialized until a second process appears — at which point the
+/// first process's sweep (fed the identical prefix) is cloned into
+/// place. Single-process sessions — the common case — therefore pay one
+/// sweep push per event, not two.
+#[derive(Debug, Clone, Default)]
+pub struct LiveState {
+    /// Merged-stream sweep; `None` while at most one process is live
+    /// (see the type docs for the promotion rule).
+    merged: Option<OverlapSweep>,
+    per_process: Vec<(ProcessId, OverlapSweep)>,
+    slot_of: HashMap<ProcessId, usize>,
+    /// Last event's `(pid, slot)` — profiler streams are long runs of
+    /// one pid, so this memo skips the map lookup on the hot path.
+    last_slot: Option<(ProcessId, usize)>,
+    events: u64,
+}
+
+impl LiveState {
+    /// Empty live state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events accepted so far (including zero-length and phase events).
+    pub fn events_observed(&self) -> u64 {
+        self.events
+    }
+
+    /// Accepts one event into the live sweeps.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError`] from the underlying sweeps (exact sweeps accept
+    /// any order, so only pathological annotation counts can fail).
+    pub fn push(&mut self, e: &Event) -> Result<(), SweepError> {
+        let slot = match self.last_slot {
+            Some((pid, slot)) if pid == e.pid => slot,
+            _ => {
+                let slot = match self.slot_of.get(&e.pid) {
+                    Some(&slot) => slot,
+                    None => {
+                        if self.per_process.len() == 1 && self.merged.is_none() {
+                            // Second process: the merged stream diverges
+                            // from the first process's stream here. Its
+                            // sweep was fed the identical prefix, so its
+                            // clone IS the merged state.
+                            self.merged = Some(self.per_process[0].1.clone());
+                        }
+                        let slot = self.per_process.len();
+                        self.per_process.push((e.pid, OverlapSweep::new().with_phase_tagging()));
+                        self.slot_of.insert(e.pid, slot);
+                        slot
+                    }
+                };
+                self.last_slot = Some((e.pid, slot));
+                slot
+            }
+        };
+        if let Some(merged) = &mut self.merged {
+            merged.push(e)?;
+        }
+        self.per_process[slot].1.push(e)?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Accepts a batch (e.g. one decoded chunk), stopping at the first
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// See [`LiveState::push`].
+    pub fn push_batch(&mut self, events: &[Event]) -> Result<(), SweepError> {
+        // Hot path: a batch wholly from the already-current process (the
+        // common single-process profiler stream) resolves its sweep slot
+        // once and feeds the sweep directly — no per-event slot memo,
+        // merged-sweep, or counter work.
+        if let Some((pid, slot)) = self.last_slot {
+            if self.merged.is_none() && events.iter().all(|e| e.pid == pid) {
+                self.per_process[slot].1.push_batch(events)?;
+                self.events += events.len() as u64;
+                return Ok(());
+            }
+        }
+        for e in events {
+            self.push(e)?;
+        }
+        Ok(())
+    }
+
+    /// Materializes the finalized tables over exactly the events pushed
+    /// so far — a consistent prefix snapshot. The live sweeps are cloned
+    /// and the clones finalized; pushing may continue afterwards.
+    pub fn snapshot(&self) -> LiveTables {
+        let merged = match (&self.merged, self.per_process.first()) {
+            (Some(m), _) => m.clone().finalize_grouped(),
+            (None, Some((_, s))) => s.clone().finalize_grouped(),
+            (None, None) => Vec::new(),
+        };
+        let per_process =
+            self.per_process.iter().map(|(pid, s)| (*pid, s.clone().finalize_grouped())).collect();
+        LiveTables { merged, per_process, events: self.events }
+    }
+}
+
+/// A finalized snapshot of a [`LiveState`]: per-phase tables for the
+/// merged stream and for each process, over exactly the events observed
+/// at snapshot time. Query it with [`Analysis::of_live`].
+#[derive(Debug, Clone, Default)]
+pub struct LiveTables {
+    merged: PhaseTables,
+    per_process: Vec<(ProcessId, PhaseTables)>,
+    events: u64,
+}
+
+impl LiveTables {
+    /// Events the snapshot covers — the consistency token a live query
+    /// reports alongside its result.
+    pub fn events_observed(&self) -> u64 {
+        self.events
+    }
 }
 
 /// The unified analysis query builder. See the [module docs](crate::analysis)
@@ -293,6 +462,18 @@ impl<'a> Analysis<'a> {
     /// [`Analysis::bounded_streaming`] selects a bounded-lag window.
     pub fn from_chunk_dir(dir: impl Into<PathBuf>) -> Self {
         Self::new(Source::ChunkDir(dir.into()))
+    }
+
+    /// Analyzes a [`LiveTables`] snapshot of an in-flight stream
+    /// ([`LiveState::snapshot`]). Phase, process, and operation filters
+    /// and every [`Analysis::group_by`] combination behave exactly as
+    /// over the equivalent batch source; [`Analysis::time_window`] is
+    /// unsupported (sweep state has no event-level granularity — window
+    /// queries go to the session's chunk directory instead), as is
+    /// [`Analysis::corrected`] (no book-keeping counters). See the
+    /// [module docs](crate::analysis) on live-query consistency.
+    pub fn of_live(tables: &'a LiveTables) -> Self {
+        Self::new(Source::Live(tables))
     }
 
     /// Uses bounded-memory streaming sweeps ([`OverlapSweep::bounded`])
@@ -400,7 +581,9 @@ impl<'a> Analysis<'a> {
                 }
                 Source::Trace(t) => sweep_tables(t.events.iter()),
                 Source::Merged(ts) => sweep_tables(ts.iter().flat_map(|t| t.events.iter())),
-                Source::ChunkDir(_) => unreachable!("chunk dirs are never plain"),
+                Source::ChunkDir(_) | Source::Live(_) => {
+                    unreachable!("chunk dirs and live snapshots are never plain")
+                }
             });
         }
         let groups = self.resolve_groups()?;
@@ -542,7 +725,7 @@ impl<'a> Analysis<'a> {
             && self.window.is_none()
             && self.dims.is_empty()
             && self.calibration.is_none()
-            && !matches!(self.source, Source::ChunkDir(_))
+            && !matches!(self.source, Source::ChunkDir(_) | Source::Live(_))
     }
 
     /// Runs the source + filters + grouping stages, producing the final
@@ -567,6 +750,7 @@ impl<'a> Analysis<'a> {
             Source::ChunkDir(dir) => {
                 self.resolve_streamed(dir, want_proc, track_phases, filters)?
             }
+            Source::Live(tables) => self.resolve_live(tables, want_proc, filters)?,
             _ => self.resolve_batch(want_proc, track_phases, filters),
         };
         Ok(self.assemble(raw, want_phase, want_op, filters))
@@ -595,6 +779,7 @@ impl<'a> Analysis<'a> {
             Source::Trace(t) => Rows::Slice(&t.events),
             Source::Merged(ts) => Rows::Refs(ts.iter().flat_map(|t| t.events.iter()).collect()),
             Source::ChunkDir(_) => unreachable!("handled by resolve_streamed"),
+            Source::Live(_) => unreachable!("handled by resolve_live"),
         };
         if let Some(pid) = self.process_filter.filter(|_| filters) {
             rows = match rows {
@@ -765,6 +950,51 @@ impl<'a> Analysis<'a> {
             Ok(())
         })?;
         Ok(sweeps.into_iter().map(|(pid, sweep)| (pid, sweep.finalize_grouped())).collect())
+    }
+
+    /// Live-snapshot execution: the sweeps already ran at ingest, so the
+    /// query only selects among their finalized tables. An ungrouped
+    /// query reads the merged-stream tables; process grouping (or an
+    /// ungrouped process filter, whose batch semantics are "sweep only
+    /// that process's events") reads the per-process tables. Phase and
+    /// operation filters are applied downstream by `assemble`, exactly
+    /// as for every other source.
+    fn resolve_live(
+        &self,
+        tables: &LiveTables,
+        per_process: bool,
+        filters: bool,
+    ) -> Result<Vec<(Option<ProcessId>, PhaseTables)>, AnalysisError> {
+        if self.window.is_some() {
+            return Err(AnalysisError::Unsupported(
+                "time_window over a live snapshot: sweep state has no event-level \
+                 granularity — window queries need the session's chunk directory"
+                    .to_string(),
+            ));
+        }
+        let pid_filter = self.process_filter.filter(|_| filters);
+        if per_process {
+            Ok(tables
+                .per_process
+                .iter()
+                .filter(|(pid, _)| pid_filter.is_none_or(|want| *pid == want))
+                .map(|(pid, t)| (Some(*pid), t.clone()))
+                .collect())
+        } else if let Some(pid) = pid_filter {
+            // Batch semantics for an ungrouped `.process(pid)` query are
+            // "sweep only that process's events" — which is exactly the
+            // per-process sweep. An absent pid yields the empty table the
+            // batch path would produce.
+            let tables = tables
+                .per_process
+                .iter()
+                .find(|(p, _)| *p == pid)
+                .map(|(_, t)| t.clone())
+                .unwrap_or_default();
+            Ok(vec![(None, tables)])
+        } else {
+            Ok(vec![(None, tables.merged.clone())])
+        }
     }
 
     /// Applies the phase filter, collapses undesired dimensions, applies
@@ -1472,6 +1702,132 @@ mod tests {
         assert_eq!(streamed, batch);
         assert_eq!(streamed.len(), 1, "pid 1 is fully clipped away: {streamed:?}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Every supported live query must equal its batch counterpart over
+    /// the same events — the consistency contract of the collector's
+    /// mid-session queries.
+    #[test]
+    fn live_state_queries_match_batch_semantics() {
+        let events = phased_events();
+        let mut live = LiveState::new();
+        live.push_batch(&events).unwrap();
+        assert_eq!(live.events_observed(), events.len() as u64);
+        let tables = live.snapshot();
+        assert_eq!(tables.events_observed(), events.len() as u64);
+
+        // Ungrouped, grouped, filtered — all match the batch pipeline,
+        // canonical JSON included.
+        let cases: Vec<(Analysis<'_>, Analysis<'_>)> = vec![
+            (Analysis::of_live(&tables), Analysis::of_events(&events)),
+            (
+                Analysis::of_live(&tables).group_by([Dim::Phase]),
+                Analysis::of_events(&events).group_by([Dim::Phase]),
+            ),
+            (
+                Analysis::of_live(&tables).group_by([Dim::Process]),
+                Analysis::of_events(&events).group_by([Dim::Process]),
+            ),
+            (
+                Analysis::of_live(&tables).group_by([Dim::Phase, Dim::Process, Dim::Operation]),
+                Analysis::of_events(&events).group_by([Dim::Phase, Dim::Process, Dim::Operation]),
+            ),
+            (
+                Analysis::of_live(&tables).phase("train"),
+                Analysis::of_events(&events).phase("train"),
+            ),
+            (
+                Analysis::of_live(&tables).phase(NO_PHASE),
+                Analysis::of_events(&events).phase(NO_PHASE),
+            ),
+            (
+                Analysis::of_live(&tables).process(ProcessId(1)),
+                Analysis::of_events(&events).process(ProcessId(1)),
+            ),
+            (
+                Analysis::of_live(&tables).process(ProcessId(9)),
+                Analysis::of_events(&events).process(ProcessId(9)),
+            ),
+            (
+                Analysis::of_live(&tables).operation("backprop"),
+                Analysis::of_events(&events).operation("backprop"),
+            ),
+            (
+                Analysis::of_live(&tables).process(ProcessId(0)).group_by([Dim::Phase]),
+                Analysis::of_events(&events).process(ProcessId(0)).group_by([Dim::Phase]),
+            ),
+        ];
+        for (i, (live_q, batch_q)) in cases.iter().enumerate() {
+            assert_eq!(live_q.tables().unwrap(), batch_q.tables().unwrap(), "case {i}");
+            assert_eq!(
+                live_q.canonical_json().unwrap(),
+                batch_q.canonical_json().unwrap(),
+                "case {i}"
+            );
+        }
+    }
+
+    /// Snapshots are consistent prefixes: pushing more events afterwards
+    /// neither disturbs an existing snapshot nor is visible to it, and a
+    /// later snapshot covers the longer prefix.
+    #[test]
+    fn live_snapshots_are_nondestructive_prefixes() {
+        let events = phased_events();
+        let mut live = LiveState::new();
+        let (first, rest) = events.split_at(4);
+        live.push_batch(first).unwrap();
+        let early = live.snapshot();
+        live.push_batch(rest).unwrap();
+        let late = live.snapshot();
+        assert_eq!(
+            Analysis::of_live(&early).table().unwrap(),
+            Analysis::of_events(first).table().unwrap()
+        );
+        assert_eq!(
+            Analysis::of_live(&late).table().unwrap(),
+            Analysis::of_events(&events).table().unwrap()
+        );
+        assert!(
+            Analysis::of_live(&late).table().unwrap().total()
+                >= Analysis::of_live(&early).table().unwrap().total()
+        );
+    }
+
+    /// The merged sweep materializes lazily: single-process streams never
+    /// build it, and the promotion on the second process reproduces the
+    /// from-the-start merged sweep exactly (phased_events interleaves
+    /// pids, so the promotion happens mid-stream).
+    #[test]
+    fn live_state_promotes_merged_sweep_exactly() {
+        let single: Vec<Event> =
+            phased_events().into_iter().filter(|e| e.pid == ProcessId(0)).collect();
+        let mut live = LiveState::new();
+        live.push_batch(&single).unwrap();
+        assert!(live.merged.is_none(), "single-pid streams skip the merged sweep");
+        let t = live.snapshot();
+        assert_eq!(
+            Analysis::of_live(&t).table().unwrap(),
+            Analysis::of_events(&single).table().unwrap()
+        );
+
+        let mut live = LiveState::new();
+        live.push_batch(&phased_events()).unwrap();
+        assert!(live.merged.is_some(), "second pid must materialize the merged sweep");
+    }
+
+    #[test]
+    fn live_unsupported_queries_error() {
+        let tables = LiveState::new().snapshot();
+        let err = Analysis::of_live(&tables)
+            .time_window(TimeNs::ZERO, TimeNs::from_micros(1))
+            .table()
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(_)), "{err}");
+        let cal = Calibration::default();
+        let err = Analysis::of_live(&tables).corrected(&cal).table().unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(_)), "{err}");
+        // Empty live state answers (emptily) rather than erroring.
+        assert!(Analysis::of_live(&tables).table().unwrap().is_empty());
     }
 
     #[test]

@@ -130,7 +130,7 @@ pub mod trace;
 
 /// Convenient glob-import of the most-used types.
 pub mod prelude {
-    pub use crate::analysis::{Analysis, AnalysisError, Dim, GroupKey};
+    pub use crate::analysis::{Analysis, AnalysisError, Dim, GroupKey, LiveState, LiveTables};
     pub use crate::calibrate::{calibrate, Calibration, RunStats};
     pub use crate::correct::{correct, uncorrected, CorrectedProfile, OverheadBreakdown};
     pub use crate::event::{BookkeepingCounts, CpuCategory, Event, EventKind, GpuCategory};
@@ -145,7 +145,7 @@ pub mod prelude {
     pub use crate::trace::{streamed_breakdowns_by_process, Trace};
 }
 
-pub use analysis::{Analysis, AnalysisError, Dim, GroupKey};
+pub use analysis::{Analysis, AnalysisError, Dim, GroupKey, LiveState, LiveTables};
 pub use calibrate::{calibrate, Calibration, RunStats};
 pub use correct::{correct, uncorrected, CorrectedProfile, OverheadBreakdown};
 pub use event::{BookkeepingCounts, CpuCategory, Event, EventKind, GpuCategory};

@@ -702,7 +702,7 @@ type Boundary = (u64, u32, u32);
 /// disorder) at the next pop. A fully sorted stream never sorts at all;
 /// an adversarially shuffled one degrades to one sort per drain of the
 /// pending window — never to heap behavior per boundary.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct BoundaryQueue {
     buf: Vec<Boundary>,
     /// Boundaries before this index are already drained.
@@ -806,7 +806,12 @@ const META_PHASE_FLAG: u32 = 1 << 31;
 /// trace streams are sorted by end time and their start-time disorder is
 /// bounded by the longest open annotation — pick the lag accordingly (or
 /// use exact mode when in doubt).
-#[derive(Debug)]
+///
+/// The sweep is [`Clone`]: cloning captures the full pending state, so a
+/// live consumer can snapshot an in-flight stream — finalize the clone,
+/// keep pushing into the original — which is how the collector daemon
+/// answers queries over sessions that are still streaming.
+#[derive(Debug, Clone)]
 pub struct OverlapSweep {
     interner: Interner,
     untracked: u32,

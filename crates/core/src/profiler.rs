@@ -75,7 +75,20 @@ impl Default for ProfilerConfig {
     }
 }
 
-#[derive(Debug, Default)]
+/// A consumer of finalized profiler events — the streaming half of the
+/// live-collection path ([`Profiler::stream_to`]). Implementations ship
+/// batches somewhere else (a socket to the `rlscope-collector` daemon, a
+/// file, a test buffer) while the run is still in flight.
+///
+/// Batches arrive in record order and exactly once; the profiler retains
+/// its own copy, so [`Profiler::finish`] still returns the complete
+/// [`Trace`] regardless of streaming.
+pub trait EventSink: Send + Sync {
+    /// Receives one batch of finalized events, in record order.
+    fn emit(&self, events: Vec<Event>);
+}
+
+#[derive(Default)]
 struct State {
     events: Vec<Event>,
     op_stack: Vec<(Arc<str>, TimeNs)>,
@@ -84,6 +97,10 @@ struct State {
     per_op_transitions: BTreeMap<(Arc<str>, TransitionKind), u64>,
     api_stats: BTreeMap<CudaApiKind, (u64, DurationNs)>,
     iterations: u64,
+    /// Live streaming sink and its flush threshold, when attached.
+    sink: Option<(Arc<dyn EventSink>, usize)>,
+    /// Events `[..flushed]` have already been emitted to the sink.
+    flushed: usize,
 }
 
 /// Transition kinds counted per operation (paper Figure 4c/4d).
@@ -184,6 +201,95 @@ impl Profiler {
         cuda.set_cupti_enabled(t.cupti);
     }
 
+    /// Attaches a live streaming sink: every `flush_every` finalized
+    /// events, the newly-recorded batch is emitted to `sink` (in record
+    /// order, exactly once). Events recorded **before** the sink was
+    /// attached — including any already-closed phases — are delivered
+    /// first, immediately, so attach order cannot lose data.
+    ///
+    /// Streaming adds delivery; it does not change ownership: the
+    /// profiler keeps its full event buffer and [`Profiler::finish`]
+    /// returns the same complete [`Trace`] it would without a sink (the
+    /// tail not yet flushed — e.g. the final phase close — is emitted to
+    /// the sink at `finish`).
+    ///
+    /// Open annotations stream only when they close (the profiler
+    /// records intervals at their end); [`Profiler::snapshot`] is the
+    /// view that synthesizes still-open ones.
+    pub fn stream_to(&self, sink: Arc<dyn EventSink>, flush_every: usize) {
+        let mut state = self.inner.state.lock();
+        state.sink = Some((sink, flush_every.max(1)));
+        Self::flush_locked(state, 1);
+    }
+
+    /// Emits all recorded-but-unflushed events to the streaming sink
+    /// (no-op without one) — e.g. right before a mid-run live query, so
+    /// the collector observes everything recorded so far.
+    pub fn flush(&self) {
+        Self::flush_locked(self.inner.state.lock(), 1);
+    }
+
+    /// Emits `state.events[flushed..]` to the sink when it holds at
+    /// least `min` events, releasing the state lock before the sink runs
+    /// (sinks do I/O and may block on collector backpressure).
+    fn flush_locked(mut state: parking_lot::MutexGuard<'_, State>, min: usize) {
+        let Some((sink, _)) = &state.sink else { return };
+        let pending = state.events.len() - state.flushed;
+        if pending < min.max(1) {
+            return;
+        }
+        let sink = sink.clone();
+        let batch = state.events[state.flushed..].to_vec();
+        state.flushed = state.events.len();
+        drop(state);
+        sink.emit(batch);
+    }
+
+    /// Flushes at the sink's configured threshold — called after every
+    /// event-recording site.
+    fn flush_if_due(&self, state: parking_lot::MutexGuard<'_, State>) {
+        let Some((_, every)) = &state.sink else { return };
+        let every = *every;
+        Self::flush_locked(state, every);
+    }
+
+    /// A non-consuming snapshot of the trace **as of now**: everything
+    /// recorded so far, plus synthesized events for the still-open phase
+    /// and operations (clipped at the current clock), so live analysis
+    /// mid-run sees the time they have accrued. The profiler is
+    /// untouched — annotations stay open, streaming watermarks keep
+    /// their position, and a later [`Profiler::finish`] returns the
+    /// normal complete trace.
+    ///
+    /// This is also what makes a phase set before [`Profiler::attach`]
+    /// (or before any work) visible to the live path: an open phase is
+    /// profiler *state*, not yet an event, and a naive copy of the event
+    /// buffer would silently drop it.
+    pub fn snapshot(&self) -> Trace {
+        let state = self.inner.state.lock();
+        // Clock read under the lock: reading it first could let a
+        // concurrently-recorded event end *after* the snapshot's `now`,
+        // leaving it outside the synthesized open-phase interval.
+        let now = self.inner.clock.now();
+        let pid = self.inner.config.pid;
+        let mut events = state.events.clone();
+        if let Some((name, start)) = &state.phase {
+            events.push(Event::new(pid, EventKind::Phase, name.clone(), *start, now));
+        }
+        for (name, start) in &state.op_stack {
+            events.push(Event::new(pid, EventKind::Operation, name.clone(), *start, now));
+        }
+        Trace {
+            pid,
+            events,
+            counts: state.counts,
+            per_op_transitions: state.per_op_transitions.clone().into_iter().collect(),
+            api_stats: state.api_stats.clone().into_iter().collect(),
+            iterations: state.iterations,
+            wall_end: now,
+        }
+    }
+
     /// Starts (or switches) the training phase.
     pub fn set_phase(&self, name: &str) {
         let now = self.inner.clock.now();
@@ -193,6 +299,7 @@ impl Profiler {
             state.events.push(Event::new(pid, EventKind::Phase, prev, start, now));
         }
         state.phase = Some((Arc::from(name), now));
+        self.flush_if_due(state);
     }
 
     /// Opens an operation annotation; the returned guard closes it.
@@ -233,6 +340,20 @@ impl Profiler {
         if let Some((prev, start)) = state.phase.take() {
             state.events.push(Event::new(pid, EventKind::Phase, prev, start, now));
         }
+        // Deliver the unflushed tail (e.g. the phase close above) so a
+        // streaming sink holds the complete stream, then hand the full
+        // buffer to the trace.
+        if let Some((sink, _)) = &state.sink {
+            let sink = sink.clone();
+            let batch = state.events[state.flushed..].to_vec();
+            state.flushed = 0;
+            state.sink = None;
+            if !batch.is_empty() {
+                // The profiler is finished: no further pushes can race
+                // this emit, so doing it under the lock is harmless.
+                sink.emit(batch);
+            }
+        }
         Trace {
             pid,
             events: std::mem::take(&mut state.events),
@@ -252,6 +373,7 @@ impl Profiler {
         assert_eq!(&top, name, "operations closed out of order");
         let pid = self.inner.config.pid;
         state.events.push(Event::new(pid, EventKind::Operation, top, start, now));
+        self.flush_if_due(state);
     }
 
     /// Injects annotation book-keeping cost, recorded as Python time (the
@@ -261,13 +383,15 @@ impl Profiler {
         if cfg.toggles.annotations && !cfg.annotation_cost.is_zero() {
             let start = self.inner.clock.now();
             let end = self.inner.clock.advance(cfg.annotation_cost);
-            self.inner.state.lock().events.push(Event::new(
+            let mut state = self.inner.state.lock();
+            state.events.push(Event::new(
                 cfg.pid,
                 EventKind::Cpu(CpuCategory::Python),
                 "annotation",
                 start,
                 end,
             ));
+            self.flush_if_due(state);
         }
     }
 
@@ -291,6 +415,7 @@ impl StackHooks for Profiler {
             start,
             end,
         ));
+        self.flush_if_due(state);
     }
 
     fn on_native_enter(&self, lib: NativeLib, _t: TimeNs) {
@@ -320,6 +445,7 @@ impl StackHooks for Profiler {
             enter,
             exit,
         ));
+        self.flush_if_due(state);
     }
 }
 
@@ -340,26 +466,31 @@ impl CudaHooks for Profiler {
             enter,
             exit,
         ));
+        self.flush_if_due(state);
     }
 
     fn on_kernel(&self, rec: &KernelRecord) {
-        self.inner.state.lock().events.push(Event::new(
+        let mut state = self.inner.state.lock();
+        state.events.push(Event::new(
             self.inner.config.pid,
             EventKind::Gpu(GpuCategory::Kernel),
             rec.name.clone(),
             rec.start,
             rec.end,
         ));
+        self.flush_if_due(state);
     }
 
     fn on_memcpy(&self, rec: &MemcpyRecord) {
-        self.inner.state.lock().events.push(Event::new(
+        let mut state = self.inner.state.lock();
+        state.events.push(Event::new(
             self.inner.config.pid,
             EventKind::Gpu(GpuCategory::Memcpy),
             "memcpy",
             rec.start,
             rec.end,
         ));
+        self.flush_if_due(state);
     }
 }
 
@@ -509,5 +640,121 @@ mod tests {
         let guard = rls.operation("left_open");
         let _ = rls.finish();
         drop(guard);
+    }
+
+    /// Collects emitted batches for streaming assertions.
+    #[derive(Default)]
+    struct VecSink(Mutex<Vec<Vec<Event>>>);
+
+    impl EventSink for VecSink {
+        fn emit(&self, events: Vec<Event>) {
+            self.0.lock().push(events);
+        }
+    }
+
+    impl VecSink {
+        fn concat(&self) -> Vec<Event> {
+            self.0.lock().iter().flatten().cloned().collect()
+        }
+    }
+
+    /// Streaming delivers every event exactly once, in record order, and
+    /// the finished trace is byte-identical to a non-streamed run.
+    #[test]
+    fn streaming_sink_receives_the_full_stream_once() {
+        let (rls, clock) = profiler(Toggles::none());
+        rls.set_phase("warmup");
+        {
+            let _op = rls.operation("early");
+            clock.advance(DurationNs::from_micros(2));
+        }
+        let sink = Arc::new(VecSink::default());
+        // Attaching mid-run delivers the backlog immediately.
+        rls.stream_to(sink.clone(), 2);
+        assert_eq!(sink.concat().len(), 1, "backlog (closed `early` op) delivered on attach");
+        for i in 0..5 {
+            let _op = rls.operation(if i % 2 == 0 { "a" } else { "b" });
+            clock.advance(DurationNs::from_micros(1));
+        }
+        let trace = rls.finish();
+        // The sink saw exactly the trace's event stream, in order.
+        assert_eq!(sink.concat(), trace.events);
+        // And the phase close (recorded at finish) arrived too.
+        assert!(sink.concat().iter().any(|e| e.kind == EventKind::Phase));
+    }
+
+    /// Regression: a phase set before `attach` (or before any recorded
+    /// work) is profiler state, not yet an event — it must survive into
+    /// both the finished trace and a mid-run [`Profiler::snapshot`],
+    /// which synthesizes the still-open phase. A naive snapshot that
+    /// copied only the event buffer silently lost it.
+    #[test]
+    fn phase_set_before_attach_is_not_lost() {
+        let clock = VirtualClock::new();
+        let rls = Profiler::new(
+            clock.clone(),
+            ProfilerConfig { toggles: Toggles::none(), ..ProfilerConfig::default() },
+        );
+        rls.set_phase("bootstrap");
+        let mut py = PyRuntime::new(clock.clone(), PyCostConfig::default());
+        let mut cuda = CudaContext::new(
+            clock.clone(),
+            rlscope_sim::gpu::GpuDevice::new(1),
+            rlscope_sim::cuda::CudaCostConfig::default(),
+        );
+        rls.attach(&mut py, &mut cuda);
+        py.exec(DurationNs::from_micros(4));
+
+        // Mid-run: the open phase appears as a synthesized event.
+        let snap = rls.snapshot();
+        let phases: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Phase)
+            .map(|e| (&*e.name, e.start.as_nanos(), e.end.as_nanos()))
+            .collect();
+        assert_eq!(phases, vec![("bootstrap", 0, 4_000)]);
+
+        // The snapshot did not close anything: the run continues and the
+        // finished trace carries the real phase once, spanning the run.
+        py.exec(DurationNs::from_micros(6));
+        let trace = rls.finish();
+        let phases: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Phase)
+            .map(|e| (&*e.name, e.start.as_nanos(), e.end.as_nanos()))
+            .collect();
+        assert_eq!(phases, vec![("bootstrap", 0, 10_000)]);
+    }
+
+    /// `snapshot` synthesizes open operations at the current clock and
+    /// leaves the profiler untouched.
+    #[test]
+    fn snapshot_synthesizes_open_operations_nondestructively() {
+        let (rls, clock) = profiler(Toggles::none());
+        let _outer = rls.operation("outer");
+        clock.advance(DurationNs::from_micros(3));
+
+        let snap = rls.snapshot();
+        assert_eq!(snap.wall_end, TimeNs::from_nanos(3_000));
+        let ops: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Operation)
+            .map(|e| (&*e.name, e.duration().as_nanos()))
+            .collect();
+        assert_eq!(ops, vec![("outer", 3_000)]);
+
+        clock.advance(DurationNs::from_micros(2));
+        drop(_outer);
+        let trace = rls.finish();
+        let ops: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Operation)
+            .map(|e| (&*e.name, e.duration().as_nanos()))
+            .collect();
+        assert_eq!(ops, vec![("outer", 5_000)]);
     }
 }

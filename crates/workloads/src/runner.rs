@@ -7,7 +7,7 @@
 use crate::adapter::ContinuousAdapter;
 use crate::frameworks::{CollectCosts, FrameworkConfig};
 use crate::stack::Stack;
-use rlscope_core::profiler::{Profiler, Toggles};
+use rlscope_core::profiler::{EventSink, Profiler, Toggles};
 use rlscope_core::store::{TraceIoError, TraceWriter};
 use rlscope_core::trace::Trace;
 use rlscope_envs::{AirLearning, Environment, Locomotion, LocomotionTask, Pong};
@@ -274,6 +274,33 @@ impl TrainSpec {
     /// uninstrumented (no profiler attached at all); otherwise a profiler
     /// with those toggles is attached and the outcome carries its trace.
     pub fn run(&self, toggles: Option<Toggles>) -> RunOutcome {
+        self.run_inner(toggles, None)
+    }
+
+    /// Executes the workload profiled while **streaming** its events to
+    /// `sink` in batches of `flush_every` — the live-collection form of
+    /// [`TrainSpec::run`]: attach an [`EventSink`] (e.g. the collector
+    /// daemon's session client) and the trace flows out while the
+    /// workload runs, instead of being written to files afterwards. The
+    /// returned outcome still carries the complete trace (streaming adds
+    /// delivery, not ownership — see
+    /// [`Profiler::stream_to`](rlscope_core::profiler::Profiler::stream_to)),
+    /// so callers can cross-check the live analysis against the local
+    /// one.
+    pub fn run_streamed(
+        &self,
+        toggles: Toggles,
+        sink: std::sync::Arc<dyn EventSink>,
+        flush_every: usize,
+    ) -> RunOutcome {
+        self.run_inner(Some(toggles), Some((sink, flush_every)))
+    }
+
+    fn run_inner(
+        &self,
+        toggles: Option<Toggles>,
+        sink: Option<(std::sync::Arc<dyn EventSink>, usize)>,
+    ) -> RunOutcome {
         let stack = Stack::new(self.framework.backend, self.framework.model);
         let continuous = self.algo != AlgoKind::Dqn;
         let mut env = make_env(&self.env, &stack, self.seed, continuous);
@@ -284,6 +311,9 @@ impl TrainSpec {
         let mut agent =
             make_agent(self.algo, self.framework, env.obs_dim(), act_dim, self.seed, self.scale);
         let profiler = toggles.map(|t| stack.profile(ProcessId(0), t));
+        if let (Some(p), Some((sink, flush_every))) = (&profiler, sink) {
+            p.stream_to(sink, flush_every);
+        }
         let collect = CollectCosts::for_model(self.framework.model);
         let mut outcome = run_annotated_loop(
             &stack,
@@ -428,6 +458,31 @@ mod tests {
         assert_eq!(streamed_phases.unwrap(), batch_phases);
         assert!(batch_phases.iter().any(|(k, _)| k.phase.as_deref() == Some("training")));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Streaming a run delivers exactly the trace's event stream to the
+    /// sink, in order — the property the live collector path builds on.
+    #[test]
+    fn streamed_run_delivers_the_full_trace_to_the_sink() {
+        use rlscope_core::event::Event;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct VecSink(Mutex<Vec<Event>>);
+        impl EventSink for VecSink {
+            fn emit(&self, events: Vec<Event>) {
+                self.0.lock().unwrap().extend(events);
+            }
+        }
+
+        let sink = Arc::new(VecSink::default());
+        let out = spec(AlgoKind::Ddpg, "Walker2D").run_streamed(Toggles::all(), sink.clone(), 256);
+        let trace = out.trace.unwrap();
+        assert!(!trace.events.is_empty());
+        assert_eq!(*sink.0.lock().unwrap(), trace.events);
+        // And the streamed run is byte-identical to a plain run.
+        let plain = spec(AlgoKind::Ddpg, "Walker2D").run(Some(Toggles::all()));
+        assert_eq!(plain.trace.unwrap(), trace);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! ```
 
 pub use rlscope_backend as backend;
+pub use rlscope_collector as collector;
 pub use rlscope_core as core;
 pub use rlscope_envs as envs;
 pub use rlscope_rl as rl;

@@ -1,0 +1,557 @@
+//! Loopback integration tests for the live collector daemon: concurrent
+//! multi-session ingest over a real Unix socket, mid-run consistent-
+//! prefix queries, batch-identical final tables, protocol abuse, and the
+//! finished-dir result cache.
+
+use proptest::prelude::*;
+use rlscope::collector::{
+    Collector, CollectorClient, CollectorConfig, CollectorError, CollectorSink, ErrorCode,
+    QuerySpec,
+};
+use rlscope::core::analysis::{Analysis, Dim};
+use rlscope::core::event::{CpuCategory, Event, EventKind, GpuCategory};
+use rlscope::core::store::{encode_events, write_frame, TraceWriter};
+use rlscope::sim::ids::ProcessId;
+use rlscope::sim::time::TimeNs;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+
+/// A fresh scratch dir (and short socket path — the 108-byte sun_path
+/// limit) per test.
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let root = std::env::temp_dir().join(format!("rlsc_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    (root.join("sock"), root.join("data"))
+}
+
+fn bind(tag: &str) -> (Collector, PathBuf) {
+    let (socket, data) = scratch(tag);
+    let collector = Collector::bind(CollectorConfig::new(&socket, data)).unwrap();
+    (collector, socket)
+}
+
+/// A realistic per-session stream: nested operation annotations over
+/// interleaved CPU/GPU activity, with two phases recorded at close
+/// (profiler order — their events arrive *after* the time they cover).
+fn session_events(pid: u32, n: usize) -> Vec<Event> {
+    let p = ProcessId(pid);
+    let mut events = Vec::with_capacity(n + n / 50 + 2);
+    let mut i = 0u64;
+    while events.len() + 2 < n {
+        let t = i * 1_000;
+        if i.is_multiple_of(50) {
+            let name = if (i / 50).is_multiple_of(2) { "train_step" } else { "collect_rollouts" };
+            events.push(Event::new(
+                p,
+                EventKind::Operation,
+                name,
+                TimeNs::from_nanos(t),
+                TimeNs::from_nanos(t + 50_000),
+            ));
+        }
+        let kind = match i % 4 {
+            0 => EventKind::Cpu(CpuCategory::Python),
+            1 => EventKind::Cpu(CpuCategory::Backend),
+            2 => EventKind::Cpu(CpuCategory::CudaApi),
+            _ => EventKind::Gpu(GpuCategory::Kernel),
+        };
+        events.push(Event::new(p, kind, "e", TimeNs::from_nanos(t), TimeNs::from_nanos(t + 800)));
+        i += 1;
+    }
+    let mid = i * 500;
+    let end = i * 1_000 + 60_000;
+    events.push(Event::new(
+        p,
+        EventKind::Phase,
+        "warmup",
+        TimeNs::from_nanos(0),
+        TimeNs::from_nanos(mid),
+    ));
+    events.push(Event::new(
+        p,
+        EventKind::Phase,
+        "steady",
+        TimeNs::from_nanos(mid),
+        TimeNs::from_nanos(end),
+    ));
+    events
+}
+
+/// The acceptance test: 4 concurrent sessions stream ≥100k events each;
+/// a mid-run live query returns a consistent prefix (batch-identical
+/// canonical JSON over exactly the events acknowledged so far), and the
+/// final per-session tables are byte-identical to the exact batch sweep
+/// of the same events — both through the live path and through the
+/// finished chunk directory.
+#[test]
+fn four_concurrent_sessions_stream_live_queries_and_batch_identical_tables() {
+    const EVENTS_PER_SESSION: usize = 100_000;
+    const CHUNK: usize = 4_096;
+    let (collector, socket) = bind("four");
+
+    let workers: Vec<_> = (0..4u32)
+        .map(|s| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let events = if s == 3 {
+                    // One multi-process session: interleave two pids so the
+                    // live merged sweep exercises its promotion path.
+                    let mut events = session_events(30, EVENTS_PER_SESSION / 2);
+                    let other = session_events(31, EVENTS_PER_SESSION / 2);
+                    let mut merged = Vec::with_capacity(EVENTS_PER_SESSION);
+                    let mut a = events.drain(..);
+                    let mut b = other.into_iter();
+                    loop {
+                        match (a.next(), b.next()) {
+                            (Some(x), Some(y)) => {
+                                merged.push(x);
+                                merged.push(y);
+                            }
+                            (Some(x), None) => merged.push(x),
+                            (None, Some(y)) => merged.push(y),
+                            (None, None) => break,
+                        }
+                    }
+                    merged
+                } else {
+                    session_events(s, EVENTS_PER_SESSION)
+                };
+                assert!(events.len() >= EVENTS_PER_SESSION - 2);
+                let name = format!("session-{s}");
+                let mut client = CollectorClient::open_session(&socket, &name).unwrap();
+
+                let chunks: Vec<&[Event]> = events.chunks(CHUNK).collect();
+                let half = chunks.len() / 2;
+                for chunk in &chunks[..half] {
+                    client.send_events(chunk).unwrap();
+                }
+
+                // Mid-run: the live query must observe exactly the prefix
+                // this client has streamed (its own writes are drained
+                // before the query), with batch-identical tables.
+                let sent = client.events_sent() as usize;
+                assert_eq!(sent, half * CHUNK);
+                let live = client.query(&QuerySpec::session(&name)).unwrap();
+                assert!(live.live && !live.cache_hit);
+                assert_eq!(live.events_observed, sent as u64);
+                let batch_prefix = Analysis::of_events(&events[..sent]).canonical_json().unwrap();
+                assert_eq!(live.canonical_json, batch_prefix, "live prefix diverged ({name})");
+                let live_grouped = client
+                    .query(&QuerySpec::session(&name).group_by([Dim::Phase, Dim::Process]))
+                    .unwrap();
+                assert_eq!(
+                    live_grouped.canonical_json,
+                    Analysis::of_events(&events[..sent])
+                        .group_by([Dim::Phase, Dim::Process])
+                        .canonical_json()
+                        .unwrap()
+                );
+
+                for chunk in &chunks[half..] {
+                    client.send_events(chunk).unwrap();
+                }
+                let summary = client.finish().unwrap();
+                assert_eq!(summary.events, events.len() as u64);
+                assert_eq!(summary.chunks, chunks.len() as u64);
+
+                // Post-finish: the query runs over the session's chunk
+                // directory; tables must still be byte-identical to the
+                // exact batch sweep of the full stream.
+                let done = client.query(&QuerySpec::session(&name)).unwrap();
+                assert!(!done.live && !done.cache_hit);
+                assert_eq!(done.events_observed, events.len() as u64);
+                let batch_full = Analysis::of_events(&events).canonical_json().unwrap();
+                assert_eq!(done.canonical_json, batch_full, "finished table diverged ({name})");
+                // Second identical query is served from the cache.
+                let again = client.query(&QuerySpec::session(&name)).unwrap();
+                assert!(again.cache_hit);
+                assert_eq!(again.canonical_json, batch_full);
+                // And the full filter surface works post-finish (window
+                // queries push down through the manifest).
+                let windowed =
+                    client.query(&QuerySpec::session(&name).window(0, 1_000_000)).unwrap();
+                assert_eq!(
+                    windowed.canonical_json,
+                    Analysis::of_events(&events)
+                        .time_window(TimeNs::ZERO, TimeNs::from_nanos(1_000_000))
+                        .canonical_json()
+                        .unwrap()
+                );
+                events.len()
+            })
+        })
+        .collect();
+    let mut total = 0usize;
+    for worker in workers {
+        total += worker.join().expect("session worker panicked");
+    }
+    assert!(total >= 4 * (EVENTS_PER_SESSION - 2));
+    let mut sessions = collector.sessions();
+    sessions.sort();
+    assert_eq!(
+        sessions,
+        (0..4).map(|s| (format!("session-{s}"), true)).collect::<Vec<_>>(),
+        "all four sessions finished"
+    );
+    collector.shutdown();
+}
+
+/// Streaming through the profiler sink (the `Profiler::stream_to` path)
+/// produces a live session whose final state matches the locally-kept
+/// trace exactly.
+#[test]
+fn profiler_sink_streams_a_real_workload() {
+    use rlscope::prelude::*;
+
+    let (collector, socket) = bind("sink");
+    let sink = CollectorSink::connect(&socket, "workload").unwrap();
+    let spec = TrainSpec {
+        scale: ScaleConfig { hidden: 8, batch: 4, freq_div: 25, ppo: None },
+        ..TrainSpec::new(AlgoKind::Ddpg, "Walker2D", STABLE_BASELINES, 40)
+    };
+    let outcome = spec.run_streamed(Toggles::all(), sink.clone(), 512);
+    let trace = outcome.trace.unwrap();
+    // The run has finished (profiler flushed everything) but the session
+    // is still live: the live tables equal the local batch analysis.
+    let live = sink.query(&QuerySpec::session("workload")).unwrap();
+    assert!(live.live);
+    assert_eq!(live.events_observed, trace.events.len() as u64);
+    assert_eq!(live.canonical_json, Analysis::of(&trace).canonical_json().unwrap());
+    let summary = sink.finish().unwrap();
+    assert_eq!(summary.events, trace.events.len() as u64);
+    let done = sink.query(&QuerySpec::session("workload").group_by([Dim::Operation])).unwrap();
+    assert_eq!(
+        done.canonical_json,
+        Analysis::of(&trace).group_by([Dim::Operation]).canonical_json().unwrap()
+    );
+    collector.shutdown();
+}
+
+/// Frame-level abuse over the real socket: truncation of a valid session
+/// byte stream at every offset, garbage bytes, and oversized length
+/// fields must never panic the daemon, never mark a truncated session
+/// finished (no silently dropped events), and never stop the daemon from
+/// serving the next clean client.
+#[test]
+fn protocol_abuse_never_panics_and_never_fakes_a_finish() {
+    let (collector, socket) = bind("abuse");
+
+    // A complete, valid session byte stream (HELLO + 2 chunks + FINISH)
+    // with a patchable session name.
+    let events = session_events(0, 64);
+    let stream_bytes = |name: &str| -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut hello = 1u32.to_be_bytes().to_vec();
+        hello.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        hello.extend_from_slice(name.as_bytes());
+        write_frame(&mut out, 0x01, &hello).unwrap();
+        write_frame(&mut out, 0x02, &encode_events(&events[..32])).unwrap();
+        write_frame(&mut out, 0x02, &encode_events(&events[32..])).unwrap();
+        write_frame(&mut out, 0x03, &[]).unwrap();
+        out
+    };
+    let full_len = stream_bytes("fz-000000").len();
+    // Truncate at every offset. A cut stream either errors or aborts at
+    // EOF — the daemon survives and the session never reports finished.
+    for cut in 0..full_len {
+        let name = format!("fz-{cut:06}");
+        let bytes = stream_bytes(&name);
+        let mut conn = UnixStream::connect(&socket).unwrap();
+        conn.write_all(&bytes[..cut]).unwrap();
+        drop(conn);
+    }
+    // Interleaved-session garbage: valid frames with garbage payloads
+    // and unknown kinds, plus raw noise.
+    for (kind, payload) in [
+        (0x02u8, b"garbage chunk".to_vec()),
+        (0x01, vec![0xff; 3]),
+        (0x04, vec![0x07; 40]),
+        (0x7a, vec![1, 2, 3]),
+    ] {
+        let mut conn = UnixStream::connect(&socket).unwrap();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, kind, &payload).unwrap();
+        conn.write_all(&bytes).unwrap();
+        drop(conn);
+    }
+    {
+        // A length field far beyond the frame limit.
+        let mut conn = UnixStream::connect(&socket).unwrap();
+        let mut bytes = (u32::MAX).to_be_bytes().to_vec();
+        bytes.push(0x02);
+        bytes.extend_from_slice(&[0u8; 64]);
+        conn.write_all(&bytes).unwrap();
+        drop(conn);
+    }
+
+    // Connections are handled asynchronously: wait until the daemon has
+    // registered every fuzz session, then assert none is finished.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let sessions = collector.sessions();
+        let fuzz: Vec<_> = sessions.iter().filter(|(n, _)| n.starts_with("fz-")).collect();
+        // Sessions exist only for cuts past the HELLO frame; every one
+        // of them must be unfinished (their streams were truncated).
+        assert!(fuzz.iter().all(|(_, finished)| !finished), "truncated session marked finished");
+        if fuzz.len() > full_len / 2 || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // The daemon is still healthy: a clean session round-trips.
+    let mut client = CollectorClient::open_session(&socket, "clean").unwrap();
+    client.send_events(&events).unwrap();
+    client.finish().unwrap();
+    let reply = client.query(&QuerySpec::session("clean")).unwrap();
+    assert_eq!(reply.canonical_json, Analysis::of_events(&events).canonical_json().unwrap());
+    collector.shutdown();
+}
+
+/// The pipelined apply mode (a dedicated per-session apply thread with
+/// the bounded decode→apply queue and the flush barrier) behaves
+/// exactly like the inline mode: forced on regardless of core count,
+/// live queries still observe a consistent acked prefix and final
+/// tables stay batch-identical.
+#[test]
+fn pipelined_apply_mode_keeps_prefix_consistency() {
+    let (socket, data) = scratch("pipe");
+    let mut config = CollectorConfig::new(&socket, data);
+    config.apply_pipeline = Some(true);
+    let collector = Collector::bind(config).unwrap();
+
+    let events = session_events(2, 30_000);
+    let mut client = CollectorClient::open_session(&socket, "piped").unwrap();
+    let chunks: Vec<&[Event]> = events.chunks(512).collect();
+    let half = chunks.len() / 2;
+    for chunk in &chunks[..half] {
+        client.send_events(chunk).unwrap();
+    }
+    let live = client.query(&QuerySpec::session("piped")).unwrap();
+    let sent = client.events_sent() as usize;
+    assert_eq!(live.events_observed, sent as u64);
+    assert_eq!(live.canonical_json, Analysis::of_events(&events[..sent]).canonical_json().unwrap());
+    for chunk in &chunks[half..] {
+        client.send_events(chunk).unwrap();
+    }
+    let summary = client.finish().unwrap();
+    assert_eq!(summary.events, events.len() as u64);
+    let done = client.query(&QuerySpec::session("piped")).unwrap();
+    assert_eq!(done.canonical_json, Analysis::of_events(&events).canonical_json().unwrap());
+    collector.shutdown();
+}
+
+/// Server-side rejections surface as typed remote errors.
+#[test]
+fn protocol_errors_carry_codes() {
+    let (collector, socket) = bind("codes");
+
+    // Path characters in a session name are rejected (it names a dir).
+    let err = CollectorClient::open_session(&socket, "../evil").unwrap_err();
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::BadSessionName), .. }));
+
+    // Duplicate session names are rejected.
+    let _first = CollectorClient::open_session(&socket, "dup").unwrap();
+    let err = CollectorClient::open_session(&socket, "dup").unwrap_err();
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::SessionExists), .. }));
+
+    // A corrupt chunk poisons the session with CorruptChunk.
+    let mut client = CollectorClient::open_session(&socket, "corrupt").unwrap();
+    client.send_chunk_bytes(b"RLSCOPE3 but not really").unwrap();
+    let err = client.finish().unwrap_err();
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::CorruptChunk), .. }));
+
+    // Unknown query targets and unsupported live queries.
+    let mut query = CollectorClient::connect(&socket).unwrap();
+    let err = query.query(&QuerySpec::session("nope")).unwrap_err();
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::UnknownTarget), .. }));
+    let mut live = CollectorClient::open_session(&socket, "winlive").unwrap();
+    live.send_events(&session_events(0, 32)).unwrap();
+    let err = live.query(&QuerySpec::session("winlive").window(0, 100)).unwrap_err();
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::UnsupportedQuery), .. }));
+    collector.shutdown();
+}
+
+/// A session name that matches durable data from a *previous daemon
+/// run* is refused — reopening must never silently wipe yesterday's
+/// trace. The old data stays on disk and queryable via a Dir target.
+#[test]
+fn session_name_reuse_across_restarts_never_wipes_durable_data() {
+    let (socket, data) = scratch("restart");
+    let collector = Collector::bind(CollectorConfig::new(&socket, &data)).unwrap();
+    let events = session_events(0, 256);
+    let mut client = CollectorClient::open_session(&socket, "keep").unwrap();
+    client.send_events(&events).unwrap();
+    client.finish().unwrap();
+    drop(client);
+    collector.shutdown();
+
+    // A new daemon over the same data dir: the name is free in its
+    // registry, but the durable directory must be protected.
+    let collector = Collector::bind(CollectorConfig::new(&socket, &data)).unwrap();
+    let err = CollectorClient::open_session(&socket, "keep").unwrap_err();
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::SessionExists), .. }));
+    let dir = data.join("keep");
+    assert!(dir.join("MANIFEST").exists(), "old manifest must survive");
+    let mut query = CollectorClient::connect(&socket).unwrap();
+    let reply = query.query(&QuerySpec::dir(dir.to_string_lossy())).unwrap();
+    assert_eq!(reply.canonical_json, Analysis::of_events(&events).canonical_json().unwrap());
+    assert_eq!(reply.events_observed, events.len() as u64);
+    collector.shutdown();
+}
+
+/// Finished-dir queries are cached keyed by manifest checksum: repeat
+/// queries hit, and any change to the directory's chunk set invalidates.
+#[test]
+fn dir_query_cache_hits_and_invalidates_on_change() {
+    let (collector, socket) = bind("cache");
+    let dir = std::env::temp_dir().join(format!("rlsc_cachedir_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let events = session_events(0, 256);
+    let writer = TraceWriter::create(&dir, 1).unwrap();
+    for chunk in events.chunks(64) {
+        writer.write(chunk.to_vec());
+    }
+    writer.finish().unwrap();
+
+    let mut client = CollectorClient::connect(&socket).unwrap();
+    let spec = QuerySpec::dir(dir.to_string_lossy()).group_by([Dim::Phase]);
+    let first = client.query(&spec).unwrap();
+    assert!(!first.cache_hit && !first.live);
+    assert_eq!(
+        first.canonical_json,
+        Analysis::from_chunk_dir(&dir).group_by([Dim::Phase]).canonical_json().unwrap()
+    );
+    let second = client.query(&spec).unwrap();
+    assert!(second.cache_hit);
+    assert_eq!(second.canonical_json, first.canonical_json);
+
+    // Grow the directory: the manifest checksum changes, the cache entry
+    // dies, and the fresh result covers the new events.
+    let extra = session_events(7, 128);
+    std::fs::write(dir.join("chunk_99999.rls"), encode_events(&extra)).unwrap();
+    let third = client.query(&spec).unwrap();
+    assert!(!third.cache_hit, "stale cache served after the dir changed");
+    assert_ne!(third.canonical_json, first.canonical_json);
+    assert_eq!(third.events_observed, (events.len() + extra.len()) as u64);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    collector.shutdown();
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    let kind = prop_oneof![
+        Just(EventKind::Cpu(CpuCategory::Python)),
+        Just(EventKind::Cpu(CpuCategory::Simulator)),
+        Just(EventKind::Cpu(CpuCategory::Backend)),
+        Just(EventKind::Cpu(CpuCategory::CudaApi)),
+        Just(EventKind::Gpu(GpuCategory::Kernel)),
+        Just(EventKind::Gpu(GpuCategory::Memcpy)),
+        Just(EventKind::Operation),
+        Just(EventKind::Phase),
+    ];
+    (kind, 0u64..5_000, 0u64..800, 0usize..3, 0u32..3).prop_map(|(kind, start, len, name, pid)| {
+        Event::new(
+            ProcessId(pid),
+            kind,
+            ["alpha", "beta", "gamma"][name],
+            TimeNs::from_nanos(start),
+            TimeNs::from_nanos(start + len),
+        )
+    })
+}
+
+proptest! {
+    /// Loopback property: whatever the event stream and however it is
+    /// chunked, a streamed session's final tables — live and post-finish
+    /// — equal the exact batch sweep of the same events. Operation and
+    /// phase annotations here arrive in arbitrary (non-profiler) order,
+    /// so this also exercises the exact sweeps' order-independence
+    /// through the whole wire path.
+    #[test]
+    fn streamed_session_equals_batch_sweep(
+        events in prop::collection::vec(arb_event(), 1..250),
+        chunk in 1usize..64,
+    ) {
+        // One daemon shared across all cases; each case is its own
+        // session (annotations arrive in arbitrary order — the exact
+        // sweeps accept any order, which is part of the property).
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::OnceLock;
+        static DAEMON: OnceLock<(Collector, PathBuf)> = OnceLock::new();
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let (_, socket) = DAEMON.get_or_init(|| bind("prop"));
+        let name = format!("prop-{}", CASE.fetch_add(1, Ordering::SeqCst));
+        let name = name.as_str();
+        let mut client = CollectorClient::open_session(socket, name).unwrap();
+        for batch in events.chunks(chunk) {
+            client.send_events(batch).unwrap();
+        }
+        let live = client.query(&QuerySpec::session(name)).unwrap();
+        let batch_json = Analysis::of_events(&events).canonical_json().unwrap();
+        prop_assert_eq!(&live.canonical_json, &batch_json);
+        prop_assert_eq!(live.events_observed, events.len() as u64);
+        client.finish().unwrap();
+        let done = client.query(&QuerySpec::session(name)).unwrap();
+        prop_assert_eq!(&done.canonical_json, &batch_json);
+        // Grouped views agree too.
+        let grouped = client
+            .query(&QuerySpec::session(name).group_by([Dim::Process, Dim::Phase]))
+            .unwrap();
+        prop_assert_eq!(
+            grouped.canonical_json,
+            Analysis::of_events(&events)
+                .group_by([Dim::Process, Dim::Phase])
+                .canonical_json()
+                .unwrap()
+        );
+    }
+}
+
+/// The actual `rlscoped` binary serves the same protocol (skipped when
+/// the binary has not been built — CI builds it first).
+#[test]
+fn rlscoped_binary_end_to_end() {
+    let mut bin = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    bin.push("target");
+    bin.push(if cfg!(debug_assertions) { "debug" } else { "release" });
+    bin.push("rlscoped");
+    if !bin.exists() {
+        eprintln!("skipping: {} not built", bin.display());
+        return;
+    }
+    let (socket, data) = scratch("bin");
+    let mut child = std::process::Command::new(&bin)
+        .args(["--socket", socket.to_str().unwrap(), "--data-dir", data.to_str().unwrap()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    // Wait for the socket to appear.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while !socket.exists() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let run = || -> Result<(), CollectorError> {
+        let events = session_events(0, 5_000);
+        let mut client = CollectorClient::open_session(&socket, "bin-session")?;
+        for chunk in events.chunks(1_000) {
+            client.send_events(chunk)?;
+        }
+        let live = client.query(&QuerySpec::session("bin-session"))?;
+        assert!(live.live);
+        assert_eq!(live.canonical_json, Analysis::of_events(&events).canonical_json().unwrap());
+        let summary = client.finish()?;
+        assert_eq!(summary.events, events.len() as u64);
+        let done = client.query(&QuerySpec::session("bin-session"))?;
+        assert_eq!(done.canonical_json, live.canonical_json);
+        Ok(())
+    };
+    let outcome = run();
+    let _ = child.kill();
+    let _ = child.wait();
+    outcome.unwrap();
+    assert!(Path::new(&data).join("bin-session").join("MANIFEST").exists());
+}

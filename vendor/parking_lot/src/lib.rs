@@ -4,7 +4,9 @@
 //! recovery instead of panicking) and an `RwLock` with the same shape.
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
+
+pub use std::sync::MutexGuard;
 
 /// A mutex whose `lock` never returns a poison error.
 #[derive(Default)]
