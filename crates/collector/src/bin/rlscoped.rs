@@ -1,19 +1,24 @@
 //! `rlscoped` — the live trace collector daemon.
 //!
 //! ```text
-//! rlscoped --socket <path> --data-dir <dir> [--credits N]
+//! rlscoped --socket <path> --data-dir <dir> [--credits N] [--idle-timeout-secs N]
 //! ```
 //!
-//! Binds the Unix-domain socket, upgrades any legacy session
-//! directories under the data dir (one-shot manifest rebuild), and
-//! serves profiling sessions and queries until killed. See the
-//! `rlscope-collector` crate docs for the wire protocol.
+//! Binds the Unix-domain socket, runs the crash-recovery scan over the
+//! data dir (re-serving finished sessions, truncating torn tails and
+//! rebuilding live state for interrupted ones, upgrading legacy
+//! directories), and serves profiling sessions and queries until
+//! killed. See the `rlscope-collector` crate docs for the wire protocol
+//! and the durability contract.
 
 use rlscope_collector::daemon::serve_forever;
-use rlscope_collector::{Collector, CollectorConfig};
+use rlscope_collector::{Collector, CollectorConfig, SessionPhase};
+use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: rlscoped --socket <path> --data-dir <dir> [--credits N]");
+    eprintln!(
+        "usage: rlscoped --socket <path> --data-dir <dir> [--credits N] [--idle-timeout-secs N]"
+    );
     std::process::exit(2);
 }
 
@@ -22,6 +27,7 @@ fn main() {
     let mut socket: Option<String> = None;
     let mut data_dir: Option<String> = None;
     let mut credits: Option<u32> = None;
+    let mut idle_timeout_secs: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         let value = |i: usize| -> String {
@@ -34,8 +40,13 @@ fn main() {
             "--socket" | "-s" => socket = Some(value(i)),
             "--data-dir" | "-d" => data_dir = Some(value(i)),
             "--credits" => credits = Some(value(i).parse().unwrap_or_else(|_| usage())),
+            "--idle-timeout-secs" => {
+                idle_timeout_secs = Some(value(i).parse().unwrap_or_else(|_| usage()));
+            }
             "--help" | "-h" => {
-                println!("rlscoped --socket <path> --data-dir <dir> [--credits N]");
+                println!(
+                    "rlscoped --socket <path> --data-dir <dir> [--credits N] [--idle-timeout-secs N]"
+                );
                 return;
             }
             other => {
@@ -49,6 +60,9 @@ fn main() {
     let mut config = CollectorConfig::new(socket, data_dir);
     if let Some(credits) = credits {
         config.credits = credits.max(1);
+    }
+    if let Some(secs) = idle_timeout_secs {
+        config.idle_timeout = Some(Duration::from_secs(secs.max(1)));
     }
     let collector = match Collector::bind(config) {
         Ok(collector) => collector,
@@ -64,6 +78,31 @@ fn main() {
             outcome.chunks,
             outcome.events,
             if outcome.written { "written" } else { "not writable" }
+        );
+    }
+    for recovered in collector.recovered_sessions() {
+        let phase = match recovered.phase {
+            SessionPhase::Finished => "finished, re-serving",
+            SessionPhase::Detached => "interrupted, awaiting resume",
+            SessionPhase::Aborted => "aborted, data queryable",
+            SessionPhase::Attached => "attached",
+        };
+        // Only interrupted sessions replay events into live sweeps at
+        // recovery; finished/aborted dirs are served through the batch
+        // path, so an event count there would always read 0.
+        let events = match recovered.phase {
+            SessionPhase::Detached => format!(", {} events replayed", recovered.events),
+            _ => String::new(),
+        };
+        println!(
+            "rlscoped: recovered session '{}' ({phase}; {} chunks{events}{})",
+            recovered.name,
+            recovered.chunks,
+            if recovered.removed_chunks > 0 {
+                format!(", {} torn tail chunk(s) truncated", recovered.removed_chunks)
+            } else {
+                String::new()
+            }
         );
     }
     println!("rlscoped: listening on {}", collector.socket().display());

@@ -1,17 +1,19 @@
-//! The client half: the raw protocol client and the profiler sink that
-//! streams a live workload into the daemon.
+//! The client half: the raw protocol client (with resumable reconnect)
+//! and the profiler sink that streams a live workload into the daemon.
 
 use crate::protocol::{
-    decode_error, kind, CollectorError, QueryReply, QuerySpec, PROTOCOL_VERSION,
+    decode_error, kind, CollectorError, ErrorCode, HelloAck, HelloRequest, QueryReply, QuerySpec,
 };
 use parking_lot::Mutex;
 use rlscope_core::event::Event;
 use rlscope_core::profiler::EventSink;
-use rlscope_core::store::{encode_events, read_frame, write_frame};
+use rlscope_core::store::{encode_events, read_frame, write_frame, write_frame_parts};
+use std::collections::VecDeque;
 use std::fmt;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// What the daemon reported at session finish.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +24,39 @@ pub struct SessionSummary {
     pub events: u64,
 }
 
+/// Bounded retry-with-exponential-backoff schedule for transparent
+/// reconnects. Only **transport** failures are retried; a typed server
+/// rejection ([`CollectorError::Remote`]) always surfaces immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Reconnect attempts per outage before giving up (0 disables
+    /// reconnecting entirely).
+    pub max_attempts: u32,
+    /// Backoff before the first attempt; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    /// 5 attempts, 25ms initial backoff doubling to a 1s ceiling —
+    /// rides out a daemon restart of up to roughly a second.
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// A policy that never reconnects (every transport error is final).
+    pub fn disabled() -> Self {
+        ReconnectPolicy { max_attempts: 0, ..ReconnectPolicy::default() }
+    }
+}
+
 /// A synchronous protocol client over one Unix-socket connection.
 ///
 /// [`CollectorClient::open_session`] performs the handshake and streams
@@ -30,27 +65,48 @@ pub struct SessionSummary {
 /// are encoded with the standard codec ([`encode_events`]), so the bytes
 /// on the wire are exactly the bytes a [`rlscope_core::store::TraceWriter`]
 /// would put on disk.
+///
+/// # Crash safety
+///
+/// Every sent chunk is buffered until its durable `CHUNK_ACK` arrives.
+/// When the transport fails mid-session, the client reconnects under
+/// its [`ReconnectPolicy`], resumes via the epoch handshake, trims the
+/// buffer to the daemon's acked watermark, and replays only the unacked
+/// tail — exactly-once, in-order delivery across daemon restarts. A
+/// typed server rejection (epoch mismatch, abort, name in use) is never
+/// retried.
 pub struct CollectorClient {
     stream: UnixStream,
+    socket: PathBuf,
+    policy: ReconnectPolicy,
     session: Option<String>,
     session_id: u64,
+    epoch: u64,
     credits: u32,
     max_credits: u32,
     events_sent: u64,
+    /// Next chunk sequence number to assign.
+    next_seq: u64,
+    /// Sent-but-unacked chunks, oldest first: the replay buffer. Bounded
+    /// by the credit window.
+    unacked: VecDeque<(u64, Vec<u8>)>,
 }
 
 impl fmt::Debug for CollectorClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CollectorClient")
             .field("session", &self.session)
+            .field("epoch", &self.epoch)
             .field("credits", &self.credits)
+            .field("next_seq", &self.next_seq)
             .field("events_sent", &self.events_sent)
             .finish_non_exhaustive()
     }
 }
 
 impl CollectorClient {
-    /// Opens a query-only connection (no session handshake).
+    /// Opens a query-only connection (no session handshake, no
+    /// reconnect).
     ///
     /// # Errors
     ///
@@ -59,48 +115,87 @@ impl CollectorClient {
         let stream = UnixStream::connect(socket)?;
         Ok(CollectorClient {
             stream,
+            socket: socket.to_path_buf(),
+            policy: ReconnectPolicy::disabled(),
             session: None,
             session_id: 0,
+            epoch: 0,
             credits: 0,
             max_credits: 0,
             events_sent: 0,
+            next_seq: 0,
+            unacked: VecDeque::new(),
         })
     }
 
-    /// Connects and opens a profiling session named `name`.
+    /// Connects and opens a profiling session named `name`, with the
+    /// default [`ReconnectPolicy`].
     ///
     /// # Errors
     ///
     /// Connection failures, or the server's rejection (bad name, name
     /// already in use, version mismatch) as [`CollectorError::Remote`].
     pub fn open_session(socket: &Path, name: &str) -> Result<CollectorClient, CollectorError> {
-        let mut stream = UnixStream::connect(socket)?;
-        let mut hello = PROTOCOL_VERSION.to_be_bytes().to_vec();
-        hello.extend_from_slice(&(name.len() as u16).to_be_bytes());
-        hello.extend_from_slice(name.as_bytes());
-        write_frame(&mut stream, kind::HELLO, &hello)?;
-        let (frame_kind, payload) = expect_frame(&mut stream)?;
-        match frame_kind {
-            kind::HELLO_ACK if payload.len() == 12 => {
-                let mut word = [0u8; 8];
-                word.copy_from_slice(&payload[..8]);
-                let session_id = u64::from_be_bytes(word);
-                let credits =
-                    u32::from_be_bytes(payload[8..].try_into().expect("4-byte slice")).max(1);
-                Ok(CollectorClient {
-                    stream,
-                    session: Some(name.to_string()),
-                    session_id,
-                    credits,
-                    max_credits: credits,
-                    events_sent: 0,
-                })
-            }
-            kind::ERROR => Err(decode_error(&payload)),
-            other => {
-                Err(CollectorError::Protocol(format!("unexpected HELLO reply kind {other:#04x}")))
-            }
-        }
+        Self::open_session_with(socket, name, ReconnectPolicy::default())
+    }
+
+    /// [`CollectorClient::open_session`] with an explicit reconnect
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectorClient::open_session`].
+    pub fn open_session_with(
+        socket: &Path,
+        name: &str,
+        policy: ReconnectPolicy,
+    ) -> Result<CollectorClient, CollectorError> {
+        let (stream, ack) = handshake(socket, &HelloRequest::new_session(name))?;
+        Ok(CollectorClient {
+            stream,
+            socket: socket.to_path_buf(),
+            policy,
+            session: Some(name.to_string()),
+            session_id: ack.session_id,
+            epoch: ack.epoch,
+            credits: ack.credits.max(1),
+            max_credits: ack.credits.max(1),
+            events_sent: 0,
+            next_seq: 0,
+            unacked: VecDeque::new(),
+        })
+    }
+
+    /// Reattaches to a detached session — e.g. one a previous process
+    /// streamed before crashing, or one recovered by a restarted daemon.
+    /// The returned client continues the stream at the daemon's acked
+    /// watermark (chunks below it are durable; the caller re-sends from
+    /// there).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, or the typed rejection: epoch mismatch,
+    /// session aborted/finished/attached, unknown name.
+    pub fn resume_session(
+        socket: &Path,
+        name: &str,
+        epoch: u64,
+        policy: ReconnectPolicy,
+    ) -> Result<CollectorClient, CollectorError> {
+        let (stream, ack) = handshake(socket, &HelloRequest::resume(name, epoch))?;
+        Ok(CollectorClient {
+            stream,
+            socket: socket.to_path_buf(),
+            policy,
+            session: Some(name.to_string()),
+            session_id: ack.session_id,
+            epoch: ack.epoch,
+            credits: ack.credits.max(1),
+            max_credits: ack.credits.max(1),
+            events_sent: 0,
+            next_seq: ack.acked_chunks,
+            unacked: VecDeque::new(),
+        })
     }
 
     /// The session name, when this connection opened one.
@@ -113,7 +208,13 @@ impl CollectorClient {
         self.session_id
     }
 
-    /// Events sent so far over this connection.
+    /// The session's incarnation epoch (what a resume handshake must
+    /// echo).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Events sent so far over this client (across reconnects).
     pub fn events_sent(&self) -> u64 {
         self.events_sent
     }
@@ -123,8 +224,8 @@ impl CollectorClient {
     ///
     /// # Errors
     ///
-    /// Transport failures or a server-side rejection of an earlier
-    /// chunk.
+    /// Transport failures that outlive the reconnect policy, or a typed
+    /// server-side rejection.
     pub fn send_events(&mut self, events: &[Event]) -> Result<(), CollectorError> {
         let chunk = encode_events(events);
         self.send_chunk_bytes(&chunk)?;
@@ -144,25 +245,46 @@ impl CollectorClient {
         if self.session.is_none() {
             return Err(CollectorError::Protocol("no open session".into()));
         }
-        while self.credits == 0 {
-            self.recv_ack()?;
+        loop {
+            while self.credits == 0 {
+                match self.recv_ack() {
+                    Ok(()) => {}
+                    Err(CollectorError::Io(e)) => {
+                        self.recover(CollectorError::Io(e))?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let seq = self.next_seq;
+            match write_frame_parts(&mut self.stream, kind::CHUNK, &seq.to_be_bytes(), chunk) {
+                Ok(()) => {
+                    // Buffered only after a successful write: a failed
+                    // write retries the send itself, and buffering first
+                    // would replay the chunk twice.
+                    self.unacked.push_back((seq, chunk.to_vec()));
+                    self.next_seq += 1;
+                    self.credits -= 1;
+                    return Ok(());
+                }
+                Err(e) => {
+                    // A write failure can also mean the server rejected an
+                    // earlier chunk and closed: its typed ERROR frame is
+                    // sitting in our receive buffer behind any acks —
+                    // surface that instead of an opaque broken pipe.
+                    if let Some(remote) = self.pending_server_error() {
+                        return Err(remote);
+                    }
+                    self.recover(CollectorError::Io(e))?;
+                }
+            }
         }
-        if let Err(e) = write_frame(&mut self.stream, kind::CHUNK, chunk) {
-            // A write failure mid-stream usually means the server
-            // rejected an earlier chunk and closed: its typed ERROR
-            // frame is sitting in our receive buffer behind any acks —
-            // surface that instead of an opaque broken pipe.
-            return Err(self.pending_server_error().unwrap_or(CollectorError::Io(e)));
-        }
-        self.credits -= 1;
-        Ok(())
     }
 
     /// Drains buffered incoming frames looking for a server `ERROR`
     /// (skipping acks), without blocking for more than a short grace
     /// period. Used to explain transport failures.
     fn pending_server_error(&mut self) -> Option<CollectorError> {
-        let _ = self.stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+        let _ = self.stream.set_read_timeout(Some(Duration::from_millis(250)));
         let mut found = None;
         for _ in 0..self.max_credits.max(1) + 1 {
             match read_frame(&mut self.stream) {
@@ -170,7 +292,10 @@ impl CollectorClient {
                     found = Some(decode_error(&payload));
                     break;
                 }
-                Ok(Some((kind::CHUNK_ACK, _))) => continue,
+                Ok(Some((kind::CHUNK_ACK, payload))) => {
+                    self.note_ack(&payload);
+                    continue;
+                }
                 _ => break,
             }
         }
@@ -178,11 +303,26 @@ impl CollectorClient {
         found
     }
 
+    /// Applies one `CHUNK_ACK` payload to the replay buffer and credit
+    /// window.
+    fn note_ack(&mut self, payload: &[u8]) {
+        if payload.len() != 12 {
+            return;
+        }
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&payload[..8]);
+        let seq = u64::from_be_bytes(word);
+        while self.unacked.front().is_some_and(|(s, _)| *s <= seq) {
+            self.unacked.pop_front();
+        }
+        self.credits = (self.credits + 1).min(self.max_credits);
+    }
+
     fn recv_ack(&mut self) -> Result<(), CollectorError> {
         let (frame_kind, payload) = expect_frame(&mut self.stream)?;
         match frame_kind {
             kind::CHUNK_ACK => {
-                self.credits += 1;
+                self.note_ack(&payload);
                 Ok(())
             }
             kind::ERROR => Err(decode_error(&payload)),
@@ -194,9 +334,56 @@ impl CollectorClient {
 
     /// Blocks until every in-flight chunk is acknowledged — the barrier
     /// before a query or finish, so replies cannot interleave with acks.
+    /// Transport failures reconnect and replay under the policy.
     fn drain_acks(&mut self) -> Result<(), CollectorError> {
-        while self.credits < self.max_credits {
-            self.recv_ack()?;
+        while self.credits < self.max_credits || !self.unacked.is_empty() {
+            match self.recv_ack() {
+                Ok(()) => {}
+                Err(CollectorError::Io(e)) => self.recover(CollectorError::Io(e))?,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// The reconnect loop: backoff, reconnect, resume at this epoch,
+    /// trim the replay buffer to the daemon's acked watermark, replay
+    /// the unacked tail. Gives up (returning `last`) when the policy is
+    /// exhausted; returns a typed server rejection immediately.
+    fn recover(&mut self, last: CollectorError) -> Result<(), CollectorError> {
+        let Some(name) = self.session.clone() else { return Err(last) };
+        let mut backoff = self.policy.initial_backoff;
+        let mut last = last;
+        for _ in 0..self.policy.max_attempts {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(self.policy.max_backoff);
+            match self.try_resume(&name) {
+                Ok(()) => return Ok(()),
+                Err(CollectorError::Io(e)) => last = CollectorError::Io(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// One resume attempt: handshake, trim, replay.
+    fn try_resume(&mut self, name: &str) -> Result<(), CollectorError> {
+        let (stream, ack) = handshake(&self.socket, &HelloRequest::resume(name, self.epoch))?;
+        self.stream = stream;
+        self.max_credits = ack.credits.max(1);
+        self.credits = self.max_credits;
+        // Chunks below the watermark are durable on the daemon; replay
+        // starts at the watermark — never before it, never past a gap.
+        while self.unacked.front().is_some_and(|(seq, _)| *seq < ack.acked_chunks) {
+            self.unacked.pop_front();
+        }
+        let pending: Vec<(u64, Vec<u8>)> = self.unacked.iter().cloned().collect();
+        for (seq, chunk) in pending {
+            while self.credits == 0 {
+                self.recv_ack()?;
+            }
+            write_frame_parts(&mut self.stream, kind::CHUNK, &seq.to_be_bytes(), &chunk)?;
+            self.credits -= 1;
         }
         Ok(())
     }
@@ -207,11 +394,22 @@ impl CollectorClient {
     ///
     /// # Errors
     ///
-    /// Transport failures or a server-side error reply.
+    /// Transport failures (after reconnect attempts, for session
+    /// connections) or a server-side error reply.
     pub fn query(&mut self, spec: &QuerySpec) -> Result<QueryReply, CollectorError> {
-        if self.session.is_some() {
-            self.drain_acks()?;
+        if self.session.is_none() {
+            return self.query_once(spec);
         }
+        loop {
+            self.drain_acks()?;
+            match self.query_once(spec) {
+                Err(CollectorError::Io(e)) => self.recover(CollectorError::Io(e))?,
+                other => return other,
+            }
+        }
+    }
+
+    fn query_once(&mut self, spec: &QuerySpec) -> Result<QueryReply, CollectorError> {
         write_frame(&mut self.stream, kind::QUERY, &spec.encode())?;
         let (frame_kind, payload) = expect_frame(&mut self.stream)?;
         match frame_kind {
@@ -227,14 +425,46 @@ impl CollectorClient {
     /// waits for the daemon's acknowledgment (chunk files flushed,
     /// manifest written). The connection stays usable for queries.
     ///
+    /// If the transport fails around the finish exchange, the client
+    /// reconnects and retries; a resume handshake answered "already
+    /// finished" means the daemon committed before the failure, and the
+    /// finish reports success.
+    ///
     /// # Errors
     ///
-    /// Transport failures or a server-side error reply.
+    /// Transport failures that outlive the reconnect policy, or a
+    /// server-side error reply.
     pub fn finish(&mut self) -> Result<SessionSummary, CollectorError> {
         if self.session.is_none() {
             return Err(CollectorError::Protocol("no open session to finish".into()));
         }
-        self.drain_acks()?;
+        loop {
+            self.drain_acks()?;
+            match self.finish_once() {
+                Ok(summary) => {
+                    self.session = None;
+                    return Ok(summary);
+                }
+                Err(CollectorError::Io(e)) => match self.recover(CollectorError::Io(e)) {
+                    Ok(()) => {}
+                    Err(CollectorError::Remote {
+                        code: Some(ErrorCode::SessionExists), ..
+                    }) => {
+                        // The FINISH committed; only its ack was lost.
+                        self.session = None;
+                        return Ok(SessionSummary {
+                            chunks: self.next_seq,
+                            events: self.events_sent,
+                        });
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn finish_once(&mut self) -> Result<SessionSummary, CollectorError> {
         write_frame(&mut self.stream, kind::FINISH, &[])?;
         let (frame_kind, payload) = expect_frame(&mut self.stream)?;
         match frame_kind {
@@ -244,7 +474,6 @@ impl CollectorClient {
                 let chunks = u64::from_be_bytes(word);
                 word.copy_from_slice(&payload[8..]);
                 let events = u64::from_be_bytes(word);
-                self.session = None;
                 Ok(SessionSummary { chunks, events })
             }
             kind::ERROR => Err(decode_error(&payload)),
@@ -252,6 +481,24 @@ impl CollectorClient {
                 Err(CollectorError::Protocol(format!("unexpected finish reply kind {other:#04x}")))
             }
         }
+    }
+}
+
+/// One connect + HELLO exchange.
+fn handshake(
+    socket: &Path,
+    hello: &HelloRequest,
+) -> Result<(UnixStream, HelloAck), CollectorError> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_frame(&mut stream, kind::HELLO, &hello.encode())?;
+    let (frame_kind, payload) = expect_frame(&mut stream)?;
+    match frame_kind {
+        kind::HELLO_ACK => {
+            let ack = HelloAck::decode(&payload)?;
+            Ok((stream, ack))
+        }
+        kind::ERROR => Err(decode_error(&payload)),
+        other => Err(CollectorError::Protocol(format!("unexpected HELLO reply kind {other:#04x}"))),
     }
 }
 
@@ -265,11 +512,15 @@ fn expect_frame(stream: &mut UnixStream) -> Result<(u8, Vec<u8>), CollectorError
 /// An [`EventSink`] that streams a profiler's events into a collector
 /// session — attach with
 /// [`Profiler::stream_to`](rlscope_core::profiler::Profiler::stream_to)
-/// and the workload's trace flows to the daemon while it runs.
+/// and the workload's trace flows to the daemon while it runs. The
+/// underlying client reconnects and replays transparently under its
+/// [`ReconnectPolicy`], so a daemon restart pauses the stream instead
+/// of killing the run.
 ///
 /// `emit` cannot return errors through the profiler, so transport
-/// failures are latched: the first error stops further sends and is
-/// surfaced by [`CollectorSink::finish`] (or [`CollectorSink::take_error`]).
+/// failures that outlive the policy are latched: the first error stops
+/// further sends and is surfaced by [`CollectorSink::finish`] (or
+/// [`CollectorSink::take_error`]).
 pub struct CollectorSink {
     client: Mutex<Option<CollectorClient>>,
     error: Mutex<Option<CollectorError>>,
@@ -282,14 +533,27 @@ impl fmt::Debug for CollectorSink {
 }
 
 impl CollectorSink {
-    /// Connects and opens a session (see
-    /// [`CollectorClient::open_session`]).
+    /// Connects and opens a session with the default reconnect policy
+    /// (see [`CollectorClient::open_session`]).
     ///
     /// # Errors
     ///
     /// Connection or handshake failures.
     pub fn connect(socket: &Path, session: &str) -> Result<Arc<CollectorSink>, CollectorError> {
-        let client = CollectorClient::open_session(socket, session)?;
+        Self::connect_with(socket, session, ReconnectPolicy::default())
+    }
+
+    /// [`CollectorSink::connect`] with an explicit reconnect policy.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect_with(
+        socket: &Path,
+        session: &str,
+        policy: ReconnectPolicy,
+    ) -> Result<Arc<CollectorSink>, CollectorError> {
+        let client = CollectorClient::open_session_with(socket, session, policy)?;
         Ok(Arc::new(CollectorSink { client: Mutex::new(Some(client)), error: Mutex::new(None) }))
     }
 

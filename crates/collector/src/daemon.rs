@@ -1,28 +1,131 @@
-//! The collector daemon: socket accept loop, per-session ingest, live
-//! and finished-dir query execution, and the keyed result cache.
+//! The collector daemon: socket accept loop, per-session ingest, the
+//! durable session registry and restart recovery scan, live and
+//! finished-dir query execution, and the keyed result caches.
 
 use crate::protocol::{
-    encode_error, kind, CollectorError, ErrorCode, QueryReply, QuerySpec, QueryTarget,
-    PROTOCOL_VERSION,
+    encode_error, kind, CollectorError, ErrorCode, HelloAck, HelloRequest, QueryReply, QuerySpec,
+    QueryTarget, PROTOCOL_VERSION,
 };
+use crate::registry::{SessionRecord, SessionStatus};
 use parking_lot::Mutex;
 use rlscope_core::analysis::{Analysis, AnalysisError, LiveState};
 use rlscope_core::event::Event;
 use rlscope_core::store::{
     compute_footer, decode_events, list_chunk_files, read_chunk_footer, read_frame,
-    upgrade_chunk_dir, write_frame, Manifest, ManifestEntry, ManifestUpgrade, TraceIoError,
-    MANIFEST_FILE,
+    recover_chunk_prefix, upgrade_chunk_dir, write_frame, Manifest, ManifestEntry, ManifestUpgrade,
+    TraceIoError, MANIFEST_FILE,
 };
 use rlscope_sim::ids::ProcessId;
 use rlscope_sim::time::TimeNs;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
+use std::hash::Hash;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Test-only fault injection for the daemon's durable I/O path, compiled
+/// only under the `fault-inject` feature (release builds carry no hook).
+///
+/// A [`fault::FaultPlan`] is shared between a chaos test and the daemon
+/// config; the daemon consults it before every chunk persist and
+/// manifest write, so tests can inject ENOSPC-style failures and torn
+/// writes at exact points in the stream without touching the filesystem
+/// layer. The chunk-write counter is global to the plan, so fault
+/// schedules are easiest to reason about with one streaming session per
+/// plan.
+#[cfg(feature = "fault-inject")]
+pub mod fault {
+    use parking_lot::Mutex;
+    use rlscope_core::store::TraceIoError;
+    use std::sync::Arc;
+
+    #[derive(Debug, Default)]
+    struct Inner {
+        chunk_writes_seen: u64,
+        fail_chunk_writes_from: Option<u64>,
+        torn_bytes: Option<usize>,
+        fail_manifest_writes: bool,
+    }
+
+    /// A mutable fault schedule for the daemon's chunk and manifest
+    /// writes (see the module docs).
+    #[derive(Debug, Default)]
+    pub struct FaultPlan {
+        inner: Mutex<Inner>,
+    }
+
+    pub(crate) enum ChunkWriteFault {
+        Pass,
+        Torn(usize),
+        Fail,
+    }
+
+    impl FaultPlan {
+        /// A plan with no faults scheduled.
+        pub fn new() -> Arc<FaultPlan> {
+            Arc::new(FaultPlan::default())
+        }
+
+        /// Every chunk persist from the `nth` (0-based, counted across
+        /// the plan's lifetime) fails with an injected ENOSPC-style
+        /// error before any byte lands.
+        pub fn fail_chunk_writes_from(&self, nth: u64) {
+            let mut inner = self.inner.lock();
+            inner.fail_chunk_writes_from = Some(nth);
+            inner.torn_bytes = None;
+        }
+
+        /// Like [`FaultPlan::fail_chunk_writes_from`], but each failing
+        /// write first leaves a torn `keep_bytes`-byte prefix on disk —
+        /// the partial-write shape a real crash leaves behind.
+        pub fn tear_chunk_writes_from(&self, nth: u64, keep_bytes: usize) {
+            let mut inner = self.inner.lock();
+            inner.fail_chunk_writes_from = Some(nth);
+            inner.torn_bytes = Some(keep_bytes);
+        }
+
+        /// Make every manifest write fail with an injected error.
+        pub fn fail_manifest_writes(&self, fail: bool) {
+            self.inner.lock().fail_manifest_writes = fail;
+        }
+
+        /// Clears all scheduled faults and resets the write counter, so
+        /// the next schedule counts from the next chunk persist.
+        pub fn clear(&self) {
+            let mut inner = self.inner.lock();
+            inner.chunk_writes_seen = 0;
+            inner.fail_chunk_writes_from = None;
+            inner.torn_bytes = None;
+            inner.fail_manifest_writes = false;
+        }
+
+        pub(crate) fn next_chunk_write(&self) -> ChunkWriteFault {
+            let mut inner = self.inner.lock();
+            let n = inner.chunk_writes_seen;
+            inner.chunk_writes_seen += 1;
+            match inner.fail_chunk_writes_from {
+                Some(from) if n >= from => match inner.torn_bytes {
+                    Some(keep) => ChunkWriteFault::Torn(keep),
+                    None => ChunkWriteFault::Fail,
+                },
+                _ => ChunkWriteFault::Pass,
+            }
+        }
+
+        pub(crate) fn manifest_writes_fail(&self) -> bool {
+            self.inner.lock().fail_manifest_writes
+        }
+    }
+
+    pub(crate) fn injected_enospc() -> TraceIoError {
+        std::io::Error::other("injected ENOSPC (fault plan)").into()
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -38,17 +141,26 @@ pub struct CollectorConfig {
     /// Credit window granted to each session connection (max unacked
     /// `CHUNK` frames in flight — the explicit backpressure bound).
     pub credits: u32,
-    /// Finished-target query results cached (FIFO eviction).
+    /// Query results cached per cache (finished-dir and live), LRU
+    /// eviction.
     pub cache_capacity: usize,
     /// Force the decode→apply pipeline on (`Some(true)`) or off
     /// (`Some(false)`); `None` picks by available parallelism — a
     /// dedicated apply thread per session only pays when there is a core
     /// for it.
     pub apply_pipeline: Option<bool>,
+    /// Abort sessions (typed [`ErrorCode::IdleTimeout`]) that receive no
+    /// frames for this long, so a crashed client cannot pin daemon
+    /// memory forever. `None` disables the reaper.
+    pub idle_timeout: Option<Duration>,
+    /// Fault schedule for the durable I/O path (chaos tests only).
+    #[cfg(feature = "fault-inject")]
+    pub faults: Option<Arc<fault::FaultPlan>>,
 }
 
 impl CollectorConfig {
-    /// A config with default tuning (8 credits, 256 cached results).
+    /// A config with default tuning (8 credits, 256 cached results, no
+    /// idle timeout).
     pub fn new(socket: impl Into<PathBuf>, data_dir: impl Into<PathBuf>) -> Self {
         CollectorConfig {
             socket: socket.into(),
@@ -56,8 +168,44 @@ impl CollectorConfig {
             credits: 8,
             cache_capacity: 256,
             apply_pipeline: None,
+            idle_timeout: None,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
     }
+}
+
+/// Where a session currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// A connection is streaming into (or holding) the session.
+    Attached,
+    /// No connection holds the session; a client may resume it with the
+    /// matching epoch.
+    Detached,
+    /// `FINISH` committed; the directory is immutable and served
+    /// read-only by name.
+    Finished,
+    /// Aborted with a typed error; the data so far is queryable and the
+    /// name is reusable.
+    Aborted,
+}
+
+/// One session re-registered by the startup recovery scan.
+#[derive(Debug, Clone)]
+pub struct RecoveredSession {
+    /// Session (and chunk directory) name.
+    pub name: String,
+    /// Lifecycle phase after recovery ([`SessionPhase::Detached`] for
+    /// sessions that were mid-stream — they await a resume).
+    pub phase: SessionPhase,
+    /// Durable chunks in the recovered prefix.
+    pub chunks: u64,
+    /// Events across the recovered prefix (0 for finished sessions,
+    /// whose manifest is the source of truth).
+    pub events: u64,
+    /// Torn/corrupt tail chunk files the scan deleted.
+    pub removed_chunks: usize,
 }
 
 /// One profiling session's server-side state.
@@ -67,10 +215,11 @@ impl CollectorConfig {
 /// the session's **apply thread** over a bounded channel (the bounded
 /// per-connection buffer — at most [`APPLY_QUEUE_CHUNKS`] decoded chunks
 /// in flight). The apply thread pushes them into the live sweeps and
-/// the chunk store, so decode overlaps sweeping and single-session
-/// ingest is not serialized on the sum of both costs. (On single-core
-/// hosts the pipeline is skipped and chunks apply inline — same
-/// [`Session::apply_chunk`] path, no context-switch tax.)
+/// the chunk store, **then writes the `CHUNK_ACK`** — an ack therefore
+/// means the chunk is durable, which is what makes client-side replay
+/// after a daemon crash exactly-once. (On single-core hosts the
+/// pipeline is skipped and chunks apply inline before the ack — same
+/// [`Session::apply_chunk`] path, same durability contract.)
 ///
 /// Chunks apply atomically — the whole-chunk sweep push under the
 /// `live` lock, then counters and the verbatim persist under the
@@ -81,6 +230,11 @@ impl CollectorConfig {
 /// has been acked.
 struct Session {
     name: String,
+    /// Server-assigned id, stable across detach/resume.
+    id: u64,
+    /// Incarnation epoch (see [`SessionRecord::epoch`]); immutable for
+    /// the session's lifetime, echoed by resuming clients.
+    epoch: u64,
     dir: PathBuf,
     state: Mutex<SessionState>,
     /// The live sweeps, under their own lock so a whole-chunk sweep push
@@ -108,6 +262,9 @@ struct ApplyProgress {
 /// in-flight memory between decode and apply.
 const APPLY_QUEUE_CHUNKS: usize = 8;
 
+/// `(seq, raw payload, decoded events)` handed to the apply stage.
+type ApplyItem = (u64, Vec<u8>, Vec<Event>);
+
 /// The session's durable half: received chunk payloads are persisted
 /// **verbatim** — they are codec-v3 chunks, already validated end to end
 /// by the ingest decode — so the collector never re-encodes a byte, and
@@ -120,13 +277,16 @@ struct ChunkStore {
     dir: PathBuf,
     entries: Vec<ManifestEntry>,
     seq: u32,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<Arc<fault::FaultPlan>>,
 }
 
 impl ChunkStore {
     /// Creates the session directory, clearing stale chunks and any old
     /// `MANIFEST` (same reused-directory semantics as
     /// `TraceWriter::create`).
-    fn create(dir: &Path) -> Result<ChunkStore, TraceIoError> {
+    fn create(dir: &Path, config: &CollectorConfig) -> Result<ChunkStore, TraceIoError> {
+        let _ = config;
         fs::create_dir_all(dir)?;
         for stale in list_chunk_files(dir)? {
             fs::remove_file(stale)?;
@@ -135,7 +295,27 @@ impl ChunkStore {
         if manifest.exists() {
             fs::remove_file(&manifest)?;
         }
-        Ok(ChunkStore { dir: dir.to_path_buf(), entries: Vec::new(), seq: 0 })
+        Ok(ChunkStore {
+            dir: dir.to_path_buf(),
+            entries: Vec::new(),
+            seq: 0,
+            #[cfg(feature = "fault-inject")]
+            faults: config.faults.clone(),
+        })
+    }
+
+    /// Reopens a recovered directory without wiping it: `entries` is the
+    /// validated prefix a [`recover_chunk_prefix`] scan produced, and
+    /// new chunks continue its contiguous `chunk_NNNNN` numbering.
+    fn resume(dir: &Path, entries: Vec<ManifestEntry>, config: &CollectorConfig) -> ChunkStore {
+        let _ = config;
+        ChunkStore {
+            dir: dir.to_path_buf(),
+            seq: entries.len() as u32,
+            entries,
+            #[cfg(feature = "fault-inject")]
+            faults: config.faults.clone(),
+        }
     }
 
     /// Persists one validated chunk payload verbatim and indexes its
@@ -143,7 +323,7 @@ impl ChunkStore {
     /// events for v1-fallback payloads, whose wire format carries none).
     fn append(&mut self, payload: &[u8], events: &[Event]) -> Result<(), TraceIoError> {
         let file = format!("chunk_{:05}.rls", self.seq);
-        fs::write(self.dir.join(&file), payload)?;
+        self.write_chunk(&self.dir.join(&file), payload)?;
         self.seq += 1;
         let footer = match read_chunk_footer(payload)? {
             Some(footer) => footer,
@@ -153,9 +333,37 @@ impl ChunkStore {
         Ok(())
     }
 
+    #[cfg(feature = "fault-inject")]
+    fn write_chunk(&self, path: &Path, payload: &[u8]) -> Result<(), TraceIoError> {
+        if let Some(plan) = &self.faults {
+            match plan.next_chunk_write() {
+                fault::ChunkWriteFault::Pass => {}
+                fault::ChunkWriteFault::Torn(keep) => {
+                    let _ = fs::write(path, &payload[..keep.min(payload.len())]);
+                    return Err(fault::injected_enospc());
+                }
+                fault::ChunkWriteFault::Fail => return Err(fault::injected_enospc()),
+            }
+        }
+        fs::write(path, payload)?;
+        Ok(())
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn write_chunk(&self, path: &Path, payload: &[u8]) -> Result<(), TraceIoError> {
+        fs::write(path, payload)?;
+        Ok(())
+    }
+
     /// Writes the manifest; the directory is then fully query-ready
     /// (pushdown included) without any scan.
     fn finish(&mut self) -> Result<(), TraceIoError> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.faults {
+            if plan.manifest_writes_fail() {
+                return Err(fault::injected_enospc());
+            }
+        }
         Manifest::from_entries(&self.dir, std::mem::take(&mut self.entries)).write()
     }
 }
@@ -164,17 +372,30 @@ struct SessionState {
     /// `Some` while the session accepts chunks; taken at finish (which
     /// writes the manifest) and flushed best-effort on abort.
     store: Option<ChunkStore>,
-    /// Decoded-chunk channel into the apply thread; dropped at finish or
-    /// abort so the thread drains and exits.
-    apply_tx: Option<crossbeam::channel::Sender<(Vec<u8>, Vec<Event>)>>,
+    /// Decoded-chunk channel into the apply thread; dropped at finish,
+    /// detach, or abort so the thread drains and exits.
+    apply_tx: Option<crossbeam::channel::Sender<ApplyItem>>,
     apply_thread: Option<JoinHandle<()>>,
-    /// First apply-stage failure; poisons the session (reported, with
-    /// its error class, on the next chunk, query, or finish).
+    /// First apply-stage failure; poisons the session (the apply thread
+    /// reports it to the client, and it is re-reported, with its error
+    /// class, on the next chunk, query, or finish).
     apply_error: Option<(ErrorCode, String)>,
+    /// Chunks durably applied (== acked).
     chunks: u64,
     events: u64,
+    /// Next chunk sequence number expected on the wire; while detached
+    /// this equals `chunks` (the queue is drained at detach), which is
+    /// the watermark a resume handshake returns.
+    recv_seq: u64,
     finished: bool,
-    aborted: bool,
+    /// Typed abort reason, latched by whichever party aborts first (the
+    /// connection handler, the apply stage, or the idle reaper).
+    abort: Option<(ErrorCode, String)>,
+    /// Connection id currently attached, if any.
+    attached: Option<u64>,
+    /// Last frame receipt on the attached connection — the idle reaper's
+    /// clock.
+    last_frame: Instant,
 }
 
 impl Session {
@@ -211,8 +432,8 @@ impl Session {
         }
     }
 
-    /// Stops the apply thread (drains the queue first) — finish and
-    /// abort both funnel through here.
+    /// Stops the apply thread (drains the queue first) — finish, detach,
+    /// and abort all funnel through here.
     fn stop_apply_thread(&self) {
         let (tx, thread) = {
             let mut state = self.state.lock();
@@ -223,66 +444,101 @@ impl Session {
             let _ = thread.join();
         }
     }
+
+    fn phase_locked(state: &SessionState) -> SessionPhase {
+        if state.finished {
+            SessionPhase::Finished
+        } else if state.abort.is_some() {
+            SessionPhase::Aborted
+        } else if state.attached.is_some() {
+            SessionPhase::Attached
+        } else {
+            SessionPhase::Detached
+        }
+    }
 }
 
+/// A minimal LRU map: recency is a monotonic tick per entry, eviction
+/// scans for the stalest (O(capacity), fine at the daemon's cache
+/// sizes).
+struct LruCache<K, V> {
+    map: HashMap<K, (V, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruCache { map: HashMap::new(), tick: 0, capacity: capacity.max(1) }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(value, used)| {
+            *used = tick;
+            value.clone()
+        })
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(stalest) =
+                self.map.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&stalest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+}
+
+#[derive(Clone)]
 struct CachedResult {
     checksum: u64,
     events: u64,
     json: String,
 }
 
-/// Finished-target query results keyed by `(target dir, query bytes)`,
-/// invalidated by manifest checksum, FIFO-evicted at capacity.
-struct QueryCache {
-    map: HashMap<(String, Vec<u8>), CachedResult>,
-    order: VecDeque<(String, Vec<u8>)>,
-    capacity: usize,
-}
-
-impl QueryCache {
-    fn new(capacity: usize) -> Self {
-        QueryCache { map: HashMap::new(), order: VecDeque::new(), capacity: capacity.max(1) }
-    }
-
-    fn get(&self, key: &(String, Vec<u8>), checksum: u64) -> Option<(u64, String)> {
-        self.map.get(key).filter(|c| c.checksum == checksum).map(|c| (c.events, c.json.clone()))
-    }
-
-    fn insert(&mut self, key: (String, Vec<u8>), value: CachedResult) {
-        if !self.map.contains_key(&key) {
-            self.order.push_back(key.clone());
-            while self.order.len() > self.capacity {
-                if let Some(old) = self.order.pop_front() {
-                    self.map.remove(&old);
-                }
-            }
-        }
-        self.map.insert(key, value);
-    }
-}
+/// Live-result cache key: `(session name, epoch, events observed, query
+/// bytes)`. The epoch distinguishes incarnations of a reused name; the
+/// event count uniquely identifies a chunk prefix (chunks apply in
+/// order), so equal keys are answer-equal — including across a daemon
+/// restart that replayed the same prefix.
+type LiveKey = (String, u64, u64, Vec<u8>);
 
 struct Daemon {
     config: CollectorConfig,
     sessions: Mutex<HashMap<String, Arc<Session>>>,
-    cache: Mutex<QueryCache>,
+    /// Finished-target results keyed by `(dir, query bytes)`, validated
+    /// by manifest checksum, LRU-evicted.
+    cache: Mutex<LruCache<(String, Vec<u8>), CachedResult>>,
+    /// Live-target results (see [`LiveKey`]), LRU-evicted.
+    live_cache: Mutex<LruCache<LiveKey, String>>,
     next_session_id: AtomicU64,
+    next_epoch: AtomicU64,
     next_conn_id: AtomicU64,
     shutdown: AtomicBool,
     /// Clones of live connection streams, keyed by connection id
     /// (handlers deregister themselves on exit); shut down to unblock
-    /// handler threads at daemon shutdown.
+    /// handler threads at daemon shutdown, and by the idle reaper to
+    /// evict an attached-but-silent client.
     conn_streams: Mutex<HashMap<u64, UnixStream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// The collector daemon (the library form of the `rlscoped` binary):
-/// binds a Unix-domain socket, serves session and query connections on
-/// per-connection threads, and shuts down cleanly on drop. See the
-/// [crate docs](crate) for the protocol.
+/// binds a Unix-domain socket, recovers durable sessions from the data
+/// dir, serves session and query connections on per-connection threads,
+/// and shuts down cleanly on drop. See the [crate docs](crate) for the
+/// protocol and the durability contract.
 pub struct Collector {
     daemon: Arc<Daemon>,
     accept_thread: Option<JoinHandle<()>>,
+    reaper_thread: Option<JoinHandle<()>>,
     upgraded: Vec<(PathBuf, ManifestUpgrade)>,
+    recovered: Vec<RecoveredSession>,
 }
 
 impl fmt::Debug for Collector {
@@ -298,46 +554,98 @@ impl Collector {
     /// Binds the socket and starts serving.
     ///
     /// Creates the data directory, replaces a stale socket file, and —
-    /// before accepting any connection — runs the one-shot
-    /// [`upgrade_chunk_dir`] pass over every existing session directory,
-    /// so finished sessions from previous daemon runs answer their first
-    /// filtered query from a manifest instead of a full scan
-    /// ([`Collector::upgraded_dirs`] reports what was rebuilt).
+    /// before accepting any connection — runs the **recovery scan** over
+    /// every session directory carrying a registry record: finished
+    /// sessions are re-registered and served by name; sessions that were
+    /// mid-stream have any torn tail chunk truncated
+    /// ([`recover_chunk_prefix`] — full decode + footer validation, so
+    /// the surviving prefix is exactly some acked prefix), their
+    /// [`LiveState`] rebuilt by replaying the surviving chunks through
+    /// the normal decode path, and are registered detached, awaiting a
+    /// client resume; aborted sessions stay queryable and their names
+    /// reusable. Directories without a record get the legacy one-shot
+    /// [`upgrade_chunk_dir`] pass and are served read-only by name
+    /// ([`Collector::upgraded_dirs`] reports what was rebuilt,
+    /// [`Collector::recovered_sessions`] what was recovered).
     ///
     /// # Errors
     ///
-    /// Filesystem or socket errors. Per-directory upgrade failures are
+    /// Filesystem or socket errors. Per-directory recovery failures are
     /// skipped, not fatal — a corrupt old session must not keep the
     /// daemon from starting.
     pub fn bind(config: CollectorConfig) -> Result<Collector, CollectorError> {
-        fs::create_dir_all(&config.data_dir).map_err(rlscope_core::store::TraceIoError::from)?;
+        fs::create_dir_all(&config.data_dir).map_err(TraceIoError::from)?;
         let mut upgraded = Vec::new();
+        let mut recovered = Vec::new();
+        let mut sessions = HashMap::new();
+        let mut max_epoch = 0u64;
+        let mut next_id = 1u64;
         if let Ok(entries) = fs::read_dir(&config.data_dir) {
             for entry in entries.flatten() {
                 let path = entry.path();
-                let has_chunks =
-                    path.is_dir() && list_chunk_files(&path).is_ok_and(|f| !f.is_empty());
-                if !has_chunks {
+                if !path.is_dir() {
                     continue;
                 }
-                if let Ok(outcome) = upgrade_chunk_dir(&path) {
-                    if outcome.rebuilt {
-                        upgraded.push((path, outcome));
+                let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                    continue;
+                };
+                let record = match SessionRecord::read(&path) {
+                    Ok(record) => record,
+                    Err(_) => continue,
+                };
+                match record {
+                    Some(record) => {
+                        max_epoch = max_epoch.max(record.epoch);
+                        if let Some(info) =
+                            recover_session(&config, &path, &name, record, &mut next_id)
+                        {
+                            sessions.insert(name, info.0);
+                            recovered.push(info.1);
+                        }
+                    }
+                    None => {
+                        // Legacy directory (pre-registry daemon, or a torn
+                        // record): one-shot manifest upgrade, then serve
+                        // read-only by name when the name is usable.
+                        let has_chunks = list_chunk_files(&path).is_ok_and(|f| !f.is_empty());
+                        if !has_chunks {
+                            continue;
+                        }
+                        if let Ok(outcome) = upgrade_chunk_dir(&path) {
+                            if outcome.rebuilt {
+                                upgraded.push((path.clone(), outcome));
+                            }
+                        }
+                        if valid_session_name(&name) {
+                            let id = next_id;
+                            next_id += 1;
+                            sessions.insert(name.clone(), finished_session(&name, id, 0, &path));
+                            recovered.push(RecoveredSession {
+                                name,
+                                phase: SessionPhase::Finished,
+                                chunks: 0,
+                                events: 0,
+                                removed_chunks: 0,
+                            });
+                        }
                     }
                 }
             }
         }
         if config.socket.exists() {
-            fs::remove_file(&config.socket).map_err(rlscope_core::store::TraceIoError::from)?;
+            fs::remove_file(&config.socket).map_err(TraceIoError::from)?;
         }
-        let listener =
-            UnixListener::bind(&config.socket).map_err(rlscope_core::store::TraceIoError::from)?;
-        let cache = QueryCache::new(config.cache_capacity);
+        let listener = UnixListener::bind(&config.socket).map_err(TraceIoError::from)?;
+        let cache = LruCache::new(config.cache_capacity);
+        let live_cache = LruCache::new(config.cache_capacity);
+        let idle_timeout = config.idle_timeout;
         let daemon = Arc::new(Daemon {
             config,
-            sessions: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(sessions),
             cache: Mutex::new(cache),
-            next_session_id: AtomicU64::new(1),
+            live_cache: Mutex::new(live_cache),
+            next_session_id: AtomicU64::new(next_id),
+            next_epoch: AtomicU64::new(max_epoch + 1),
             next_conn_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             conn_streams: Mutex::new(HashMap::new()),
@@ -356,7 +664,7 @@ impl Collector {
                 }
                 let conn_daemon = accept_daemon.clone();
                 let handle = std::thread::spawn(move || {
-                    handle_connection(&conn_daemon, stream);
+                    handle_connection(&conn_daemon, stream, conn_id);
                     conn_daemon.conn_streams.lock().remove(&conn_id);
                 });
                 let mut threads = accept_daemon.conn_threads.lock();
@@ -364,7 +672,24 @@ impl Collector {
                 threads.push(handle);
             }
         });
-        Ok(Collector { daemon, accept_thread: Some(accept_thread), upgraded })
+        let reaper_thread = idle_timeout.map(|timeout| {
+            let reaper_daemon = daemon.clone();
+            std::thread::spawn(move || {
+                let tick =
+                    (timeout / 4).clamp(Duration::from_millis(10), Duration::from_millis(500));
+                while !reaper_daemon.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    reap_idle_sessions(&reaper_daemon, timeout);
+                }
+            })
+        });
+        Ok(Collector {
+            daemon,
+            accept_thread: Some(accept_thread),
+            reaper_thread,
+            upgraded,
+            recovered,
+        })
     }
 
     /// The socket path clients connect to.
@@ -378,6 +703,12 @@ impl Collector {
         &self.upgraded
     }
 
+    /// Sessions the startup recovery scan re-registered from durable
+    /// registry records (plus legacy directories served read-only).
+    pub fn recovered_sessions(&self) -> &[RecoveredSession] {
+        &self.recovered
+    }
+
     /// Session names currently registered, with their finished flag.
     pub fn sessions(&self) -> Vec<(String, bool)> {
         self.daemon
@@ -388,9 +719,19 @@ impl Collector {
             .collect()
     }
 
+    /// The named session's current lifecycle phase, if it exists.
+    pub fn session_phase(&self, name: &str) -> Option<SessionPhase> {
+        let sessions = self.daemon.sessions.lock();
+        let session = sessions.get(name)?;
+        let state = session.state.lock();
+        Some(Session::phase_locked(&state))
+    }
+
     /// Stops accepting, disconnects live connections, joins all threads,
-    /// and removes the socket file. Sessions still streaming are marked
-    /// aborted (their data so far stays on disk).
+    /// and removes the socket file. Sessions still streaming **detach**
+    /// (their registry record stays `Active`), so a restarted daemon
+    /// offers them for resume — a daemon shutdown is a pause, not an
+    /// abort.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -411,6 +752,9 @@ impl Collector {
         for handle in handles {
             let _ = handle.join();
         }
+        if let Some(handle) = self.reaper_thread.take() {
+            let _ = handle.join();
+        }
         let _ = fs::remove_file(&self.daemon.config.socket);
     }
 }
@@ -418,6 +762,173 @@ impl Collector {
 impl Drop for Collector {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Builds a read-only finished session entry (used for recovered and
+/// legacy directories).
+fn finished_session(name: &str, id: u64, epoch: u64, dir: &Path) -> Arc<Session> {
+    Arc::new(Session {
+        name: name.to_string(),
+        id,
+        epoch,
+        dir: dir.to_path_buf(),
+        state: Mutex::new(SessionState {
+            store: None,
+            apply_tx: None,
+            apply_thread: None,
+            apply_error: None,
+            chunks: 0,
+            events: 0,
+            recv_seq: 0,
+            finished: true,
+            abort: None,
+            attached: None,
+            last_frame: Instant::now(),
+        }),
+        live: Mutex::new(LiveState::new()),
+        progress: std::sync::Mutex::new(ApplyProgress::default()),
+        applied: std::sync::Condvar::new(),
+    })
+}
+
+/// Recovers one registry-recorded session directory; returns the
+/// registered session plus its report, or `None` when the directory is
+/// beyond recovery (skipped, never fatal).
+fn recover_session(
+    config: &CollectorConfig,
+    dir: &Path,
+    name: &str,
+    record: SessionRecord,
+    next_id: &mut u64,
+) -> Option<(Arc<Session>, RecoveredSession)> {
+    let id = *next_id;
+    *next_id += 1;
+    match record.status {
+        SessionStatus::Finished => {
+            let session = finished_session(name, id, record.epoch, dir);
+            session.state.lock().chunks = record.acked_chunks;
+            Some((
+                session,
+                RecoveredSession {
+                    name: name.to_string(),
+                    phase: SessionPhase::Finished,
+                    chunks: record.acked_chunks,
+                    events: 0,
+                    removed_chunks: 0,
+                },
+            ))
+        }
+        SessionStatus::Aborted => {
+            let session = finished_session(name, id, record.epoch, dir);
+            {
+                let mut state = session.state.lock();
+                state.finished = false;
+                state.chunks = record.acked_chunks;
+                state.abort = Some((
+                    ErrorCode::SessionAborted,
+                    format!("session {name:?} was aborted in a previous daemon run"),
+                ));
+            }
+            Some((
+                session,
+                RecoveredSession {
+                    name: name.to_string(),
+                    phase: SessionPhase::Aborted,
+                    chunks: record.acked_chunks,
+                    events: 0,
+                    removed_chunks: 0,
+                },
+            ))
+        }
+        SessionStatus::Active => {
+            // Mid-stream at the crash: truncate any torn tail through the
+            // full decode path, then rebuild the live sweeps by replaying
+            // the surviving prefix — the same events, in the same order,
+            // the pre-crash apply thread pushed.
+            let mut live = LiveState::new();
+            let mut replay_error: Option<String> = None;
+            let prefix = recover_chunk_prefix(dir, |events| {
+                if replay_error.is_none() {
+                    if let Err(e) = live.push_batch(events) {
+                        replay_error = Some(e.to_string());
+                    }
+                }
+            })
+            .ok()?;
+            let chunks = prefix.entries.len() as u64;
+            let events = prefix.events();
+            if let Some(err) = replay_error {
+                // Decodable chunks the sweeps reject should be impossible
+                // (they applied once already) — degrade to a typed abort,
+                // keeping the directory queryable.
+                let _ = SessionRecord {
+                    epoch: record.epoch,
+                    status: SessionStatus::Aborted,
+                    acked_chunks: chunks,
+                }
+                .write(dir);
+                let session = finished_session(name, id, record.epoch, dir);
+                {
+                    let mut state = session.state.lock();
+                    state.finished = false;
+                    state.chunks = chunks;
+                    state.abort =
+                        Some((ErrorCode::CorruptChunk, format!("recovery replay failed: {err}")));
+                }
+                return Some((
+                    session,
+                    RecoveredSession {
+                        name: name.to_string(),
+                        phase: SessionPhase::Aborted,
+                        chunks,
+                        events,
+                        removed_chunks: prefix.removed.len(),
+                    },
+                ));
+            }
+            let removed_chunks = prefix.removed.len();
+            let store = ChunkStore::resume(dir, prefix.entries, config);
+            // Refresh the record's informational watermark post-truncation.
+            let _ = SessionRecord {
+                epoch: record.epoch,
+                status: SessionStatus::Active,
+                acked_chunks: chunks,
+            }
+            .write(dir);
+            let session = Arc::new(Session {
+                name: name.to_string(),
+                id,
+                epoch: record.epoch,
+                dir: dir.to_path_buf(),
+                state: Mutex::new(SessionState {
+                    store: Some(store),
+                    apply_tx: None,
+                    apply_thread: None,
+                    apply_error: None,
+                    chunks,
+                    events,
+                    recv_seq: chunks,
+                    finished: false,
+                    abort: None,
+                    attached: None,
+                    last_frame: Instant::now(),
+                }),
+                live: Mutex::new(live),
+                progress: std::sync::Mutex::new(ApplyProgress::default()),
+                applied: std::sync::Condvar::new(),
+            });
+            Some((
+                session,
+                RecoveredSession {
+                    name: name.to_string(),
+                    phase: SessionPhase::Detached,
+                    chunks,
+                    events,
+                    removed_chunks,
+                },
+            ))
+        }
     }
 }
 
@@ -432,52 +943,183 @@ pub fn serve_forever(collector: Collector) -> ! {
 
 type ConnError = (ErrorCode, String);
 
-fn send_error(stream: &mut UnixStream, code: ErrorCode, message: &str) {
-    let _ = write_frame(stream, kind::ERROR, &encode_error(code, message));
+/// The write half of a connection, shared between the connection thread
+/// and the session's apply thread (which writes durable `CHUNK_ACK`s):
+/// the mutex keeps frames from interleaving mid-write.
+type SharedWriter = Arc<Mutex<UnixStream>>;
+
+fn send_error(writer: &SharedWriter, code: ErrorCode, message: &str) {
+    let _ = write_frame(&mut *writer.lock(), kind::ERROR, &encode_error(code, message));
 }
 
-fn handle_connection(daemon: &Daemon, mut stream: UnixStream) {
+fn send_chunk_ack(writer: &SharedWriter, seq: u64, events: u32) -> Result<(), TraceIoError> {
+    let mut payload = [0u8; 12];
+    payload[..8].copy_from_slice(&seq.to_be_bytes());
+    payload[8..].copy_from_slice(&events.to_be_bytes());
+    write_frame(&mut *writer.lock(), kind::CHUNK_ACK, &payload)
+}
+
+/// How a connection handler left its loop, which decides the fate of an
+/// attached session: a clean exit **detaches** (resumable), an error
+/// **aborts** (typed, name reusable).
+enum ConnExit {
+    Detach,
+    Abort(ConnError),
+}
+
+fn handle_connection(daemon: &Daemon, mut stream: UnixStream, conn_id: u64) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let writer: SharedWriter = Arc::new(Mutex::new(write_half));
     let mut session: Option<Arc<Session>> = None;
-    loop {
+    let exit = loop {
         let frame = match read_frame(&mut stream) {
             Ok(Some(frame)) => frame,
-            Ok(None) => break, // clean EOF at a frame boundary
+            // Clean EOF at a frame boundary: the client closed (or the
+            // daemon is shutting down) with nothing half-sent.
+            Ok(None) => break ConnExit::Detach,
             Err(e) => {
-                send_error(&mut stream, ErrorCode::Protocol, &e.to_string());
-                break;
+                if daemon.shutdown.load(Ordering::SeqCst) {
+                    break ConnExit::Detach;
+                }
+                let error = (ErrorCode::Protocol, e.to_string());
+                send_error(&writer, error.0, &error.1);
+                break ConnExit::Abort(error);
             }
         };
+        if let Some(session) = &session {
+            session.state.lock().last_frame = Instant::now();
+        }
         let outcome: Result<(), ConnError> = match frame.0 {
-            kind::HELLO => handle_hello(daemon, &mut stream, &mut session, &frame.1),
-            kind::CHUNK => handle_chunk(&mut stream, session.as_deref(), frame.1),
+            kind::HELLO => handle_hello(daemon, &writer, &mut session, conn_id, &frame.1),
+            kind::CHUNK => handle_chunk(&writer, session.as_deref(), frame.1),
             kind::FINISH => {
-                let result = handle_finish(&mut stream, session.as_deref());
+                let result = handle_finish(&writer, session.as_deref());
                 if result.is_ok() {
-                    session = None; // clean finish: nothing to abort
+                    session = None; // clean finish: nothing left to detach
                 }
                 result
             }
-            kind::QUERY => handle_query(daemon, &mut stream, &frame.1),
+            kind::QUERY => handle_query(daemon, &writer, &frame.1),
             other => Err((ErrorCode::Protocol, format!("unexpected frame kind {other:#04x}"))),
         };
-        if let Err((code, message)) = outcome {
-            send_error(&mut stream, code, &message);
-            break;
+        if let Err(error) = outcome {
+            send_error(&writer, error.0, &error.1);
+            break ConnExit::Abort(error);
+        }
+    };
+    if let Some(session) = session {
+        match exit {
+            ConnExit::Detach => detach_session(&session),
+            ConnExit::Abort(error) => abort_session(&session, error),
         }
     }
-    // Any path out of the loop with a session still open — truncated
-    // stream, protocol error, daemon shutdown — aborts it: the data so
-    // far stays queryable, but it is never reported finished.
-    if let Some(session) = session {
-        session.stop_apply_thread();
+}
+
+/// Clean connection exit with an open session: keep everything — live
+/// sweeps, chunk store, epoch — and mark the session detached so a
+/// client holding the epoch can resume exactly where the acks stopped.
+/// A latched failure (apply error, or the reaper's idle abort) takes
+/// precedence and finalizes the abort instead.
+fn detach_session(session: &Session) {
+    session.stop_apply_thread();
+    let mut state = session.state.lock();
+    if state.finished {
+        return;
+    }
+    if let Some(error) = state.apply_error.take() {
+        finalize_abort(session, &mut state, error);
+        return;
+    }
+    if let Some(error) = state.abort.clone() {
+        finalize_abort(session, &mut state, error);
+        return;
+    }
+    state.attached = None;
+    // Queue drained ⇒ the wire watermark equals the durable count.
+    state.recv_seq = state.chunks;
+    let _ = SessionRecord {
+        epoch: session.epoch,
+        status: SessionStatus::Active,
+        acked_chunks: state.chunks,
+    }
+    .write(&session.dir);
+}
+
+fn abort_session(session: &Session, error: ConnError) {
+    session.stop_apply_thread();
+    let mut state = session.state.lock();
+    let error = state.apply_error.take().or_else(|| state.abort.clone()).unwrap_or(error);
+    finalize_abort(session, &mut state, error);
+}
+
+/// Finalizes an abort: latch the typed reason, write a best-effort
+/// manifest so the durable prefix stays analyzable without a scan,
+/// record `Aborted` durably (name reusable after restart), and free the
+/// live sweep memory. Caller must have stopped the apply thread and
+/// hold the state lock.
+fn finalize_abort(session: &Session, state: &mut SessionState, error: ConnError) {
+    if state.finished {
+        return;
+    }
+    if state.abort.is_none() {
+        state.abort = Some(error);
+    }
+    state.attached = None;
+    if let Some(mut store) = state.store.take() {
+        let _ = store.finish();
+    }
+    let _ = SessionRecord {
+        epoch: session.epoch,
+        status: SessionStatus::Aborted,
+        acked_chunks: state.chunks,
+    }
+    .write(&session.dir);
+    *session.live.lock() = LiveState::new();
+}
+
+/// The idle reaper's periodic pass: abort every non-finished session
+/// whose last frame is older than `timeout`. Detached sessions finalize
+/// inline (their apply thread is already stopped); attached sessions
+/// get the abort latched and their connection shut down — the handler
+/// thread finalizes on its way out, keeping a single finalization path
+/// per attachment.
+fn reap_idle_sessions(daemon: &Daemon, timeout: Duration) {
+    let sessions: Vec<Arc<Session>> = daemon.sessions.lock().values().cloned().collect();
+    for session in sessions {
         let mut state = session.state.lock();
-        if !state.finished {
-            state.aborted = true;
-            // Best-effort manifest for the partial directory, so the
-            // chunks that did land stay analyzable without a scan.
-            if let Some(mut store) = state.store.take() {
-                let _ = store.finish();
+        if state.finished || state.abort.is_some() {
+            continue;
+        }
+        if state.last_frame.elapsed() < timeout {
+            continue;
+        }
+        {
+            // An apply queue still draining means frames arrived recently
+            // in wall-clock terms even if `last_frame` says otherwise —
+            // never reap mid-apply.
+            let progress = session.progress.lock().unwrap_or_else(|e| e.into_inner());
+            if progress.applied < progress.enqueued {
+                continue;
             }
+        }
+        let error = (
+            ErrorCode::IdleTimeout,
+            format!("session {:?} idle past the {timeout:?} idle timeout", session.name),
+        );
+        match state.attached {
+            Some(conn_id) => {
+                state.abort = Some(error.clone());
+                drop(state);
+                let stream =
+                    daemon.conn_streams.lock().get(&conn_id).and_then(|s| s.try_clone().ok());
+                if let Some(mut stream) = stream {
+                    // Best-effort typed notice; the connection is idle, so
+                    // no competing writer is mid-frame.
+                    let _ = write_frame(&mut stream, kind::ERROR, &encode_error(error.0, &error.1));
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            None => finalize_abort(&session, &mut state, error),
         }
     }
 }
@@ -488,18 +1130,69 @@ fn valid_session_name(name: &str) -> bool {
         && !name.bytes().all(|b| b == b'.')
 }
 
+/// Spawns the session's decode→apply pipeline stage. The apply thread
+/// owns the durable side of the ack contract: it persists each chunk,
+/// **then** writes its `CHUNK_ACK` through the shared writer; on
+/// failure it reports the typed error itself (the client may be blocked
+/// waiting on acks, so the connection thread cannot be relied on to
+/// deliver it) and drains the remaining queue without applying.
+fn start_apply_pipeline(session: &Arc<Session>, state: &mut SessionState, writer: &SharedWriter) {
+    let (apply_tx, apply_rx) = crossbeam::channel::bounded::<ApplyItem>(APPLY_QUEUE_CHUNKS);
+    let apply_session = session.clone();
+    let writer = writer.clone();
+    let apply_thread = std::thread::spawn(move || {
+        while let Some((seq, payload, events)) = apply_rx.recv() {
+            let poisoned = apply_session.state.lock().apply_error.is_some();
+            if !poisoned {
+                match apply_session.apply_chunk(&payload, &events) {
+                    Ok(()) => {
+                        let _ = send_chunk_ack(&writer, seq, events.len() as u32);
+                    }
+                    Err(error) => {
+                        send_error(&writer, error.0, &error.1);
+                        let mut state = apply_session.state.lock();
+                        if state.apply_error.is_none() {
+                            state.apply_error = Some(error);
+                        }
+                    }
+                }
+            }
+            let mut progress = apply_session.progress.lock().unwrap_or_else(|e| e.into_inner());
+            progress.applied += 1;
+            apply_session.applied.notify_all();
+        }
+    });
+    state.apply_tx = Some(apply_tx);
+    state.apply_thread = Some(apply_thread);
+}
+
+fn pipelined(daemon: &Daemon) -> bool {
+    // Decode→apply pipelining only pays when there is a core to run the
+    // apply stage on; on a single-CPU host the extra thread is pure
+    // context-switch overhead, so chunks apply inline on the connection
+    // thread (same `apply_chunk` code path either way).
+    daemon
+        .config
+        .apply_pipeline
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1)
+}
+
 fn handle_hello(
     daemon: &Daemon,
-    stream: &mut UnixStream,
+    writer: &SharedWriter,
     session: &mut Option<Arc<Session>>,
+    conn_id: u64,
     payload: &[u8],
 ) -> Result<(), ConnError> {
     if session.is_some() {
         return Err((ErrorCode::Protocol, "second HELLO on one connection".into()));
     }
-    if payload.len() < 6 {
+    if payload.len() < 4 {
         return Err((ErrorCode::Protocol, "truncated HELLO".into()));
     }
+    // Version first, from the fixed prefix: older clients lay the rest of
+    // the payload out differently, and they deserve the typed version
+    // error, not a parse error.
     let version = u32::from_be_bytes(payload[..4].try_into().expect("4-byte slice"));
     if version != PROTOCOL_VERSION {
         return Err((
@@ -507,48 +1200,77 @@ fn handle_hello(
             format!("protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"),
         ));
     }
-    let name_len = u16::from_be_bytes([payload[4], payload[5]]) as usize;
-    if payload.len() != 6 + name_len {
-        return Err((ErrorCode::Protocol, "HELLO length mismatch".into()));
-    }
-    let Ok(name) = std::str::from_utf8(&payload[6..]) else {
-        return Err((ErrorCode::BadSessionName, "non-utf8 session name".into()));
-    };
-    if !valid_session_name(name) {
+    let hello = HelloRequest::decode(payload).map_err(|e| (ErrorCode::Protocol, e.to_string()))?;
+    if !valid_session_name(&hello.name) {
         return Err((
             ErrorCode::BadSessionName,
-            format!("bad session name {name:?} (want [A-Za-z0-9_.-]{{1,64}})"),
+            format!("bad session name {:?} (want [A-Za-z0-9_.-]{{1,64}})", hello.name),
         ));
     }
+    match hello.resume_epoch {
+        None => handle_hello_new(daemon, writer, session, conn_id, &hello.name),
+        Some(epoch) => handle_hello_resume(daemon, writer, session, conn_id, &hello.name, epoch),
+    }
+}
+
+fn handle_hello_new(
+    daemon: &Daemon,
+    writer: &SharedWriter,
+    session: &mut Option<Arc<Session>>,
+    conn_id: u64,
+    name: &str,
+) -> Result<(), ConnError> {
     let dir = daemon.config.data_dir.join(name);
     let mut sessions = daemon.sessions.lock();
-    if sessions.contains_key(name) {
-        return Err((ErrorCode::SessionExists, format!("session {name:?} already exists")));
+    if let Some(existing) = sessions.get(name) {
+        let state = existing.state.lock();
+        match Session::phase_locked(&state) {
+            SessionPhase::Finished => {
+                return Err((
+                    ErrorCode::SessionExists,
+                    format!("session {name:?} is finished (durable data; pick a fresh name)"),
+                ));
+            }
+            SessionPhase::Attached => {
+                return Err((
+                    ErrorCode::SessionActive,
+                    format!("session {name:?} is currently streaming"),
+                ));
+            }
+            SessionPhase::Detached => {
+                return Err((
+                    ErrorCode::SessionActive,
+                    format!("session {name:?} is detached awaiting resume"),
+                ));
+            }
+            // Aborted: the name is explicitly reusable — fall through and
+            // replace the entry (the old directory is wiped below).
+            SessionPhase::Aborted => {}
+        }
+    } else {
+        // Not in the registry map: a directory holding chunks (or a
+        // manifest) is durable data from an earlier run that recovery
+        // did not claim — refuse rather than silently wipe it.
+        let prior_data = dir.is_dir()
+            && (dir.join(MANIFEST_FILE).exists()
+                || list_chunk_files(&dir).is_ok_and(|files| !files.is_empty()));
+        if prior_data {
+            return Err((
+                ErrorCode::SessionExists,
+                format!("session {name:?} has durable data from a previous daemon run"),
+            ));
+        }
     }
-    // The registry dedupes names only within this daemon's lifetime; a
-    // directory holding chunks (or a manifest) is durable data from an
-    // earlier run — refuse rather than silently wipe it. Pick a fresh
-    // name, or query the old data via a Dir-target query.
-    let prior_data = dir.is_dir()
-        && (dir.join(MANIFEST_FILE).exists()
-            || list_chunk_files(&dir).is_ok_and(|files| !files.is_empty()));
-    if prior_data {
-        return Err((
-            ErrorCode::SessionExists,
-            format!("session {name:?} has durable data from a previous daemon run"),
-        ));
-    }
-    let store = ChunkStore::create(&dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
-    // Decode→apply pipelining only pays when there is a core to run the
-    // apply stage on; on a single-CPU host the extra thread is pure
-    // context-switch overhead, so chunks apply inline on the connection
-    // thread (same `apply_chunk` code path either way).
-    let pipelined = daemon
-        .config
-        .apply_pipeline
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1);
+    let store =
+        ChunkStore::create(&dir, &daemon.config).map_err(|e| (ErrorCode::Io, e.to_string()))?;
+    let epoch = daemon.next_epoch.fetch_add(1, Ordering::SeqCst);
+    let record = SessionRecord { epoch, status: SessionStatus::Active, acked_chunks: 0 };
+    record.write(&dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
+    let id = daemon.next_session_id.fetch_add(1, Ordering::SeqCst);
     let new = Arc::new(Session {
         name: name.to_string(),
+        id,
+        epoch,
         dir,
         state: Mutex::new(SessionState {
             store: Some(store),
@@ -557,63 +1279,128 @@ fn handle_hello(
             apply_error: None,
             chunks: 0,
             events: 0,
+            recv_seq: 0,
             finished: false,
-            aborted: false,
+            abort: None,
+            attached: Some(conn_id),
+            last_frame: Instant::now(),
         }),
         live: Mutex::new(LiveState::new()),
         progress: std::sync::Mutex::new(ApplyProgress::default()),
         applied: std::sync::Condvar::new(),
     });
-    if pipelined {
-        let (apply_tx, apply_rx) =
-            crossbeam::channel::bounded::<(Vec<u8>, Vec<Event>)>(APPLY_QUEUE_CHUNKS);
-        let apply_session = new.clone();
-        let apply_thread = std::thread::spawn(move || {
-            while let Some((payload, events)) = apply_rx.recv() {
-                if let Err(error) = apply_session.apply_chunk(&payload, &events) {
-                    let mut state = apply_session.state.lock();
-                    if state.apply_error.is_none() {
-                        state.apply_error = Some(error);
-                    }
-                }
-                let mut progress = apply_session.progress.lock().unwrap_or_else(|e| e.into_inner());
-                progress.applied += 1;
-                apply_session.applied.notify_all();
-            }
-        });
+    if pipelined(daemon) {
         let mut state = new.state.lock();
-        state.apply_tx = Some(apply_tx);
-        state.apply_thread = Some(apply_thread);
+        start_apply_pipeline(&new, &mut state, writer);
     }
     sessions.insert(name.to_string(), new.clone());
     drop(sessions);
     *session = Some(new);
-    let id = daemon.next_session_id.fetch_add(1, Ordering::SeqCst);
-    let mut ack = id.to_be_bytes().to_vec();
-    ack.extend_from_slice(&daemon.config.credits.max(1).to_be_bytes());
-    write_frame(stream, kind::HELLO_ACK, &ack).map_err(io_err)?;
+    let ack =
+        HelloAck { session_id: id, credits: daemon.config.credits.max(1), epoch, acked_chunks: 0 };
+    write_frame(&mut *writer.lock(), kind::HELLO_ACK, &ack.encode()).map_err(io_err)?;
+    Ok(())
+}
+
+fn handle_hello_resume(
+    daemon: &Daemon,
+    writer: &SharedWriter,
+    session: &mut Option<Arc<Session>>,
+    conn_id: u64,
+    name: &str,
+    epoch: u64,
+) -> Result<(), ConnError> {
+    let existing = daemon
+        .sessions
+        .lock()
+        .get(name)
+        .cloned()
+        .ok_or((ErrorCode::UnknownTarget, format!("no session {name:?} to resume")))?;
+    let acked = {
+        let mut state = existing.state.lock();
+        if state.finished {
+            // The finish committed before the client lost the connection:
+            // the typed answer a retrying `finish` treats as success.
+            return Err((ErrorCode::SessionExists, format!("session {name:?} already finished")));
+        }
+        if let Some((_, message)) = &state.abort {
+            return Err((ErrorCode::SessionAborted, message.clone()));
+        }
+        if existing.epoch != epoch {
+            return Err((
+                ErrorCode::EpochMismatch,
+                format!(
+                    "session {name:?} is at epoch {} (resume asked for {epoch})",
+                    existing.epoch
+                ),
+            ));
+        }
+        if state.attached.is_some() {
+            return Err((
+                ErrorCode::SessionActive,
+                format!("session {name:?} is already attached to a connection"),
+            ));
+        }
+        state.attached = Some(conn_id);
+        state.last_frame = Instant::now();
+        // Detached invariant: queue drained at detach, so the durable
+        // count is the wire watermark the client replays from.
+        state.recv_seq = state.chunks;
+        if pipelined(daemon) && state.apply_thread.is_none() {
+            start_apply_pipeline(&existing, &mut state, writer);
+        }
+        state.chunks
+    };
+    *session = Some(existing.clone());
+    let ack = HelloAck {
+        session_id: existing.id,
+        credits: daemon.config.credits.max(1),
+        epoch,
+        acked_chunks: acked,
+    };
+    write_frame(&mut *writer.lock(), kind::HELLO_ACK, &ack.encode()).map_err(io_err)?;
     Ok(())
 }
 
 fn handle_chunk(
-    stream: &mut UnixStream,
+    writer: &SharedWriter,
     session: Option<&Session>,
-    payload: Vec<u8>,
+    mut payload: Vec<u8>,
 ) -> Result<(), ConnError> {
     let session = session.ok_or((ErrorCode::Protocol, "CHUNK before HELLO".to_string()))?;
+    if payload.len() < 8 {
+        return Err((ErrorCode::Protocol, "CHUNK missing sequence number".into()));
+    }
+    let seq = u64::from_be_bytes(payload[..8].try_into().expect("8-byte slice"));
+    payload.drain(..8);
     // The payload is a codec-v3 chunk: decode validates everything —
     // framing, varints, string ids, the footer cross-check — before a
     // single event enters the session.
     let events = decode_events(&payload).map_err(|e| (ErrorCode::CorruptChunk, e.to_string()))?;
-    let accepted = events.len() as u32;
     let apply_tx = {
-        let state = session.state.lock();
+        let mut state = session.state.lock();
         if let Some(err) = &state.apply_error {
             return Err(err.clone());
+        }
+        if let Some((code, message)) = &state.abort {
+            return Err((*code, message.clone()));
         }
         if state.apply_tx.is_none() && state.store.is_none() {
             return Err((ErrorCode::Protocol, "CHUNK after FINISH".into()));
         }
+        if seq < state.recv_seq {
+            // Replay overlap after a reconnect race: the chunk is already
+            // durable — ack without re-applying (exactly-once).
+            drop(state);
+            return send_chunk_ack(writer, seq, 0).map_err(io_err);
+        }
+        if seq > state.recv_seq {
+            return Err((
+                ErrorCode::Protocol,
+                format!("chunk sequence gap: got {seq}, expected {}", state.recv_seq),
+            ));
+        }
+        state.recv_seq += 1;
         state.apply_tx.clone()
     };
     match apply_tx {
@@ -621,9 +1408,10 @@ fn handle_chunk(
             // Count the chunk as enqueued before sending, so the flush
             // barrier can never observe a sent-but-uncounted chunk; the
             // bounded send then blocks (backpressure) when the apply
-            // stage lags.
+            // stage lags. The ack is the apply thread's to write, after
+            // the persist.
             session.progress.lock().unwrap_or_else(|e| e.into_inner()).enqueued += 1;
-            if apply_tx.send((payload, events)).is_err() {
+            if apply_tx.send((seq, payload, events)).is_err() {
                 // The chunk will never apply; count it resolved so
                 // barriers taken against the bumped `enqueued` cannot
                 // wait forever.
@@ -633,29 +1421,42 @@ fn handle_chunk(
                 return Err((ErrorCode::Io, "session apply stage is gone".into()));
             }
         }
-        // Single-core inline mode: apply synchronously before the ack.
-        None => session.apply_chunk(&payload, &events)?,
+        // Single-core inline mode: apply synchronously, ack after.
+        None => {
+            let accepted = events.len() as u32;
+            session.apply_chunk(&payload, &events)?;
+            send_chunk_ack(writer, seq, accepted).map_err(io_err)?;
+        }
     }
-    write_frame(stream, kind::CHUNK_ACK, &accepted.to_be_bytes()).map_err(io_err)?;
     Ok(())
 }
 
-fn handle_finish(stream: &mut UnixStream, session: Option<&Session>) -> Result<(), ConnError> {
+fn handle_finish(writer: &SharedWriter, session: Option<&Session>) -> Result<(), ConnError> {
     let session = session.ok_or((ErrorCode::Protocol, "FINISH before HELLO".to_string()))?;
     // Drain and stop the apply stage first, so every accepted chunk has
-    // reached the writer before it is flushed.
+    // reached the writer (and been acked) before the manifest is cut.
     session.stop_apply_thread();
     let (chunks, events) = {
         let mut state = session.state.lock();
         if let Some(err) = state.apply_error.take() {
-            state.aborted = true;
-            state.store = None;
+            // The connection loop aborts the session with this error on
+            // its way out.
             return Err(err);
+        }
+        if let Some((code, message)) = &state.abort {
+            return Err((*code, message.clone()));
         }
         let mut store =
             state.store.take().ok_or((ErrorCode::Protocol, "second FINISH".to_string()))?;
         store.finish().map_err(|e| (ErrorCode::Io, e.to_string()))?;
         state.finished = true;
+        state.attached = None;
+        let record = SessionRecord {
+            epoch: session.epoch,
+            status: SessionStatus::Finished,
+            acked_chunks: state.chunks,
+        };
+        let _ = record.write(&session.dir);
         (state.chunks, state.events)
     };
     // Finished queries route to the chunk directory (full query
@@ -664,14 +1465,14 @@ fn handle_finish(stream: &mut UnixStream, session: Option<&Session>) -> Result<(
     *session.live.lock() = LiveState::new();
     let mut ack = chunks.to_be_bytes().to_vec();
     ack.extend_from_slice(&events.to_be_bytes());
-    write_frame(stream, kind::FINISH_ACK, &ack).map_err(io_err)?;
+    write_frame(&mut *writer.lock(), kind::FINISH_ACK, &ack).map_err(io_err)?;
     Ok(())
 }
 
-fn handle_query(daemon: &Daemon, stream: &mut UnixStream, payload: &[u8]) -> Result<(), ConnError> {
+fn handle_query(daemon: &Daemon, writer: &SharedWriter, payload: &[u8]) -> Result<(), ConnError> {
     let spec = QuerySpec::decode(payload).map_err(|e| (ErrorCode::Protocol, e.to_string()))?;
     let reply = run_query(daemon, &spec)?;
-    write_frame(stream, kind::QUERY_OK, &reply.encode()).map_err(io_err)?;
+    write_frame(&mut *writer.lock(), kind::QUERY_OK, &reply.encode()).map_err(io_err)?;
     Ok(())
 }
 
@@ -688,29 +1489,52 @@ fn run_query(daemon: &Daemon, spec: &QuerySpec) -> Result<QueryReply, ConnError>
             // query is applied, so the snapshot covers every chunk
             // acked to any producer so far.
             session.flush_applies();
-            let live_tables = {
+            let live_snapshot = {
                 // State first, live nested — the one sanctioned nesting
-                // (see the Session lock-order note): checking `finished`
+                // (see the Session lock-order note): checking the phase
                 // and snapshotting must be atomic against a concurrent
-                // finish resetting the live state.
+                // finish or abort resetting the live state.
                 let state = session.state.lock();
                 if let Some(err) = &state.apply_error {
                     return Err(err.clone());
                 }
                 if state.finished {
                     None
+                } else if let Some((code, message)) = &state.abort {
+                    if state.store.is_none() {
+                        // Finalized abort: the directory holds exactly the
+                        // durable acked prefix — queryable as such.
+                        None
+                    } else {
+                        // Abort latched but not yet finalized: refusing is
+                        // the "never a query over a non-acked prefix"
+                        // guarantee.
+                        return Err((*code, message.clone()));
+                    }
                 } else {
-                    Some(session.live.lock().snapshot())
+                    let live = session.live.lock();
+                    let events_observed = live.events_observed();
+                    let key = (session.name.clone(), session.epoch, events_observed, spec.encode());
+                    if let Some(json) = daemon.live_cache.lock().get(&key) {
+                        return Ok(QueryReply {
+                            live: true,
+                            cache_hit: true,
+                            events_observed,
+                            canonical_json: json,
+                        });
+                    }
+                    Some((events_observed, key, live.snapshot()))
                 }
             };
-            match live_tables {
-                Some(tables) => {
+            match live_snapshot {
+                Some((events_observed, key, tables)) => {
                     let analysis = apply_spec(Analysis::of_live(&tables), spec);
                     let json = analysis.canonical_json().map_err(analysis_err)?;
+                    daemon.live_cache.lock().insert(key, json.clone());
                     Ok(QueryReply {
                         live: true,
                         cache_hit: false,
-                        events_observed: tables.events_observed(),
+                        events_observed,
                         canonical_json: json,
                     })
                 }
@@ -733,13 +1557,15 @@ fn dir_query(daemon: &Daemon, dir: &Path, spec: &QuerySpec) -> Result<QueryReply
     let manifest = Manifest::open(dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
     let checksum = manifest.checksum();
     let key = (dir.to_string_lossy().into_owned(), spec.encode());
-    if let Some((events, json)) = daemon.cache.lock().get(&key, checksum) {
-        return Ok(QueryReply {
-            live: false,
-            cache_hit: true,
-            events_observed: events,
-            canonical_json: json,
-        });
+    if let Some(cached) = daemon.cache.lock().get(&key) {
+        if cached.checksum == checksum {
+            return Ok(QueryReply {
+                live: false,
+                cache_hit: true,
+                events_observed: cached.events,
+                canonical_json: cached.json,
+            });
+        }
     }
     let analysis = apply_spec(Analysis::from_chunk_dir(dir), spec);
     let json = analysis.canonical_json().map_err(analysis_err)?;
@@ -765,7 +1591,7 @@ fn apply_spec<'a>(mut analysis: Analysis<'a>, spec: &'a QuerySpec) -> Analysis<'
     analysis.group_by(spec.dims.iter().copied())
 }
 
-fn io_err(e: rlscope_core::store::TraceIoError) -> ConnError {
+fn io_err(e: TraceIoError) -> ConnError {
     (ErrorCode::Io, e.to_string())
 }
 

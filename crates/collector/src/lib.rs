@@ -21,24 +21,83 @@
 //! [`Profiler::stream_to`](rlscope_core::profiler::Profiler::stream_to)
 //! instead of writing files).
 //!
-//! # Wire protocol
+//! # Durability and consistency contract
+//!
+//! The collector is built to be the most reliable process on the box;
+//! everything below survives a daemon SIGKILL at any byte boundary.
+//!
+//! **Acked means durable.** The daemon writes a `CHUNK_ACK` only after
+//! the chunk is applied to the live sweeps *and* persisted to the
+//! session's chunk directory. A crash can therefore lose only chunks
+//! that were never acked — and those are exactly the chunks the client
+//! still holds in its replay buffer.
+//!
+//! **What survives a daemon crash.** Every session directory carries a
+//! durable registry record ([`registry::SessionRecord`]: epoch, status,
+//! acked-chunk watermark), rewritten atomically at each lifecycle
+//! transition. On startup the daemon runs a recovery scan: finished
+//! sessions are re-served by name; sessions that were mid-stream have
+//! any torn tail chunk truncated through the full decode + footer
+//! validation path (so the surviving on-disk prefix is exactly some
+//! acked prefix), their [`LiveState`] rebuilt by replaying that prefix,
+//! and are registered **detached**, awaiting resume; aborted sessions
+//! keep their data queryable and their names reusable.
+//!
+//! **What a client may assume after reconnect.** A resume handshake
+//! (`HELLO` with the session name + epoch) returns the daemon's acked
+//! watermark. Chunks below the watermark are durable and must not be
+//! re-sent; chunks at or above it were lost and must be. [`CollectorClient`]
+//! does this transparently under a bounded-backoff [`ReconnectPolicy`],
+//! replaying only its unacked buffer — exactly-once, in-order delivery
+//! across daemon restarts. The daemon additionally dedupes any replay
+//! overlap by sequence number, so a racing reconnect cannot double-apply
+//! a chunk.
+//!
+//! **Epoch semantics.** Each incarnation of a session *name* gets a
+//! monotonically increasing epoch, assigned at `HELLO` and persisted in
+//! the registry record. Resume requires the exact epoch: a client
+//! holding a stale epoch (the name was aborted and recreated since) is
+//! fenced off with [`ErrorCode::EpochMismatch`] rather than silently
+//! splicing two different runs into one trace.
+//!
+//! **Detach vs abort.** A connection that closes *cleanly* (EOF at a
+//! frame boundary, or daemon shutdown) detaches its session — state is
+//! kept, the registry stays `Active`, and the session waits for a
+//! resume. A connection that fails mid-frame, violates the protocol, or
+//! hits a server-side I/O error (including injected disk-full faults)
+//! **aborts** the session with a typed error: the durable prefix stays
+//! queryable (as a directory target or by name), the name becomes
+//! reusable, and a later resume attempt gets
+//! [`ErrorCode::SessionAborted`]. Sessions silent past the configurable
+//! idle timeout are aborted the same way
+//! ([`ErrorCode::IdleTimeout`]).
+//!
+//! **Query consistency.** A live query always observes a consistent
+//! chunk prefix (flush barrier + whole-chunk applies) — never a torn
+//! chunk, never a non-acked suffix. A session whose abort is pending
+//! finalization refuses queries with its typed error instead of
+//! answering over in-limbo state; once finalized, queries serve exactly
+//! the durable prefix from disk.
+//!
+//! # Wire protocol (version 2)
 //!
 //! Transport framing is [`rlscope_core::store::write_frame`] /
 //! [`read_frame`]: `len:u32 BE | kind:u8 | payload`, payloads capped at
 //! [`MAX_FRAME_LEN`](rlscope_core::store::MAX_FRAME_LEN). **Chunk
-//! payloads are codec-v3 chunk bodies** ([`encode_events`] bytes), so
-//! ingest reuses [`decode_events`] and inherits its fuzz-hardened error
-//! paths — every malformed byte surfaces as a protocol error, never a
-//! panic or a silently dropped event.
+//! payloads are codec-v3 chunk bodies** ([`encode_events`] bytes)
+//! prefixed with a sequence number, so ingest reuses [`decode_events`]
+//! and inherits its fuzz-hardened error paths — every malformed byte
+//! surfaces as a protocol error, never a panic or a silently dropped
+//! event.
 //!
 //! | kind | dir | name | payload |
 //! |------|-----|------------|---------|
-//! | `0x01` | C→S | `HELLO` | `version:u32` \| `name_len:u16` \| session name |
-//! | `0x02` | C→S | `CHUNK` | one codec-v3 chunk ([`encode_events`]) |
+//! | `0x01` | C→S | `HELLO` | [`HelloRequest`]: `version:u32` \| `mode:u8` (0 new, 1 resume) \| `name_len:u16` \| name \| `epoch:u64` if resuming |
+//! | `0x02` | C→S | `CHUNK` | `seq:u64` \| one codec-v3 chunk ([`encode_events`]) |
 //! | `0x03` | C→S | `FINISH` | empty |
 //! | `0x04` | C→S | `QUERY` | a [`QuerySpec`] (see its docs for the byte layout) |
-//! | `0x81` | S→C | `HELLO_ACK` | `session_id:u64` \| `credits:u32` |
-//! | `0x82` | S→C | `CHUNK_ACK` | `events:u32` accepted from the acked chunk |
+//! | `0x81` | S→C | `HELLO_ACK` | [`HelloAck`]: `session_id:u64` \| `credits:u32` \| `epoch:u64` \| `acked_chunks:u64` |
+//! | `0x82` | S→C | `CHUNK_ACK` | `seq:u64` \| `events:u32` — the chunk is applied **and durable** |
 //! | `0x83` | S→C | `FINISH_ACK` | `chunks:u64` \| `events:u64` (durable, manifest written) |
 //! | `0x84` | S→C | `QUERY_OK` | `flags:u8` (bit 0 live, bit 1 cache hit) \| `events_observed:u64` \| canonical JSON |
 //! | `0xFF` | S→C | `ERROR` | `code:u8` \| `msg_len:u16` \| message |
@@ -46,25 +105,28 @@
 //! **Handshake.** A session connection opens with `HELLO` (protocol
 //! version [`PROTOCOL_VERSION`], session name `[A-Za-z0-9_.-]{1,64}` —
 //! it names the on-disk chunk directory, so path characters are
-//! rejected). The server replies `HELLO_ACK` with the session id and
-//! the **credit window**. Query-only connections skip the handshake and
-//! send `QUERY` directly.
+//! rejected). The server replies `HELLO_ACK` with the session id, the
+//! **credit window**, the session **epoch**, and the acked-chunk
+//! watermark (0 for a new session). Query-only connections skip the
+//! handshake and send `QUERY` directly.
 //!
 //! **Backpressure.** Credits bound the unacknowledged `CHUNK` frames a
 //! client may have in flight: each `CHUNK` spends one credit, each
 //! `CHUNK_ACK` returns one, and a client at zero credits must block
-//! until an ack arrives ([`CollectorClient`] does). The server applies
-//! each chunk synchronously — decode, live-sweep push, writer enqueue —
-//! before acking, so per-connection server memory is bounded by one
-//! decoded chunk plus the socket buffer, and a slow disk or a heavy
-//! live-sweep propagates to the producer instead of ballooning the
-//! daemon.
+//! until an ack arrives ([`CollectorClient`] does). Acks are written
+//! after the decode → live-sweep → persist pipeline completes for the
+//! chunk, so per-connection server memory is bounded by the apply queue
+//! plus the socket buffer, and a slow disk or a heavy live sweep
+//! propagates to the producer instead of ballooning the daemon. A
+//! slow-*reading* client that never drains its acks eventually fills
+//! its socket buffer and stalls the ack writer — its own session only;
+//! other sessions keep streaming.
 //!
 //! **Error codes** ([`ErrorCode`]): any server-side failure is reported
-//! as an `ERROR` frame and closes the connection; a session that errors
-//! (or whose connection drops before `FINISH`) is marked **aborted** —
-//! its data so far stays queryable live, but it is never reported
-//! finished.
+//! as an `ERROR` frame and closes the connection with the session
+//! **aborted** (see the durability contract above for what aborted
+//! means and which codes are retryable — none of them; only transport
+//! failures are).
 //!
 //! # Query semantics
 //!
@@ -72,12 +134,15 @@
 //! path. Live sessions answer from a [`LiveState`] snapshot taken under
 //! the session lock — a consistent chunk prefix; see the `analysis`
 //! module docs ("Live-query consistency") for exactly what a mid-run
-//! query observes. Finished sessions and directory targets run
-//! [`Analysis::from_chunk_dir`] (manifest predicate pushdown included);
-//! their results are cached keyed by `(target, query bytes)` and
-//! invalidated by [`Manifest::checksum`], so a repeated dashboard query
-//! costs one manifest load, not a re-analysis, until the directory's
-//! chunk set actually changes.
+//! query observes. Live results are cached keyed by `(name, epoch,
+//! events observed, query bytes)` — a prefix is immutable once
+//! observed, so equal keys are answer-equal, including across a restart
+//! that replayed the same prefix. Finished sessions and directory
+//! targets run [`Analysis::from_chunk_dir`] (manifest predicate
+//! pushdown included); their results are cached keyed by `(target,
+//! query bytes)` and invalidated by [`Manifest::checksum`]. Both caches
+//! evict LRU, so a repeated dashboard query costs one manifest load,
+//! not a re-analysis, until the directory's chunk set actually changes.
 //!
 //! [`Analysis`]: rlscope_core::analysis::Analysis
 //! [`Analysis::from_chunk_dir`]: rlscope_core::analysis::Analysis::from_chunk_dir
@@ -95,9 +160,11 @@
 pub mod client;
 pub mod daemon;
 pub mod protocol;
+pub mod registry;
 
-pub use client::{CollectorClient, CollectorSink, SessionSummary};
-pub use daemon::{Collector, CollectorConfig};
+pub use client::{CollectorClient, CollectorSink, ReconnectPolicy, SessionSummary};
+pub use daemon::{Collector, CollectorConfig, RecoveredSession, SessionPhase};
 pub use protocol::{
-    CollectorError, ErrorCode, QueryReply, QuerySpec, QueryTarget, PROTOCOL_VERSION,
+    CollectorError, ErrorCode, HelloAck, HelloRequest, QueryReply, QuerySpec, QueryTarget,
+    PROTOCOL_VERSION,
 };

@@ -8,21 +8,28 @@ use rlscope_core::store::TraceIoError;
 use std::fmt;
 
 /// Protocol version carried in `HELLO`; the server rejects others.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version 2 added the resume handshake (`HELLO` mode byte + epoch),
+/// sequence-numbered `CHUNK`/`CHUNK_ACK` frames, and the extended
+/// `HELLO_ACK` carrying the session epoch and acked-chunk watermark.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Frame kinds (the `kind` byte of the wire framing).
 pub mod kind {
-    /// Client → server: open a profiling session.
+    /// Client → server: open or resume a profiling session
+    /// ([`super::HelloRequest`]).
     pub const HELLO: u8 = 0x01;
-    /// Client → server: one codec-v3 chunk of events.
+    /// Client → server: `seq:u64` followed by one codec-v3 chunk of
+    /// events.
     pub const CHUNK: u8 = 0x02;
     /// Client → server: close the session durably.
     pub const FINISH: u8 = 0x03;
     /// Client → server: an analysis query ([`super::QuerySpec`]).
     pub const QUERY: u8 = 0x04;
-    /// Server → client: session accepted (`session_id`, credit window).
+    /// Server → client: session accepted ([`super::HelloAck`]).
     pub const HELLO_ACK: u8 = 0x81;
-    /// Server → client: one chunk applied; returns one credit.
+    /// Server → client: chunk `seq` is applied **and durable**; returns
+    /// one credit.
     pub const CHUNK_ACK: u8 = 0x82;
     /// Server → client: session finished and durable.
     pub const FINISH_ACK: u8 = 0x83;
@@ -41,7 +48,10 @@ pub enum ErrorCode {
     Version = 1,
     /// Session name empty, too long, or containing path characters.
     BadSessionName = 2,
-    /// A session of that name already exists (live or finished).
+    /// A session of that name holds durable data (finished, or left by a
+    /// previous daemon run) that a new session must not wipe. A resume
+    /// `HELLO` answered with this code means the finish already
+    /// committed.
     SessionExists = 3,
     /// A frame arrived that the connection state does not allow.
     Protocol = 4,
@@ -54,6 +64,21 @@ pub enum ErrorCode {
     /// The query combination is unsupported (e.g. a time window over a
     /// live session).
     UnsupportedQuery = 8,
+    /// A `HELLO` named a session that is currently streaming (attached
+    /// to a live connection) or detached awaiting resume.
+    SessionActive = 9,
+    /// A resume `HELLO` carried an epoch that does not match the
+    /// session's current incarnation — the name was recreated since this
+    /// client last held it, and its buffered chunks belong to a dead
+    /// stream.
+    EpochMismatch = 10,
+    /// The session was aborted by the daemon's idle reaper: no frames
+    /// arrived within the configured idle timeout.
+    IdleTimeout = 11,
+    /// The session was aborted (client crash, injected I/O failure,
+    /// idle timeout) and cannot be resumed; its data so far remains
+    /// queryable and the name is reusable.
+    SessionAborted = 12,
 }
 
 impl ErrorCode {
@@ -68,8 +93,143 @@ impl ErrorCode {
             6 => ErrorCode::Io,
             7 => ErrorCode::UnknownTarget,
             8 => ErrorCode::UnsupportedQuery,
+            9 => ErrorCode::SessionActive,
+            10 => ErrorCode::EpochMismatch,
+            11 => ErrorCode::IdleTimeout,
+            12 => ErrorCode::SessionAborted,
             _ => return None,
         })
+    }
+}
+
+/// A `HELLO` payload: open a new session, or resume a detached one.
+///
+/// Byte layout (integers big-endian):
+///
+/// ```text
+/// version:u32 | mode:u8 (0 = new, 1 = resume) | name_len:u16 | name
+/// [epoch:u64]                                   if mode == 1
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloRequest {
+    /// Protocol version the client speaks.
+    pub version: u32,
+    /// Session name (also the on-disk chunk directory name).
+    pub name: String,
+    /// `Some(epoch)` to resume an existing session incarnation; `None`
+    /// to open a new one.
+    pub resume_epoch: Option<u64>,
+}
+
+impl HelloRequest {
+    /// A new-session handshake at the current [`PROTOCOL_VERSION`].
+    pub fn new_session(name: impl Into<String>) -> Self {
+        HelloRequest { version: PROTOCOL_VERSION, name: name.into(), resume_epoch: None }
+    }
+
+    /// A resume handshake for an existing incarnation.
+    pub fn resume(name: impl Into<String>, epoch: u64) -> Self {
+        HelloRequest { version: PROTOCOL_VERSION, name: name.into(), resume_epoch: Some(epoch) }
+    }
+
+    /// Serializes to the `HELLO` payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(15 + self.name.len());
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out.push(u8::from(self.resume_epoch.is_some()));
+        out.extend_from_slice(&(self.name.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        if let Some(epoch) = self.resume_epoch {
+            out.extend_from_slice(&epoch.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a `HELLO` payload, validating length and mode exactly.
+    /// The version field is *not* range-checked here — the server checks
+    /// it first so a version mismatch gets its own typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectorError::Protocol`] on truncation, an unknown mode byte,
+    /// non-UTF-8 name bytes, or trailing bytes.
+    pub fn decode(data: &[u8]) -> Result<HelloRequest, CollectorError> {
+        let bad = |what: &str| CollectorError::Protocol(format!("HELLO: {what}"));
+        if data.len() < 7 {
+            return Err(bad("truncated header"));
+        }
+        let version = u32::from_be_bytes(data[..4].try_into().expect("4-byte slice"));
+        let mode = data[4];
+        if mode > 1 {
+            return Err(bad(&format!("unknown mode {mode}")));
+        }
+        let name_len = u16::from_be_bytes([data[5], data[6]]) as usize;
+        let tail = if mode == 1 { 8 } else { 0 };
+        if data.len() != 7 + name_len + tail {
+            return Err(bad("length mismatch"));
+        }
+        let name = std::str::from_utf8(&data[7..7 + name_len])
+            .map_err(|_| bad("non-utf8 session name"))?
+            .to_string();
+        let resume_epoch = (mode == 1).then(|| {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&data[7 + name_len..]);
+            u64::from_be_bytes(word)
+        });
+        Ok(HelloRequest { version, name, resume_epoch })
+    }
+}
+
+/// A `HELLO_ACK` payload: the server's side of the handshake.
+///
+/// Byte layout: `session_id:u64 | credits:u32 | epoch:u64 |
+/// acked_chunks:u64` (28 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloAck {
+    /// Server-assigned connection-scoped session id.
+    pub session_id: u64,
+    /// Credit window granted to this connection.
+    pub credits: u32,
+    /// The session's incarnation epoch — echo it back to resume.
+    pub epoch: u64,
+    /// Chunks durably acked so far: `0` for a new session; for a resume,
+    /// the watermark the client replays from (chunks below it must not
+    /// be re-sent, chunks at or above it were lost and must be).
+    pub acked_chunks: u64,
+}
+
+impl HelloAck {
+    /// Serializes to the `HELLO_ACK` payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28);
+        out.extend_from_slice(&self.session_id.to_be_bytes());
+        out.extend_from_slice(&self.credits.to_be_bytes());
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&self.acked_chunks.to_be_bytes());
+        out
+    }
+
+    /// Parses a `HELLO_ACK` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectorError::Protocol`] unless the payload is exactly 28
+    /// bytes.
+    pub fn decode(data: &[u8]) -> Result<HelloAck, CollectorError> {
+        if data.len() != 28 {
+            return Err(CollectorError::Protocol(format!(
+                "HELLO_ACK: want 28 bytes, got {}",
+                data.len()
+            )));
+        }
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&data[..8]);
+        let session_id = u64::from_be_bytes(word);
+        let credits = u32::from_be_bytes(data[8..12].try_into().expect("4-byte slice"));
+        word.copy_from_slice(&data[12..20]);
+        let epoch = u64::from_be_bytes(word);
+        word.copy_from_slice(&data[20..28]);
+        Ok(HelloAck { session_id, credits, epoch, acked_chunks: u64::from_be_bytes(word) })
     }
 }
 
@@ -480,6 +640,48 @@ mod tests {
         assert_eq!(QueryReply::decode(&reply.encode()).unwrap(), reply);
         assert!(QueryReply::decode(&[0x04, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
         assert!(QueryReply::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_malformed_bytes() {
+        for req in [
+            HelloRequest::new_session("s1"),
+            HelloRequest::resume("session-2", 17),
+            HelloRequest { version: 1, name: "old".into(), resume_epoch: None },
+        ] {
+            assert_eq!(HelloRequest::decode(&req.encode()).unwrap(), req, "{req:?}");
+        }
+        let good = HelloRequest::resume("abc", 9).encode();
+        for cut in 0..good.len() {
+            assert!(HelloRequest::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(HelloRequest::decode(&trailing).is_err());
+        let mut bad_mode = good;
+        bad_mode[4] = 2;
+        assert!(HelloRequest::decode(&bad_mode).is_err());
+    }
+
+    #[test]
+    fn hello_ack_round_trips() {
+        let ack = HelloAck { session_id: 5, credits: 8, epoch: 3, acked_chunks: 11 };
+        assert_eq!(HelloAck::decode(&ack.encode()).unwrap(), ack);
+        assert!(HelloAck::decode(&ack.encode()[..27]).is_err());
+        assert!(HelloAck::decode(&[0u8; 29]).is_err());
+    }
+
+    #[test]
+    fn new_error_codes_round_trip_the_wire_byte() {
+        for code in [
+            ErrorCode::SessionActive,
+            ErrorCode::EpochMismatch,
+            ErrorCode::IdleTimeout,
+            ErrorCode::SessionAborted,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u8(13), None);
     }
 
     #[test]

@@ -90,7 +90,11 @@
 //!   its result equals the batch analysis of that prefix table for table
 //!   (canonical JSON included).
 //! * **Monotonicity.** Later queries observe a superset prefix; totals
-//!   for any fixed filter never decrease between queries.
+//!   for any fixed filter never decrease between queries. This holds
+//!   across a collector crash and restart too: recovery replays the
+//!   durable chunk prefix through the same decode path into a fresh
+//!   [`LiveState`], so a post-restart query answers over exactly the
+//!   acknowledged prefix the pre-crash daemon had persisted.
 //! * **Open annotations are invisible.** The profiler records intervals
 //!   when they *close*, so time inside a still-open operation or phase
 //!   has not been streamed yet; it appears once the annotation closes

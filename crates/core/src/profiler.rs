@@ -82,7 +82,10 @@ impl Default for ProfilerConfig {
 ///
 /// Batches arrive in record order and exactly once; the profiler retains
 /// its own copy, so [`Profiler::finish`] still returns the complete
-/// [`Trace`] regardless of streaming.
+/// [`Trace`] regardless of streaming. Sinks are expected to uphold the
+/// same exactly-once contract downstream: the collector sink, for
+/// example, buffers unacknowledged batches and replays them across
+/// daemon reconnects rather than dropping or duplicating them.
 pub trait EventSink: Send + Sync {
     /// Receives one batch of finalized events, in record order.
     fn emit(&self, events: Vec<Event>);

@@ -852,6 +852,107 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, TraceIoErr
     Ok(Some((kind, payload)))
 }
 
+/// [`write_frame`] with the payload supplied in two parts (`head` then
+/// `tail`), so callers prefixing a small header onto an already-encoded
+/// body — the collector's sequence-numbered chunk frames — avoid
+/// concatenating into a temporary buffer.
+///
+/// # Errors
+///
+/// Same as [`write_frame`]: a combined payload beyond [`MAX_FRAME_LEN`],
+/// or I/O errors from the writer.
+pub fn write_frame_parts(
+    w: &mut impl Write,
+    kind: u8,
+    head: &[u8],
+    tail: &[u8],
+) -> Result<(), TraceIoError> {
+    let len = head.len() + tail.len();
+    if len > MAX_FRAME_LEN {
+        return Err(TraceIoError::Corrupt(format!(
+            "frame payload of {len} bytes exceeds the {MAX_FRAME_LEN}-byte frame limit"
+        )));
+    }
+    let mut header = [0u8; 5];
+    header[..4].copy_from_slice(&(len as u32).to_be_bytes());
+    header[4] = kind;
+    w.write_all(&header)?;
+    w.write_all(head)?;
+    w.write_all(tail)?;
+    Ok(())
+}
+
+/// The outcome of a [`recover_chunk_prefix`] crash-recovery scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredPrefix {
+    /// Manifest entries for the surviving chunk prefix, in stream order —
+    /// exactly what a [`TraceWriter`] would have indexed for those chunks.
+    pub entries: Vec<ManifestEntry>,
+    /// Chunk files removed by the scan: the first torn/corrupt chunk and
+    /// everything after it (later chunks cannot belong to the durable
+    /// prefix once the sequence is broken).
+    pub removed: Vec<PathBuf>,
+}
+
+impl RecoveredPrefix {
+    /// Events across the surviving prefix.
+    pub fn events(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(e.footer.events)).sum()
+    }
+}
+
+/// Crash-recovery scan over a chunk directory: validates every chunk in
+/// stream order through the full decode path (codec framing, varints,
+/// string ids, and the v3 footer checksum cross-check), **truncating the
+/// directory at the first invalid chunk** — that chunk and every later
+/// one are deleted, so what remains on disk is exactly a prefix of fully
+/// validated chunks. A process killed mid-`write` leaves a torn tail
+/// chunk whose footer checksum cannot match; this scan is how a restart
+/// restores the "on disk ⇔ some acked prefix" invariant.
+///
+/// Each surviving chunk's decoded events are handed to `sink` in stream
+/// order (the collector replays them into its live sweeps); pass a no-op
+/// closure when only the entries are needed.
+///
+/// A stale [`MANIFEST_FILE`] is left alone: [`Manifest::open`] detects
+/// staleness against the surviving files and rescans.
+///
+/// # Errors
+///
+/// I/O errors listing the directory, reading chunk files, or deleting a
+/// truncated tail. Corrupt chunk *bytes* are not an error — they are the
+/// condition this scan exists to repair.
+pub fn recover_chunk_prefix(
+    dir: &Path,
+    mut sink: impl FnMut(&[Event]),
+) -> Result<RecoveredPrefix, TraceIoError> {
+    let files = list_chunk_files(dir)?;
+    let mut entries = Vec::new();
+    let mut removed = Vec::new();
+    let mut broken = false;
+    for path in files {
+        if !broken {
+            let data = fs::read(&path)?;
+            if let Ok(events) = decode_events(&data) {
+                let footer = match read_chunk_footer(&data) {
+                    Ok(Some(footer)) => footer,
+                    // v1-fallback chunks carry no footer on the wire.
+                    _ => compute_footer(&events),
+                };
+                let file =
+                    path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+                entries.push(ManifestEntry { file, size: data.len() as u64, footer });
+                sink(&events);
+                continue;
+            }
+            broken = true;
+        }
+        fs::remove_file(&path)?;
+        removed.push(path);
+    }
+    Ok(RecoveredPrefix { entries, removed })
+}
+
 enum WriterCmd {
     Batch(Vec<Event>),
     Finish,

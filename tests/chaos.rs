@@ -1,0 +1,655 @@
+//! Fault-injection chaos suite for the crash-safe collector: daemon
+//! SIGKILL mid-ingest with automatic client resume, client crashes
+//! mid-frame, torn tail chunks at every byte offset, injected
+//! disk-full faults, idle-session reaping, and graceful
+//! shutdown/restart — asserting the durability contract end to end
+//! (acked ⇒ durable, recovery = exactly an acked prefix, typed aborts,
+//! never a daemon panic).
+//!
+//! The daemon-kill scenarios drive the real `rlscoped` binary; the
+//! injected-I/O scenarios use an in-process [`Collector`] with the
+//! `fault-inject` feature's [`FaultPlan`] hooks (compiled into this
+//! test build through the workspace dev-dependency).
+
+use proptest::prelude::*;
+use rlscope::collector::daemon::fault::FaultPlan;
+use rlscope::collector::registry::{SessionRecord, SessionStatus};
+use rlscope::collector::{
+    Collector, CollectorClient, CollectorConfig, CollectorError, ErrorCode, HelloAck, HelloRequest,
+    QuerySpec, ReconnectPolicy, SessionPhase,
+};
+use rlscope::core::analysis::Analysis;
+use rlscope::core::event::{CpuCategory, Event, EventKind, GpuCategory};
+use rlscope::core::store::{encode_events, read_frame, recover_chunk_prefix, write_frame};
+use rlscope::sim::ids::ProcessId;
+use rlscope::sim::time::TimeNs;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// A fresh scratch dir (with a short socket path — the 108-byte
+/// sun_path limit) per test.
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let root = std::env::temp_dir().join(format!("rlsx_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    (root.join("sock"), root.join("data"))
+}
+
+/// A realistic per-session stream (same shape the collector loopback
+/// tests use): operations over interleaved CPU/GPU activity plus two
+/// close-ordered phases.
+fn session_events(pid: u32, n: usize) -> Vec<Event> {
+    let p = ProcessId(pid);
+    let mut events = Vec::with_capacity(n);
+    let mut i = 0u64;
+    while events.len() + 2 < n {
+        let t = i * 1_000;
+        if i.is_multiple_of(50) {
+            let name = if (i / 50).is_multiple_of(2) { "train_step" } else { "collect_rollouts" };
+            events.push(Event::new(
+                p,
+                EventKind::Operation,
+                name,
+                TimeNs::from_nanos(t),
+                TimeNs::from_nanos(t + 50_000),
+            ));
+        }
+        let kind = match i % 4 {
+            0 => EventKind::Cpu(CpuCategory::Python),
+            1 => EventKind::Cpu(CpuCategory::Backend),
+            2 => EventKind::Cpu(CpuCategory::CudaApi),
+            _ => EventKind::Gpu(GpuCategory::Kernel),
+        };
+        events.push(Event::new(p, kind, "e", TimeNs::from_nanos(t), TimeNs::from_nanos(t + 800)));
+        i += 1;
+    }
+    let mid = i * 500;
+    events.push(Event::new(
+        p,
+        EventKind::Phase,
+        "warmup",
+        TimeNs::from_nanos(0),
+        TimeNs::from_nanos(mid),
+    ));
+    events.push(Event::new(
+        p,
+        EventKind::Phase,
+        "steady",
+        TimeNs::from_nanos(mid),
+        TimeNs::from_nanos(i * 1_000 + 60_000),
+    ));
+    events
+}
+
+fn batch_json(events: &[Event]) -> String {
+    Analysis::of_events(events).canonical_json().unwrap()
+}
+
+/// Polls the collector until `name` reaches `phase` (the reaper and the
+/// connection teardown paths run asynchronously).
+fn wait_phase(collector: &Collector, name: &str, phase: SessionPhase) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if collector.session_phase(name) == Some(phase) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "session '{name}' never reached {phase:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The `rlscoped` binary, if it has been built (CI builds it before
+/// running this suite; locally `cargo test` builds it alongside).
+fn rlscoped_bin() -> Option<PathBuf> {
+    let mut bin = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    bin.push("target");
+    bin.push(if cfg!(debug_assertions) { "debug" } else { "release" });
+    bin.push("rlscoped");
+    bin.exists().then_some(bin)
+}
+
+fn spawn_rlscoped(bin: &Path, socket: &Path, data: &Path) -> std::process::Child {
+    let child = std::process::Command::new(bin)
+        .args(["--socket", socket.to_str().unwrap(), "--data-dir", data.to_str().unwrap()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !socket.exists() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child
+}
+
+/// Byte-compares the durable artifacts (chunk files + `MANIFEST`) of a
+/// session directory against a reference directory. The `SESSION`
+/// registry record is excluded: epochs legitimately differ between a
+/// crashed-and-resumed run and an uninterrupted one.
+fn assert_dirs_byte_identical(dir: &Path, reference: &Path) {
+    let listing = |d: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("chunk_") || n == "MANIFEST")
+            .collect();
+        names.sort();
+        names
+    };
+    let files = listing(dir);
+    assert_eq!(files, listing(reference), "file sets differ: {}", dir.display());
+    for name in files {
+        let a = std::fs::read(dir.join(&name)).unwrap();
+        let b = std::fs::read(reference.join(&name)).unwrap();
+        assert_eq!(a, b, "{name} differs between {} and {}", dir.display(), reference.display());
+    }
+}
+
+/// The kill-and-restart acceptance test: two concurrent sessions stream
+/// into the real `rlscoped` binary; the daemon is SIGKILLed mid-ingest
+/// (unacked chunks in flight) and restarted on the same data dir; both
+/// clients reconnect and resume automatically; mid-run queries after
+/// the crash equal the batch sweep of exactly the acked prefix; and the
+/// final durable traces are byte-identical to an uninterrupted run.
+#[test]
+fn daemon_sigkill_mid_ingest_resumes_to_byte_identical_traces() {
+    const CHUNK: usize = 1_024;
+    let Some(bin) = rlscoped_bin() else {
+        eprintln!("skipping: rlscoped not built");
+        return;
+    };
+    let (socket, data) = scratch("kill");
+    std::fs::create_dir_all(&data).unwrap();
+    let mut child = spawn_rlscoped(&bin, &socket, &data);
+
+    // Rendezvous: both workers at the half-way mark, then the main
+    // thread kills the daemon while the workers keep streaming.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(3));
+    let policy = ReconnectPolicy {
+        max_attempts: 60,
+        initial_backoff: Duration::from_millis(25),
+        max_backoff: Duration::from_millis(250),
+    };
+    let workers: Vec<_> = (0..2u32)
+        .map(|s| {
+            let socket = socket.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let events = session_events(s, 40_000);
+                let name = format!("kill-{s}");
+                let mut client =
+                    CollectorClient::open_session_with(&socket, &name, policy).unwrap();
+                let chunks: Vec<&[Event]> = events.chunks(CHUNK).collect();
+                let half = chunks.len() / 2;
+                for chunk in &chunks[..half] {
+                    client.send_events(chunk).unwrap();
+                }
+                barrier.wait();
+                // The daemon dies somewhere in here: sends hit transport
+                // errors and transparently reconnect + replay.
+                for chunk in &chunks[half..] {
+                    client.send_events(chunk).unwrap();
+                }
+                // Mid-run, post-crash: the live answer must equal the
+                // batch sweep of exactly the acked prefix (the query
+                // drains all acks first, so that prefix is everything
+                // sent so far — nothing lost, nothing doubled).
+                let live = client.query(&QuerySpec::session(&name)).unwrap();
+                assert!(live.live);
+                assert_eq!(live.events_observed, events.len() as u64, "{name}");
+                assert_eq!(live.canonical_json, batch_json(&events), "{name} live diverged");
+                let summary = client.finish().unwrap();
+                assert_eq!(summary.events, events.len() as u64);
+                assert_eq!(summary.chunks, chunks.len() as u64);
+                let done = client.query(&QuerySpec::session(&name)).unwrap();
+                assert!(!done.live);
+                assert_eq!(done.canonical_json, batch_json(&events), "{name} final diverged");
+                events
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    // SIGKILL mid-ingest: up to a full credit window of unacked chunks
+    // is in flight per session right now.
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let mut child = spawn_rlscoped(&bin, &socket, &data);
+
+    let streams: Vec<Vec<Event>> =
+        workers.into_iter().map(|w| w.join().expect("worker panicked")).collect();
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Reference: the same two streams through an uninterrupted
+    // in-process daemon. The durable artifacts must match byte for
+    // byte — chunking, numbering, manifest and all.
+    let (ref_socket, ref_data) = scratch("kill_ref");
+    let reference = Collector::bind(CollectorConfig::new(&ref_socket, &ref_data)).unwrap();
+    for (s, events) in streams.iter().enumerate() {
+        let name = format!("kill-{s}");
+        let mut client = CollectorClient::open_session(&ref_socket, &name).unwrap();
+        for chunk in events.chunks(CHUNK) {
+            client.send_events(chunk).unwrap();
+        }
+        client.finish().unwrap();
+        assert_dirs_byte_identical(&data.join(&name), &ref_data.join(&name));
+    }
+    reference.shutdown();
+}
+
+/// A client that dies mid-frame (torn CHUNK on the wire) aborts its
+/// session with a typed error: the daemon stays healthy, a stale-epoch
+/// resume is refused with `SessionAborted`, and the name is reusable.
+#[test]
+fn client_crash_mid_chunk_aborts_session_and_daemon_survives() {
+    let (socket, data) = scratch("ccrash");
+    let collector = Collector::bind(CollectorConfig::new(&socket, data)).unwrap();
+    let events = session_events(0, 256);
+
+    // Handshake by hand so we control the raw bytes afterwards.
+    let mut conn = UnixStream::connect(&socket).unwrap();
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, 0x01, &HelloRequest::new_session("torn").encode()).unwrap();
+    conn.write_all(&bytes).unwrap();
+    let (kind, payload) = read_frame(&mut conn).unwrap().unwrap();
+    assert_eq!(kind, 0x81);
+    let ack = HelloAck::decode(&payload).unwrap();
+    // One complete chunk, then a frame header promising more bytes than
+    // ever arrive — the client "crashes" mid-write.
+    let mut chunk = 0u64.to_be_bytes().to_vec();
+    chunk.extend_from_slice(&encode_events(&events[..128]));
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, 0x02, &chunk).unwrap();
+    write_frame(&mut bytes, 0x02, &chunk).unwrap();
+    bytes.truncate(bytes.len() - chunk.len() / 2);
+    conn.write_all(&bytes).unwrap();
+    drop(conn);
+
+    wait_phase(&collector, "torn", SessionPhase::Aborted);
+    // A resume with the (correct) old epoch reports the abort, typed.
+    let err =
+        CollectorClient::resume_session(&socket, "torn", ack.epoch, ReconnectPolicy::disabled())
+            .unwrap_err();
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::SessionAborted), .. }));
+    // The daemon is healthy and the name is reusable end to end.
+    let mut client = CollectorClient::open_session(&socket, "torn").unwrap();
+    client.send_events(&events).unwrap();
+    client.finish().unwrap();
+    let reply = client.query(&QuerySpec::session("torn")).unwrap();
+    assert_eq!(reply.canonical_json, batch_json(&events));
+    collector.shutdown();
+}
+
+/// A slow reader that never drains its acks stalls only itself: the
+/// daemon keeps serving other sessions, and once the reader catches up
+/// the session completes with batch-identical tables.
+#[test]
+fn slow_reader_stalls_only_its_own_session() {
+    let (socket, data) = scratch("slow");
+    let mut config = CollectorConfig::new(&socket, data);
+    config.credits = 2;
+    let collector = Collector::bind(config).unwrap();
+    let events = session_events(0, 2_048);
+    let chunks: Vec<&[Event]> = events.chunks(128).collect();
+
+    // The slow reader: a raw socket that writes every chunk (far past
+    // its 2-credit window) without reading a single ack.
+    let mut conn = UnixStream::connect(&socket).unwrap();
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, 0x01, &HelloRequest::new_session("slow").encode()).unwrap();
+    conn.write_all(&bytes).unwrap();
+    let (kind, payload) = read_frame(&mut conn).unwrap().unwrap();
+    assert_eq!(kind, 0x81);
+    assert_eq!(HelloAck::decode(&payload).unwrap().credits, 2);
+    for (seq, chunk) in chunks.iter().enumerate() {
+        let mut frame_payload = (seq as u64).to_be_bytes().to_vec();
+        frame_payload.extend_from_slice(&encode_events(chunk));
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, 0x02, &frame_payload).unwrap();
+        conn.write_all(&bytes).unwrap();
+    }
+
+    // Meanwhile a well-behaved session streams, queries, and finishes.
+    let other = session_events(9, 4_096);
+    let mut client = CollectorClient::open_session(&socket, "brisk").unwrap();
+    for chunk in other.chunks(256) {
+        client.send_events(chunk).unwrap();
+    }
+    let live = client.query(&QuerySpec::session("brisk")).unwrap();
+    assert_eq!(live.canonical_json, batch_json(&other));
+    client.finish().unwrap();
+
+    // The slow reader catches up: drain every pending ack, finish, and
+    // the tables are exactly the batch sweep.
+    let mut acked = 0u64;
+    while acked < chunks.len() as u64 {
+        let (kind, payload) = read_frame(&mut conn).unwrap().unwrap();
+        assert_eq!(kind, 0x82, "expected CHUNK_ACK, got kind {kind:#04x}");
+        assert_eq!(payload.len(), 12);
+        assert_eq!(u64::from_be_bytes(payload[..8].try_into().unwrap()), acked);
+        acked += 1;
+    }
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, 0x03, &[]).unwrap();
+    conn.write_all(&bytes).unwrap();
+    let (kind, payload) = read_frame(&mut conn).unwrap().unwrap();
+    assert_eq!(kind, 0x83);
+    assert_eq!(u64::from_be_bytes(payload[8..16].try_into().unwrap()), events.len() as u64);
+    let mut query = CollectorClient::connect(&socket).unwrap();
+    let done = query.query(&QuerySpec::session("slow")).unwrap();
+    assert_eq!(done.canonical_json, batch_json(&events));
+    collector.shutdown();
+}
+
+/// Builds a daemon-shaped session directory: `full` chunks persisted
+/// verbatim plus an `Active` registry record, exactly what a SIGKILLed
+/// daemon leaves behind (modulo the torn tail the caller appends).
+fn write_session_dir(dir: &Path, chunks: &[Vec<Event>], epoch: u64) {
+    std::fs::create_dir_all(dir).unwrap();
+    for (seq, chunk) in chunks.iter().enumerate() {
+        std::fs::write(dir.join(format!("chunk_{seq:05}.rls")), encode_events(chunk)).unwrap();
+    }
+    SessionRecord { epoch, status: SessionStatus::Active, acked_chunks: chunks.len() as u64 }
+        .write(dir)
+        .unwrap();
+}
+
+proptest! {
+    /// Satellite 4: whatever the stream and wherever the crash landed,
+    /// a recovery scan over `k` durable chunks plus a tail chunk
+    /// truncated at **every** byte offset always yields a valid acked
+    /// prefix — and its batch sweep equals the pre-crash live answer
+    /// over that prefix (which, acked ⇒ applied, is the batch sweep of
+    /// the same events).
+    #[test]
+    fn torn_tail_recovery_always_yields_the_acked_prefix(
+        n in 8usize..60,
+        chunk in 4usize..16,
+        pid in 0u32..3,
+    ) {
+        let events = session_events(pid, n);
+        let chunks: Vec<Vec<Event>> = events.chunks(chunk).map(<[Event]>::to_vec).collect();
+        let (full, tail) = chunks.split_at(chunks.len() - 1);
+        let durable: Vec<Event> = full.iter().flatten().cloned().collect();
+        let precrash_answer = batch_json(&durable);
+        let tail_bytes = encode_events(&tail[0]);
+        let dir = std::env::temp_dir()
+            .join(format!("rlsx_torn_{}_{n}_{chunk}_{pid}", std::process::id()));
+        for cut in 0..=tail_bytes.len() {
+            let _ = std::fs::remove_dir_all(&dir);
+            write_session_dir(&dir, full, 1);
+            std::fs::write(
+                dir.join(format!("chunk_{:05}.rls", full.len())),
+                &tail_bytes[..cut],
+            )
+            .unwrap();
+            let mut recovered: Vec<Event> = Vec::new();
+            let prefix = recover_chunk_prefix(&dir, |chunk| {
+                recovered.extend_from_slice(chunk);
+            })
+            .unwrap();
+            if cut == tail_bytes.len() {
+                // The "tail" was actually complete — it survives.
+                prop_assert_eq!(prefix.entries.len(), chunks.len());
+                prop_assert_eq!(&batch_json(&recovered), &batch_json(&events));
+            } else {
+                prop_assert_eq!(prefix.entries.len(), full.len(), "cut {}", cut);
+                prop_assert_eq!(prefix.removed.len(), 1);
+                prop_assert_eq!(&batch_json(&recovered), &precrash_answer, "cut {}", cut);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The same torn-tail repair through a full daemon restart: the
+/// recovered session answers live queries over exactly the acked
+/// prefix, and a resume continues the stream from the watermark to a
+/// complete, batch-identical trace.
+#[test]
+fn restart_truncates_torn_tail_and_resume_completes_the_stream() {
+    let events = session_events(0, 4_096);
+    let chunks: Vec<Vec<Event>> = events.chunks(256).map(<[Event]>::to_vec).collect();
+    let durable = chunks.len() / 2;
+    let tail_bytes = encode_events(&chunks[durable]);
+    for cut in [0usize, 1, tail_bytes.len() / 2, tail_bytes.len() - 1] {
+        let (socket, data) = scratch(&format!("torn{cut}"));
+        let dir = data.join("torn");
+        write_session_dir(&dir, &chunks[..durable], 1);
+        std::fs::write(dir.join(format!("chunk_{durable:05}.rls")), &tail_bytes[..cut]).unwrap();
+
+        let collector = Collector::bind(CollectorConfig::new(&socket, &data)).unwrap();
+        let recovered = collector
+            .recovered_sessions()
+            .iter()
+            .find(|r| r.name == "torn")
+            .expect("session recovered")
+            .clone();
+        assert_eq!(recovered.phase, SessionPhase::Detached);
+        assert_eq!(recovered.chunks, durable as u64);
+        // Even a zero-byte tail is a file the scan must repair away.
+        assert_eq!(recovered.removed_chunks, 1);
+
+        // The recovered live state answers over exactly the acked prefix.
+        let durable_events: Vec<Event> = chunks[..durable].iter().flatten().cloned().collect();
+        let mut query = CollectorClient::connect(&socket).unwrap();
+        let live = query.query(&QuerySpec::session("torn")).unwrap();
+        assert!(live.live);
+        assert_eq!(live.events_observed, durable_events.len() as u64);
+        assert_eq!(live.canonical_json, batch_json(&durable_events));
+
+        // Resume from the watermark and stream the rest.
+        let mut client =
+            CollectorClient::resume_session(&socket, "torn", 1, ReconnectPolicy::disabled())
+                .unwrap();
+        for chunk in &chunks[durable..] {
+            client.send_events(chunk).unwrap();
+        }
+        let summary = client.finish().unwrap();
+        assert_eq!(summary.chunks, chunks.len() as u64);
+        assert_eq!(summary.events, events.len() as u64);
+        let done = client.query(&QuerySpec::session("torn")).unwrap();
+        assert_eq!(done.canonical_json, batch_json(&events));
+        collector.shutdown();
+    }
+}
+
+/// Injected ENOSPC on the chunk persist path: the session aborts with a
+/// typed I/O error, the durable (acked) prefix stays queryable, the
+/// daemon survives, and the name is reusable. Torn chunk writes and
+/// manifest-write failures get the same treatment.
+#[test]
+fn injected_disk_faults_abort_typed_and_daemon_survives() {
+    let (socket, data) = scratch("enospc");
+    let faults = FaultPlan::new();
+    let mut config = CollectorConfig::new(&socket, &data);
+    config.faults = Some(faults.clone());
+    let collector = Collector::bind(config).unwrap();
+    let events = session_events(0, 1_024);
+    let chunks: Vec<&[Event]> = events.chunks(128).collect();
+
+    // Fail every persist from the third chunk on.
+    faults.fail_chunk_writes_from(2);
+    let mut client =
+        CollectorClient::open_session_with(&socket, "full-disk", ReconnectPolicy::disabled())
+            .unwrap();
+    let mut outcome = Ok(());
+    for chunk in &chunks {
+        outcome = client.send_events(chunk);
+        if outcome.is_err() {
+            break;
+        }
+    }
+    let outcome = outcome.and_then(|()| client.finish().map(|_| ()));
+    let err = outcome.expect_err("injected ENOSPC must surface");
+    match &err {
+        CollectorError::Remote { code: Some(ErrorCode::Io), message } => {
+            assert!(message.contains("injected ENOSPC"), "unexpected message: {message}");
+        }
+        other => panic!("expected typed Io abort, got {other:?}"),
+    }
+    wait_phase(&collector, "full-disk", SessionPhase::Aborted);
+
+    // Exactly the acked prefix (2 chunks) stays queryable — never the
+    // failed suffix, never a non-acked byte.
+    faults.clear();
+    let acked: Vec<Event> = chunks[..2].concat();
+    let mut query = CollectorClient::connect(&socket).unwrap();
+    let reply = query.query(&QuerySpec::session("full-disk")).unwrap();
+    assert!(!reply.live);
+    assert_eq!(reply.events_observed, acked.len() as u64);
+    assert_eq!(reply.canonical_json, batch_json(&acked));
+
+    // A stale resume reports the abort; the name itself is reusable and
+    // the daemon is fully healthy.
+    let err = CollectorClient::resume_session(
+        &socket,
+        "full-disk",
+        client.epoch(),
+        ReconnectPolicy::disabled(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::SessionAborted), .. }));
+    let mut clean = CollectorClient::open_session(&socket, "full-disk").unwrap();
+    clean.send_events(&events).unwrap();
+    clean.finish().unwrap();
+    assert_eq!(
+        clean.query(&QuerySpec::session("full-disk")).unwrap().canonical_json,
+        batch_json(&events)
+    );
+
+    // Torn chunk writes (partial bytes land, then the error) abort the
+    // same way and never poison recovery or later sessions. `clear()`
+    // reset the plan's write counter, so "from the 2nd write" means the
+    // 2nd chunk of the next stream.
+    faults.clear();
+    faults.tear_chunk_writes_from(1, 7);
+    let mut torn =
+        CollectorClient::open_session_with(&socket, "torn-write", ReconnectPolicy::disabled())
+            .unwrap();
+    let torn_err = (|| -> Result<(), CollectorError> {
+        for chunk in &chunks {
+            torn.send_events(chunk)?;
+        }
+        torn.finish().map(|_| ())
+    })()
+    .expect_err("torn write must abort");
+    assert!(matches!(torn_err, CollectorError::Remote { code: Some(ErrorCode::Io), .. }));
+    wait_phase(&collector, "torn-write", SessionPhase::Aborted);
+
+    // Manifest-write failure at FINISH: typed abort, daemon survives.
+    faults.clear();
+    faults.fail_manifest_writes(true);
+    let mut nofin =
+        CollectorClient::open_session_with(&socket, "no-manifest", ReconnectPolicy::disabled())
+            .unwrap();
+    nofin.send_events(&events).unwrap();
+    let err = nofin.finish().expect_err("manifest failure must surface");
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::Io), .. }));
+    faults.clear();
+    let mut last = CollectorClient::open_session(&socket, "after-faults").unwrap();
+    last.send_events(&events).unwrap();
+    last.finish().unwrap();
+    collector.shutdown();
+}
+
+/// Satellite 3: sessions silent past the idle timeout are aborted with
+/// the typed `IdleTimeout` error, their durable prefix stays queryable,
+/// and the name becomes reusable.
+#[test]
+fn idle_sessions_are_reaped_with_a_typed_error() {
+    let (socket, data) = scratch("idle");
+    let mut config = CollectorConfig::new(&socket, data);
+    config.idle_timeout = Some(Duration::from_millis(200));
+    let collector = Collector::bind(config).unwrap();
+    let events = session_events(0, 512);
+
+    let mut client =
+        CollectorClient::open_session_with(&socket, "idler", ReconnectPolicy::disabled()).unwrap();
+    client.send_events(&events[..256]).unwrap();
+    wait_phase(&collector, "idler", SessionPhase::Aborted);
+    // The client's next interaction surfaces the typed reap.
+    let err = client.query(&QuerySpec::session("idler")).unwrap_err();
+    assert!(
+        matches!(err, CollectorError::Remote { code: Some(ErrorCode::IdleTimeout), .. })
+            || matches!(err, CollectorError::Io(_)),
+        "expected IdleTimeout or a transport error from the shutdown, got {err:?}"
+    );
+    // The name is reusable; an active streamer is never reaped.
+    let mut busy =
+        CollectorClient::open_session_with(&socket, "idler", ReconnectPolicy::disabled()).unwrap();
+    for chunk in events.chunks(64) {
+        busy.send_events(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let summary = busy.finish().unwrap();
+    assert_eq!(summary.events, events.len() as u64);
+    collector.shutdown();
+}
+
+/// Graceful shutdown is a pause, not an abort: streaming sessions
+/// detach, a restarted daemon re-serves finished sessions by name and
+/// offers detached ones for resume — while a stale epoch is fenced off
+/// and `SessionExists` still protects durable data from a blind reopen.
+#[test]
+fn shutdown_detaches_and_restart_resumes_and_reserves() {
+    let (socket, data) = scratch("grace");
+    let collector = Collector::bind(CollectorConfig::new(&socket, &data)).unwrap();
+    let events = session_events(0, 2_048);
+    let chunks: Vec<&[Event]> = events.chunks(128).collect();
+    let half = chunks.len() / 2;
+
+    // One finished session, one mid-stream.
+    let mut done = CollectorClient::open_session(&socket, "finished").unwrap();
+    done.send_events(&events).unwrap();
+    done.finish().unwrap();
+    let mut mid =
+        CollectorClient::open_session_with(&socket, "midway", ReconnectPolicy::disabled()).unwrap();
+    for chunk in &chunks[..half] {
+        mid.send_events(chunk).unwrap();
+    }
+    let epoch = mid.epoch();
+    // Drain acks (a query flushes) so the acked watermark is exactly
+    // `half` before the daemon goes down.
+    let live = mid.query(&QuerySpec::session("midway")).unwrap();
+    assert_eq!(live.events_observed, (half * 128) as u64);
+    collector.shutdown();
+    drop(mid);
+
+    let collector = Collector::bind(CollectorConfig::new(&socket, &data)).unwrap();
+    let phases: Vec<(String, SessionPhase)> =
+        collector.recovered_sessions().iter().map(|r| (r.name.clone(), r.phase)).collect();
+    assert!(phases.contains(&("finished".into(), SessionPhase::Finished)));
+    assert!(phases.contains(&("midway".into(), SessionPhase::Detached)));
+
+    // Finished sessions are re-served by name (from the cache-covered
+    // dir path) and still refuse a blind reopen.
+    let mut query = CollectorClient::connect(&socket).unwrap();
+    let reply = query.query(&QuerySpec::session("finished")).unwrap();
+    assert_eq!(reply.canonical_json, batch_json(&events));
+    let err = CollectorClient::open_session(&socket, "finished").unwrap_err();
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::SessionExists), .. }));
+
+    // A stale epoch is fenced; the true epoch resumes and completes.
+    let err =
+        CollectorClient::resume_session(&socket, "midway", epoch + 7, ReconnectPolicy::disabled())
+            .unwrap_err();
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::EpochMismatch), .. }));
+    let mut resumed =
+        CollectorClient::resume_session(&socket, "midway", epoch, ReconnectPolicy::disabled())
+            .unwrap();
+    for chunk in &chunks[half..] {
+        resumed.send_events(chunk).unwrap();
+    }
+    let summary = resumed.finish().unwrap();
+    assert_eq!(summary.chunks, chunks.len() as u64);
+    assert_eq!(summary.events, events.len() as u64);
+    assert_eq!(
+        resumed.query(&QuerySpec::session("midway")).unwrap().canonical_json,
+        batch_json(&events)
+    );
+    collector.shutdown();
+}

@@ -243,12 +243,16 @@ fn protocol_abuse_never_panics_and_never_fakes_a_finish() {
     let events = session_events(0, 64);
     let stream_bytes = |name: &str| -> Vec<u8> {
         let mut out = Vec::new();
-        let mut hello = 1u32.to_be_bytes().to_vec();
+        let mut hello = 2u32.to_be_bytes().to_vec();
+        hello.push(0); // mode: new session
         hello.extend_from_slice(&(name.len() as u16).to_be_bytes());
         hello.extend_from_slice(name.as_bytes());
         write_frame(&mut out, 0x01, &hello).unwrap();
-        write_frame(&mut out, 0x02, &encode_events(&events[..32])).unwrap();
-        write_frame(&mut out, 0x02, &encode_events(&events[32..])).unwrap();
+        for (seq, range) in [&events[..32], &events[32..]].into_iter().enumerate() {
+            let mut chunk = (seq as u64).to_be_bytes().to_vec();
+            chunk.extend_from_slice(&encode_events(range));
+            write_frame(&mut out, 0x02, &chunk).unwrap();
+        }
         write_frame(&mut out, 0x03, &[]).unwrap();
         out
     };
@@ -352,10 +356,12 @@ fn protocol_errors_carry_codes() {
     let err = CollectorClient::open_session(&socket, "../evil").unwrap_err();
     assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::BadSessionName), .. }));
 
-    // Duplicate session names are rejected.
+    // Duplicate session names are rejected: the name is *attached* to a
+    // live connection, which is its own typed code (distinct from the
+    // durable-data SessionExists).
     let _first = CollectorClient::open_session(&socket, "dup").unwrap();
     let err = CollectorClient::open_session(&socket, "dup").unwrap_err();
-    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::SessionExists), .. }));
+    assert!(matches!(err, CollectorError::Remote { code: Some(ErrorCode::SessionActive), .. }));
 
     // A corrupt chunk poisons the session with CorruptChunk.
     let mut client = CollectorClient::open_session(&socket, "corrupt").unwrap();
@@ -438,6 +444,37 @@ fn dir_query_cache_hits_and_invalidates_on_change() {
     assert_eq!(third.events_observed, (events.len() + extra.len()) as u64);
 
     std::fs::remove_dir_all(&dir).unwrap();
+    collector.shutdown();
+}
+
+/// Live query results are cached keyed by the observed-event prefix
+/// (among name, epoch, and the query bytes): repeating a query while no
+/// new events arrived hits the cache, and any newly acked events
+/// invalidate it by construction.
+#[test]
+fn live_query_cache_hits_until_new_events_arrive() {
+    let (collector, socket) = bind("livecache");
+    let events = session_events(0, 2_048);
+    let mut client = CollectorClient::open_session(&socket, "lc").unwrap();
+    client.send_events(&events[..1_024]).unwrap();
+    let spec = QuerySpec::session("lc").group_by([Dim::Phase]);
+    let first = client.query(&spec).unwrap();
+    assert!(first.live && !first.cache_hit);
+    let second = client.query(&spec).unwrap();
+    assert!(second.live && second.cache_hit, "same prefix must be served from cache");
+    assert_eq!(second.canonical_json, first.canonical_json);
+    // A different query over the same prefix is its own cache entry...
+    let other = client.query(&QuerySpec::session("lc")).unwrap();
+    assert!(other.live && !other.cache_hit);
+    // ...and new events miss by construction: the key carries the
+    // prefix length, so a grown prefix can never alias a cached answer.
+    client.send_events(&events[1_024..]).unwrap();
+    let third = client.query(&spec).unwrap();
+    assert!(third.live && !third.cache_hit, "stale live answer served after new events");
+    assert_eq!(
+        third.canonical_json,
+        Analysis::of_events(&events).group_by([Dim::Phase]).canonical_json().unwrap()
+    );
     collector.shutdown();
 }
 

@@ -303,7 +303,7 @@ fn drain_frames(bytes: &[u8]) -> Result<Vec<(u8, Vec<u8>)>, TraceIoError> {
 fn frame_stream_truncation_at_every_offset() {
     let events = corpus_events();
     let mut stream = Vec::new();
-    write_frame(&mut stream, 0x01, b"\x00\x00\x00\x01\x00\x02s1").unwrap();
+    write_frame(&mut stream, 0x01, b"\x00\x00\x00\x02\x00\x00\x02s1").unwrap();
     write_frame(&mut stream, 0x02, &encode_events(&events[..events.len() / 2])).unwrap();
     write_frame(&mut stream, 0x02, &encode_events(&events[events.len() / 2..])).unwrap();
     write_frame(&mut stream, 0x03, b"").unwrap();
