@@ -582,6 +582,142 @@ fn bench_ingest(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+fn bench_fleet_query(c: &mut Criterion) {
+    use rlscope_collector::{
+        Collector, CollectorClient, CollectorConfig, Endpoint, FleetClient, QuerySpec,
+    };
+
+    // Federated query fan-out: the same 8 finished 5k-event sessions
+    // served by one daemon and by four 2-session shards, queried through
+    // `FleetClient` over TCP with `group_by([Dim::Session])`, versus a
+    // local single-dir `Analysis` over the identical 40k events. The
+    // fleet paths pay the QUERY_ALL codec, socket round-trips, and the
+    // cross-shard merge on top of the baseline's decode + sweep.
+    const SESSIONS_TOTAL: usize = 8;
+    const EVENTS_PER_SESSION: usize = 5_000;
+    let root = std::env::temp_dir().join(format!("rlscope_bench_fleet_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let events = multi_op_events(EVENTS_PER_SESSION, 8, 2);
+
+    let spawn_shards = |tag: &str, daemons: usize| -> Vec<Collector> {
+        (0..daemons)
+            .map(|d| {
+                let base = root.join(format!("{tag}_{d}"));
+                let mut config = CollectorConfig::new(base.join("sock"), base.join("data"));
+                config.tcp_listen = Some("127.0.0.1:0".into());
+                let collector = Collector::bind(config).unwrap();
+                for s in 0..SESSIONS_TOTAL / daemons {
+                    let name = format!("fleet-{tag}-{d}-{s}");
+                    let mut client =
+                        CollectorClient::open_session(collector.socket(), &name).unwrap();
+                    for chunk in events.chunks(1_024) {
+                        client.send_events(chunk).unwrap();
+                    }
+                    client.finish().unwrap();
+                }
+                collector
+            })
+            .collect()
+    };
+    let single = spawn_shards("one", 1);
+    let sharded = spawn_shards("four", 4);
+    let fleet_of = |shards: &[Collector]| {
+        FleetClient::connect(
+            shards.iter().map(|s| Endpoint::tcp(s.tcp_addr().unwrap().to_string())),
+        )
+    };
+    let mut fleet1 = fleet_of(&single);
+    let mut fleet4 = fleet_of(&sharded);
+    let spec = QuerySpec::all_sessions().group_by([Dim::Session]);
+    let query = |fleet: &mut FleetClient| {
+        let result = fleet.query_all(&spec);
+        assert!(result.complete(), "fleet query lost a shard: {:?}", result.gaps());
+        result
+    };
+    c.bench_function("fleet_query/1daemon_8sessions", |b| b.iter(|| query(&mut fleet1)));
+    c.bench_function("fleet_query/4daemons_2sessions", |b| b.iter(|| query(&mut fleet4)));
+
+    // The local baseline: one chunk dir holding the same 40k events,
+    // swept in-process with no sockets and no per-session split.
+    let base_dir = root.join("baseline");
+    let writer = TraceWriter::create(&base_dir, 256 << 10).unwrap();
+    for _ in 0..SESSIONS_TOTAL {
+        for chunk in events.chunks(1_024) {
+            writer.write(chunk.to_vec());
+        }
+    }
+    writer.finish().unwrap();
+    let baseline = || Analysis::from_chunk_dir(&base_dir).table().unwrap();
+    c.bench_function("fleet_query/single_dir_baseline_40k", |b| b.iter(baseline));
+
+    let shutdown_all = |single: Vec<Collector>, sharded: Vec<Collector>| {
+        for collector in single.into_iter().chain(sharded) {
+            collector.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    };
+
+    // Inline ratio gate (CI bench-smoke entry): a federated rollup of
+    // the fleet must stay within 4x the wall time of the local
+    // single-dir sweep over the same events — the overhead is framing,
+    // round-trips, and the cross-shard merge, all of which must remain
+    // small next to decode + sweep. Measured inline (min of 3
+    // interleaved passes) so it also runs under `--test`; skipped when
+    // a substring filter excludes it.
+    let gate_name = "fleet_query/1daemon_8sessions";
+    if bench_filter().is_some_and(|f| !gate_name.contains(f.as_str())) {
+        drop(fleet1);
+        drop(fleet4);
+        shutdown_all(single, sharded);
+        return;
+    }
+    let reps = 5;
+    let time_fleet = |fleet: &mut FleetClient| {
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            let result = fleet.query_all(&spec);
+            assert!(result.complete(), "fleet query lost a shard: {:?}", result.gaps());
+            std::hint::black_box(result);
+        }
+        t.elapsed().as_nanos() as f64 / reps as f64
+    };
+    let time_baseline = || {
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(baseline());
+        }
+        t.elapsed().as_nanos() as f64 / reps as f64
+    };
+    let (_, _, _) = (time_fleet(&mut fleet1), time_fleet(&mut fleet4), time_baseline());
+    let mut one_ns = f64::INFINITY;
+    let mut four_ns = f64::INFINITY;
+    let mut base_ns = f64::INFINITY;
+    for _ in 0..3 {
+        one_ns = one_ns.min(time_fleet(&mut fleet1));
+        four_ns = four_ns.min(time_fleet(&mut fleet4));
+        base_ns = base_ns.min(time_baseline());
+    }
+    let ratio_one = one_ns / base_ns;
+    let ratio_four = four_ns / base_ns;
+    println!(
+        "fleet_query_gate: single-dir baseline {:.2} ms, 1x8 fleet {:.2} ms (ratio {ratio_one:.2}), \
+         4x2 fleet {:.2} ms (ratio {ratio_four:.2})",
+        base_ns / 1e6,
+        one_ns / 1e6,
+        four_ns / 1e6,
+    );
+    let bound = if std::env::args().any(|a| a == "--test") { 12.0 } else { 4.0 };
+    assert!(
+        ratio_one < bound && ratio_four < bound,
+        "federated query fell to {ratio_one:.2}x (1x8) / {ratio_four:.2}x (4x2) the local \
+         single-dir sweep (bound {bound}x); baseline {base_ns:.0} ns, 1x8 {one_ns:.0} ns, \
+         4x2 {four_ns:.0} ns"
+    );
+    drop(fleet1);
+    drop(fleet4);
+    shutdown_all(single, sharded);
+}
+
 fn bench_tensor(c: &mut Criterion) {
     use rlscope_backend::Tensor;
     let a = Tensor::full(64, 64, 0.5);
@@ -619,6 +755,7 @@ criterion_group!(
     bench_multiprocess,
     bench_trace_codec,
     bench_ingest,
+    bench_fleet_query,
     bench_tensor,
     bench_gpu_scheduler
 );

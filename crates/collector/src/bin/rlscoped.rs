@@ -1,10 +1,12 @@
 //! `rlscoped` — the live trace collector daemon.
 //!
 //! ```text
-//! rlscoped --socket <path> --data-dir <dir> [--credits N] [--idle-timeout-secs N]
+//! rlscoped --socket <path> --data-dir <dir> [--listen tcp://host:port]
+//!          [--credits N] [--idle-timeout-secs N]
 //! ```
 //!
-//! Binds the Unix-domain socket, runs the crash-recovery scan over the
+//! Binds the Unix-domain socket (plus an optional TCP listener carrying
+//! the identical framed protocol), runs the crash-recovery scan over the
 //! data dir (re-serving finished sessions, truncating torn tails and
 //! rebuilding live state for interrupted ones, upgrading legacy
 //! directories), and serves profiling sessions and queries until
@@ -15,10 +17,11 @@ use rlscope_collector::daemon::serve_forever;
 use rlscope_collector::{Collector, CollectorConfig, SessionPhase};
 use std::time::Duration;
 
+const USAGE: &str = "usage: rlscoped --socket <path> --data-dir <dir> \
+[--listen tcp://host:port] [--credits N] [--idle-timeout-secs N]";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: rlscoped --socket <path> --data-dir <dir> [--credits N] [--idle-timeout-secs N]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -26,6 +29,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut socket: Option<String> = None;
     let mut data_dir: Option<String> = None;
+    let mut listen: Option<String> = None;
     let mut credits: Option<u32> = None;
     let mut idle_timeout_secs: Option<u64> = None;
     let mut i = 1;
@@ -39,14 +43,13 @@ fn main() {
         match args[i].as_str() {
             "--socket" | "-s" => socket = Some(value(i)),
             "--data-dir" | "-d" => data_dir = Some(value(i)),
+            "--listen" | "-l" => listen = Some(value(i)),
             "--credits" => credits = Some(value(i).parse().unwrap_or_else(|_| usage())),
             "--idle-timeout-secs" => {
                 idle_timeout_secs = Some(value(i).parse().unwrap_or_else(|_| usage()));
             }
             "--help" | "-h" => {
-                println!(
-                    "rlscoped --socket <path> --data-dir <dir> [--credits N] [--idle-timeout-secs N]"
-                );
+                println!("{USAGE}");
                 return;
             }
             other => {
@@ -58,6 +61,13 @@ fn main() {
     }
     let (Some(socket), Some(data_dir)) = (socket, data_dir) else { usage() };
     let mut config = CollectorConfig::new(socket, data_dir);
+    if let Some(listen) = listen {
+        if !listen.starts_with("tcp://") {
+            eprintln!("rlscoped: --listen takes a tcp://host:port address (got {listen:?})");
+            std::process::exit(2);
+        }
+        config.tcp_listen = Some(listen);
+    }
     if let Some(credits) = credits {
         config.credits = credits.max(1);
     }
@@ -106,5 +116,8 @@ fn main() {
         );
     }
     println!("rlscoped: listening on {}", collector.socket().display());
+    if let Some(addr) = collector.tcp_addr() {
+        println!("rlscoped: listening on tcp://{addr}");
+    }
     serve_forever(collector);
 }

@@ -2,16 +2,17 @@
 //! and the profiler sink that streams a live workload into the daemon.
 
 use crate::protocol::{
-    decode_error, kind, CollectorError, ErrorCode, HelloAck, HelloRequest, QueryReply, QuerySpec,
+    decode_error, kind, CollectorError, ErrorCode, HelloAck, HelloRequest, QueryAllReply,
+    QueryReply, QuerySpec, SessionList,
 };
+use crate::transport::{Endpoint, Stream};
 use parking_lot::Mutex;
 use rlscope_core::event::Event;
 use rlscope_core::profiler::EventSink;
 use rlscope_core::store::{encode_events, read_frame, write_frame, write_frame_parts};
 use std::collections::VecDeque;
 use std::fmt;
-use std::os::unix::net::UnixStream;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -57,7 +58,8 @@ impl ReconnectPolicy {
     }
 }
 
-/// A synchronous protocol client over one Unix-socket connection.
+/// A synchronous protocol client over one collector connection (Unix
+/// socket or TCP — the wire bytes are identical, see [`Endpoint`]).
 ///
 /// [`CollectorClient::open_session`] performs the handshake and streams
 /// chunks with credit-window backpressure ([crate docs](crate));
@@ -76,8 +78,8 @@ impl ReconnectPolicy {
 /// typed server rejection (epoch mismatch, abort, name in use) is never
 /// retried.
 pub struct CollectorClient {
-    stream: UnixStream,
-    socket: PathBuf,
+    stream: Stream,
+    endpoint: Endpoint,
     policy: ReconnectPolicy,
     session: Option<String>,
     session_id: u64,
@@ -112,10 +114,19 @@ impl CollectorClient {
     ///
     /// Socket connection failures.
     pub fn connect(socket: &Path) -> Result<CollectorClient, CollectorError> {
-        let stream = UnixStream::connect(socket)?;
+        Self::connect_to(&Endpoint::from(socket))
+    }
+
+    /// [`CollectorClient::connect`] for any [`Endpoint`] (Unix or TCP).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect_to(endpoint: &Endpoint) -> Result<CollectorClient, CollectorError> {
+        let stream = endpoint.connect()?;
         Ok(CollectorClient {
             stream,
-            socket: socket.to_path_buf(),
+            endpoint: endpoint.clone(),
             policy: ReconnectPolicy::disabled(),
             session: None,
             session_id: 0,
@@ -150,10 +161,24 @@ impl CollectorClient {
         name: &str,
         policy: ReconnectPolicy,
     ) -> Result<CollectorClient, CollectorError> {
-        let (stream, ack) = handshake(socket, &HelloRequest::new_session(name))?;
+        Self::open_session_at(&Endpoint::from(socket), name, policy)
+    }
+
+    /// [`CollectorClient::open_session_with`] for any [`Endpoint`]
+    /// (Unix or TCP) — reconnects re-dial the same endpoint.
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectorClient::open_session`].
+    pub fn open_session_at(
+        endpoint: &Endpoint,
+        name: &str,
+        policy: ReconnectPolicy,
+    ) -> Result<CollectorClient, CollectorError> {
+        let (stream, ack) = handshake(endpoint, &HelloRequest::new_session(name))?;
         Ok(CollectorClient {
             stream,
-            socket: socket.to_path_buf(),
+            endpoint: endpoint.clone(),
             policy,
             session: Some(name.to_string()),
             session_id: ack.session_id,
@@ -182,10 +207,26 @@ impl CollectorClient {
         epoch: u64,
         policy: ReconnectPolicy,
     ) -> Result<CollectorClient, CollectorError> {
-        let (stream, ack) = handshake(socket, &HelloRequest::resume(name, epoch))?;
+        Self::resume_session_at(&Endpoint::from(socket), name, epoch, policy)
+    }
+
+    /// [`CollectorClient::resume_session`] for any [`Endpoint`] — a
+    /// session opened over one transport may resume over the other; the
+    /// epoch handshake, not the transport, identifies the stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectorClient::resume_session`].
+    pub fn resume_session_at(
+        endpoint: &Endpoint,
+        name: &str,
+        epoch: u64,
+        policy: ReconnectPolicy,
+    ) -> Result<CollectorClient, CollectorError> {
+        let (stream, ack) = handshake(endpoint, &HelloRequest::resume(name, epoch))?;
         Ok(CollectorClient {
             stream,
-            socket: socket.to_path_buf(),
+            endpoint: endpoint.clone(),
             policy,
             session: Some(name.to_string()),
             session_id: ack.session_id,
@@ -368,7 +409,7 @@ impl CollectorClient {
 
     /// One resume attempt: handshake, trim, replay.
     fn try_resume(&mut self, name: &str) -> Result<(), CollectorError> {
-        let (stream, ack) = handshake(&self.socket, &HelloRequest::resume(name, self.epoch))?;
+        let (stream, ack) = handshake(&self.endpoint, &HelloRequest::resume(name, self.epoch))?;
         self.stream = stream;
         self.max_credits = ack.credits.max(1);
         self.credits = self.max_credits;
@@ -418,6 +459,72 @@ impl CollectorClient {
             other => {
                 Err(CollectorError::Protocol(format!("unexpected query reply kind {other:#04x}")))
             }
+        }
+    }
+
+    /// Lists every session the daemon holds (name-sorted), with
+    /// liveness and the daemon's event count.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (after reconnect attempts, for session
+    /// connections) or a server-side error reply.
+    pub fn list_sessions(&mut self) -> Result<SessionList, CollectorError> {
+        if self.session.is_none() {
+            return self.list_sessions_once();
+        }
+        loop {
+            self.drain_acks()?;
+            match self.list_sessions_once() {
+                Err(CollectorError::Io(e)) => self.recover(CollectorError::Io(e))?,
+                other => return other,
+            }
+        }
+    }
+
+    fn list_sessions_once(&mut self) -> Result<SessionList, CollectorError> {
+        write_frame(&mut self.stream, kind::LIST_SESSIONS, &[])?;
+        let (frame_kind, payload) = expect_frame(&mut self.stream)?;
+        match frame_kind {
+            kind::SESSIONS => SessionList::decode(&payload),
+            kind::ERROR => Err(decode_error(&payload)),
+            other => Err(CollectorError::Protocol(format!(
+                "unexpected session-list reply kind {other:#04x}"
+            ))),
+        }
+    }
+
+    /// Runs one query across every session the daemon holds (the
+    /// `QUERY_ALL` frame; the spec must carry
+    /// [`QueryTarget::AllSessions`](crate::protocol::QueryTarget::AllSessions)).
+    /// The reply's grouped tables are machine-mergeable — what a
+    /// [`FleetClient`](crate::fleet::FleetClient) folds across daemons.
+    ///
+    /// # Errors
+    ///
+    /// See [`CollectorClient::query`].
+    pub fn query_all(&mut self, spec: &QuerySpec) -> Result<QueryAllReply, CollectorError> {
+        if self.session.is_none() {
+            return self.query_all_once(spec);
+        }
+        loop {
+            self.drain_acks()?;
+            match self.query_all_once(spec) {
+                Err(CollectorError::Io(e)) => self.recover(CollectorError::Io(e))?,
+                other => return other,
+            }
+        }
+    }
+
+    fn query_all_once(&mut self, spec: &QuerySpec) -> Result<QueryAllReply, CollectorError> {
+        write_frame(&mut self.stream, kind::QUERY_ALL, &spec.encode())?;
+        let (frame_kind, payload) = expect_frame(&mut self.stream)?;
+        match frame_kind {
+            kind::QUERY_ALL_OK => QueryAllReply::decode(&payload),
+            kind::ERROR => Err(decode_error(&payload)),
+            other => Err(CollectorError::Protocol(format!(
+                "unexpected query-all reply kind {other:#04x}"
+            ))),
         }
     }
 
@@ -486,10 +593,10 @@ impl CollectorClient {
 
 /// One connect + HELLO exchange.
 fn handshake(
-    socket: &Path,
+    endpoint: &Endpoint,
     hello: &HelloRequest,
-) -> Result<(UnixStream, HelloAck), CollectorError> {
-    let mut stream = UnixStream::connect(socket)?;
+) -> Result<(Stream, HelloAck), CollectorError> {
+    let mut stream = endpoint.connect()?;
     write_frame(&mut stream, kind::HELLO, &hello.encode())?;
     let (frame_kind, payload) = expect_frame(&mut stream)?;
     match frame_kind {
@@ -502,7 +609,7 @@ fn handshake(
     }
 }
 
-fn expect_frame(stream: &mut UnixStream) -> Result<(u8, Vec<u8>), CollectorError> {
+fn expect_frame(stream: &mut Stream) -> Result<(u8, Vec<u8>), CollectorError> {
     match read_frame(stream)? {
         Some(frame) => Ok(frame),
         None => Err(CollectorError::Protocol("server closed the connection".into())),

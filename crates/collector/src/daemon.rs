@@ -3,12 +3,13 @@
 //! finished-dir query execution, and the keyed result caches.
 
 use crate::protocol::{
-    encode_error, kind, CollectorError, ErrorCode, HelloAck, HelloRequest, QueryReply, QuerySpec,
-    QueryTarget, PROTOCOL_VERSION,
+    encode_error, kind, CollectorError, ErrorCode, HelloAck, HelloRequest, QueryAllReply,
+    QueryReply, QuerySpec, QueryTarget, SessionInfo, SessionList, PROTOCOL_VERSION,
 };
 use crate::registry::{SessionRecord, SessionStatus};
+use crate::transport::Stream;
 use parking_lot::Mutex;
-use rlscope_core::analysis::{Analysis, AnalysisError, LiveState};
+use rlscope_core::analysis::{Analysis, AnalysisError, LiveState, LiveTables, SessionSource};
 use rlscope_core::event::Event;
 use rlscope_core::store::{
     compute_footer, decode_events, list_chunk_files, read_chunk_footer, read_frame,
@@ -21,6 +22,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::hash::Hash;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -133,6 +135,13 @@ pub struct CollectorConfig {
     /// Unix-domain socket path to listen on (created at bind, removed at
     /// shutdown; a stale file from a dead daemon is replaced).
     pub socket: PathBuf,
+    /// Additional TCP listen address (`host:port`, or the full
+    /// `tcp://host:port` form the `rlscoped --listen` flag takes; port 0
+    /// picks an ephemeral port — [`Collector::tcp_addr`] reports the
+    /// bound address). The framed protocol is transport-agnostic, so TCP
+    /// connections get the identical handshake, backpressure, resume,
+    /// and query surface as Unix ones. `None` serves Unix only.
+    pub tcp_listen: Option<String>,
     /// Directory under which each session gets its chunk directory.
     /// Session chunk files are the client's flush batches persisted
     /// verbatim (see [`Collector`]'s session store), so chunk
@@ -164,6 +173,7 @@ impl CollectorConfig {
     pub fn new(socket: impl Into<PathBuf>, data_dir: impl Into<PathBuf>) -> Self {
         CollectorConfig {
             socket: socket.into(),
+            tcp_listen: None,
             data_dir: data_dir.into(),
             credits: 8,
             cache_capacity: 256,
@@ -520,11 +530,11 @@ struct Daemon {
     next_epoch: AtomicU64,
     next_conn_id: AtomicU64,
     shutdown: AtomicBool,
-    /// Clones of live connection streams, keyed by connection id
-    /// (handlers deregister themselves on exit); shut down to unblock
-    /// handler threads at daemon shutdown, and by the idle reaper to
-    /// evict an attached-but-silent client.
-    conn_streams: Mutex<HashMap<u64, UnixStream>>,
+    /// Clones of live connection streams (either transport), keyed by
+    /// connection id (handlers deregister themselves on exit); shut down
+    /// to unblock handler threads at daemon shutdown, and by the idle
+    /// reaper to evict an attached-but-silent client.
+    conn_streams: Mutex<HashMap<u64, Stream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -536,6 +546,10 @@ struct Daemon {
 pub struct Collector {
     daemon: Arc<Daemon>,
     accept_thread: Option<JoinHandle<()>>,
+    tcp_accept_thread: Option<JoinHandle<()>>,
+    /// Bound TCP listen address, when [`CollectorConfig::tcp_listen`]
+    /// was set (the resolved address, so port 0 reports the real port).
+    tcp_addr: Option<SocketAddr>,
     reaper_thread: Option<JoinHandle<()>>,
     upgraded: Vec<(PathBuf, ManifestUpgrade)>,
     recovered: Vec<RecoveredSession>,
@@ -636,6 +650,15 @@ impl Collector {
             fs::remove_file(&config.socket).map_err(TraceIoError::from)?;
         }
         let listener = UnixListener::bind(&config.socket).map_err(TraceIoError::from)?;
+        let tcp_listener = match &config.tcp_listen {
+            Some(addr) => {
+                let addr = addr.strip_prefix("tcp://").unwrap_or(addr);
+                let listener = TcpListener::bind(addr).map_err(TraceIoError::from)?;
+                Some(listener)
+            }
+            None => None,
+        };
+        let tcp_addr = tcp_listener.as_ref().and_then(|l| l.local_addr().ok());
         let cache = LruCache::new(config.cache_capacity);
         let live_cache = LruCache::new(config.cache_capacity);
         let idle_timeout = config.idle_timeout;
@@ -658,19 +681,21 @@ impl Collector {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let conn_id = accept_daemon.next_conn_id.fetch_add(1, Ordering::SeqCst);
-                if let Ok(clone) = stream.try_clone() {
-                    accept_daemon.conn_streams.lock().insert(conn_id, clone);
-                }
-                let conn_daemon = accept_daemon.clone();
-                let handle = std::thread::spawn(move || {
-                    handle_connection(&conn_daemon, stream, conn_id);
-                    conn_daemon.conn_streams.lock().remove(&conn_id);
-                });
-                let mut threads = accept_daemon.conn_threads.lock();
-                threads.retain(|h| !h.is_finished());
-                threads.push(handle);
+                register_connection(&accept_daemon, Stream::Unix(stream));
             }
+        });
+        let tcp_accept_thread = tcp_listener.map(|listener| {
+            let accept_daemon = daemon.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_daemon.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    register_connection(&accept_daemon, Stream::Tcp(stream));
+                }
+            })
         });
         let reaper_thread = idle_timeout.map(|timeout| {
             let reaper_daemon = daemon.clone();
@@ -686,6 +711,8 @@ impl Collector {
         Ok(Collector {
             daemon,
             accept_thread: Some(accept_thread),
+            tcp_accept_thread,
+            tcp_addr,
             reaper_thread,
             upgraded,
             recovered,
@@ -695,6 +722,12 @@ impl Collector {
     /// The socket path clients connect to.
     pub fn socket(&self) -> &Path {
         &self.daemon.config.socket
+    }
+
+    /// The bound TCP listen address, when the config asked for one
+    /// (resolved, so a port-0 config reports the real ephemeral port).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
     }
 
     /// Legacy session directories whose manifest the startup upgrade
@@ -740,9 +773,15 @@ impl Collector {
         if self.daemon.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
+        // Unblock the accept loops with throwaway connections.
         let _ = UnixStream::connect(&self.daemon.config.socket);
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.tcp_accept_thread.take() {
             let _ = handle.join();
         }
         for (_, stream) in self.daemon.conn_streams.lock().drain() {
@@ -943,10 +982,27 @@ pub fn serve_forever(collector: Collector) -> ! {
 
 type ConnError = (ErrorCode, String);
 
+/// Registers one accepted connection (either transport) and spawns its
+/// handler thread — the shared tail of both accept loops.
+fn register_connection(daemon: &Arc<Daemon>, stream: Stream) {
+    let conn_id = daemon.next_conn_id.fetch_add(1, Ordering::SeqCst);
+    if let Ok(clone) = stream.try_clone() {
+        daemon.conn_streams.lock().insert(conn_id, clone);
+    }
+    let conn_daemon = daemon.clone();
+    let handle = std::thread::spawn(move || {
+        handle_connection(&conn_daemon, stream, conn_id);
+        conn_daemon.conn_streams.lock().remove(&conn_id);
+    });
+    let mut threads = daemon.conn_threads.lock();
+    threads.retain(|h| !h.is_finished());
+    threads.push(handle);
+}
+
 /// The write half of a connection, shared between the connection thread
 /// and the session's apply thread (which writes durable `CHUNK_ACK`s):
 /// the mutex keeps frames from interleaving mid-write.
-type SharedWriter = Arc<Mutex<UnixStream>>;
+type SharedWriter = Arc<Mutex<Stream>>;
 
 fn send_error(writer: &SharedWriter, code: ErrorCode, message: &str) {
     let _ = write_frame(&mut *writer.lock(), kind::ERROR, &encode_error(code, message));
@@ -967,7 +1023,7 @@ enum ConnExit {
     Abort(ConnError),
 }
 
-fn handle_connection(daemon: &Daemon, mut stream: UnixStream, conn_id: u64) {
+fn handle_connection(daemon: &Daemon, mut stream: Stream, conn_id: u64) {
     let Ok(write_half) = stream.try_clone() else { return };
     let writer: SharedWriter = Arc::new(Mutex::new(write_half));
     let mut session: Option<Arc<Session>> = None;
@@ -1000,6 +1056,8 @@ fn handle_connection(daemon: &Daemon, mut stream: UnixStream, conn_id: u64) {
                 result
             }
             kind::QUERY => handle_query(daemon, &writer, &frame.1),
+            kind::LIST_SESSIONS => handle_list_sessions(daemon, &writer),
+            kind::QUERY_ALL => handle_query_all(daemon, &writer, &frame.1),
             other => Err((ErrorCode::Protocol, format!("unexpected frame kind {other:#04x}"))),
         };
         if let Err(error) = outcome {
@@ -1548,7 +1606,120 @@ fn run_query(daemon: &Daemon, spec: &QuerySpec) -> Result<QueryReply, ConnError>
             }
             dir_query(daemon, &dir, spec)
         }
+        // A QUERY reply carries one canonical-JSON table; the all-sessions
+        // answer is per-session groups, which only a QUERY_ALL_OK can carry.
+        QueryTarget::AllSessions => Err((
+            ErrorCode::UnsupportedQuery,
+            "the all-sessions target must be sent as a QUERY_ALL frame".into(),
+        )),
     }
+}
+
+fn handle_list_sessions(daemon: &Daemon, writer: &SharedWriter) -> Result<(), ConnError> {
+    let mut sessions: Vec<Arc<Session>> = daemon.sessions.lock().values().cloned().collect();
+    sessions.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = Vec::with_capacity(sessions.len());
+    for session in sessions {
+        let state = session.state.lock();
+        let live = !state.finished && state.abort.is_none();
+        // Events ingested this daemon run; a finished directory recovered
+        // from disk reports its manifest-counted total at query time, not
+        // here — the listing stays O(sessions).
+        let events = if live {
+            drop(state);
+            session.flush_applies();
+            session.live.lock().events_observed()
+        } else {
+            state.events
+        };
+        out.push(SessionInfo { name: session.name.clone(), live, events });
+    }
+    let reply = SessionList { sessions: out };
+    write_frame(&mut *writer.lock(), kind::SESSIONS, &reply.encode()).map_err(io_err)?;
+    Ok(())
+}
+
+fn handle_query_all(
+    daemon: &Daemon,
+    writer: &SharedWriter,
+    payload: &[u8],
+) -> Result<(), ConnError> {
+    let spec = QuerySpec::decode(payload).map_err(|e| (ErrorCode::Protocol, e.to_string()))?;
+    let reply = run_query_all(daemon, &spec)?;
+    write_frame(&mut *writer.lock(), kind::QUERY_ALL_OK, &reply.encode()).map_err(io_err)?;
+    Ok(())
+}
+
+/// What one session contributes to a cross-session query: its finished
+/// (or abort-finalized) directory, or an owned live snapshot.
+enum SessionSnapshot {
+    Dir(PathBuf),
+    Live(LiveTables),
+}
+
+/// Runs one query across every session the daemon holds, composed
+/// through [`Analysis::of_sessions`]. Live sessions contribute a
+/// consistent acked-prefix snapshot (same flush barrier and lock
+/// discipline as a single-session query); finished and abort-finalized
+/// sessions contribute their chunk directories. Results are not cached:
+/// the answer covers every live prefix at once, so any ingest anywhere
+/// invalidates it.
+fn run_query_all(daemon: &Daemon, spec: &QuerySpec) -> Result<QueryAllReply, ConnError> {
+    if spec.target != QueryTarget::AllSessions {
+        return Err((ErrorCode::Protocol, "QUERY_ALL frames take the all-sessions target".into()));
+    }
+    let mut sessions: Vec<Arc<Session>> = daemon.sessions.lock().values().cloned().collect();
+    sessions.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut any_live = false;
+    let mut events_observed = 0u64;
+    let mut names = Vec::with_capacity(sessions.len());
+    let mut snapshots: Vec<(Arc<str>, SessionSnapshot)> = Vec::with_capacity(sessions.len());
+    for session in &sessions {
+        session.flush_applies();
+        let snapshot = {
+            let state = session.state.lock();
+            if let Some(err) = &state.apply_error {
+                return Err(err.clone());
+            }
+            if state.finished {
+                SessionSnapshot::Dir(session.dir.clone())
+            } else if let Some((code, message)) = &state.abort {
+                if state.store.is_none() {
+                    // Finalized abort: the directory holds exactly the
+                    // durable acked prefix.
+                    SessionSnapshot::Dir(session.dir.clone())
+                } else {
+                    // In-limbo abort poisons the rollup, same as it
+                    // refuses a single-session query.
+                    return Err((*code, format!("session {:?}: {message}", session.name)));
+                }
+            } else {
+                let live = session.live.lock();
+                events_observed += live.events_observed();
+                any_live = true;
+                SessionSnapshot::Live(live.snapshot())
+            }
+        };
+        if let SessionSnapshot::Dir(dir) = &snapshot {
+            let manifest = Manifest::open(dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
+            events_observed += manifest.total_events();
+        }
+        names.push(session.name.clone());
+        snapshots.push((Arc::from(session.name.as_str()), snapshot));
+    }
+    let sources: Vec<(Arc<str>, SessionSource<'_>)> = snapshots
+        .iter()
+        .map(|(name, snapshot)| {
+            let source = match snapshot {
+                SessionSnapshot::Dir(dir) => SessionSource::ChunkDir(dir.clone()),
+                SessionSnapshot::Live(tables) => SessionSource::Live(tables),
+            };
+            (name.clone(), source)
+        })
+        .collect();
+    let analysis = apply_spec(Analysis::of_sessions(sources), spec);
+    let groups = analysis.tables().map_err(analysis_err)?;
+    Ok(QueryAllReply { live: any_live, events_observed, sessions: names, groups })
 }
 
 /// Finished-directory query: manifest pushdown via

@@ -96,10 +96,14 @@
 //! | `0x02` | C→S | `CHUNK` | `seq:u64` \| one codec-v3 chunk ([`encode_events`]) |
 //! | `0x03` | C→S | `FINISH` | empty |
 //! | `0x04` | C→S | `QUERY` | a [`QuerySpec`] (see its docs for the byte layout) |
+//! | `0x05` | C→S | `LIST_SESSIONS` | empty |
+//! | `0x06` | C→S | `QUERY_ALL` | a [`QuerySpec`] with the all-sessions target |
 //! | `0x81` | S→C | `HELLO_ACK` | [`HelloAck`]: `session_id:u64` \| `credits:u32` \| `epoch:u64` \| `acked_chunks:u64` |
 //! | `0x82` | S→C | `CHUNK_ACK` | `seq:u64` \| `events:u32` — the chunk is applied **and durable** |
 //! | `0x83` | S→C | `FINISH_ACK` | `chunks:u64` \| `events:u64` (durable, manifest written) |
 //! | `0x84` | S→C | `QUERY_OK` | `flags:u8` (bit 0 live, bit 1 cache hit) \| `events_observed:u64` \| canonical JSON |
+//! | `0x85` | S→C | `SESSIONS` | a [`SessionList`] (see its docs for the byte layout) |
+//! | `0x86` | S→C | `QUERY_ALL_OK` | a [`QueryAllReply`]: machine-mergeable grouped tables (see its docs) |
 //! | `0xFF` | S→C | `ERROR` | `code:u8` \| `msg_len:u16` \| message |
 //!
 //! **Handshake.** A session connection opens with `HELLO` (protocol
@@ -122,6 +126,47 @@
 //! its socket buffer and stalls the ack writer — its own session only;
 //! other sessions keep streaming.
 //!
+//! # Fleet topology: transports and federation
+//!
+//! The daemon serves the identical framed protocol over **two
+//! transports**: the Unix-domain socket (always) and an optional TCP
+//! listener ([`CollectorConfig::tcp_listen`], `rlscoped --listen
+//! tcp://host:port`). Clients address either through an [`Endpoint`]
+//! (`unix://path` or `tcp://host:port`).
+//!
+//! **Unix vs TCP trade-offs.** The Unix socket is same-host only, with
+//! filesystem-permission access control and the lowest latency — the
+//! right default for a profiler streaming to its local daemon. TCP
+//! crosses hosts (profiling rig → collector box, and daemon → daemon
+//! for federation), sets `TCP_NODELAY` (small ack/credit frames must
+//! not wait on Nagle), and carries **no authentication or encryption**
+//! — bind loopback or a trusted network. Everything above the byte
+//! stream — framing, the protocol-v2 resume handshake, credit-window
+//! backpressure, the durability contract — is transport-independent.
+//!
+//! **Resume across transports.** A session is identified by its name +
+//! epoch handshake, not by its connection, so a stream opened over one
+//! transport may detach and resume over the other
+//! ([`CollectorClient::resume_session_at`]) — e.g. a local Unix
+//! producer resumed through a TCP endpoint after a host move.
+//!
+//! **Federation.** A [`FleetClient`] holds one query connection per
+//! daemon endpoint and fans a single serialized spec out as `QUERY_ALL`
+//! (each daemon composes **its own** sessions via
+//! [`Analysis::of_sessions`](rlscope_core::analysis::Analysis::of_sessions)
+//! and returns machine-mergeable grouped tables), then folds the shard
+//! tables together with
+//! [`BreakdownTable::merge`](rlscope_core::overlap::BreakdownTable::merge)
+//! — so a fleet rollup is identical to one daemon holding every
+//! session. The **failure model** is partial-and-typed: a dead or
+//! unreachable daemon becomes a *named gap* (a [`ShardReport`] carrying
+//! its endpoint and typed [`CollectorError`]) rather than a wrong
+//! total; [`FleetResult::complete`] says whether the rollup is
+//! fleet-wide, and the gap shard is re-dialed on the next query. There
+//! is no cross-daemon snapshot barrier: each shard answers over its own
+//! sessions' consistent acked prefixes (see the `analysis` module docs
+//! on multi-session consistency).
+//!
 //! **Error codes** ([`ErrorCode`]): any server-side failure is reported
 //! as an `ERROR` frame and closes the connection with the session
 //! **aborted** (see the durability contract above for what aborted
@@ -143,6 +188,9 @@
 //! query bytes)` and invalidated by [`Manifest::checksum`]. Both caches
 //! evict LRU, so a repeated dashboard query costs one manifest load,
 //! not a re-analysis, until the directory's chunk set actually changes.
+//! Cross-session `QUERY_ALL` answers are never cached: ingest on *any*
+//! session invalidates them, so the daemon recomposes per query —
+//! per-session sub-results still benefit from the caches above.
 //!
 //! [`Analysis`]: rlscope_core::analysis::Analysis
 //! [`Analysis::from_chunk_dir`]: rlscope_core::analysis::Analysis::from_chunk_dir
@@ -159,12 +207,16 @@
 
 pub mod client;
 pub mod daemon;
+pub mod fleet;
 pub mod protocol;
 pub mod registry;
+pub mod transport;
 
 pub use client::{CollectorClient, CollectorSink, ReconnectPolicy, SessionSummary};
 pub use daemon::{Collector, CollectorConfig, RecoveredSession, SessionPhase};
+pub use fleet::{FleetClient, FleetResult, ShardReport};
 pub use protocol::{
-    CollectorError, ErrorCode, HelloAck, HelloRequest, QueryReply, QuerySpec, QueryTarget,
-    PROTOCOL_VERSION,
+    CollectorError, ErrorCode, HelloAck, HelloRequest, QueryAllReply, QueryReply, QuerySpec,
+    QueryTarget, SessionInfo, SessionList, PROTOCOL_VERSION,
 };
+pub use transport::{Endpoint, Stream};

@@ -3,9 +3,14 @@
 //! the error taxonomy. See the [crate docs](crate) for the full spec
 //! table.
 
-use rlscope_core::analysis::Dim;
+use rlscope_core::analysis::{Dim, GroupKey};
+use rlscope_core::event::CpuCategory;
+use rlscope_core::overlap::{BreakdownTable, BucketKey};
 use rlscope_core::store::TraceIoError;
+use rlscope_sim::ids::ProcessId;
+use rlscope_sim::time::DurationNs;
 use std::fmt;
+use std::sync::Arc;
 
 /// Protocol version carried in `HELLO`; the server rejects others.
 ///
@@ -26,6 +31,12 @@ pub mod kind {
     pub const FINISH: u8 = 0x03;
     /// Client → server: an analysis query ([`super::QuerySpec`]).
     pub const QUERY: u8 = 0x04;
+    /// Client → server: enumerate the daemon's sessions (empty payload).
+    pub const LIST_SESSIONS: u8 = 0x05;
+    /// Client → server: a cross-session query ([`super::QuerySpec`] with
+    /// [`super::QueryTarget::AllSessions`]) answered over every session
+    /// the daemon holds.
+    pub const QUERY_ALL: u8 = 0x06;
     /// Server → client: session accepted ([`super::HelloAck`]).
     pub const HELLO_ACK: u8 = 0x81;
     /// Server → client: chunk `seq` is applied **and durable**; returns
@@ -35,6 +46,12 @@ pub mod kind {
     pub const FINISH_ACK: u8 = 0x83;
     /// Server → client: query result ([`super::QueryReply`]).
     pub const QUERY_OK: u8 = 0x84;
+    /// Server → client: the session listing ([`super::SessionList`]).
+    pub const SESSIONS: u8 = 0x85;
+    /// Server → client: cross-session query result
+    /// ([`super::QueryAllReply`] — machine-mergeable grouped tables, not
+    /// JSON, so a federation tier can combine daemons).
+    pub const QUERY_ALL_OK: u8 = 0x86;
     /// Server → client: failure; the connection closes after this.
     pub const ERROR: u8 = 0xFF;
 }
@@ -290,6 +307,11 @@ pub enum QueryTarget {
     Session(String),
     /// A chunk directory, by path on the daemon's filesystem.
     Dir(String),
+    /// Every session the daemon holds, composed through
+    /// [`rlscope_core::analysis::Analysis::of_sessions`] — the target of
+    /// `QUERY_ALL` frames. Live sessions answer over their consistent
+    /// acked prefix; finished and aborted ones over their directories.
+    AllSessions,
 }
 
 /// An `Analysis`-shaped query, wire-codable.
@@ -297,7 +319,8 @@ pub enum QueryTarget {
 /// Byte layout (all integers big-endian, strings UTF-8):
 ///
 /// ```text
-/// target_kind:u8        0 = session name, 1 = chunk dir path
+/// target_kind:u8        0 = session name, 1 = chunk dir path,
+///                       2 = all sessions (empty target string)
 /// target_len:u16 | target bytes
 /// flags:u8              bit 0 phase filter, bit 1 process filter,
 ///                       bit 2 operation filter, bit 3 time window
@@ -306,7 +329,7 @@ pub enum QueryTarget {
 /// [op_len:u16 | operation]         if bit 2
 /// [lo:u64 | hi:u64]                if bit 3
 /// dims:u8               bit 0 Dim::Phase, bit 1 Dim::Process,
-///                       bit 2 Dim::Operation
+///                       bit 2 Dim::Operation, bit 3 Dim::Session
 /// ```
 ///
 /// Decoding validates every field and rejects trailing bytes, unknown
@@ -344,6 +367,12 @@ impl QuerySpec {
     /// A query over a chunk directory on the daemon's filesystem.
     pub fn dir(path: impl Into<String>) -> Self {
         Self::new(QueryTarget::Dir(path.into()))
+    }
+
+    /// A cross-session query over every session the daemon holds (sent
+    /// as a `QUERY_ALL` frame; answered with a `QUERY_ALL_OK`).
+    pub fn all_sessions() -> Self {
+        Self::new(QueryTarget::AllSessions)
     }
 
     fn new(target: QueryTarget) -> Self {
@@ -400,8 +429,9 @@ impl QuerySpec {
         }
         let mut out = Vec::with_capacity(64);
         let (kind, target) = match &self.target {
-            QueryTarget::Session(name) => (0u8, name),
-            QueryTarget::Dir(path) => (1u8, path),
+            QueryTarget::Session(name) => (0u8, name.as_str()),
+            QueryTarget::Dir(path) => (1u8, path.as_str()),
+            QueryTarget::AllSessions => (2u8, ""),
         };
         out.push(kind);
         put_str(&mut out, target);
@@ -430,6 +460,7 @@ impl QuerySpec {
                 Dim::Phase => 1,
                 Dim::Process => 1 << 1,
                 Dim::Operation => 1 << 2,
+                Dim::Session => 1 << 3,
             };
         }
         out.push(dims);
@@ -446,25 +477,13 @@ impl QuerySpec {
         fn bad(what: &str) -> CollectorError {
             CollectorError::Protocol(format!("query spec: {what}"))
         }
-        fn take<'a>(data: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], CollectorError> {
-            if data.len() < n {
-                return Err(bad(&format!("truncated {what}")));
-            }
-            let (head, rest) = data.split_at(n);
-            *data = rest;
-            Ok(head)
-        }
-        fn take_str(data: &mut &[u8], what: &str) -> Result<String, CollectorError> {
-            let len = take(data, 2, what)?;
-            let len = u16::from_be_bytes([len[0], len[1]]) as usize;
-            let bytes = take(data, len, what)?;
-            String::from_utf8(bytes.to_vec()).map_err(|_| bad(&format!("non-utf8 {what}")))
-        }
-        let target_kind = take(&mut data, 1, "target kind")?[0];
+        let target_kind = take(&mut data, 1, "query spec target kind")?[0];
         let target = take_str(&mut data, "target")?;
         let target = match target_kind {
             0 => QueryTarget::Session(target),
             1 => QueryTarget::Dir(target),
+            2 if target.is_empty() => QueryTarget::AllSessions,
+            2 => return Err(bad("all-sessions target carries a name")),
             k => return Err(bad(&format!("unknown target kind {k}"))),
         };
         let flags = take(&mut data, 1, "flags")?[0];
@@ -495,11 +514,16 @@ impl QuerySpec {
             None
         };
         let dim_bits = take(&mut data, 1, "dims")?[0];
-        if dim_bits & !0b111 != 0 {
+        if dim_bits & !0b1111 != 0 {
             return Err(bad("unknown dim bits"));
         }
         let mut dims = Vec::new();
-        for (bit, dim) in [(1, Dim::Phase), (1 << 1, Dim::Process), (1 << 2, Dim::Operation)] {
+        for (bit, dim) in [
+            (1, Dim::Phase),
+            (1 << 1, Dim::Process),
+            (1 << 2, Dim::Operation),
+            (1 << 3, Dim::Session),
+        ] {
             if dim_bits & bit != 0 {
                 dims.push(dim);
             }
@@ -568,6 +592,258 @@ impl QueryReply {
     }
 }
 
+/// One session in a `SESSIONS` listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The session name.
+    pub name: String,
+    /// True while the session is still streaming (attached or detached);
+    /// false for finished and aborted sessions.
+    pub live: bool,
+    /// Events the daemon holds for the session: the live acked prefix
+    /// length, or the finished directory's total.
+    pub events: u64,
+}
+
+/// A `SESSIONS` payload: every session a daemon holds, name-sorted.
+///
+/// Byte layout: `count:u32`, then per session `name_len:u16 | name |
+/// live:u8 | events:u64`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionList {
+    /// The sessions, sorted by name.
+    pub sessions: Vec<SessionInfo>,
+}
+
+impl SessionList {
+    /// Serializes to the `SESSIONS` payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.sessions.len() * 24);
+        out.extend_from_slice(&(self.sessions.len() as u32).to_be_bytes());
+        for s in &self.sessions {
+            out.extend_from_slice(&(s.name.len() as u16).to_be_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+            out.push(u8::from(s.live));
+            out.extend_from_slice(&s.events.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a `SESSIONS` payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectorError::Protocol`] on truncation, unknown live bytes,
+    /// non-UTF-8 names, or trailing bytes.
+    pub fn decode(mut data: &[u8]) -> Result<SessionList, CollectorError> {
+        let bad = |what: &str| CollectorError::Protocol(format!("session list: {what}"));
+        let count = take(&mut data, 4, "session list count")?;
+        let count = u32::from_be_bytes(count.try_into().expect("4-byte slice")) as usize;
+        let mut sessions = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let name = take_str(&mut data, "session name")?;
+            let live = match take(&mut data, 1, "session live flag")?[0] {
+                0 => false,
+                1 => true,
+                b => return Err(bad(&format!("unknown live byte {b}"))),
+            };
+            let events = take(&mut data, 8, "session events")?;
+            let events = u64::from_be_bytes(events.try_into().expect("8-byte slice"));
+            sessions.push(SessionInfo { name, live, events });
+        }
+        if !data.is_empty() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(SessionList { sessions })
+    }
+}
+
+/// A `QUERY_ALL_OK` payload: the cross-session result as
+/// machine-mergeable grouped tables (not JSON — the federation tier
+/// merges tables from many daemons with
+/// [`BreakdownTable::merge`] before rendering).
+///
+/// Byte layout (integers big-endian, strings UTF-8 with `u16` length):
+///
+/// ```text
+/// flags:u8              bit 0: any session answered live
+/// events:u64            events covered across all sessions
+/// session_count:u32 | per session: name_len:u16 | name
+/// group_count:u32
+///   per group:
+///     kflags:u8         bit 0 session, bit 1 phase,
+///                       bit 2 process, bit 3 operation
+///     [session string] [phase string] [pid:u32] [operation string]
+///     row_count:u32
+///       per row: op string | cpu:u8 (0 = none, 1 Python, 2 Simulator,
+///                3 Backend, 4 CudaApi) | gpu:u8 | nanos:u64
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryAllReply {
+    /// True when any composed session answered from live sweep state.
+    pub live: bool,
+    /// Events the answer covers, summed across sessions.
+    pub events_observed: u64,
+    /// The sessions composed into the answer, in composition (name)
+    /// order — present even when a filter leaves a session nothing to
+    /// contribute.
+    pub sessions: Vec<String>,
+    /// The resolved groups, in pipeline group order (an ungrouped query
+    /// is a single entry with the all-`None` key).
+    pub groups: Vec<(GroupKey, BreakdownTable)>,
+}
+
+impl QueryAllReply {
+    /// Serializes to the `QUERY_ALL_OK` payload.
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::with_capacity(64);
+        out.push(u8::from(self.live));
+        out.extend_from_slice(&self.events_observed.to_be_bytes());
+        out.extend_from_slice(&(self.sessions.len() as u32).to_be_bytes());
+        for name in &self.sessions {
+            put_str(&mut out, name);
+        }
+        out.extend_from_slice(&(self.groups.len() as u32).to_be_bytes());
+        for (key, table) in &self.groups {
+            let mut kflags = 0u8;
+            kflags |= u8::from(key.session.is_some());
+            kflags |= u8::from(key.phase.is_some()) << 1;
+            kflags |= u8::from(key.process.is_some()) << 2;
+            kflags |= u8::from(key.operation.is_some()) << 3;
+            out.push(kflags);
+            if let Some(s) = &key.session {
+                put_str(&mut out, s);
+            }
+            if let Some(p) = &key.phase {
+                put_str(&mut out, p);
+            }
+            if let Some(pid) = key.process {
+                out.extend_from_slice(&pid.as_u32().to_be_bytes());
+            }
+            if let Some(op) = &key.operation {
+                put_str(&mut out, op);
+            }
+            out.extend_from_slice(&(table.len() as u32).to_be_bytes());
+            for (bucket, d) in table.iter() {
+                put_str(&mut out, &bucket.operation);
+                out.push(match bucket.cpu {
+                    None => 0,
+                    Some(CpuCategory::Python) => 1,
+                    Some(CpuCategory::Simulator) => 2,
+                    Some(CpuCategory::Backend) => 3,
+                    Some(CpuCategory::CudaApi) => 4,
+                });
+                out.push(u8::from(bucket.gpu));
+                out.extend_from_slice(&d.as_nanos().to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a `QUERY_ALL_OK` payload, validating every field.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectorError::Protocol`] on truncation, unknown flag/category
+    /// bytes, non-UTF-8 strings, or trailing bytes.
+    pub fn decode(mut data: &[u8]) -> Result<QueryAllReply, CollectorError> {
+        let bad = |what: &str| CollectorError::Protocol(format!("query-all reply: {what}"));
+        let flags = take(&mut data, 1, "query-all flags")?[0];
+        if flags & !1 != 0 {
+            return Err(bad("unknown flag bits"));
+        }
+        let events = take(&mut data, 8, "query-all events")?;
+        let events_observed = u64::from_be_bytes(events.try_into().expect("8-byte slice"));
+        let count = take(&mut data, 4, "session count")?;
+        let count = u32::from_be_bytes(count.try_into().expect("4-byte slice")) as usize;
+        let mut sessions = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            sessions.push(take_str(&mut data, "session name")?);
+        }
+        let count = take(&mut data, 4, "group count")?;
+        let count = u32::from_be_bytes(count.try_into().expect("4-byte slice")) as usize;
+        let mut groups = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let kflags = take(&mut data, 1, "group key flags")?[0];
+            if kflags & !0b1111 != 0 {
+                return Err(bad("unknown group key flags"));
+            }
+            let session: Option<Arc<str>> = if kflags & 1 != 0 {
+                Some(Arc::from(take_str(&mut data, "group session")?))
+            } else {
+                None
+            };
+            let phase: Option<Arc<str>> = if kflags & 2 != 0 {
+                Some(Arc::from(take_str(&mut data, "group phase")?))
+            } else {
+                None
+            };
+            let process = if kflags & 4 != 0 {
+                let b = take(&mut data, 4, "group pid")?;
+                Some(ProcessId(u32::from_be_bytes(b.try_into().expect("4-byte slice"))))
+            } else {
+                None
+            };
+            let operation: Option<Arc<str>> = if kflags & 8 != 0 {
+                Some(Arc::from(take_str(&mut data, "group operation")?))
+            } else {
+                None
+            };
+            let rows = take(&mut data, 4, "row count")?;
+            let rows = u32::from_be_bytes(rows.try_into().expect("4-byte slice")) as usize;
+            let mut table = BreakdownTable::new();
+            for _ in 0..rows {
+                let op: Arc<str> = Arc::from(take_str(&mut data, "bucket operation")?);
+                let cpu = match take(&mut data, 1, "bucket cpu")?[0] {
+                    0 => None,
+                    1 => Some(CpuCategory::Python),
+                    2 => Some(CpuCategory::Simulator),
+                    3 => Some(CpuCategory::Backend),
+                    4 => Some(CpuCategory::CudaApi),
+                    b => return Err(bad(&format!("unknown cpu byte {b}"))),
+                };
+                let gpu = match take(&mut data, 1, "bucket gpu")?[0] {
+                    0 => false,
+                    1 => true,
+                    b => return Err(bad(&format!("unknown gpu byte {b}"))),
+                };
+                let nanos = take(&mut data, 8, "bucket nanos")?;
+                let nanos = u64::from_be_bytes(nanos.try_into().expect("8-byte slice"));
+                table.add(BucketKey { operation: op, cpu, gpu }, DurationNs::from_nanos(nanos));
+            }
+            groups.push((GroupKey { session, phase, process, operation }, table));
+        }
+        if !data.is_empty() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(QueryAllReply { live: flags & 1 != 0, events_observed, sessions, groups })
+    }
+}
+
+/// Pops `n` bytes off the front of `data` (shared by the multi-field
+/// payload decoders).
+fn take<'a>(data: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], CollectorError> {
+    if data.len() < n {
+        return Err(CollectorError::Protocol(format!("truncated {what}")));
+    }
+    let (head, rest) = data.split_at(n);
+    *data = rest;
+    Ok(head)
+}
+
+/// Pops a `u16`-length-prefixed UTF-8 string off the front of `data`.
+fn take_str(data: &mut &[u8], what: &str) -> Result<String, CollectorError> {
+    let len = take(data, 2, what)?;
+    let len = u16::from_be_bytes([len[0], len[1]]) as usize;
+    let bytes = take(data, len, what)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| CollectorError::Protocol(format!("non-utf8 {what}")))
+}
+
 /// Encodes an `ERROR` payload.
 pub(crate) fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
     let msg = &message.as_bytes()[..message.len().min(u16::MAX as usize)];
@@ -627,6 +903,114 @@ mod tests {
         let mut bad_dims = good;
         *bad_dims.last_mut().unwrap() = 0xf0;
         assert!(QuerySpec::decode(&bad_dims).is_err());
+    }
+
+    #[test]
+    fn all_sessions_spec_round_trips_with_session_dim() {
+        let spec = QuerySpec::all_sessions().phase("train").group_by([
+            Dim::Session,
+            Dim::Phase,
+            Dim::Process,
+            Dim::Operation,
+        ]);
+        // Decode canonicalizes dim order (the wire form is a bit set);
+        // grouping semantics are order-independent.
+        let decoded = QuerySpec::decode(&spec.encode()).unwrap();
+        assert_eq!(decoded.target, spec.target);
+        assert_eq!(decoded.phase, spec.phase);
+        let mut dims = decoded.dims.clone();
+        dims.sort_by_key(|d| format!("{d:?}"));
+        let mut want = spec.dims.clone();
+        want.sort_by_key(|d| format!("{d:?}"));
+        assert_eq!(dims, want);
+        assert_eq!(decoded.encode(), spec.encode());
+        // An all-sessions target must not carry a name.
+        let mut named = spec.encode();
+        named[0] = 2;
+        named[2] = 1; // target_len = 1 — now misaligned and named
+        assert!(QuerySpec::decode(&named).is_err());
+    }
+
+    #[test]
+    fn session_list_round_trips_and_rejects_malformed_bytes() {
+        let list = SessionList {
+            sessions: vec![
+                SessionInfo { name: "a".into(), live: true, events: 3 },
+                SessionInfo { name: "train-07".into(), live: false, events: 4_096 },
+            ],
+        };
+        assert_eq!(SessionList::decode(&list.encode()).unwrap(), list);
+        assert_eq!(
+            SessionList::decode(&SessionList::default().encode()).unwrap(),
+            SessionList::default()
+        );
+        let good = list.encode();
+        for cut in 0..good.len() {
+            assert!(SessionList::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(SessionList::decode(&trailing).is_err());
+        let mut bad_live = good;
+        bad_live[7] = 9; // the first session's live byte
+        assert!(SessionList::decode(&bad_live).is_err());
+    }
+
+    #[test]
+    fn query_all_reply_round_trips_and_rejects_malformed_bytes() {
+        let mut t1 = BreakdownTable::new();
+        t1.add(
+            BucketKey { operation: Arc::from("step"), cpu: Some(CpuCategory::Python), gpu: false },
+            DurationNs::from_nanos(1_234),
+        );
+        t1.add(
+            BucketKey { operation: Arc::from(BucketKey::UNTRACKED), cpu: None, gpu: true },
+            DurationNs::from_nanos(99),
+        );
+        let mut t2 = BreakdownTable::new();
+        t2.add(
+            BucketKey { operation: Arc::from("step"), cpu: Some(CpuCategory::CudaApi), gpu: true },
+            DurationNs::from_nanos(7),
+        );
+        let reply = QueryAllReply {
+            live: true,
+            events_observed: 41,
+            sessions: vec!["s1".into(), "s2".into()],
+            groups: vec![
+                (
+                    GroupKey {
+                        session: Some(Arc::from("s1")),
+                        phase: None,
+                        process: None,
+                        operation: None,
+                    },
+                    t1,
+                ),
+                (
+                    GroupKey {
+                        session: Some(Arc::from("s2")),
+                        phase: Some(Arc::from("train")),
+                        process: Some(ProcessId(3)),
+                        operation: Some(Arc::from("step")),
+                    },
+                    t2,
+                ),
+            ],
+        };
+        assert_eq!(QueryAllReply::decode(&reply.encode()).unwrap(), reply);
+        // The empty reply (a daemon holding no sessions) round-trips too.
+        let empty = QueryAllReply::default();
+        assert_eq!(QueryAllReply::decode(&empty.encode()).unwrap(), empty);
+        let good = reply.encode();
+        for cut in 0..good.len() {
+            assert!(QueryAllReply::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(QueryAllReply::decode(&trailing).is_err());
+        let mut bad_flags = good;
+        bad_flags[0] = 0x80;
+        assert!(QueryAllReply::decode(&bad_flags).is_err());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Transport abstraction: the framed protocol is byte-identical over a
+//! Unix-domain socket and over TCP, so the daemon and client speak
+//! through one [`Stream`] type and dial/listen through one [`Endpoint`]
+//! address form. See the crate docs ("Fleet topology") for when to pick
+//! which transport.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A dialable collector address: a Unix-domain socket path or a TCP
+/// `host:port`.
+///
+/// The canonical string forms are `unix://<path>` and `tcp://<host>:<port>`
+/// ([`Endpoint::parse`] also accepts a bare path as a Unix endpoint, so
+/// existing socket-path CLI arguments keep working).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP address in `host:port` form (resolved at dial time).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// A Unix-domain endpoint.
+    pub fn unix(path: impl Into<PathBuf>) -> Endpoint {
+        Endpoint::Unix(path.into())
+    }
+
+    /// A TCP endpoint (`host:port`, without the `tcp://` scheme).
+    pub fn tcp(addr: impl Into<String>) -> Endpoint {
+        Endpoint::Tcp(addr.into())
+    }
+
+    /// Parses `tcp://host:port`, `unix://path`, or a bare Unix socket
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for an empty or malformed address (a
+    /// `tcp://` address must carry a `host:port`).
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            if addr.is_empty() || !addr.contains(':') {
+                return Err(format!("tcp endpoint {s:?} wants tcp://host:port"));
+            }
+            return Ok(Endpoint::Tcp(addr.to_string()));
+        }
+        let path = s.strip_prefix("unix://").unwrap_or(s);
+        if path.is_empty() {
+            return Err("empty endpoint address".to_string());
+        }
+        Ok(Endpoint::Unix(PathBuf::from(path)))
+    }
+
+    /// Dials the endpoint, returning a connected [`Stream`].
+    ///
+    /// # Errors
+    ///
+    /// Connection failures (refused, unresolvable host, missing socket
+    /// file).
+    pub fn connect(&self) -> io::Result<Stream> {
+        match self {
+            Endpoint::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                // The protocol is request/response with small ack frames;
+                // Nagle coalescing would add round-trip latency for no
+                // bandwidth win.
+                stream.set_nodelay(true)?;
+                Ok(Stream::Tcp(stream))
+            }
+        }
+    }
+}
+
+impl From<&Path> for Endpoint {
+    fn from(path: &Path) -> Endpoint {
+        Endpoint::Unix(path.to_path_buf())
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+        }
+    }
+}
+
+/// One connected transport stream (either family), with the handful of
+/// socket operations the daemon and client need beyond [`Read`] /
+/// [`Write`].
+#[derive(Debug)]
+pub enum Stream {
+    /// A Unix-domain connection.
+    Unix(UnixStream),
+    /// A TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Clones the underlying socket handle (both halves share the file
+    /// description, like [`UnixStream::try_clone`]).
+    ///
+    /// # Errors
+    ///
+    /// The OS-level dup failure.
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => Ok(Stream::Unix(s.try_clone()?)),
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+        }
+    }
+
+    /// Shuts down the connection (all clones observe it).
+    ///
+    /// # Errors
+    ///
+    /// The OS-level shutdown failure.
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.shutdown(how),
+            Stream::Tcp(s) => s.shutdown(how),
+        }
+    }
+
+    /// Sets the read timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// The OS-level setsockopt failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl From<UnixStream> for Stream {
+    fn from(s: UnixStream) -> Stream {
+        Stream::Unix(s)
+    }
+}
+
+impl From<TcpStream> for Stream {
+    fn from(s: TcpStream) -> Stream {
+        Stream::Tcp(s)
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_accepts_all_forms() {
+        assert_eq!(
+            Endpoint::parse("tcp://127.0.0.1:7070"),
+            Ok(Endpoint::Tcp("127.0.0.1:7070".into()))
+        );
+        assert_eq!(
+            Endpoint::parse("unix:///run/rlscoped.sock"),
+            Ok(Endpoint::Unix(PathBuf::from("/run/rlscoped.sock")))
+        );
+        assert_eq!(
+            Endpoint::parse("/run/rlscoped.sock"),
+            Ok(Endpoint::Unix(PathBuf::from("/run/rlscoped.sock")))
+        );
+        assert!(Endpoint::parse("tcp://nohostport").is_err());
+        assert!(Endpoint::parse("").is_err());
+        assert!(Endpoint::parse("tcp://").is_err());
+    }
+
+    #[test]
+    fn endpoint_display_round_trips_through_parse() {
+        for text in ["tcp://localhost:9000", "unix:///tmp/x.sock"] {
+            let endpoint = Endpoint::parse(text).unwrap();
+            assert_eq!(endpoint.to_string(), text);
+            assert_eq!(Endpoint::parse(&endpoint.to_string()), Ok(endpoint));
+        }
+    }
+}

@@ -36,6 +36,14 @@
 //! filtering by phase conserves totals exactly: merging the per-phase
 //! tables reproduces the ungrouped table bucket for bucket.
 //!
+//! Phase scoping is **per process**: a segment's phase is the innermost
+//! open phase among the phases owned by processes with at least one
+//! active event in that segment. In a merged multi-process sweep,
+//! process A's phase annotations therefore never tag a segment where
+//! only process B is active — two pids carrying overlapping but
+//! different phase spans each keep their own time under their own
+//! phase.
+//!
 //! The profiler records a phase event when the phase **closes**. For
 //! bounded-lag streaming ([`Analysis::bounded_streaming`]) this matters:
 //! a long-lived phase arrives with a start far behind the finalized
@@ -61,13 +69,21 @@
 //! |--------|------------------|--------------------------|
 //! | [`Analysis::time_window`] `[lo, hi)` | always | the chunk's `[min_start, max_end)` is disjoint from the window |
 //! | [`Analysis::process`] | always | the footer's pid set lacks the process |
-//! | [`Analysis::phase`] | the phase is named (not [`NO_PHASE`]) and the query is not grouped by [`Dim::Process`] | the chunk's `[min_start, max_end)` is disjoint from the phase's bounding span across the whole manifest (a phase present in no footer skips everything) |
+//! | [`Analysis::phase`] | the phase is named (not [`NO_PHASE`]); the only remaining carve-out is a process-grouped query that *also* has a time window | the chunk's `[min_start, max_end)` is disjoint from the phase's bounding span across the whole manifest — reduced, under a process filter, over only the footer spans whose per-phase pid set carries that process (a phase present in no eligible footer skips everything) |
 //! | [`Analysis::operation`] | never — operations are table rows, not chunk predicates | — |
 //!
 //! `NO_PHASE` selects time *outside* every phase, which any chunk can
-//! hold, so it never skips. The `Dim::Process` restriction keeps group
-//! enumeration identical to a full scan: a process whose chunks are all
-//! skippable would otherwise silently lose its (empty) group row.
+//! hold, so it never skips. Process-grouped phase queries keep group
+//! enumeration identical to a full scan by additionally selecting each
+//! process's first-appearance chunk
+//! ([`crate::store::ChunkQuery::keep_pid_introductions`]) — a pure
+//! over-selection, so a process whose chunks are all skippable still
+//! gets its (empty) group row. v3 footers record the pid set of every
+//! phase span ([`crate::store::PhaseSpan::pids`]); footers and manifests
+//! written before that field existed decode with an empty (= unknown)
+//! set, which every reader treats as "possibly any pid" — old manifests
+//! stay readable and their skip decisions are identical-or-safer, never
+//! wrong.
 //!
 //! Chunk decode itself is **chunk-parallel**: selected files are decoded
 //! on worker threads and fed to the per-process incremental sweeps in
@@ -108,6 +124,35 @@
 //!   unsupported over live snapshots (no event-level granularity, no
 //!   book-keeping counters); once the session finishes, its chunk
 //!   directory supports the full query surface.
+//!
+//! # Cross-session composition and `Dim::Session`
+//!
+//! [`Analysis::of_sessions`] composes **many sources** — finished chunk
+//! directories and live snapshots, freely mixed — into one pipeline,
+//! and [`Dim::Session`] makes the session a first-class grouping key:
+//!
+//! * Each session resolves as its own sub-analysis under the same
+//!   window, filters, and remaining dims, so per-session semantics are
+//!   exactly the single-source semantics above: a live session answers
+//!   over its consistent acked prefix, a finished one over its chunk
+//!   directory with full manifest pushdown.
+//! * Merged sinks fold the per-session tables with
+//!   [`BreakdownTable::merge`]: grouping by `Dim::Session` and merging
+//!   the groups reproduces the ungrouped cross-session rollup bucket
+//!   for bucket — the same conservation law phases and processes obey.
+//! * Group order is first-seen composition order, and the session name
+//!   leads every [`GroupKey`].
+//! * `Dim::Session` over a non-session source is a typed
+//!   [`AnalysisError::Unsupported`] — there is no session to group by.
+//!
+//! **Live multi-session consistency.** A multi-session query observes
+//! one consistent prefix *per session* (each snapshot is taken under
+//! its own session lock); there is no cross-session barrier, so two
+//! sessions' prefixes may be unequally fresh — but each is exactly some
+//! acked prefix of its own stream, and re-querying is monotone per
+//! session. This is the substrate of the collector daemon's `QUERY_ALL`
+//! frame and the federation tier's fleet-wide rollups
+//! (`rlscope-collector`'s `FleetClient`).
 //!
 //! # Example
 //!
@@ -175,6 +220,11 @@ pub enum Dim {
     /// [`BreakdownTable`]; as a group dimension it splits the output into
     /// one single-operation table per name).
     Operation,
+    /// Profiling session, for cross-session sources
+    /// ([`Analysis::of_sessions`]): one group per composed session, in
+    /// the composition order. Requires a sessions source — other sources
+    /// have no session identity to group by.
+    Session,
 }
 
 /// Identity of one group in a grouped analysis result. A field is `Some`
@@ -182,6 +232,8 @@ pub enum Dim {
 /// [`Analysis::group_by`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GroupKey {
+    /// Session name; `None` when not grouped by session.
+    pub session: Option<Arc<str>>,
     /// Phase name ([`NO_PHASE`] for untagged time); `None` when not
     /// grouped by phase.
     pub phase: Option<Arc<str>>,
@@ -192,10 +244,13 @@ pub struct GroupKey {
 }
 
 impl GroupKey {
-    /// Human-readable label, e.g. `phase=training pid=2 op=backprop`
-    /// (`all` for the ungrouped key).
+    /// Human-readable label, e.g. `session=run-3 phase=training pid=2
+    /// op=backprop` (`all` for the ungrouped key).
     pub fn label(&self) -> String {
         let mut parts = Vec::new();
+        if let Some(s) = &self.session {
+            parts.push(format!("session={s}"));
+        }
         if let Some(p) = &self.phase {
             parts.push(format!("phase={p}"));
         }
@@ -260,6 +315,21 @@ enum Source<'a> {
     Trace(&'a Trace),
     Merged(&'a [Trace]),
     ChunkDir(PathBuf),
+    Live(&'a LiveTables),
+    Sessions(Vec<(Arc<str>, SessionSource<'a>)>),
+}
+
+/// One session's data inside a cross-session composition
+/// ([`Analysis::of_sessions`]): finished sessions come from their chunk
+/// directories, in-flight ones from a consistent live snapshot — both
+/// answer with batch-identical semantics, so the two kinds compose
+/// freely in one query.
+#[derive(Debug)]
+pub enum SessionSource<'a> {
+    /// A finished (or recovered) session's on-disk chunk directory.
+    ChunkDir(PathBuf),
+    /// A live session's snapshot over its consistent acked prefix
+    /// ([`LiveState::snapshot`]).
     Live(&'a LiveTables),
 }
 
@@ -480,6 +550,27 @@ impl<'a> Analysis<'a> {
         Self::new(Source::Live(tables))
     }
 
+    /// Analyzes many sessions as **one pipeline** — the cross-session
+    /// aggregation substrate behind `Dim::Session` grouping and the
+    /// collector's fleet queries. Each entry pairs a session name with a
+    /// [`SessionSource`] (a finished chunk directory or a live snapshot;
+    /// the two kinds mix freely).
+    ///
+    /// Filters apply to every session identically. Without
+    /// `group_by([Dim::Session])` the per-session results are merged by
+    /// group key (via [`BreakdownTable::merge`], first-seen key order) —
+    /// the fleet rollup. With it, each group is keyed by its session in
+    /// composition order, and merging those groups reproduces the rollup
+    /// exactly (conservation, as for phase/process grouping).
+    ///
+    /// [`Analysis::corrected`] is unsupported (no cross-session
+    /// book-keeping counters), and [`Analysis::time_window`] is supported
+    /// exactly when every composed source supports it (chunk dirs yes,
+    /// live snapshots no).
+    pub fn of_sessions(sessions: impl IntoIterator<Item = (Arc<str>, SessionSource<'a>)>) -> Self {
+        Self::new(Source::Sessions(sessions.into_iter().collect()))
+    }
+
     /// Uses bounded-memory streaming sweeps ([`OverlapSweep::bounded`])
     /// for a chunk-dir source: per-sweep state stays flat as the
     /// directory grows, provided event start times are sorted to within
@@ -585,8 +676,8 @@ impl<'a> Analysis<'a> {
                 }
                 Source::Trace(t) => sweep_tables(t.events.iter()),
                 Source::Merged(ts) => sweep_tables(ts.iter().flat_map(|t| t.events.iter())),
-                Source::ChunkDir(_) | Source::Live(_) => {
-                    unreachable!("chunk dirs and live snapshots are never plain")
+                Source::ChunkDir(_) | Source::Live(_) | Source::Sessions(_) => {
+                    unreachable!("chunk dirs, live snapshots, and sessions are never plain")
                 }
             });
         }
@@ -676,18 +767,7 @@ impl<'a> Analysis<'a> {
         if self.dims.is_empty() {
             return Ok(self.table()?.canonical_json());
         }
-        let groups = self.tables()?;
-        let mut out = String::from("{\n");
-        for (i, (key, table)) in groups.iter().enumerate() {
-            if i > 0 {
-                out.push_str(",\n");
-            }
-            crate::overlap::json_escape_into(&key.label(), &mut out);
-            out.push_str(": ");
-            out.push_str(table.canonical_json().trim_end());
-        }
-        out.push_str("\n}\n");
-        Ok(out)
+        Ok(groups_canonical_json(&self.tables()?, true))
     }
 
     /// For chunk-directory sources: `(decoded, total)` — how many chunks
@@ -729,7 +809,7 @@ impl<'a> Analysis<'a> {
             && self.window.is_none()
             && self.dims.is_empty()
             && self.calibration.is_none()
-            && !matches!(self.source, Source::ChunkDir(_) | Source::Live(_))
+            && !matches!(self.source, Source::ChunkDir(_) | Source::Live(_) | Source::Sessions(_))
     }
 
     /// Runs the source + filters + grouping stages, producing the final
@@ -746,6 +826,16 @@ impl<'a> Analysis<'a> {
         &self,
         filters: bool,
     ) -> Result<Vec<(GroupKey, BreakdownTable)>, AnalysisError> {
+        if let Source::Sessions(sessions) = &self.source {
+            return self.resolve_sessions(sessions, filters);
+        }
+        if self.dims.contains(&Dim::Session) {
+            return Err(AnalysisError::Unsupported(
+                "group_by(Dim::Session) needs a cross-session source (Analysis::of_sessions); \
+                 single-source queries have no session identity"
+                    .to_string(),
+            ));
+        }
         let want_phase = self.dims.contains(&Dim::Phase);
         let want_proc = self.dims.contains(&Dim::Process);
         let want_op = self.dims.contains(&Dim::Operation);
@@ -758,6 +848,48 @@ impl<'a> Analysis<'a> {
             _ => self.resolve_batch(want_proc, track_phases, filters),
         };
         Ok(self.assemble(raw, want_phase, want_op, filters))
+    }
+
+    /// Cross-session execution: each composed session resolves through
+    /// its own sub-pipeline (the same filters and grouping minus the
+    /// session dimension), then the per-session groups are either tagged
+    /// with their session name (`group_by(Dim::Session)`, composition
+    /// order) or merged by group key in first-seen order via
+    /// [`BreakdownTable::merge`] — so the grouped view always sums
+    /// exactly to the merged rollup.
+    fn resolve_sessions(
+        &self,
+        sessions: &[(Arc<str>, SessionSource<'a>)],
+        filters: bool,
+    ) -> Result<Vec<(GroupKey, BreakdownTable)>, AnalysisError> {
+        let want_session = self.dims.contains(&Dim::Session);
+        let mut out: Vec<(GroupKey, BreakdownTable)> = Vec::new();
+        let mut index: HashMap<GroupKey, usize> = HashMap::new();
+        for (name, source) in sessions {
+            let mut sub = match source {
+                SessionSource::ChunkDir(dir) => Analysis::from_chunk_dir(dir.clone()),
+                SessionSource::Live(tables) => Analysis::of_live(tables),
+            };
+            sub.lag = self.lag;
+            sub.phase_filter = self.phase_filter.clone();
+            sub.process_filter = self.process_filter;
+            sub.operation_filter = self.operation_filter.clone();
+            sub.window = self.window;
+            sub.dims = self.dims.iter().copied().filter(|d| *d != Dim::Session).collect();
+            for (mut key, table) in sub.resolve_groups_with(filters)? {
+                if want_session {
+                    key.session = Some(name.clone());
+                }
+                match index.get(&key) {
+                    Some(&i) => out[i].1.merge(&table),
+                    None => {
+                        index.insert(key.clone(), out.len());
+                        out.push((key, table));
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// True when any filter stage is active.
@@ -784,6 +916,7 @@ impl<'a> Analysis<'a> {
             Source::Merged(ts) => Rows::Refs(ts.iter().flat_map(|t| t.events.iter()).collect()),
             Source::ChunkDir(_) => unreachable!("handled by resolve_streamed"),
             Source::Live(_) => unreachable!("handled by resolve_live"),
+            Source::Sessions(_) => unreachable!("handled by resolve_sessions"),
         };
         if let Some(pid) = self.process_filter.filter(|_| filters) {
             rows = match rows {
@@ -826,8 +959,12 @@ impl<'a> Analysis<'a> {
 
     /// The manifest-pushdown predicate for the current filters. Phase
     /// pushdown is withheld for [`NO_PHASE`] (not expressible as a chunk
-    /// predicate) and for process-grouped queries (skipping a process's
-    /// chunks would drop its group row) — see the module docs' table.
+    /// predicate) and for process-grouped **windowed** queries (group
+    /// enumeration follows each process's first *in-window* event, which
+    /// footers cannot locate) — see the module docs' table. Plain
+    /// process-grouped queries push the phase down and keep each pid's
+    /// first-appearance chunk instead, so group rows and their first-seen
+    /// order survive the skipping exactly.
     fn chunk_query(&self, per_process: bool, filters: bool) -> ChunkQuery {
         let mut query = ChunkQuery::default();
         if !filters {
@@ -840,8 +977,12 @@ impl<'a> Analysis<'a> {
             query.pid = Some(pid.as_u32());
         }
         if let Some(phase) = &self.phase_filter {
-            if !per_process && &**phase != NO_PHASE {
+            if &**phase != NO_PHASE && !(per_process && self.window.is_some()) {
                 query.phase = Some(phase.clone());
+                // Exact group enumeration: a process row exists for every
+                // process in the (possibly pid-filtered) stream even when
+                // the phase contributes it nothing, in first-seen order.
+                query.keep_pid_introductions = per_process;
             }
         }
         query
@@ -1036,6 +1177,7 @@ impl<'a> Analysis<'a> {
                         let sub = filter_table(&table, |k| k.operation == op);
                         out.push((
                             GroupKey {
+                                session: None,
                                 phase: phase.clone(),
                                 process: pid,
                                 operation: Some(op.clone()),
@@ -1044,7 +1186,10 @@ impl<'a> Analysis<'a> {
                         ));
                     }
                 } else {
-                    out.push((GroupKey { phase, process: pid, operation: None }, table));
+                    out.push((
+                        GroupKey { session: None, phase, process: pid, operation: None },
+                        table,
+                    ));
                 }
             }
         }
@@ -1067,7 +1212,8 @@ impl<'a> Analysis<'a> {
         inputs: &CorrectionInputs,
         cal: &Calibration,
     ) -> Result<(BreakdownTable, OverheadBreakdown), AnalysisError> {
-        let mut single = [(GroupKey { phase: None, process: None, operation: None }, table)];
+        let mut single =
+            [(GroupKey { session: None, phase: None, process: None, operation: None }, table)];
         let overhead = self.apply_corrected(&mut single, inputs, cal)?;
         let [(_, corrected)] = single;
         Ok((corrected, overhead))
@@ -1134,6 +1280,33 @@ impl<'a> Analysis<'a> {
             )),
         }
     }
+}
+
+/// Renders already-resolved groups in the canonical JSON form of
+/// [`Analysis::canonical_json`]: the bare merged-table array when
+/// `grouped` is false, otherwise an object keyed by [`GroupKey::label`]
+/// in group order. Byte-stable. Public so consumers that merge groups
+/// *across* pipelines — the collector's federation tier foremost — can
+/// render the exact bytes a single equivalent query would have produced.
+pub fn groups_canonical_json(groups: &[(GroupKey, BreakdownTable)], grouped: bool) -> String {
+    if !grouped {
+        let mut table = BreakdownTable::new();
+        for (_, t) in groups {
+            table.merge(t);
+        }
+        return table.canonical_json();
+    }
+    let mut out = String::from("{\n");
+    for (i, (key, table)) in groups.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        crate::overlap::json_escape_into(&key.label(), &mut out);
+        out.push_str(": ");
+        out.push_str(table.canonical_json().trim_end());
+    }
+    out.push_str("\n}\n");
+    out
 }
 
 enum StreamedError {
@@ -1658,10 +1831,80 @@ mod tests {
             untagged.table().unwrap(),
             Analysis::of_events(&events).phase(NO_PHASE).table().unwrap()
         );
-        // Process-grouped phase queries keep the full scan (group rows
-        // must not depend on pushdown).
+        // Process-grouped phase queries push down too now: per-pid phase
+        // presence in the footers plus introduction-chunk keeping make
+        // the skipped scan enumeration-exact.
         let grouped = Analysis::from_chunk_dir(&dir).phase("warmup").group_by([Dim::Process]);
-        assert_eq!(grouped.chunk_plan().unwrap(), Some((total, total)));
+        let (gdec, gtotal) = grouped.chunk_plan().unwrap().unwrap();
+        assert!(gdec < gtotal, "grouped pushdown decoded {gdec}/{gtotal}");
+        assert_eq!(
+            grouped.tables().unwrap(),
+            Analysis::of_events(&events).phase("warmup").group_by([Dim::Process]).tables().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The lifted `Dim::Process` carve-out: a phase-filtered grouped
+    /// query skips chunks, yet a process whose only events sit far
+    /// outside the phase span keeps its (empty) group row in first-seen
+    /// order, because its introduction chunk is retained.
+    #[test]
+    fn grouped_phase_pushdown_preserves_group_enumeration() {
+        let mut events = Vec::new();
+        // pid 7 appears first — and never again after the first chunk.
+        events.push(ev(7, EventKind::Cpu(CpuCategory::Simulator), "sim", 0, 500));
+        events.push(ev(7, EventKind::Cpu(CpuCategory::Simulator), "sim", 600, 900));
+        // pid 0 carries a long tail of work plus the phase annotation.
+        for i in 0..32u64 {
+            let t = 10_000 + i * 1_000;
+            events.push(ev(0, EventKind::Cpu(CpuCategory::Python), "py", t, t + 800));
+        }
+        events.push(ev(0, EventKind::Phase, "train", 30_000, 36_000));
+        let dir = write_chunk_dir("groupenum", &events, 2);
+        let grouped = Analysis::from_chunk_dir(&dir).phase("train").group_by([Dim::Process]);
+        let (decoded, total) = grouped.chunk_plan().unwrap().unwrap();
+        assert!(decoded < total, "grouped pushdown decoded {decoded}/{total}");
+        let batch =
+            Analysis::of_events(&events).phase("train").group_by([Dim::Process]).tables().unwrap();
+        let streamed = grouped.tables().unwrap();
+        assert_eq!(streamed, batch);
+        // pid 7's row survives (empty) and leads, pid 0 follows.
+        assert_eq!(streamed.len(), 2);
+        assert_eq!(streamed[0].0.process, Some(ProcessId(7)));
+        assert!(streamed[0].1.is_empty());
+        assert_eq!(streamed[1].0.process, Some(ProcessId(0)));
+        assert!(!streamed[1].1.is_empty());
+        // A process filter composes with the pid-refined phase span: the
+        // pid-7 view decodes almost nothing and still matches batch.
+        let filtered = Analysis::from_chunk_dir(&dir)
+            .phase("train")
+            .group_by([Dim::Process])
+            .process(ProcessId(7));
+        assert_eq!(
+            filtered.tables().unwrap(),
+            Analysis::of_events(&events)
+                .phase("train")
+                .group_by([Dim::Process])
+                .process(ProcessId(7))
+                .tables()
+                .unwrap()
+        );
+        // Windowed grouped queries keep the conservative full-phase scan
+        // (enumeration follows the first in-window event), still
+        // matching batch.
+        let windowed = Analysis::from_chunk_dir(&dir)
+            .phase("train")
+            .group_by([Dim::Process])
+            .time_window(TimeNs::from_micros(10_000), TimeNs::from_micros(40_000));
+        assert_eq!(
+            windowed.tables().unwrap(),
+            Analysis::of_events(&events)
+                .phase("train")
+                .group_by([Dim::Process])
+                .time_window(TimeNs::from_micros(10_000), TimeNs::from_micros(40_000))
+                .tables()
+                .unwrap()
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1771,6 +2014,180 @@ mod tests {
         }
     }
 
+    /// A second session shape: shares the `train` phase and `backprop`
+    /// operation with [`phased_events`] (so ungrouped cross-session
+    /// rollups exercise key merging) plus a pid unseen there.
+    fn second_session_events() -> Vec<Event> {
+        vec![
+            ev(0, EventKind::Phase, "train", 0, 150),
+            ev(0, EventKind::Operation, "backprop", 10, 140),
+            ev(0, EventKind::Cpu(CpuCategory::Backend), "be", 20, 120),
+            ev(2, EventKind::Cpu(CpuCategory::Simulator), "sim", 30, 90),
+        ]
+    }
+
+    #[test]
+    fn session_groups_conserve_and_match_per_session_batches() {
+        let a = phased_events();
+        let b = second_session_events();
+        let dir_a = write_chunk_dir("sess_a", &a, 4);
+        let dir_b = write_chunk_dir("sess_b", &b, 4);
+        let sources = || {
+            vec![
+                (Arc::from("a"), SessionSource::ChunkDir(dir_a.clone())),
+                (Arc::from("b"), SessionSource::ChunkDir(dir_b.clone())),
+            ]
+        };
+        let grouped = Analysis::of_sessions(sources()).group_by([Dim::Session]).tables().unwrap();
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].0.session.as_deref(), Some("a"));
+        assert_eq!(grouped[1].0.session.as_deref(), Some("b"));
+        // Each session group is exactly that session's own batch sweep.
+        assert_eq!(grouped[0].1, Analysis::of_events(&a).table().unwrap());
+        assert_eq!(grouped[1].1, Analysis::of_events(&b).table().unwrap());
+        // Conservation: merging the session groups reproduces the
+        // ungrouped rollup bucket for bucket.
+        let rollup = Analysis::of_sessions(sources()).table().unwrap();
+        let mut merged = BreakdownTable::new();
+        for (_, t) in &grouped {
+            merged.merge(t);
+        }
+        assert_eq!(merged, rollup);
+        // Cross-dimension grouping and filters thread through to every
+        // composed session.
+        let cross =
+            Analysis::of_sessions(sources()).group_by([Dim::Session, Dim::Phase]).tables().unwrap();
+        assert!(cross.iter().all(|(k, _)| k.session.is_some() && k.phase.is_some()));
+        let cross_total: DurationNs = cross.iter().map(|(_, t)| t.total()).sum();
+        assert_eq!(cross_total, rollup.total());
+        let train = Analysis::of_sessions(sources()).phase("train").table().unwrap();
+        let mut expected = Analysis::of_events(&a).phase("train").table().unwrap();
+        expected.merge(&Analysis::of_events(&b).phase("train").table().unwrap());
+        assert_eq!(train, expected);
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    /// The tentpole acceptance contract: `group_by([Dim::Session])` over
+    /// live sessions is canonical-JSON-identical to the batch sweep of
+    /// each session's acked prefix, and live/finished sources mix freely.
+    #[test]
+    fn live_session_groups_match_batch_of_acked_prefix() {
+        let a = phased_events();
+        let b = second_session_events();
+        let mut live_a = LiveState::new();
+        live_a.push_batch(&a).unwrap();
+        let mut live_b = LiveState::new();
+        live_b.push_batch(&b).unwrap();
+        let snap_a = live_a.snapshot();
+        let snap_b = live_b.snapshot();
+        let dir_a = write_chunk_dir("sess_live_a", &a, 4);
+        let dir_b = write_chunk_dir("sess_live_b", &b, 4);
+        let dim_sets: [&[Dim]; 4] =
+            [&[Dim::Session], &[Dim::Session, Dim::Phase], &[Dim::Session, Dim::Process], &[]];
+        for dims in dim_sets {
+            let live = Analysis::of_sessions(vec![
+                (Arc::from("a"), SessionSource::Live(&snap_a)),
+                (Arc::from("b"), SessionSource::Live(&snap_b)),
+            ])
+            .group_by(dims.iter().copied())
+            .canonical_json()
+            .unwrap();
+            let batch = Analysis::of_sessions(vec![
+                (Arc::from("a"), SessionSource::ChunkDir(dir_a.clone())),
+                (Arc::from("b"), SessionSource::ChunkDir(dir_b.clone())),
+            ])
+            .group_by(dims.iter().copied())
+            .canonical_json()
+            .unwrap();
+            assert_eq!(live, batch, "dims {dims:?}");
+        }
+        let mixed = Analysis::of_sessions(vec![
+            (Arc::from("a"), SessionSource::ChunkDir(dir_a.clone())),
+            (Arc::from("b"), SessionSource::Live(&snap_b)),
+        ])
+        .group_by([Dim::Session])
+        .tables()
+        .unwrap();
+        assert_eq!(mixed.len(), 2);
+        assert_eq!(mixed[1].1, Analysis::of_events(&b).table().unwrap());
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn session_dim_without_sessions_source_errors() {
+        let events = phased_events();
+        let err = Analysis::of_events(&events).group_by([Dim::Session]).tables().unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(_)), "{err}");
+    }
+
+    /// Two sessions whose time ranges abut at exactly T: window clipping
+    /// is half-open `[lo, hi)` in both the batch resolver (`clip_event`
+    /// over the u32-indexed row set) and the streamed resolver
+    /// (clip-before-slot), so the windows `[0, T)` and `[T, 2T)` must
+    /// partition the cross-session rollup exactly — an event ending at
+    /// T lands only in the first window, one starting at T only in the
+    /// second, and one spanning T splits with no double count and no
+    /// gap.
+    #[test]
+    fn abutting_session_windows_partition_attribution_exactly() {
+        let t = TimeNs::from_micros(100);
+        let end = TimeNs::from_micros(200);
+        // Session a ends at T: one event abuts the boundary, one spans it.
+        let a = vec![
+            ev(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 60),
+            ev(0, EventKind::Cpu(CpuCategory::Backend), "be", 60, 90),
+            ev(0, EventKind::Cpu(CpuCategory::Simulator), "sim", 90, 110),
+        ];
+        // Session b starts at exactly T.
+        let b = vec![
+            ev(1, EventKind::Cpu(CpuCategory::Python), "py", 100, 150),
+            ev(1, EventKind::Cpu(CpuCategory::CudaApi), "cuda", 150, 200),
+        ];
+        let dir_a = write_chunk_dir("abut_a", &a, 2);
+        let dir_b = write_chunk_dir("abut_b", &b, 2);
+        let sources = || {
+            vec![
+                (Arc::from("a"), SessionSource::ChunkDir(dir_a.clone())),
+                (Arc::from("b"), SessionSource::ChunkDir(dir_b.clone())),
+            ]
+        };
+        let whole = Analysis::of_sessions(sources()).table().unwrap();
+        let before = Analysis::of_sessions(sources()).time_window(TimeNs::ZERO, t).table().unwrap();
+        let after = Analysis::of_sessions(sources()).time_window(t, end).table().unwrap();
+        // Exact partition at the shared boundary, bucket for bucket.
+        let mut merged = before.clone();
+        merged.merge(&after);
+        assert_eq!(merged, whole);
+        assert_eq!(before.total() + after.total(), whole.total());
+        // The boundary-spanning event contributes exactly 10µs per side.
+        let sim_side = |table: &BreakdownTable| {
+            table
+                .iter()
+                .filter(|(k, _)| k.cpu == Some(CpuCategory::Simulator))
+                .map(|(_, d)| d)
+                .sum::<DurationNs>()
+        };
+        assert_eq!(sim_side(&before), DurationNs::from_micros(10));
+        assert_eq!(sim_side(&after), DurationNs::from_micros(10));
+        // Grouped by session, each windowed group is that session's own
+        // windowed batch sweep (session b is fully clipped before T).
+        let grouped = Analysis::of_sessions(sources())
+            .time_window(TimeNs::ZERO, t)
+            .group_by([Dim::Session])
+            .tables()
+            .unwrap();
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(
+            grouped[0].1,
+            Analysis::of_events(&a).time_window(TimeNs::ZERO, t).table().unwrap()
+        );
+        assert!(grouped[1].1.is_empty(), "session b holds nothing before T: {:?}", grouped[1].1);
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
     /// Snapshots are consistent prefixes: pushing more events afterwards
     /// neither disturbs an existing snapshot nor is visible to it, and a
     /// later snapshot covers the longer prefix.
@@ -1837,12 +2254,13 @@ mod tests {
     #[test]
     fn group_key_labels() {
         let key = GroupKey {
+            session: Some(Arc::from("run-1")),
             phase: Some(Arc::from("train")),
             process: Some(ProcessId(3)),
             operation: Some(Arc::from("bp")),
         };
-        assert_eq!(key.label(), "phase=train pid=3 op=bp");
-        let none = GroupKey { phase: None, process: None, operation: None };
+        assert_eq!(key.label(), "session=run-1 phase=train pid=3 op=bp");
+        let none = GroupKey { session: None, phase: None, process: None, operation: None };
         assert_eq!(none.label(), "all");
     }
 }

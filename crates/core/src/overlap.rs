@@ -27,11 +27,21 @@
 //!   identical [`BreakdownTable`]. See the type docs for the memory
 //!   contract of its exact and bounded modes.
 //!
-//! Both paths can additionally carry a **phase tag** through segments
-//! (the innermost active [`crate::event::EventKind::Phase`] annotation),
+//! Both paths can additionally carry a **phase tag** through segments,
 //! producing one table per phase ([`PhaseTables`]) for
 //! `Analysis::group_by([Dim::Phase])` queries; with tagging off, phase
 //! events are dropped exactly as before.
+//!
+//! Phase scoping is **per process**: a segment is tagged with the
+//! innermost (latest-activated) open [`crate::event::EventKind::Phase`]
+//! annotation among phases owned by processes that have at least one
+//! active CPU/GPU event in the segment, and [`NO_PHASE`] when no active
+//! process has an open phase. A phase therefore never scopes another
+//! process's time just because the streams were merged — pid A's
+//! `phase("train")` window cannot claim pid B's simulator time unless
+//! pid A is itself busy in that segment. For single-process streams
+//! (including every per-process grouped sweep) this is exactly the
+//! historical innermost-active-phase rule.
 
 use crate::event::{CpuCategory, Event, EventKind};
 use crate::intern::Interner;
@@ -501,11 +511,20 @@ fn sweep_raw<'a>(
     // entirely.
     let (mut starts_sorted, mut prev_start) = (true, 0u64);
     let (mut ends_sorted, mut prev_end) = (true, 0u64);
+    // Dense per-event process index, only materialized when phases are
+    // tracked: phase scoping is per pid, so the sweep must know which
+    // process each boundary belongs to.
+    let mut pid_map: HashMap<u32, u32> = HashMap::new();
+    let mut pid_idx: Vec<u32> = Vec::new();
     for e in events {
         if e.start == e.end {
             continue;
         }
         let seq = op_ids.len() as u32;
+        if track_phases {
+            let next = pid_map.len() as u32;
+            pid_idx.push(*pid_map.entry(e.pid.as_u32()).or_insert(next));
+        }
         // Dense id of the event's own name: operation id for operations,
         // phase id for tracked phases, untracked otherwise.
         let mut own_id = untracked;
@@ -552,15 +571,23 @@ fn sweep_raw<'a>(
     let mut gpu_active: u32 = 0;
     // Scope-indexed operation/phase stacks: `slot_of[event]` is the entry
     // the event occupies in its stack, letting a non-LIFO close tombstone
-    // it in O(1).
+    // it in O(1). Phase stacks are per process — a phase only ever tags
+    // segments where its own pid has active CPU/GPU work — holding
+    // `(activation order, phase id)` entries so the innermost phase
+    // across eligible pids is the one activated latest.
+    let n_pids = pid_map.len();
     let mut op_stack: Vec<u32> = Vec::new();
-    let mut phase_stack: Vec<u32> = Vec::new();
+    let mut pid_phase_stacks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_pids];
+    // Active CPU/GPU event count per pid: a pid's phases are eligible to
+    // tag a segment only while this is non-zero.
+    let mut pid_activity: Vec<u32> = vec![0; n_pids];
+    let mut next_activation: u32 = 0;
     let mut slot_of: Vec<u32> = vec![0; op_ids.len()];
     let mut cur_op: u32 = untracked;
-    // Accumulator row of the current (phase, operation) pair; phase_base
-    // stays 0 when phases are untracked.
-    let mut phase_base: usize = 0;
-    let mut cur_row: usize = untracked as usize;
+    // Cached phase tag, recomputed lazily at attribution time whenever
+    // phase stacks or pid activity changed since the last segment.
+    let mut cur_phase: u32 = no_phase;
+    let mut phase_dirty = false;
 
     let mut prev_t: u64 = 0;
     let mut have_prev = false;
@@ -578,9 +605,14 @@ fn sweep_raw<'a>(
             ends[ei - 1]
         };
         if have_prev && t > prev_t && (cpu_mask != 0 || gpu_active > 0) {
+            if phase_dirty {
+                cur_phase = innermost_eligible_phase(&pid_activity, &pid_phase_stacks);
+                phase_dirty = false;
+            }
             let tag = FINEST_TAG[cpu_mask] as usize;
             let gpu = (gpu_active > 0) as usize;
-            acc[cur_row * SLOTS + tag * 2 + gpu] += t - prev_t;
+            acc[(cur_phase as usize * n_ops + cur_op as usize) * SLOTS + tag * 2 + gpu] +=
+                t - prev_t;
         }
         prev_t = t;
         have_prev = true;
@@ -601,12 +633,32 @@ fn sweep_raw<'a>(
                         cpu_mask &= !(1 << ci);
                     }
                 }
+                if track_phases {
+                    let p = pid_idx[idx as usize] as usize;
+                    if is_start {
+                        pid_activity[p] += 1;
+                        phase_dirty |= pid_activity[p] == 1;
+                    } else {
+                        pid_activity[p] -= 1;
+                        phase_dirty |= pid_activity[p] == 0;
+                    }
+                }
             }
             CODE_GPU => {
                 if is_start {
                     gpu_active += 1;
                 } else {
                     gpu_active -= 1;
+                }
+                if track_phases {
+                    let p = pid_idx[idx as usize] as usize;
+                    if is_start {
+                        pid_activity[p] += 1;
+                        phase_dirty |= pid_activity[p] == 1;
+                    } else {
+                        pid_activity[p] -= 1;
+                        phase_dirty |= pid_activity[p] == 0;
+                    }
                 }
             }
             CODE_OP => {
@@ -622,31 +674,50 @@ fn sweep_raw<'a>(
                     }
                 }
                 cur_op = op_stack.last().map(|&i| op_ids[i as usize]).unwrap_or(untracked);
-                cur_row = phase_base + cur_op as usize;
             }
             CODE_PHASE if track_phases => {
-                // Same stack discipline as operations: the innermost
-                // (latest-started) active phase tags the segment.
+                // Same tombstoned stack discipline as operations, but on
+                // the owning pid's stack; eligibility is re-resolved at
+                // the next attribution via `innermost_eligible_phase`.
+                let stack = &mut pid_phase_stacks[pid_idx[idx as usize] as usize];
                 if is_start {
-                    slot_of[idx as usize] = phase_stack.len() as u32;
-                    phase_stack.push(idx);
+                    slot_of[idx as usize] = stack.len() as u32;
+                    stack.push((next_activation, op_ids[idx as usize]));
+                    next_activation += 1;
                 } else {
                     let slot = slot_of[idx as usize] as usize;
-                    debug_assert_eq!(phase_stack[slot], idx, "phase stack corrupted");
-                    phase_stack[slot] = TOMBSTONE;
-                    while phase_stack.last() == Some(&TOMBSTONE) {
-                        phase_stack.pop();
+                    stack[slot].0 = TOMBSTONE;
+                    while stack.last().is_some_and(|&(a, _)| a == TOMBSTONE) {
+                        stack.pop();
                     }
                 }
-                let cur_phase = phase_stack.last().map(|&i| op_ids[i as usize]).unwrap_or(no_phase);
-                phase_base = cur_phase as usize * n_ops;
-                cur_row = phase_base + cur_op as usize;
+                phase_dirty = true;
             }
             _ => {}
         }
     }
 
     (interner, phase_interner, acc)
+}
+
+/// Resolves the phase tag for the next segment under per-pid scoping:
+/// among processes with at least one active CPU/GPU event, the open
+/// phase with the latest activation order wins; [`NO_PHASE`] (id 0) when
+/// no active process has an open phase. Shared by the batch and
+/// streaming engines so both resolve identical tags.
+fn innermost_eligible_phase(pid_activity: &[u32], pid_phase_stacks: &[Vec<(u32, u32)>]) -> u32 {
+    let mut best: Option<(u32, u32)> = None;
+    for (p, stack) in pid_phase_stacks.iter().enumerate() {
+        if pid_activity[p] == 0 {
+            continue;
+        }
+        if let Some(&(activation, id)) = stack.last() {
+            if best.is_none_or(|(a, _)| activation > a) {
+                best = Some((activation, id));
+            }
+        }
+    }
+    best.map_or(0, |(_, id)| id)
 }
 
 /// Error from [`OverlapSweep::push`].
@@ -828,12 +899,28 @@ pub struct OverlapSweep {
     next_op_seq: u32,
     /// Slot in `op_stack` occupied by each open operation, by seq.
     open_ops: HashMap<u32, u32>,
-    /// Slot in `phase_stack` occupied by each open phase, by seq.
-    open_phases: HashMap<u32, u32>,
+    /// `(owning pid index, slot in that pid's phase stack)` for each open
+    /// phase, by seq.
+    open_phases: HashMap<u32, (u32, u32)>,
     /// `(seq, op_id)` entries; closed entries tombstoned in place.
     op_stack: Vec<(u32, u32)>,
-    /// `(seq, phase_id)` entries; closed entries tombstoned in place.
-    phase_stack: Vec<(u32, u32)>,
+    /// Per-pid phase stacks of `(activation order, phase id)` entries,
+    /// closed entries tombstoned in place: phase scoping is per process
+    /// (see the module docs), so each pid keeps its own innermost phase
+    /// and `innermost_eligible_phase` arbitrates across active pids.
+    pid_phase_stacks: Vec<Vec<(u32, u32)>>,
+    /// Raw pid → dense index into the per-pid state; only populated when
+    /// phases are tracked.
+    pid_map: HashMap<u32, u32>,
+    /// Active CPU/GPU event count per pid; a pid's phases only tag
+    /// segments while this is non-zero.
+    pid_activity: Vec<u32>,
+    /// Owning pid index of each in-flight phase event, by seq (recorded
+    /// at push, consumed when the phase's boundaries drain).
+    phase_pids: HashMap<u32, u32>,
+    /// Global activation counter for phase starts, in drain order — the
+    /// cross-pid innermost tie-break.
+    next_phase_activation: u32,
     /// One flat `(op_id, cpu_tag, gpu)` accumulator per phase id; only
     /// index 0 ([`NO_PHASE`]) exists when phases are untracked.
     accs: Vec<Vec<u64>>,
@@ -841,7 +928,10 @@ pub struct OverlapSweep {
     cpu_mask: usize,
     gpu_active: u32,
     cur_op: u32,
+    /// Cached phase tag; recomputed lazily at attribution when
+    /// `phase_dirty`.
     cur_phase: u32,
+    phase_dirty: bool,
     max_start: u64,
     prev_t: u64,
     have_prev: bool,
@@ -885,13 +975,18 @@ impl OverlapSweep {
             open_ops: HashMap::new(),
             open_phases: HashMap::new(),
             op_stack: Vec::new(),
-            phase_stack: Vec::new(),
+            pid_phase_stacks: Vec::new(),
+            pid_map: HashMap::new(),
+            pid_activity: Vec::new(),
+            phase_pids: HashMap::new(),
+            next_phase_activation: 0,
             accs: vec![vec![0; SLOTS]],
             cpu_counts: [0; 4],
             cpu_mask: 0,
             gpu_active: 0,
             cur_op: untracked,
             cur_phase: 0,
+            phase_dirty: false,
             max_start: 0,
             prev_t: 0,
             have_prev: false,
@@ -953,9 +1048,17 @@ impl OverlapSweep {
         if self.have_prev && start < self.prev_t {
             return Err(SweepError::OrderViolation { start, swept_to: self.prev_t });
         }
+        // CPU/GPU boundaries reuse the tie-break seq field to carry the
+        // event's dense pid index (0 when phases are untracked): per-pid
+        // activity tracking needs the owner at drain time, and same-time
+        // boundary reordering among CPU/GPU edges cannot change any
+        // attribution (no time accrues between equal-time boundaries and
+        // their state updates commute). Operations and phases keep the
+        // arrival seq — their relative order is load-bearing for scope
+        // identity and activation order.
         let (seq, meta) = match &e.kind {
-            EventKind::Cpu(c) => (0, *c as u32),
-            EventKind::Gpu(_) => (0, u32::from(CODE_GPU)),
+            EventKind::Cpu(c) => (self.pid_index(e), *c as u32),
+            EventKind::Gpu(_) => (self.pid_index(e), u32::from(CODE_GPU)),
             EventKind::Operation => {
                 let op_id = self.interner.intern(&e.name);
                 let needed = self.interner.len() * SLOTS;
@@ -972,7 +1075,10 @@ impl OverlapSweep {
                     let len = self.interner.len() * SLOTS;
                     self.accs.resize_with(phase_id as usize + 1, || vec![0; len]);
                 }
-                (self.next_seq()?, META_PHASE_FLAG | phase_id)
+                let pid = self.pid_index(e);
+                let seq = self.next_seq()?;
+                self.phase_pids.insert(seq, pid);
+                (seq, META_PHASE_FLAG | phase_id)
             }
         };
         self.starts.push((start, seq, meta));
@@ -995,6 +1101,22 @@ impl OverlapSweep {
             self.push(e)?;
         }
         Ok(())
+    }
+
+    /// Dense index of the event's pid, growing the per-pid phase state on
+    /// first sight. Constant 0 when phases are untracked — plain sweeps
+    /// never consult pid state.
+    fn pid_index(&mut self, e: &Event) -> u32 {
+        if !self.track_phases {
+            return 0;
+        }
+        let next = self.pid_map.len() as u32;
+        let p = *self.pid_map.entry(e.pid.as_u32()).or_insert(next);
+        if p == next {
+            self.pid_activity.push(0);
+            self.pid_phase_stacks.push(Vec::new());
+        }
+        p
     }
 
     /// Allocates the next arrival seq for an operation or phase event.
@@ -1063,6 +1185,11 @@ impl OverlapSweep {
                 self.ends.pop();
             }
             if self.have_prev && t > self.prev_t && (self.cpu_mask != 0 || self.gpu_active > 0) {
+                if self.phase_dirty {
+                    self.cur_phase =
+                        innermost_eligible_phase(&self.pid_activity, &self.pid_phase_stacks);
+                    self.phase_dirty = false;
+                }
                 let tag = FINEST_TAG[self.cpu_mask] as usize;
                 let gpu = (self.gpu_active > 0) as usize;
                 self.accs[self.cur_phase as usize][self.cur_op as usize * SLOTS + tag * 2 + gpu] +=
@@ -1087,6 +1214,17 @@ impl OverlapSweep {
                             self.cpu_mask &= !(1 << ci);
                         }
                     }
+                    // For CPU/GPU boundaries `seq` carries the pid index.
+                    if self.track_phases {
+                        let a = &mut self.pid_activity[seq as usize];
+                        if is_start {
+                            *a += 1;
+                            self.phase_dirty |= *a == 1;
+                        } else {
+                            *a -= 1;
+                            self.phase_dirty |= *a == 0;
+                        }
+                    }
                 }
                 4 => {
                     if is_start {
@@ -1094,22 +1232,36 @@ impl OverlapSweep {
                     } else {
                         self.gpu_active -= 1;
                     }
+                    if self.track_phases {
+                        let a = &mut self.pid_activity[seq as usize];
+                        if is_start {
+                            *a += 1;
+                            self.phase_dirty |= *a == 1;
+                        } else {
+                            *a -= 1;
+                            self.phase_dirty |= *a == 0;
+                        }
+                    }
                 }
                 m if m & META_PHASE_FLAG != 0 => {
                     let phase_id = m & !META_PHASE_FLAG;
                     if is_start {
-                        self.open_phases.insert(seq, self.phase_stack.len() as u32);
-                        self.phase_stack.push((seq, phase_id));
+                        let pid = *self.phase_pids.get(&seq).expect("phase start without push");
+                        let stack = &mut self.pid_phase_stacks[pid as usize];
+                        self.open_phases.insert(seq, (pid, stack.len() as u32));
+                        stack.push((self.next_phase_activation, phase_id));
+                        self.next_phase_activation += 1;
                     } else {
-                        let slot = self.open_phases.remove(&seq).expect("phase end without start")
-                            as usize;
-                        debug_assert_eq!(self.phase_stack[slot].0, seq, "phase stack corrupted");
-                        self.phase_stack[slot].0 = TOMBSTONE;
-                        while self.phase_stack.last().is_some_and(|&(s, _)| s == TOMBSTONE) {
-                            self.phase_stack.pop();
+                        let (pid, slot) =
+                            self.open_phases.remove(&seq).expect("phase end without start");
+                        self.phase_pids.remove(&seq);
+                        let stack = &mut self.pid_phase_stacks[pid as usize];
+                        stack[slot as usize].0 = TOMBSTONE;
+                        while stack.last().is_some_and(|&(a, _)| a == TOMBSTONE) {
+                            stack.pop();
                         }
                     }
-                    self.cur_phase = self.phase_stack.last().map(|&(_, id)| id).unwrap_or(0);
+                    self.phase_dirty = true;
                 }
                 _ => {
                     let op_id = meta - META_OP_BASE;
@@ -1426,5 +1578,107 @@ mod tests {
         assert!(json.contains("\"operation\": \"expand_leaf\""));
         assert!(json.contains("\"cpu\": \"Python\""));
         assert_eq!(json, compute_overlap(&figure_3_events()).canonical_json());
+    }
+
+    fn pev(pid: u32, kind: EventKind, name: &str, start_us: u64, end_us: u64) -> Event {
+        Event::new(
+            ProcessId(pid),
+            kind,
+            name,
+            TimeNs::from_micros(start_us),
+            TimeNs::from_micros(end_us),
+        )
+    }
+
+    /// Regression test for the global-phase-scoping bug: in a merged
+    /// multi-process sweep, pid 1's `eval` phase used to scope pid 0's
+    /// Python time (and pid 0's `train` used to scope pid 1's simulator
+    /// time). Phase tags are per pid: a phase only tags segments where
+    /// its own process has active CPU/GPU work.
+    #[test]
+    fn phases_scope_only_their_own_process() {
+        let events = [
+            pev(0, EventKind::Phase, "train", 0, 100),
+            pev(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 30),
+            pev(1, EventKind::Phase, "eval", 5, 50),
+            pev(1, EventKind::Cpu(CpuCategory::Simulator), "sim", 60, 90),
+        ];
+        let groups = sweep_tables_by_phase(events.iter());
+        let names: Vec<&str> = groups.iter().map(|(n, _)| n.as_ref()).collect();
+        // pid 1's simulator work runs after its own `eval` closed, so it
+        // is NO_PHASE — pid 0's still-open `train` must not claim it. And
+        // `eval` never overlaps any pid-1 activity, so it has no group at
+        // all (pre-fix it stole py time [5,30) from `train`).
+        assert_eq!(names, [NO_PHASE, "train"]);
+        let no_phase = &groups[0].1;
+        let train = &groups[1].1;
+        assert_eq!(
+            train.get(&key(BucketKey::UNTRACKED, Some(CpuCategory::Python), false)),
+            DurationNs::from_micros(30)
+        );
+        assert_eq!(train.total(), DurationNs::from_micros(30));
+        assert_eq!(
+            no_phase.get(&key(BucketKey::UNTRACKED, Some(CpuCategory::Simulator), false)),
+            DurationNs::from_micros(30)
+        );
+        assert_eq!(no_phase.total(), DurationNs::from_micros(30));
+        // Conservation: the grouped tables merge back to the ungrouped
+        // sweep exactly.
+        let mut merged = BreakdownTable::new();
+        for (_, t) in &groups {
+            merged.merge(t);
+        }
+        assert_eq!(merged, sweep_tables(events.iter()));
+    }
+
+    /// When two pids are BOTH active, the innermost (latest-activated)
+    /// open phase across the active pids wins — matching the historical
+    /// single-stream nesting rule, just restricted to eligible pids.
+    #[test]
+    fn concurrent_pid_phases_pick_innermost_among_active_pids() {
+        let events = [
+            pev(0, EventKind::Phase, "outer", 0, 100),
+            pev(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 100),
+            pev(1, EventKind::Phase, "inner", 10, 60),
+            pev(1, EventKind::Cpu(CpuCategory::Simulator), "sim", 20, 40),
+        ];
+        let groups = sweep_tables_by_phase(events.iter());
+        let names: Vec<&str> = groups.iter().map(|(n, _)| n.as_ref()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        // [20,40): both pids active, `inner` activated later → it tags
+        // the segment (Python+Simulator active → Simulator is finest).
+        assert_eq!(
+            groups[1].1.get(&key(BucketKey::UNTRACKED, Some(CpuCategory::Simulator), false)),
+            DurationNs::from_micros(20)
+        );
+        // [0,20) and [40,100): only pid 0 active (or pid 1 idle) → outer.
+        assert_eq!(
+            groups[0].1.get(&key(BucketKey::UNTRACKED, Some(CpuCategory::Python), false)),
+            DurationNs::from_micros(80)
+        );
+        assert_eq!(
+            groups.iter().map(|(_, t)| t.total().as_nanos()).sum::<u64>(),
+            DurationNs::from_micros(100).as_nanos()
+        );
+    }
+
+    /// The streaming engine resolves per-pid phase scoping identically to
+    /// the batch engine, at every batch split point.
+    #[test]
+    fn streaming_per_pid_phase_scoping_matches_batch() {
+        let events = [
+            pev(0, EventKind::Phase, "train", 0, 100),
+            pev(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 30),
+            pev(1, EventKind::Phase, "eval", 5, 50),
+            pev(1, EventKind::Cpu(CpuCategory::Simulator), "sim", 60, 90),
+            pev(0, EventKind::Cpu(CpuCategory::Backend), "be", 70, 95),
+        ];
+        let expected = sweep_tables_by_phase(events.iter());
+        for split in 0..=events.len() {
+            let mut sweep = OverlapSweep::new().with_phase_tagging();
+            sweep.push_batch(&events[..split]).unwrap();
+            sweep.push_batch(&events[split..]).unwrap();
+            assert_eq!(sweep.finalize_grouped(), expected, "split {split}");
+        }
     }
 }

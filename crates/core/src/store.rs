@@ -309,6 +309,13 @@ pub struct PhaseSpan {
     pub min_start: u64,
     /// Latest end of the phase's events in the chunk.
     pub max_end: u64,
+    /// Pids owning the phase's events in this chunk, ascending. Empty
+    /// means **unknown** (a footer written before pid sets existed), and
+    /// readers must treat the span as possibly belonging to any pid —
+    /// never as belonging to none. Phase scoping is per process, so this
+    /// is what lets a process-scoped query skip chunks whose span of the
+    /// phase belongs entirely to other pids.
+    pub pids: Vec<u32>,
 }
 
 /// Per-chunk summary recorded in v3 trailers and [`Manifest`] entries:
@@ -348,10 +355,12 @@ impl ChunkFooter {
 
     /// The chunk's bounding span for one phase, if present.
     pub fn phase_span(&self, name: &str) -> Option<(u64, u64)> {
-        self.phases
-            .binary_search_by(|p| (*p.name).cmp(name))
-            .ok()
-            .map(|i| (self.phases[i].min_start, self.phases[i].max_end))
+        self.phase(name).map(|p| (p.min_start, p.max_end))
+    }
+
+    /// The chunk's full [`PhaseSpan`] entry for one phase, if present.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSpan> {
+        self.phases.binary_search_by(|p| (*p.name).cmp(name)).ok().map(|i| &self.phases[i])
     }
 }
 
@@ -364,7 +373,7 @@ pub fn compute_footer(events: &[Event]) -> ChunkFooter {
     let mut sorted = true;
     let mut prev = 0u64;
     let mut pids: Vec<u32> = Vec::new();
-    let mut phases: BTreeMap<Arc<str>, (u64, u64)> = BTreeMap::new();
+    let mut phases: BTreeMap<Arc<str>, (u64, u64, Vec<u32>)> = BTreeMap::new();
     for e in events {
         let (s, t) = (e.start.as_nanos(), e.end.as_nanos());
         min_start = min_start.min(s);
@@ -384,9 +393,12 @@ pub fn compute_footer(events: &[Event]) -> ChunkFooter {
             } else {
                 Arc::from(truncate_name(&e.name))
             };
-            let span = phases.entry(name).or_insert((s, t));
+            let span = phases.entry(name).or_insert((s, t, Vec::new()));
             span.0 = span.0.min(s);
             span.1 = span.1.max(t);
+            if let Err(at) = span.2.binary_search(&pid) {
+                span.2.insert(at, pid);
+            }
         }
     }
     ChunkFooter {
@@ -398,10 +410,17 @@ pub fn compute_footer(events: &[Event]) -> ChunkFooter {
         pids,
         phases: phases
             .into_iter()
-            .map(|(name, (min_start, max_end))| PhaseSpan { name, min_start, max_end })
+            .map(|(name, (min_start, max_end, pids))| PhaseSpan { name, min_start, max_end, pids })
             .collect(),
     }
 }
+
+/// Flag bit: event starts are ascending within the chunk.
+const FOOTER_FLAG_START_SORTED: u8 = 1;
+/// Flag bit: each phase span carries its per-phase pid set. Footers
+/// written before this bit existed decode with empty (= unknown) span
+/// pid sets, which readers must treat conservatively.
+const FOOTER_FLAG_PHASE_PIDS: u8 = 2;
 
 /// Appends the footer payload (including its trailing checksum) to `out`.
 fn encode_footer_payload(f: &ChunkFooter, out: &mut BytesMut) {
@@ -410,7 +429,7 @@ fn encode_footer_payload(f: &ChunkFooter, out: &mut BytesMut) {
     out.put_u64(f.min_start);
     out.put_u64(f.max_start);
     out.put_u64(f.max_end);
-    out.put_u8(u8::from(f.start_sorted));
+    out.put_u8(u8::from(f.start_sorted) | FOOTER_FLAG_PHASE_PIDS);
     out.put_u32(f.pids.len() as u32);
     for &pid in &f.pids {
         out.put_u32(pid);
@@ -421,6 +440,10 @@ fn encode_footer_payload(f: &ChunkFooter, out: &mut BytesMut) {
         out.put_slice(p.name.as_bytes());
         out.put_u64(p.min_start);
         out.put_u64(p.max_end);
+        out.put_u32(p.pids.len() as u32);
+        for &pid in &p.pids {
+            out.put_u32(pid);
+        }
     }
     let sum = fnv1a(&out[at..]);
     out.put_u64(sum);
@@ -447,9 +470,10 @@ fn decode_footer_payload(payload: &[u8]) -> Result<ChunkFooter, TraceIoError> {
     let max_start = data.get_u64();
     let max_end = data.get_u64();
     let flags = data.get_u8();
-    if flags > 1 {
+    if flags & !(FOOTER_FLAG_START_SORTED | FOOTER_FLAG_PHASE_PIDS) != 0 {
         return Err(corrupt("unknown flag bits"));
     }
+    let has_phase_pids = flags & FOOTER_FLAG_PHASE_PIDS != 0;
     let pid_count = data.get_u32() as usize;
     if data.remaining() < pid_count.saturating_mul(4) {
         return Err(corrupt("truncated pid set"));
@@ -483,7 +507,25 @@ fn decode_footer_payload(payload: &[u8]) -> Result<ChunkFooter, TraceIoError> {
         if phases.last().is_some_and(|prev| *prev.name >= *name) {
             return Err(corrupt("phase set not strictly name-ascending"));
         }
-        phases.push(PhaseSpan { name, min_start: min, max_end: max });
+        let mut span_pids = Vec::new();
+        if has_phase_pids {
+            if data.remaining() < 4 {
+                return Err(corrupt("truncated phase pid set"));
+            }
+            let n = data.get_u32() as usize;
+            if data.remaining() < n.saturating_mul(4) {
+                return Err(corrupt("truncated phase pid set"));
+            }
+            span_pids.reserve(n);
+            for _ in 0..n {
+                let pid = data.get_u32();
+                if span_pids.last().is_some_and(|&prev| prev >= pid) {
+                    return Err(corrupt("phase pid set not strictly ascending"));
+                }
+                span_pids.push(pid);
+            }
+        }
+        phases.push(PhaseSpan { name, min_start: min, max_end: max, pids: span_pids });
     }
     if !data.is_empty() {
         return Err(corrupt("trailing bytes"));
@@ -493,7 +535,7 @@ fn decode_footer_payload(payload: &[u8]) -> Result<ChunkFooter, TraceIoError> {
         min_start,
         max_start,
         max_end,
-        start_sorted: flags & 1 != 0,
+        start_sorted: flags & FOOTER_FLAG_START_SORTED != 0,
         pids,
         phases,
     })
@@ -678,10 +720,32 @@ fn decode_events_v3(rem: &[u8]) -> Result<Vec<Event>, TraceIoError> {
     if !cursor.is_empty() {
         return Err(TraceIoError::Corrupt("trailing bytes after v3 event records".into()));
     }
-    if footer != compute_footer(&events) {
+    if !footer_consistent(&footer, &compute_footer(&events)) {
         return Err(TraceIoError::Corrupt("footer contradicts chunk events".into()));
     }
     Ok(events)
+}
+
+/// The v3 cross-check predicate: the decoded footer must agree with the
+/// footer recomputed from the decoded events on every field — except
+/// that a phase span with an **empty** pid set (a footer written before
+/// per-phase pid sets existed) is accepted against any recomputed pid
+/// set. This keeps legacy v3 chunks decodable while still rejecting any
+/// footer that *claims* pids and gets them wrong.
+fn footer_consistent(decoded: &ChunkFooter, computed: &ChunkFooter) -> bool {
+    decoded.events == computed.events
+        && decoded.min_start == computed.min_start
+        && decoded.max_start == computed.max_start
+        && decoded.max_end == computed.max_end
+        && decoded.start_sorted == computed.start_sorted
+        && decoded.pids == computed.pids
+        && decoded.phases.len() == computed.phases.len()
+        && decoded.phases.iter().zip(&computed.phases).all(|(d, c)| {
+            d.name == c.name
+                && d.min_start == c.min_start
+                && d.max_end == c.max_end
+                && (d.pids.is_empty() || d.pids == c.pids)
+        })
 }
 
 fn decode_events_v1(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
@@ -1222,8 +1286,20 @@ pub struct ChunkQuery {
     pub pid: Option<u32>,
     /// Keep only chunks overlapping this phase's bounding span (derived
     /// from the whole manifest). Must name a real phase — callers handle
-    /// [`crate::overlap::NO_PHASE`] (not pushdownable) themselves.
+    /// [`crate::overlap::NO_PHASE`] (not pushdownable) themselves. When
+    /// `pid` is also set, the span is reduced over only the footer spans
+    /// whose [`PhaseSpan::pids`] contain that process (an empty —
+    /// legacy/unknown — pid set always participates), since a
+    /// single-process sweep can only be tagged by that process's own
+    /// phase annotations.
     pub phase: Option<Arc<str>>,
+    /// Additionally keep each process's first-appearance chunk (stream
+    /// order), regardless of the other predicates. Process-grouped
+    /// queries need this for exact group enumeration: a group row exists
+    /// (possibly empty) for every process in the stream, in first-seen
+    /// order, so the chunk that introduces a process may not be skipped
+    /// even when it cannot contribute time to the query.
+    pub keep_pid_introductions: bool,
 }
 
 impl ChunkQuery {
@@ -1403,10 +1479,16 @@ impl Manifest {
     /// * **phase** — the chunk's `[min_start, max_end)` is disjoint from
     ///   the phase's bounding span across the *whole* manifest (events
     ///   outside that span can neither be attributed to the phase nor
-    ///   change which phase is active inside it). A phase appearing in no
-    ///   footer selects nothing.
+    ///   change which phase is active inside it). With a `pid` predicate
+    ///   the span reduce consults only footer spans carried by that pid
+    ///   (empty pid sets — legacy footers — always participate), which
+    ///   can only tighten the span. A phase appearing in no footer
+    ///   selects nothing.
     ///
-    /// Empty chunks are skipped under any active predicate.
+    /// Empty chunks are skipped under any active predicate. When
+    /// [`ChunkQuery::keep_pid_introductions`] is set, each process's
+    /// first-appearance chunk is kept unconditionally (a pure
+    /// over-selection, so the never-lossy guarantee is unaffected).
     pub fn select(&self, query: &ChunkQuery) -> ChunkSelection {
         let total = self.entries.len();
         if query.is_unconstrained() {
@@ -1414,20 +1496,43 @@ impl Manifest {
             return ChunkSelection { files, total };
         }
         // The phase predicate needs the phase's global bounding span
-        // first; `None` here means the phase exists nowhere.
+        // first; `None` here means the phase exists nowhere (for the
+        // queried pid, when one is set).
         let phase_span: Option<Option<(u64, u64)>> = query.phase.as_ref().map(|name| {
             self.entries
                 .iter()
-                .filter_map(|e| e.footer.phase_span(name))
+                .filter_map(|e| e.footer.phase(name))
+                .filter(|p| query.pid.is_none_or(|pid| p.pids.is_empty() || p.pids.contains(&pid)))
+                .map(|p| (p.min_start, p.max_end))
                 .reduce(|a, b| (a.0.min(b.0), a.1.max(b.1)))
         });
+        let mut seen_pids: Vec<u32> = Vec::new();
         let files = self
             .entries
             .iter()
             .filter(|e| {
                 let f = &e.footer;
+                // Track first appearances across *every* entry in stream
+                // order, before any predicate can skip the chunk. Under a
+                // pid predicate only that process is enumerated, so only
+                // its introduction matters.
+                let mut introduces = false;
+                if query.keep_pid_introductions {
+                    for &pid in &f.pids {
+                        if query.pid.is_some_and(|q| q != pid) {
+                            continue;
+                        }
+                        if !seen_pids.contains(&pid) {
+                            seen_pids.push(pid);
+                            introduces = true;
+                        }
+                    }
+                }
                 if f.events == 0 {
                     return false;
+                }
+                if introduces {
+                    return true;
                 }
                 if let Some((lo, hi)) = query.window {
                     if !f.overlaps(lo, hi) {
@@ -2282,6 +2387,44 @@ mod tests {
         // But the footer alone still parses (valid checksum): skip
         // decisions on unread chunks trust the checksum only.
         assert!(read_chunk_footer(&forged).unwrap().is_some());
+    }
+
+    /// A footer written before [`FOOTER_FLAG_PHASE_PIDS`] existed — flag
+    /// bit absent, no per-span pid counts — must still decode, with every
+    /// span's pid set empty (= unknown), which readers treat as "any pid"
+    /// rather than "no pid". This pins the wire compatibility of old
+    /// manifests and old v3 chunks.
+    #[test]
+    fn legacy_footer_without_phase_pids_decodes_conservatively() {
+        let mut out = BytesMut::new();
+        let at = out.len();
+        out.put_u32(3); // events
+        out.put_u64(10); // min_start
+        out.put_u64(40); // max_start
+        out.put_u64(50); // max_end
+        out.put_u8(FOOTER_FLAG_START_SORTED); // legacy: no phase-pid bit
+        out.put_u32(1); // one pid
+        out.put_u32(7);
+        out.put_u32(1); // one phase span, with no trailing pid set
+        out.put_u16(5);
+        out.put_slice(b"train");
+        out.put_u64(10);
+        out.put_u64(50);
+        let sum = fnv1a(&out[at..]);
+        out.put_u64(sum);
+
+        let footer = decode_footer_payload(&out).unwrap();
+        assert_eq!(footer.events, 3);
+        assert!(footer.start_sorted);
+        assert_eq!(footer.pids, vec![7]);
+        let span = footer.phase("train").unwrap();
+        assert_eq!((span.min_start, span.max_end), (10, 50));
+        assert!(span.pids.is_empty(), "legacy spans decode with unknown (empty) pid sets");
+        // Re-encoding upgrades the footer to the pid-carrying layout and
+        // round-trips, still with the conservative empty set.
+        let mut upgraded = BytesMut::new();
+        encode_footer_payload(&footer, &mut upgraded);
+        assert_eq!(decode_footer_payload(&upgraded).unwrap(), footer);
     }
 
     #[test]

@@ -547,6 +547,202 @@ proptest! {
     }
 }
 
+/// TCP transport + cross-session aggregation: a daemon listening on
+/// both Unix and TCP serves the identical framed protocol over
+/// loopback, `LIST_SESSIONS` enumerates what it holds, and the
+/// acceptance property — `group_by([Dim::Session])` over two live
+/// sessions is canonical-JSON-identical to the batch sweep of each
+/// session's acked prefix — holds through the `QUERY_ALL` wire path.
+#[test]
+fn tcp_transport_and_query_all_over_live_sessions() {
+    use rlscope::collector::{Endpoint, FleetClient, ReconnectPolicy};
+    use rlscope::core::analysis::{groups_canonical_json, LiveState, SessionSource};
+    use std::sync::Arc;
+
+    let (socket, data) = scratch("tcp");
+    let mut config = CollectorConfig::new(&socket, data);
+    config.tcp_listen = Some("127.0.0.1:0".into());
+    let collector = Collector::bind(config).unwrap();
+    let addr = collector.tcp_addr().expect("tcp listener bound").to_string();
+    let ep = Endpoint::tcp(&addr);
+
+    // Two live sessions streamed over TCP; both stay unfinished, so
+    // every answer below covers exactly their acked prefixes.
+    let a = session_events(0, 4_096);
+    let b = session_events(1, 2_048);
+    let mut ca =
+        CollectorClient::open_session_at(&ep, "tcp-a", ReconnectPolicy::default()).unwrap();
+    let mut cb =
+        CollectorClient::open_session_at(&ep, "tcp-b", ReconnectPolicy::default()).unwrap();
+    for chunk in a.chunks(512) {
+        ca.send_events(chunk).unwrap();
+    }
+    for chunk in b.chunks(512) {
+        cb.send_events(chunk).unwrap();
+    }
+
+    // Per-session queries over TCP are batch-identical (and, being
+    // ordered behind the CHUNK frames, prove both prefixes fully acked).
+    let live = ca.query(&QuerySpec::session("tcp-a")).unwrap();
+    assert!(live.live);
+    assert_eq!(live.canonical_json, Analysis::of_events(&a).canonical_json().unwrap());
+    cb.query(&QuerySpec::session("tcp-b")).unwrap();
+
+    // LIST_SESSIONS over a TCP query connection sees both, live, with
+    // the acked prefix lengths.
+    let mut q = CollectorClient::connect_to(&ep).unwrap();
+    let listing = q.list_sessions().unwrap();
+    let summary: Vec<_> =
+        listing.sessions.iter().map(|s| (s.name.as_str(), s.live, s.events)).collect();
+    assert_eq!(summary, vec![("tcp-a", true, a.len() as u64), ("tcp-b", true, b.len() as u64)]);
+
+    // QUERY_ALL grouped by session == a multi-session composition of
+    // each session's acked prefix, rendered through the same canonical
+    // JSON path the Analysis pipeline uses.
+    let reply = q.query_all(&QuerySpec::all_sessions().group_by([Dim::Session])).unwrap();
+    assert!(reply.live);
+    assert_eq!(reply.sessions, vec!["tcp-a".to_string(), "tcp-b".to_string()]);
+    assert_eq!(reply.events_observed, (a.len() + b.len()) as u64);
+    let (mut la, mut lb) = (LiveState::new(), LiveState::new());
+    la.push_batch(&a).unwrap();
+    lb.push_batch(&b).unwrap();
+    let (ta, tb) = (la.snapshot(), lb.snapshot());
+    let sessions = || {
+        vec![
+            (Arc::<str>::from("tcp-a"), SessionSource::Live(&ta)),
+            (Arc::<str>::from("tcp-b"), SessionSource::Live(&tb)),
+        ]
+    };
+    let expected =
+        Analysis::of_sessions(sessions()).group_by([Dim::Session]).canonical_json().unwrap();
+    assert_eq!(groups_canonical_json(&reply.groups, true), expected);
+    // Each group is its session's independent batch sweep.
+    for (key, table) in &reply.groups {
+        let events: &[Event] = if key.session.as_deref() == Some("tcp-a") { &a } else { &b };
+        assert_eq!(table, &Analysis::of_events(events).table().unwrap());
+    }
+    // The ungrouped rollup flattens to the same cross-session merge.
+    let flat = q.query_all(&QuerySpec::all_sessions()).unwrap();
+    assert_eq!(
+        groups_canonical_json(&flat.groups, false),
+        Analysis::of_sessions(sessions()).canonical_json().unwrap()
+    );
+
+    // A single-endpoint fleet answers identically to the raw QUERY_ALL —
+    // the degenerate federation case.
+    let mut fleet = FleetClient::connect([ep.clone()]);
+    let result = fleet.query_all(&QuerySpec::all_sessions().group_by([Dim::Session]));
+    assert!(result.complete());
+    assert_eq!(result.sessions(), vec!["tcp-a", "tcp-b"]);
+    assert_eq!(result.canonical_json(true), expected);
+    collector.shutdown();
+}
+
+fn rlscoped_bin() -> Option<PathBuf> {
+    let mut bin = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    bin.push("target");
+    bin.push(if cfg!(debug_assertions) { "debug" } else { "release" });
+    bin.push("rlscoped");
+    bin.exists().then_some(bin)
+}
+
+/// Spawns a real `rlscoped` process with an ephemeral TCP listener and
+/// returns it with its resolved `host:port` (parsed from the daemon's
+/// startup line).
+fn spawn_rlscoped_tcp(tag: &str) -> Option<(std::process::Child, String)> {
+    use std::io::BufRead;
+    let bin = rlscoped_bin()?;
+    let (socket, data) = scratch(tag);
+    let mut child = std::process::Command::new(bin)
+        .args([
+            "--socket",
+            socket.to_str().unwrap(),
+            "--data-dir",
+            data.to_str().unwrap(),
+            "--listen",
+            "tcp://127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut addr = None;
+    for line in std::io::BufReader::new(stdout).lines() {
+        let Ok(line) = line else { break };
+        if let Some(rest) = line.strip_prefix("rlscoped: listening on tcp://") {
+            addr = Some(rest.to_string());
+            break;
+        }
+    }
+    Some((child, addr.expect("rlscoped prints its tcp address")))
+}
+
+/// Federation acceptance: a [`FleetClient`] over two **real** `rlscoped`
+/// processes on TCP merges their answers into one rollup identical to a
+/// single daemon holding every session — one shard serving a finished
+/// directory, the other a live prefix (skipped when the binary has not
+/// been built — CI builds it first).
+#[test]
+fn fleet_client_merges_two_rlscoped_daemons_over_tcp() {
+    use rlscope::collector::{Endpoint, FleetClient, ReconnectPolicy};
+    use rlscope::core::analysis::{LiveState, SessionSource};
+    use std::sync::Arc;
+
+    let Some((mut d1, addr1)) = spawn_rlscoped_tcp("fleet1") else {
+        eprintln!("skipping: rlscoped not built");
+        return;
+    };
+    let (mut d2, addr2) = spawn_rlscoped_tcp("fleet2").unwrap();
+    let (ep1, ep2) = (Endpoint::tcp(&addr1), Endpoint::tcp(&addr2));
+
+    let run = || -> Result<(), CollectorError> {
+        let a = session_events(0, 3_000);
+        let b = session_events(1, 2_000);
+        // Shard 1: a finished session, served from its chunk directory.
+        let mut ca = CollectorClient::open_session_at(&ep1, "fleet-a", ReconnectPolicy::default())?;
+        for chunk in a.chunks(500) {
+            ca.send_events(chunk)?;
+        }
+        ca.finish()?;
+        // Shard 2: a live session; the query below drains its acks so
+        // the acked prefix is the whole stream.
+        let mut cb = CollectorClient::open_session_at(&ep2, "fleet-b", ReconnectPolicy::default())?;
+        for chunk in b.chunks(500) {
+            cb.send_events(chunk)?;
+        }
+        cb.query(&QuerySpec::session("fleet-b"))?;
+
+        let mut fleet = FleetClient::connect([ep1.clone(), ep2.clone()]);
+        let result = fleet.query_all(&QuerySpec::all_sessions().group_by([Dim::Session]));
+        assert!(result.complete(), "both shards must answer: {:?}", result.shards);
+        assert_eq!(result.sessions(), vec!["fleet-a", "fleet-b"]);
+        assert!(result.live, "shard 2 is still streaming");
+        assert_eq!(result.events_observed, (a.len() + b.len()) as u64);
+
+        // The fleet rollup equals one daemon holding both sessions.
+        let (mut la, mut lb) = (LiveState::new(), LiveState::new());
+        la.push_batch(&a).unwrap();
+        lb.push_batch(&b).unwrap();
+        let (ta, tb) = (la.snapshot(), lb.snapshot());
+        let expected = Analysis::of_sessions(vec![
+            (Arc::<str>::from("fleet-a"), SessionSource::Live(&ta)),
+            (Arc::<str>::from("fleet-b"), SessionSource::Live(&tb)),
+        ])
+        .group_by([Dim::Session])
+        .canonical_json()
+        .unwrap();
+        assert_eq!(result.canonical_json(true), expected);
+        Ok(())
+    };
+    let outcome = run();
+    let _ = d1.kill();
+    let _ = d2.kill();
+    let _ = d1.wait();
+    let _ = d2.wait();
+    outcome.unwrap();
+}
+
 /// The actual `rlscoped` binary serves the same protocol (skipped when
 /// the binary has not been built — CI builds it first).
 #[test]

@@ -381,7 +381,9 @@ proptest! {
         len in 0u64..3_000,
         pid in 0u32..4,
     ) {
-        use rlscope::core::store::{compute_footer, read_chunk_footer, ChunkQuery, Manifest};
+        use rlscope::core::store::{
+            compute_footer, read_chunk_footer, ChunkQuery, Manifest, ManifestEntry,
+        };
 
         // The on-wire footer equals the recomputed one.
         let encoded = encode_events(&events);
@@ -406,17 +408,59 @@ proptest! {
         prop_assert_eq!(&stored, &scanned);
         prop_assert_eq!(&Manifest::open(&dir).unwrap(), &stored);
 
+        // A "legacy" manifest whose footers predate per-phase pid sets:
+        // clearing every span's pid set reproduces the conservative
+        // pre-pid reader behaviour (empty = unknown = any pid).
+        let legacy_entries: Vec<ManifestEntry> = stored
+            .entries()
+            .iter()
+            .cloned()
+            .map(|mut e| {
+                for span in &mut e.footer.phases {
+                    span.pids.clear();
+                }
+                e
+            })
+            .collect();
+        let legacy = Manifest::from_entries(&dir, legacy_entries);
+
         // Identical pushdown decisions from the file and from the scan,
         // and the decisions are safe: skipped chunks hold nothing the
-        // query could attribute.
+        // query could attribute. Against the legacy manifest the
+        // pid-aware decisions must be identical-or-safer: the pid
+        // refinement may only *add* skips (a subset of the conservative
+        // selection), never select a chunk the old reader would skip.
         for query in [
             ChunkQuery { window: Some((lo, lo + len)), ..Default::default() },
             ChunkQuery { pid: Some(pid), ..Default::default() },
             ChunkQuery { phase: Some(std::sync::Arc::from("alpha")), ..Default::default() },
+            ChunkQuery {
+                pid: Some(pid),
+                phase: Some(std::sync::Arc::from("alpha")),
+                ..Default::default()
+            },
+            ChunkQuery {
+                pid: Some(pid),
+                phase: Some(std::sync::Arc::from("beta")),
+                keep_pid_introductions: true,
+                ..Default::default()
+            },
+            ChunkQuery {
+                window: Some((lo, lo + len)),
+                pid: Some(pid),
+                phase: Some(std::sync::Arc::from("delta")),
+                keep_pid_introductions: true,
+            },
         ] {
             let a = stored.select(&query);
             let b = scanned.select(&query);
             prop_assert_eq!(&a, &b);
+            let conservative = legacy.select(&query);
+            prop_assert_eq!(a.total, conservative.total);
+            prop_assert!(
+                a.files.iter().all(|f| conservative.files.contains(f)),
+                "pid-aware selection must be a subset of the legacy conservative one",
+            );
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -458,7 +502,110 @@ proptest! {
             Analysis::from_chunk_dir(&dir).phase("beta").table().unwrap(),
             Analysis::of_events(&events).phase("beta").table().unwrap()
         );
+        // Phase + process combined — the case the per-phase pid sets
+        // refine — and phase + process *grouping*, which exercises the
+        // lifted pushdown carve-out (group enumeration must survive the
+        // extra skips via the kept pid-introduction chunks).
+        prop_assert_eq!(
+            Analysis::from_chunk_dir(&dir)
+                .phase("beta")
+                .process(ProcessId(pid))
+                .table()
+                .unwrap(),
+            Analysis::of_events(&events)
+                .phase("beta")
+                .process(ProcessId(pid))
+                .table()
+                .unwrap()
+        );
+        prop_assert_eq!(
+            Analysis::from_chunk_dir(&dir)
+                .phase("beta")
+                .group_by([Dim::Process])
+                .tables()
+                .unwrap(),
+            Analysis::of_events(&events)
+                .phase("beta")
+                .group_by([Dim::Process])
+                .tables()
+                .unwrap()
+        );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Conservation of the session dimension: `Dim::Session` grouped
+    /// tables over a multi-session composition merge back to the
+    /// ungrouped cross-session rollup bucket for bucket, each group is
+    /// exactly its session's independent batch sweep, and a live
+    /// snapshot source answers identically to the same session's
+    /// finished chunk directory.
+    #[test]
+    fn session_grouping_conserves_tables(
+        a in prop::collection::vec(arb_multiproc_full_event(), 0..40),
+        b in prop::collection::vec(arb_multiproc_full_event(), 0..40),
+        chunk_len in 1usize..12,
+    ) {
+        use rlscope::core::analysis::{LiveState, SessionSource};
+
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir_a = std::env::temp_dir().join(format!(
+            "rlscope_prop_sess_a_{}_{case}", std::process::id()
+        ));
+        let dir_b = std::env::temp_dir().join(format!(
+            "rlscope_prop_sess_b_{}_{case}", std::process::id()
+        ));
+        for (dir, events) in [(&dir_a, &a), (&dir_b, &b)] {
+            let _ = std::fs::remove_dir_all(dir);
+            let writer = TraceWriter::create(dir, 128).unwrap();
+            for chunk in events.chunks(chunk_len) {
+                writer.write(chunk.to_vec());
+            }
+            writer.finish().unwrap();
+        }
+        let sessions = || {
+            vec![
+                (Arc::<str>::from("a"), SessionSource::ChunkDir(dir_a.clone())),
+                (Arc::<str>::from("b"), SessionSource::ChunkDir(dir_b.clone())),
+            ]
+        };
+
+        // Grouped tables merge back to the ungrouped cross-session
+        // rollup, bucket for bucket (so totals conserve too).
+        let grouped =
+            Analysis::of_sessions(sessions()).group_by([Dim::Session]).tables().unwrap();
+        let ungrouped = Analysis::of_sessions(sessions()).table().unwrap();
+        let mut merged = BreakdownTable::new();
+        for (_, t) in &grouped {
+            merged.merge(t);
+        }
+        prop_assert_eq!(&merged, &ungrouped);
+
+        // Each group is exactly its session's independent batch sweep.
+        for (key, table) in &grouped {
+            let name = key.session.clone().expect("session groups carry the session name");
+            prop_assert!(matches!(&*name, "a" | "b"), "unexpected session group {}", name);
+            let events: &[Event] = if &*name == "a" { &a } else { &b };
+            prop_assert_eq!(table, &Analysis::of_events(events).table().unwrap());
+        }
+
+        // A live snapshot source for one of the sessions answers
+        // group-for-group identically to its finished chunk directory.
+        let mut live = LiveState::new();
+        for chunk in b.chunks(chunk_len) {
+            live.push_batch(chunk).unwrap();
+        }
+        let tables = live.snapshot();
+        let mixed = vec![
+            (Arc::<str>::from("a"), SessionSource::ChunkDir(dir_a.clone())),
+            (Arc::<str>::from("b"), SessionSource::Live(&tables)),
+        ];
+        let live_grouped =
+            Analysis::of_sessions(mixed).group_by([Dim::Session]).tables().unwrap();
+        prop_assert_eq!(live_grouped, grouped);
+
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
     }
 
     /// `reorder_chunk_dir` + a **zero-lag** bounded sweep reproduces the
