@@ -81,7 +81,10 @@ fn connect(socket: &str, steps: usize) {
         .query(&QuerySpec::session(&session).group_by([Dim::Operation]))
         .unwrap_or_else(|e| fail(e));
     println!("post-finish query (pushdown + cache):\n{}", done.canonical_json);
-    let trace = outcome.trace.expect("profiled run carries a trace");
+    let Some(trace) = outcome.trace else {
+        eprintln!("repro --connect: profiled run produced no trace");
+        std::process::exit(2);
+    };
     println!("local event count for cross-check: {}", trace.events.len());
 }
 

@@ -5,6 +5,8 @@
 //! figure from the RL-Scope paper and renders them as text. The `repro`
 //! binary prints them; `EXPERIMENTS.md` records paper-vs-measured.
 
+#![forbid(unsafe_code)]
+
 use rlscope_core::event::CpuCategory;
 use rlscope_core::profiler::TransitionKind;
 use rlscope_rl::AlgoKind;

@@ -350,9 +350,10 @@ impl CollectorClient {
         if payload.len() != 12 {
             return;
         }
-        let mut word = [0u8; 8];
-        word.copy_from_slice(&payload[..8]);
-        let seq = u64::from_be_bytes(word);
+        let Some((seq_bytes, _)) = payload.split_first_chunk::<8>() else {
+            return;
+        };
+        let seq = u64::from_be_bytes(*seq_bytes);
         while self.unacked.front().is_some_and(|(s, _)| *s <= seq) {
             self.unacked.pop_front();
         }
@@ -576,12 +577,13 @@ impl CollectorClient {
         let (frame_kind, payload) = expect_frame(&mut self.stream)?;
         match frame_kind {
             kind::FINISH_ACK if payload.len() == 16 => {
-                let mut word = [0u8; 8];
-                word.copy_from_slice(&payload[..8]);
-                let chunks = u64::from_be_bytes(word);
-                word.copy_from_slice(&payload[8..]);
-                let events = u64::from_be_bytes(word);
-                Ok(SessionSummary { chunks, events })
+                match (payload.first_chunk::<8>(), payload.last_chunk::<8>()) {
+                    (Some(chunk_bytes), Some(event_bytes)) => Ok(SessionSummary {
+                        chunks: u64::from_be_bytes(*chunk_bytes),
+                        events: u64::from_be_bytes(*event_bytes),
+                    }),
+                    _ => Err(CollectorError::Protocol("short FINISH_ACK payload".into())),
+                }
             }
             kind::ERROR => Err(decode_error(&payload)),
             other => {

@@ -1245,13 +1245,13 @@ fn handle_hello(
     if session.is_some() {
         return Err((ErrorCode::Protocol, "second HELLO on one connection".into()));
     }
-    if payload.len() < 4 {
-        return Err((ErrorCode::Protocol, "truncated HELLO".into()));
-    }
     // Version first, from the fixed prefix: older clients lay the rest of
     // the payload out differently, and they deserve the typed version
     // error, not a parse error.
-    let version = u32::from_be_bytes(payload[..4].try_into().expect("4-byte slice"));
+    let Some((version_bytes, _)) = payload.split_first_chunk::<4>() else {
+        return Err((ErrorCode::Protocol, "truncated HELLO".into()));
+    };
+    let version = u32::from_be_bytes(*version_bytes);
     if version != PROTOCOL_VERSION {
         return Err((
             ErrorCode::Version,
@@ -1426,10 +1426,10 @@ fn handle_chunk(
     mut payload: Vec<u8>,
 ) -> Result<(), ConnError> {
     let session = session.ok_or((ErrorCode::Protocol, "CHUNK before HELLO".to_string()))?;
-    if payload.len() < 8 {
+    let Some((seq_bytes, _)) = payload.split_first_chunk::<8>() else {
         return Err((ErrorCode::Protocol, "CHUNK missing sequence number".into()));
-    }
-    let seq = u64::from_be_bytes(payload[..8].try_into().expect("8-byte slice"));
+    };
+    let seq = u64::from_be_bytes(*seq_bytes);
     payload.drain(..8);
     // The payload is a codec-v3 chunk: decode validates everything —
     // framing, varints, string ids, the footer cross-check — before a

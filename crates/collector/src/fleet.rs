@@ -172,7 +172,11 @@ impl Shard {
         if self.client.is_none() {
             self.client = Some(CollectorClient::connect_to(&self.endpoint)?);
         }
-        let client = self.client.as_mut().expect("client just dialed");
+        let Some(client) = self.client.as_mut() else {
+            // Unreachable after the dial above, but a typed gap beats a
+            // panic in the federation path.
+            return Err(CollectorError::Protocol("shard client missing after dial".into()));
+        };
         client.query_all(spec)
     }
 }

@@ -202,6 +202,7 @@
 //! [`decode_events`]: rlscope_core::store::decode_events
 //! [`read_frame`]: rlscope_core::store::read_frame
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -172,27 +172,29 @@ impl HelloRequest {
     /// non-UTF-8 name bytes, or trailing bytes.
     pub fn decode(data: &[u8]) -> Result<HelloRequest, CollectorError> {
         let bad = |what: &str| CollectorError::Protocol(format!("HELLO: {what}"));
-        if data.len() < 7 {
+        let Some((header, rest)) = data.split_first_chunk::<7>() else {
             return Err(bad("truncated header"));
-        }
-        let version = u32::from_be_bytes(data[..4].try_into().expect("4-byte slice"));
-        let mode = data[4];
+        };
+        let [v0, v1, v2, v3, mode, n0, n1] = *header;
+        let version = u32::from_be_bytes([v0, v1, v2, v3]);
         if mode > 1 {
             return Err(bad(&format!("unknown mode {mode}")));
         }
-        let name_len = u16::from_be_bytes([data[5], data[6]]) as usize;
+        let name_len = u16::from_be_bytes([n0, n1]) as usize;
         let tail = if mode == 1 { 8 } else { 0 };
-        if data.len() != 7 + name_len + tail {
+        if rest.len() != name_len + tail {
             return Err(bad("length mismatch"));
         }
-        let name = std::str::from_utf8(&data[7..7 + name_len])
-            .map_err(|_| bad("non-utf8 session name"))?
-            .to_string();
-        let resume_epoch = (mode == 1).then(|| {
-            let mut word = [0u8; 8];
-            word.copy_from_slice(&data[7 + name_len..]);
-            u64::from_be_bytes(word)
-        });
+        let Some((name_bytes, epoch_bytes)) = rest.split_at_checked(name_len) else {
+            return Err(bad("length mismatch"));
+        };
+        let name =
+            std::str::from_utf8(name_bytes).map_err(|_| bad("non-utf8 session name"))?.to_string();
+        let resume_epoch = match (mode, epoch_bytes.split_first_chunk::<8>()) {
+            (1, Some((word, _))) => Some(u64::from_be_bytes(*word)),
+            (1, None) => return Err(bad("length mismatch")),
+            _ => None,
+        };
         Ok(HelloRequest { version, name, resume_epoch })
     }
 }
@@ -239,14 +241,12 @@ impl HelloAck {
                 data.len()
             )));
         }
-        let mut word = [0u8; 8];
-        word.copy_from_slice(&data[..8]);
-        let session_id = u64::from_be_bytes(word);
-        let credits = u32::from_be_bytes(data[8..12].try_into().expect("4-byte slice"));
-        word.copy_from_slice(&data[12..20]);
-        let epoch = u64::from_be_bytes(word);
-        word.copy_from_slice(&data[20..28]);
-        Ok(HelloAck { session_id, credits, epoch, acked_chunks: u64::from_be_bytes(word) })
+        let mut data = data;
+        let session_id = u64::from_be_bytes(take_n(&mut data, "HELLO_ACK session id")?);
+        let credits = u32::from_be_bytes(take_n(&mut data, "HELLO_ACK credits")?);
+        let epoch = u64::from_be_bytes(take_n(&mut data, "HELLO_ACK epoch")?);
+        let acked_chunks = u64::from_be_bytes(take_n(&mut data, "HELLO_ACK watermark")?);
+        Ok(HelloAck { session_id, credits, epoch, acked_chunks })
     }
 }
 
@@ -477,7 +477,7 @@ impl QuerySpec {
         fn bad(what: &str) -> CollectorError {
             CollectorError::Protocol(format!("query spec: {what}"))
         }
-        let target_kind = take(&mut data, 1, "query spec target kind")?[0];
+        let [target_kind] = take_n(&mut data, "query spec target kind")?;
         let target = take_str(&mut data, "target")?;
         let target = match target_kind {
             0 => QueryTarget::Session(target),
@@ -486,15 +486,14 @@ impl QuerySpec {
             2 => return Err(bad("all-sessions target carries a name")),
             k => return Err(bad(&format!("unknown target kind {k}"))),
         };
-        let flags = take(&mut data, 1, "flags")?[0];
+        let [flags] = take_n(&mut data, "flags")?;
         if flags & !(FLAG_PHASE | FLAG_PROCESS | FLAG_OPERATION | FLAG_WINDOW) != 0 {
             return Err(bad("unknown flag bits"));
         }
         let phase =
             if flags & FLAG_PHASE != 0 { Some(take_str(&mut data, "phase")?) } else { None };
         let process = if flags & FLAG_PROCESS != 0 {
-            let b = take(&mut data, 4, "pid")?;
-            Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+            Some(u32::from_be_bytes(take_n(&mut data, "pid")?))
         } else {
             None
         };
@@ -504,16 +503,13 @@ impl QuerySpec {
             None
         };
         let window = if flags & FLAG_WINDOW != 0 {
-            let b = take(&mut data, 16, "window")?;
-            let mut word = [0u8; 8];
-            word.copy_from_slice(&b[..8]);
-            let lo = u64::from_be_bytes(word);
-            word.copy_from_slice(&b[8..]);
-            Some((lo, u64::from_be_bytes(word)))
+            let lo = u64::from_be_bytes(take_n(&mut data, "window")?);
+            let hi = u64::from_be_bytes(take_n(&mut data, "window")?);
+            Some((lo, hi))
         } else {
             None
         };
-        let dim_bits = take(&mut data, 1, "dims")?[0];
+        let [dim_bits] = take_n(&mut data, "dims")?;
         if dim_bits & !0b1111 != 0 {
             return Err(bad("unknown dim bits"));
         }
@@ -571,22 +567,18 @@ impl QueryReply {
     ///
     /// [`CollectorError::Protocol`] on truncation, unknown flag bits, or
     /// non-UTF-8 JSON bytes.
-    pub fn decode(data: &[u8]) -> Result<QueryReply, CollectorError> {
-        if data.len() < 9 {
-            return Err(CollectorError::Protocol("truncated query reply".into()));
-        }
-        let flags = data[0];
+    pub fn decode(mut data: &[u8]) -> Result<QueryReply, CollectorError> {
+        let [flags] = take_n(&mut data, "query reply flags")?;
         if flags & !0b11 != 0 {
             return Err(CollectorError::Protocol("unknown query reply flags".into()));
         }
-        let mut word = [0u8; 8];
-        word.copy_from_slice(&data[1..9]);
-        let canonical_json = String::from_utf8(data[9..].to_vec())
+        let events_observed = u64::from_be_bytes(take_n(&mut data, "query reply events")?);
+        let canonical_json = String::from_utf8(data.to_vec())
             .map_err(|_| CollectorError::Protocol("non-utf8 query reply".into()))?;
         Ok(QueryReply {
             live: flags & 1 != 0,
             cache_hit: flags & 2 != 0,
-            events_observed: u64::from_be_bytes(word),
+            events_observed,
             canonical_json,
         })
     }
@@ -637,18 +629,17 @@ impl SessionList {
     /// non-UTF-8 names, or trailing bytes.
     pub fn decode(mut data: &[u8]) -> Result<SessionList, CollectorError> {
         let bad = |what: &str| CollectorError::Protocol(format!("session list: {what}"));
-        let count = take(&mut data, 4, "session list count")?;
-        let count = u32::from_be_bytes(count.try_into().expect("4-byte slice")) as usize;
+        let count = u32::from_be_bytes(take_n(&mut data, "session list count")?) as usize;
         let mut sessions = Vec::with_capacity(count.min(1 << 16));
         for _ in 0..count {
             let name = take_str(&mut data, "session name")?;
-            let live = match take(&mut data, 1, "session live flag")?[0] {
+            let [live] = take_n(&mut data, "session live flag")?;
+            let live = match live {
                 0 => false,
                 1 => true,
                 b => return Err(bad(&format!("unknown live byte {b}"))),
             };
-            let events = take(&mut data, 8, "session events")?;
-            let events = u64::from_be_bytes(events.try_into().expect("8-byte slice"));
+            let events = u64::from_be_bytes(take_n(&mut data, "session events")?);
             sessions.push(SessionInfo { name, live, events });
         }
         if !data.is_empty() {
@@ -752,23 +743,20 @@ impl QueryAllReply {
     /// bytes, non-UTF-8 strings, or trailing bytes.
     pub fn decode(mut data: &[u8]) -> Result<QueryAllReply, CollectorError> {
         let bad = |what: &str| CollectorError::Protocol(format!("query-all reply: {what}"));
-        let flags = take(&mut data, 1, "query-all flags")?[0];
+        let [flags] = take_n(&mut data, "query-all flags")?;
         if flags & !1 != 0 {
             return Err(bad("unknown flag bits"));
         }
-        let events = take(&mut data, 8, "query-all events")?;
-        let events_observed = u64::from_be_bytes(events.try_into().expect("8-byte slice"));
-        let count = take(&mut data, 4, "session count")?;
-        let count = u32::from_be_bytes(count.try_into().expect("4-byte slice")) as usize;
+        let events_observed = u64::from_be_bytes(take_n(&mut data, "query-all events")?);
+        let count = u32::from_be_bytes(take_n(&mut data, "session count")?) as usize;
         let mut sessions = Vec::with_capacity(count.min(1 << 16));
         for _ in 0..count {
             sessions.push(take_str(&mut data, "session name")?);
         }
-        let count = take(&mut data, 4, "group count")?;
-        let count = u32::from_be_bytes(count.try_into().expect("4-byte slice")) as usize;
+        let count = u32::from_be_bytes(take_n(&mut data, "group count")?) as usize;
         let mut groups = Vec::with_capacity(count.min(1 << 16));
         for _ in 0..count {
-            let kflags = take(&mut data, 1, "group key flags")?[0];
+            let [kflags] = take_n(&mut data, "group key flags")?;
             if kflags & !0b1111 != 0 {
                 return Err(bad("unknown group key flags"));
             }
@@ -783,8 +771,7 @@ impl QueryAllReply {
                 None
             };
             let process = if kflags & 4 != 0 {
-                let b = take(&mut data, 4, "group pid")?;
-                Some(ProcessId(u32::from_be_bytes(b.try_into().expect("4-byte slice"))))
+                Some(ProcessId(u32::from_be_bytes(take_n(&mut data, "group pid")?)))
             } else {
                 None
             };
@@ -793,12 +780,12 @@ impl QueryAllReply {
             } else {
                 None
             };
-            let rows = take(&mut data, 4, "row count")?;
-            let rows = u32::from_be_bytes(rows.try_into().expect("4-byte slice")) as usize;
+            let rows = u32::from_be_bytes(take_n(&mut data, "row count")?) as usize;
             let mut table = BreakdownTable::new();
             for _ in 0..rows {
                 let op: Arc<str> = Arc::from(take_str(&mut data, "bucket operation")?);
-                let cpu = match take(&mut data, 1, "bucket cpu")?[0] {
+                let [cpu] = take_n(&mut data, "bucket cpu")?;
+                let cpu = match cpu {
                     0 => None,
                     1 => Some(CpuCategory::Python),
                     2 => Some(CpuCategory::Simulator),
@@ -806,13 +793,13 @@ impl QueryAllReply {
                     4 => Some(CpuCategory::CudaApi),
                     b => return Err(bad(&format!("unknown cpu byte {b}"))),
                 };
-                let gpu = match take(&mut data, 1, "bucket gpu")?[0] {
+                let [gpu] = take_n(&mut data, "bucket gpu")?;
+                let gpu = match gpu {
                     0 => false,
                     1 => true,
                     b => return Err(bad(&format!("unknown gpu byte {b}"))),
                 };
-                let nanos = take(&mut data, 8, "bucket nanos")?;
-                let nanos = u64::from_be_bytes(nanos.try_into().expect("8-byte slice"));
+                let nanos = u64::from_be_bytes(take_n(&mut data, "bucket nanos")?);
                 table.add(BucketKey { operation: op, cpu, gpu }, DurationNs::from_nanos(nanos));
             }
             groups.push((GroupKey { session, phase, process, operation }, table));
@@ -827,18 +814,32 @@ impl QueryAllReply {
 /// Pops `n` bytes off the front of `data` (shared by the multi-field
 /// payload decoders).
 fn take<'a>(data: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], CollectorError> {
-    if data.len() < n {
-        return Err(CollectorError::Protocol(format!("truncated {what}")));
+    let s: &'a [u8] = data;
+    match s.split_at_checked(n) {
+        Some((head, rest)) => {
+            *data = rest;
+            Ok(head)
+        }
+        None => Err(CollectorError::Protocol(format!("truncated {what}"))),
     }
-    let (head, rest) = data.split_at(n);
-    *data = rest;
-    Ok(head)
+}
+
+/// Pops a fixed-size array off the front of `data` — the never-panic
+/// counterpart of `data[..N].try_into().unwrap()`.
+fn take_n<'a, const N: usize>(data: &mut &'a [u8], what: &str) -> Result<[u8; N], CollectorError> {
+    let s: &'a [u8] = data;
+    match s.split_first_chunk::<N>() {
+        Some((head, rest)) => {
+            *data = rest;
+            Ok(*head)
+        }
+        None => Err(CollectorError::Protocol(format!("truncated {what}"))),
+    }
 }
 
 /// Pops a `u16`-length-prefixed UTF-8 string off the front of `data`.
 fn take_str(data: &mut &[u8], what: &str) -> Result<String, CollectorError> {
-    let len = take(data, 2, what)?;
-    let len = u16::from_be_bytes([len[0], len[1]]) as usize;
+    let len = u16::from_be_bytes(take_n(data, what)?) as usize;
     let bytes = take(data, len, what)?;
     String::from_utf8(bytes.to_vec())
         .map_err(|_| CollectorError::Protocol(format!("non-utf8 {what}")))
@@ -856,12 +857,13 @@ pub(crate) fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
 
 /// Parses an `ERROR` payload into the [`CollectorError::Remote`] form.
 pub(crate) fn decode_error(data: &[u8]) -> CollectorError {
-    if data.len() < 3 {
+    let Some((header, rest)) = data.split_first_chunk::<3>() else {
         return CollectorError::Protocol("truncated error frame".into());
-    }
-    let code = ErrorCode::from_u8(data[0]);
-    let len = u16::from_be_bytes([data[1], data[2]]) as usize;
-    let message = String::from_utf8_lossy(&data[3..data.len().min(3 + len)]).into_owned();
+    };
+    let [code_byte, l0, l1] = *header;
+    let code = ErrorCode::from_u8(code_byte);
+    let len = (u16::from_be_bytes([l0, l1]) as usize).min(rest.len());
+    let message = String::from_utf8_lossy(rest.get(..len).unwrap_or(rest)).into_owned();
     CollectorError::Remote { code, message }
 }
 

@@ -87,22 +87,30 @@ impl SessionRecord {
     }
 
     fn decode(data: &[u8]) -> Option<SessionRecord> {
-        if data.len() != RECORD_LEN || &data[..4] != MAGIC {
+        if data.len() != RECORD_LEN {
             return None;
         }
-        if u16::from_be_bytes([data[4], data[5]]) != VERSION {
+        let (magic, rest) = data.split_first_chunk::<4>()?;
+        if magic != MAGIC {
             return None;
         }
-        let mut word = [0u8; 8];
-        word.copy_from_slice(&data[RECORD_LEN - 8..]);
-        if u64::from_be_bytes(word) != fnv1a(&data[..RECORD_LEN - 8]) {
+        let (version, rest) = rest.split_first_chunk::<2>()?;
+        if u16::from_be_bytes(*version) != VERSION {
             return None;
         }
-        word.copy_from_slice(&data[6..14]);
-        let epoch = u64::from_be_bytes(word);
-        let status = SessionStatus::from_u8(data[14])?;
-        word.copy_from_slice(&data[15..23]);
-        Some(SessionRecord { epoch, status, acked_chunks: u64::from_be_bytes(word) })
+        let (epoch, rest) = rest.split_first_chunk::<8>()?;
+        let (&status_byte, rest) = rest.split_first()?;
+        let (acked, sum) = rest.split_first_chunk::<8>()?;
+        let (body, _) = data.split_at_checked(RECORD_LEN - 8)?;
+        if u64::from_be_bytes(*sum.first_chunk::<8>()?) != fnv1a(body) {
+            return None;
+        }
+        let status = SessionStatus::from_u8(status_byte)?;
+        Some(SessionRecord {
+            epoch: u64::from_be_bytes(*epoch),
+            status,
+            acked_chunks: u64::from_be_bytes(*acked),
+        })
     }
 
     /// Writes the record atomically (temp file + rename) into `dir`.

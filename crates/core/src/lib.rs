@@ -114,6 +114,7 @@
 //! check, preserving the flat-memory bound for ordinary per-process
 //! breakdowns. See [`overlap::OverlapSweep::with_phase_tagging`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -276,7 +276,7 @@ fn get_varint(data: &mut &[u8], what: &str) -> Result<u64, TraceIoError> {
         v |= u64::from(byte & 0x7f) << (7 * i as u32);
         i += 1;
         if byte & 0x80 == 0 {
-            *data = &data[i..];
+            *data = data.get(i..).unwrap_or(&[]);
             return Ok(v);
         }
         if i == 10 {
@@ -499,9 +499,12 @@ fn decode_footer_payload(payload: &[u8]) -> Result<ChunkFooter, TraceIoError> {
         if data.remaining() < len + 16 {
             return Err(corrupt("truncated phase entry"));
         }
-        let name = std::str::from_utf8(&data[..len]).map_err(|_| corrupt("non-utf8 phase name"))?;
+        let Some((name_bytes, rest)) = data.split_at_checked(len) else {
+            return Err(corrupt("truncated phase entry"));
+        };
+        let name = std::str::from_utf8(name_bytes).map_err(|_| corrupt("non-utf8 phase name"))?;
         let name: Arc<str> = Arc::from(name);
-        data = &data[len..];
+        data = rest;
         let min = data.get_u64();
         let max = data.get_u64();
         if phases.last().is_some_and(|prev| *prev.name >= *name) {
@@ -551,14 +554,14 @@ fn split_v3(rem: &[u8]) -> Result<(&[u8], &[u8]), TraceIoError> {
     if magic != FOOTER_MAGIC {
         return Err(TraceIoError::Corrupt("missing v3 footer magic".into()));
     }
-    let len_at = tail.len() - 4;
-    let mut len_bytes = [0u8; 4];
-    len_bytes.copy_from_slice(&tail[len_at..]);
-    let footer_len = u32::from_be_bytes(len_bytes) as usize;
-    if footer_len > len_at {
+    let Some((head, len_bytes)) = tail.split_last_chunk::<4>() else {
+        return Err(TraceIoError::Corrupt("v3 chunk too short for trailer".into()));
+    };
+    let footer_len = u32::from_be_bytes(*len_bytes) as usize;
+    let Some(body_len) = head.len().checked_sub(footer_len) else {
         return Err(TraceIoError::Corrupt("v3 footer length out of range".into()));
-    }
-    let (body, footer) = tail[..len_at].split_at(len_at - footer_len);
+    };
+    let (body, footer) = head.split_at(body_len);
     Ok((body, footer))
 }
 
@@ -573,10 +576,13 @@ pub fn read_chunk_footer(data: &[u8]) -> Result<Option<ChunkFooter>, TraceIoErro
     if data.len() < MAGIC_V1.len() + 4 {
         return Err(TraceIoError::Corrupt("chunk too short for header".into()));
     }
-    match &data[..8] {
+    let Some((magic, rest)) = data.split_first_chunk::<8>() else {
+        return Err(TraceIoError::Corrupt("chunk too short for header".into()));
+    };
+    match magic {
         m if m == MAGIC_V1 || m == MAGIC_V2 => Ok(None),
         m if m == MAGIC_V3 => {
-            let (_, footer) = split_v3(&data[8..])?;
+            let (_, footer) = split_v3(rest)?;
             Ok(Some(decode_footer_payload(footer)?))
         }
         _ => Err(TraceIoError::Corrupt("bad magic".into())),
@@ -793,10 +799,14 @@ fn decode_v2_body(data: &mut &[u8]) -> Result<Vec<Event>, TraceIoError> {
         if data.remaining() < len {
             return Err(TraceIoError::Corrupt(format!("truncated string table at entry {i}")));
         }
-        let s = std::str::from_utf8(&data[..len])
+        let cur = *data;
+        let Some((str_bytes, rest)) = cur.split_at_checked(len) else {
+            return Err(TraceIoError::Corrupt(format!("truncated string table at entry {i}")));
+        };
+        let s = std::str::from_utf8(str_bytes)
             .map_err(|_| TraceIoError::Corrupt(format!("non-utf8 string table entry {i}")))?;
         names.push(Arc::from(s));
-        *data = &data[len..];
+        *data = rest;
     }
     let mut events = Vec::with_capacity(count.min(1 << 20));
     let mut prev_start: i64 = 0;
@@ -876,7 +886,8 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), T
 fn read_full(r: &mut impl Read, buf: &mut [u8], what: &str) -> Result<bool, TraceIoError> {
     let mut at = 0;
     while at < buf.len() {
-        match r.read(&mut buf[at..]) {
+        let (_, rest) = buf.split_at_mut(at);
+        match r.read(rest) {
             Ok(0) if at == 0 => return Ok(false),
             Ok(0) => return Err(TraceIoError::Corrupt(format!("truncated {what}"))),
             Ok(n) => at += n,
@@ -902,13 +913,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, TraceIoErr
     if !read_full(r, &mut header, "frame header")? {
         return Ok(None);
     }
-    let len = u32::from_be_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+    let [l0, l1, l2, l3, kind] = header;
+    let len = u32::from_be_bytes([l0, l1, l2, l3]) as usize;
     if len > MAX_FRAME_LEN {
         return Err(TraceIoError::Corrupt(format!(
             "frame length {len} exceeds the {MAX_FRAME_LEN}-byte frame limit"
         )));
     }
-    let kind = header[4];
     let mut payload = vec![0u8; len];
     if len > 0 && !read_full(r, &mut payload, "frame payload")? {
         return Err(TraceIoError::Corrupt(format!("truncated frame payload (0 of {len} bytes)")));
@@ -1579,13 +1590,16 @@ impl Manifest {
         if data.len() < MANIFEST_MAGIC.len() + 4 + 8 {
             return Err(corrupt("too short"));
         }
-        if &data[..8] != MANIFEST_MAGIC {
+        let Some((magic, rest)) = data.split_first_chunk::<8>() else {
+            return Err(corrupt("too short"));
+        };
+        if magic != MANIFEST_MAGIC {
             return Err(corrupt("bad magic"));
         }
-        let (payload, sum_bytes) = data[8..].split_at(data.len() - 8 - 8);
-        let mut sum = [0u8; 8];
-        sum.copy_from_slice(sum_bytes);
-        if u64::from_be_bytes(sum) != fnv1a(payload) {
+        let Some((payload, sum_bytes)) = rest.split_last_chunk::<8>() else {
+            return Err(corrupt("too short"));
+        };
+        if u64::from_be_bytes(*sum_bytes) != fnv1a(payload) {
             return Err(corrupt("checksum mismatch"));
         }
         let mut cursor = payload;
@@ -1599,17 +1613,20 @@ impl Manifest {
             if cursor.remaining() < name_len + 8 + 4 {
                 return Err(corrupt(&format!("truncated entry {i}")));
             }
-            let file = std::str::from_utf8(&cursor[..name_len])
+            let Some((name_bytes, rest)) = cursor.split_at_checked(name_len) else {
+                return Err(corrupt(&format!("truncated entry {i}")));
+            };
+            let file = std::str::from_utf8(name_bytes)
                 .map_err(|_| corrupt(&format!("non-utf8 file name in entry {i}")))?
                 .to_owned();
-            cursor = &cursor[name_len..];
+            cursor = rest;
             let size = cursor.get_u64();
             let footer_len = cursor.get_u32() as usize;
-            if cursor.remaining() < footer_len {
+            let Some((footer_bytes, rest)) = cursor.split_at_checked(footer_len) else {
                 return Err(corrupt(&format!("truncated footer in entry {i}")));
-            }
-            let footer = decode_footer_payload(&cursor[..footer_len])?;
-            cursor = &cursor[footer_len..];
+            };
+            let footer = decode_footer_payload(footer_bytes)?;
+            cursor = rest;
             entries.push(ManifestEntry { file, size, footer });
         }
         if !cursor.is_empty() {
@@ -1753,21 +1770,27 @@ impl RawRunReader {
         if !read_full(&mut self.file, &mut head, "raw spill record")? {
             return Ok(None);
         }
-        let pid = u32::from_be_bytes(head[..4].try_into().expect("4-byte slice"));
-        let kind = tag_kind(head[4])?;
-        let name_len = u16::from_be_bytes([head[5], head[6]]) as usize;
+        let [p0, p1, p2, p3, tag, n0, n1] = head;
+        let pid = u32::from_be_bytes([p0, p1, p2, p3]);
+        let kind = tag_kind(tag)?;
+        let name_len = u16::from_be_bytes([n0, n1]) as usize;
         self.scratch.resize(name_len + 16, 0);
         if !read_full(&mut self.file, &mut self.scratch, "raw spill record")? {
             return Err(TraceIoError::Corrupt("truncated raw spill record".into()));
         }
-        let name = std::str::from_utf8(&self.scratch[..name_len])
+        let Some((name_bytes, times)) = self.scratch.split_at_checked(name_len) else {
+            return Err(TraceIoError::Corrupt("truncated raw spill record".into()));
+        };
+        let name = std::str::from_utf8(name_bytes)
             .map_err(|_| TraceIoError::Corrupt("non-utf8 raw spill name".into()))?;
         let name_id = self.interner.intern_str(name);
-        let mut word = [0u8; 8];
-        word.copy_from_slice(&self.scratch[name_len..name_len + 8]);
-        let start = u64::from_be_bytes(word);
-        word.copy_from_slice(&self.scratch[name_len + 8..]);
-        let end = u64::from_be_bytes(word);
+        let (Some(start_bytes), Some(end_bytes)) =
+            (times.first_chunk::<8>(), times.last_chunk::<8>())
+        else {
+            return Err(TraceIoError::Corrupt("truncated raw spill record".into()));
+        };
+        let start = u64::from_be_bytes(*start_bytes);
+        let end = u64::from_be_bytes(*end_bytes);
         Ok(Some(Event {
             pid: ProcessId(pid),
             kind,

@@ -1,0 +1,10 @@
+//! The rule passes. Each is a pure function from lexed/scanned sources
+//! (plus its manifest section) to findings; the runner in the crate
+//! root wires them to the invariants manifest and applies
+//! suppressions.
+
+pub mod gate_drift;
+pub mod lock_order;
+pub mod never_panic;
+pub mod protocol_surface;
+pub mod unsafe_attr;

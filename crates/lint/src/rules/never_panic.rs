@@ -1,0 +1,126 @@
+//! Panic-freedom: in functions declared never-panic by the manifest,
+//! flag every construct that can abort the process — `unwrap()`,
+//! `.expect(…)`, the panicking macros, non-debug asserts, and bare
+//! slice/array indexing (`data[i]`, `&data[..4]`), which is the panic
+//! the fuzz suite keeps finding in decode paths. `debug_assert*` is
+//! exempt (compiled out of release), as is anything under
+//! `#[cfg(test)]`.
+
+use crate::lexer::{TokKind, Token};
+use crate::manifest::NeverPanicScope;
+use crate::source::SourceFile;
+use crate::{Finding, RULE_NEVER_PANIC};
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (slice patterns, array types/literals after `=` are
+/// covered by punctuation; these cover `let [a, b] = …`-style code).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "move", "as", "break", "continue",
+    "loop", "while", "for", "where", "dyn", "impl", "fn", "pub", "use", "crate", "static", "const",
+    "type", "enum", "struct", "trait", "unsafe", "extern", "super", "mod", "box", "yield", "await",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+fn construct_enabled(scope: &NeverPanicScope, name: &str) -> bool {
+    scope.constructs.is_empty() || scope.constructs.iter().any(|c| c == name)
+}
+
+fn in_scope(scope: &NeverPanicScope, fn_name: Option<&str>) -> bool {
+    match fn_name {
+        Some(name) => scope.functions.iter().any(|p| p == "*" || name.starts_with(p.as_str())),
+        // Code outside any fn (consts, statics) can't panic at runtime
+        // on these paths; skip it.
+        None => false,
+    }
+}
+
+/// Runs the panic-freedom pass for one manifest scope over one file.
+pub fn check(src: &SourceFile, scope: &NeverPanicScope) -> Vec<Finding> {
+    let toks = &src.lexed.tokens;
+    let mut findings = Vec::new();
+    let mut push = |line: u32, message: String| {
+        findings.push(Finding {
+            file: src.rel.clone(),
+            line,
+            rule: RULE_NEVER_PANIC,
+            message,
+            severity: scope.severity,
+        });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        let ctx = src.scan.ctx[i];
+        if ctx.in_test || !in_scope(scope, src.scan.fn_name(i)) {
+            continue;
+        }
+        let fn_name = src.scan.fn_name(i).unwrap_or("?");
+        match t.kind {
+            TokKind::Ident => {
+                let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+                let next_open = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                if t.text == "unwrap" && prev_dot && next_open && construct_enabled(scope, "unwrap")
+                {
+                    push(t.line, format!("`.unwrap()` in never-panic fn `{fn_name}`"));
+                } else if t.text == "expect"
+                    && prev_dot
+                    && next_open
+                    && construct_enabled(scope, "expect")
+                {
+                    push(t.line, format!("`.expect(…)` in never-panic fn `{fn_name}`"));
+                } else if next_bang
+                    && PANIC_MACROS.contains(&t.text.as_str())
+                    && construct_enabled(scope, "panic-macro")
+                {
+                    push(t.line, format!("`{}!` in never-panic fn `{fn_name}`", t.text));
+                } else if next_bang
+                    && ASSERT_MACROS.contains(&t.text.as_str())
+                    && construct_enabled(scope, "assert")
+                {
+                    push(
+                        t.line,
+                        format!(
+                            "non-debug `{}!` in never-panic fn `{fn_name}` (use debug_assert)",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            TokKind::Punct if t.is_punct('[') && construct_enabled(scope, "index") => {
+                let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else {
+                    continue;
+                };
+                let indexes_value = match prev.kind {
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                    TokKind::Str => true, // "abc"[..] — indexing a literal
+                    _ => false,
+                };
+                if indexes_value {
+                    push(
+                        t.line,
+                        format!(
+                            "bare slice indexing in never-panic fn `{fn_name}` \
+                             (use .get()/split_first_chunk/slice patterns)"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+/// `true` if any token of `src` contains a panicking construct at all —
+/// a cheap pre-filter used by tests.
+pub fn mentions_panic_construct(tokens: &[Token]) -> bool {
+    tokens.iter().any(|t| {
+        t.kind == TokKind::Ident
+            && (t.text == "unwrap"
+                || t.text == "expect"
+                || PANIC_MACROS.contains(&t.text.as_str())
+                || ASSERT_MACROS.contains(&t.text.as_str()))
+    })
+}

@@ -1,0 +1,404 @@
+//! Protocol-surface conformance: the wire protocol's frame-kind consts
+//! and typed error codes must stay in lockstep across three surfaces —
+//! the encode sites, the decode matches, and the module-doc frame
+//! table — with all codes unique.
+//!
+//! Concretely, for every `pub const NAME: u8 = 0x…` in `mod kind`:
+//! the value must be unique; some usage file must *send* it (a
+//! `kind::NAME` argument inside a `write_frame*` call); some usage
+//! file must *match* it (a `kind::NAME` match-arm pattern, i.e.
+//! followed by `=>`, possibly through a guard); and the doc frame
+//! table must carry a `| \`0xNN\` | … | \`NAME\` | …` row. Stale table
+//! rows whose code no longer exists are flagged too. For every
+//! `ErrorCode` variant: the discriminant must be unique, `from_u8`
+//! must decode it, and some usage file must construct it.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::manifest::Severity;
+use crate::source::SourceFile;
+use crate::{Finding, RULE_PROTOCOL_SURFACE};
+
+/// A `pub const NAME: u8 = 0x…;` inside `mod kind`.
+#[derive(Debug)]
+pub struct KindConst {
+    /// Const name (`HELLO`).
+    pub name: String,
+    /// Wire value.
+    pub value: u8,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// An `ErrorCode` enum variant and its discriminant.
+#[derive(Debug)]
+pub struct ErrorVariant {
+    /// Variant name (`CorruptChunk`).
+    pub name: String,
+    /// Wire value.
+    pub value: u8,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// Finds the token range of the braced body following `kw name`
+/// (e.g. `mod kind { … }`), returning `(start, end)` token indexes of
+/// the body's interior.
+fn braced_item(toks: &[Token], kw: &str, name: &str) -> Option<(usize, usize)> {
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident(kw) && toks[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            let body_start = j + 1;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((body_start, j));
+                    }
+                }
+                j += 1;
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_u8(text: &str) -> Option<u8> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u8::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Extracts the frame-kind consts from `mod kind { … }`.
+pub fn kind_consts(lexed: &Lexed) -> Vec<KindConst> {
+    let toks = &lexed.tokens;
+    let Some((start, end)) = braced_item(toks, "mod", "kind") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        if toks[i].is_ident("const") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            // const NAME : u8 = VALUE ;
+            let name = toks[i + 1].text.clone();
+            let line = toks[i + 1].line;
+            let mut j = i + 2;
+            while j < end && !toks[j].is_punct('=') {
+                j += 1;
+            }
+            if let Some(value) = toks.get(j + 1).and_then(|t| parse_u8(&t.text)) {
+                out.push(KindConst { name, value, line });
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts the `ErrorCode` variants (`Name = N,`).
+pub fn error_variants(lexed: &Lexed) -> Vec<ErrorVariant> {
+    let toks = &lexed.tokens;
+    let Some((start, end)) = braced_item(toks, "enum", "ErrorCode") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut i = start;
+    while i + 2 < end {
+        if toks[i].kind == TokKind::Ident
+            && toks[i + 1].is_punct('=')
+            && toks[i + 2].kind == TokKind::Num
+        {
+            if let Some(value) = parse_u8(&toks[i + 2].text) {
+                out.push(ErrorVariant { name: toks[i].text.clone(), value, line: toks[i].line });
+            }
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// How a `path::NAME` reference is being used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UseKind {
+    /// Argument of a `write_frame*` call — the encode side.
+    Encode,
+    /// A match-arm pattern (`kind::X =>`, possibly via a guard).
+    Decode,
+    /// Anything else (comparisons, table building, docs).
+    Other,
+}
+
+/// Classifies every `prefix::NAME` reference in a token stream.
+/// `callee_marker` marks encode calls (substring match on the callee
+/// identifier, e.g. `write_frame` covers `write_frame_parts`).
+fn classify_uses(toks: &[Token], prefix: &str, callee_marker: &str) -> Vec<(String, UseKind)> {
+    let mut uses = Vec::new();
+    // Call stack of callee identifiers, pushed per `(`.
+    let mut callees: Vec<Option<String>> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('(') {
+            let callee = i
+                .checked_sub(1)
+                .map(|p| &toks[p])
+                .filter(|p| p.kind == TokKind::Ident)
+                .map(|p| p.text.clone());
+            callees.push(callee);
+        } else if t.is_punct(')') {
+            callees.pop();
+        }
+        if t.kind == TokKind::Ident
+            && t.is_ident(prefix)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let name = toks[i + 3].text.clone();
+            let kind = if callees.iter().rev().flatten().any(|c| c.contains(callee_marker)) {
+                UseKind::Encode
+            } else if is_match_pattern(toks, i + 4) {
+                UseKind::Decode
+            } else {
+                UseKind::Other
+            };
+            uses.push((name, kind));
+        }
+    }
+    uses
+}
+
+/// Looks ahead from just past a reference for a `=>` at bracket depth
+/// zero — a match-arm pattern, guards included.
+fn is_match_pattern(toks: &[Token], mut i: usize) -> bool {
+    let mut depth = 0i32;
+    let mut budget = 40usize;
+    while let Some(t) = toks.get(i) {
+        if budget == 0 {
+            return false;
+        }
+        budget -= 1;
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                return false;
+            }
+        } else if depth == 0 {
+            if t.is_punct('=') && toks.get(i + 1).is_some_and(|n| n.is_punct('>')) {
+                return true;
+            }
+            if t.is_punct(',') || t.is_punct(';') || t.is_punct('{') {
+                return false;
+            }
+            // `|` joins or-patterns; keep scanning.
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Runs the protocol-surface pass.
+pub fn check(proto: &SourceFile, doc: &SourceFile, usage: &[&SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |file: &str, line: u32, message: String| {
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: RULE_PROTOCOL_SURFACE,
+            message,
+            severity: Severity::Error,
+        });
+    };
+
+    let consts = kind_consts(&proto.lexed);
+    if consts.is_empty() {
+        push(&proto.rel, 1, "no `mod kind` frame consts found".to_string());
+        return findings;
+    }
+    // Uniqueness.
+    for (i, a) in consts.iter().enumerate() {
+        if let Some(b) = consts[..i].iter().find(|b| b.value == a.value) {
+            push(
+                &proto.rel,
+                a.line,
+                format!("frame code {:#04x} of `{}` duplicates `{}`", a.value, a.name, b.name),
+            );
+        }
+    }
+    // Encode/decode usage across the declared files.
+    let mut uses: Vec<(String, UseKind)> = Vec::new();
+    for file in usage {
+        uses.extend(classify_uses(&file.lexed.tokens, "kind", "write_frame"));
+    }
+    for c in &consts {
+        let encoded = uses.iter().any(|(n, k)| n == &c.name && *k == UseKind::Encode);
+        let decoded = uses.iter().any(|(n, k)| n == &c.name && *k == UseKind::Decode);
+        if !encoded {
+            push(
+                &proto.rel,
+                c.line,
+                format!(
+                    "frame `{}` ({:#04x}) is never encoded (no write_frame site)",
+                    c.name, c.value
+                ),
+            );
+        }
+        if !decoded {
+            push(
+                &proto.rel,
+                c.line,
+                format!("frame `{}` ({:#04x}) is never decoded (no match arm)", c.name, c.value),
+            );
+        }
+    }
+    // Doc frame table.
+    let rows = parse_doc_table(doc);
+    for c in &consts {
+        match rows.iter().find(|(v, _, _)| *v == c.value) {
+            None => push(
+                &proto.rel,
+                c.line,
+                format!(
+                    "frame `{}` ({:#04x}) missing from the doc frame table in {}",
+                    c.name, c.value, doc.rel
+                ),
+            ),
+            Some((_, doc_name, row_line)) => {
+                if doc_name != &c.name {
+                    push(
+                        &doc.rel,
+                        *row_line,
+                        format!(
+                            "doc frame table names {:#04x} `{}` but the const is `{}`",
+                            c.value, doc_name, c.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    for (value, name, line) in &rows {
+        if !consts.iter().any(|c| c.value == *value) {
+            push(
+                &doc.rel,
+                *line,
+                format!("doc frame table row `{name}` ({value:#04x}) has no matching const"),
+            );
+        }
+    }
+
+    // ErrorCode: unique discriminants, decoded by from_u8, constructed
+    // somewhere.
+    let variants = error_variants(&proto.lexed);
+    if variants.is_empty() {
+        push(&proto.rel, 1, "no `enum ErrorCode` variants found".to_string());
+        return findings;
+    }
+    for (i, a) in variants.iter().enumerate() {
+        if let Some(b) = variants[..i].iter().find(|b| b.value == a.value) {
+            push(
+                &proto.rel,
+                a.line,
+                format!("error code {} of `{}` duplicates `{}`", a.value, a.name, b.name),
+            );
+        }
+    }
+    let decoded = refs_in_fn(proto, "from_u8", "ErrorCode");
+    for v in &variants {
+        if !decoded.iter().any(|n| n == &v.name) {
+            push(
+                &proto.rel,
+                v.line,
+                format!("`ErrorCode::{}` is not decoded by `from_u8`", v.name),
+            );
+        }
+        let constructed = usage.iter().any(|f| {
+            errorcode_refs(f)
+                .iter()
+                .any(|(n, fn_name)| n == &v.name && fn_name.as_deref() != Some("from_u8"))
+        });
+        if !constructed {
+            push(
+                &proto.rel,
+                v.line,
+                format!("`ErrorCode::{}` is never constructed outside `from_u8`", v.name),
+            );
+        }
+    }
+    findings
+}
+
+/// Every `ErrorCode::Name` reference in `file` with its enclosing fn.
+fn errorcode_refs(file: &SourceFile) -> Vec<(String, Option<String>)> {
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("ErrorCode")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            if file.scan.ctx[i].in_test {
+                continue;
+            }
+            out.push((toks[i + 3].text.clone(), file.scan.fn_name(i).map(str::to_string)));
+        }
+    }
+    out
+}
+
+/// `prefix::Name` references inside the fn named `fn_name` of `file`.
+fn refs_in_fn(file: &SourceFile, fn_name: &str, prefix: &str) -> Vec<String> {
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if file.scan.fn_name(i) == Some(fn_name)
+            && t.is_ident(prefix)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            out.push(toks[i + 3].text.clone());
+        }
+    }
+    out
+}
+
+/// Parses `| \`0xNN\` | dir | \`NAME\` | … |` rows out of a file's doc
+/// comments.
+fn parse_doc_table(doc: &SourceFile) -> Vec<(u8, String, u32)> {
+    let mut rows = Vec::new();
+    for (line, text) in &doc.lexed.doc_lines {
+        let t = text.trim();
+        if !t.starts_with('|') || !t.contains("`0x") {
+            continue;
+        }
+        // Escaped pipes (`\|`) inside payload cells must not split.
+        let unescaped = t.replace("\\|", "\u{1}");
+        let cells: Vec<String> =
+            unescaped.split('|').map(|c| c.trim().replace('\u{1}', "|")).collect();
+        // cells[0] is the empty lead; code in cells[1], name in cells[3].
+        let code = cells
+            .get(1)
+            .map(|c| c.trim_matches('`'))
+            .and_then(|c| c.strip_prefix("0x").and_then(|h| u8::from_str_radix(h, 16).ok()));
+        let name = cells.get(3).map(|c| c.trim_matches('`').to_string());
+        if let (Some(code), Some(name)) = (code, name) {
+            rows.push((code, name, *line));
+        }
+    }
+    rows
+}

@@ -1,0 +1,56 @@
+//! Unsafe-code hygiene: every first-party crate root must carry
+//! `#![forbid(unsafe_code)]`. A crate that genuinely needs `unsafe`
+//! (the tracking allocator in `rlscope-workloads`) may instead carry
+//! `#![deny(unsafe_code)]` plus a reasoned
+//! `// lint:allow(forbid-unsafe): <why>` beside it.
+
+use crate::manifest::Severity;
+use crate::source::SourceFile;
+use crate::{Finding, RULE_FORBID_UNSAFE};
+
+/// Does the file carry the inner attribute `#![<level>(unsafe_code)]`?
+fn has_level(src: &SourceFile, level: &str) -> Option<u32> {
+    let toks = &src.lexed.tokens;
+    toks.windows(7).find_map(|w| {
+        (w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(level)
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')'))
+        .then_some(w[3].line)
+    })
+}
+
+/// Runs the forbid-unsafe pass over one crate root.
+pub fn check(src: &SourceFile) -> Vec<Finding> {
+    if has_level(src, "forbid").is_some() {
+        return Vec::new();
+    }
+    if let Some(line) = has_level(src, "deny") {
+        let excused =
+            src.lexed.suppressions.iter().any(|s| {
+                s.rule == RULE_FORBID_UNSAFE && s.has_reason && s.line.abs_diff(line) <= 1
+            });
+        if excused {
+            return Vec::new();
+        }
+        return vec![Finding {
+            file: src.rel.clone(),
+            line,
+            rule: RULE_FORBID_UNSAFE,
+            message: "`#![deny(unsafe_code)]` needs a reasoned \
+                      `// lint:allow(forbid-unsafe): <why>` beside it"
+                .to_string(),
+            severity: Severity::Error,
+        }];
+    }
+    vec![Finding {
+        file: src.rel.clone(),
+        line: 1,
+        rule: RULE_FORBID_UNSAFE,
+        message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        severity: Severity::Error,
+    }]
+}

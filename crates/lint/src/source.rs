@@ -1,0 +1,36 @@
+//! A loaded, lexed, structurally scanned source file — the shared input
+//! every rule pass works from, so each file is lexed exactly once per
+//! run.
+
+use crate::lexer::{lex, Lexed};
+use crate::scan::{scan, Scan};
+use std::path::Path;
+
+/// One source file, lexed and annotated.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (what findings print).
+    pub rel: String,
+    /// Token stream plus comment side channels.
+    pub lexed: Lexed,
+    /// Per-token structural context.
+    pub scan: Scan,
+}
+
+impl SourceFile {
+    /// Lexes and scans `text` as the file `rel`.
+    pub fn from_text(rel: &str, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let scan = scan(&lexed.tokens);
+        SourceFile { rel: rel.to_string(), lexed, scan }
+    }
+
+    /// Reads, lexes, and scans `root`-relative `rel`.
+    ///
+    /// # Errors
+    /// Returns the I/O error when the file cannot be read.
+    pub fn load(root: &Path, rel: &str) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        Ok(SourceFile::from_text(rel, &text))
+    }
+}

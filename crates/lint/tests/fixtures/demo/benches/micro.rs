@@ -1,0 +1,7 @@
+//! Fixture bench target: registers exactly one gateable bench.
+
+fn benches(c: &mut Criterion) {
+    let gate_name = "real_gate_end_to_end";
+    c.bench_function(gate_name, |b| b.iter(|| 1));
+    c.bench_function("untargeted_extra", |b| b.iter(|| 2));
+}

@@ -1,0 +1,36 @@
+//! Fixture: one lock inversion against the declared hierarchy
+//! `sessions -> state -> writer`, plus two conforming paths.
+
+use std::sync::Mutex;
+
+fn recover<T>(e: std::sync::PoisonError<T>) -> T {
+    e.into_inner()
+}
+
+pub struct Daemon {
+    sessions: Mutex<u32>,
+    state: Mutex<u32>,
+    writer: Mutex<u32>,
+}
+
+impl Daemon {
+    pub fn in_order(&self) -> u32 {
+        let sessions = self.sessions.lock().unwrap_or_else(recover);
+        let state = self.state.lock().unwrap_or_else(recover);
+        *sessions + *state
+    }
+
+    pub fn inverted(&self) -> u32 {
+        let writer = self.writer.lock().unwrap_or_else(recover);
+        let sessions = self.sessions.lock().unwrap_or_else(recover);
+        *writer + *sessions
+    }
+
+    pub fn drop_releases(&self) -> u32 {
+        let state = self.state.lock().unwrap_or_else(recover);
+        let v = *state;
+        drop(state);
+        let sessions = self.sessions.lock().unwrap_or_else(recover);
+        v + *sessions
+    }
+}

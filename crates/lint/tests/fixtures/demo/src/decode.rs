@@ -1,0 +1,34 @@
+//! Fixture: a decode path with every class of panicking construct.
+
+pub fn decode(data: &[u8]) -> u8 {
+    let first = *data.first().unwrap();
+    let second = *data.get(1).expect("second byte");
+    if data.len() < 4 {
+        panic!("too short");
+    }
+    assert!(!data.is_empty());
+    debug_assert!(data.len() > 3);
+    let third = data[2];
+    // lint:allow(never-panic): length checked on entry
+    let fourth = data[3];
+    // lint:allow(never-panic)
+    let fifth = data[3];
+    first + second + third + fourth + fifth
+}
+
+pub fn read_header(data: &[u8]) -> u8 {
+    data[0]
+}
+
+pub fn helper(data: &[u8]) -> u8 {
+    data.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        assert_eq!(super::decode(&[1, 2, 3, 4]), 10);
+        assert_eq!(super::helper(&[7]), 7);
+    }
+}

@@ -1,0 +1,2 @@
+//! Fixture: `deny` without the reasoned allow beside it.
+#![deny(unsafe_code)]

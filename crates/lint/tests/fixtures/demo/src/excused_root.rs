@@ -1,0 +1,3 @@
+//! Fixture: `deny` with the reasoned allow — clean.
+// lint:allow(forbid-unsafe): fixture needs one unsafe trait impl
+#![deny(unsafe_code)]

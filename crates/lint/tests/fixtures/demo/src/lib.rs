@@ -1,0 +1,5 @@
+//! Fixture crate root with no `#![forbid(unsafe_code)]` at all.
+
+pub mod daemon;
+pub mod decode;
+pub mod proto;

@@ -1,0 +1,49 @@
+//! Fixture protocol module: `ROGUE` is wired but undocumented, the
+//! table's `GONE` row is stale, and `ErrorCode::Internal` is dead.
+//!
+//! | code | dir | frame | payload |
+//! |------|-----|-------|---------|
+//! | `0x01` | c→d | `HELLO` | name |
+//! | `0x03` | d→c | `GONE` | stale row |
+
+pub mod kind {
+    pub const HELLO: u8 = 0x01;
+    pub const ROGUE: u8 = 0x02;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    Protocol = 1,
+    Internal = 2,
+}
+
+impl ErrorCode {
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+pub fn encode_all(w: &mut Vec<u8>) {
+    write_frame(w, kind::HELLO, b"hi");
+    write_frame(w, kind::ROGUE, b"??");
+}
+
+pub fn decode_one(k: u8) -> &'static str {
+    match k {
+        kind::HELLO => "hello",
+        kind::ROGUE => "rogue",
+        _ => "unknown",
+    }
+}
+
+pub fn write_frame(w: &mut Vec<u8>, k: u8, payload: &[u8]) {
+    w.push(k);
+    w.extend_from_slice(payload);
+}
+
+pub fn fail() -> ErrorCode {
+    ErrorCode::Protocol
+}

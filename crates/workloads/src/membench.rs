@@ -56,6 +56,7 @@ fn on_dealloc(bytes: usize) {
 }
 
 // SAFETY: delegates every operation to `System`, only adjusting counters.
+#[allow(unsafe_code)]
 unsafe impl GlobalAlloc for TrackingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);

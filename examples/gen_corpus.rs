@@ -17,6 +17,15 @@ use std::path::Path;
 
 include!(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/fixture.rs"));
 
+/// Writes one corpus file, exiting with a message on I/O failure —
+/// a half-written corpus must never look like a successful regen.
+fn write(path: &Path, data: impl AsRef<[u8]>) {
+    if let Err(e) = std::fs::write(path, data.as_ref()) {
+        eprintln!("gen_corpus: writing {} failed: {e}", path.display());
+        std::process::exit(2);
+    }
+}
+
 fn main() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let events = corpus_events();
@@ -30,30 +39,27 @@ fn main() {
     let extreme_chunk = encode_events(&extreme);
     assert_eq!(&extreme_chunk[..8], b"RLSCOPE1", "extreme corpus must fall back to v1");
 
-    std::fs::write(dir.join("corpus_v3.rls"), &v3).unwrap();
-    std::fs::write(dir.join("corpus_v2.rls"), &v2).unwrap();
-    std::fs::write(dir.join("corpus_v1.rls"), &v1).unwrap();
-    std::fs::write(dir.join("corpus_extreme.rls"), &extreme_chunk).unwrap();
-    std::fs::write(dir.join("expected_overall.json"), compute_overlap(&events).canonical_json())
-        .unwrap();
-    std::fs::write(
-        dir.join("expected_by_pid.json"),
-        per_pid_canonical_json(&per_pid_tables(&events)),
-    )
-    .unwrap();
-    std::fs::write(dir.join("expected_extreme.json"), compute_overlap(&extreme).canonical_json())
-        .unwrap();
+    write(&dir.join("corpus_v3.rls"), &v3);
+    write(&dir.join("corpus_v2.rls"), &v2);
+    write(&dir.join("corpus_v1.rls"), &v1);
+    write(&dir.join("corpus_extreme.rls"), &extreme_chunk);
+    write(&dir.join("expected_overall.json"), compute_overlap(&events).canonical_json());
+    write(&dir.join("expected_by_pid.json"), per_pid_canonical_json(&per_pid_tables(&events)));
+    write(&dir.join("expected_extreme.json"), compute_overlap(&extreme).canonical_json());
 
     // The deterministic chunk directory's manifest: footers for every
     // chunk, byte-stable for the fixture + chunking parameters.
     let tmp = std::env::temp_dir().join(format!("rlscope_gen_corpus_{}", std::process::id()));
     let manifest = write_corpus_chunk_dir(&tmp);
-    std::fs::remove_dir_all(&tmp).unwrap();
-    std::fs::write(dir.join("corpus_manifest.bin"), &manifest).unwrap();
+    if let Err(e) = std::fs::remove_dir_all(&tmp) {
+        eprintln!("gen_corpus: cleaning {} failed: {e}", tmp.display());
+        std::process::exit(2);
+    }
+    write(&dir.join("corpus_manifest.bin"), &manifest);
 
     // The Minigo phase-report golden (regenerate after any deliberate
     // change to the simulation stack's cost models or the workload).
-    std::fs::write(dir.join("minigo_phase.json"), minigo_phase_canonical_json()).unwrap();
+    write(&dir.join("minigo_phase.json"), minigo_phase_canonical_json());
 
     println!(
         "wrote {} events (v1 {} B, v2 {} B, v3 {} B, manifest {} B) + {} extreme events to {}",

@@ -372,6 +372,178 @@ fn frame_garbage_never_panics() {
     }
 }
 
+/// Representative collector-protocol payloads, one per frame decoder
+/// the daemon or client runs on peer-controlled bytes.
+fn protocol_payloads() -> Vec<(&'static str, Vec<u8>)> {
+    use rlscope::collector::protocol::{
+        HelloAck, HelloRequest, QueryAllReply, QueryReply, QuerySpec, SessionInfo, SessionList,
+    };
+    use rlscope::core::analysis::{Dim, GroupKey};
+    use rlscope::core::compute_overlap;
+
+    let events = corpus_events();
+    let spec = QuerySpec::session("run-1")
+        .phase("training")
+        .process(7)
+        .operation("backprop")
+        .window(10, 90)
+        .group_by([Dim::Operation, Dim::Process]);
+    let query_all = QueryAllReply {
+        live: true,
+        events_observed: events.len() as u64,
+        sessions: vec!["run-1".into(), "run-2".into()],
+        groups: vec![
+            (
+                GroupKey { session: None, phase: None, process: None, operation: None },
+                compute_overlap(&events),
+            ),
+            (
+                GroupKey {
+                    session: Some("run-2".into()),
+                    phase: None,
+                    process: None,
+                    operation: None,
+                },
+                compute_overlap(&events[..events.len() / 2]),
+            ),
+        ],
+    };
+    vec![
+        ("HELLO(new)", HelloRequest::new_session("run-1").encode()),
+        ("HELLO(resume)", HelloRequest::resume("run-1", 3).encode()),
+        ("HELLO_ACK", HelloAck { session_id: 9, credits: 32, epoch: 3, acked_chunks: 17 }.encode()),
+        ("QUERY spec", spec.encode()),
+        (
+            "QUERY_OK",
+            QueryReply {
+                live: false,
+                cache_hit: true,
+                events_observed: 12,
+                canonical_json: "{\"total\":1}".into(),
+            }
+            .encode(),
+        ),
+        (
+            "SESSIONS",
+            SessionList {
+                sessions: vec![
+                    SessionInfo { name: "a".into(), live: true, events: 4 },
+                    SessionInfo { name: "b".into(), live: false, events: 9 },
+                ],
+            }
+            .encode(),
+        ),
+        ("QUERY_ALL_OK", query_all.encode()),
+    ]
+}
+
+/// Decodes `data` with the decoder matching the payload's `label` —
+/// the value is discarded; these drivers exist so corruption fuzzing
+/// exercises every protocol decoder without panicking.
+fn protocol_decode(label: &str, data: &[u8]) {
+    use rlscope::collector::protocol::{
+        HelloAck, HelloRequest, QueryAllReply, QueryReply, QuerySpec, SessionList,
+    };
+    match label {
+        "HELLO(new)" | "HELLO(resume)" => drop(HelloRequest::decode(data)),
+        "HELLO_ACK" => drop(HelloAck::decode(data)),
+        "QUERY spec" => drop(QuerySpec::decode(data)),
+        "QUERY_OK" => drop(QueryReply::decode(data)),
+        "SESSIONS" => drop(SessionList::decode(data)),
+        "QUERY_ALL_OK" => drop(QueryAllReply::decode(data)),
+        other => panic!("unknown payload label {other}"),
+    }
+}
+
+/// Every protocol payload must survive its own round trip — the
+/// regression guard for the decoder rewrites onto checked slice
+/// splitting (`take_n` / `split_first_chunk`).
+#[test]
+fn protocol_payloads_round_trip() {
+    use rlscope::collector::protocol::{
+        HelloAck, HelloRequest, QueryAllReply, QueryReply, QuerySpec, SessionList,
+    };
+    for (label, payload) in protocol_payloads() {
+        match label {
+            "HELLO(new)" | "HELLO(resume)" => {
+                let v = HelloRequest::decode(&payload).unwrap();
+                assert_eq!(v.encode(), payload, "{label}");
+            }
+            "HELLO_ACK" => {
+                let v = HelloAck::decode(&payload).unwrap();
+                assert_eq!(v.encode(), payload, "{label}");
+            }
+            "QUERY spec" => {
+                let v = QuerySpec::decode(&payload).unwrap();
+                assert_eq!(v.encode(), payload, "{label}");
+            }
+            "QUERY_OK" => {
+                let v = QueryReply::decode(&payload).unwrap();
+                assert_eq!(v.encode(), payload, "{label}");
+            }
+            "SESSIONS" => {
+                let v = SessionList::decode(&payload).unwrap();
+                assert_eq!(v.encode(), payload, "{label}");
+            }
+            "QUERY_ALL_OK" => {
+                let v = QueryAllReply::decode(&payload).unwrap();
+                assert_eq!(v.encode(), payload, "{label}");
+            }
+            other => panic!("unknown payload label {other}"),
+        }
+    }
+}
+
+/// Truncating any protocol payload at any offset must yield a typed
+/// `CollectorError` or a (shorter, sane) value — never a panic. This
+/// pins the decode-path fixes: every one of these decoders used to
+/// carry an `expect`/indexing step that a short peer frame could trip.
+#[test]
+fn protocol_truncation_at_every_offset_never_panics() {
+    use rlscope::collector::protocol::{HelloAck, HelloRequest, SessionList};
+    for (label, payload) in protocol_payloads() {
+        for cut in 0..payload.len() {
+            protocol_decode(label, &payload[..cut]);
+        }
+    }
+    // The fixed-size and length-prefixed decoders reject *every* strict
+    // truncation outright (no prefix of them is a valid payload).
+    for (label, payload) in protocol_payloads() {
+        for cut in 0..payload.len() {
+            let short = &payload[..cut];
+            match label {
+                "HELLO(new)" | "HELLO(resume)" => {
+                    assert!(HelloRequest::decode(short).is_err(), "{label} cut {cut}");
+                }
+                "HELLO_ACK" => assert!(HelloAck::decode(short).is_err(), "{label} cut {cut}"),
+                "SESSIONS" => assert!(SessionList::decode(short).is_err(), "{label} cut {cut}"),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Seeded byte-flip fuzzing over every protocol payload: decode must
+/// return a value or a typed error, never panic — the same contract the
+/// chunk codec honors above.
+#[test]
+fn protocol_byte_flips_never_panic() {
+    let mut rng = Rng(0xdead_cafe);
+    for (label, payload) in protocol_payloads() {
+        for _ in 0..2_000 {
+            let mut data = payload.clone();
+            for _ in 0..1 + rng.below(4) {
+                let at = rng.below(data.len());
+                data[at] ^= (rng.next() % 255 + 1) as u8;
+            }
+            if rng.below(4) == 0 {
+                data.truncate(rng.below(data.len() + 1));
+            }
+            protocol_decode(label, &data);
+        }
+    }
+}
+
 /// v1 events whose end precedes their start are rejected (the v2 format
 /// cannot express them — durations are unsigned).
 #[test]
