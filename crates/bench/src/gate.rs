@@ -1,0 +1,158 @@
+//! Variance-aware ratio gating shared by the inline bench gates in
+//! `benches/micro.rs`.
+//!
+//! Every CI gate compares two timed code paths and asserts a bound on
+//! their ratio. Single-sample minima (the gates' original statistic)
+//! under-report contention: one lucky sample of the numerator against
+//! one unlucky sample of the denominator can mask a real regression, and
+//! the reverse aborts a healthy run. The gates therefore sample both
+//! sides **interleaved** (so drift in machine load hits both equally),
+//! report min/median/max and the spread, and assert on the **ratio of
+//! medians** with a documented tolerance band:
+//!
+//! * The `target` passed to [`assert_ratio`] is the documented steady-
+//!   state bound for the ratio (e.g. "streaming sweep within 2.0× of
+//!   batch").
+//! * The gate trips only when the median ratio exceeds
+//!   `target × TOLERANCE` — the band absorbs run-to-run jitter that the
+//!   median alone cannot (CI runners share cores; ±10% medians round to
+//!   round), while staying far below any real regression, which shifts
+//!   the ratio by integer factors.
+
+/// Multiplicative tolerance band applied on top of every gate target:
+/// the documented bound is the target, the enforced bound is
+/// `target × TOLERANCE`. 15% covers observed median-to-median jitter on
+/// shared runners without masking 2×-class regressions.
+pub const TOLERANCE: f64 = 1.15;
+
+/// Order statistics of one gate side's interleaved samples
+/// (each sample is nanoseconds per call).
+#[derive(Debug, Clone, Copy)]
+pub struct GateStats {
+    /// Fastest sample — the old gates' sole statistic, kept for display.
+    pub min: f64,
+    /// Median sample — the gated statistic.
+    pub median: f64,
+    /// Slowest sample.
+    pub max: f64,
+}
+
+impl GateStats {
+    /// Stats over one side's samples (sorts in place).
+    pub fn from_samples(samples: &mut [f64]) -> Self {
+        assert!(!samples.is_empty(), "gate stats need at least one sample");
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        let median =
+            if n % 2 == 1 { samples[n / 2] } else { (samples[n / 2 - 1] + samples[n / 2]) / 2.0 };
+        GateStats { min: samples[0], median, max: samples[n - 1] }
+    }
+
+    /// Relative spread `(max − min) / median` — printed so a gate
+    /// failure log shows whether the run was quiet or thrashing.
+    pub fn spread(&self) -> f64 {
+        if self.median == 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.median
+        }
+    }
+}
+
+/// Samples two timed closures interleaved (`a b a b …`) after one warmup
+/// call each, returning each side's [`GateStats`]. Each closure returns
+/// one sample in nanoseconds per call; interleaving means load drift
+/// during the measurement biases both sides alike instead of whichever
+/// side ran last.
+pub fn sample_pair(
+    rounds: usize,
+    mut a: impl FnMut() -> f64,
+    mut b: impl FnMut() -> f64,
+) -> (GateStats, GateStats) {
+    let _ = (a(), b());
+    let mut sa = Vec::with_capacity(rounds);
+    let mut sb = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        sa.push(a());
+        sb.push(b());
+    }
+    (GateStats::from_samples(&mut sa), GateStats::from_samples(&mut sb))
+}
+
+/// Whether this process is the CI smoke pass (`--test`): one iteration
+/// per bench on a noisy shared runner, where only catastrophic
+/// regressions should gate. Callers pass a correspondingly loose target.
+pub fn is_smoke_run() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
+/// Prints both sides' statistics and asserts
+/// `num.median / den.median < target × TOLERANCE`.
+///
+/// `detail` is appended to the panic message — name the fix-shaped
+/// expectation ("the columnar decoder measures ~0.4–0.6x here") so a
+/// tripped gate reads as a diagnosis, not a number.
+///
+/// # Panics
+///
+/// When the median ratio exceeds the tolerance-banded target.
+pub fn assert_ratio(label: &str, num: &GateStats, den: &GateStats, target: f64, detail: &str) {
+    let ratio = num.median / den.median;
+    println!(
+        "{label}: num median {:.1} us (min {:.1}, spread {:.0}%), \
+         den median {:.1} us (min {:.1}, spread {:.0}%), \
+         ratio {ratio:.3} (target {target}, tolerance x{TOLERANCE})",
+        num.median / 1e3,
+        num.min / 1e3,
+        num.spread() * 100.0,
+        den.median / 1e3,
+        den.min / 1e3,
+        den.spread() * 100.0,
+    );
+    let bound = target * TOLERANCE;
+    assert!(
+        ratio < bound,
+        "{label}: median ratio {ratio:.3} exceeded {bound:.3} \
+         (target {target} x tolerance {TOLERANCE}); \
+         num median {:.0} ns, den median {:.0} ns. {detail}",
+        num.median,
+        den.median,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_order_and_median() {
+        let mut s = [5.0, 1.0, 3.0];
+        let g = GateStats::from_samples(&mut s);
+        assert_eq!((g.min, g.median, g.max), (1.0, 3.0, 5.0));
+        let mut s = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(GateStats::from_samples(&mut s).median, 2.5);
+    }
+
+    #[test]
+    fn sample_pair_interleaves_and_counts() {
+        let (a, b) = sample_pair(5, || 10.0, || 20.0);
+        assert_eq!(a.median, 10.0);
+        assert_eq!(b.median, 20.0);
+        assert_eq!(a.spread(), 0.0);
+    }
+
+    #[test]
+    fn ratio_within_tolerance_passes() {
+        let num = GateStats { min: 1.0, median: 1.1, max: 1.2 };
+        let den = GateStats { min: 1.0, median: 1.0, max: 1.0 };
+        assert_ratio("test_gate", &num, &den, 1.0, "should absorb 10% via tolerance");
+    }
+
+    #[test]
+    #[should_panic(expected = "median ratio")]
+    fn ratio_beyond_tolerance_panics() {
+        let num = GateStats { min: 2.0, median: 2.0, max: 2.0 };
+        let den = GateStats { min: 1.0, median: 1.0, max: 1.0 };
+        assert_ratio("test_gate", &num, &den, 1.0, "2.0 is past 1.15");
+    }
+}

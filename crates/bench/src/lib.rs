@@ -7,6 +7,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod gate;
+
 use rlscope_core::event::CpuCategory;
 use rlscope_core::profiler::TransitionKind;
 use rlscope_rl::AlgoKind;

@@ -10,11 +10,10 @@ use crate::registry::{SessionRecord, SessionStatus};
 use crate::transport::Stream;
 use parking_lot::Mutex;
 use rlscope_core::analysis::{Analysis, AnalysisError, LiveState, LiveTables, SessionSource};
-use rlscope_core::event::Event;
 use rlscope_core::store::{
-    compute_footer, decode_events, list_chunk_files, read_chunk_footer, read_frame,
-    recover_chunk_prefix, upgrade_chunk_dir, write_frame, Manifest, ManifestEntry, ManifestUpgrade,
-    TraceIoError, MANIFEST_FILE,
+    compute_footer_columns, decode_columns, list_chunk_files, read_chunk_footer, read_frame,
+    recover_chunk_prefix, upgrade_chunk_dir, write_frame, EventColumns, Manifest, ManifestEntry,
+    ManifestUpgrade, TraceIoError, MANIFEST_FILE,
 };
 use rlscope_sim::ids::ProcessId;
 use rlscope_sim::time::TimeNs;
@@ -221,8 +220,10 @@ pub struct RecoveredSession {
 /// One profiling session's server-side state.
 ///
 /// Ingest is a two-stage pipeline per session: the connection thread
-/// decodes and validates each chunk, then hands the decoded events to
-/// the session's **apply thread** over a bounded channel (the bounded
+/// decodes and validates each chunk straight into columnar buffers
+/// ([`rlscope_core::store::decode_columns`] — no `Vec<Event>` is ever
+/// materialized on the ingest path), then hands the columns to the
+/// session's **apply thread** over a bounded channel (the bounded
 /// per-connection buffer — at most [`APPLY_QUEUE_CHUNKS`] decoded chunks
 /// in flight). The apply thread pushes them into the live sweeps and
 /// the chunk store, **then writes the `CHUNK_ACK`** — an ack therefore
@@ -272,8 +273,8 @@ struct ApplyProgress {
 /// in-flight memory between decode and apply.
 const APPLY_QUEUE_CHUNKS: usize = 8;
 
-/// `(seq, raw payload, decoded events)` handed to the apply stage.
-type ApplyItem = (u64, Vec<u8>, Vec<Event>);
+/// `(seq, raw payload, decoded columns)` handed to the apply stage.
+type ApplyItem = (u64, Vec<u8>, EventColumns);
 
 /// The session's durable half: received chunk payloads are persisted
 /// **verbatim** — they are codec-v3 chunks, already validated end to end
@@ -331,13 +332,13 @@ impl ChunkStore {
     /// Persists one validated chunk payload verbatim and indexes its
     /// footer (parsed from the v3 trailer; computed from the decoded
     /// events for v1-fallback payloads, whose wire format carries none).
-    fn append(&mut self, payload: &[u8], events: &[Event]) -> Result<(), TraceIoError> {
+    fn append(&mut self, payload: &[u8], cols: &EventColumns) -> Result<(), TraceIoError> {
         let file = format!("chunk_{:05}.rls", self.seq);
         self.write_chunk(&self.dir.join(&file), payload)?;
         self.seq += 1;
         let footer = match read_chunk_footer(payload)? {
             Some(footer) => footer,
-            None => compute_footer(events),
+            None => compute_footer_columns(cols),
         };
         self.entries.push(ManifestEntry { file, size: payload.len() as u64, footer });
         Ok(())
@@ -414,15 +415,15 @@ impl Session {
     /// thread and the single-core inline mode run. Sweep rejections are
     /// client-data problems ([`ErrorCode::Protocol`]); store failures
     /// are server-side [`ErrorCode::Io`].
-    fn apply_chunk(&self, payload: &[u8], events: &[Event]) -> Result<(), ConnError> {
+    fn apply_chunk(&self, payload: &[u8], cols: &EventColumns) -> Result<(), ConnError> {
         {
             let mut live = self.live.lock();
-            live.push_batch(events).map_err(|e| (ErrorCode::Protocol, e.to_string()))?;
+            live.push_columns(cols).map_err(|e| (ErrorCode::Protocol, e.to_string()))?;
         }
         let mut state = self.state.lock();
         if let Some(store) = &mut state.store {
-            store.append(payload, events).map_err(|e| (ErrorCode::Io, e.to_string()))?;
-            state.events += events.len() as u64;
+            store.append(payload, cols).map_err(|e| (ErrorCode::Io, e.to_string()))?;
+            state.events += cols.len() as u64;
             state.chunks += 1;
         }
         Ok(())
@@ -1199,12 +1200,12 @@ fn start_apply_pipeline(session: &Arc<Session>, state: &mut SessionState, writer
     let apply_session = session.clone();
     let writer = writer.clone();
     let apply_thread = std::thread::spawn(move || {
-        while let Some((seq, payload, events)) = apply_rx.recv() {
+        while let Some((seq, payload, cols)) = apply_rx.recv() {
             let poisoned = apply_session.state.lock().apply_error.is_some();
             if !poisoned {
-                match apply_session.apply_chunk(&payload, &events) {
+                match apply_session.apply_chunk(&payload, &cols) {
                     Ok(()) => {
-                        let _ = send_chunk_ack(&writer, seq, events.len() as u32);
+                        let _ = send_chunk_ack(&writer, seq, cols.len() as u32);
                     }
                     Err(error) => {
                         send_error(&writer, error.0, &error.1);
@@ -1434,7 +1435,7 @@ fn handle_chunk(
     // The payload is a codec-v3 chunk: decode validates everything —
     // framing, varints, string ids, the footer cross-check — before a
     // single event enters the session.
-    let events = decode_events(&payload).map_err(|e| (ErrorCode::CorruptChunk, e.to_string()))?;
+    let cols = decode_columns(&payload).map_err(|e| (ErrorCode::CorruptChunk, e.to_string()))?;
     let apply_tx = {
         let mut state = session.state.lock();
         if let Some(err) = &state.apply_error {
@@ -1469,7 +1470,7 @@ fn handle_chunk(
             // stage lags. The ack is the apply thread's to write, after
             // the persist.
             session.progress.lock().unwrap_or_else(|e| e.into_inner()).enqueued += 1;
-            if apply_tx.send((seq, payload, events)).is_err() {
+            if apply_tx.send((seq, payload, cols)).is_err() {
                 // The chunk will never apply; count it resolved so
                 // barriers taken against the bumped `enqueued` cannot
                 // wait forever.
@@ -1481,8 +1482,8 @@ fn handle_chunk(
         }
         // Single-core inline mode: apply synchronously, ack after.
         None => {
-            let accepted = events.len() as u32;
-            session.apply_chunk(&payload, &events)?;
+            let accepted = cols.len() as u32;
+            session.apply_chunk(&payload, &cols)?;
             send_chunk_ack(writer, seq, accepted).map_err(io_err)?;
         }
     }

@@ -91,6 +91,23 @@
 //! ([`crate::store::for_each_decoded_chunk`]), so decode overlaps
 //! sweeping on multi-core machines with bounded in-flight memory.
 //!
+//! # Which sources run columnar
+//!
+//! Sources that start from encoded chunk bytes run the **columnar
+//! path** end to end: [`Analysis::from_chunk_dir`] and
+//! [`Analysis::bounded_streaming`] decode each selected chunk with
+//! [`crate::store::decode_columns`] into [`crate::store::EventColumns`]
+//! (five flat primitive columns plus a per-chunk name table — no
+//! `Vec<Event>` is materialized) and feed the sweeps through
+//! [`OverlapSweep::push_columns`]; the collector's live ingest
+//! ([`LiveState::push_columns`]) is the same shape. Sources that start
+//! from already-materialized rows — [`Analysis::of`],
+//! [`Analysis::merged`], [`Analysis::of_events`],
+//! [`Analysis::of_indexed`] — sweep the rows directly; converting them
+//! to columns first would add a copy for no decode saving. Both paths
+//! reduce to the same merge loop and are pinned table-identical by the
+//! `columnar_*` property tests.
+//!
 //! # Live-query consistency
 //!
 //! [`Analysis::of_live`] answers queries over sessions that are **still
@@ -196,7 +213,10 @@ use crate::overlap::{
     SweepError, NO_PHASE,
 };
 use crate::report::BreakdownReport;
-use crate::store::{for_each_decoded_chunk, list_chunk_files, ChunkQuery, Manifest, TraceIoError};
+use crate::store::{
+    for_each_decoded_chunk_columns, list_chunk_files, ChunkQuery, EventColumns, Manifest,
+    TraceIoError,
+};
 use crate::trace::Trace;
 use parking_lot::Mutex;
 use rlscope_sim::ids::ProcessId;
@@ -435,6 +455,62 @@ impl LiveState {
         for e in events {
             self.push(e)?;
         }
+        Ok(())
+    }
+
+    /// Accepts one decoded chunk in columnar form
+    /// ([`crate::store::decode_columns`]) — identical sweep state to
+    /// [`LiveState::push_batch`] over the same events, but the chunk
+    /// flows through [`OverlapSweep::push_columns`]: flat column reads,
+    /// names interned once per chunk table id.
+    ///
+    /// # Errors
+    ///
+    /// See [`LiveState::push`].
+    pub fn push_columns(&mut self, cols: &EventColumns) -> Result<(), SweepError> {
+        if cols.is_empty() {
+            return Ok(());
+        }
+        // Hot path: a chunk wholly from the already-current process feeds
+        // that sweep directly, exactly like `push_batch`'s fast path.
+        if let Some((pid, slot)) = self.last_slot {
+            if self.merged.is_none() && cols.pids.iter().all(|&p| p == pid.as_u32()) {
+                self.per_process[slot].1.push_columns(cols)?;
+                self.events += cols.len() as u64;
+                return Ok(());
+            }
+        }
+        // Distinct pids in first-appearance order; resolving the slots
+        // up front runs the same merged-sweep promotion rule as `push` —
+        // the clone happens before any of this chunk's events land in
+        // process 0's sweep, so it still captures the shared prefix.
+        let mut chunk_pids: Vec<ProcessId> = Vec::new();
+        for &raw in &cols.pids {
+            let pid = ProcessId(raw);
+            if !chunk_pids.contains(&pid) {
+                chunk_pids.push(pid);
+            }
+        }
+        for &pid in &chunk_pids {
+            if !self.slot_of.contains_key(&pid) {
+                if self.per_process.len() == 1 && self.merged.is_none() {
+                    self.merged = Some(self.per_process[0].1.clone());
+                }
+                let slot = self.per_process.len();
+                self.per_process.push((pid, OverlapSweep::new().with_phase_tagging()));
+                self.slot_of.insert(pid, slot);
+            }
+        }
+        if let Some(merged) = &mut self.merged {
+            merged.push_columns(cols)?;
+        }
+        for &pid in &chunk_pids {
+            let slot = self.slot_of[&pid];
+            self.per_process[slot].1.push_columns_filtered(cols, pid.as_u32())?;
+        }
+        let last = ProcessId(*cols.pids.last().expect("non-empty chunk"));
+        self.last_slot = Some((last, self.slot_of[&last]));
+        self.events += cols.len() as u64;
         Ok(())
     }
 
@@ -1059,38 +1135,42 @@ impl<'a> Analysis<'a> {
         if !per_process {
             sweeps.push((None, new_sweep()));
         }
+        let map_err = |err: SweepError| match err {
+            SweepError::OrderViolation { .. } => StreamedError::Order,
+            other => StreamedError::Io(TraceIoError::Corrupt(other.to_string())),
+        };
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        for_each_decoded_chunk::<StreamedError>(files, threads, |chunk| {
-            for e in &chunk {
-                if filters && self.process_filter.is_some_and(|pid| e.pid != pid) {
-                    continue;
+        for_each_decoded_chunk_columns::<StreamedError>(files, threads, |mut cols| {
+            if filters {
+                if let Some(pid) = self.process_filter {
+                    cols.retain_pid(pid.as_u32());
                 }
                 // Clip before slot creation: an event the window drops
                 // entirely must not materialize an empty per-process
                 // group the batch path would not produce.
-                let clipped;
-                let e = match self.window.filter(|_| filters) {
-                    None => e,
-                    Some(w) => match clip_event(e, w) {
-                        Some(c) => {
-                            clipped = c;
-                            &clipped
-                        }
-                        None => continue,
-                    },
-                };
-                let slot = if per_process {
-                    *slot_of.entry(e.pid).or_insert_with(|| {
-                        sweeps.push((Some(e.pid), new_sweep()));
-                        sweeps.len() - 1
-                    })
-                } else {
-                    0
-                };
-                sweeps[slot].1.push(e).map_err(|err| match err {
-                    SweepError::OrderViolation { .. } => StreamedError::Order,
-                    other => StreamedError::Io(TraceIoError::Corrupt(other.to_string())),
-                })?;
+                if let Some((lo, hi)) = self.window {
+                    cols.clip_window(lo.as_nanos(), hi.as_nanos());
+                }
+            }
+            if !per_process {
+                return sweeps[0].1.push_columns(&cols).map_err(map_err);
+            }
+            // Distinct pids of this chunk in first-appearance order, so
+            // sweep slots are created in the order the row-at-a-time path
+            // would have created them.
+            let mut chunk_pids: Vec<u32> = Vec::new();
+            for &raw in &cols.pids {
+                if chunk_pids.last() != Some(&raw) && !chunk_pids.contains(&raw) {
+                    chunk_pids.push(raw);
+                }
+            }
+            for &raw in &chunk_pids {
+                let pid = ProcessId(raw);
+                let slot = *slot_of.entry(pid).or_insert_with(|| {
+                    sweeps.push((Some(pid), new_sweep()));
+                    sweeps.len() - 1
+                });
+                sweeps[slot].1.push_columns_filtered(&cols, raw).map_err(map_err)?;
             }
             Ok(())
         })?;
@@ -1173,14 +1253,15 @@ impl<'a> Analysis<'a> {
                     table = filter_table(&table, |k| k.operation == *of);
                 }
                 if want_op {
-                    for op in table.operations() {
-                        let sub = filter_table(&table, |k| k.operation == op);
+                    // One sorted walk over the table (op-major key order)
+                    // instead of a full re-scan per operation.
+                    for (op, sub) in table.split_by_operation() {
                         out.push((
                             GroupKey {
                                 session: None,
                                 phase: phase.clone(),
                                 process: pid,
-                                operation: Some(op.clone()),
+                                operation: Some(op),
                             },
                             sub,
                         ));

@@ -45,6 +45,7 @@
 
 use crate::event::{CpuCategory, Event, EventKind};
 use crate::intern::Interner;
+use crate::store::EventColumns;
 use rlscope_sim::time::DurationNs;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -170,6 +171,27 @@ impl BreakdownTable {
         ops
     }
 
+    /// Splits the table into one sub-table per operation, in
+    /// [`BreakdownTable::operations`] order, in a single ordered pass.
+    /// [`BucketKey`] ordering is operation-first, so each operation's
+    /// buckets are contiguous in iteration order — this is what
+    /// operation-grouped sinks use instead of re-walking the whole
+    /// table once per operation.
+    pub fn split_by_operation(&self) -> Vec<(Arc<str>, BreakdownTable)> {
+        let mut out: Vec<(Arc<str>, BreakdownTable)> = Vec::new();
+        for (k, d) in self.iter() {
+            match out.last_mut() {
+                Some((op, table)) if *op == k.operation => table.add(k.clone(), d),
+                _ => {
+                    let mut table = BreakdownTable::new();
+                    table.add(k.clone(), d);
+                    out.push((k.operation.clone(), table));
+                }
+            }
+        }
+        out
+    }
+
     /// Merges another table into this one (multi-process aggregation).
     pub fn merge(&mut self, other: &BreakdownTable) {
         for (k, d) in other.iter() {
@@ -277,14 +299,14 @@ const CODE_PHASE: u8 = 6;
 
 /// Reverses every strictly-descending run in place. Strict descent has no
 /// equal keys, so reversal preserves stability.
-fn reverse_descending_runs(v: &mut [(u64, u32)]) {
+fn reverse_descending_runs<T: Copy>(v: &mut [T], key: impl Fn(&T) -> u64 + Copy) {
     let n = v.len();
     let mut i = 0;
     while i + 1 < n {
-        if v[i].0 > v[i + 1].0 {
+        if key(&v[i]) > key(&v[i + 1]) {
             let run_start = i;
             i += 1;
-            while i + 1 < n && v[i].0 > v[i + 1].0 {
+            while i + 1 < n && key(&v[i]) > key(&v[i + 1]) {
                 i += 1;
             }
             v[run_start..=i].reverse();
@@ -300,19 +322,23 @@ fn reverse_descending_runs(v: &mut [(u64, u32)]) {
 /// permutation of the input) when the work exceeds `budget` moved
 /// elements or a displaced block is long — both signs the input is not
 /// the near-sorted shape this pass is for.
-fn rotate_merge_repair(v: &mut [(u64, u32)], budget: usize) -> bool {
+fn rotate_merge_repair<T: Copy>(
+    v: &mut [T],
+    budget: usize,
+    key: impl Fn(&T) -> u64 + Copy,
+) -> bool {
     let n = v.len();
     let mut moved = 0usize;
     let mut i = 1;
     while i < n {
-        if v[i].0 >= v[i - 1].0 {
+        if key(&v[i]) >= key(&v[i - 1]) {
             i += 1;
             continue;
         }
         // Sorted-prefix invariant: v[..i] is sorted, so the displaced
         // block v[a..b) (everything > v[i]) is found by binary search.
-        let key = v[i].0;
-        let mut a = v[..i].partition_point(|p| p.0 <= key);
+        let pivot = key(&v[i]);
+        let mut a = v[..i].partition_point(|p| key(p) <= pivot);
         let mut b = i;
         // A long displaced block means coarse interleaving of long runs
         // (e.g. per-process streams concatenated by a trace merge), which
@@ -322,15 +348,15 @@ fn rotate_merge_repair(v: &mut [(u64, u32)], budget: usize) -> bool {
             return false;
         }
         let mut k = i + 1;
-        while k < n && v[k].0 >= v[k - 1].0 {
+        while k < n && key(&v[k]) >= key(&v[k - 1]) {
             k += 1;
         }
         // Merge adjacent sorted blocks v[a..b) and v[b..k) by rotating
         // run prefixes into place. `partition_point` bounds keep equal
         // keys in first-seen order, so the pass is stable.
         while a < b && b < k {
-            if v[b].0 < v[a].0 {
-                let t = v[b..k].partition_point(|p| p.0 < v[a].0); // >= 1
+            if key(&v[b]) < key(&v[a]) {
+                let t = v[b..k].partition_point(|p| key(p) < key(&v[a])); // >= 1
                 moved += b - a + t;
                 if moved > budget {
                     return false;
@@ -339,7 +365,8 @@ fn rotate_merge_repair(v: &mut [(u64, u32)], budget: usize) -> bool {
                 a += t;
                 b += t;
             } else {
-                a += v[a..b].partition_point(|p| p.0 <= v[b].0);
+                let cut = key(&v[b]);
+                a += v[a..b].partition_point(|p| key(p) <= cut);
             }
         }
         i = k;
@@ -356,12 +383,15 @@ fn rotate_merge_repair(v: &mut [(u64, u32)], budget: usize) -> bool {
 /// stragglers between runs. This sort reverses strictly-descending runs in
 /// an O(n) pre-pass, then repairs the remaining local disorder with block
 /// rotations; genuinely unsorted input falls back to `sort_by_key`. Ties
-/// keep push order (event order), matching a stable sort by time.
-fn sort_boundaries(v: &mut [(u64, u32)]) {
-    reverse_descending_runs(v);
+/// keep push order (event order), matching a stable sort by time. Shared
+/// by the batch encoder's `(time, idx)` pairs and the streaming
+/// [`BoundaryQueue`]'s `(time, seq, meta)` records via the `key`
+/// accessor.
+fn sort_boundaries<T: Copy>(v: &mut [T], key: impl Fn(&T) -> u64 + Copy) {
+    reverse_descending_runs(v, key);
     let budget = v.len() * 2 + 64;
-    if !rotate_merge_repair(v, budget) {
-        v.sort_by_key(|p| p.0);
+    if !rotate_merge_repair(v, budget, key) {
+        v.sort_by_key(|p| key(p));
     }
 }
 
@@ -451,6 +481,16 @@ pub fn compute_overlap_raw(events: &[Event]) -> BreakdownTable {
     sweep_tables(events.iter())
 }
 
+/// The batch engine run directly over decoded columns
+/// ([`crate::store::EventColumns`]), bypassing row materialization
+/// entirely: the boundary arrays are built straight from the start/end
+/// columns and operation names are translated table-id → dense id once
+/// per distinct name, not once per event. Produces exactly the
+/// [`compute_overlap`] table for the same events.
+pub fn compute_overlap_columns(cols: &EventColumns) -> BreakdownTable {
+    sweep_tables_columns(cols)
+}
+
 /// Batch sweep over an event iterator, phases dropped (the historical
 /// `compute_overlap` semantics).
 pub(crate) fn sweep_tables<'a>(events: impl Iterator<Item = &'a Event>) -> BreakdownTable {
@@ -462,6 +502,29 @@ pub(crate) fn sweep_tables<'a>(events: impl Iterator<Item = &'a Event>) -> Break
 /// phase, [`NO_PHASE`] first if any untagged time exists.
 pub(crate) fn sweep_tables_by_phase<'a>(events: impl Iterator<Item = &'a Event>) -> PhaseTables {
     let (interner, phases, acc) = sweep_raw(events, true);
+    phase_tables_from(interner, phases, acc)
+}
+
+/// Columnar twin of [`sweep_tables`].
+pub(crate) fn sweep_tables_columns(cols: &EventColumns) -> BreakdownTable {
+    let (interner, _, acc) = merge_encoded(encode_columns(cols, false));
+    materialize(&interner, &acc)
+}
+
+/// Columnar twin of [`sweep_tables_by_phase`]. The batch analysis paths
+/// are row-sourced today (columnar sources stream through
+/// [`OverlapSweep::push_columns`]), so outside tests this exists as the
+/// phase-grouping equivalence surface pinned by
+/// `columnar_phase_grouping_matches_rows`.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn sweep_tables_by_phase_columns(cols: &EventColumns) -> PhaseTables {
+    let (interner, phases, acc) = merge_encoded(encode_columns(cols, true));
+    phase_tables_from(interner, phases, acc)
+}
+
+/// Slices a `[phase][operation][slot]` accumulator into per-phase
+/// tables, omitting empty groups.
+fn phase_tables_from(interner: Interner, phases: Interner, acc: Vec<u64>) -> PhaseTables {
     let row = interner.len() * SLOTS;
     phases
         .names()
@@ -483,20 +546,51 @@ fn sweep_raw<'a>(
     events: impl Iterator<Item = &'a Event>,
     track_phases: bool,
 ) -> (Interner, Interner, Vec<u64>) {
+    merge_encoded(encode_rows(events, track_phases))
+}
+
+/// The batch engine's encoded form: flat boundary arrays plus the
+/// per-event side arrays the merge loop indexes by seq. Rows
+/// ([`encode_rows`]) and columns ([`encode_columns`]) both reduce to
+/// this, so one merge loop serves both paths.
+struct EncodedBatch {
+    interner: Interner,
+    phase_interner: Interner,
+    untracked: u32,
+    track_phases: bool,
+    /// `(time, event seq)` start/end boundary pairs, sorted by time
+    /// (ties keep event order).
+    starts: Vec<(u64, u32)>,
+    ends: Vec<(u64, u32)>,
+    /// Dense id of each kept event's own name: operation id for
+    /// operations, phase id for tracked phases, untracked otherwise.
+    op_ids: Vec<u32>,
+    /// Compact kind code per kept event (`0..=3` CPU, [`CODE_GPU`],
+    /// [`CODE_OP`], [`CODE_PHASE`]).
+    kind_codes: Vec<u8>,
+    /// Dense per-event process index; empty unless phases are tracked.
+    pid_idx: Vec<u32>,
+    n_pids: usize,
+}
+
+/// Encodes a row-event stream into an [`EncodedBatch`].
+///
+/// Interval boundaries are kept as separate start/end arrays of raw
+/// `(time, event seq)` pairs — the edge kind is implicit in which array
+/// a pair lives in, so the full u64 timestamp range is representable.
+/// Profiler event streams are emitted in near-chronological order, so
+/// each array is close to sorted and [`sort_boundaries`] degrades to
+/// ~O(n) (sortedness is tracked during encoding, sparing sorted arrays
+/// the sort passes entirely); the merge then walks the two sorted
+/// arrays in lockstep, taking ends before starts at equal times so
+/// zero-length active sets generate no spurious segments.
+fn encode_rows<'a>(events: impl Iterator<Item = &'a Event>, track_phases: bool) -> EncodedBatch {
     let mut interner = Interner::with_capacity(16);
     let untracked = interner.intern_str(BucketKey::UNTRACKED);
     let mut phase_interner = Interner::with_capacity(4);
     let no_phase = phase_interner.intern_str(NO_PHASE);
     debug_assert_eq!(no_phase, 0);
 
-    // Interval boundaries, kept as separate start/end arrays of raw
-    // `(time, event seq)` pairs — the edge kind is implicit in which
-    // array a pair lives in, so the full u64 timestamp range is
-    // representable. Profiler event streams are emitted in
-    // near-chronological order, so each array is close to sorted and
-    // `sort_boundaries` degrades to ~O(n); the sweep then merges the
-    // two sorted arrays on the fly, taking ends before starts at equal
-    // times so zero-length active sets generate no spurious segments.
     let (lo, hi) = events.size_hint();
     let cap = hi.unwrap_or(lo);
     let mut starts: Vec<(u64, u32)> = Vec::with_capacity(cap);
@@ -506,9 +600,6 @@ fn sweep_raw<'a>(
     // instead of the full `Event`.
     let mut op_ids: Vec<u32> = Vec::with_capacity(cap);
     let mut kind_codes: Vec<u8> = Vec::with_capacity(cap);
-    // Sortedness is tracked during encoding (flat single-process streams
-    // usually arrive start-sorted), sparing sorted arrays the sort passes
-    // entirely.
     let (mut starts_sorted, mut prev_start) = (true, 0u64);
     let (mut ends_sorted, mut prev_end) = (true, 0u64);
     // Dense per-event process index, only materialized when phases are
@@ -525,8 +616,6 @@ fn sweep_raw<'a>(
             let next = pid_map.len() as u32;
             pid_idx.push(*pid_map.entry(e.pid.as_u32()).or_insert(next));
         }
-        // Dense id of the event's own name: operation id for operations,
-        // phase id for tracked phases, untracked otherwise.
         let mut own_id = untracked;
         kind_codes.push(match &e.kind {
             EventKind::Cpu(c) => *c as u8,
@@ -552,11 +641,145 @@ fn sweep_raw<'a>(
         ends.push((t, seq));
     }
     if !starts_sorted {
-        sort_boundaries(&mut starts);
+        sort_boundaries(&mut starts, |p| p.0);
     }
     if !ends_sorted {
-        sort_boundaries(&mut ends);
+        sort_boundaries(&mut ends, |p| p.0);
     }
+    let n_pids = pid_map.len();
+    EncodedBatch {
+        interner,
+        phase_interner,
+        untracked,
+        track_phases,
+        starts,
+        ends,
+        op_ids,
+        kind_codes,
+        pid_idx,
+        n_pids,
+    }
+}
+
+/// Wire kind tag of operation events in [`EventColumns::kinds`].
+const WIRE_TAG_OP: u8 = 6;
+/// Wire kind tag of phase events in [`EventColumns::kinds`].
+const WIRE_TAG_PHASE: u8 = 7;
+
+/// Columnar twin of [`encode_rows`]: builds the boundary runs straight
+/// from the start/end columns. Name interning goes through a per-chunk
+/// table-id → dense-id translation array, so each distinct name is
+/// hashed once per chunk instead of once per event, and the per-event
+/// loop reads only flat primitive columns.
+fn encode_columns(cols: &EventColumns, track_phases: bool) -> EncodedBatch {
+    let mut interner = Interner::with_capacity(16);
+    let untracked = interner.intern_str(BucketKey::UNTRACKED);
+    let mut phase_interner = Interner::with_capacity(4);
+    let no_phase = phase_interner.intern_str(NO_PHASE);
+    debug_assert_eq!(no_phase, 0);
+
+    let cap = cols.len();
+    let mut starts: Vec<(u64, u32)> = Vec::with_capacity(cap);
+    let mut ends: Vec<(u64, u32)> = Vec::with_capacity(cap);
+    let mut op_ids: Vec<u32> = Vec::with_capacity(cap);
+    let mut kind_codes: Vec<u8> = Vec::with_capacity(cap);
+    let (mut starts_sorted, mut prev_start) = (true, 0u64);
+    let (mut ends_sorted, mut prev_end) = (true, 0u64);
+    let mut pid_map: HashMap<u32, u32> = HashMap::new();
+    let mut pid_idx: Vec<u32> = Vec::new();
+    // Lazily built translation arrays: chunk name-table id → dense id.
+    let mut op_xlat: Vec<u32> = Vec::new();
+    let mut phase_xlat: Vec<u32> = Vec::new();
+    for i in 0..cols.len() {
+        let (s, t) = (cols.starts[i], cols.ends[i]);
+        if s == t {
+            continue;
+        }
+        let seq = op_ids.len() as u32;
+        if track_phases {
+            let next = pid_map.len() as u32;
+            pid_idx.push(*pid_map.entry(cols.pids[i]).or_insert(next));
+        }
+        let tag = cols.kinds[i];
+        let mut own_id = untracked;
+        kind_codes.push(match tag {
+            0..=3 => tag,
+            WIRE_TAG_OP => {
+                own_id = xlat_id(&mut op_xlat, &mut interner, &cols.names, cols.name_ids[i]);
+                CODE_OP
+            }
+            WIRE_TAG_PHASE => {
+                if track_phases {
+                    own_id = xlat_id(
+                        &mut phase_xlat,
+                        &mut phase_interner,
+                        &cols.names,
+                        cols.name_ids[i],
+                    );
+                }
+                CODE_PHASE
+            }
+            _ => CODE_GPU,
+        });
+        op_ids.push(own_id);
+        starts_sorted &= s >= prev_start;
+        ends_sorted &= t >= prev_end;
+        prev_start = s;
+        prev_end = t;
+        starts.push((s, seq));
+        ends.push((t, seq));
+    }
+    if !starts_sorted {
+        sort_boundaries(&mut starts, |p| p.0);
+    }
+    if !ends_sorted {
+        sort_boundaries(&mut ends, |p| p.0);
+    }
+    let n_pids = pid_map.len();
+    EncodedBatch {
+        interner,
+        phase_interner,
+        untracked,
+        track_phases,
+        starts,
+        ends,
+        op_ids,
+        kind_codes,
+        pid_idx,
+        n_pids,
+    }
+}
+
+/// Resolves a chunk name-table id to a dense interned id through the
+/// chunk's translation array, interning (and hashing the name) only on
+/// first sight of each table id.
+fn xlat_id(xlat: &mut Vec<u32>, interner: &mut Interner, names: &[Arc<str>], name_id: u32) -> u32 {
+    if xlat.is_empty() {
+        xlat.resize(names.len(), u32::MAX);
+    }
+    let slot = &mut xlat[name_id as usize];
+    if *slot == u32::MAX {
+        *slot = interner.intern(&names[name_id as usize]);
+    }
+    *slot
+}
+
+/// The batch engine's merge loop: sweeps an [`EncodedBatch`]'s sorted
+/// boundary arrays and returns `(op interner, phase interner,
+/// accumulator)` with the accumulator laid out `[phase][operation][slot]`.
+fn merge_encoded(batch: EncodedBatch) -> (Interner, Interner, Vec<u64>) {
+    let EncodedBatch {
+        interner,
+        phase_interner,
+        untracked,
+        track_phases,
+        starts,
+        ends,
+        op_ids,
+        kind_codes,
+        pid_idx,
+        n_pids,
+    } = batch;
 
     // Flat accumulator: one u64 of attributed nanoseconds per
     // (phase, operation, cpu tag, gpu) combination. Without phase
@@ -575,7 +798,6 @@ fn sweep_raw<'a>(
     // segments where its own pid has active CPU/GPU work — holding
     // `(activation order, phase id)` entries so the innermost phase
     // across eligible pids is the one activated latest.
-    let n_pids = pid_map.len();
     let mut op_stack: Vec<u32> = Vec::new();
     let mut pid_phase_stacks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_pids];
     // Active CPU/GPU event count per pid: a pid's phases are eligible to
@@ -586,8 +808,18 @@ fn sweep_raw<'a>(
     let mut cur_op: u32 = untracked;
     // Cached phase tag, recomputed lazily at attribution time whenever
     // phase stacks or pid activity changed since the last segment.
-    let mut cur_phase: u32 = no_phase;
+    let mut cur_phase: u32 = 0;
     let mut phase_dirty = false;
+
+    // Run-length segment coalescer: consecutive segments attributing to
+    // the same bucket are merged into one accumulator write. Boundaries
+    // that only reshuffle inactive state (or same-bucket state, e.g. a
+    // second overlapping kernel) extend the open run instead of touching
+    // `acc`, so the hot loop's stores stay in registers across runs.
+    // `run_idx == usize::MAX` means no open run; an open run covers
+    // `[run_t0, prev_t]` and always attributes to bucket `run_idx`.
+    let mut run_idx = usize::MAX;
+    let mut run_t0 = 0u64;
 
     let mut prev_t: u64 = 0;
     let mut have_prev = false;
@@ -604,15 +836,26 @@ fn sweep_raw<'a>(
             ei += 1;
             ends[ei - 1]
         };
-        if have_prev && t > prev_t && (cpu_mask != 0 || gpu_active > 0) {
-            if phase_dirty {
-                cur_phase = innermost_eligible_phase(&pid_activity, &pid_phase_stacks);
-                phase_dirty = false;
+        if have_prev && t > prev_t {
+            if cpu_mask != 0 || gpu_active > 0 {
+                if phase_dirty {
+                    cur_phase = innermost_eligible_phase(&pid_activity, &pid_phase_stacks);
+                    phase_dirty = false;
+                }
+                let tag = FINEST_TAG[cpu_mask] as usize;
+                let gpu = (gpu_active > 0) as usize;
+                let bucket = (cur_phase as usize * n_ops + cur_op as usize) * SLOTS + tag * 2 + gpu;
+                if bucket != run_idx {
+                    if run_idx != usize::MAX {
+                        acc[run_idx] += prev_t - run_t0;
+                    }
+                    run_idx = bucket;
+                    run_t0 = prev_t;
+                }
+            } else if run_idx != usize::MAX {
+                acc[run_idx] += prev_t - run_t0;
+                run_idx = usize::MAX;
             }
-            let tag = FINEST_TAG[cpu_mask] as usize;
-            let gpu = (gpu_active > 0) as usize;
-            acc[(cur_phase as usize * n_ops + cur_op as usize) * SLOTS + tag * 2 + gpu] +=
-                t - prev_t;
         }
         prev_t = t;
         have_prev = true;
@@ -696,6 +939,9 @@ fn sweep_raw<'a>(
             _ => {}
         }
     }
+    if run_idx != usize::MAX {
+        acc[run_idx] += prev_t - run_t0;
+    }
 
     (interner, phase_interner, acc)
 }
@@ -768,12 +1014,12 @@ type Boundary = (u64, u32, u32);
 /// buffer is simply appended to and popped from the front — no per-push
 /// sift-up, no per-pop sift-down, and the drained prefix is reclaimed in
 /// bulk. Only when a push actually lands out of order does the buffer
-/// mark itself unsorted and re-sort the undrained tail (a run-merging
-/// `sort_unstable`, cheap on the near-sorted shapes that caused the
-/// disorder) at the next pop. A fully sorted stream never sorts at all;
+/// mark itself unsorted and re-sort the undrained tail (the same
+/// near-sorted repair sort as the batch encoder, O(n) on the shapes that
+/// caused the disorder) at the next pop. A fully sorted stream never sorts at all;
 /// an adversarially shuffled one degrades to one sort per drain of the
 /// pending window — never to heap behavior per boundary.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct BoundaryQueue {
     buf: Vec<Boundary>,
     /// Boundaries before this index are already drained.
@@ -786,13 +1032,24 @@ struct BoundaryQueue {
     min_time: u64,
 }
 
+impl Default for BoundaryQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl BoundaryQueue {
     fn new() -> Self {
         BoundaryQueue { buf: Vec::new(), head: 0, sorted: true, min_time: u64::MAX }
     }
 
+    #[inline]
     fn push(&mut self, b: Boundary) {
-        if self.sorted && self.buf.last().is_some_and(|last| *last > b) {
+        // Time-only disorder check: same-time boundaries stay in push
+        // order (the stable sort below would keep them there anyway, and
+        // equal-time reordering is attribution-neutral — see
+        // `OverlapSweep::push`).
+        if self.sorted && self.buf.last().is_some_and(|last| last.0 > b.0) {
             self.sorted = false;
         }
         self.min_time = self.min_time.min(b.0);
@@ -801,7 +1058,13 @@ impl BoundaryQueue {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.buf[self.head..].sort_unstable();
+            // Same near-sorted repair sort as the batch encoder: the
+            // disorder shapes that reach here (inside-out scope closes,
+            // one whole-run scope closing last) are exactly what
+            // `sort_boundaries` repairs in O(n); a full comparison sort
+            // of the pending window costs more than the merge loop that
+            // follows it.
+            sort_boundaries(&mut self.buf[self.head..], |b| b.0);
             self.sorted = true;
             debug_assert!(self.buf.get(self.head).is_none_or(|b| b.0 == self.min_time));
         }
@@ -810,19 +1073,6 @@ impl BoundaryQueue {
     /// Smallest pending time; `u64::MAX` when empty. O(1) — never sorts.
     fn min_time(&self) -> u64 {
         self.min_time
-    }
-
-    /// The smallest pending boundary, if any (sorts the tail on demand).
-    fn peek(&mut self) -> Option<Boundary> {
-        self.ensure_sorted();
-        self.buf.get(self.head).copied()
-    }
-
-    /// Drops the boundary [`BoundaryQueue::peek`] returned.
-    fn pop(&mut self) {
-        debug_assert!(self.sorted && self.head < self.buf.len());
-        self.head += 1;
-        self.min_time = self.buf.get(self.head).map_or(u64::MAX, |b| b.0);
     }
 
     /// Reclaims the drained prefix once it dominates the buffer, keeping
@@ -844,7 +1094,8 @@ const META_OP_BASE: u32 = 8;
 const META_PHASE_FLAG: u32 = 1 << 31;
 
 /// Incremental overlap sweep: feed event batches with
-/// [`OverlapSweep::push`] as they are decoded, then
+/// [`OverlapSweep::push`] (or whole columnar chunks with
+/// [`OverlapSweep::push_columns`]) as they are decoded, then
 /// [`OverlapSweep::finalize`] to the same [`BreakdownTable`] the batch
 /// [`compute_overlap`] produces over the concatenated stream.
 ///
@@ -852,7 +1103,11 @@ const META_PHASE_FLAG: u32 = 1 << 31;
 /// records (time, tie-break seq, kind/op code); the `Event` itself — and
 /// its name allocation — can be dropped as soon as `push` returns, which
 /// is what lets chunked trace directories be analyzed one decoded chunk
-/// at a time. Pending boundaries live in sorted-run buffers
+/// at a time. Drains attribute through the batch engine's flat
+/// `[phase][operation][slot]` accumulator with run-length coalescing of
+/// same-bucket boundaries, and in-flight operation/phase scopes live in
+/// slabs indexed straight from the boundary's meta word — no per-event
+/// map traffic anywhere on the hot path. Pending boundaries live in sorted-run buffers
 /// that append and pop without any per-boundary heap
 /// work, heapifying (one tail re-sort) only when a push actually arrives
 /// out of order — on near-sorted profiler streams the sweep costs the
@@ -894,14 +1149,24 @@ pub struct OverlapSweep {
     phase_interner: Interner,
     starts: BoundaryQueue,
     ends: BoundaryQueue,
-    /// Dense arrival counter for operation and phase events: heap
-    /// tie-break and open-scope identity.
+    /// Dense arrival counter for operation and phase events: the
+    /// boundary tie-break that keeps same-time scopes in arrival order.
     next_op_seq: u32,
-    /// Slot in `op_stack` occupied by each open operation, by seq.
-    open_ops: HashMap<u32, u32>,
-    /// `(owning pid index, slot in that pid's phase stack)` for each open
-    /// phase, by seq.
-    open_phases: HashMap<u32, (u32, u32)>,
+    /// Slab of in-flight operation events: `(op_id, stack slot)` per
+    /// record. The record index rides in the boundary's **meta** word
+    /// (`META_OP_BASE + rec`), so drains index straight into this array
+    /// — the per-seq hash maps the sweep used to consult per boundary
+    /// are gone. Safe for ordering because every operation boundary has
+    /// a unique seq: the meta word never decides a comparison.
+    op_records: Vec<(u32, u32)>,
+    /// Free list of `op_records` indices (closed operations).
+    op_free: Vec<u32>,
+    /// Slab of in-flight phase events: `(phase_id, owning pid index,
+    /// stack slot)` per record; the record index rides in the meta word
+    /// (`META_PHASE_FLAG | rec`), same scheme as `op_records`.
+    phase_records: Vec<(u32, u32, u32)>,
+    /// Free list of `phase_records` indices (closed phases).
+    phase_free: Vec<u32>,
     /// `(seq, op_id)` entries; closed entries tombstoned in place.
     op_stack: Vec<(u32, u32)>,
     /// Per-pid phase stacks of `(activation order, phase id)` entries,
@@ -912,18 +1177,24 @@ pub struct OverlapSweep {
     /// Raw pid → dense index into the per-pid state; only populated when
     /// phases are tracked.
     pid_map: HashMap<u32, u32>,
+    /// Memo of the last `(raw pid, dense index)` resolved: profiler
+    /// streams run long same-pid stretches, so most lookups never touch
+    /// the map.
+    last_pid: Option<(u32, u32)>,
     /// Active CPU/GPU event count per pid; a pid's phases only tag
     /// segments while this is non-zero.
     pid_activity: Vec<u32>,
-    /// Owning pid index of each in-flight phase event, by seq (recorded
-    /// at push, consumed when the phase's boundaries drain).
-    phase_pids: HashMap<u32, u32>,
     /// Global activation counter for phase starts, in drain order — the
     /// cross-pid innermost tie-break.
     next_phase_activation: u32,
-    /// One flat `(op_id, cpu_tag, gpu)` accumulator per phase id; only
-    /// index 0 ([`NO_PHASE`]) exists when phases are untracked.
-    accs: Vec<Vec<u64>>,
+    /// Flat `[phase][operation][slot]` accumulator — the batch engine's
+    /// layout — with `acc_ops` as the operation-dimension stride; only
+    /// the phase-0 ([`NO_PHASE`]) row exists when phases are untracked.
+    acc: Vec<u64>,
+    /// Operation capacity (stride) of `acc`, ≥ `interner.len()`; doubled
+    /// on growth so op interning re-lays the rows O(log n) times, not
+    /// per new operation.
+    acc_ops: usize,
     cpu_counts: [u32; 4],
     cpu_mask: usize,
     gpu_active: u32,
@@ -972,15 +1243,18 @@ impl OverlapSweep {
             starts: BoundaryQueue::new(),
             ends: BoundaryQueue::new(),
             next_op_seq: 0,
-            open_ops: HashMap::new(),
-            open_phases: HashMap::new(),
+            op_records: Vec::new(),
+            op_free: Vec::new(),
+            phase_records: Vec::new(),
+            phase_free: Vec::new(),
             op_stack: Vec::new(),
             pid_phase_stacks: Vec::new(),
             pid_map: HashMap::new(),
+            last_pid: None,
             pid_activity: Vec::new(),
-            phase_pids: HashMap::new(),
             next_phase_activation: 0,
-            accs: vec![vec![0; SLOTS]],
+            acc: vec![0; SLOTS],
+            acc_ops: 1,
             cpu_counts: [0; 4],
             cpu_mask: 0,
             gpu_active: 0,
@@ -1032,6 +1306,7 @@ impl OverlapSweep {
     /// In bounded mode, [`SweepError::OrderViolation`] if the event
     /// starts before already-finalized time. The sweep is then poisoned
     /// for attribution purposes; discard it and re-analyze exactly.
+    #[inline]
     pub fn push(&mut self, e: &Event) -> Result<(), SweepError> {
         self.events_pushed += 1;
         // Without phase tagging, phases scope reporting, not attribution;
@@ -1055,39 +1330,24 @@ impl OverlapSweep {
         // attribution (no time accrues between equal-time boundaries and
         // their state updates commute). Operations and phases keep the
         // arrival seq — their relative order is load-bearing for scope
-        // identity and activation order.
+        // identity and activation order — while their meta word carries
+        // the slab record index (see `op_records`).
         let (seq, meta) = match &e.kind {
-            EventKind::Cpu(c) => (self.pid_index(e), *c as u32),
-            EventKind::Gpu(_) => (self.pid_index(e), u32::from(CODE_GPU)),
+            EventKind::Cpu(c) => (self.pid_index(e.pid.as_u32()), *c as u32),
+            EventKind::Gpu(_) => (self.pid_index(e.pid.as_u32()), u32::from(CODE_GPU)),
             EventKind::Operation => {
                 let op_id = self.interner.intern(&e.name);
-                let needed = self.interner.len() * SLOTS;
-                for acc in &mut self.accs {
-                    if acc.len() < needed {
-                        acc.resize(needed, 0);
-                    }
-                }
-                (self.next_seq()?, META_OP_BASE + op_id)
+                self.reserve_ops();
+                (self.next_seq()?, META_OP_BASE + self.alloc_op(op_id)?)
             }
             EventKind::Phase => {
                 let phase_id = self.phase_interner.intern(&e.name);
-                if self.accs.len() <= phase_id as usize {
-                    let len = self.interner.len() * SLOTS;
-                    self.accs.resize_with(phase_id as usize + 1, || vec![0; len]);
-                }
-                let pid = self.pid_index(e);
-                let seq = self.next_seq()?;
-                self.phase_pids.insert(seq, pid);
-                (seq, META_PHASE_FLAG | phase_id)
+                self.reserve_phases();
+                let pid = self.pid_index(e.pid.as_u32());
+                (self.next_seq()?, META_PHASE_FLAG | self.alloc_phase(phase_id, pid)?)
             }
         };
-        self.starts.push((start, seq, meta));
-        self.ends.push((end, seq, meta));
-        self.max_start = self.max_start.max(start);
-        if let Some(lag) = self.lag {
-            let safe_to = self.max_start.saturating_sub(lag);
-            self.drain(Some(safe_to));
-        }
+        self.push_boundaries(start, end, seq, meta);
         Ok(())
     }
 
@@ -1103,19 +1363,176 @@ impl OverlapSweep {
         Ok(())
     }
 
-    /// Dense index of the event's pid, growing the per-pid phase state on
+    /// Feeds one decoded chunk in columnar form
+    /// ([`crate::store::decode_columns`]): identical semantics and
+    /// attribution to [`OverlapSweep::push_batch`] over the same events,
+    /// but the per-event loop reads flat primitive columns, and
+    /// operation/phase names are interned once per distinct chunk
+    /// table id (through a per-chunk translation array) instead of
+    /// hashed per event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SweepError`] (see [`OverlapSweep::push`]).
+    pub fn push_columns(&mut self, cols: &EventColumns) -> Result<(), SweepError> {
+        let mut op_xlat = Vec::new();
+        let mut phase_xlat = Vec::new();
+        for i in 0..cols.len() {
+            self.push_col(cols, i, &mut op_xlat, &mut phase_xlat)?;
+        }
+        Ok(())
+    }
+
+    /// [`OverlapSweep::push_columns`] restricted to one process's
+    /// events — the columnar twin of filtering a chunk to `pid` before
+    /// pushing (per-process grouped streaming sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SweepError`] (see [`OverlapSweep::push`]).
+    pub fn push_columns_filtered(
+        &mut self,
+        cols: &EventColumns,
+        pid: u32,
+    ) -> Result<(), SweepError> {
+        let mut op_xlat = Vec::new();
+        let mut phase_xlat = Vec::new();
+        for i in 0..cols.len() {
+            if cols.pids[i] == pid {
+                self.push_col(cols, i, &mut op_xlat, &mut phase_xlat)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One columnar event through the push path (shared by
+    /// [`OverlapSweep::push_columns`] and its filtered variant).
+    fn push_col(
+        &mut self,
+        cols: &EventColumns,
+        i: usize,
+        op_xlat: &mut Vec<u32>,
+        phase_xlat: &mut Vec<u32>,
+    ) -> Result<(), SweepError> {
+        self.events_pushed += 1;
+        let tag = cols.kinds[i];
+        let (start, end) = (cols.starts[i], cols.ends[i]);
+        if start == end || (tag == WIRE_TAG_PHASE && !self.track_phases) {
+            return Ok(());
+        }
+        if self.have_prev && start < self.prev_t {
+            return Err(SweepError::OrderViolation { start, swept_to: self.prev_t });
+        }
+        let (seq, meta) = match tag {
+            0..=3 => (self.pid_index(cols.pids[i]), u32::from(tag)),
+            WIRE_TAG_OP => {
+                let op_id = xlat_id(op_xlat, &mut self.interner, &cols.names, cols.name_ids[i]);
+                self.reserve_ops();
+                (self.next_seq()?, META_OP_BASE + self.alloc_op(op_id)?)
+            }
+            WIRE_TAG_PHASE => {
+                let phase_id =
+                    xlat_id(phase_xlat, &mut self.phase_interner, &cols.names, cols.name_ids[i]);
+                self.reserve_phases();
+                let pid = self.pid_index(cols.pids[i]);
+                (self.next_seq()?, META_PHASE_FLAG | self.alloc_phase(phase_id, pid)?)
+            }
+            _ => (self.pid_index(cols.pids[i]), u32::from(CODE_GPU)),
+        };
+        self.push_boundaries(start, end, seq, meta);
+        Ok(())
+    }
+
+    /// Queues one event's boundary pair and runs the bounded-mode eager
+    /// drain — the tail every push variant shares.
+    #[inline]
+    fn push_boundaries(&mut self, start: u64, end: u64, seq: u32, meta: u32) {
+        self.starts.push((start, seq, meta));
+        self.ends.push((end, seq, meta));
+        self.max_start = self.max_start.max(start);
+        if let Some(lag) = self.lag {
+            let safe_to = self.max_start.saturating_sub(lag);
+            self.drain(Some(safe_to));
+        }
+    }
+
+    /// Allocates a slab record for an opening operation event.
+    fn alloc_op(&mut self, op_id: u32) -> Result<u32, SweepError> {
+        if let Some(rec) = self.op_free.pop() {
+            self.op_records[rec as usize] = (op_id, 0);
+            return Ok(rec);
+        }
+        let rec = self.op_records.len() as u32;
+        // The record index must stay below the phase flag bit so op and
+        // phase meta words remain disjoint ranges.
+        if rec >= META_PHASE_FLAG - META_OP_BASE {
+            return Err(SweepError::TooManyOperations);
+        }
+        self.op_records.push((op_id, 0));
+        Ok(rec)
+    }
+
+    /// Allocates a slab record for an opening phase event.
+    fn alloc_phase(&mut self, phase_id: u32, pid: u32) -> Result<u32, SweepError> {
+        if let Some(rec) = self.phase_free.pop() {
+            self.phase_records[rec as usize] = (phase_id, pid, 0);
+            return Ok(rec);
+        }
+        let rec = self.phase_records.len() as u32;
+        if rec >= META_PHASE_FLAG {
+            return Err(SweepError::TooManyOperations);
+        }
+        self.phase_records.push((phase_id, pid, 0));
+        Ok(rec)
+    }
+
+    /// Grows the accumulator's operation stride to cover the interner,
+    /// doubling so growth re-lays the phase rows O(log n) times total.
+    fn reserve_ops(&mut self) {
+        let n_ops = self.interner.len();
+        if n_ops <= self.acc_ops {
+            return;
+        }
+        let new_ops = (self.acc_ops * 2).max(n_ops);
+        let n_phases = self.phase_interner.len();
+        let mut acc = vec![0u64; n_phases * new_ops * SLOTS];
+        for p in 0..n_phases {
+            acc[p * new_ops * SLOTS..][..self.acc_ops * SLOTS]
+                .copy_from_slice(&self.acc[p * self.acc_ops * SLOTS..][..self.acc_ops * SLOTS]);
+        }
+        self.acc = acc;
+        self.acc_ops = new_ops;
+    }
+
+    /// Grows the accumulator to cover the phase interner (appends rows —
+    /// the op stride is untouched, so no re-layout).
+    fn reserve_phases(&mut self) {
+        let need = self.phase_interner.len() * self.acc_ops * SLOTS;
+        if self.acc.len() < need {
+            self.acc.resize(need, 0);
+        }
+    }
+
+    /// Dense index of a raw pid, growing the per-pid phase state on
     /// first sight. Constant 0 when phases are untracked — plain sweeps
     /// never consult pid state.
-    fn pid_index(&mut self, e: &Event) -> u32 {
+    #[inline]
+    fn pid_index(&mut self, pid: u32) -> u32 {
         if !self.track_phases {
             return 0;
         }
+        if let Some((raw, idx)) = self.last_pid {
+            if raw == pid {
+                return idx;
+            }
+        }
         let next = self.pid_map.len() as u32;
-        let p = *self.pid_map.entry(e.pid.as_u32()).or_insert(next);
+        let p = *self.pid_map.entry(pid).or_insert(next);
         if p == next {
             self.pid_activity.push(0);
             self.pid_phase_stacks.push(Vec::new());
         }
+        self.last_pid = Some((pid, p));
         p
     }
 
@@ -1130,10 +1547,11 @@ impl OverlapSweep {
     /// phases merged — identical to the phase-untracked table).
     pub fn finalize(mut self) -> BreakdownTable {
         self.drain(None);
-        let len = self.interner.len() * SLOTS;
-        let mut merged = vec![0u64; len];
-        for acc in &self.accs {
-            for (m, &v) in merged.iter_mut().zip(acc) {
+        let n_ops = self.interner.len();
+        let row = self.acc_ops * SLOTS;
+        let mut merged = vec![0u64; n_ops * SLOTS];
+        for p in 0..self.phase_interner.len() {
+            for (m, &v) in merged.iter_mut().zip(&self.acc[p * row..][..n_ops * SLOTS]) {
                 *m += v;
             }
         }
@@ -1146,12 +1564,14 @@ impl OverlapSweep {
     /// merging the groups reproduces [`OverlapSweep::finalize`] exactly.
     pub fn finalize_grouped(mut self) -> PhaseTables {
         self.drain(None);
+        let n_ops = self.interner.len();
+        let row = self.acc_ops * SLOTS;
         self.phase_interner
             .names()
             .iter()
-            .zip(&self.accs)
-            .filter_map(|(name, acc)| {
-                let table = materialize(&self.interner, acc);
+            .enumerate()
+            .filter_map(|(p, name)| {
+                let table = materialize(&self.interner, &self.acc[p * row..][..n_ops * SLOTS]);
                 (!table.is_empty()).then(|| (name.clone(), table))
             })
             .collect()
@@ -1159,132 +1579,202 @@ impl OverlapSweep {
 
     /// Processes pending boundaries with time ≤ `limit` (all when `None`),
     /// ends before starts at equal times — the same merge order as the
-    /// batch engine.
+    /// batch engine. Like the batch merge loop, attribution is run-length
+    /// coalesced: consecutive boundaries that leave the active bucket
+    /// unchanged extend one open run instead of touching the accumulator.
     fn drain(&mut self, limit: Option<u64>) {
         // Fast pre-check for the bounded mode's per-push drains: when
-        // nothing pending is at or below the limit, return before peeking
-        // — peeking may re-sort a disordered tail, and doing that on
-        // every push of a wide-lag stream is quadratic.
+        // nothing pending is at or below the limit, return before sorting
+        // — re-sorting a disordered tail on every push of a wide-lag
+        // stream is quadratic.
         if let Some(l) = limit {
             if self.starts.min_time().min(self.ends.min_time()) > l {
                 return;
             }
         }
+        // Take the queues out of `self` so the merge loop can index their
+        // buffers directly while the sweep state mutates.
+        let mut starts = std::mem::take(&mut self.starts);
+        let mut ends = std::mem::take(&mut self.ends);
+        starts.ensure_sorted();
+        ends.ensure_sorted();
+        let mut si = starts.head;
+        let mut ei = ends.head;
+        // Hoist the hot sweep state into locals for the merge loop and
+        // write it back afterwards. The batch engine's merge keeps all of
+        // this in registers; routing every boundary through `self` fields
+        // interleaved with heap writes (accumulator, scope stacks) the
+        // optimizer cannot prove disjoint from them costs ~2x on the
+        // drain loop alone.
+        let mut prev_t = self.prev_t;
+        let mut have_prev = self.have_prev;
+        let mut cpu_counts = self.cpu_counts;
+        let mut cpu_mask = self.cpu_mask;
+        let mut gpu_active = self.gpu_active;
+        let mut cur_op = self.cur_op;
+        let mut cur_phase = self.cur_phase;
+        let mut phase_dirty = self.phase_dirty;
+        let mut next_phase_activation = self.next_phase_activation;
+        let track_phases = self.track_phases;
+        let acc_ops = self.acc_ops;
+        let untracked = self.untracked;
+        let acc = &mut self.acc;
+        let op_stack = &mut self.op_stack;
+        let op_records = &mut self.op_records;
+        let op_free = &mut self.op_free;
+        let phase_records = &mut self.phase_records;
+        let phase_free = &mut self.phase_free;
+        let pid_phase_stacks = &mut self.pid_phase_stacks;
+        let pid_activity = &mut self.pid_activity;
+        // The open attribution run: `acc[run_idx]` accrues
+        // `[run_t0, prev_t]` once the bucket changes or activity stops.
+        let mut run_idx = usize::MAX;
+        let mut run_t0 = 0u64;
         // Starts can never outlive ends: every push adds both and starts
         // drain first (start < end for non-zero-length events).
-        while let Some(end_head) = self.ends.peek() {
-            let start_head = self.starts.peek();
-            let is_start = start_head.is_some_and(|s| s.0 < end_head.0);
-            let (t, seq, meta) = if is_start { start_head.unwrap() } else { end_head };
+        while ei < ends.buf.len() {
+            let end_head = ends.buf[ei];
+            let is_start = si < starts.buf.len() && starts.buf[si].0 < end_head.0;
+            let (t, seq, meta) = if is_start { starts.buf[si] } else { end_head };
             if limit.is_some_and(|l| t > l) {
                 break;
             }
             if is_start {
-                self.starts.pop();
+                si += 1;
             } else {
-                self.ends.pop();
+                ei += 1;
             }
-            if self.have_prev && t > self.prev_t && (self.cpu_mask != 0 || self.gpu_active > 0) {
-                if self.phase_dirty {
-                    self.cur_phase =
-                        innermost_eligible_phase(&self.pid_activity, &self.pid_phase_stacks);
-                    self.phase_dirty = false;
+            if have_prev && t > prev_t {
+                if cpu_mask != 0 || gpu_active > 0 {
+                    if phase_dirty {
+                        cur_phase = innermost_eligible_phase(pid_activity, pid_phase_stacks);
+                        phase_dirty = false;
+                    }
+                    let tag = FINEST_TAG[cpu_mask] as usize;
+                    let gpu = (gpu_active > 0) as usize;
+                    let bucket =
+                        (cur_phase as usize * acc_ops + cur_op as usize) * SLOTS + tag * 2 + gpu;
+                    if bucket != run_idx {
+                        if run_idx != usize::MAX {
+                            acc[run_idx] += prev_t - run_t0;
+                        }
+                        run_idx = bucket;
+                        run_t0 = prev_t;
+                    }
+                } else if run_idx != usize::MAX {
+                    acc[run_idx] += prev_t - run_t0;
+                    run_idx = usize::MAX;
                 }
-                let tag = FINEST_TAG[self.cpu_mask] as usize;
-                let gpu = (self.gpu_active > 0) as usize;
-                self.accs[self.cur_phase as usize][self.cur_op as usize * SLOTS + tag * 2 + gpu] +=
-                    t - self.prev_t;
             }
-            self.prev_t = t;
-            self.have_prev = true;
+            prev_t = t;
+            have_prev = true;
 
             match meta {
                 code @ 0..=3 => {
                     let ci = code as usize;
                     if is_start {
-                        if self.cpu_counts[ci] == 0 {
-                            self.cpu_mask |= 1 << ci;
+                        if cpu_counts[ci] == 0 {
+                            cpu_mask |= 1 << ci;
                         }
-                        self.cpu_counts[ci] += 1;
+                        cpu_counts[ci] += 1;
                     } else {
-                        let n = &mut self.cpu_counts[ci];
+                        let n = &mut cpu_counts[ci];
                         assert!(*n > 0, "unbalanced cpu event");
                         *n -= 1;
                         if *n == 0 {
-                            self.cpu_mask &= !(1 << ci);
+                            cpu_mask &= !(1 << ci);
                         }
                     }
                     // For CPU/GPU boundaries `seq` carries the pid index.
-                    if self.track_phases {
-                        let a = &mut self.pid_activity[seq as usize];
+                    if track_phases {
+                        let a = &mut pid_activity[seq as usize];
                         if is_start {
                             *a += 1;
-                            self.phase_dirty |= *a == 1;
+                            phase_dirty |= *a == 1;
                         } else {
                             *a -= 1;
-                            self.phase_dirty |= *a == 0;
+                            phase_dirty |= *a == 0;
                         }
                     }
                 }
                 4 => {
                     if is_start {
-                        self.gpu_active += 1;
+                        gpu_active += 1;
                     } else {
-                        self.gpu_active -= 1;
+                        gpu_active -= 1;
                     }
-                    if self.track_phases {
-                        let a = &mut self.pid_activity[seq as usize];
+                    if track_phases {
+                        let a = &mut pid_activity[seq as usize];
                         if is_start {
                             *a += 1;
-                            self.phase_dirty |= *a == 1;
+                            phase_dirty |= *a == 1;
                         } else {
                             *a -= 1;
-                            self.phase_dirty |= *a == 0;
+                            phase_dirty |= *a == 0;
                         }
                     }
                 }
                 m if m & META_PHASE_FLAG != 0 => {
-                    let phase_id = m & !META_PHASE_FLAG;
+                    let rec = (m & !META_PHASE_FLAG) as usize;
                     if is_start {
-                        let pid = *self.phase_pids.get(&seq).expect("phase start without push");
-                        let stack = &mut self.pid_phase_stacks[pid as usize];
-                        self.open_phases.insert(seq, (pid, stack.len() as u32));
-                        stack.push((self.next_phase_activation, phase_id));
-                        self.next_phase_activation += 1;
+                        let (phase_id, pid, _) = phase_records[rec];
+                        let stack = &mut pid_phase_stacks[pid as usize];
+                        phase_records[rec].2 = stack.len() as u32;
+                        stack.push((next_phase_activation, phase_id));
+                        next_phase_activation += 1;
                     } else {
-                        let (pid, slot) =
-                            self.open_phases.remove(&seq).expect("phase end without start");
-                        self.phase_pids.remove(&seq);
-                        let stack = &mut self.pid_phase_stacks[pid as usize];
+                        let (_, pid, slot) = phase_records[rec];
+                        phase_free.push(rec as u32);
+                        let stack = &mut pid_phase_stacks[pid as usize];
                         stack[slot as usize].0 = TOMBSTONE;
                         while stack.last().is_some_and(|&(a, _)| a == TOMBSTONE) {
                             stack.pop();
                         }
                     }
-                    self.phase_dirty = true;
+                    phase_dirty = true;
                 }
                 _ => {
-                    let op_id = meta - META_OP_BASE;
+                    let rec = (meta - META_OP_BASE) as usize;
                     if is_start {
-                        self.open_ops.insert(seq, self.op_stack.len() as u32);
-                        self.op_stack.push((seq, op_id));
+                        let op_id = op_records[rec].0;
+                        op_records[rec].1 = op_stack.len() as u32;
+                        op_stack.push((seq, op_id));
                     } else {
-                        let slot =
-                            self.open_ops.remove(&seq).expect("op end without start") as usize;
-                        debug_assert_eq!(self.op_stack[slot].0, seq, "operation stack corrupted");
-                        self.op_stack[slot].0 = TOMBSTONE;
-                        while self.op_stack.last().is_some_and(|&(s, _)| s == TOMBSTONE) {
-                            self.op_stack.pop();
+                        let slot = op_records[rec].1 as usize;
+                        op_free.push(rec as u32);
+                        debug_assert_eq!(op_stack[slot].0, seq, "operation stack corrupted");
+                        op_stack[slot].0 = TOMBSTONE;
+                        while op_stack.last().is_some_and(|&(s, _)| s == TOMBSTONE) {
+                            op_stack.pop();
                         }
                     }
-                    self.cur_op = self.op_stack.last().map(|&(_, id)| id).unwrap_or(self.untracked);
+                    cur_op = op_stack.last().map(|&(_, id)| id).unwrap_or(untracked);
                 }
             }
         }
+        // Flush the open run: it covers [run_t0, prev_t] exactly.
+        if run_idx != usize::MAX {
+            acc[run_idx] += prev_t - run_t0;
+        }
+        self.prev_t = prev_t;
+        self.have_prev = have_prev;
+        self.cpu_counts = cpu_counts;
+        self.cpu_mask = cpu_mask;
+        self.gpu_active = gpu_active;
+        self.cur_op = cur_op;
+        self.cur_phase = cur_phase;
+        self.phase_dirty = phase_dirty;
+        self.next_phase_activation = next_phase_activation;
+        starts.head = si;
+        starts.min_time = starts.buf.get(si).map_or(u64::MAX, |b| b.0);
+        ends.head = ei;
+        ends.min_time = ends.buf.get(ei).map_or(u64::MAX, |b| b.0);
         // Bounded mode drains repeatedly: reclaim the drained prefixes so
         // the buffers track the lag window, not the stream.
-        self.starts.compact();
-        self.ends.compact();
+        starts.compact();
+        ends.compact();
+        self.starts = starts;
+        self.ends = ends;
     }
 }
 
@@ -1680,5 +2170,29 @@ mod tests {
             sweep.push_batch(&events[split..]).unwrap();
             assert_eq!(sweep.finalize_grouped(), expected, "split {split}");
         }
+    }
+
+    /// The columnar batch sweep resolves phase grouping identically to
+    /// the row batch sweep — group names, group order, and every bucket
+    /// — and its columnar streaming twin (`push_columns` +
+    /// `finalize_grouped`) agrees too.
+    #[test]
+    fn columnar_phase_grouping_matches_rows() {
+        let events = [
+            pev(0, EventKind::Phase, "train", 0, 100),
+            pev(0, EventKind::Cpu(CpuCategory::Python), "py", 0, 30),
+            pev(0, EventKind::Operation, "step", 10, 80),
+            pev(1, EventKind::Phase, "eval", 5, 50),
+            pev(1, EventKind::Cpu(CpuCategory::Simulator), "sim", 20, 40),
+            pev(1, EventKind::Gpu(crate::event::GpuCategory::Kernel), "k", 60, 90),
+            pev(0, EventKind::Cpu(CpuCategory::Backend), "be", 70, 95),
+        ];
+        let expected = sweep_tables_by_phase(events.iter());
+        let cols = EventColumns::from_events(&events);
+        assert_eq!(sweep_tables_by_phase_columns(&cols), expected);
+
+        let mut sweep = OverlapSweep::new().with_phase_tagging();
+        sweep.push_columns(&cols).unwrap();
+        assert_eq!(sweep.finalize_grouped(), expected);
     }
 }

@@ -138,6 +138,32 @@
 //! materializing the concatenated event stream ([`read_chunk_dir`] does
 //! exactly that concatenation and remains only for small traces and
 //! tests).
+//!
+//! # Columnar layout
+//!
+//! [`decode_columns`] decodes the same three wire formats into an
+//! [`EventColumns`] structure of arrays instead of a `Vec<Event>`:
+//! parallel `pids: Vec<u32>`, `kinds: Vec<u8>` (the wire tags, already
+//! validated), `name_ids: Vec<u32>` (indices into the chunk's shared
+//! `names` table), `starts: Vec<u64>`, and `ends: Vec<u64>` columns,
+//! plus a `start_sorted` hint computed during the decode. Row and
+//! columnar decodes share the varint/zigzag cursors and every
+//! validation rule, so a chunk decodes successfully on one path iff it
+//! decodes on the other (`tests/properties.rs` pins field-for-field
+//! equality, `tests/fuzz_codec.rs` pins never-panic).
+//!
+//! The columnar path exists for speed on the hot analysis and ingest
+//! paths: it writes five flat primitive columns instead of one ~48-byte
+//! struct per event, clones no per-event `Arc<str>` (names stay in the
+//! chunk's table, referenced by id), and on v3 chunks cross-checks the
+//! footer via [`compute_footer_columns`] without ever materializing
+//! rows. Downstream, [`crate::overlap::compute_overlap_columns`] and
+//! [`crate::overlap::OverlapSweep::push_columns`] run the sweep
+//! directly over the columns; [`ChunkColumnReader`] and
+//! [`for_each_decoded_chunk_columns`] are the column-mode variants of
+//! the streaming readers. Row decode ([`decode_events`]) remains the
+//! entry point wherever whole `Event` values are genuinely needed
+//! (crash-recovery replay, compatibility tooling, small traces).
 
 use crate::event::{CpuCategory, Event, EventKind, GpuCategory};
 use crate::intern::{FnvHasher, Interner};
@@ -779,9 +805,11 @@ fn decode_events_v1(mut data: &[u8]) -> Result<Vec<Event>, TraceIoError> {
     Ok(events)
 }
 
-/// Decodes the shared v2/v3 body (`count`, string table, event records),
-/// advancing `data` past the records it consumed.
-fn decode_v2_body(data: &mut &[u8]) -> Result<Vec<Event>, TraceIoError> {
+/// Decodes the shared v2/v3 chunk header — `count`, then the string
+/// table — advancing `data` past it. Both the row and columnar body
+/// decoders start here, so header validation lives in exactly one
+/// place.
+fn decode_v2_header(data: &mut &[u8]) -> Result<(usize, Vec<Arc<str>>), TraceIoError> {
     if data.remaining() < 4 {
         return Err(TraceIoError::Corrupt("truncated chunk header".into()));
     }
@@ -808,6 +836,13 @@ fn decode_v2_body(data: &mut &[u8]) -> Result<Vec<Event>, TraceIoError> {
         names.push(Arc::from(s));
         *data = rest;
     }
+    Ok((count, names))
+}
+
+/// Decodes the shared v2/v3 body (`count`, string table, event records),
+/// advancing `data` past the records it consumed.
+fn decode_v2_body(data: &mut &[u8]) -> Result<Vec<Event>, TraceIoError> {
+    let (count, names) = decode_v2_header(data)?;
     let mut events = Vec::with_capacity(count.min(1 << 20));
     let mut prev_start: i64 = 0;
     for i in 0..count {
@@ -843,6 +878,347 @@ fn decode_v2_body(data: &mut &[u8]) -> Result<Vec<Event>, TraceIoError> {
         });
     }
     Ok(events)
+}
+
+// ---------------------------------------------------------------------------
+// Columnar decode (structure of arrays)
+// ---------------------------------------------------------------------------
+
+/// A decoded chunk as a structure of arrays — see the module docs'
+/// *Columnar layout* section. One entry per event across the five
+/// parallel columns; `names` is the chunk's shared name table (v2/v3
+/// string table verbatim; deduplicated on the fly for v1), referenced
+/// by `name_ids`, never cloned per event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventColumns {
+    /// Chunk-local name table; `name_ids` index into it.
+    pub names: Vec<Arc<str>>,
+    /// Process id per event.
+    pub pids: Vec<u32>,
+    /// Wire kind tag per event (0–3 CPU, 4–5 GPU, 6 operation, 7
+    /// phase), validated against the known tags at decode.
+    pub kinds: Vec<u8>,
+    /// Index into `names` per event, validated in range at decode.
+    pub name_ids: Vec<u32>,
+    /// Start timestamp (ns) per event.
+    pub starts: Vec<u64>,
+    /// End timestamp (ns) per event.
+    pub ends: Vec<u64>,
+    /// Whether `starts` is ascending — computed inline during decode,
+    /// so sorted-stream consumers (bounded-lag sweeps) get the hint
+    /// without a second pass. `false` is always safe.
+    pub start_sorted: bool,
+}
+
+impl EventColumns {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True when the chunk holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Builds columns from a row slice — the inverse of [`Self::to_events`].
+    /// Names longer than the wire limit are truncated exactly as the
+    /// codec truncates them, so `from_events` agrees with a round trip
+    /// through [`encode_events`] + [`decode_columns`].
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut interner = Interner::with_capacity(64);
+        let mut cols = EventColumns {
+            names: Vec::new(),
+            pids: Vec::with_capacity(events.len()),
+            kinds: Vec::with_capacity(events.len()),
+            name_ids: Vec::with_capacity(events.len()),
+            starts: Vec::with_capacity(events.len()),
+            ends: Vec::with_capacity(events.len()),
+            start_sorted: true,
+        };
+        let mut prev = 0u64;
+        for e in events {
+            let id = if e.name.len() <= u16::MAX as usize {
+                interner.intern(&e.name)
+            } else {
+                interner.intern_str(truncate_name(&e.name))
+            };
+            let s = e.start.as_nanos();
+            cols.pids.push(e.pid.as_u32());
+            cols.kinds.push(kind_tag(&e.kind));
+            cols.name_ids.push(id);
+            cols.starts.push(s);
+            cols.ends.push(e.end.as_nanos());
+            cols.start_sorted &= s >= prev;
+            prev = s;
+        }
+        cols.names = interner.names().to_vec();
+        cols
+    }
+
+    /// Materializes the columns back into rows. This is the
+    /// compatibility bridge, not a hot path — each event clones its
+    /// name `Arc` out of the table.
+    pub fn to_events(&self) -> Vec<Event> {
+        (0..self.len())
+            .map(|i| Event {
+                pid: ProcessId(self.pids[i]),
+                kind: tag_kind(self.kinds[i]).expect("EventColumns carries validated kind tags"),
+                name: self.names[self.name_ids[i] as usize].clone(),
+                start: TimeNs::from_nanos(self.starts[i]),
+                end: TimeNs::from_nanos(self.ends[i]),
+            })
+            .collect()
+    }
+
+    /// Keeps only the events of `pid`, in place (all columns move
+    /// together; the name table is untouched). A subsequence of a
+    /// sorted column stays sorted, so `start_sorted` survives.
+    pub fn retain_pid(&mut self, pid: u32) {
+        let mut w = 0;
+        for i in 0..self.len() {
+            if self.pids[i] == pid {
+                self.pids[w] = self.pids[i];
+                self.kinds[w] = self.kinds[i];
+                self.name_ids[w] = self.name_ids[i];
+                self.starts[w] = self.starts[i];
+                self.ends[w] = self.ends[i];
+                w += 1;
+            }
+        }
+        self.truncate(w);
+    }
+
+    /// Clips every event to the half-open window `[lo, hi)`, dropping
+    /// events left empty — the columnar twin of the analysis pipeline's
+    /// window clip (attribution over clipped events equals within-window
+    /// attribution, because the sweep is segment-based). Clamping starts
+    /// up to `lo` is monotone, so `start_sorted` survives.
+    pub fn clip_window(&mut self, lo: u64, hi: u64) {
+        let mut w = 0;
+        for i in 0..self.len() {
+            let s = self.starts[i].max(lo);
+            let t = self.ends[i].min(hi);
+            if s < t {
+                self.pids[w] = self.pids[i];
+                self.kinds[w] = self.kinds[i];
+                self.name_ids[w] = self.name_ids[i];
+                self.starts[w] = s;
+                self.ends[w] = t;
+                w += 1;
+            }
+        }
+        self.truncate(w);
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.pids.truncate(len);
+        self.kinds.truncate(len);
+        self.name_ids.truncate(len);
+        self.starts.truncate(len);
+        self.ends.truncate(len);
+    }
+}
+
+/// [`compute_footer`] over columns: the same summary a v3 columnar
+/// decode cross-checks against its trailer, computed without
+/// materializing rows. Names in a decoded chunk are already within the
+/// wire limit, so no truncation is needed here.
+pub fn compute_footer_columns(cols: &EventColumns) -> ChunkFooter {
+    let mut min_start = u64::MAX;
+    let mut max_start = 0u64;
+    let mut max_end = 0u64;
+    let mut sorted = true;
+    let mut prev = 0u64;
+    let mut pids: Vec<u32> = Vec::new();
+    let mut phases: BTreeMap<Arc<str>, (u64, u64, Vec<u32>)> = BTreeMap::new();
+    for i in 0..cols.len() {
+        let (s, t) = (cols.starts[i], cols.ends[i]);
+        min_start = min_start.min(s);
+        max_start = max_start.max(s);
+        max_end = max_end.max(t);
+        sorted &= s >= prev;
+        prev = s;
+        let pid = cols.pids[i];
+        if let Err(at) = pids.binary_search(&pid) {
+            pids.insert(at, pid);
+        }
+        if cols.kinds[i] == TAG_PHASE {
+            let name = cols.names[cols.name_ids[i] as usize].clone();
+            let span = phases.entry(name).or_insert((s, t, Vec::new()));
+            span.0 = span.0.min(s);
+            span.1 = span.1.max(t);
+            if let Err(at) = span.2.binary_search(&pid) {
+                span.2.insert(at, pid);
+            }
+        }
+    }
+    ChunkFooter {
+        events: cols.len() as u32,
+        min_start,
+        max_start,
+        max_end,
+        start_sorted: sorted,
+        pids,
+        phases: phases
+            .into_iter()
+            .map(|(name, (min_start, max_end, pids))| PhaseSpan { name, min_start, max_end, pids })
+            .collect(),
+    }
+}
+
+/// The wire tag of [`EventKind::Phase`] (see [`kind_tag`]).
+const TAG_PHASE: u8 = 7;
+
+/// Columnar twin of [`decode_events`]: decodes a v1/v2/v3 chunk into
+/// [`EventColumns`] with zero `Vec<Event>` materialization. Dispatches
+/// on the magic exactly like the row decoder and applies the same
+/// validation (v3 chunks cross-check their footer via
+/// [`compute_footer_columns`]), so any chunk decodes on this path iff
+/// it decodes on the row path.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Corrupt`] on bad magic, truncation, invalid
+/// tags, or a footer that fails validation.
+pub fn decode_columns(mut data: &[u8]) -> Result<EventColumns, TraceIoError> {
+    if data.len() < MAGIC_V1.len() + 4 {
+        return Err(TraceIoError::Corrupt("chunk too short for header".into()));
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    match &magic {
+        m if m == MAGIC_V1 => decode_columns_v1(data),
+        m if m == MAGIC_V2 => {
+            let mut cursor = data;
+            decode_v2_body_columns(&mut cursor)
+        }
+        m if m == MAGIC_V3 => decode_columns_v3(data),
+        _ => Err(TraceIoError::Corrupt("bad magic".into())),
+    }
+}
+
+/// Columnar v3 fast path: body and footer decode plus the
+/// footer-vs-events cross-check, entirely over columns.
+fn decode_columns_v3(rem: &[u8]) -> Result<EventColumns, TraceIoError> {
+    let (body, footer_bytes) = split_v3(rem)?;
+    let footer = decode_footer_payload(footer_bytes)?;
+    let mut cursor = body;
+    let cols = decode_v2_body_columns(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(TraceIoError::Corrupt("trailing bytes after v3 event records".into()));
+    }
+    if !footer_consistent(&footer, &compute_footer_columns(&cols)) {
+        return Err(TraceIoError::Corrupt("footer contradicts chunk events".into()));
+    }
+    Ok(cols)
+}
+
+/// Columnar twin of [`decode_events_v1`]: fixed-width records, names
+/// deduplicated into the column table on the fly.
+fn decode_columns_v1(mut data: &[u8]) -> Result<EventColumns, TraceIoError> {
+    let count = data.get_u32() as usize;
+    let cap = count.min(1 << 20);
+    let mut interner = Interner::with_capacity(64);
+    let mut cols = EventColumns {
+        names: Vec::new(),
+        pids: Vec::with_capacity(cap),
+        kinds: Vec::with_capacity(cap),
+        name_ids: Vec::with_capacity(cap),
+        starts: Vec::with_capacity(cap),
+        ends: Vec::with_capacity(cap),
+        start_sorted: true,
+    };
+    let mut prev = 0u64;
+    for i in 0..count {
+        if data.remaining() < 4 + 1 + 2 {
+            return Err(TraceIoError::Corrupt(format!("truncated at event {i}")));
+        }
+        let pid = data.get_u32();
+        let tag = data.get_u8();
+        tag_kind(tag)?;
+        let name_len = data.get_u16() as usize;
+        if data.remaining() < name_len + 16 {
+            return Err(TraceIoError::Corrupt(format!("truncated name at event {i}")));
+        }
+        let Some((name_bytes, rest)) = data.split_at_checked(name_len) else {
+            return Err(TraceIoError::Corrupt(format!("truncated name at event {i}")));
+        };
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| TraceIoError::Corrupt(format!("non-utf8 name at event {i}")))?;
+        let name_id = interner.intern_str(name);
+        data = rest;
+        let start = data.get_u64();
+        let end = data.get_u64();
+        if end < start {
+            return Err(TraceIoError::Corrupt(format!("event {i} ends before start")));
+        }
+        cols.pids.push(pid);
+        cols.kinds.push(tag);
+        cols.name_ids.push(name_id);
+        cols.starts.push(start);
+        cols.ends.push(end);
+        cols.start_sorted &= start >= prev;
+        prev = start;
+    }
+    cols.names = interner.names().to_vec();
+    Ok(cols)
+}
+
+/// Columnar twin of [`decode_v2_body`]: same header, same varint/zigzag
+/// cursor and validation per record, but fields land in flat columns
+/// and names stay in the table as ids.
+fn decode_v2_body_columns(data: &mut &[u8]) -> Result<EventColumns, TraceIoError> {
+    let (count, names) = decode_v2_header(data)?;
+    let n_names = names.len();
+    let cap = count.min(1 << 20);
+    let mut cols = EventColumns {
+        names,
+        pids: Vec::with_capacity(cap),
+        kinds: Vec::with_capacity(cap),
+        name_ids: Vec::with_capacity(cap),
+        starts: Vec::with_capacity(cap),
+        ends: Vec::with_capacity(cap),
+        start_sorted: true,
+    };
+    let mut prev_start: i64 = 0;
+    let mut prev: u64 = 0;
+    for i in 0..count {
+        let pid = get_varint(data, "pid")?;
+        let pid = u32::try_from(pid)
+            .map_err(|_| TraceIoError::Corrupt(format!("pid out of range at event {i}")))?;
+        if data.remaining() < 1 {
+            return Err(TraceIoError::Corrupt(format!("truncated at event {i}")));
+        }
+        let tag = data.get_u8();
+        tag_kind(tag)?;
+        let name_id = get_varint(data, "name id")? as usize;
+        if name_id >= n_names {
+            return Err(TraceIoError::Corrupt(format!(
+                "name id {name_id} out of range at event {i}"
+            )));
+        }
+        let delta = unzigzag(get_varint(data, "start delta")?);
+        let start = prev_start
+            .checked_add(delta)
+            .ok_or_else(|| TraceIoError::Corrupt(format!("timestamp overflow at event {i}")))?;
+        if start < 0 {
+            return Err(TraceIoError::Corrupt(format!("negative timestamp at event {i}")));
+        }
+        let duration = get_varint(data, "duration")?;
+        let end = (start as u64)
+            .checked_add(duration)
+            .ok_or_else(|| TraceIoError::Corrupt(format!("timestamp overflow at event {i}")))?;
+        prev_start = start;
+        cols.pids.push(pid);
+        cols.kinds.push(tag);
+        cols.name_ids.push(name_id as u32);
+        cols.starts.push(start as u64);
+        cols.ends.push(end);
+        cols.start_sorted &= start as u64 >= prev;
+        prev = start as u64;
+    }
+    Ok(cols)
 }
 
 // ---------------------------------------------------------------------------
@@ -1241,6 +1617,49 @@ impl Iterator for ChunkReader {
             let mut data = Vec::new();
             fs::File::open(&path)?.read_to_end(&mut data)?;
             decode_events(&data)
+        };
+        Some(read())
+    }
+}
+
+/// Column-mode [`ChunkReader`]: same stream order and bounded-memory
+/// contract, but each `next()` yields the chunk as [`EventColumns`]
+/// via [`decode_columns`] instead of a `Vec<Event>`.
+#[derive(Debug)]
+pub struct ChunkColumnReader {
+    paths: std::vec::IntoIter<PathBuf>,
+}
+
+impl ChunkColumnReader {
+    /// Opens `dir`, resolving its chunk files in stream order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be listed.
+    pub fn open(dir: &Path) -> Result<Self, TraceIoError> {
+        Ok(ChunkColumnReader { paths: list_chunk_files(dir)?.into_iter() })
+    }
+
+    /// A reader over an explicit file list, read in the given order.
+    pub fn from_files(files: Vec<PathBuf>) -> Self {
+        ChunkColumnReader { paths: files.into_iter() }
+    }
+
+    /// Chunks not yet yielded.
+    pub fn remaining_chunks(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+impl Iterator for ChunkColumnReader {
+    type Item = Result<EventColumns, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let path = self.paths.next()?;
+        let read = || -> Result<EventColumns, TraceIoError> {
+            let mut data = Vec::new();
+            fs::File::open(&path)?.read_to_end(&mut data)?;
+            decode_columns(&data)
         };
         Some(read())
     }
@@ -1959,13 +2378,41 @@ pub fn reorder_chunk_dir_with(
 pub fn for_each_decoded_chunk<E: From<TraceIoError>>(
     files: &[PathBuf],
     threads: usize,
-    mut consume: impl FnMut(Vec<Event>) -> Result<(), E>,
+    consume: impl FnMut(Vec<Event>) -> Result<(), E>,
 ) -> Result<(), E> {
-    fn read_decode(path: &Path) -> Result<Vec<Event>, TraceIoError> {
+    for_each_decoded(files, threads, decode_events, consume)
+}
+
+/// Column-mode [`for_each_decoded_chunk`]: the same chunk-parallel
+/// executor, feeding each chunk as [`EventColumns`] via
+/// [`decode_columns`]. This is what the columnar streaming analysis
+/// paths run on (see [`crate::analysis::Analysis`]).
+///
+/// # Errors
+///
+/// The first chunk I/O or corruption error in stream order, or the first
+/// `consume` error.
+pub fn for_each_decoded_chunk_columns<E: From<TraceIoError>>(
+    files: &[PathBuf],
+    threads: usize,
+    consume: impl FnMut(EventColumns) -> Result<(), E>,
+) -> Result<(), E> {
+    for_each_decoded(files, threads, decode_columns, consume)
+}
+
+/// The shared executor behind both decode modes: `decode` is a plain
+/// function pointer so worker threads copy it freely.
+fn for_each_decoded<T: Send, E: From<TraceIoError>>(
+    files: &[PathBuf],
+    threads: usize,
+    decode: fn(&[u8]) -> Result<T, TraceIoError>,
+    mut consume: impl FnMut(T) -> Result<(), E>,
+) -> Result<(), E> {
+    let read_decode = move |path: &Path| -> Result<T, TraceIoError> {
         let mut data = Vec::new();
         fs::File::open(path)?.read_to_end(&mut data)?;
-        decode_events(&data)
-    }
+        decode(&data)
+    };
 
     let threads = threads.min(files.len());
     if threads <= 1 {
@@ -1977,7 +2424,7 @@ pub fn for_each_decoded_chunk<E: From<TraceIoError>>(
     std::thread::scope(|scope| {
         let mut receivers = Vec::with_capacity(threads);
         for w in 0..threads {
-            let (tx, rx) = bounded::<Result<Vec<Event>, TraceIoError>>(2);
+            let (tx, rx) = bounded::<Result<T, TraceIoError>>(2);
             receivers.push(rx);
             scope.spawn(move || {
                 let mut i = w;

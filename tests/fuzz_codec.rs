@@ -10,8 +10,8 @@
 //! fails the suite.
 
 use rlscope::core::store::{
-    decode_events, encode_events, encode_events_v1, encode_events_v2, read_frame, write_frame,
-    Manifest, TraceIoError, MANIFEST_FILE, MAX_FRAME_LEN,
+    decode_columns, decode_events, encode_events, encode_events_v1, encode_events_v2, read_frame,
+    write_frame, EventColumns, Manifest, TraceIoError, MANIFEST_FILE, MAX_FRAME_LEN,
 };
 use rlscope::core::{Event, EventKind};
 
@@ -94,6 +94,94 @@ fn random_byte_flips_never_panic() {
     }
 }
 
+/// Decoded columns must satisfy the same event-model invariants as
+/// decoded rows, whatever bytes produced them — and stay internally
+/// consistent (equal column lengths, in-table name ids).
+fn assert_columns_sane(cols: &EventColumns) {
+    let n = cols.len();
+    assert_eq!(cols.pids.len(), n);
+    assert_eq!(cols.kinds.len(), n);
+    assert_eq!(cols.name_ids.len(), n);
+    assert_eq!(cols.starts.len(), n);
+    assert_eq!(cols.ends.len(), n);
+    for i in 0..n {
+        assert!(cols.ends[i] >= cols.starts[i], "decoded column event ends before it starts");
+        assert!((cols.name_ids[i] as usize) < cols.names.len(), "name id past table");
+        assert!(cols.names[cols.name_ids[i] as usize].len() <= u16::MAX as usize);
+    }
+}
+
+/// The columnar decoder consumes the same untrusted bytes as the row
+/// decoder on the daemon ingest path, so it carries the same contract:
+/// truncation at *every* byte offset of all three wire formats must
+/// yield `TraceIoError::Corrupt` — never a panic, never partial columns.
+/// And wherever the row decoder has an opinion, both decoders must
+/// agree byte-for-byte on Ok vs Corrupt.
+#[test]
+fn columnar_truncation_at_every_offset_errors() {
+    let events = corpus_events();
+    for encoded in [encode_events(&events), encode_events_v2(&events), encode_events_v1(&events)] {
+        assert!(decode_columns(&encoded).is_ok());
+        for cut in 0..encoded.len() {
+            match decode_columns(&encoded[..cut]) {
+                Err(TraceIoError::Corrupt(_)) => {}
+                Err(TraceIoError::Io(e)) => panic!("unexpected io error at cut {cut}: {e}"),
+                Ok(cols) => panic!(
+                    "truncated chunk ({cut}/{} bytes) decoded to {} column events",
+                    encoded.len(),
+                    cols.len()
+                ),
+            }
+            assert_eq!(
+                decode_events(&encoded[..cut]).is_ok(),
+                decode_columns(&encoded[..cut]).is_ok(),
+                "row and columnar decoders disagree at cut {cut}"
+            );
+        }
+    }
+}
+
+/// Seeded byte-flip fuzzing against `decode_columns` over all formats:
+/// decode must return `Ok` (with sane, row-equivalent columns) or
+/// `Corrupt`, never panic. Seeds differ from the row suite's so the two
+/// suites walk different corruption streams.
+#[test]
+fn columnar_byte_flips_never_panic() {
+    let events = corpus_events();
+    for (seed, base) in [
+        (0xc01u64, encode_events(&events)),
+        (0xc02, encode_events_v2(&events)),
+        (0xc03, encode_events_v1(&events)),
+    ] {
+        let mut rng = Rng(seed);
+        for _ in 0..4_000 {
+            let mut data = base.to_vec();
+            for _ in 0..1 + rng.below(4) {
+                let at = rng.below(data.len());
+                data[at] ^= (rng.next() % 255 + 1) as u8;
+            }
+            if rng.below(4) == 0 {
+                data.truncate(rng.below(data.len() + 1));
+            }
+            match (decode_columns(&data), decode_events(&data)) {
+                (Ok(cols), rows) => {
+                    assert_columns_sane(&cols);
+                    // Whatever survives one decoder must survive the
+                    // other, as the same events.
+                    assert_eq!(
+                        cols.to_events(),
+                        rows.expect("row decoder rejected what columnar accepted")
+                    );
+                }
+                (Err(TraceIoError::Corrupt(_)), rows) => {
+                    assert!(rows.is_err(), "columnar decoder rejected what row accepted");
+                }
+                (Err(TraceIoError::Io(e)), _) => panic!("unexpected io error: {e}"),
+            }
+        }
+    }
+}
+
 /// Pure garbage of many lengths: must error (or decode an empty/sane
 /// stream if the stars align on a valid header), never panic.
 #[test]
@@ -104,6 +192,9 @@ fn random_garbage_never_panics() {
         if let Ok(decoded) = decode_events(&data) {
             assert_events_sane(&decoded);
         }
+        if let Ok(cols) = decode_columns(&data) {
+            assert_columns_sane(&cols);
+        }
     }
     // And garbage behind a valid magic + count header.
     for magic in [&b"RLSCOPE1"[..], &b"RLSCOPE2"[..], &b"RLSCOPE3"[..]] {
@@ -113,6 +204,9 @@ fn random_garbage_never_panics() {
             data.extend((0..len).map(|_| (rng.next() & 0xff) as u8));
             if let Ok(decoded) = decode_events(&data) {
                 assert_events_sane(&decoded);
+            }
+            if let Ok(cols) = decode_columns(&data) {
+                assert_columns_sane(&cols);
             }
         }
     }

@@ -3,8 +3,13 @@
 use proptest::prelude::*;
 use rlscope::core::analysis::{Analysis, Dim};
 use rlscope::core::event::{CpuCategory, Event, EventKind, GpuCategory};
-use rlscope::core::overlap::{compute_overlap, BreakdownTable, BucketKey, OverlapSweep};
-use rlscope::core::store::{decode_events, encode_events, encode_events_v1, TraceWriter};
+use rlscope::core::overlap::{
+    compute_overlap, compute_overlap_columns, BreakdownTable, BucketKey, OverlapSweep,
+};
+use rlscope::core::store::{
+    decode_columns, decode_events, encode_events, encode_events_v1, encode_events_v2, EventColumns,
+    TraceWriter,
+};
 use rlscope::core::Trace;
 use rlscope::sim::ids::ProcessId;
 use rlscope::sim::time::{DurationNs, TimeNs};
@@ -216,6 +221,48 @@ proptest! {
             rest = &rest[take..];
         }
         prop_assert_eq!(sweep.finalize(), batch);
+    }
+
+    /// The columnar decoder agrees with the row decoder field-for-field
+    /// over every wire format: decoding a chunk to [`EventColumns`] and
+    /// materializing rows reproduces `decode_events` exactly (pid, kind,
+    /// name, start, end — same order), and `from_events` round-trips.
+    #[test]
+    fn columnar_decode_matches_row_decode(
+        events in prop::collection::vec(arb_multiproc_full_event(), 0..80),
+    ) {
+        for encoded in [encode_events(&events), encode_events_v2(&events), encode_events_v1(&events)] {
+            let rows = decode_events(&encoded).unwrap();
+            let cols = decode_columns(&encoded).unwrap();
+            prop_assert_eq!(cols.len(), rows.len());
+            prop_assert_eq!(&cols.to_events(), &rows);
+            prop_assert_eq!(&EventColumns::from_events(&rows).to_events(), &rows);
+        }
+    }
+
+    /// The columnar batch sweep and the columnar streaming pushes both
+    /// produce tables canonically identical to the row batch engine:
+    /// `compute_overlap_columns` over one chunk, and chunked
+    /// `push_columns` over arbitrary splits, versus `compute_overlap`
+    /// over the concatenated rows.
+    #[test]
+    fn columnar_sweep_matches_batch_canonical_json(
+        events in prop::collection::vec(arb_multiproc_full_event(), 0..60),
+        chunk_lens in prop::collection::vec(1usize..12, 1..12),
+    ) {
+        let batch = compute_overlap(&events);
+        let cols = EventColumns::from_events(&events);
+        prop_assert_eq!(compute_overlap_columns(&cols).canonical_json(), batch.canonical_json());
+
+        let mut sweep = OverlapSweep::new();
+        let mut rest: &[Event] = &events;
+        let mut cuts = chunk_lens.iter().cycle();
+        while !rest.is_empty() {
+            let take = (*cuts.next().unwrap()).min(rest.len());
+            sweep.push_columns(&EventColumns::from_events(&rest[..take])).unwrap();
+            rest = &rest[take..];
+        }
+        prop_assert_eq!(sweep.finalize().canonical_json(), batch.canonical_json());
     }
 
     /// On start-sorted streams the bounded-memory sweep never rejects —
