@@ -402,6 +402,168 @@ fn bench_pushdown(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Writes the tiered-storage bench session: 16 close-ordered chunks of
+/// 2,000 events each (operations rotating every 16 events, four
+/// processes), plus per-process warmup/steady phase annotations appended
+/// last — the same shape the collector's finished sessions have before
+/// compaction.
+fn tiered_session_dir(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    let writer = TraceWriter::create(dir, 1).unwrap(); // rotate per batch
+    let span_us = 16u64 * 25_000;
+    for c_idx in 0..16u64 {
+        let mut events = Vec::with_capacity(2_000);
+        for i in 0..2_000u64 {
+            let t = c_idx * 25_000 + i * 10;
+            events.push(Event::new(
+                ProcessId((i % 4) as u32),
+                if i % 16 == 0 {
+                    EventKind::Operation
+                } else {
+                    EventKind::Cpu(CpuCategory::Python)
+                },
+                if i % 16 == 0 {
+                    if (i / 16) % 2 == 0 {
+                        "train_step"
+                    } else {
+                        "collect_rollouts"
+                    }
+                } else {
+                    "py"
+                },
+                TimeNs::from_micros(t),
+                TimeNs::from_micros(t + 8),
+            ));
+        }
+        if c_idx == 15 {
+            for pid in 0..4u32 {
+                let mid = span_us / 2;
+                events.push(Event::new(
+                    ProcessId(pid),
+                    EventKind::Phase,
+                    "warmup",
+                    TimeNs::ZERO,
+                    TimeNs::from_micros(mid),
+                ));
+                events.push(Event::new(
+                    ProcessId(pid),
+                    EventKind::Phase,
+                    "steady",
+                    TimeNs::from_micros(mid),
+                    TimeNs::from_micros(span_us + 100),
+                ));
+            }
+        }
+        writer.write(events);
+    }
+    writer.finish().unwrap();
+}
+
+fn bench_rollup_query(c: &mut Criterion) {
+    use rlscope_core::rollup::rollup_chunk_dir;
+    use rlscope_core::store::reorder_chunk_dir;
+
+    // The tiered-storage acceptance micro: a coarse (phase, op) query
+    // served from segment-summary rollups versus decoding and sweeping
+    // the raw 32k-event chunk directory it was rolled up from.
+    let tag = std::process::id();
+    let raw = std::env::temp_dir().join(format!("rlscope_bench_rollq_raw_{tag}"));
+    let sorted = std::env::temp_dir().join(format!("rlscope_bench_rollq_sorted_{tag}"));
+    let roll = std::env::temp_dir().join(format!("rlscope_bench_rollq_roll_{tag}"));
+    tiered_session_dir(&raw);
+    let _ = std::fs::remove_dir_all(&sorted);
+    reorder_chunk_dir(&raw, &sorted, 1 << 20).unwrap();
+    // ~50 segments over the 400 ms span: coarse enough that the index
+    // stays tiny, fine enough that cross-segment merging is real work.
+    rollup_chunk_dir(&sorted, &roll, 8_000_000).unwrap();
+
+    let from_rollup = || {
+        Analysis::from_rollup_dir(&roll)
+            .group_by([Dim::Phase, Dim::Operation])
+            .canonical_json()
+            .unwrap()
+    };
+    let from_raw = || {
+        Analysis::from_chunk_dir(&raw)
+            .group_by([Dim::Phase, Dim::Operation])
+            .canonical_json()
+            .unwrap()
+    };
+    // The equivalence contract the speedup rides on: byte-identical
+    // canonical JSON (the bench stream is start-ordered per chunk, so
+    // raw and sorted group orders coincide).
+    assert_eq!(from_rollup(), from_raw());
+
+    c.bench_function("rollup_query/phase_op_32k_rollup", |b| b.iter(from_rollup));
+    c.bench_function("rollup_query/phase_op_32k_raw", |b| b.iter(from_raw));
+
+    // Inline ratio gate (CI bench entry): the rolled-up query must run
+    // at least 5x faster than the raw sweep (bound 0.2x) — it reads ~50
+    // pre-aggregated segment tables instead of decoding 32k events.
+    let gate_name = "rollup_query/phase_op_32k_rollup";
+    if bench_filter().is_some_and(|f| !gate_name.contains(f.as_str())) {
+        for d in [&raw, &sorted, &roll] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+        return;
+    }
+    let time_per_call = |f: &dyn Fn() -> String| {
+        let reps = 5;
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        t.elapsed().as_nanos() as f64 / reps as f64
+    };
+    let (rollup_stats, raw_stats) =
+        gate::sample_pair(5, || time_per_call(&from_rollup), || time_per_call(&from_raw));
+    let target = if gate::is_smoke_run() { 1.0 } else { 0.2 };
+    gate::assert_ratio(
+        "rollup_query_gate",
+        &rollup_stats,
+        &raw_stats,
+        target,
+        "the segment-summary read measures ~0.01-0.05x the raw 32k-event sweep here",
+    );
+    for d in [&raw, &sorted, &roll] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    use rlscope_core::rollup::rollup_chunk_dir;
+    use rlscope_core::store::reorder_chunk_dir;
+
+    // Compaction throughput: the two tier transitions the daemon's
+    // background worker performs on a finished 32k-event session — the
+    // start-ordered rewrite and the segment-summary rollup. Smoke-level
+    // coverage (no ratio gate): regressions here cost background
+    // bandwidth, not query latency.
+    let tag = std::process::id();
+    let raw = std::env::temp_dir().join(format!("rlscope_bench_compact_raw_{tag}"));
+    let sorted = std::env::temp_dir().join(format!("rlscope_bench_compact_sorted_{tag}"));
+    let out = std::env::temp_dir().join(format!("rlscope_bench_compact_out_{tag}"));
+    tiered_session_dir(&raw);
+    let _ = std::fs::remove_dir_all(&sorted);
+    reorder_chunk_dir(&raw, &sorted, 1 << 20).unwrap();
+
+    c.bench_function("compaction/sort_32k_events", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&out);
+            std::hint::black_box(reorder_chunk_dir(&raw, &out, 1 << 20).unwrap())
+        })
+    });
+    c.bench_function("compaction/rollup_32k_events", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&out);
+            std::hint::black_box(rollup_chunk_dir(&sorted, &out, 8_000_000).unwrap())
+        })
+    });
+    for d in [&raw, &sorted, &out] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
 fn bench_multiprocess(c: &mut Criterion) {
     // ~44k events over 4 processes, analyzed with the sharded parallel
     // per-process path used by whole-experiment reports.
@@ -782,6 +944,8 @@ criterion_group!(
     bench_analysis,
     bench_streaming,
     bench_pushdown,
+    bench_rollup_query,
+    bench_compaction,
     bench_multiprocess,
     bench_trace_codec,
     bench_columnar,

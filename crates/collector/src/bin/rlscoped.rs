@@ -3,6 +3,7 @@
 //! ```text
 //! rlscoped --socket <path> --data-dir <dir> [--listen tcp://host:port]
 //!          [--credits N] [--idle-timeout-secs N]
+//!          [--retention raw=<dur>,sorted=<dur>,rollup=<dur>]
 //! ```
 //!
 //! Binds the Unix-domain socket (plus an optional TCP listener carrying
@@ -14,11 +15,18 @@
 //! and the durability contract.
 
 use rlscope_collector::daemon::serve_forever;
-use rlscope_collector::{Collector, CollectorConfig, SessionPhase};
+use rlscope_collector::{Collector, CollectorConfig, RetentionPolicy, SessionPhase};
 use std::time::Duration;
 
 const USAGE: &str = "usage: rlscoped --socket <path> --data-dir <dir> \
-[--listen tcp://host:port] [--credits N] [--idle-timeout-secs N]";
+[--listen tcp://host:port] [--credits N] [--idle-timeout-secs N] \
+[--retention raw=<dur>,sorted=<dur>,rollup=<dur>]
+  --retention ages finished sessions down the storage ladder: after the
+  raw= dwell a session's chunks are rewritten start-sorted, after the
+  sorted= dwell they are rolled up into segment summaries (coarse
+  queries only), and after the rollup= dwell the session is pruned.
+  Durations take ms/s/m/h/d suffixes; omitted keys mean sessions stay
+  at that tier forever (e.g. --retention raw=30m,sorted=12h).";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -32,6 +40,7 @@ fn main() {
     let mut listen: Option<String> = None;
     let mut credits: Option<u32> = None;
     let mut idle_timeout_secs: Option<u64> = None;
+    let mut retention: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         let value = |i: usize| -> String {
@@ -48,6 +57,7 @@ fn main() {
             "--idle-timeout-secs" => {
                 idle_timeout_secs = Some(value(i).parse().unwrap_or_else(|_| usage()));
             }
+            "--retention" | "-r" => retention = Some(value(i)),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -73,6 +83,15 @@ fn main() {
     }
     if let Some(secs) = idle_timeout_secs {
         config.idle_timeout = Some(Duration::from_secs(secs.max(1)));
+    }
+    if let Some(retention) = retention {
+        match RetentionPolicy::parse(&retention) {
+            Ok(policy) => config.retention = Some(policy),
+            Err(e) => {
+                eprintln!("rlscoped: bad --retention value: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     let collector = match Collector::bind(config) {
         Ok(collector) => collector,

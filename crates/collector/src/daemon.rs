@@ -2,14 +2,16 @@
 //! durable session registry and restart recovery scan, live and
 //! finished-dir query execution, and the keyed result caches.
 
+use crate::compact::{self, CompactionJob, JobKind, JobQueue, RetentionPolicy};
 use crate::protocol::{
     encode_error, kind, CollectorError, ErrorCode, HelloAck, HelloRequest, QueryAllReply,
     QueryReply, QuerySpec, QueryTarget, SessionInfo, SessionList, PROTOCOL_VERSION,
 };
-use crate::registry::{SessionRecord, SessionStatus};
+use crate::registry::{SessionRecord, SessionStatus, StorageTier};
 use crate::transport::Stream;
 use parking_lot::Mutex;
 use rlscope_core::analysis::{Analysis, AnalysisError, LiveState, LiveTables, SessionSource};
+use rlscope_core::rollup::Rollup;
 use rlscope_core::store::{
     compute_footer_columns, decode_columns, list_chunk_files, read_chunk_footer, read_frame,
     recover_chunk_prefix, upgrade_chunk_dir, write_frame, EventColumns, Manifest, ManifestEntry,
@@ -51,6 +53,7 @@ pub mod fault {
         fail_chunk_writes_from: Option<u64>,
         torn_bytes: Option<usize>,
         fail_manifest_writes: bool,
+        fail_compaction: bool,
     }
 
     /// A mutable fault schedule for the daemon's chunk and manifest
@@ -95,6 +98,13 @@ pub mod fault {
             self.inner.lock().fail_manifest_writes = fail;
         }
 
+        /// Make every compaction job fail mid-build with an injected
+        /// ENOSPC-style error (a partial temp dir is left behind, like a
+        /// real mid-build crash would).
+        pub fn fail_compaction(&self, fail: bool) {
+            self.inner.lock().fail_compaction = fail;
+        }
+
         /// Clears all scheduled faults and resets the write counter, so
         /// the next schedule counts from the next chunk persist.
         pub fn clear(&self) {
@@ -120,6 +130,10 @@ pub mod fault {
 
         pub(crate) fn manifest_writes_fail(&self) -> bool {
             self.inner.lock().fail_manifest_writes
+        }
+
+        pub(crate) fn compaction_fails(&self) -> bool {
+            self.inner.lock().fail_compaction
         }
     }
 
@@ -161,6 +175,16 @@ pub struct CollectorConfig {
     /// frames for this long, so a crashed client cannot pin daemon
     /// memory forever. `None` disables the reaper.
     pub idle_timeout: Option<Duration>,
+    /// Retention dial: how long finished sessions dwell at each storage
+    /// tier before the background compactor ages them down the ladder
+    /// (raw → sorted → rollup → gone). `None` (and an empty policy)
+    /// disables the retention timer; compaction is still available
+    /// through [`Collector::compact_session`].
+    pub retention: Option<RetentionPolicy>,
+    /// Trace-time window width (nanoseconds) of each rollup segment —
+    /// the granularity floor for time-windowed queries against the
+    /// rollup tier.
+    pub rollup_segment_ns: u64,
     /// Fault schedule for the durable I/O path (chaos tests only).
     #[cfg(feature = "fault-inject")]
     pub faults: Option<Arc<fault::FaultPlan>>,
@@ -178,6 +202,8 @@ impl CollectorConfig {
             cache_capacity: 256,
             apply_pipeline: None,
             idle_timeout: None,
+            retention: None,
+            rollup_segment_ns: 1_000_000_000,
             #[cfg(feature = "fault-inject")]
             faults: None,
         }
@@ -407,6 +433,11 @@ struct SessionState {
     /// Last frame receipt on the attached connection — the idle reaper's
     /// clock.
     last_frame: Instant,
+    /// Storage tier the session's durable data lives in. Always
+    /// [`StorageTier::Raw`] while streaming; the compaction worker
+    /// advances it (after the new tier is durably recorded), and query
+    /// routing reads it under this same lock.
+    tier: StorageTier,
 }
 
 impl Session {
@@ -537,6 +568,9 @@ struct Daemon {
     /// reaper to evict an attached-but-silent client.
     conn_streams: Mutex<HashMap<u64, Stream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// The background compaction job queue (retention timer and test
+    /// hooks push, the compaction worker thread drains).
+    compaction: JobQueue,
 }
 
 /// The collector daemon (the library form of the `rlscoped` binary):
@@ -552,6 +586,8 @@ pub struct Collector {
     /// was set (the resolved address, so port 0 reports the real port).
     tcp_addr: Option<SocketAddr>,
     reaper_thread: Option<JoinHandle<()>>,
+    compaction_thread: Option<JoinHandle<()>>,
+    retention_thread: Option<JoinHandle<()>>,
     upgraded: Vec<(PathBuf, ManifestUpgrade)>,
     recovered: Vec<RecoveredSession>,
 }
@@ -611,6 +647,9 @@ impl Collector {
                 match record {
                     Some(record) => {
                         max_epoch = max_epoch.max(record.epoch);
+                        // Finish whatever tier transition a crash
+                        // interrupted before anything queries the dir.
+                        compact::reconcile_tiers(&path, record.tier);
                         if let Some(info) =
                             recover_session(&config, &path, &name, record, &mut next_id)
                         {
@@ -634,7 +673,10 @@ impl Collector {
                         if valid_session_name(&name) {
                             let id = next_id;
                             next_id += 1;
-                            sessions.insert(name.clone(), finished_session(&name, id, 0, &path));
+                            sessions.insert(
+                                name.clone(),
+                                finished_session(&name, id, 0, &path, StorageTier::Raw),
+                            );
                             recovered.push(RecoveredSession {
                                 name,
                                 phase: SessionPhase::Finished,
@@ -663,6 +705,7 @@ impl Collector {
         let cache = LruCache::new(config.cache_capacity);
         let live_cache = LruCache::new(config.cache_capacity);
         let idle_timeout = config.idle_timeout;
+        let retention = config.retention.clone().filter(|p| !p.is_empty());
         let daemon = Arc::new(Daemon {
             config,
             sessions: Mutex::new(sessions),
@@ -674,6 +717,7 @@ impl Collector {
             shutdown: AtomicBool::new(false),
             conn_streams: Mutex::new(HashMap::new()),
             conn_threads: Mutex::new(Vec::new()),
+            compaction: JobQueue::default(),
         });
         let accept_daemon = daemon.clone();
         let accept_thread = std::thread::spawn(move || {
@@ -709,12 +753,35 @@ impl Collector {
                 }
             })
         });
+        // The compaction worker always runs (the queue is also fed by
+        // the explicit `compact_session` hook); the retention timer only
+        // when a non-empty policy is configured.
+        let worker_daemon = daemon.clone();
+        let compaction_thread = Some(std::thread::spawn(move || {
+            while let Some(job) = worker_daemon.compaction.pop() {
+                let _ = run_compaction_job(&worker_daemon, &job);
+                worker_daemon.compaction.done(&job);
+            }
+        }));
+        let retention_thread = retention.map(|policy| {
+            let timer_daemon = daemon.clone();
+            std::thread::spawn(move || {
+                let min = policy.min_dwell().unwrap_or(Duration::from_secs(60));
+                let tick = (min / 4).clamp(Duration::from_millis(10), Duration::from_millis(500));
+                while !timer_daemon.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    retention_pass(&timer_daemon, &policy);
+                }
+            })
+        });
         Ok(Collector {
             daemon,
             accept_thread: Some(accept_thread),
             tcp_accept_thread,
             tcp_addr,
             reaper_thread,
+            compaction_thread,
+            retention_thread,
             upgraded,
             recovered,
         })
@@ -761,6 +828,63 @@ impl Collector {
         Some(Session::phase_locked(&state))
     }
 
+    /// The storage tier the named session's durable data lives in, if
+    /// the session exists.
+    pub fn session_tier(&self, name: &str) -> Option<StorageTier> {
+        let sessions = self.daemon.sessions.lock();
+        let session = sessions.get(name)?;
+        let state = session.state.lock();
+        Some(state.tier)
+    }
+
+    /// Ages the named finished session one step down the storage ladder
+    /// synchronously (raw → sorted, sorted → rollup) — the same job the
+    /// background worker runs, exposed for tests and operators. Returns
+    /// the tier the session is at afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectorError::Remote`] when the session does not exist, is
+    /// not finished, or already sits at the rollup tier; transition
+    /// failures surface with the worker's typed error (and leave the
+    /// prior tier intact and queryable).
+    pub fn compact_session(&self, name: &str) -> Result<StorageTier, CollectorError> {
+        let remote =
+            |(code, message): ConnError| CollectorError::Remote { code: Some(code), message };
+        let tier = self
+            .session_tier(name)
+            .ok_or_else(|| remote((ErrorCode::UnknownTarget, format!("no session {name:?}"))))?;
+        let kind = match tier {
+            StorageTier::Raw => JobKind::Sort,
+            StorageTier::Sorted => JobKind::Rollup,
+            StorageTier::Rollup => {
+                return Err(remote((
+                    ErrorCode::Protocol,
+                    format!("session {name:?} is already at the rollup tier"),
+                )))
+            }
+        };
+        let job = CompactionJob { name: name.to_string(), kind };
+        run_compaction_job(&self.daemon, &job).map_err(remote)?;
+        self.session_tier(name).ok_or_else(|| {
+            remote((ErrorCode::UnknownTarget, format!("session {name:?} vanished mid-compaction")))
+        })
+    }
+
+    /// Runs one retention evaluation now (what the timer does every
+    /// tick): enqueues a compaction or prune job for every session past
+    /// its dwell under `policy`. Use [`Collector::wait_compaction_idle`]
+    /// to observe completion.
+    pub fn run_retention_pass(&self, policy: &RetentionPolicy) {
+        retention_pass(&self.daemon, policy);
+    }
+
+    /// Blocks until the compaction queue is empty and no job is
+    /// running.
+    pub fn wait_compaction_idle(&self) {
+        self.daemon.compaction.wait_idle();
+    }
+
     /// Stops accepting, disconnects live connections, joins all threads,
     /// and removes the socket file. Sessions still streaming **detach**
     /// (their registry record stays `Active`), so a restarted daemon
@@ -795,6 +919,13 @@ impl Collector {
         if let Some(handle) = self.reaper_thread.take() {
             let _ = handle.join();
         }
+        self.daemon.compaction.shutdown();
+        if let Some(handle) = self.compaction_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.retention_thread.take() {
+            let _ = handle.join();
+        }
         let _ = fs::remove_file(&self.daemon.config.socket);
     }
 }
@@ -807,7 +938,13 @@ impl Drop for Collector {
 
 /// Builds a read-only finished session entry (used for recovered and
 /// legacy directories).
-fn finished_session(name: &str, id: u64, epoch: u64, dir: &Path) -> Arc<Session> {
+fn finished_session(
+    name: &str,
+    id: u64,
+    epoch: u64,
+    dir: &Path,
+    tier: StorageTier,
+) -> Arc<Session> {
     Arc::new(Session {
         name: name.to_string(),
         id,
@@ -825,6 +962,7 @@ fn finished_session(name: &str, id: u64, epoch: u64, dir: &Path) -> Arc<Session>
             abort: None,
             attached: None,
             last_frame: Instant::now(),
+            tier,
         }),
         live: Mutex::new(LiveState::new()),
         progress: std::sync::Mutex::new(ApplyProgress::default()),
@@ -846,7 +984,7 @@ fn recover_session(
     *next_id += 1;
     match record.status {
         SessionStatus::Finished => {
-            let session = finished_session(name, id, record.epoch, dir);
+            let session = finished_session(name, id, record.epoch, dir, record.tier);
             session.state.lock().chunks = record.acked_chunks;
             Some((
                 session,
@@ -860,7 +998,7 @@ fn recover_session(
             ))
         }
         SessionStatus::Aborted => {
-            let session = finished_session(name, id, record.epoch, dir);
+            let session = finished_session(name, id, record.epoch, dir, record.tier);
             {
                 let mut state = session.state.lock();
                 state.finished = false;
@@ -906,9 +1044,10 @@ fn recover_session(
                     epoch: record.epoch,
                     status: SessionStatus::Aborted,
                     acked_chunks: chunks,
+                    tier: record.tier,
                 }
                 .write(dir);
-                let session = finished_session(name, id, record.epoch, dir);
+                let session = finished_session(name, id, record.epoch, dir, record.tier);
                 {
                     let mut state = session.state.lock();
                     state.finished = false;
@@ -934,6 +1073,7 @@ fn recover_session(
                 epoch: record.epoch,
                 status: SessionStatus::Active,
                 acked_chunks: chunks,
+                tier: record.tier,
             }
             .write(dir);
             let session = Arc::new(Session {
@@ -953,6 +1093,7 @@ fn recover_session(
                     abort: None,
                     attached: None,
                     last_frame: Instant::now(),
+                    tier: record.tier,
                 }),
                 live: Mutex::new(live),
                 progress: std::sync::Mutex::new(ApplyProgress::default()),
@@ -1100,6 +1241,7 @@ fn detach_session(session: &Session) {
         epoch: session.epoch,
         status: SessionStatus::Active,
         acked_chunks: state.chunks,
+        tier: StorageTier::Raw,
     }
     .write(&session.dir);
 }
@@ -1131,6 +1273,7 @@ fn finalize_abort(session: &Session, state: &mut SessionState, error: ConnError)
         epoch: session.epoch,
         status: SessionStatus::Aborted,
         acked_chunks: state.chunks,
+        tier: StorageTier::Raw,
     }
     .write(&session.dir);
     *session.live.lock() = LiveState::new();
@@ -1179,6 +1322,136 @@ fn reap_idle_sessions(daemon: &Daemon, timeout: Duration) {
                 }
             }
             None => finalize_abort(&session, &mut state, error),
+        }
+    }
+}
+
+/// Runs one compaction job end to end: re-check eligibility under the
+/// state lock (jobs can go stale — the session may have been resumed,
+/// aborted, or already transitioned), do the slow tier build with **no
+/// locks held** (finished sessions are immutable, so the raw files
+/// cannot change underneath the build), then record the new tier
+/// durably and in memory before deleting the prior tier's files.
+fn run_compaction_job(daemon: &Daemon, job: &CompactionJob) -> Result<(), ConnError> {
+    let session = daemon
+        .sessions
+        .lock()
+        .get(&job.name)
+        .cloned()
+        .ok_or((ErrorCode::UnknownTarget, format!("no session {:?}", job.name)))?;
+    // Eligibility snapshot. Finished sessions compact; only finalized
+    // sessions (finished, or abort-finalized) prune.
+    {
+        let state = session.state.lock();
+        let finalized = state.finished || (state.abort.is_some() && state.store.is_none());
+        let eligible = match job.kind {
+            JobKind::Sort => state.finished && state.tier == StorageTier::Raw,
+            JobKind::Rollup => state.finished && state.tier == StorageTier::Sorted,
+            JobKind::Prune => finalized,
+        };
+        if !eligible {
+            // Stale job — not an error, just nothing to do anymore.
+            return Ok(());
+        }
+    }
+    #[cfg(feature = "fault-inject")]
+    if let Some(plan) = &daemon.config.faults {
+        if plan.compaction_fails() && job.kind != JobKind::Prune {
+            // Simulate a mid-build failure honestly: leave a partial
+            // temp dir behind, exactly what a real ENOSPC or crash
+            // mid-build leaves. The next (un-faulted) run wipes it.
+            let tmp = session.dir.join(compact::TIER_TMP);
+            let _ = fs::create_dir_all(&tmp);
+            let _ = fs::write(tmp.join("partial.rls"), b"torn tier build");
+            return Err((
+                ErrorCode::Io,
+                "injected ENOSPC (fault plan) during compaction".to_string(),
+            ));
+        }
+    }
+    match job.kind {
+        JobKind::Sort => {
+            compact::sort_tier(&session.dir).map_err(io_err)?;
+            advance_tier(&session, StorageTier::Sorted)?;
+            compact::drop_raw_files(&session.dir);
+        }
+        JobKind::Rollup => {
+            compact::rollup_tier(&session.dir, daemon.config.rollup_segment_ns.max(1))
+                .map_err(io_err)?;
+            advance_tier(&session, StorageTier::Rollup)?;
+            compact::drop_sorted_dir(&session.dir);
+        }
+        JobKind::Prune => {
+            daemon.sessions.lock().remove(&job.name);
+            let _ = fs::remove_dir_all(&session.dir);
+        }
+    }
+    Ok(())
+}
+
+/// Step 3 of the transition protocol: records `tier` durably in the
+/// session registry, then mirrors it into the in-memory state. On a
+/// failed record write the freshly published tier directory is removed
+/// again, so disk and record never disagree in this process's lifetime
+/// (a crash between publish and record is reconciled at next startup).
+fn advance_tier(session: &Session, tier: StorageTier) -> Result<(), ConnError> {
+    let mut state = session.state.lock();
+    let record = SessionRecord {
+        epoch: session.epoch,
+        status: SessionStatus::Finished,
+        acked_chunks: state.chunks,
+        tier,
+    };
+    if let Err(e) = record.write(&session.dir) {
+        drop(state);
+        if let Some(sub) = tier.subdir() {
+            let _ = fs::remove_dir_all(session.dir.join(sub));
+        }
+        return Err(io_err(e));
+    }
+    state.tier = tier;
+    Ok(())
+}
+
+/// How long the session has dwelled at its current tier: the age of its
+/// `SESSION` record, which is rewritten at every durable transition.
+fn session_dwell(dir: &Path) -> Option<Duration> {
+    let meta = fs::metadata(dir.join(crate::registry::SESSION_FILE)).ok()?;
+    meta.modified().ok()?.elapsed().ok()
+}
+
+/// One retention evaluation: enqueue the due tier transition (or prune)
+/// for every finalized session past its dwell. Streaming and detached
+/// sessions are never touched; aborted sessions age straight from raw
+/// to pruned after the `raw` dwell (their partial data is not worth a
+/// rewrite, but deserves the same grace period).
+fn retention_pass(daemon: &Daemon, policy: &RetentionPolicy) {
+    let sessions: Vec<Arc<Session>> = daemon.sessions.lock().values().cloned().collect();
+    for session in sessions {
+        let (finished, aborted, tier) = {
+            let state = session.state.lock();
+            let aborted = state.abort.is_some() && state.store.is_none();
+            (state.finished, aborted, state.tier)
+        };
+        if !finished && !aborted {
+            continue;
+        }
+        let Some(dwell) = session_dwell(&session.dir) else { continue };
+        let kind = if aborted {
+            policy.raw.filter(|d| dwell >= *d).map(|_| JobKind::Prune)
+        } else {
+            match tier {
+                StorageTier::Raw => policy.raw.filter(|d| dwell >= *d).map(|_| JobKind::Sort),
+                StorageTier::Sorted => {
+                    policy.sorted.filter(|d| dwell >= *d).map(|_| JobKind::Rollup)
+                }
+                StorageTier::Rollup => {
+                    policy.rollup.filter(|d| dwell >= *d).map(|_| JobKind::Prune)
+                }
+            }
+        };
+        if let Some(kind) = kind {
+            daemon.compaction.push(CompactionJob { name: session.name.clone(), kind });
         }
     }
 }
@@ -1307,11 +1580,14 @@ fn handle_hello_new(
             SessionPhase::Aborted => {}
         }
     } else {
-        // Not in the registry map: a directory holding chunks (or a
-        // manifest) is durable data from an earlier run that recovery
-        // did not claim — refuse rather than silently wipe it.
+        // Not in the registry map: a directory holding chunks (a
+        // manifest, or a compacted tier) is durable data from an earlier
+        // run that recovery did not claim — refuse rather than silently
+        // wipe it.
         let prior_data = dir.is_dir()
             && (dir.join(MANIFEST_FILE).exists()
+                || dir.join("sorted").is_dir()
+                || dir.join("rollup").is_dir()
                 || list_chunk_files(&dir).is_ok_and(|files| !files.is_empty()));
         if prior_data {
             return Err((
@@ -1323,7 +1599,12 @@ fn handle_hello_new(
     let store =
         ChunkStore::create(&dir, &daemon.config).map_err(|e| (ErrorCode::Io, e.to_string()))?;
     let epoch = daemon.next_epoch.fetch_add(1, Ordering::SeqCst);
-    let record = SessionRecord { epoch, status: SessionStatus::Active, acked_chunks: 0 };
+    let record = SessionRecord {
+        epoch,
+        status: SessionStatus::Active,
+        acked_chunks: 0,
+        tier: StorageTier::Raw,
+    };
     record.write(&dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
     let id = daemon.next_session_id.fetch_add(1, Ordering::SeqCst);
     let new = Arc::new(Session {
@@ -1341,6 +1622,7 @@ fn handle_hello_new(
             recv_seq: 0,
             finished: false,
             abort: None,
+            tier: StorageTier::Raw,
             attached: Some(conn_id),
             last_frame: Instant::now(),
         }),
@@ -1514,6 +1796,7 @@ fn handle_finish(writer: &SharedWriter, session: Option<&Session>) -> Result<(),
             epoch: session.epoch,
             status: SessionStatus::Finished,
             acked_chunks: state.chunks,
+            tier: StorageTier::Raw,
         };
         let _ = record.write(&session.dir);
         (state.chunks, state.events)
@@ -1597,7 +1880,7 @@ fn run_query(daemon: &Daemon, spec: &QuerySpec) -> Result<QueryReply, ConnError>
                         canonical_json: json,
                     })
                 }
-                None => dir_query(daemon, &session.dir, spec),
+                None => tiered_query(daemon, &session, spec),
             }
         }
         QueryTarget::Dir(path) => {
@@ -1652,10 +1935,25 @@ fn handle_query_all(
 }
 
 /// What one session contributes to a cross-session query: its finished
-/// (or abort-finalized) directory, or an owned live snapshot.
+/// (or abort-finalized) directory at whichever tier it lives, or an
+/// owned live snapshot.
 enum SessionSnapshot {
     Dir(PathBuf),
+    Rollup(PathBuf),
     Live(LiveTables),
+}
+
+/// The snapshot a finalized session contributes, per its storage tier.
+fn tier_snapshot(session: &Session, tier: StorageTier) -> SessionSnapshot {
+    match tier {
+        StorageTier::Raw => SessionSnapshot::Dir(session.dir.clone()),
+        StorageTier::Sorted => {
+            SessionSnapshot::Dir(session.dir.join(tier.subdir().unwrap_or_default()))
+        }
+        StorageTier::Rollup => {
+            SessionSnapshot::Rollup(session.dir.join(tier.subdir().unwrap_or_default()))
+        }
+    }
 }
 
 /// Runs one query across every session the daemon holds, composed
@@ -1683,7 +1981,7 @@ fn run_query_all(daemon: &Daemon, spec: &QuerySpec) -> Result<QueryAllReply, Con
                 return Err(err.clone());
             }
             if state.finished {
-                SessionSnapshot::Dir(session.dir.clone())
+                tier_snapshot(session, state.tier)
             } else if let Some((code, message)) = &state.abort {
                 if state.store.is_none() {
                     // Finalized abort: the directory holds exactly the
@@ -1701,9 +1999,16 @@ fn run_query_all(daemon: &Daemon, spec: &QuerySpec) -> Result<QueryAllReply, Con
                 SessionSnapshot::Live(live.snapshot())
             }
         };
-        if let SessionSnapshot::Dir(dir) = &snapshot {
-            let manifest = Manifest::open(dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
-            events_observed += manifest.total_events();
+        match &snapshot {
+            SessionSnapshot::Dir(dir) => {
+                let manifest = Manifest::open(dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
+                events_observed += manifest.total_events();
+            }
+            SessionSnapshot::Rollup(dir) => {
+                let rollup = Rollup::open(dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
+                events_observed += rollup.total_events();
+            }
+            SessionSnapshot::Live(_) => {}
         }
         names.push(session.name.clone());
         snapshots.push((Arc::from(session.name.as_str()), snapshot));
@@ -1713,6 +2018,7 @@ fn run_query_all(daemon: &Daemon, spec: &QuerySpec) -> Result<QueryAllReply, Con
         .map(|(name, snapshot)| {
             let source = match snapshot {
                 SessionSnapshot::Dir(dir) => SessionSource::ChunkDir(dir.clone()),
+                SessionSnapshot::Rollup(dir) => SessionSource::RollupDir(dir.clone()),
                 SessionSnapshot::Live(tables) => SessionSource::Live(tables),
             };
             (name.clone(), source)
@@ -1721,6 +2027,68 @@ fn run_query_all(daemon: &Daemon, spec: &QuerySpec) -> Result<QueryAllReply, Con
     let analysis = apply_spec(Analysis::of_sessions(sources), spec);
     let groups = analysis.tables().map_err(analysis_err)?;
     Ok(QueryAllReply { live: any_live, events_observed, sessions: names, groups })
+}
+
+/// Routes a finalized session's query to its current storage tier.
+/// The tier is read under the state lock but the query runs without
+/// it, so a concurrent tier transition can delete the files mid-read;
+/// in that case the failed read is retried at the session's new tier
+/// (the tier only moves forward, so this terminates).
+fn tiered_query(
+    daemon: &Daemon,
+    session: &Session,
+    spec: &QuerySpec,
+) -> Result<QueryReply, ConnError> {
+    let mut tier = session.state.lock().tier;
+    loop {
+        let dir = match tier.subdir() {
+            None => session.dir.clone(),
+            Some(sub) => session.dir.join(sub),
+        };
+        let result = match tier {
+            StorageTier::Raw | StorageTier::Sorted => dir_query(daemon, &dir, spec),
+            StorageTier::Rollup => rollup_query(daemon, &dir, spec),
+        };
+        match result {
+            Err((ErrorCode::Io, _)) => {
+                let now = session.state.lock().tier;
+                if now > tier {
+                    tier = now;
+                    continue;
+                }
+                return result;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Rollup-tier query: answers from the pre-aggregated segment
+/// summaries via [`Analysis::from_rollup_dir`] — no raw events are
+/// decoded — fronted by the same checksum-keyed result cache as
+/// directory queries (the rollup index checksum plays the manifest
+/// checksum's role). Queries needing raw resolution come back as
+/// typed [`ErrorCode::UnsupportedQuery`] straight from the analysis
+/// layer.
+fn rollup_query(daemon: &Daemon, dir: &Path, spec: &QuerySpec) -> Result<QueryReply, ConnError> {
+    let rollup = Rollup::open(dir).map_err(|e| (ErrorCode::Io, e.to_string()))?;
+    let checksum = rollup.checksum();
+    let events = rollup.total_events();
+    let key = (dir.to_string_lossy().into_owned(), spec.encode());
+    if let Some(cached) = daemon.cache.lock().get(&key) {
+        if cached.checksum == checksum {
+            return Ok(QueryReply {
+                live: false,
+                cache_hit: true,
+                events_observed: cached.events,
+                canonical_json: cached.json,
+            });
+        }
+    }
+    let analysis = apply_spec(Analysis::from_rollup_dir(dir), spec);
+    let json = analysis.canonical_json().map_err(analysis_err)?;
+    daemon.cache.lock().insert(key, CachedResult { checksum, events, json: json.clone() });
+    Ok(QueryReply { live: false, cache_hit: false, events_observed: events, canonical_json: json })
 }
 
 /// Finished-directory query: manifest pushdown via

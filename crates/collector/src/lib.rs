@@ -192,6 +192,41 @@
 //! session invalidates them, so the daemon recomposes per query —
 //! per-session sub-results still benefit from the caches above.
 //!
+//! # Tiered storage: compaction and retention
+//!
+//! Finished sessions age down a three-rung storage ladder, trading
+//! resolution for footprint:
+//!
+//! | tier | layout | answers |
+//! |------|--------|---------|
+//! | `Raw` | close-ordered chunks at the session dir top level | everything |
+//! | `Sorted` | start-sorted v3 chunks under `sorted/` | everything, with tighter manifest pushdown |
+//! | `Rollup` | segment summaries under `rollup/` ([`rlscope_core::rollup`]) | coarse grouped/aligned-window queries from pre-aggregated tables, without touching events |
+//!
+//! Transitions run on a **background compaction worker** (a job per
+//! session, [`Collector::compact_session`] to force one) and follow a
+//! crash-safe four-step dance: build the next tier into a `.tier.tmp`
+//! directory, atomically rename it into place, rewrite the session's
+//! registry record with the new [`registry::StorageTier`], then delete
+//! the prior tier. A daemon killed between any two steps recovers on
+//! the next bind: the registry record is the source of truth, and tier
+//! reconciliation removes temp debris, unrecorded tier directories, and
+//! prior-tier leftovers — some recorded tier is always fully present
+//! and queryable. Rollup granularity is
+//! [`CollectorConfig::rollup_segment_ns`].
+//!
+//! **Retention is a dial**, not a cron job you write: `rlscoped
+//! --retention raw=<dur>,sorted=<dur>,rollup=<dur>` (a
+//! [`RetentionPolicy`]) bounds how long a finished session may dwell in
+//! each tier before the worker ages it down — and past the last rung it
+//! is pruned entirely: directory removed, registry record dropped, name
+//! reusable. Aborted sessions never compact; they prune after the raw
+//! dwell. Queries are **tier-transparent**: the same `QUERY` /
+//! `QUERY_ALL` frames answer over whatever tier a session occupies, and
+//! a query needing sub-segment resolution from a rolled-up session
+//! fails typed ([`ErrorCode::UnsupportedQuery`]) rather than
+//! approximating.
+//!
 //! [`Analysis`]: rlscope_core::analysis::Analysis
 //! [`Analysis::from_chunk_dir`]: rlscope_core::analysis::Analysis::from_chunk_dir
 //! [`LiveState`]: rlscope_core::analysis::LiveState
@@ -207,6 +242,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod client;
+pub mod compact;
 pub mod daemon;
 pub mod fleet;
 pub mod protocol;
@@ -214,10 +250,12 @@ pub mod registry;
 pub mod transport;
 
 pub use client::{CollectorClient, CollectorSink, ReconnectPolicy, SessionSummary};
+pub use compact::RetentionPolicy;
 pub use daemon::{Collector, CollectorConfig, RecoveredSession, SessionPhase};
 pub use fleet::{FleetClient, FleetResult, ShardReport};
 pub use protocol::{
     CollectorError, ErrorCode, HelloAck, HelloRequest, QueryAllReply, QueryReply, QuerySpec,
     QueryTarget, SessionInfo, SessionList, PROTOCOL_VERSION,
 };
+pub use registry::StorageTier;
 pub use transport::{Endpoint, Stream};

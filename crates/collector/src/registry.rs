@@ -26,9 +26,51 @@ use std::path::Path;
 pub const SESSION_FILE: &str = "SESSION";
 
 const MAGIC: &[u8; 4] = b"RLSS";
-const VERSION: u16 = 1;
-/// magic + version + epoch + status + acked_chunks + checksum.
-const RECORD_LEN: usize = 4 + 2 + 8 + 1 + 8 + 8;
+const VERSION: u16 = 2;
+/// v1: magic + version + epoch + status + acked_chunks + checksum.
+const RECORD_LEN_V1: usize = 4 + 2 + 8 + 1 + 8 + 8;
+/// v2 appends the storage-tier byte between `acked_chunks` and the
+/// checksum.
+const RECORD_LEN: usize = RECORD_LEN_V1 + 1;
+
+/// Which storage tier a session's data currently lives in. Compaction
+/// ages finished sessions down the ladder (raw → sorted → rollup →
+/// gone); each transition is recorded here **after** the new tier is
+/// durably in place and **before** the prior tier is deleted, so the
+/// recorded tier always names a directory that exists and is complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum StorageTier {
+    /// Close-ordered chunks at the session directory's top level, as the
+    /// collector wrote them.
+    Raw = 0,
+    /// Start-sorted codec-v3 chunks under `sorted/` (pushdown-friendly).
+    Sorted = 1,
+    /// Segment-summary rollups under `rollup/` — coarse queries only.
+    Rollup = 2,
+}
+
+impl StorageTier {
+    fn from_u8(v: u8) -> Option<StorageTier> {
+        Some(match v {
+            0 => StorageTier::Raw,
+            1 => StorageTier::Sorted,
+            2 => StorageTier::Rollup,
+            _ => return None,
+        })
+    }
+
+    /// Subdirectory (inside the session directory) holding this tier's
+    /// data; `None` for [`StorageTier::Raw`], which lives at the top
+    /// level.
+    pub fn subdir(self) -> Option<&'static str> {
+        match self {
+            StorageTier::Raw => None,
+            StorageTier::Sorted => Some("sorted"),
+            StorageTier::Rollup => Some("rollup"),
+        }
+    }
+}
 
 /// A session's lifecycle status as of the last durable transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +113,9 @@ pub struct SessionRecord {
     /// Chunks acked (durable) at the last transition — informational;
     /// recovery re-derives the true count by rescanning chunk files.
     pub acked_chunks: u64,
+    /// Storage tier the session's data currently lives in (v1 records
+    /// decode as [`StorageTier::Raw`] — tiering postdates them).
+    pub tier: StorageTier,
 }
 
 impl SessionRecord {
@@ -81,13 +126,14 @@ impl SessionRecord {
         out.extend_from_slice(&self.epoch.to_be_bytes());
         out.push(self.status as u8);
         out.extend_from_slice(&self.acked_chunks.to_be_bytes());
+        out.push(self.tier as u8);
         let sum = fnv1a(&out);
         out.extend_from_slice(&sum.to_be_bytes());
         out
     }
 
     fn decode(data: &[u8]) -> Option<SessionRecord> {
-        if data.len() != RECORD_LEN {
+        if data.len() != RECORD_LEN && data.len() != RECORD_LEN_V1 {
             return None;
         }
         let (magic, rest) = data.split_first_chunk::<4>()?;
@@ -95,13 +141,25 @@ impl SessionRecord {
             return None;
         }
         let (version, rest) = rest.split_first_chunk::<2>()?;
-        if u16::from_be_bytes(*version) != VERSION {
+        let version = u16::from_be_bytes(*version);
+        let expected_len = match version {
+            1 => RECORD_LEN_V1,
+            2 => RECORD_LEN,
+            _ => return None,
+        };
+        if data.len() != expected_len {
             return None;
         }
         let (epoch, rest) = rest.split_first_chunk::<8>()?;
         let (&status_byte, rest) = rest.split_first()?;
-        let (acked, sum) = rest.split_first_chunk::<8>()?;
-        let (body, _) = data.split_at_checked(RECORD_LEN - 8)?;
+        let (acked, rest) = rest.split_first_chunk::<8>()?;
+        let tier = if version >= 2 {
+            let (&tier_byte, _) = rest.split_first()?;
+            StorageTier::from_u8(tier_byte)?
+        } else {
+            StorageTier::Raw
+        };
+        let (body, sum) = data.split_at_checked(expected_len - 8)?;
         if u64::from_be_bytes(*sum.first_chunk::<8>()?) != fnv1a(body) {
             return None;
         }
@@ -110,6 +168,7 @@ impl SessionRecord {
             epoch: u64::from_be_bytes(*epoch),
             status,
             acked_chunks: u64::from_be_bytes(*acked),
+            tier,
         })
     }
 
@@ -162,11 +221,37 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("rlss-registry-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         for status in [SessionStatus::Active, SessionStatus::Finished, SessionStatus::Aborted] {
-            let record = SessionRecord { epoch: 7, status, acked_chunks: 42 };
-            record.write(&dir).unwrap();
-            assert_eq!(SessionRecord::read(&dir).unwrap(), Some(record));
+            for tier in [StorageTier::Raw, StorageTier::Sorted, StorageTier::Rollup] {
+                let record = SessionRecord { epoch: 7, status, acked_chunks: 42, tier };
+                record.write(&dir).unwrap();
+                assert_eq!(SessionRecord::read(&dir).unwrap(), Some(record));
+            }
         }
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_records_decode_as_raw_tier() {
+        // Hand-encode a VERSION=1 record (no tier byte) exactly as the
+        // previous release wrote it; it must decode as tier Raw.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u16.to_be_bytes());
+        v1.extend_from_slice(&9u64.to_be_bytes());
+        v1.push(SessionStatus::Finished as u8);
+        v1.extend_from_slice(&5u64.to_be_bytes());
+        let sum = fnv1a(&v1);
+        v1.extend_from_slice(&sum.to_be_bytes());
+        assert_eq!(v1.len(), RECORD_LEN_V1);
+        assert_eq!(
+            SessionRecord::decode(&v1),
+            Some(SessionRecord {
+                epoch: 9,
+                status: SessionStatus::Finished,
+                acked_chunks: 5,
+                tier: StorageTier::Raw,
+            })
+        );
     }
 
     #[test]
@@ -174,7 +259,12 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("rlss-registry-none-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         assert_eq!(SessionRecord::read(&dir).unwrap(), None);
-        let record = SessionRecord { epoch: 1, status: SessionStatus::Active, acked_chunks: 3 };
+        let record = SessionRecord {
+            epoch: 1,
+            status: SessionStatus::Active,
+            acked_chunks: 3,
+            tier: StorageTier::Sorted,
+        };
         let good = record.encode();
         // Truncation at every offset and single-byte corruption both
         // demote to None — never a parse panic, never a partial record.

@@ -171,6 +171,29 @@
 //! frame and the federation tier's fleet-wide rollups
 //! (`rlscope-collector`'s `FleetClient`).
 //!
+//! # Storage tiers: which queries each tier can answer
+//!
+//! The collector ages finished sessions down a storage ladder
+//! (raw → start-sorted → segment rollup → gone; see [`crate::rollup`]
+//! and the `rlscope-collector` crate docs). Every tier answers through
+//! this same pipeline; what changes is the supported query surface —
+//! and an unsupported combination is always a typed
+//! [`AnalysisError::Unsupported`], never a silently degraded answer:
+//!
+//! | query feature | raw / sorted dir ([`Analysis::from_chunk_dir`]) | rollup dir ([`Analysis::from_rollup_dir`]) | live snapshot ([`Analysis::of_live`]) |
+//! |---------------|--------------------------------------------------|---------------------------------------------|----------------------------------------|
+//! | phase / process / operation filters | yes | yes | yes |
+//! | `group_by` (phase × process × operation) | yes | yes | yes |
+//! | [`Analysis::time_window`] | yes, any `[lo, hi)` | only on segment boundaries (edges past the covered span are fine) | no |
+//! | [`Analysis::bounded_streaming`] | yes (sorted dirs with any lag) | meaningless — nothing is streamed | ignored |
+//! | [`Analysis::corrected`] / [`Analysis::profile`] | no (needs a trace-backed source) | no | no |
+//! | cost | decodes selected chunks (manifest pushdown) | reads pre-aggregated tables only — **no raw event decode** | reads finalized tables |
+//!
+//! Where both a raw/sorted directory and a rollup exist, prefer the
+//! rollup for coarse queries — a `(phase, op)` breakdown over a rollup
+//! is gated ≥5× faster than the full raw scan in CI (`rollup_query`) —
+//! and the raw tier for anything sub-segment.
+//!
 //! # Example
 //!
 //! ```
@@ -213,6 +236,7 @@ use crate::overlap::{
     SweepError, NO_PHASE,
 };
 use crate::report::BreakdownReport;
+use crate::rollup::{merge_phase_tables, Rollup};
 use crate::store::{
     for_each_decoded_chunk_columns, list_chunk_files, ChunkQuery, EventColumns, Manifest,
     TraceIoError,
@@ -335,6 +359,7 @@ enum Source<'a> {
     Trace(&'a Trace),
     Merged(&'a [Trace]),
     ChunkDir(PathBuf),
+    RollupDir(PathBuf),
     Live(&'a LiveTables),
     Sessions(Vec<(Arc<str>, SessionSource<'a>)>),
 }
@@ -348,6 +373,11 @@ enum Source<'a> {
 pub enum SessionSource<'a> {
     /// A finished (or recovered) session's on-disk chunk directory.
     ChunkDir(PathBuf),
+    /// An aged-out session's segment-summary rollup directory
+    /// ([`crate::rollup`]): coarse queries answer from pre-aggregated
+    /// tables, sub-segment resolution is a typed
+    /// [`AnalysisError::Unsupported`].
+    RollupDir(PathBuf),
     /// A live session's snapshot over its consistent acked prefix
     /// ([`LiveState::snapshot`]).
     Live(&'a LiveTables),
@@ -560,6 +590,11 @@ pub struct Analysis<'a> {
     window: Option<(TimeNs, TimeNs)>,
     dims: Vec<Dim>,
     calibration: Option<&'a Calibration>,
+    /// Keep empty phase groups (presence rows) in the output — the
+    /// rollup builder's knob (see
+    /// [`OverlapSweep::finalize_grouped_keep_empty`]). Honored by the
+    /// chunk-dir streamed path only; never user-visible.
+    keep_empty_phases: bool,
 }
 
 impl<'a> Analysis<'a> {
@@ -573,7 +608,15 @@ impl<'a> Analysis<'a> {
             window: None,
             dims: Vec::new(),
             calibration: None,
+            keep_empty_phases: false,
         }
+    }
+
+    /// Crate-internal: emit presence rows for phases with empty tables
+    /// (chunk-dir sources only). See the `keep_empty_phases` field.
+    pub(crate) fn keep_empty_phases(mut self) -> Self {
+        self.keep_empty_phases = true;
+        self
     }
 
     // ----- sources ------------------------------------------------------
@@ -612,6 +655,22 @@ impl<'a> Analysis<'a> {
     /// [`Analysis::bounded_streaming`] selects a bounded-lag window.
     pub fn from_chunk_dir(dir: impl Into<PathBuf>) -> Self {
         Self::new(Source::ChunkDir(dir.into()))
+    }
+
+    /// Analyzes a segment-summary **rollup directory**
+    /// ([`crate::rollup::rollup_chunk_dir`]) — the cold storage tier.
+    /// Queries answer from the pre-aggregated per-segment tables without
+    /// decoding any raw events: phase/process/operation filters and
+    /// every [`Analysis::group_by`] combination behave exactly as over
+    /// the raw directory, and [`Analysis::time_window`] is supported
+    /// **iff** the window lands on segment boundaries (edges beyond the
+    /// covered span are fine) — anything finer returns a typed
+    /// [`AnalysisError::Unsupported`] rather than a silently coarse
+    /// answer. [`Analysis::corrected`] is unsupported (no book-keeping
+    /// counters survive the rollup). See the module docs' storage-tier
+    /// table.
+    pub fn from_rollup_dir(dir: impl Into<PathBuf>) -> Self {
+        Self::new(Source::RollupDir(dir.into()))
     }
 
     /// Analyzes a [`LiveTables`] snapshot of an in-flight stream
@@ -752,8 +811,13 @@ impl<'a> Analysis<'a> {
                 }
                 Source::Trace(t) => sweep_tables(t.events.iter()),
                 Source::Merged(ts) => sweep_tables(ts.iter().flat_map(|t| t.events.iter())),
-                Source::ChunkDir(_) | Source::Live(_) | Source::Sessions(_) => {
-                    unreachable!("chunk dirs, live snapshots, and sessions are never plain")
+                Source::ChunkDir(_)
+                | Source::RollupDir(_)
+                | Source::Live(_)
+                | Source::Sessions(_) => {
+                    unreachable!(
+                        "chunk dirs, rollups, live snapshots, and sessions are never plain"
+                    )
                 }
             });
         }
@@ -885,7 +949,10 @@ impl<'a> Analysis<'a> {
             && self.window.is_none()
             && self.dims.is_empty()
             && self.calibration.is_none()
-            && !matches!(self.source, Source::ChunkDir(_) | Source::Live(_) | Source::Sessions(_))
+            && !matches!(
+                self.source,
+                Source::ChunkDir(_) | Source::RollupDir(_) | Source::Live(_) | Source::Sessions(_)
+            )
     }
 
     /// Runs the source + filters + grouping stages, producing the final
@@ -920,6 +987,7 @@ impl<'a> Analysis<'a> {
             Source::ChunkDir(dir) => {
                 self.resolve_streamed(dir, want_proc, track_phases, filters)?
             }
+            Source::RollupDir(dir) => self.resolve_rollup(dir, want_proc, filters)?,
             Source::Live(tables) => self.resolve_live(tables, want_proc, filters)?,
             _ => self.resolve_batch(want_proc, track_phases, filters),
         };
@@ -944,6 +1012,7 @@ impl<'a> Analysis<'a> {
         for (name, source) in sessions {
             let mut sub = match source {
                 SessionSource::ChunkDir(dir) => Analysis::from_chunk_dir(dir.clone()),
+                SessionSource::RollupDir(dir) => Analysis::from_rollup_dir(dir.clone()),
                 SessionSource::Live(tables) => Analysis::of_live(tables),
             };
             sub.lag = self.lag;
@@ -991,6 +1060,7 @@ impl<'a> Analysis<'a> {
             Source::Trace(t) => Rows::Slice(&t.events),
             Source::Merged(ts) => Rows::Refs(ts.iter().flat_map(|t| t.events.iter()).collect()),
             Source::ChunkDir(_) => unreachable!("handled by resolve_streamed"),
+            Source::RollupDir(_) => unreachable!("handled by resolve_rollup"),
             Source::Live(_) => unreachable!("handled by resolve_live"),
             Source::Sessions(_) => unreachable!("handled by resolve_sessions"),
         };
@@ -1174,7 +1244,18 @@ impl<'a> Analysis<'a> {
             }
             Ok(())
         })?;
-        Ok(sweeps.into_iter().map(|(pid, sweep)| (pid, sweep.finalize_grouped())).collect())
+        let keep_empty = self.keep_empty_phases;
+        Ok(sweeps
+            .into_iter()
+            .map(|(pid, sweep)| {
+                let tables = if keep_empty {
+                    sweep.finalize_grouped_keep_empty()
+                } else {
+                    sweep.finalize_grouped()
+                };
+                (pid, tables)
+            })
+            .collect())
     }
 
     /// Live-snapshot execution: the sweeps already ran at ingest, so the
@@ -1219,6 +1300,71 @@ impl<'a> Analysis<'a> {
             Ok(vec![(None, tables)])
         } else {
             Ok(vec![(None, tables.merged.clone())])
+        }
+    }
+
+    /// Rollup-directory execution: the sweeps ran at compaction time, so
+    /// the query selects segments by window and merges their stored
+    /// tables — mirroring [`Analysis::resolve_live`]'s selection among
+    /// finalized tables, plus the segment-granularity window rule (see
+    /// [`Analysis::from_rollup_dir`]). No raw event is ever decoded.
+    fn resolve_rollup(
+        &self,
+        dir: &std::path::Path,
+        per_process: bool,
+        filters: bool,
+    ) -> Result<Vec<(Option<ProcessId>, PhaseTables)>, AnalysisError> {
+        let rollup = Rollup::open(dir).map_err(AnalysisError::Io)?;
+        let selected: Vec<usize> = match self.window.filter(|_| filters) {
+            None => (0..rollup.segments().len()).collect(),
+            Some((lo, hi)) => {
+                rollup.select_window(lo.as_nanos(), hi.as_nanos()).ok_or_else(|| {
+                    AnalysisError::Unsupported(format!(
+                        "time_window [{}, {}) over a rollup splits a segment: rollups \
+                         hold {} ns pre-aggregated windows, so window edges must land \
+                         on segment boundaries (raw resolution needs the raw tier)",
+                        lo.as_nanos(),
+                        hi.as_nanos(),
+                        rollup.segment_ns(),
+                    ))
+                })?
+            }
+        };
+        let pid_filter = self.process_filter.filter(|_| filters);
+        let mut merged: PhaseTables = Vec::new();
+        let mut per_proc: Vec<(ProcessId, PhaseTables)> = Vec::new();
+        for idx in selected {
+            let seg = rollup.read_segment(idx).map_err(AnalysisError::Io)?;
+            merge_phase_tables(&mut merged, &seg.merged);
+            for (pid, tables) in &seg.per_process {
+                match per_proc.iter_mut().find(|(p, _)| p == pid) {
+                    Some((_, acc)) => merge_phase_tables(acc, tables),
+                    None => per_proc.push((*pid, tables.clone())),
+                }
+            }
+        }
+        // Segments store presence rows (empty tables mark a phase whose
+        // annotation intersects the window) to pin cross-segment group
+        // order; a sweep never emits empty phase groups, so drop the
+        // rows that stayed empty after the merge.
+        merged.retain(|(_, t)| !t.is_empty());
+        for (_, tables) in &mut per_proc {
+            tables.retain(|(_, t)| !t.is_empty());
+        }
+        if per_process {
+            Ok(per_proc
+                .into_iter()
+                .filter(|(pid, _)| pid_filter.is_none_or(|want| *pid == want))
+                .map(|(pid, t)| (Some(pid), t))
+                .collect())
+        } else if let Some(pid) = pid_filter {
+            // Batch semantics for an ungrouped `.process(pid)` query are
+            // "sweep only that process's events" — the stored per-process
+            // tables. An absent pid yields the empty table.
+            let tables = per_proc.into_iter().find(|(p, _)| *p == pid).map(|(_, t)| t);
+            Ok(vec![(None, tables.unwrap_or_default())])
+        } else {
+            Ok(vec![(None, merged)])
         }
     }
 
@@ -1404,10 +1550,21 @@ impl From<TraceIoError> for StreamedError {
 /// Clips an event to a half-open window, dropping it when nothing is
 /// left. Clipping all events to the window yields exactly the
 /// within-window attribution, because the sweep is segment-based.
+///
+/// An **instant** event (`start == end`) is kept when its instant lies
+/// in `[lo, hi)`. It attributes no time, but it carries *presence*:
+/// the pid/phase/operation it introduces must enumerate in windowed
+/// queries exactly as in the full stream (the rollup tier rebuilds
+/// group order from per-window queries — see [`crate::rollup`]), and
+/// aligned windows tile the line, so each instant lands in exactly one.
 fn clip_event(e: &Event, (lo, hi): (TimeNs, TimeNs)) -> Option<Event> {
     let start = e.start.max(lo);
     let end = e.end.min(hi);
-    (start < end).then(|| Event { start, end, ..e.clone() })
+    (start < end || (e.start == e.end && lo <= e.start && e.start < hi)).then(|| Event {
+        start,
+        end,
+        ..e.clone()
+    })
 }
 
 /// A table restricted to buckets matching `pred`.

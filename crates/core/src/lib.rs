@@ -126,6 +126,7 @@ pub mod intern;
 pub mod overlap;
 pub mod profiler;
 pub mod report;
+pub mod rollup;
 pub mod store;
 pub mod trace;
 

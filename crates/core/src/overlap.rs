@@ -1562,7 +1562,22 @@ impl OverlapSweep {
     /// [`OverlapSweep::with_phase_tagging`]; without it everything lands
     /// in the single [`NO_PHASE`] group). Empty groups are omitted;
     /// merging the groups reproduces [`OverlapSweep::finalize`] exactly.
-    pub fn finalize_grouped(mut self) -> PhaseTables {
+    pub fn finalize_grouped(self) -> PhaseTables {
+        self.finalize_grouped_inner(false)
+    }
+
+    /// [`OverlapSweep::finalize_grouped`] keeping **empty** phase groups:
+    /// one row per interned phase, in interner order ([`NO_PHASE`] is
+    /// always slot 0), even when nothing was attributed to it. The
+    /// rollup builder ([`crate::rollup`]) stores these presence rows so
+    /// cross-segment merges can reproduce the batch sweep's phase group
+    /// order exactly — a phase can be present (its annotation intersects
+    /// the window) long before its first attributed instant.
+    pub(crate) fn finalize_grouped_keep_empty(self) -> PhaseTables {
+        self.finalize_grouped_inner(true)
+    }
+
+    fn finalize_grouped_inner(mut self, keep_empty: bool) -> PhaseTables {
         self.drain(None);
         let n_ops = self.interner.len();
         let row = self.acc_ops * SLOTS;
@@ -1572,7 +1587,7 @@ impl OverlapSweep {
             .enumerate()
             .filter_map(|(p, name)| {
                 let table = materialize(&self.interner, &self.acc[p * row..][..n_ops * SLOTS]);
-                (!table.is_empty()).then(|| (name.clone(), table))
+                (keep_empty || !table.is_empty()).then(|| (name.clone(), table))
             })
             .collect()
     }

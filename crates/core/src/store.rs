@@ -194,7 +194,7 @@ pub const MANIFEST_FILE: &str = "MANIFEST";
 /// footers and manifests. Not cryptographic; it exists to turn random
 /// corruption into a detected [`TraceIoError::Corrupt`] instead of a
 /// silently wrong chunk-skip decision.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = FnvHasher::default();
     h.write(bytes);
     h.finish()
@@ -287,7 +287,7 @@ fn write_varint(out: &mut [u8], mut at: usize, mut v: u64) -> usize {
 }
 
 /// Reads an LEB128 varint, erroring on truncation or overlong encodings.
-fn get_varint(data: &mut &[u8], what: &str) -> Result<u64, TraceIoError> {
+pub(crate) fn get_varint(data: &mut &[u8], what: &str) -> Result<u64, TraceIoError> {
     let mut v: u64 = 0;
     let mut i = 0;
     loop {
@@ -368,10 +368,14 @@ pub struct ChunkFooter {
 impl ChunkFooter {
     /// True when some event interval may overlap the half-open window
     /// `[lo, hi)` — the safe-to-decode test for time-window pushdown
-    /// (every event lies inside `[min_start, max_end)`, so a disjoint
-    /// window cannot receive any attribution from this chunk).
+    /// (every event lies inside `[min_start, max_end]`, so a disjoint
+    /// window cannot receive any attribution from this chunk). The upper
+    /// bound is treated inclusively: an **instant** event at exactly
+    /// `max_end` belongs to a window starting there (it contributes
+    /// presence, not time — see the analysis pipeline's `clip_event`),
+    /// so `max_end == lo` must not skip the chunk.
     pub fn overlaps(&self, lo: u64, hi: u64) -> bool {
-        self.events > 0 && self.min_start < hi && self.max_end > lo
+        self.events > 0 && self.min_start < hi && self.max_end >= lo
     }
 
     /// True when the chunk holds events of `pid`.
@@ -993,13 +997,18 @@ impl EventColumns {
     /// events left empty — the columnar twin of the analysis pipeline's
     /// window clip (attribution over clipped events equals within-window
     /// attribution, because the sweep is segment-based). Clamping starts
-    /// up to `lo` is monotone, so `start_sorted` survives.
+    /// up to `lo` is monotone, so `start_sorted` survives. An **instant**
+    /// event (`start == end`) is kept when its instant lies in
+    /// `[lo, hi)`: it attributes nothing but carries group *presence*,
+    /// exactly as in the row pipeline's `clip_event`.
     pub fn clip_window(&mut self, lo: u64, hi: u64) {
         let mut w = 0;
         for i in 0..self.len() {
             let s = self.starts[i].max(lo);
             let t = self.ends[i].min(hi);
-            if s < t {
+            let instant =
+                self.starts[i] == self.ends[i] && lo <= self.starts[i] && self.starts[i] < hi;
+            if s < t || instant {
                 self.pids[w] = self.pids[i];
                 self.kinds[w] = self.kinds[i];
                 self.name_ids[w] = self.name_ids[i];
@@ -2817,7 +2826,10 @@ mod tests {
         assert_eq!(footer.phase_span("train"), Some((10, 160)));
         assert_eq!(footer.phase_span("absent"), None);
         assert!(footer.overlaps(0, 1) && footer.overlaps(194, 1_000));
-        assert!(!footer.overlaps(195, 1_000));
+        // max_end is inclusive for the skip test: an instant event at
+        // exactly 195 would belong to a window starting there.
+        assert!(footer.overlaps(195, 1_000));
+        assert!(!footer.overlaps(196, 1_000));
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! fails on any drift between the checked-in files and the current
 //! codec/sweep behavior.
 
+use rlscope::core::analysis::{Analysis, Dim};
 use rlscope::core::compute_overlap;
-use rlscope::core::store::{encode_events, encode_events_v1, encode_events_v2};
+use rlscope::core::rollup::rollup_chunk_dir;
+use rlscope::core::store::{encode_events, encode_events_v1, encode_events_v2, reorder_chunk_dir};
 use std::path::Path;
 
 include!(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/fixture.rs"));
@@ -24,6 +26,15 @@ fn write(path: &Path, data: impl AsRef<[u8]>) {
         eprintln!("gen_corpus: writing {} failed: {e}", path.display());
         std::process::exit(2);
     }
+}
+
+/// Unwraps a fallible step, exiting with a message on failure — a
+/// half-written corpus must never look like a successful regen.
+fn run<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("gen_corpus: {what} failed: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -57,17 +68,55 @@ fn main() {
     }
     write(&dir.join("corpus_manifest.bin"), &manifest);
 
+    // The tiered-storage golden: the corpus rolled up into segment
+    // summaries — sorted first, exactly as the compaction ladder does —
+    // byte-frozen under `corpus_rollup/`, plus the coarse query answers
+    // the rollup tier must serve (generated from the sorted batch sweep,
+    // so the harness cross-checks the rollup reader against the batch
+    // engine, not against itself).
+    let raw = std::env::temp_dir().join(format!("rlscope_gen_rollup_raw_{}", std::process::id()));
+    let sorted =
+        std::env::temp_dir().join(format!("rlscope_gen_rollup_sorted_{}", std::process::id()));
+    write_corpus_chunk_dir(&raw);
+    let _ = std::fs::remove_dir_all(&sorted);
+    run(reorder_chunk_dir(&raw, &sorted, CORPUS_DIR_CHUNK_BYTES), "sorting the corpus dir");
+    let rollup_stats = run(
+        rollup_chunk_dir(&sorted, &dir.join("corpus_rollup"), CORPUS_ROLLUP_SEGMENT_NS),
+        "rolling up the corpus dir",
+    );
+    write(
+        &dir.join("expected_rollup_overall.json"),
+        run(Analysis::from_chunk_dir(&sorted).canonical_json(), "overall rollup reference"),
+    );
+    write(
+        &dir.join("expected_rollup_by_phase_op.json"),
+        run(
+            Analysis::from_chunk_dir(&sorted)
+                .group_by([Dim::Phase, Dim::Operation])
+                .canonical_json(),
+            "phase/op rollup reference",
+        ),
+    );
+    for d in [&raw, &sorted] {
+        if let Err(e) = std::fs::remove_dir_all(d) {
+            eprintln!("gen_corpus: cleaning {} failed: {e}", d.display());
+            std::process::exit(2);
+        }
+    }
+
     // The Minigo phase-report golden (regenerate after any deliberate
     // change to the simulation stack's cost models or the workload).
     write(&dir.join("minigo_phase.json"), minigo_phase_canonical_json());
 
     println!(
-        "wrote {} events (v1 {} B, v2 {} B, v3 {} B, manifest {} B) + {} extreme events to {}",
+        "wrote {} events (v1 {} B, v2 {} B, v3 {} B, manifest {} B, {} rollup segments) \
+         + {} extreme events to {}",
         events.len(),
         v1.len(),
         v2.len(),
         v3.len(),
         manifest.len(),
+        rollup_stats.segments,
         extreme.len(),
         dir.display()
     );

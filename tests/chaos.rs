@@ -13,7 +13,7 @@
 
 use proptest::prelude::*;
 use rlscope::collector::daemon::fault::FaultPlan;
-use rlscope::collector::registry::{SessionRecord, SessionStatus};
+use rlscope::collector::registry::{SessionRecord, SessionStatus, StorageTier};
 use rlscope::collector::{
     Collector, CollectorClient, CollectorConfig, CollectorError, ErrorCode, HelloAck, HelloRequest,
     QuerySpec, ReconnectPolicy, SessionPhase,
@@ -502,9 +502,14 @@ fn write_session_dir(dir: &Path, chunks: &[Vec<Event>], epoch: u64) {
     for (seq, chunk) in chunks.iter().enumerate() {
         std::fs::write(dir.join(format!("chunk_{seq:05}.rls")), encode_events(chunk)).unwrap();
     }
-    SessionRecord { epoch, status: SessionStatus::Active, acked_chunks: chunks.len() as u64 }
-        .write(dir)
-        .unwrap();
+    SessionRecord {
+        epoch,
+        status: SessionStatus::Active,
+        acked_chunks: chunks.len() as u64,
+        tier: StorageTier::Raw,
+    }
+    .write(dir)
+    .unwrap();
 }
 
 proptest! {
@@ -801,5 +806,113 @@ fn shutdown_detaches_and_restart_resumes_and_reserves() {
         resumed.query(&QuerySpec::session("midway")).unwrap().canonical_json,
         batch_json(&events)
     );
+    collector.shutdown();
+}
+
+/// Tiered-storage crash points: a daemon killed mid-compaction
+/// (simulated as the exact on-disk states the four-step transition
+/// protocol can be interrupted in — partial temp build, published but
+/// unrecorded tier, recorded tier with prior-tier leftovers) never
+/// loses a queryable tier. Recovery reconciles the debris and the
+/// interrupted job re-runs to completion with answers canonical-JSON
+/// equal to the raw baseline at every step.
+#[test]
+fn daemon_crash_mid_compaction_keeps_prior_tier_queryable() {
+    let (socket, data) = scratch("tiercrash");
+    let mut config = CollectorConfig::new(&socket, &data);
+    config.rollup_segment_ns = 50_000;
+    let collector = Collector::bind(config).unwrap();
+    let events = session_events(0, 2_000);
+    let mut client = CollectorClient::open_session(&socket, "tiered").unwrap();
+    for chunk in events.chunks(256) {
+        client.send_events(chunk).unwrap();
+    }
+    client.finish().unwrap();
+    let baseline = client.query(&QuerySpec::session("tiered")).unwrap().canonical_json;
+    assert_eq!(baseline, batch_json(&events));
+    drop(client);
+    collector.shutdown();
+    let dir = data.join("tiered");
+
+    // Crash state 1: killed mid-build — a partial temp dir, the record
+    // still naming the raw tier.
+    std::fs::create_dir_all(dir.join(".tier.tmp")).unwrap();
+    std::fs::write(dir.join(".tier.tmp").join("partial.rls"), b"half a chunk").unwrap();
+    let mut config = CollectorConfig::new(&socket, &data);
+    config.rollup_segment_ns = 50_000;
+    let collector = Collector::bind(config).unwrap();
+    assert!(!dir.join(".tier.tmp").exists(), "recovery must clear the temp dir");
+    assert_eq!(collector.session_tier("tiered"), Some(StorageTier::Raw));
+    let mut query = CollectorClient::connect(&socket).unwrap();
+    assert_eq!(query.query(&QuerySpec::session("tiered")).unwrap().canonical_json, baseline);
+    // The interrupted job simply re-runs.
+    assert_eq!(collector.compact_session("tiered").unwrap(), StorageTier::Sorted);
+    assert_eq!(query.query(&QuerySpec::session("tiered")).unwrap().canonical_json, baseline);
+    drop(query);
+    collector.shutdown();
+
+    // Crash state 2: killed between the publish rename and the record
+    // write — a stale (torn) rollup dir, the record still naming
+    // sorted. The unrecorded tier is debris; sorted must survive.
+    std::fs::create_dir_all(dir.join("rollup")).unwrap();
+    std::fs::write(dir.join("rollup").join("ROLLUP"), b"torn index").unwrap();
+    let mut config = CollectorConfig::new(&socket, &data);
+    config.rollup_segment_ns = 50_000;
+    let collector = Collector::bind(config).unwrap();
+    assert!(!dir.join("rollup").exists(), "unrecorded tier debris must be removed");
+    assert_eq!(collector.session_tier("tiered"), Some(StorageTier::Sorted));
+    let mut query = CollectorClient::connect(&socket).unwrap();
+    assert_eq!(query.query(&QuerySpec::session("tiered")).unwrap().canonical_json, baseline);
+    assert_eq!(collector.compact_session("tiered").unwrap(), StorageTier::Rollup);
+    assert_eq!(query.query(&QuerySpec::session("tiered")).unwrap().canonical_json, baseline);
+    drop(query);
+    collector.shutdown();
+
+    // Crash state 3: killed after the record write but before the prior
+    // tier was deleted — recorded rollup with sorted leftovers.
+    std::fs::create_dir_all(dir.join("sorted")).unwrap();
+    std::fs::write(dir.join("sorted").join("chunk_00000.rls"), b"stale sorted chunk").unwrap();
+    let mut config = CollectorConfig::new(&socket, &data);
+    config.rollup_segment_ns = 50_000;
+    let collector = Collector::bind(config).unwrap();
+    assert!(!dir.join("sorted").exists(), "prior-tier leftovers must be removed");
+    assert_eq!(collector.session_tier("tiered"), Some(StorageTier::Rollup));
+    let mut query = CollectorClient::connect(&socket).unwrap();
+    assert_eq!(query.query(&QuerySpec::session("tiered")).unwrap().canonical_json, baseline);
+    collector.shutdown();
+}
+
+/// Injected ENOSPC during a compaction build is a typed job failure —
+/// never a daemon panic, never a lost tier: the session stays at its
+/// prior tier, fully queryable, and the job succeeds once the fault
+/// clears.
+#[test]
+fn injected_enospc_during_compaction_is_typed_and_retryable() {
+    let (socket, data) = scratch("tierfull");
+    let faults = FaultPlan::new();
+    let mut config = CollectorConfig::new(&socket, &data);
+    config.faults = Some(faults.clone());
+    let collector = Collector::bind(config).unwrap();
+    let events = session_events(0, 1_024);
+    let mut client = CollectorClient::open_session(&socket, "comp-full").unwrap();
+    client.send_events(&events).unwrap();
+    client.finish().unwrap();
+    let baseline = client.query(&QuerySpec::session("comp-full")).unwrap().canonical_json;
+
+    faults.fail_compaction(true);
+    let err = collector.compact_session("comp-full").unwrap_err();
+    match &err {
+        CollectorError::Remote { code: Some(ErrorCode::Io), message } => {
+            assert!(message.contains("injected ENOSPC"), "unexpected message: {message}");
+        }
+        other => panic!("expected typed Io failure, got {other:?}"),
+    }
+    assert_eq!(collector.session_tier("comp-full"), Some(StorageTier::Raw));
+    assert_eq!(client.query(&QuerySpec::session("comp-full")).unwrap().canonical_json, baseline);
+
+    faults.fail_compaction(false);
+    assert_eq!(collector.compact_session("comp-full").unwrap(), StorageTier::Sorted);
+    assert_eq!(collector.compact_session("comp-full").unwrap(), StorageTier::Rollup);
+    assert_eq!(client.query(&QuerySpec::session("comp-full")).unwrap().canonical_json, baseline);
     collector.shutdown();
 }

@@ -140,6 +140,13 @@ pub const CORPUS_DIR_BATCH: usize = 5;
 /// Rotation threshold of the fixture's deterministic chunk directory.
 pub const CORPUS_DIR_CHUNK_BYTES: usize = 256;
 
+/// Segment window of the fixture's frozen rollup (`corpus_rollup/`) —
+/// shared by the generator and the harness so the segment grid can
+/// never drift apart. Coarse enough for a handful of segments over the
+/// fixture's ~100 µs span, fine enough that cross-segment merging is
+/// actually exercised.
+pub const CORPUS_ROLLUP_SEGMENT_NS: u64 = 25_000;
+
 /// Writes the fixture's deterministic chunk directory (fresh) through
 /// `TraceWriter` and returns the `MANIFEST` bytes the writer emitted —
 /// the manifest golden's subject.

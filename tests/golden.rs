@@ -187,3 +187,65 @@ fn corpus_minigo_phase_report_matches_expected() {
         "Minigo phase-report drift"
     );
 }
+
+/// Tiered-storage golden: the checked-in rollup fixture
+/// (`corpus_rollup/`) must be byte-identical to a fresh sort + rollup
+/// of the corpus — freezing the segment wire format exactly as the
+/// chunk goldens freeze the codecs — and the rollup reader must answer
+/// the frozen coarse queries, which were generated from the sorted
+/// batch sweep (the reader is checked against the batch engine, never
+/// against itself). Regenerate deliberately with
+/// `cargo run --example gen_corpus` and review the diff.
+#[test]
+fn corpus_rollup_is_byte_stable_and_answers_coarse_queries() {
+    use rlscope::core::analysis::{Analysis, Dim};
+    use rlscope::core::rollup::rollup_chunk_dir;
+
+    let raw = std::env::temp_dir().join(format!("rlscope_golden_rollraw_{}", std::process::id()));
+    let sorted =
+        std::env::temp_dir().join(format!("rlscope_golden_rollsrt_{}", std::process::id()));
+    let rebuilt =
+        std::env::temp_dir().join(format!("rlscope_golden_rollnew_{}", std::process::id()));
+    write_corpus_chunk_dir(&raw);
+    let _ = std::fs::remove_dir_all(&sorted);
+    let _ = std::fs::remove_dir_all(&rebuilt);
+    reorder_chunk_dir(&raw, &sorted, CORPUS_DIR_CHUNK_BYTES).unwrap();
+    rollup_chunk_dir(&sorted, &rebuilt, CORPUS_ROLLUP_SEGMENT_NS).unwrap();
+
+    let frozen = corpus_dir().join("corpus_rollup");
+    let listing = |d: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(d)
+            .unwrap_or_else(|e| panic!("missing rollup fixture dir {} ({e})", d.display()))
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n == "ROLLUP" || n.ends_with(".rlr"))
+            .collect();
+        names.sort();
+        names
+    };
+    let files = listing(&rebuilt);
+    assert_eq!(files, listing(&frozen), "rollup fixture file-set drift");
+    for name in &files {
+        assert_eq!(
+            std::fs::read(rebuilt.join(name)).unwrap(),
+            corpus_file(&format!("corpus_rollup/{name}")),
+            "rollup fixture byte drift in {name}"
+        );
+    }
+
+    assert_eq!(
+        Analysis::from_rollup_dir(&frozen).canonical_json().unwrap(),
+        corpus_text("expected_rollup_overall.json"),
+        "rollup overall-query drift"
+    );
+    assert_eq!(
+        Analysis::from_rollup_dir(&frozen)
+            .group_by([Dim::Phase, Dim::Operation])
+            .canonical_json()
+            .unwrap(),
+        corpus_text("expected_rollup_by_phase_op.json"),
+        "rollup phase/op-query drift"
+    );
+    for d in [&raw, &sorted, &rebuilt] {
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}

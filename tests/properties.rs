@@ -706,6 +706,98 @@ proptest! {
         std::fs::remove_dir_all(&dst).unwrap();
     }
 
+    /// The tiered-storage equivalence contract: rolling a start-sorted
+    /// trace up into segment summaries preserves every coarse query —
+    /// ungrouped, phase/process/operation grouped, and segment-aligned
+    /// time windows — with canonical JSON byte-equal to the batch sweep
+    /// over the tier it was built from (the sorted dir; the raw→sorted
+    /// transition may legitimately reorder first-seen group order, so
+    /// ungrouped totals are additionally pinned to the raw events);
+    /// windows that split a segment are a typed `Unsupported`, never a
+    /// wrong answer.
+    #[test]
+    fn rollup_coarse_queries_match_batch(
+        events in prop::collection::vec(arb_multiproc_full_event(), 0..60),
+        chunk_len in 1usize..12,
+        segment_ns in 64u64..512,
+        win_a in 0u64..4,
+        win_span in 1u64..4,
+    ) {
+        use rlscope::core::analysis::AnalysisError;
+        use rlscope::core::rollup::{rollup_chunk_dir, Rollup};
+        use rlscope::core::store::reorder_chunk_dir;
+
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!(
+            "rlscope_prop_roll_{}_{case}", std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let (raw, sorted, roll) = (root.join("raw"), root.join("sorted"), root.join("rollup"));
+        let writer = TraceWriter::create(&raw, 128).unwrap();
+        for chunk in events.chunks(chunk_len) {
+            writer.write(chunk.to_vec());
+        }
+        writer.finish().unwrap();
+        // The compaction ladder always sorts before it rolls up — the
+        // rollup builder's presence-row ordering relies on it.
+        reorder_chunk_dir(&raw, &sorted, 128).unwrap();
+        let stats = rollup_chunk_dir(&sorted, &roll, segment_ns).unwrap();
+        prop_assert_eq!(stats.events, events.len() as u64);
+
+        let dims: [&[Dim]; 5] = [
+            &[],
+            &[Dim::Phase],
+            &[Dim::Process],
+            &[Dim::Process, Dim::Phase],
+            &[Dim::Phase, Dim::Operation],
+        ];
+        // Ungrouped totals are order-free: they must match the raw
+        // events exactly, across the whole ladder.
+        let plain = Analysis::from_rollup_dir(&roll).canonical_json().unwrap();
+        prop_assert_eq!(&plain, &Analysis::of_events(&events).canonical_json().unwrap());
+        for dims in dims {
+            let from_rollup = Analysis::from_rollup_dir(&roll)
+                .group_by(dims.iter().copied())
+                .canonical_json()
+                .unwrap();
+            let from_batch = Analysis::from_chunk_dir(&sorted)
+                .group_by(dims.iter().copied())
+                .canonical_json()
+                .unwrap();
+            prop_assert_eq!(from_rollup, from_batch, "group_by({:?}) diverges", dims);
+        }
+
+        // Segment-aligned windows answer exactly (edges past the
+        // covered span included — only touched segments must be whole).
+        let (lo, hi) = (win_a * segment_ns, (win_a + win_span) * segment_ns);
+        let windowed = Analysis::from_rollup_dir(&roll)
+            .time_window(TimeNs::from_nanos(lo), TimeNs::from_nanos(hi))
+            .canonical_json()
+            .unwrap();
+        let batch_windowed = Analysis::from_chunk_dir(&sorted)
+            .time_window(TimeNs::from_nanos(lo), TimeNs::from_nanos(hi))
+            .canonical_json()
+            .unwrap();
+        prop_assert_eq!(windowed, batch_windowed, "aligned window [{}, {}) diverges", lo, hi);
+
+        // A window edge inside a segment is below rollup resolution.
+        let rollup = Rollup::open(&roll).unwrap();
+        if let Some(seg) = rollup.segments().first().filter(|s| s.window_len > 1) {
+            let result = Analysis::from_rollup_dir(&roll)
+                .time_window(
+                    TimeNs::from_nanos(seg.window_start + 1),
+                    TimeNs::from_nanos(seg.window_end()),
+                )
+                .canonical_json();
+            prop_assert!(
+                matches!(result, Err(AnalysisError::Unsupported(_))),
+                "sub-segment window must be typed Unsupported, got {result:?}"
+            );
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
     /// The legacy v1 codec remains decodable and agrees with v2.
     #[test]
     fn v1_codec_round_trips(events in prop::collection::vec(arb_event(), 0..80)) {

@@ -1,0 +1,272 @@
+//! Tiered-storage integration suite: sessions age down the raw →
+//! sorted → rollup → gone ladder (explicitly via `compact_session`,
+//! automatically via the retention policy), every tier answers coarse
+//! queries canonical-JSON-identically, rollups reject sub-segment
+//! windows with the typed `UnsupportedQuery`, pruned names become
+//! reusable, and `QUERY_ALL` federates across sessions sitting at
+//! different tiers.
+
+use rlscope::collector::{
+    Collector, CollectorClient, CollectorConfig, CollectorError, ErrorCode, QuerySpec,
+    ReconnectPolicy, RetentionPolicy, SessionPhase, StorageTier,
+};
+use rlscope::core::analysis::{Analysis, Dim};
+use rlscope::core::event::{CpuCategory, Event, EventKind, GpuCategory};
+use rlscope::sim::ids::ProcessId;
+use rlscope::sim::time::TimeNs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A fresh scratch dir (with a short socket path — the 108-byte
+/// sun_path limit) per test.
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let root = std::env::temp_dir().join(format!("rlst_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    (root.join("sock"), root.join("data"))
+}
+
+/// Same stream shape as the chaos suite: operations over interleaved
+/// CPU/GPU activity plus two close-ordered phases.
+fn session_events(pid: u32, n: usize) -> Vec<Event> {
+    let p = ProcessId(pid);
+    let mut events = Vec::with_capacity(n);
+    let mut i = 0u64;
+    while events.len() + 2 < n {
+        let t = i * 1_000;
+        if i.is_multiple_of(50) {
+            let name = if (i / 50).is_multiple_of(2) { "train_step" } else { "collect_rollouts" };
+            events.push(Event::new(
+                p,
+                EventKind::Operation,
+                name,
+                TimeNs::from_nanos(t),
+                TimeNs::from_nanos(t + 50_000),
+            ));
+        }
+        let kind = match i % 4 {
+            0 => EventKind::Cpu(CpuCategory::Python),
+            1 => EventKind::Cpu(CpuCategory::Backend),
+            2 => EventKind::Cpu(CpuCategory::CudaApi),
+            _ => EventKind::Gpu(GpuCategory::Kernel),
+        };
+        events.push(Event::new(p, kind, "e", TimeNs::from_nanos(t), TimeNs::from_nanos(t + 800)));
+        i += 1;
+    }
+    let mid = i * 500;
+    events.push(Event::new(
+        p,
+        EventKind::Phase,
+        "warmup",
+        TimeNs::from_nanos(0),
+        TimeNs::from_nanos(mid),
+    ));
+    events.push(Event::new(
+        p,
+        EventKind::Phase,
+        "steady",
+        TimeNs::from_nanos(mid),
+        TimeNs::from_nanos(i * 1_000 + 60_000),
+    ));
+    events
+}
+
+/// Streams `events` into a fresh finished session over the socket.
+fn finish_session(socket: &std::path::Path, name: &str, events: &[Event]) -> CollectorClient {
+    let mut client = CollectorClient::open_session(socket, name).unwrap();
+    for chunk in events.chunks(256) {
+        client.send_events(chunk).unwrap();
+    }
+    client.finish().unwrap();
+    client
+}
+
+/// Polls until `name` reaches `phase` (teardown paths are async).
+fn wait_phase(collector: &Collector, name: &str, phase: SessionPhase) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if collector.session_phase(name) == Some(phase) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "session '{name}' never reached {phase:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Polls until the session is pruned (the registry drops the name and
+/// the retention worker removes the directory).
+fn wait_pruned(collector: &Collector, name: &str, dir: &std::path::Path) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if collector.session_tier(name).is_none() && !dir.exists() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "session '{name}' was never pruned");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The tentpole acceptance walk: one session, compacted explicitly down
+/// the ladder, must answer the same coarse queries with byte-identical
+/// canonical JSON at every tier — while the prior tier's files actually
+/// disappear from disk. Rollups additionally serve segment-aligned
+/// windows exactly and reject sub-segment windows with the typed
+/// `UnsupportedQuery`.
+#[test]
+fn tiers_answer_identically_down_the_ladder() {
+    let (socket, data) = scratch("ladder");
+    let mut config = CollectorConfig::new(&socket, &data);
+    config.rollup_segment_ns = 10_000;
+    let collector = Collector::bind(config).unwrap();
+    let events = session_events(0, 2_000);
+    let mut client = finish_session(&socket, "ladder", &events);
+
+    let plain = QuerySpec::session("ladder");
+    let grouped = QuerySpec::session("ladder").group_by([Dim::Phase, Dim::Operation]);
+    let base_plain = client.query(&plain).unwrap();
+    let base_grouped = client.query(&grouped).unwrap();
+    assert_eq!(base_plain.canonical_json, Analysis::of_events(&events).canonical_json().unwrap());
+    let dir = data.join("ladder");
+
+    // Raw → sorted: same answers, raw chunk files gone.
+    assert_eq!(collector.compact_session("ladder").unwrap(), StorageTier::Sorted);
+    assert_eq!(collector.session_tier("ladder"), Some(StorageTier::Sorted));
+    let sorted_plain = client.query(&plain).unwrap();
+    assert_eq!(sorted_plain.canonical_json, base_plain.canonical_json);
+    assert_eq!(sorted_plain.events_observed, base_plain.events_observed);
+    assert_eq!(client.query(&grouped).unwrap().canonical_json, base_grouped.canonical_json);
+    assert!(dir.join("sorted").is_dir());
+    assert!(!dir.join("MANIFEST").exists(), "raw manifest must be deleted after the transition");
+    let raw_chunks = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().starts_with("chunk_"))
+        .count();
+    assert_eq!(raw_chunks, 0, "raw chunks must be deleted after the transition");
+
+    // Sorted → rollup: coarse queries answered from segment summaries.
+    assert_eq!(collector.compact_session("ladder").unwrap(), StorageTier::Rollup);
+    let roll_plain = client.query(&plain).unwrap();
+    assert_eq!(roll_plain.canonical_json, base_plain.canonical_json);
+    assert_eq!(roll_plain.events_observed, base_plain.events_observed);
+    assert_eq!(client.query(&grouped).unwrap().canonical_json, base_grouped.canonical_json);
+    assert!(dir.join("rollup").is_dir());
+    assert!(!dir.join("sorted").exists(), "sorted tier must be deleted after the transition");
+
+    // A segment-aligned window answers exactly (equal to the batch
+    // sweep over raw events with the same window).
+    let windowed = client.query(&QuerySpec::session("ladder").window(10_000, 30_000)).unwrap();
+    let batch = Analysis::of_events(&events)
+        .time_window(TimeNs::from_nanos(10_000), TimeNs::from_nanos(30_000))
+        .canonical_json()
+        .unwrap();
+    assert_eq!(windowed.canonical_json, batch);
+
+    // A window that splits a segment needs raw resolution: typed
+    // rejection, not a wrong answer.
+    let err = client.query(&QuerySpec::session("ladder").window(5_000, 30_000)).unwrap_err();
+    assert!(
+        matches!(err, CollectorError::Remote { code: Some(ErrorCode::UnsupportedQuery), .. }),
+        "expected UnsupportedQuery for a sub-segment window, got {err:?}"
+    );
+    collector.shutdown();
+}
+
+/// Retention as a dial: with all dwells at zero, successive retention
+/// passes age a finished session raw → sorted → rollup → gone, and the
+/// pruned name is immediately reusable for a brand-new session.
+#[test]
+fn retention_ages_sessions_down_to_pruned() {
+    let (socket, data) = scratch("age");
+    let collector = Collector::bind(CollectorConfig::new(&socket, &data)).unwrap();
+    let events = session_events(0, 1_024);
+    let client = finish_session(&socket, "ager", &events);
+    drop(client);
+    let dir = data.join("ager");
+    let policy = RetentionPolicy::parse("raw=0ms,sorted=0ms,rollup=0ms").unwrap();
+
+    collector.run_retention_pass(&policy);
+    collector.wait_compaction_idle();
+    assert_eq!(collector.session_tier("ager"), Some(StorageTier::Sorted));
+    collector.run_retention_pass(&policy);
+    collector.wait_compaction_idle();
+    assert_eq!(collector.session_tier("ager"), Some(StorageTier::Rollup));
+    collector.run_retention_pass(&policy);
+    collector.wait_compaction_idle();
+    wait_pruned(&collector, "ager", &dir);
+
+    // Name-reuse regression: a pruned name opens fresh (no
+    // SessionExists from a stale registry entry or leftover dir).
+    let mut reuse = finish_session(&socket, "ager", &events);
+    let reply = reuse.query(&QuerySpec::session("ager")).unwrap();
+    assert_eq!(reply.events_observed, events.len() as u64);
+    assert_eq!(reply.canonical_json, Analysis::of_events(&events).canonical_json().unwrap());
+    collector.shutdown();
+}
+
+/// Aborted sessions never compact — they sit at the raw tier until the
+/// raw dwell expires, then are pruned (registry record and directory
+/// both), freeing the name.
+#[test]
+fn aborted_sessions_prune_after_raw_dwell() {
+    let (socket, data) = scratch("abprune");
+    let mut config = CollectorConfig::new(&socket, &data);
+    config.idle_timeout = Some(Duration::from_millis(200));
+    let collector = Collector::bind(config).unwrap();
+    let events = session_events(0, 512);
+    let mut client =
+        CollectorClient::open_session_with(&socket, "doomed", ReconnectPolicy::disabled()).unwrap();
+    client.send_events(&events[..256]).unwrap();
+    wait_phase(&collector, "doomed", SessionPhase::Aborted);
+    drop(client);
+    let dir = data.join("doomed");
+    assert!(dir.exists());
+
+    // An aborted session must never advance a tier, even with sorted
+    // and rollup dwells at zero — only the raw dwell governs its prune.
+    let policy = RetentionPolicy::parse("raw=0ms,sorted=0ms,rollup=0ms").unwrap();
+    collector.run_retention_pass(&policy);
+    collector.wait_compaction_idle();
+    wait_pruned(&collector, "doomed", &dir);
+
+    let mut reuse = finish_session(&socket, "doomed", &events);
+    assert_eq!(
+        reuse.query(&QuerySpec::session("doomed")).unwrap().events_observed,
+        events.len() as u64
+    );
+    collector.shutdown();
+}
+
+/// `QUERY_ALL` federates transparently across tiers: one session rolled
+/// all the way up, one still raw, and the fleet-style reply counts and
+/// groups both without the caller knowing which tier served which.
+#[test]
+fn query_all_spans_mixed_tiers() {
+    let (socket, data) = scratch("mixed");
+    let mut config = CollectorConfig::new(&socket, &data);
+    config.rollup_segment_ns = 10_000;
+    let collector = Collector::bind(config).unwrap();
+    let a = session_events(1, 1_024);
+    let b = session_events(2, 768);
+    let _ca = finish_session(&socket, "cold", &a);
+    let mut cb = finish_session(&socket, "hot", &b);
+    assert_eq!(collector.compact_session("cold").unwrap(), StorageTier::Sorted);
+    assert_eq!(collector.compact_session("cold").unwrap(), StorageTier::Rollup);
+
+    let reply = cb.query_all(&QuerySpec::all_sessions()).unwrap();
+    assert_eq!(reply.events_observed, (a.len() + b.len()) as u64);
+    let mut sessions = reply.sessions.clone();
+    sessions.sort();
+    assert_eq!(sessions, vec!["cold".to_string(), "hot".to_string()]);
+
+    // The per-session groups match each session's own (tier-routed)
+    // answer: the rollup-backed one equals its raw batch sweep.
+    let by_session = cb.query_all(&QuerySpec::all_sessions().group_by([Dim::Session])).unwrap();
+    for (key, table) in &by_session.groups {
+        let name = key.session.as_deref().unwrap();
+        let events = if name == "cold" { &a } else { &b };
+        let batch = Analysis::of_events(events).tables().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(table, &batch[0].1, "QUERY_ALL group for '{name}' diverges from batch");
+    }
+    collector.shutdown();
+}
